@@ -1,0 +1,97 @@
+//! Criterion: the parser side — timeline reconstruction, correlation,
+//! statistics, and full-trace analysis throughput.
+//!
+//! The paper positions Tempest against "impracticably slow" heavyweight
+//! simulation: post-processing a full run must take milliseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tempest_core::correlate::correlate;
+use tempest_core::stats::SummaryStats;
+use tempest_core::timeline::Timeline;
+use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_probe::event::{Event, ThreadId};
+use tempest_probe::func::FunctionId;
+use tempest_sensors::{SensorId, SensorReading, Temperature};
+
+/// A synthetic well-nested event stream: `frames` alternating calls, three
+/// deep, one thread.
+fn synthetic_events(frames: usize) -> Vec<Event> {
+    let mut events = Vec::with_capacity(frames * 6);
+    let mut t = 0u64;
+    events.push(Event::enter(t, ThreadId(0), FunctionId(0)));
+    for i in 0..frames {
+        t += 100;
+        let f = FunctionId(1 + (i % 5) as u32);
+        events.push(Event::enter(t, ThreadId(0), f));
+        t += 500;
+        let g = FunctionId(6 + (i % 3) as u32);
+        events.push(Event::enter(t, ThreadId(0), g));
+        t += 900;
+        events.push(Event::exit(t, ThreadId(0), g));
+        t += 400;
+        events.push(Event::exit(t, ThreadId(0), f));
+    }
+    t += 100;
+    events.push(Event::exit(t, ThreadId(0), FunctionId(0)));
+    events
+}
+
+fn synthetic_samples(events: &[Event], sensors: u16, every_ns: u64) -> Vec<SensorReading> {
+    let end = events.last().unwrap().timestamp_ns;
+    let mut out = Vec::new();
+    let mut t = 0;
+    while t <= end {
+        for s in 0..sensors {
+            out.push(SensorReading::new(
+                SensorId(s),
+                t,
+                Temperature::from_celsius(40.0 + (t as f64 * 1e-6).sin()),
+            ));
+        }
+        t += every_ns;
+    }
+    out
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+
+    for frames in [1_000usize, 20_000] {
+        let events = synthetic_events(frames);
+        g.throughput(Throughput::Elements(events.len() as u64));
+        g.bench_function(format!("timeline_build_{frames}_frames"), |b| {
+            b.iter(|| Timeline::build(black_box(&events)));
+        });
+
+        let timeline = Timeline::build(&events);
+        let samples = synthetic_samples(&events, 6, 250_000);
+        g.throughput(Throughput::Elements(samples.len() as u64));
+        g.bench_function(format!("correlate_{frames}_frames"), |b| {
+            b.iter(|| correlate(black_box(&timeline), black_box(&samples)));
+        });
+    }
+
+    // Full analyze_trace on an FT-sized simulated trace.
+    let cfg = tempest_cluster::ClusterRunConfig::paper_default();
+    let run = tempest_cluster::ClusterRun::execute(
+        &cfg,
+        &tempest_workloads::npb::NpbBenchmark::Ft.programs(tempest_workloads::Class::A, 4),
+    );
+    g.bench_function("analyze_trace_ft_class_a_node", |b| {
+        b.iter(|| analyze_trace(black_box(&run.traces[0]), AnalysisOptions::default()).unwrap());
+    });
+
+    for n in [100usize, 10_000] {
+        let vals: Vec<f64> = (0..n).map(|i| 100.0 + (i as f64 * 0.7).sin()).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("summary_stats_{n}"), |b| {
+            b.iter(|| SummaryStats::from_samples(black_box(&vals)).summary());
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

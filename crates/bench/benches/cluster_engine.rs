@@ -1,0 +1,49 @@
+//! Criterion: discrete-event engine and thermal-replay throughput.
+//!
+//! A full paper-scale run (FT class C, NP=4, ~45 simulated seconds) should
+//! simulate in well under a second — the "fast enough for iterative
+//! testing" property that motivates Tempest over heavyweight simulators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+
+    for (bench, class, label) in [
+        (NpbBenchmark::Ft, Class::A, "ft_class_a"),
+        (NpbBenchmark::Bt, Class::A, "bt_class_a"),
+        (NpbBenchmark::Lu, Class::A, "lu_class_a_pipelined"),
+        (NpbBenchmark::Ft, Class::C, "ft_class_c_paper_scale"),
+    ] {
+        let cfg = ClusterRunConfig::paper_default();
+        let programs = bench.programs(class, 4);
+        g.bench_function(format!("full_run_{label}"), |b| {
+            b.iter(|| ClusterRun::execute(black_box(&cfg), black_box(&programs)));
+        });
+    }
+
+    // Engine alone (no thermal replay): collective-heavy CG at 16 ranks.
+    let cfg = ClusterRunConfig::paper_default();
+    let programs = NpbBenchmark::Cg.programs(Class::A, 16);
+    g.bench_function("engine_only_cg_16_ranks", |b| {
+        let node_speed = vec![1.0; cfg.spec.nodes];
+        b.iter(|| {
+            tempest_cluster::engine::run(
+                black_box(&cfg.spec),
+                black_box(&cfg.net),
+                black_box(&programs),
+                black_box(&node_speed),
+            )
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: cost of the tempd sampling rate (ablation of the paper's
+//! 4 Hz design point, DESIGN.md §5).
+//!
+//! Sweeps the simulated sampling rate and measures the end-to-end
+//! run-plus-parse cost; the fidelity side of the trade-off is reported by
+//! the `exp_sampling_ablation` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling_rate");
+    g.sample_size(10);
+    let programs = NpbBenchmark::Bt.programs(Class::A, 4);
+    for rate_hz in [1u64, 4, 16, 64] {
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.sample_interval_ns = 1_000_000_000 / rate_hz;
+        g.bench_function(format!("run_and_parse_at_{rate_hz}hz"), |b| {
+            b.iter(|| {
+                let run = ClusterRun::execute(black_box(&cfg), black_box(&programs));
+                let profiles: Vec<_> = run
+                    .traces
+                    .iter()
+                    .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+                    .collect();
+                black_box(profiles)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

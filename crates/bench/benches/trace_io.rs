@@ -1,0 +1,39 @@
+//! Criterion: trace serialisation throughput.
+//!
+//! §3.2: per-node profiling information is "aggregated into a trace file";
+//! encode/decode must be I/O-bound, not CPU-bound.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_probe::trace::Trace;
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn bench_trace_io(c: &mut Criterion) {
+    let cfg = ClusterRunConfig::paper_default();
+    let run = ClusterRun::execute(&cfg, &NpbBenchmark::Bt.programs(Class::A, 4));
+    let trace = &run.traces[0];
+    let mut encoded = Vec::new();
+    trace.write_to(&mut encoded).unwrap();
+
+    let mut g = c.benchmark_group("trace_io");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_bt_node_trace", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            black_box(trace).write_to(&mut buf).unwrap();
+            black_box(buf)
+        });
+    });
+    g.bench_function("decode_bt_node_trace", |b| {
+        b.iter(|| Trace::read_from(&mut black_box(&encoded).as_slice()).unwrap());
+    });
+    g.bench_function("text_dump_bt_node_trace", |b| {
+        b.iter(|| black_box(trace).to_text());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_io);
+criterion_main!(benches);

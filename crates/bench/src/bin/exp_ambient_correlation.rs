@@ -1,0 +1,71 @@
+//! E13 — §4: ambient sensors do not correlate with code phases.
+//!
+//! "We found the ambient sensors located throughout the system chassis …
+//! did not correlate significantly to source code phases and were more a
+//! reflection of external temperatures and airflow. Hence, we report only
+//! results from the core CPU sensors."
+//!
+//! The experiment computes, per sensor, the Pearson correlation between
+//! its readings and a compute-activity indicator derived from the
+//! function timeline, over an alternating burn/idle workload.
+
+use tempest_bench::banner;
+use tempest_cluster::{ClusterRun, ClusterRunConfig, ClusterSpec, Placement, Program};
+use tempest_core::analysis::activity_correlation;
+use tempest_core::timeline::Timeline;
+use tempest_sensors::power::ActivityMix;
+use tempest_sensors::SensorId;
+
+fn main() {
+    banner("E13", "Ambient vs core sensor correlation with code phases (§4)");
+    let mut cfg = ClusterRunConfig::paper_default();
+    cfg.spec = ClusterSpec::new(1, 4, Placement::Pack);
+    cfg.thermal.hetero_seed = None;
+    cfg.node_speed_jitter = 0.0;
+
+    // Alternating hot/idle phases: 6 × (20 s burn + 20 s sleep) on ALL
+    // four cores (both sockets must see the phases, or the unloaded
+    // socket's die sensor has nothing to correlate with).
+    let program = Program::builder()
+        .call("main", |b| {
+            b.repeat(6, |b| {
+                b.call("hot_phase", |b| b.compute(20.0, ActivityMix::FpDense))
+                    .sleep(20.0)
+            })
+        })
+        .build();
+    let run = ClusterRun::execute(&cfg, &vec![program; 4]);
+    let trace = &run.traces[0];
+    let timeline = Timeline::build(&trace.events);
+
+    println!("sensor                      kind          r(temp, activity)");
+    let mut core_rs = Vec::new();
+    let mut ambient_rs = Vec::new();
+    for meta in &trace.node.sensors {
+        let r = activity_correlation(&timeline, &trace.samples, meta.id);
+        println!("{:<26} {:<12?} {:>8.2}", meta.label, meta.kind, r);
+        // Die sensors respond within ~1 s of a phase change; package/sink
+        // sensors lag by the heat-sink time constant (~40 s), so with 20 s
+        // phases they sit out of phase — physically real thermal lag, and
+        // another reason the paper reports "core CPU sensors" only.
+        if matches!(meta.kind, tempest_sensors::SensorKind::CpuCore) {
+            core_rs.push(r);
+        } else if matches!(meta.kind, tempest_sensors::SensorKind::Ambient) {
+            ambient_rs.push(r);
+        }
+    }
+    let _ = SensorId(0);
+
+    let core_min = core_rs.iter().cloned().fold(f64::MAX, f64::min);
+    let amb_max_abs = ambient_rs.iter().map(|r| r.abs()).fold(0.0f64, f64::max);
+    println!("\nshape checks vs the paper:");
+    println!(
+        "  every core (die) sensor correlates with phases (min r = {core_min:.2})  [{}]",
+        if core_min > 0.3 { "ok" } else { "off" }
+    );
+    println!(
+        "  ambient sensors do not (max |r| = {amb_max_abs:.2})  [{}]",
+        if amb_max_abs < 0.3 { "ok" } else { "off" }
+    );
+    println!("  → report core CPU sensors only, as the paper does");
+}

@@ -1,0 +1,70 @@
+//! E3 — Figure 2(b): the temperature-profile plot for micro-benchmark D.
+//!
+//! Renders temperature (°F) against execution time (s) with the active
+//! function banner across the top, as in the paper's figure: `foo1`
+//! steadily heats the CPU until `foo2` is called, at which point the
+//! temperature drops while the timer runs.
+
+use tempest_bench::banner;
+use tempest_cluster::{ClusterRun, ClusterRunConfig, ClusterSpec, Placement};
+use tempest_core::plot::{ascii_plot, csv_export, function_banner, TimeSeries};
+use tempest_core::timeline::Timeline;
+use tempest_sensors::SensorId;
+use tempest_workloads::micro::{program, Micro};
+
+fn main() {
+    banner("E3", "Figure 2(b): temperature profile of micro-benchmark D");
+    let mut cfg = ClusterRunConfig::paper_default();
+    cfg.spec = ClusterSpec::new(1, 4, Placement::Spread);
+    cfg.thermal.hetero_seed = None;
+
+    let programs = vec![program(Micro::D, 60.0, 1.3)];
+    let run = ClusterRun::execute(&cfg, &programs);
+    let trace = &run.traces[0];
+
+    let timeline = Timeline::build(&trace.events);
+    let names: Vec<String> = trace.functions.iter().map(|f| f.name.clone()).collect();
+    let name_of = move |id: u32| names[id as usize].clone();
+
+    // Die sensor (index 3) and board sensor (index 1) like the figure's
+    // two sensors.
+    let die = TimeSeries::from_samples("CPU0 die", &trace.samples, SensorId(3), 0);
+    let board = TimeSeries::from_samples("M/B temp", &trace.samples, SensorId(1), 0);
+
+    println!("function: {}", function_banner(&timeline, &name_of, 72));
+    print!("{}", ascii_plot(&[die.clone(), board], 72, 18));
+
+    // Shape check: warming while foo1 runs, dropping while foo2's timer
+    // runs (paper: "the temperature drops abruptly while the timer is set
+    // and expires").
+    let foo1_end = 60.0;
+    let at = |t: f64| {
+        die.points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).unwrap()
+            })
+            .unwrap()
+            .1
+    };
+    let start = at(0.5);
+    let peak = at(foo1_end - 1.0);
+    let after_timer = at(foo1_end + 1.2);
+    println!();
+    println!("shape checks vs the paper:");
+    println!(
+        "  warming during foo1: {start:.1} F -> {peak:.1} F  [{}]",
+        if peak > start + 5.0 { "ok" } else { "off" }
+    );
+    println!(
+        "  drop during foo2 timer: {peak:.1} F -> {after_timer:.1} F  [{}]",
+        if after_timer < peak { "ok" } else { "off" }
+    );
+
+    // CSV for external plotting.
+    let csv = csv_export(&[die]);
+    let path = std::path::Path::new("results");
+    std::fs::create_dir_all(path).ok();
+    std::fs::write(path.join("fig2b_profile.csv"), csv).expect("write csv");
+    println!("\n(die-sensor series written to results/fig2b_profile.csv)");
+}

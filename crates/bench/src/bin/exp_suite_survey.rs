@@ -1,0 +1,88 @@
+//! E20 — contribution 2: thermal profiles of several classes of parallel
+//! applications.
+//!
+//! "We use Tempest to provide thermal profiles of several classes of
+//! parallel applications from common benchmarks including NAS PB." The
+//! paper shows FT and BT in detail "due to space limits"; this survey
+//! covers the whole modelled suite and tabulates what distinguishes the
+//! classes: communication share, average/peak die temperature, and the
+//! hottest function — ending with the §5 conclusion that amount *and
+//! type* of computation drive thermals.
+
+use tempest_bench::{banner, run_npb};
+use tempest_core::analysis::hotspots;
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn main() {
+    banner(
+        "E20",
+        "Thermal survey of the NAS PB suite, class C, NP=4 (paper contribution 2)",
+    );
+    // Thermal mass needs a common charging window for a fair cross-code
+    // comparison: average the CPU0 die sensor over seconds 2..6 of each
+    // run (every class C code runs longer than that).
+    const WINDOW: (u64, u64) = (2_000_000_000, 6_000_000_000);
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9}  hottest function",
+        "code", "time(s)", "comm %", "avg(F)", "max(F)"
+    );
+    let mut rows = Vec::new();
+    for bench in NpbBenchmark::ALL {
+        let (run, cluster) = run_npb(bench, Class::C, 4);
+        assert!(
+            run.engine.end_ns > WINDOW.1,
+            "{} shorter than the comparison window",
+            bench.name()
+        );
+        let die_window: Vec<f64> = run.traces[0]
+            .samples
+            .iter()
+            .filter(|s| s.sensor.0 == 3 && (WINDOW.0..WINDOW.1).contains(&s.timestamp_ns))
+            .map(|s| s.temperature.fahrenheit())
+            .collect();
+        let avg = die_window.iter().sum::<f64>() / die_window.len() as f64;
+        let max = cluster
+            .node_summaries()
+            .iter()
+            .map(|s| s.max_f)
+            .fold(f64::MIN, f64::max);
+        let hottest = hotspots(&cluster.nodes[0], 1)
+            .first()
+            .map(|h| format!("{} ({:.1} F)", h.name, h.avg_f))
+            .unwrap_or_else(|| "-".to_string());
+        let comm = run.engine.comm_fraction(0) * 100.0;
+        println!(
+            "{:<6} {:>9.1} {:>8.0}% {:>9.1} {:>9.1}  {}",
+            bench.name(),
+            run.engine.end_ns as f64 / 1e9,
+            comm,
+            avg,
+            max,
+            hottest
+        );
+        rows.push((bench, comm, avg, max));
+    }
+
+    let get = |b: NpbBenchmark| rows.iter().find(|(x, ..)| *x == b).unwrap();
+    let (_, ep_comm, ep_avg, _) = get(NpbBenchmark::Ep);
+    let (_, ft_comm, ft_avg, _) = get(NpbBenchmark::Ft);
+    let (_, _is_comm, is_avg, _) = get(NpbBenchmark::Is);
+
+    println!("\nshape checks vs the paper's conclusions (§5):");
+    println!(
+        "  type of computation matters: EP (pure FP) averages {ep_avg:.1} F vs IS (integer) {is_avg:.1} F  [{}]",
+        if ep_avg > is_avg { "ok" } else { "off" }
+    );
+    println!(
+        "  communication cools: FT at {ft_comm:.0} % comm runs cooler than EP at {ep_comm:.0} %  [{}]",
+        if ft_avg < ep_avg && ft_comm > ep_comm { "ok" } else { "off" }
+    );
+    let spread = rows.iter().map(|r| r.2).fold(f64::MIN, f64::max)
+        - rows.iter().map(|r| r.2).fold(f64::MAX, f64::min);
+    println!(
+        "  the suite spans {spread:.1} F of average temperature under identical hardware — \
+         workload characteristics, not the machine, set the thermals  [{}]",
+        if spread > 2.0 { "ok" } else { "off" }
+    );
+}

@@ -1,0 +1,49 @@
+//! E7 — Table 2: partial Tempest functional profile of FT (NP=4, class C).
+//!
+//! Prints the per-function, per-sensor statistics table for one node of
+//! the FT run — the same artefact as the paper's Table 2 (six sensor rows
+//! per function, functions ordered by inclusive time).
+
+use tempest_bench::{banner, run_npb};
+use tempest_core::report::render_stdout;
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn main() {
+    banner("E7", "Table 2: FT functional thermal profile, NP=4 class C (node 1)");
+    let (_run, cluster) = run_npb(NpbBenchmark::Ft, Class::C, 4);
+    let node0 = &cluster.nodes[0];
+    print!("{}", render_stdout(node0));
+
+    // Shape checks: the long-running FT functions carry full six-sensor
+    // statistics; sensor variance is nonzero on die sensors (the paper's
+    // sensor4/5 rows move, sensor1/3 barely do).
+    println!("shape checks vs the paper:");
+    let main = node0.by_name("MAIN__").expect("MAIN__ present");
+    println!(
+        "  MAIN__ has {} sensor rows (paper: 6)  [{}]",
+        main.thermal.len(),
+        if main.thermal.len() == 6 { "ok" } else { "off" }
+    );
+    let transpose = node0.by_name("transpose_x_yz_").expect("transpose present");
+    println!(
+        "  transpose_x_yz_ (all-to-all) inclusive {:.1}s of {:.1}s total — the comm hot spot",
+        transpose.inclusive_secs(),
+        node0.span_ns as f64 / 1e9
+    );
+    let die_var = main.thermal.values().map(|s| s.var).fold(0.0f64, f64::max);
+    println!(
+        "  max sensor variance {die_var:.2} F² > 0 (die sensors move with phases)  [{}]",
+        if die_var > 0.0 { "ok" } else { "off" }
+    );
+
+    println!("\ncross-node view of the FFT compute functions:");
+    for f in ["cffts1_", "cffts2_", "cffts3_", "evolve_"] {
+        let rows = cluster.function_across_nodes(f);
+        let avgs: Vec<String> = rows
+            .iter()
+            .map(|(n, s)| format!("n{}:{:.1}F", n + 1, s.avg))
+            .collect();
+        println!("  {f:<12} {}", avgs.join("  "));
+    }
+}

@@ -1,0 +1,85 @@
+//! E9 — §4.1: tempd steady-state behaviour.
+//!
+//! The paper's control experiment: "we measured the steady-state system
+//! temperature by running the tempd process without any workloads. We
+//! observed that tempd had no impact on the system temperature, and in
+//! fact used less than 1 % of CPU time."
+//!
+//! Two measurements here: (a) a real tempd thread sampling at 4 Hz on this
+//! host, with its CPU share accounted; (b) the simulated cluster idling
+//! with only tempd running, checking the die sensors hold at ambient +
+//! idle offset.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tempest_bench::banner;
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_probe::tempd::{Tempd, TempdConfig};
+use tempest_probe::{MonotonicClock, VecSink};
+use tempest_sensors::hwmon::HwmonSource;
+use tempest_sensors::source::{ConstantSource, SensorSource};
+use tempest_workloads::micro::{program, Micro};
+
+fn main() {
+    banner("E9", "tempd steady state (paper: <1 % CPU, no thermal impact)");
+
+    // (a) Real tempd on this host, 4 Hz for 3 seconds.
+    let hw = HwmonSource::discover();
+    let source: Box<dyn SensorSource> = if hw.is_available() {
+        println!("using real hwmon sensors ({} found)", hw.sensor_count());
+        Box::new(hw)
+    } else {
+        println!("no hwmon sensors on this host; using a constant source (sampling cost only)");
+        Box::new(ConstantSource::single(40.0))
+    };
+    let sink = VecSink::new();
+    let clock: Arc<dyn tempest_probe::Clock> = Arc::new(MonotonicClock::new());
+    let tempd = Tempd::spawn(source, clock, sink.clone(), TempdConfig::default());
+    std::thread::sleep(Duration::from_secs(3));
+    let stats = tempd.shutdown();
+    println!(
+        "tempd: {} rounds in {:.1} s, busy {:.3} ms, CPU share {:.4} %",
+        stats.rounds,
+        stats.wall_ns as f64 / 1e9,
+        stats.busy_ns as f64 / 1e6,
+        stats.cpu_fraction() * 100.0
+    );
+    println!(
+        "  <1 % CPU (paper)  [{}]",
+        if stats.cpu_fraction() < 0.01 { "ok" } else { "off" }
+    );
+
+    // (b) Simulated idle cluster: die temperature must hold steady.
+    let mut cfg = ClusterRunConfig::paper_default();
+    cfg.thermal.hetero_seed = None;
+    cfg.thermal.noise_sigma_c = 0.0;
+    // A 120 s "workload" that only sleeps — the machine idles while tempd
+    // samples.
+    let idle = vec![program(Micro::A, 0.0, 0.0).with_dvfs_on("main", 1.0); 4];
+    let mut sleepy = Vec::new();
+    for _ in 0..4 {
+        sleepy.push(
+            tempest_cluster::Program::builder()
+                .call("main", |b| b.sleep(120.0))
+                .build(),
+        );
+    }
+    let _ = idle;
+    let run = ClusterRun::execute(&cfg, &sleepy);
+    let die: Vec<f64> = run.traces[0]
+        .samples
+        .iter()
+        .filter(|s| s.sensor.0 == 3)
+        .map(|s| s.temperature.fahrenheit())
+        .collect();
+    let lo = die.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = die.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "idle cluster die sensor over 120 s: {lo:.1}..{hi:.1} F (drift {:.1} F)",
+        hi - lo
+    );
+    println!(
+        "  no thermal impact from sampling (paper)  [{}]",
+        if hi - lo < 3.6 { "ok" } else { "off" }
+    );
+}

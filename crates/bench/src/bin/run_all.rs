@@ -1,0 +1,79 @@
+//! Run every experiment in sequence, writing each one's stdout to
+//! `results/<name>.txt` — regenerates the full evaluation of the paper
+//! (plus the ablations) in one command:
+//!
+//! ```text
+//! cargo run --release -p tempest-bench --bin run_all [--quick]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_micro_validation",
+    "exp_fig2_stdout",
+    "exp_fig2_profile",
+    "exp_overhead",
+    "exp_fig3_ft",
+    "exp_fig4_bt",
+    "exp_table2_ft",
+    "exp_table3_bt",
+    "exp_tempd_steady_state",
+    "exp_sensor_validation",
+    "exp_sensor_discovery",
+    "exp_thermal_opt",
+    "exp_ambient_correlation",
+    "exp_gprof_vs_timeline",
+    "exp_limitations",
+    "exp_feedback",
+    "exp_migration",
+    "exp_sampling_ablation",
+    "exp_portability_g5",
+    "exp_suite_survey",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    std::fs::create_dir_all("results").expect("mkdir results");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let mut cmd = Command::new(bin_dir.join(name));
+        if quick && *name == "exp_overhead" {
+            cmd.arg("--quick");
+        }
+        print!("running {name:<26} … ");
+        let out = match cmd.output() {
+            Ok(o) => o,
+            Err(e) => {
+                println!("SPAWN FAILED: {e}");
+                failures.push(*name);
+                continue;
+            }
+        };
+        let text = String::from_utf8_lossy(&out.stdout).into_owned()
+            + &String::from_utf8_lossy(&out.stderr);
+        std::fs::write(format!("results/{name}.txt"), &text).expect("write result");
+        let offs = text.matches("[off]").count();
+        let oks = text.matches("[ok]").count();
+        if !out.status.success() {
+            println!("EXIT {:?}", out.status.code());
+            failures.push(*name);
+        } else {
+            println!("done  ({oks} ok, {offs} off)");
+        }
+    }
+    println!(
+        "\n{} experiments run; outputs in results/. {}",
+        EXPERIMENTS.len(),
+        if failures.is_empty() {
+            "all exited cleanly.".to_string()
+        } else {
+            format!("FAILED: {failures:?}")
+        }
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,105 @@
+//! # tempest-bench
+//!
+//! The experiment harness: shared plumbing used by the `exp_*` binaries
+//! that regenerate each table and figure of the paper, plus the Criterion
+//! micro-benchmarks. See `DESIGN.md` (per-experiment index) and
+//! `EXPERIMENTS.md` (paper-vs-measured record) at the repository root.
+
+pub mod overhead;
+
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_core::merge::ClusterProfile;
+use tempest_core::{analyze_trace, AnalysisOptions, NodeProfile};
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("{}", "=".repeat(74));
+    println!("{id}: {title}");
+    println!("{}", "=".repeat(74));
+}
+
+/// Run one NPB benchmark on the simulated paper cluster and parse every
+/// node's trace — the shared front half of the cluster experiments.
+pub fn run_npb(bench: NpbBenchmark, class: Class, np: usize) -> (ClusterRun, ClusterProfile) {
+    run_npb_with(bench, class, np, &ClusterRunConfig::paper_default())
+}
+
+/// Like [`run_npb`] with an explicit cluster configuration.
+pub fn run_npb_with(
+    bench: NpbBenchmark,
+    class: Class,
+    np: usize,
+    cfg: &ClusterRunConfig,
+) -> (ClusterRun, ClusterProfile) {
+    let programs = bench.programs(class, np);
+    let run = ClusterRun::execute(cfg, &programs);
+    let profiles: Vec<NodeProfile> = run
+        .traces
+        .iter()
+        .map(|t| analyze_trace(t, AnalysisOptions::default()).expect("simulated trace parses"))
+        .collect();
+    (run, ClusterProfile::new(profiles))
+}
+
+/// The per-node die-sensor time series of a run, in the Figure 3/4 layout
+/// (one labelled series per node; sensor index 3 = CPU0 die on the
+/// Opteron platform).
+pub fn per_node_die_series(run: &ClusterRun) -> Vec<tempest_core::plot::TimeSeries> {
+    run.traces
+        .iter()
+        .map(|t| {
+            tempest_core::plot::TimeSeries::from_samples(
+                format!("node {}", t.node.node_id + 1),
+                &t.samples,
+                tempest_sensors::SensorId(3),
+                0,
+            )
+        })
+        .collect()
+}
+
+/// Median of a sample list (used instead of the mean everywhere in the
+/// overhead harness: §3.4 reports ~5 % run-to-run variance, and medians
+/// resist the occasional scheduler hiccup).
+pub fn median(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn run_npb_produces_parsed_cluster() {
+        let (run, cluster) = run_npb(NpbBenchmark::Ft, Class::S, 4);
+        assert_eq!(run.traces.len(), 4);
+        assert_eq!(cluster.node_count(), 4);
+        for node in &cluster.nodes {
+            assert!(node.by_name("MAIN__").is_some());
+        }
+    }
+
+    #[test]
+    fn die_series_has_one_entry_per_node() {
+        let (run, _) = run_npb(NpbBenchmark::Ep, Class::S, 4);
+        let series = per_node_die_series(&run);
+        assert_eq!(series.len(), 4);
+        assert!(series.iter().all(|s| !s.points.is_empty()));
+        assert_eq!(series[2].label, "node 3");
+    }
+}

@@ -1,0 +1,183 @@
+//! The §3.4 overhead harness.
+//!
+//! The paper's protocol: run each code bare, under gprof, and under
+//! Tempest; compare total execution times; report the median of ≥5 runs
+//! (repeated measurements carried ~5 % variance). Claims to reproduce:
+//! Tempest <7 % overhead, gprof <10 %, Tempest < gprof.
+//!
+//! The "gprof mode" here instruments the same scopes but pays gprof's
+//! extra per-call cost: `mcount`-style caller/callee bookkeeping on every
+//! entry (a hash update), on top of the timestamping both tools share.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tempest_probe::tempd::{Tempd, TempdConfig};
+use tempest_probe::{MonotonicClock, Profiler, VecSink};
+use tempest_sensors::source::ConstantSource;
+use tempest_workloads::native::NativeKernel;
+
+/// One kernel's overhead measurements.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    pub kernel: &'static str,
+    /// Median bare runtime, seconds.
+    pub bare_s: f64,
+    /// Median runtime under Tempest (instrumentation + tempd), seconds.
+    pub tempest_s: f64,
+    /// Median runtime under the gprof-style profiler, seconds.
+    pub gprof_s: f64,
+    /// Instrumented calls per run.
+    pub calls: u64,
+}
+
+impl OverheadRow {
+    /// Tempest overhead, percent.
+    pub fn tempest_pct(&self) -> f64 {
+        (self.tempest_s / self.bare_s - 1.0) * 100.0
+    }
+
+    /// gprof overhead, percent.
+    pub fn gprof_pct(&self) -> f64 {
+        (self.gprof_s / self.bare_s - 1.0) * 100.0
+    }
+
+    /// Tempest probe cost per instrumented call, nanoseconds.
+    pub fn ns_per_call(&self) -> f64 {
+        ((self.tempest_s - self.bare_s) * 1e9 / self.calls as f64).max(0.0)
+    }
+}
+
+/// gprof's extra per-call work: arc counting in a hash table.
+struct GprofArcs {
+    table: std::collections::HashMap<(u32, u32), u64>,
+    last: u32,
+}
+
+/// Measure one kernel `runs` times in each mode; returns medians.
+pub fn measure(kernel: &dyn NativeKernel, runs: usize) -> OverheadRow {
+    let runs = runs.max(3);
+
+    let time_one = |f: &mut dyn FnMut() -> f64| -> f64 {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        t0.elapsed().as_secs_f64()
+    };
+
+    // Interleave modes round-robin so thermal/frequency drift hits all
+    // three equally (the paper's repeated-measurement discipline).
+    let mut bare = Vec::with_capacity(runs);
+    let mut tempest = Vec::with_capacity(runs);
+    let mut gprof = Vec::with_capacity(runs);
+
+    for _ in 0..runs {
+        // Bare.
+        bare.push(time_one(&mut || kernel.run(None)));
+
+        // Tempest: instrumentation + a live 4 Hz tempd.
+        {
+            let sink = VecSink::new();
+            let clock: Arc<dyn tempest_probe::Clock> = Arc::new(MonotonicClock::new());
+            let profiler = Profiler::new(clock.clone(), sink.clone());
+            let tp = profiler.thread_profiler();
+            let tempd = Tempd::spawn(
+                Box::new(ConstantSource::single(40.0)),
+                clock,
+                sink.clone(),
+                TempdConfig::default(),
+            );
+            tempest.push(time_one(&mut || kernel.run(Some(&tp))));
+            drop(tempd);
+            tp.flush();
+        }
+
+        // gprof-style: same scopes plus mcount arc bookkeeping.
+        {
+            let sink = VecSink::new();
+            let profiler = Profiler::new(Arc::new(MonotonicClock::new()), sink.clone());
+            let tp = profiler.thread_profiler();
+            let mut arcs = GprofArcs {
+                table: std::collections::HashMap::new(),
+                last: 0,
+            };
+            gprof.push(time_one(&mut || {
+                // The extra hash update per expected call approximates
+                // mcount; kernels call their scopes internally, so charge
+                // the arc work up front at the same count.
+                for i in 0..kernel.instrumented_calls() {
+                    let callee = (i % 64) as u32;
+                    *arcs.table.entry((arcs.last, callee)).or_insert(0) += 1;
+                    arcs.last = callee;
+                }
+                kernel.run(Some(&tp))
+            }));
+            tp.flush();
+        }
+    }
+
+    OverheadRow {
+        kernel: kernel.name(),
+        bare_s: crate::median(&mut bare),
+        tempest_s: crate::median(&mut tempest),
+        gprof_s: crate::median(&mut gprof),
+        calls: kernel.instrumented_calls(),
+    }
+}
+
+/// Render the §3.4 comparison table.
+pub fn render_table(rows: &[OverheadRow]) -> String {
+    let mut out = String::from(
+        "kernel     bare(s)  tempest(s)  gprof(s)  tempest%  gprof%   ns/call\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>7.3} {:>11.3} {:>9.3} {:>8.2} {:>7.2} {:>9.1}\n",
+            r.kernel,
+            r.bare_s,
+            r.tempest_s,
+            r.gprof_s,
+            r.tempest_pct(),
+            r.gprof_pct(),
+            r.ns_per_call()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_workloads::native::burn::Burn;
+
+    #[test]
+    fn overhead_is_small_for_coarse_instrumentation() {
+        // Coarse-grained scopes (8 per run) must cost little. The strict
+        // paper bound (<7 %) is checked by the release-built
+        // `exp_overhead` binary; this debug-build unit test only guards
+        // against a gross regression (e.g. a lock on the hot path), so it
+        // uses a loose bound that survives CI noise.
+        let k = Burn { steps: 12_000_000, chunks: 8 };
+        // Timing tests flake under CI load; accept the better of two
+        // attempts before declaring a regression.
+        let best = (0..2)
+            .map(|_| measure(&k, 5).tempest_pct())
+            .fold(f64::MAX, f64::min);
+        assert!(
+            best < 25.0,
+            "Tempest overhead {best:.2} % — hot path regression?"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![OverheadRow {
+            kernel: "burn",
+            bare_s: 1.0,
+            tempest_s: 1.03,
+            gprof_s: 1.06,
+            calls: 100,
+        }];
+        let t = render_table(&rows);
+        assert!(t.contains("burn"));
+        assert!(t.contains("3.00"));
+    }
+}

@@ -1,0 +1,542 @@
+//! The discrete-event executor.
+//!
+//! Ranks advance on their own local clocks; communication operations
+//! couple them. The engine emits two things per run: the function
+//! entry/exit event streams Tempest's instrumentation would have produced
+//! on each node, and per-core *load segments* — who was busy doing what,
+//! when — which [`crate::thermal_replay`] integrates through the node
+//! thermal models.
+//!
+//! Collective matching follows MPI semantics: the k-th collective call of
+//! every rank matches the k-th of every other (programs are SPMD). A rank
+//! arriving at a collective blocks in `CommWait` (spinning on the NIC —
+//! which is why communication-heavy codes like FT still draw nontrivial
+//! power, yet run cooler than compute, per the paper's reference \[3\]).
+
+use crate::netmodel::NetworkModel;
+use crate::program::{Op, Program};
+use crate::topology::ClusterSpec;
+use std::collections::HashMap;
+use tempest_probe::event::{Event, ThreadId};
+use tempest_probe::func::{FunctionId, FunctionRegistry};
+use tempest_sensors::power::ActivityMix;
+
+/// One stretch of one core doing one kind of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSegment {
+    /// Node the core belongs to.
+    pub node: usize,
+    /// Core index within the node.
+    pub core: usize,
+    /// Segment start on the simulated clock, ns.
+    pub start_ns: u64,
+    /// Segment end (exclusive), ns.
+    pub end_ns: u64,
+    /// What the core was doing.
+    pub mix: ActivityMix,
+    /// Utilisation of the core over the segment, 0..=1.
+    pub utilization: f64,
+    /// Dynamic-power scale of the segment (DVFS'd compute runs at
+    /// `speed_scale³` ≈ `f·V²` under linear voltage/frequency scaling).
+    pub dvfs_dynamic: f64,
+}
+
+/// Everything a simulated run produced.
+#[derive(Debug)]
+pub struct EngineOutput {
+    /// Function events per rank (`ThreadId` = rank index).
+    pub events_per_rank: Vec<Vec<Event>>,
+    /// The per-node symbol tables (ranks on one node share a registry,
+    /// as processes sharing a binary share a symbol table).
+    pub node_registries: Vec<FunctionRegistry>,
+    /// All load segments, unsorted.
+    pub segments: Vec<LoadSegment>,
+    /// Completion time of each rank, ns.
+    pub rank_end_ns: Vec<u64>,
+    /// Simulated makespan, ns.
+    pub end_ns: u64,
+    /// Time each rank spent blocked in communication, ns.
+    pub comm_blocked_ns: Vec<u64>,
+}
+
+impl EngineOutput {
+    /// Fraction of a rank's runtime spent blocked in communication.
+    pub fn comm_fraction(&self, rank: usize) -> f64 {
+        let total = self.rank_end_ns[rank];
+        if total == 0 {
+            0.0
+        } else {
+            self.comm_blocked_ns[rank] as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RankState {
+    pc: usize,
+    time_ns: u64,
+    /// Open function scopes (for sanity checking).
+    depth: usize,
+    /// Index of the next collective this rank will join.
+    coll_counter: usize,
+    blocked: Blocked,
+    finished: bool,
+}
+
+#[derive(Debug, PartialEq)]
+enum Blocked {
+    No,
+    /// Waiting in collective instance `idx` since `arrived_ns`.
+    Collective { idx: usize, arrived_ns: u64 },
+    /// Waiting for a message from `from` since `arrived_ns`.
+    Recv { from: usize, arrived_ns: u64 },
+}
+
+#[derive(Debug)]
+struct CollectiveInstance {
+    /// The op that defined it (all ranks must agree).
+    op: Op,
+    arrivals: Vec<Option<u64>>,
+}
+
+/// Run `programs` (one per rank) on `spec` with network `net`.
+///
+/// `node_speed` scales each node's compute speed (1.0 = nominal); small
+/// per-node differences desynchronise ranks the way real clusters do.
+///
+/// # Panics
+///
+/// On SPMD violations: mismatched collective sequences, send/recv
+/// deadlock, or oversubscription.
+pub fn run(
+    spec: &ClusterSpec,
+    net: &NetworkModel,
+    programs: &[Program],
+    node_speed: &[f64],
+) -> EngineOutput {
+    let np = programs.len();
+    assert!(np > 0, "need at least one rank");
+    assert_eq!(node_speed.len(), spec.nodes, "one speed factor per node");
+
+    let locations: Vec<_> = (0..np).map(|r| spec.place(r, np)).collect();
+    let node_registries: Vec<FunctionRegistry> =
+        (0..spec.nodes).map(|_| FunctionRegistry::new()).collect();
+
+    let mut ranks: Vec<RankState> = (0..np)
+        .map(|_| RankState {
+            pc: 0,
+            time_ns: 0,
+            depth: 0,
+            coll_counter: 0,
+            blocked: Blocked::No,
+            finished: false,
+        })
+        .collect();
+    let mut call_stacks: Vec<Vec<FunctionId>> = vec![Vec::new(); np];
+    let mut events: Vec<Vec<Event>> = vec![Vec::new(); np];
+    let mut segments: Vec<LoadSegment> = Vec::new();
+    let mut comm_blocked: Vec<u64> = vec![0; np];
+
+    let mut collectives: Vec<CollectiveInstance> = Vec::new();
+    // (from, to) → FIFO of data-arrival times for posted sends.
+    let mut mailbox: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+    // (from, to) → count of receives already matched (for FIFO order).
+    let mut consumed: HashMap<(usize, usize), usize> = HashMap::new();
+
+    loop {
+        // Pick the runnable rank with the smallest local time.
+        let next = ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.finished && r.blocked == Blocked::No)
+            .min_by_key(|(_, r)| r.time_ns)
+            .map(|(i, _)| i);
+        let Some(r) = next else {
+            if ranks.iter().all(|r| r.finished) {
+                break;
+            }
+            panic!(
+                "deadlock: all unfinished ranks blocked ({:?})",
+                ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.finished)
+                    .map(|(i, r)| (i, format!("{:?}", r.blocked)))
+                    .collect::<Vec<_>>()
+            );
+        };
+
+        let loc = locations[r];
+        let speed = node_speed[loc.node];
+        let Some(op) = programs[r].ops.get(ranks[r].pc).cloned() else {
+            assert_eq!(
+                ranks[r].depth, 0,
+                "rank {r} finished with {} open scopes",
+                ranks[r].depth
+            );
+            ranks[r].finished = true;
+            continue;
+        };
+        let now = ranks[r].time_ns;
+
+        match op {
+            Op::CallEnter(name) => {
+                let id = node_registries[loc.node].register(&name);
+                call_stacks[r].push(id);
+                events[r].push(Event::enter(now, ThreadId(r as u32), id));
+                ranks[r].depth += 1;
+                ranks[r].pc += 1;
+            }
+            Op::CallExit => {
+                let id = call_stacks[r]
+                    .pop()
+                    .unwrap_or_else(|| panic!("rank {r}: CallExit without open scope"));
+                events[r].push(Event::exit(now, ThreadId(r as u32), id));
+                ranks[r].depth -= 1;
+                ranks[r].pc += 1;
+            }
+            Op::Compute {
+                duration_ns,
+                mix,
+                speed_scale,
+            } => {
+                let scale = (speed_scale * speed).max(1e-9);
+                let dur = (duration_ns as f64 / scale) as u64;
+                segments.push(LoadSegment {
+                    node: loc.node,
+                    core: loc.core,
+                    start_ns: now,
+                    end_ns: now + dur,
+                    mix,
+                    utilization: 1.0,
+                    dvfs_dynamic: speed_scale.powi(3),
+                });
+                ranks[r].time_ns += dur;
+                ranks[r].pc += 1;
+            }
+            Op::Sleep { duration_ns } => {
+                segments.push(LoadSegment {
+                    node: loc.node,
+                    core: loc.core,
+                    start_ns: now,
+                    end_ns: now + duration_ns,
+                    mix: ActivityMix::Idle,
+                    utilization: 0.0,
+                    dvfs_dynamic: 1.0,
+                });
+                ranks[r].time_ns += duration_ns;
+                ranks[r].pc += 1;
+            }
+            Op::Barrier | Op::AllToAll { .. } | Op::AllReduce { .. } => {
+                let idx = ranks[r].coll_counter;
+                if idx == collectives.len() {
+                    collectives.push(CollectiveInstance {
+                        op: op.clone(),
+                        arrivals: vec![None; np],
+                    });
+                }
+                let inst = &mut collectives[idx];
+                assert_eq!(
+                    inst.op, op,
+                    "rank {r}: collective #{idx} mismatch: cluster is running {:?}, rank called {:?}",
+                    inst.op, op
+                );
+                inst.arrivals[r] = Some(now);
+                ranks[r].coll_counter += 1;
+                ranks[r].blocked = Blocked::Collective { idx, arrived_ns: now };
+
+                if inst.arrivals.iter().all(Option::is_some) {
+                    let max_arrival = inst.arrivals.iter().map(|a| a.unwrap()).max().unwrap();
+                    let cost = match inst.op {
+                        Op::Barrier => net.barrier_ns(np),
+                        Op::AllToAll { bytes_per_pair } => net.alltoall_ns(np, bytes_per_pair),
+                        Op::AllReduce { bytes } => net.allreduce_ns(np, bytes),
+                        _ => unreachable!(),
+                    };
+                    let release = max_arrival + cost;
+                    for (other, state) in ranks.iter_mut().enumerate() {
+                        if let Blocked::Collective { idx: i, arrived_ns } = state.blocked {
+                            if i == idx {
+                                segments.push(LoadSegment {
+                                    node: locations[other].node,
+                                    core: locations[other].core,
+                                    start_ns: arrived_ns,
+                                    end_ns: release,
+                                    mix: ActivityMix::CommWait,
+                                    utilization: 1.0,
+                                    dvfs_dynamic: 1.0,
+                                });
+                                comm_blocked[other] += release - arrived_ns;
+                                state.blocked = Blocked::No;
+                                state.time_ns = release;
+                                state.pc += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Send { to, bytes } => {
+                assert!(to < np, "rank {r}: send to nonexistent rank {to}");
+                let arrival = now + net.p2p_ns(bytes);
+                mailbox.entry((r, to)).or_default().push(arrival);
+                // Buffered send: sender proceeds immediately.
+                ranks[r].pc += 1;
+                // Wake a rank already blocked on this message.
+                if let Blocked::Recv { from, arrived_ns } = ranks[to].blocked {
+                    if from == r {
+                        let k = *consumed.get(&(r, to)).unwrap_or(&0);
+                        if let Some(&data_at) = mailbox[&(r, to)].get(k) {
+                            let done = arrived_ns.max(data_at);
+                            *consumed.entry((r, to)).or_default() += 1;
+                            segments.push(LoadSegment {
+                                node: locations[to].node,
+                                core: locations[to].core,
+                                start_ns: arrived_ns,
+                                end_ns: done,
+                                mix: ActivityMix::CommWait,
+                                utilization: 1.0,
+                                dvfs_dynamic: 1.0,
+                            });
+                            comm_blocked[to] += done - arrived_ns;
+                            ranks[to].blocked = Blocked::No;
+                            ranks[to].time_ns = done;
+                            ranks[to].pc += 1;
+                        }
+                    }
+                }
+            }
+            Op::Recv { from } => {
+                assert!(from < np, "rank {r}: recv from nonexistent rank {from}");
+                let k = *consumed.get(&(from, r)).unwrap_or(&0);
+                match mailbox.get(&(from, r)).and_then(|q| q.get(k).copied()) {
+                    Some(data_at) => {
+                        let done = now.max(data_at);
+                        *consumed.entry((from, r)).or_default() += 1;
+                        if done > now {
+                            segments.push(LoadSegment {
+                                node: loc.node,
+                                core: loc.core,
+                                start_ns: now,
+                                end_ns: done,
+                                mix: ActivityMix::CommWait,
+                                utilization: 1.0,
+                                dvfs_dynamic: 1.0,
+                            });
+                            comm_blocked[r] += done - now;
+                        }
+                        ranks[r].time_ns = done;
+                        ranks[r].pc += 1;
+                    }
+                    None => {
+                        ranks[r].blocked = Blocked::Recv { from, arrived_ns: now };
+                    }
+                }
+            }
+        }
+    }
+
+    let rank_end_ns: Vec<u64> = ranks.iter().map(|r| r.time_ns).collect();
+    let end_ns = rank_end_ns.iter().copied().max().unwrap_or(0);
+    EngineOutput {
+        events_per_rank: events,
+        node_registries,
+        segments,
+        rank_end_ns,
+        end_ns,
+        comm_blocked_ns: comm_blocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::topology::Placement;
+    use tempest_probe::event::EventKind;
+
+    fn spec(nodes: usize) -> ClusterSpec {
+        ClusterSpec::new(nodes, 4, Placement::Spread)
+    }
+
+    fn net() -> NetworkModel {
+        NetworkModel::gigabit_ethernet()
+    }
+
+    #[test]
+    fn single_rank_compute_program() {
+        let p = Program::builder()
+            .call("main", |b| b.compute(1.0, ActivityMix::FpDense))
+            .build();
+        let out = run(&spec(1), &net(), &[p], &[1.0]);
+        assert_eq!(out.end_ns, 1_000_000_000);
+        assert_eq!(out.events_per_rank[0].len(), 2);
+        assert_eq!(out.segments.len(), 1);
+        assert_eq!(out.segments[0].mix, ActivityMix::FpDense);
+        assert_eq!(out.comm_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn events_carry_rank_thread_ids_and_node_registries() {
+        let p = Program::builder()
+            .call("main", |b| b.compute(0.1, ActivityMix::Balanced))
+            .build();
+        let out = run(&spec(2), &net(), &[p.clone(), p], &[1.0, 1.0]);
+        assert_eq!(out.events_per_rank[1][0].thread, ThreadId(1));
+        // Each node registered "main" once in its own registry.
+        assert_eq!(out.node_registries[0].len(), 1);
+        assert_eq!(out.node_registries[1].len(), 1);
+    }
+
+    #[test]
+    fn barrier_synchronises_ranks() {
+        // Rank 0 computes 1 s, rank 1 computes 2 s; after the barrier both
+        // resume at the same instant.
+        let mk = |secs: f64| {
+            Program::builder()
+                .call("main", |b| {
+                    b.compute(secs, ActivityMix::Balanced)
+                        .barrier()
+                        .compute(0.1, ActivityMix::Balanced)
+                })
+                .build()
+        };
+        let out = run(&spec(2), &net(), &[mk(1.0), mk(2.0)], &[1.0, 1.0]);
+        let release = 2_000_000_000 + net().barrier_ns(2);
+        assert_eq!(out.rank_end_ns[0], out.rank_end_ns[1]);
+        assert_eq!(out.rank_end_ns[0], release + 100_000_000);
+        // Rank 0 waited ~1 s.
+        assert!(out.comm_blocked_ns[0] >= 1_000_000_000);
+        assert!(out.comm_blocked_ns[1] < 1_000_000);
+        // The wait appears as a CommWait segment on rank 0's core.
+        assert!(out
+            .segments
+            .iter()
+            .any(|s| s.mix == ActivityMix::CommWait && s.node == 0));
+    }
+
+    #[test]
+    fn alltoall_costs_scale_with_bytes() {
+        let mk = |bytes: u64| {
+            let p = Program::builder()
+                .call("main", |b| b.alltoall(bytes))
+                .build();
+            let out = run(&spec(4), &net(), &[p.clone(), p.clone(), p.clone(), p], &[1.0; 4]);
+            out.end_ns
+        };
+        assert!(mk(1 << 20) > mk(1 << 10) * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "collective #0 mismatch")]
+    fn mismatched_collectives_panic() {
+        let a = Program::builder().call("main", |b| b.barrier()).build();
+        let b = Program::builder().call("main", |b| b.alltoall(8)).build();
+        run(&spec(2), &net(), &[a, b], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn send_recv_pairs_transfer_data() {
+        let sender = Program::builder()
+            .call("main", |b| b.compute(0.5, ActivityMix::Balanced).send(1, 1_000_000))
+            .build();
+        let receiver = Program::builder().call("main", |b| b.recv(0)).build();
+        let out = run(&spec(2), &net(), &[sender, receiver], &[1.0, 1.0]);
+        // Receiver waits for sender's compute + transfer.
+        let expect = 500_000_000 + net().p2p_ns(1_000_000);
+        assert_eq!(out.rank_end_ns[1], expect);
+        assert!(out.comm_blocked_ns[1] >= 500_000_000);
+    }
+
+    #[test]
+    fn recv_after_send_completes_without_blocking_wait() {
+        let sender = Program::builder()
+            .call("main", |b| b.send(1, 1024))
+            .build();
+        let receiver = Program::builder()
+            .call("main", |b| b.compute(1.0, ActivityMix::Balanced).recv(0))
+            .build();
+        let out = run(&spec(2), &net(), &[sender, receiver], &[1.0, 1.0]);
+        // Data arrived long before the recv: no blocked time.
+        assert_eq!(out.comm_blocked_ns[1], 0);
+        assert_eq!(out.rank_end_ns[1], 1_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn recv_without_send_deadlocks() {
+        let a = Program::builder().call("main", |b| b.recv(1)).build();
+        let b = Program::builder().call("main", |b| b.recv(0)).build();
+        run(&spec(2), &net(), &[a, b], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn node_speed_factor_stretches_compute() {
+        let p = Program::builder()
+            .call("main", |b| b.compute(1.0, ActivityMix::Balanced))
+            .build();
+        let out = run(&spec(2), &net(), &[p.clone(), p], &[1.0, 0.5]);
+        assert_eq!(out.rank_end_ns[0], 1_000_000_000);
+        assert_eq!(out.rank_end_ns[1], 2_000_000_000);
+    }
+
+    #[test]
+    fn dvfs_scaled_compute_stretches_and_derates_power() {
+        let p = Program::builder()
+            .call("main", |b| b.compute(1.0, ActivityMix::FpDense))
+            .build()
+            .with_dvfs_on("main", 0.5);
+        let out = run(&spec(1), &net(), &[p], &[1.0]);
+        assert_eq!(out.end_ns, 2_000_000_000);
+        let seg = &out.segments[0];
+        assert!((seg.dvfs_dynamic - 0.125).abs() < 1e-12, "0.5³");
+    }
+
+    #[test]
+    fn nested_calls_produce_well_nested_events() {
+        let p = Program::builder()
+            .call("main", |b| {
+                b.call("phase1", |b| b.compute(0.1, ActivityMix::Balanced))
+                    .call("phase2", |b| b.compute(0.1, ActivityMix::Balanced))
+            })
+            .build();
+        let out = run(&spec(1), &net(), &[p], &[1.0]);
+        let kinds: Vec<bool> = out.events_per_rank[0]
+            .iter()
+            .map(|e| matches!(e.kind, EventKind::Enter { .. }))
+            .collect();
+        assert_eq!(kinds, vec![true, true, false, true, false, false]);
+        // Timestamps are monotone.
+        let ts: Vec<u64> = out.events_per_rank[0].iter().map(|e| e.timestamp_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn comm_fraction_for_alltoall_heavy_program() {
+        // FT-like: half compute, half all-to-all (large payload).
+        let p = |_r: usize| {
+            Program::builder()
+                .call("main", |b| {
+                    b.repeat(5, |b| {
+                        b.compute(0.05, ActivityMix::FpDense).alltoall(4 << 20)
+                    })
+                })
+                .build()
+        };
+        let progs: Vec<Program> = (0..4).map(p).collect();
+        let out = run(&spec(4), &net(), &progs, &[1.0; 4]);
+        let f = out.comm_fraction(0);
+        assert!(f > 0.3, "expected substantial comm fraction, got {f}");
+    }
+
+    #[test]
+    fn collectives_with_many_ranks_complete() {
+        let p = Program::builder()
+            .call("main", |b| {
+                b.repeat(3, |b| b.compute(0.01, ActivityMix::Balanced).barrier())
+            })
+            .build();
+        let progs = vec![p; 16];
+        let out = run(&spec(4), &net(), &progs, &[1.0; 4]);
+        assert!(out.rank_end_ns.iter().all(|&t| t == out.end_ns));
+    }
+}

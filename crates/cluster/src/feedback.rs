@@ -1,0 +1,284 @@
+//! Thermal-feedback co-simulation.
+//!
+//! §4.1: the paper *disables* DVFS and automatic fan regulation "to
+//! circumvent all thermal feedback effects", and §5 proposes studying
+//! runtime thermal management as future work. This module implements the
+//! feedback loop the paper switched off, so the reproduction can run both
+//! configurations: [`feedback_replay`] advances the node thermal model
+//! *while* a thermal governor watches the die sensors and adjusts the
+//! DVFS state and fan speed, which in turn changes power and cooling for
+//! the next interval.
+//!
+//! Timing feedback (throttled compute taking longer) is modelled too:
+//! the replay reports a *time-dilation factor* per node, the ratio by
+//! which compute under the governor would stretch. The experiment
+//! binaries use it to quote the performance cost of the feedback policy.
+
+use crate::engine::LoadSegment;
+use crate::topology::ClusterSpec;
+use std::collections::BTreeSet;
+use tempest_sensors::dvfs::{Dvfs, Governor};
+use tempest_sensors::fan::{Fan, FanPolicy};
+use tempest_sensors::node_model::NodeThermalModel;
+use tempest_sensors::power::ActivityMix;
+use tempest_sensors::{SensorReading, Temperature};
+
+/// Feedback configuration: what the governor watches and does.
+#[derive(Debug, Clone)]
+pub struct FeedbackConfig {
+    /// DVFS governor (the paper's experiments use `Performance`; the
+    /// feedback study uses `ThermalThrottle`).
+    pub governor: Governor,
+    /// Fan policy (paper: fixed 3000 RPM).
+    pub fan: FanPolicy,
+    /// How often the governor samples and acts, seconds (real governors
+    /// run at ~1 Hz).
+    pub control_period_s: f64,
+}
+
+impl FeedbackConfig {
+    /// The paper's §4.1 configuration: everything pinned.
+    pub fn disabled() -> Self {
+        FeedbackConfig {
+            governor: Governor::Performance,
+            fan: FanPolicy::Fixed { rpm: 3000.0 },
+            control_period_s: 1.0,
+        }
+    }
+
+    /// A thermally managed configuration: throttle above `trip_c`,
+    /// thermostat fan.
+    pub fn managed(trip_c: f64) -> Self {
+        FeedbackConfig {
+            governor: Governor::ThermalThrottle {
+                trip_c,
+                hysteresis_c: 3.0,
+            },
+            fan: FanPolicy::Thermostat {
+                low_c: trip_c - 15.0,
+                high_c: trip_c + 5.0,
+                min_rpm: 1200.0,
+                max_rpm: 3000.0,
+            },
+            control_period_s: 1.0,
+        }
+    }
+}
+
+/// Results of a feedback replay for one node.
+#[derive(Debug, Clone)]
+pub struct FeedbackNodeResult {
+    /// Die-sensor samples (socket 0) on the sampling cadence, quantised
+    /// like the normal replay path.
+    pub die_samples: Vec<SensorReading>,
+    /// Peak die temperature over the run.
+    pub peak: Temperature,
+    /// Fraction of control periods spent below the top P-state.
+    pub throttled_fraction: f64,
+    /// Estimated execution-time dilation from throttling: the busy-time
+    /// weighted mean of `1/perf_scale`.
+    pub time_dilation: f64,
+}
+
+/// Replay `segments` through node `node`'s model under a feedback policy.
+///
+/// This is deliberately a per-node analysis (the engine's timing is not
+/// re-run): it answers "what would this node's thermals and slowdown look
+/// like under policy X", the §5 study.
+pub fn feedback_replay(
+    spec: &ClusterSpec,
+    segments: &[LoadSegment],
+    end_ns: u64,
+    node: usize,
+    mut model: NodeThermalModel,
+    cfg: &FeedbackConfig,
+) -> FeedbackNodeResult {
+    let cores = model.core_count();
+    let mut dvfs = Dvfs::new(tempest_sensors::dvfs::opteron_pstates(), cfg.governor);
+    let mut fan = Fan::new(cfg.fan, 3000.0);
+
+    // Pre-warm at idle like the normal replay.
+    let idle = vec![(ActivityMix::Idle, 0.0); cores];
+    model.advance(3600.0, &idle, 1.0, 1.0);
+
+    let node_segments: Vec<&LoadSegment> = segments
+        .iter()
+        .filter(|s| s.node == node)
+        .collect();
+    let mut per_core: Vec<Vec<&LoadSegment>> = vec![Vec::new(); cores];
+    for s in &node_segments {
+        per_core[s.core.min(cores - 1)].push(s);
+    }
+    for list in &mut per_core {
+        list.sort_by_key(|s| s.start_ns);
+    }
+
+    // Control grid: every control period plus segment boundaries.
+    let control_ns = (cfg.control_period_s * 1e9) as u64;
+    let mut grid: BTreeSet<u64> = BTreeSet::new();
+    grid.insert(0);
+    grid.insert(end_ns);
+    let mut t = 0;
+    while t <= end_ns {
+        grid.insert(t);
+        t += control_ns.max(1_000_000);
+    }
+    for s in &node_segments {
+        grid.insert(s.start_ns);
+        grid.insert(s.end_ns.min(end_ns));
+    }
+
+    let mut cursor = vec![0usize; cores];
+    let mut die_samples = Vec::new();
+    let mut peak = model.die_temperature(0);
+    let mut throttled_periods = 0usize;
+    let mut total_periods = 0usize;
+    let mut busy_ns = 0u64;
+    let mut dilated_ns = 0.0f64;
+
+    let grid: Vec<u64> = grid.into_iter().collect();
+    for w in grid.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b > end_ns {
+            break;
+        }
+        let dt_s = (b - a) as f64 / 1e9;
+        if dt_s <= 0.0 {
+            continue;
+        }
+        // Governor acts on the hottest die.
+        let hottest = (0..model.params().sockets)
+            .map(|s| model.die_temperature(s).celsius())
+            .fold(f64::MIN, f64::max);
+        dvfs.update(hottest);
+        fan.update(hottest);
+        total_periods += 1;
+        if dvfs.state_index() + 1 < tempest_sensors::dvfs::opteron_pstates().len() {
+            throttled_periods += 1;
+        }
+
+        let loads: Vec<(ActivityMix, f64)> = (0..cores)
+            .map(|c| {
+                while cursor[c] < per_core[c].len() && per_core[c][cursor[c]].end_ns <= a {
+                    cursor[c] += 1;
+                }
+                match per_core[c].get(cursor[c]) {
+                    Some(s) if s.start_ns <= a && s.end_ns >= b => (s.mix, s.utilization),
+                    _ => (ActivityMix::Idle, 0.0),
+                }
+            })
+            .collect();
+        let any_busy = loads.iter().any(|(m, _)| !matches!(m, ActivityMix::Idle));
+        if any_busy {
+            busy_ns += b - a;
+            dilated_ns += (b - a) as f64 / dvfs.perf_scale();
+        }
+        model.advance(dt_s, &loads, dvfs.dynamic_scale(), dvfs.static_scale());
+
+        let die = model.die_temperature(0);
+        peak = peak.max(die);
+        if a % 250_000_000 == 0 {
+            die_samples.push(SensorReading::new(
+                tempest_sensors::SensorId(0),
+                a,
+                tempest_sensors::Quantization::CPU_GRID.apply(die),
+            ));
+        }
+    }
+    let _ = spec;
+
+    FeedbackNodeResult {
+        die_samples,
+        peak,
+        throttled_fraction: if total_periods == 0 {
+            0.0
+        } else {
+            throttled_periods as f64 / total_periods as f64
+        },
+        time_dilation: if busy_ns == 0 {
+            1.0
+        } else {
+            dilated_ns / busy_ns as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Placement;
+    use tempest_sensors::node_model::NodeThermalParams;
+
+    fn burn_segments(secs: f64) -> Vec<LoadSegment> {
+        (0..4)
+            .map(|core| LoadSegment {
+                node: 0,
+                core,
+                start_ns: 0,
+                end_ns: (secs * 1e9) as u64,
+                mix: ActivityMix::FpDense,
+                utilization: 1.0,
+                dvfs_dynamic: 1.0,
+            })
+            .collect()
+    }
+
+    fn run(cfg: FeedbackConfig) -> FeedbackNodeResult {
+        feedback_replay(
+            &ClusterSpec::new(1, 4, Placement::Spread),
+            &burn_segments(240.0),
+            240_000_000_000,
+            0,
+            NodeThermalModel::new(NodeThermalParams::opteron_node()),
+            &cfg,
+        )
+    }
+
+    #[test]
+    fn disabled_feedback_never_throttles() {
+        let r = run(FeedbackConfig::disabled());
+        assert_eq!(r.throttled_fraction, 0.0);
+        assert_eq!(r.time_dilation, 1.0);
+        // All-core burn at max frequency gets hot.
+        assert!(r.peak.celsius() > 45.0, "peak {}", r.peak.celsius());
+    }
+
+    #[test]
+    fn managed_feedback_caps_temperature_and_costs_time() {
+        let disabled = run(FeedbackConfig::disabled());
+        let managed = run(FeedbackConfig::managed(45.0));
+        assert!(
+            managed.peak < disabled.peak,
+            "governor should cap the peak: {} !< {}",
+            managed.peak.celsius(),
+            disabled.peak.celsius()
+        );
+        assert!(managed.throttled_fraction > 0.0);
+        assert!(managed.time_dilation > 1.0, "throttling must cost time");
+    }
+
+    #[test]
+    fn governor_holds_near_trip_point() {
+        let managed = run(FeedbackConfig::managed(42.0));
+        // Peak overshoots the trip by at most a few degrees (control lag).
+        assert!(
+            managed.peak.celsius() < 42.0 + 5.0,
+            "peak {} too far above trip",
+            managed.peak.celsius()
+        );
+    }
+
+    #[test]
+    fn idle_workload_is_unaffected_by_policy() {
+        let r = feedback_replay(
+            &ClusterSpec::new(1, 4, Placement::Spread),
+            &[],
+            60_000_000_000,
+            0,
+            NodeThermalModel::new(NodeThermalParams::opteron_node()),
+            &FeedbackConfig::managed(45.0),
+        );
+        assert_eq!(r.time_dilation, 1.0);
+        assert!(r.peak.celsius() < 40.0);
+    }
+}

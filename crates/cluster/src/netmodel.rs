@@ -1,0 +1,136 @@
+//! Interconnect cost model.
+//!
+//! A latency/bandwidth (LogP-flavoured) model for the gigabit-class
+//! interconnect of the paper's era. Collective costs use the standard
+//! algorithmic shapes: log-tree barriers and reductions, ring/pairwise
+//! all-to-all. The absolute numbers only need to be era-plausible — what
+//! matters for reproduction is the *proportion* of time FT spends blocked
+//! in all-to-all (≈50 %, §4.3), which these costs and the workload models
+//! together produce.
+
+/// Latency/bandwidth network model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way small-message latency, ns (α).
+    pub latency_ns: u64,
+    /// Point-to-point bandwidth, bytes/second (1/β).
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkModel {
+    /// Gigabit Ethernet of the mid-2000s: ~50 µs MPI latency, ~110 MB/s.
+    pub fn gigabit_ethernet() -> Self {
+        NetworkModel {
+            latency_ns: 50_000,
+            bandwidth_bps: 110e6,
+        }
+    }
+
+    /// Myrinet/InfiniBand-class fabric (System X used InfiniBand):
+    /// ~8 µs latency, ~700 MB/s.
+    pub fn infiniband() -> Self {
+        NetworkModel {
+            latency_ns: 8_000,
+            bandwidth_bps: 700e6,
+        }
+    }
+
+    /// Time to move `bytes` point-to-point, ns.
+    pub fn p2p_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + (bytes as f64 / self.bandwidth_bps * 1e9) as u64
+    }
+
+    /// Barrier among `np` ranks (log-tree), ns.
+    pub fn barrier_ns(&self, np: usize) -> u64 {
+        self.latency_ns * log2_ceil(np) as u64 * 2
+    }
+
+    /// All-to-all where each rank sends `bytes_per_pair` to every other
+    /// rank (pairwise exchange): `(P−1)` rounds, each a latency plus the
+    /// pair payload.
+    pub fn alltoall_ns(&self, np: usize, bytes_per_pair: u64) -> u64 {
+        if np <= 1 {
+            return 0;
+        }
+        let rounds = (np - 1) as u64;
+        rounds * self.p2p_ns(bytes_per_pair)
+    }
+
+    /// All-reduce of `bytes` (recursive doubling): `2·log2(P)` stages.
+    pub fn allreduce_ns(&self, np: usize, bytes: u64) -> u64 {
+        if np <= 1 {
+            return 0;
+        }
+        2 * log2_ceil(np) as u64 * self.p2p_ns(bytes)
+    }
+
+    /// Broadcast of `bytes` (binomial tree).
+    pub fn bcast_ns(&self, np: usize, bytes: u64) -> u64 {
+        if np <= 1 {
+            return 0;
+        }
+        log2_ceil(np) as u64 * self.p2p_ns(bytes)
+    }
+}
+
+fn log2_ceil(n: usize) -> u32 {
+    debug_assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(16), 4);
+    }
+
+    #[test]
+    fn p2p_cost_is_latency_plus_transfer() {
+        let n = NetworkModel::gigabit_ethernet();
+        assert_eq!(n.p2p_ns(0), 50_000);
+        // 110 MB at 110 MB/s = 1 s.
+        let t = n.p2p_ns(110_000_000);
+        assert!((t as f64 - 1e9).abs() < 1e6 + 50_000.0);
+    }
+
+    #[test]
+    fn collective_costs_grow_with_np() {
+        let n = NetworkModel::gigabit_ethernet();
+        assert!(n.barrier_ns(8) > n.barrier_ns(2));
+        assert!(n.alltoall_ns(8, 1024) > n.alltoall_ns(4, 1024));
+        assert!(n.allreduce_ns(8, 8) > n.allreduce_ns(2, 8));
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let n = NetworkModel::gigabit_ethernet();
+        assert_eq!(n.alltoall_ns(1, 1 << 20), 0);
+        assert_eq!(n.allreduce_ns(1, 1 << 20), 0);
+        assert_eq!(n.bcast_ns(1, 1 << 20), 0);
+        assert_eq!(n.barrier_ns(1), 0);
+    }
+
+    #[test]
+    fn infiniband_faster_than_ethernet() {
+        let e = NetworkModel::gigabit_ethernet();
+        let i = NetworkModel::infiniband();
+        assert!(i.p2p_ns(1 << 20) < e.p2p_ns(1 << 20));
+        assert!(i.alltoall_ns(4, 1 << 20) < e.alltoall_ns(4, 1 << 20));
+    }
+
+    #[test]
+    fn alltoall_scales_with_payload() {
+        let n = NetworkModel::gigabit_ethernet();
+        let small = n.alltoall_ns(4, 1 << 10);
+        let large = n.alltoall_ns(4, 1 << 20);
+        assert!(large > small * 10);
+    }
+}

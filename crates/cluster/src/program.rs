@@ -1,0 +1,348 @@
+//! The phase-program DSL.
+//!
+//! A rank's behaviour is a flat list of [`Op`]s: timed compute blocks
+//! carrying an instruction mix (which drives power), named function scopes
+//! (which produce the entry/exit events Tempest instruments), and
+//! communication operations (which block on other ranks through the cost
+//! model). NAS benchmark models in `tempest-workloads` are built from this
+//! DSL; micro-benchmarks and ad-hoc tests build theirs with
+//! [`ProgramBuilder`].
+
+use tempest_sensors::power::ActivityMix;
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Enter a named function scope (records an `Enter` event).
+    CallEnter(String),
+    /// Leave the innermost open scope (records an `Exit` event).
+    CallExit,
+    /// Busy the core for `duration_ns` (at nominal frequency) with the
+    /// given instruction mix. `speed_scale` stretches the duration
+    /// (1.0 = nominal; 0.5 = running at half frequency takes 2×).
+    Compute {
+        /// Busy time at nominal frequency, ns.
+        duration_ns: u64,
+        /// Instruction mix (drives power).
+        mix: ActivityMix,
+        /// Frequency scale the block runs at (DVFS); < 1.0 stretches time
+        /// and shrinks power.
+        speed_scale: f64,
+    },
+    /// Sleep without computing (timer wait — the paper's foo2).
+    Sleep {
+        /// Wait length, ns.
+        duration_ns: u64,
+    },
+    /// Barrier across all ranks.
+    Barrier,
+    /// All-to-all exchange; each pair exchanges `bytes_per_pair`.
+    AllToAll {
+        /// Payload exchanged between each rank pair.
+        bytes_per_pair: u64,
+    },
+    /// All-reduce of `bytes`.
+    AllReduce {
+        /// Reduced payload size.
+        bytes: u64,
+    },
+    /// Send `bytes` to `to` (buffered, non-blocking).
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message size.
+        bytes: u64,
+    },
+    /// Receive from `from` (blocks until the matching send's data lands).
+    Recv {
+        /// Source rank.
+        from: usize,
+    },
+}
+
+/// A rank's full program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The rank's steps, in execution order.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Builder entry point.
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Total nominal compute+sleep time, ns (communication excluded) —
+    /// a lower bound on the rank's runtime.
+    pub fn nominal_busy_ns(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute {
+                    duration_ns,
+                    speed_scale,
+                    ..
+                } => (*duration_ns as f64 / speed_scale.max(1e-9)) as u64,
+                Op::Sleep { duration_ns } => *duration_ns,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Check scope balance: every `CallEnter` has a matching `CallExit`
+    /// and exits never underflow.
+    pub fn scopes_balanced(&self) -> bool {
+        let mut depth = 0i64;
+        for op in &self.ops {
+            match op {
+                Op::CallEnter(_) => depth += 1,
+                Op::CallExit => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        depth == 0
+    }
+
+    /// Rewrite: run every compute block inside function scopes named
+    /// `function` at `speed_scale` — the DVFS-on-a-hot-function
+    /// transformation used by the thermal-optimisation experiment (E12).
+    pub fn with_dvfs_on(&self, function: &str, speed_scale: f64) -> Program {
+        let mut depth_in_target = 0usize;
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::CallEnter(name) => {
+                    if name == function || depth_in_target > 0 {
+                        depth_in_target += 1;
+                    }
+                    op.clone()
+                }
+                Op::CallExit => {
+                    depth_in_target = depth_in_target.saturating_sub(1);
+                    op.clone()
+                }
+                Op::Compute {
+                    duration_ns, mix, ..
+                } if depth_in_target > 0 => Op::Compute {
+                    duration_ns: *duration_ns,
+                    mix: *mix,
+                    speed_scale,
+                },
+                _ => op.clone(),
+            })
+            .collect();
+        Program { ops }
+    }
+}
+
+/// Fluent builder for [`Program`]s.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    depth: usize,
+}
+
+impl ProgramBuilder {
+    /// Open a named function scope; close it with [`Self::ret`] or by
+    /// using [`Self::call`].
+    pub fn enter(mut self, name: &str) -> Self {
+        self.ops.push(Op::CallEnter(name.to_string()));
+        self.depth += 1;
+        self
+    }
+
+    /// Close the innermost scope.
+    pub fn ret(mut self) -> Self {
+        assert!(self.depth > 0, "ret without matching enter");
+        self.ops.push(Op::CallExit);
+        self.depth -= 1;
+        self
+    }
+
+    /// A whole function call: enter `name`, run `body`, exit.
+    pub fn call(mut self, name: &str, body: impl FnOnce(ProgramBuilder) -> ProgramBuilder) -> Self {
+        self = self.enter(name);
+        self = body(self);
+        self.ret()
+    }
+
+    /// Compute for `secs` seconds at the given mix (nominal speed).
+    pub fn compute(mut self, secs: f64, mix: ActivityMix) -> Self {
+        self.ops.push(Op::Compute {
+            duration_ns: crate::time::secs_to_ns(secs),
+            mix,
+            speed_scale: 1.0,
+        });
+        self
+    }
+
+    /// Compute for `ms` milliseconds.
+    pub fn compute_ms(self, ms: f64, mix: ActivityMix) -> Self {
+        self.compute(ms / 1e3, mix)
+    }
+
+    /// Sleep (timer wait) for `secs` seconds.
+    pub fn sleep(mut self, secs: f64) -> Self {
+        self.ops.push(Op::Sleep {
+            duration_ns: crate::time::secs_to_ns(secs),
+        });
+        self
+    }
+
+    /// Barrier.
+    pub fn barrier(mut self) -> Self {
+        self.ops.push(Op::Barrier);
+        self
+    }
+
+    /// All-to-all with `bytes_per_pair` per rank pair.
+    pub fn alltoall(mut self, bytes_per_pair: u64) -> Self {
+        self.ops.push(Op::AllToAll { bytes_per_pair });
+        self
+    }
+
+    /// All-reduce of `bytes`.
+    pub fn allreduce(mut self, bytes: u64) -> Self {
+        self.ops.push(Op::AllReduce { bytes });
+        self
+    }
+
+    /// Send to a rank.
+    pub fn send(mut self, to: usize, bytes: u64) -> Self {
+        self.ops.push(Op::Send { to, bytes });
+        self
+    }
+
+    /// Receive from a rank.
+    pub fn recv(mut self, from: usize) -> Self {
+        self.ops.push(Op::Recv { from });
+        self
+    }
+
+    /// Repeat a block `n` times.
+    pub fn repeat(mut self, n: usize, body: impl Fn(ProgramBuilder) -> ProgramBuilder) -> Self {
+        for _ in 0..n {
+            self = body(self);
+        }
+        self
+    }
+
+    /// Finish; panics if scopes are unbalanced (a builder bug in the
+    /// caller, better caught at build time than as parser warnings).
+    pub fn build(self) -> Program {
+        assert_eq!(self.depth, 0, "unbalanced scopes in program");
+        Program { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_balanced_scopes() {
+        let p = Program::builder()
+            .call("main", |b| {
+                b.call("foo1", |b| b.compute(1.0, ActivityMix::FpDense))
+                    .call("foo2", |b| b.sleep(0.5))
+            })
+            .build();
+        assert!(p.scopes_balanced());
+        assert_eq!(p.ops.len(), 8);
+        assert_eq!(p.nominal_busy_ns(), 1_500_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_build_panics() {
+        let _ = Program::builder().enter("main").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "ret without")]
+    fn underflow_ret_panics() {
+        let _ = Program::builder().ret();
+    }
+
+    #[test]
+    fn scopes_balanced_detects_underflow() {
+        let p = Program {
+            ops: vec![Op::CallExit, Op::CallEnter("x".into())],
+        };
+        assert!(!p.scopes_balanced());
+    }
+
+    #[test]
+    fn repeat_unrolls() {
+        let p = Program::builder()
+            .call("main", |b| {
+                b.repeat(3, |b| b.call("iter", |b| b.compute_ms(10.0, ActivityMix::Balanced)))
+            })
+            .build();
+        let iters = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::CallEnter(n) if n == "iter"))
+            .count();
+        assert_eq!(iters, 3);
+        assert_eq!(p.nominal_busy_ns(), 30_000_000);
+    }
+
+    #[test]
+    fn dvfs_rewrite_targets_only_named_function() {
+        let p = Program::builder()
+            .call("main", |b| {
+                b.call("hot", |b| b.compute(1.0, ActivityMix::FpDense))
+                    .call("cool", |b| b.compute(1.0, ActivityMix::Balanced))
+            })
+            .build();
+        let q = p.with_dvfs_on("hot", 0.5);
+        let scales: Vec<f64> = q
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Compute { speed_scale, .. } => Some(*speed_scale),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(scales, vec![0.5, 1.0]);
+        // Slowing the hot function stretches nominal busy time.
+        assert!(q.nominal_busy_ns() > p.nominal_busy_ns());
+    }
+
+    #[test]
+    fn dvfs_rewrite_covers_nested_scopes() {
+        let p = Program::builder()
+            .call("hot", |b| {
+                b.call("inner", |b| b.compute(1.0, ActivityMix::FpDense))
+            })
+            .build();
+        let q = p.with_dvfs_on("hot", 0.5);
+        let scale = q
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Compute { speed_scale, .. } => Some(*speed_scale),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(scale, 0.5, "compute inside nested scope is covered");
+    }
+
+    #[test]
+    fn comm_ops_record() {
+        let p = Program::builder()
+            .call("main", |b| b.alltoall(1024).barrier().allreduce(8).send(1, 64).recv(1))
+            .build();
+        assert!(p.ops.contains(&Op::AllToAll { bytes_per_pair: 1024 }));
+        assert!(p.ops.contains(&Op::Barrier));
+        assert_eq!(p.nominal_busy_ns(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! One-call orchestration: programs in, per-node Tempest traces out.
+//!
+//! [`ClusterRun::execute`] runs the engine, replays the thermals, and
+//! assembles one [`Trace`] per node — the same artefacts the paper's
+//! tool collected from its real cluster ("the profiling information for
+//! every node in the cluster along with the timestamps is aggregated into
+//! a trace file", §3.2).
+
+use crate::engine::{self, EngineOutput};
+use crate::netmodel::NetworkModel;
+use crate::program::Program;
+use crate::thermal_replay::{replay, NodeReplay, ThermalReplayConfig};
+use crate::topology::ClusterSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempest_probe::trace::{NodeMeta, Trace};
+
+/// Full configuration of a simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRunConfig {
+    /// Machine shape and rank placement.
+    pub spec: ClusterSpec,
+    /// Interconnect model.
+    pub net: NetworkModel,
+    /// Thermal/sensor side.
+    pub thermal: ThermalReplayConfig,
+    /// Half-width of the per-node compute-speed spread (0.01 = ±1 %);
+    /// real clusters are never perfectly homogeneous and this small
+    /// asymmetry is what staggers rank arrivals at collectives.
+    pub node_speed_jitter: f64,
+    /// Seed for speed jitter.
+    pub seed: u64,
+}
+
+impl ClusterRunConfig {
+    /// The paper's testbed: 4 Opteron nodes, gigabit-class interconnect,
+    /// 6-sensor platform, heterogeneous thermals, 4 Hz tempd.
+    pub fn paper_default() -> Self {
+        ClusterRunConfig {
+            spec: ClusterSpec::paper_cluster(),
+            net: NetworkModel::gigabit_ethernet(),
+            thermal: ThermalReplayConfig::default(),
+            node_speed_jitter: 0.01,
+            seed: 0x7E47E5,
+        }
+    }
+}
+
+/// The artefacts of one simulated run.
+#[derive(Debug)]
+pub struct ClusterRun {
+    /// One trace per node, ready for `tempest-core`'s parser.
+    pub traces: Vec<Trace>,
+    /// Raw engine output (timings, comm fractions, segments).
+    pub engine: EngineOutput,
+    /// Raw thermal replays (samples + ground truth per node).
+    pub replays: Vec<NodeReplay>,
+}
+
+impl ClusterRun {
+    /// Execute `programs` (one per rank) under `cfg`.
+    pub fn execute(cfg: &ClusterRunConfig, programs: &[Program]) -> ClusterRun {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let j = cfg.node_speed_jitter.abs();
+        let node_speed: Vec<f64> = (0..cfg.spec.nodes)
+            .map(|_| if j > 0.0 { rng.gen_range(1.0 - j..1.0 + j) } else { 1.0 })
+            .collect();
+
+        let engine_out = engine::run(&cfg.spec, &cfg.net, programs, &node_speed);
+        let replays = replay(&cfg.spec, &engine_out.segments, engine_out.end_ns, &cfg.thermal);
+
+        let np = programs.len();
+        let traces = (0..cfg.spec.nodes)
+            .map(|node| {
+                // Merge the event streams of every rank on this node.
+                let mut events: Vec<tempest_probe::event::Event> = cfg
+                    .spec
+                    .ranks_on_node(node, np)
+                    .into_iter()
+                    .flat_map(|r| engine_out.events_per_rank[r].iter().copied())
+                    .collect();
+                events.sort_by_key(|e| e.timestamp_ns);
+                Trace {
+                    node: NodeMeta {
+                        node_id: node as u32,
+                        hostname: format!("node{}", node + 1),
+                        sensors: replays[node].sensor_meta.clone(),
+                    },
+                    functions: engine_out.node_registries[node].snapshot(),
+                    events,
+                    samples: replays[node].samples.clone(),
+                }
+            })
+            .collect();
+
+        ClusterRun {
+            traces,
+            engine: engine_out,
+            replays,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_sensors::power::ActivityMix;
+
+    fn burn_program(secs: f64) -> Program {
+        Program::builder()
+            .call("main", |b| {
+                b.call("burn_loop", |b| b.compute(secs, ActivityMix::FpDense))
+            })
+            .build()
+    }
+
+    fn quick_cfg() -> ClusterRunConfig {
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn produces_one_trace_per_node() {
+        let cfg = quick_cfg();
+        let programs = vec![burn_program(5.0); 4];
+        let run = ClusterRun::execute(&cfg, &programs);
+        assert_eq!(run.traces.len(), 4);
+        for (i, t) in run.traces.iter().enumerate() {
+            assert_eq!(t.node.node_id, i as u32);
+            assert_eq!(t.node.hostname, format!("node{}", i + 1));
+            assert_eq!(t.events.len(), 4); // main + burn_loop enter/exit
+            assert!(!t.samples.is_empty());
+            assert_eq!(t.node.sensors.len(), 6);
+        }
+    }
+
+    #[test]
+    fn traces_parse_through_the_tempest_pipeline() {
+        // Round-trip: simulated trace → binary file → back → spans agree.
+        let cfg = quick_cfg();
+        let programs = vec![burn_program(2.0); 4];
+        let run = ClusterRun::execute(&cfg, &programs);
+        let t = &run.traces[0];
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = tempest_probe::trace::Trace::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(&back, t);
+    }
+
+    #[test]
+    fn node_speed_jitter_staggers_rank_finish_times() {
+        let cfg = quick_cfg();
+        let programs = vec![burn_program(10.0); 4];
+        let run = ClusterRun::execute(&cfg, &programs);
+        let ends = &run.engine.rank_end_ns;
+        let min = ends.iter().min().unwrap();
+        let max = ends.iter().max().unwrap();
+        assert!(max > min, "jitter should stagger finishes: {ends:?}");
+        // …but by at most ~2 % of runtime.
+        assert!(((max - min) as f64) / (*max as f64) < 0.05);
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic_and_symmetric() {
+        let mut cfg = quick_cfg();
+        cfg.node_speed_jitter = 0.0;
+        cfg.thermal.hetero_seed = None;
+        let programs = vec![burn_program(3.0); 4];
+        let a = ClusterRun::execute(&cfg, &programs);
+        let b = ClusterRun::execute(&cfg, &programs);
+        assert_eq!(a.traces, b.traces, "simulation must be deterministic");
+        let ends = &a.engine.rank_end_ns;
+        assert!(ends.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn multirank_per_node_merges_events() {
+        let mut cfg = quick_cfg();
+        cfg.spec = ClusterSpec::new(2, 4, crate::topology::Placement::Spread);
+        let programs = vec![burn_program(1.0); 4]; // ranks 0,2 → node 0
+        let run = ClusterRun::execute(&cfg, &programs);
+        assert_eq!(run.traces[0].events.len(), 8);
+        // Events are time-sorted after the merge.
+        let ts: Vec<u64> = run.traces[0].events.iter().map(|e| e.timestamp_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

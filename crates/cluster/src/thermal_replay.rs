@@ -1,0 +1,345 @@
+//! Thermal replay: load segments → sensor samples.
+//!
+//! After the engine has decided *when* every core was busy, this pass
+//! decides *how hot* that made each node. It advances every node's
+//! [`NodeThermalModel`] across the piecewise-constant load function the
+//! engine produced and takes `tempd` samples on the virtual clock —
+//! playing, for the simulated cluster, exactly the role the real `tempd`
+//! plays on real hardware.
+
+use crate::engine::LoadSegment;
+use crate::topology::ClusterSpec;
+use std::collections::BTreeSet;
+use tempest_probe::trace::SensorMeta;
+use tempest_sensors::node_model::{NodeThermalModel, NodeThermalParams};
+use tempest_sensors::platform::PlatformSpec;
+use tempest_sensors::power::ActivityMix;
+use tempest_sensors::sim::SimulatedSensorBank;
+use tempest_sensors::source::SensorSource;
+use tempest_sensors::{SensorReading, Temperature};
+
+/// Configuration of the thermal side of a simulated run.
+#[derive(Debug, Clone)]
+pub struct ThermalReplayConfig {
+    /// Baseline node parameters (before per-node spread).
+    pub base_params: NodeThermalParams,
+    /// Sensor inventory each node exposes.
+    pub platform: PlatformSpec,
+    /// Per-node parameter spread seed; `None` makes all nodes identical
+    /// (useful in tests that need determinism across nodes).
+    pub hetero_seed: Option<u64>,
+    /// Gaussian sensor noise σ, °C (0 = noiseless).
+    pub noise_sigma_c: f64,
+    /// Sampling interval of the simulated tempd, ns (paper: 250 ms).
+    pub sample_interval_ns: u64,
+    /// Seed for the per-sensor noise streams.
+    pub noise_seed: u64,
+    /// Bring every node to *idle* thermal steady state before t=0. This is
+    /// what the paper's testbed looked like: machines powered on and idle
+    /// before `mpirun` ("we allowed the system to return to a steady
+    /// state … after every test", §4.1). Cold-from-ambient starts would
+    /// put a spurious warm-up ramp at the head of every figure.
+    pub prewarm_idle: bool,
+}
+
+impl Default for ThermalReplayConfig {
+    fn default() -> Self {
+        ThermalReplayConfig {
+            base_params: NodeThermalParams::opteron_node(),
+            platform: PlatformSpec::opteron_full(),
+            hetero_seed: Some(0x7E_3A57),
+            noise_sigma_c: 0.15,
+            sample_interval_ns: 250_000_000,
+            noise_seed: 0xC0FFEE,
+            prewarm_idle: true,
+        }
+    }
+}
+
+/// One node's thermal record from a replay.
+#[derive(Debug, Clone)]
+pub struct NodeReplay {
+    /// tempd samples on the shared time axis.
+    pub samples: Vec<SensorReading>,
+    /// Unquantised, noise-free ground truth at every sampling instant
+    /// (timestamp, one value per sensor) — the §3.4 external reference.
+    pub ground_truth: Vec<(u64, Vec<Temperature>)>,
+    /// Sensor metadata for the trace header.
+    pub sensor_meta: Vec<SensorMeta>,
+}
+
+/// Integrate `segments` through each node's thermal model from t=0 to
+/// `end_ns`, sampling every `cfg.sample_interval_ns`.
+pub fn replay(
+    spec: &ClusterSpec,
+    segments: &[LoadSegment],
+    end_ns: u64,
+    cfg: &ThermalReplayConfig,
+) -> Vec<NodeReplay> {
+    (0..spec.nodes)
+        .map(|node| {
+            let params = match cfg.hetero_seed {
+                Some(seed) => cfg.base_params.heterogeneous(seed, node),
+                None => cfg.base_params.clone(),
+            };
+            let model = NodeThermalModel::new(params);
+            let mut bank = SimulatedSensorBank::new(
+                cfg.platform.clone(),
+                model,
+                cfg.noise_seed.wrapping_add(node as u64 * 1_000_003),
+                cfg.noise_sigma_c,
+            );
+            let node_segments: Vec<&LoadSegment> =
+                segments.iter().filter(|s| s.node == node).collect();
+            replay_node(node, &node_segments, end_ns, cfg, &mut bank)
+        })
+        .collect()
+}
+
+fn replay_node(
+    _node: usize,
+    segments: &[&LoadSegment],
+    end_ns: u64,
+    cfg: &ThermalReplayConfig,
+    bank: &mut SimulatedSensorBank,
+) -> NodeReplay {
+    let cores = bank.model().core_count();
+
+    if cfg.prewarm_idle {
+        // Charge every thermal mass to its idle steady state (≥10 time
+        // constants of the slowest stage, the board at τ ≈ 6 min).
+        let idle = vec![(ActivityMix::Idle, 0.0); cores];
+        bank.model_mut().advance(3600.0, &idle, 1.0, 1.0);
+    }
+
+    // Per-core segment lists, sorted by start (a core runs sequentially,
+    // so its segments never overlap).
+    let mut per_core: Vec<Vec<&LoadSegment>> = vec![Vec::new(); cores];
+    for s in segments {
+        assert!(s.core < cores, "segment on core {} of a {cores}-core node", s.core);
+        per_core[s.core].push(s);
+    }
+    for list in &mut per_core {
+        list.sort_by_key(|s| s.start_ns);
+        debug_assert!(list.windows(2).all(|w| w[0].end_ns <= w[1].start_ns),
+            "overlapping segments on one core");
+    }
+    let mut cursor = vec![0usize; cores];
+
+    // Time grid: all segment boundaries plus sampling instants.
+    let mut boundaries: BTreeSet<u64> = BTreeSet::new();
+    boundaries.insert(0);
+    boundaries.insert(end_ns);
+    for s in segments {
+        boundaries.insert(s.start_ns);
+        boundaries.insert(s.end_ns.min(end_ns));
+    }
+    let mut t = 0u64;
+    while t <= end_ns {
+        boundaries.insert(t);
+        t += cfg.sample_interval_ns;
+    }
+
+    let mut samples = Vec::new();
+    let mut ground_truth = Vec::new();
+    let grid: Vec<u64> = boundaries.into_iter().collect();
+
+    // Take the t=0 sample before any load is applied.
+    let maybe_sample = |bank: &mut SimulatedSensorBank,
+                            t: u64,
+                            samples: &mut Vec<SensorReading>,
+                            truth: &mut Vec<(u64, Vec<Temperature>)>| {
+        if t.is_multiple_of(cfg.sample_interval_ns) && t <= end_ns {
+            bank.sample_into(t, samples);
+            truth.push((t, bank.last_ground_truth().to_vec()));
+        }
+    };
+    maybe_sample(bank, 0, &mut samples, &mut ground_truth);
+
+    for w in grid.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b > end_ns {
+            break;
+        }
+        let dt_s = (b - a) as f64 / 1e9;
+        if dt_s > 0.0 {
+            // Active load per core over [a, b).
+            let loads: Vec<(ActivityMix, f64)> = (0..cores)
+                .map(|c| {
+                    // Advance the cursor past segments that ended.
+                    while cursor[c] < per_core[c].len() && per_core[c][cursor[c]].end_ns <= a {
+                        cursor[c] += 1;
+                    }
+                    match per_core[c].get(cursor[c]) {
+                        Some(s) if s.start_ns <= a && s.end_ns >= b => {
+                            (s.mix, s.utilization * s.dvfs_dynamic)
+                        }
+                        _ => (ActivityMix::Idle, 0.0),
+                    }
+                })
+                .collect();
+            bank.model_mut().advance(dt_s, &loads, 1.0, 1.0);
+        }
+        maybe_sample(bank, b, &mut samples, &mut ground_truth);
+    }
+
+    let sensor_meta = bank
+        .platform()
+        .sensors
+        .iter()
+        .zip(bank.sensors())
+        .map(|(spec, info)| SensorMeta {
+            id: info.id,
+            label: spec.label.clone(),
+            kind: spec.kind,
+        })
+        .collect();
+
+    NodeReplay {
+        samples,
+        ground_truth,
+        sensor_meta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Placement;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::new(2, 4, Placement::Spread)
+    }
+
+    fn burn_segment(node: usize, secs: f64) -> LoadSegment {
+        LoadSegment {
+            node,
+            core: 0,
+            start_ns: 0,
+            end_ns: crate::time::secs_to_ns(secs),
+            mix: ActivityMix::FpDense,
+            utilization: 1.0,
+            dvfs_dynamic: 1.0,
+        }
+    }
+
+    fn cfg() -> ThermalReplayConfig {
+        ThermalReplayConfig {
+            hetero_seed: None,
+            noise_sigma_c: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sampling_cadence_matches_interval() {
+        let out = replay(&spec(), &[burn_segment(0, 10.0)], 10_000_000_000, &cfg());
+        assert_eq!(out.len(), 2);
+        let sensors = 6; // opteron_full
+        // Samples at t = 0, 0.25, …, 10.0 → 41 rounds.
+        assert_eq!(out[0].samples.len(), 41 * sensors);
+        // Timestamps are multiples of the interval.
+        assert!(out[0]
+            .samples
+            .iter()
+            .all(|s| s.timestamp_ns % 250_000_000 == 0));
+    }
+
+    #[test]
+    fn busy_node_runs_hotter_than_idle_node() {
+        let out = replay(&spec(), &[burn_segment(0, 60.0)], 60_000_000_000, &cfg());
+        let die_avg = |r: &NodeReplay| {
+            let die: Vec<f64> = r
+                .samples
+                .iter()
+                .filter(|s| s.sensor.0 == 3) // CPU0 die in opteron_full
+                .map(|s| s.temperature.celsius())
+                .collect();
+            die.iter().sum::<f64>() / die.len() as f64
+        };
+        assert!(
+            die_avg(&out[0]) > die_avg(&out[1]) + 3.0,
+            "busy {} vs idle {}",
+            die_avg(&out[0]),
+            die_avg(&out[1])
+        );
+    }
+
+    #[test]
+    fn temperature_rises_during_burn_then_falls() {
+        // Burn 30 s then idle 30 s.
+        let out = replay(&spec(), &[burn_segment(0, 30.0)], 60_000_000_000, &cfg());
+        let die: Vec<(u64, f64)> = out[0]
+            .samples
+            .iter()
+            .filter(|s| s.sensor.0 == 3)
+            .map(|s| (s.timestamp_ns, s.temperature.celsius()))
+            .collect();
+        let at = |t: u64| die.iter().find(|&&(ts, _)| ts == t).unwrap().1;
+        assert!(at(30_000_000_000) > at(0) + 5.0, "warmed during burn");
+        // Idle power keeps the node a few degrees above ambient, so the
+        // post-burn drop is modest (the paper's Figure 2(b) shows the same
+        // partial cool-down while foo2's timer runs).
+        assert!(at(60_000_000_000) < at(30_000_000_000) - 1.0, "cooled after");
+    }
+
+    #[test]
+    fn ground_truth_aligns_with_samples() {
+        let out = replay(&spec(), &[burn_segment(0, 5.0)], 5_000_000_000, &cfg());
+        let rounds = out[0].ground_truth.len();
+        assert_eq!(rounds, 21);
+        assert_eq!(out[0].samples.len(), rounds * 6);
+        for (i, (ts, truth)) in out[0].ground_truth.iter().enumerate() {
+            assert_eq!(truth.len(), 6);
+            assert_eq!(out[0].samples[i * 6].timestamp_ns, *ts);
+            // Quantised reading within 0.75 °C of truth (noise off).
+            for (k, t) in truth.iter().enumerate() {
+                let err = (out[0].samples[i * 6 + k].temperature - *t).abs();
+                assert!(err <= 0.75, "sensor {k} err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_nodes_diverge_identical_load() {
+        let cfg = ThermalReplayConfig {
+            hetero_seed: Some(42),
+            noise_sigma_c: 0.0,
+            ..Default::default()
+        };
+        let spec4 = ClusterSpec::new(4, 4, Placement::Spread);
+        let segs: Vec<LoadSegment> = (0..4).map(|n| burn_segment(n, 120.0)).collect();
+        let out = replay(&spec4, &segs, 120_000_000_000, &cfg);
+        let finals: Vec<f64> = out
+            .iter()
+            .map(|r| {
+                r.samples
+                    .iter()
+                    .rfind(|s| s.sensor.0 == 3)
+                    .unwrap()
+                    .temperature
+                    .fahrenheit()
+            })
+            .collect();
+        let spread = finals.iter().cloned().fold(f64::MIN, f64::max)
+            - finals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 2.0, "per-node spread {spread} °F too small: {finals:?}");
+    }
+
+    #[test]
+    fn sensor_meta_matches_platform() {
+        let out = replay(&spec(), &[], 1_000_000_000, &cfg());
+        assert_eq!(out[0].sensor_meta.len(), 6);
+        assert_eq!(out[0].sensor_meta[3].label, "CPU0 die");
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn segment_on_missing_core_panics() {
+        let seg = LoadSegment {
+            core: 99,
+            ..burn_segment(0, 1.0)
+        };
+        replay(&spec(), &[seg], 1_000_000_000, &cfg());
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated-time helpers.
+//!
+//! The simulator shares the probe's nanosecond `u64` time axis so traces
+//! produced in simulation are drop-in inputs to the parser.
+
+/// Convert seconds to the nanosecond axis.
+#[inline]
+pub fn secs_to_ns(s: f64) -> u64 {
+    debug_assert!(s >= 0.0, "negative simulated duration");
+    (s * 1e9).round() as u64
+}
+
+/// Convert milliseconds to nanoseconds.
+#[inline]
+pub fn ms_to_ns(ms: f64) -> u64 {
+    secs_to_ns(ms / 1e3)
+}
+
+/// Convert the nanosecond axis back to seconds.
+#[inline]
+pub fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(secs_to_ns(1.5), 1_500_000_000);
+        assert_eq!(ms_to_ns(250.0), 250_000_000);
+        assert!((ns_to_secs(secs_to_ns(12.345)) - 12.345).abs() < 1e-9);
+        assert_eq!(secs_to_ns(0.0), 0);
+    }
+
+    #[test]
+    fn sub_nanosecond_rounds() {
+        assert_eq!(secs_to_ns(1e-10), 0);
+        assert_eq!(secs_to_ns(6e-10), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cluster shape and rank placement.
+//!
+//! The paper's testbed: "a four node dual-processor, dual-core AMD 1.8GHz
+//! Opteron system" — 4 nodes × 2 sockets × 2 cores. NP=4 runs place one
+//! rank per node (block placement), which is [`ClusterSpec::paper_cluster`].
+
+/// Where one rank lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankLocation {
+    /// Node index, 0-based.
+    pub node: usize,
+    /// Core index within the node, 0-based.
+    pub core: usize,
+}
+
+/// Rank-to-core placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fill nodes one rank at a time, round-robin over nodes first —
+    /// spreads NP=4 across 4 nodes (the paper's configuration).
+    Spread,
+    /// Fill each node's cores completely before moving on.
+    Pack,
+}
+
+/// The machine: how many nodes and cores, and how ranks map onto them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Cores per node (sockets × cores/socket).
+    pub cores_per_node: usize,
+    /// Placement policy.
+    pub placement: Placement,
+}
+
+impl ClusterSpec {
+    /// The paper's 4-node dual-socket dual-core Opteron cluster with
+    /// one-rank-per-node spread placement.
+    pub fn paper_cluster() -> Self {
+        ClusterSpec {
+            nodes: 4,
+            cores_per_node: 4,
+            placement: Placement::Spread,
+        }
+    }
+
+    /// A custom cluster.
+    pub fn new(nodes: usize, cores_per_node: usize, placement: Placement) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0);
+        ClusterSpec {
+            nodes,
+            cores_per_node,
+            placement,
+        }
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Place rank `r` of an `np`-rank job.
+    ///
+    /// Panics if the job does not fit the machine.
+    pub fn place(&self, rank: usize, np: usize) -> RankLocation {
+        assert!(rank < np, "rank {rank} out of 0..{np}");
+        assert!(
+            np <= self.total_cores(),
+            "{np} ranks exceed {} cores",
+            self.total_cores()
+        );
+        match self.placement {
+            Placement::Spread => {
+                // Round-robin over nodes; successive visits to the same
+                // node take successive cores.
+                RankLocation {
+                    node: rank % self.nodes,
+                    core: rank / self.nodes,
+                }
+            }
+            Placement::Pack => RankLocation {
+                node: rank / self.cores_per_node,
+                core: rank % self.cores_per_node,
+            },
+        }
+    }
+
+    /// All ranks placed on `node` in an `np`-rank job.
+    pub fn ranks_on_node(&self, node: usize, np: usize) -> Vec<usize> {
+        (0..np).filter(|&r| self.place(r, np).node == node).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_np4_is_one_rank_per_node() {
+        let c = ClusterSpec::paper_cluster();
+        for r in 0..4 {
+            let loc = c.place(r, 4);
+            assert_eq!(loc.node, r);
+            assert_eq!(loc.core, 0);
+        }
+    }
+
+    #[test]
+    fn spread_wraps_to_second_core() {
+        let c = ClusterSpec::paper_cluster();
+        let loc = c.place(5, 8);
+        assert_eq!(loc.node, 1);
+        assert_eq!(loc.core, 1);
+    }
+
+    #[test]
+    fn pack_fills_nodes_first() {
+        let c = ClusterSpec::new(2, 4, Placement::Pack);
+        assert_eq!(c.place(0, 8), RankLocation { node: 0, core: 0 });
+        assert_eq!(c.place(3, 8), RankLocation { node: 0, core: 3 });
+        assert_eq!(c.place(4, 8), RankLocation { node: 1, core: 0 });
+    }
+
+    #[test]
+    fn ranks_on_node_inverts_place() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.ranks_on_node(2, 8), vec![2, 6]);
+        assert_eq!(c.ranks_on_node(0, 4), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversubscription_rejected() {
+        ClusterSpec::paper_cluster().place(0, 17);
+    }
+
+    #[test]
+    fn totals() {
+        assert_eq!(ClusterSpec::paper_cluster().total_cores(), 16);
+    }
+}

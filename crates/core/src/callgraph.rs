@@ -1,0 +1,263 @@
+//! Call-graph construction from the timeline.
+//!
+//! gprof's second half is its caller/callee graph; Tempest's timeline
+//! subsumes it — nesting *is* the call relation, with exact (not
+//! sampled) times. [`CallGraph::build`] recovers caller→callee edges with
+//! call counts and child time, enabling the gprof-style graph report and
+//! the "which caller makes this function hot" drill-down that buckets
+//! cannot express.
+
+use crate::timeline::Timeline;
+use std::collections::HashMap;
+use tempest_probe::func::FunctionId;
+
+/// One caller→callee edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Calling function.
+    pub caller: FunctionId,
+    /// Called function.
+    pub callee: FunctionId,
+    /// Number of calls along this edge.
+    pub calls: u64,
+    /// Total time spent in the callee (and its children) when invoked
+    /// from this caller, ns.
+    pub child_ns: u64,
+}
+
+/// The whole graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    edges: HashMap<(FunctionId, FunctionId), (u64, u64)>,
+    /// Calls with no enclosing frame (thread roots).
+    pub root_calls: HashMap<FunctionId, u64>,
+}
+
+impl CallGraph {
+    /// Recover the graph from a reconstructed timeline.
+    ///
+    /// Parenthood: interval P is interval C's parent if P is the deepest
+    /// interval on the same thread with `P.start ≤ C.start` and
+    /// `C.end ≤ P.end` and `P.depth == C.depth − 1`. A linear sweep over
+    /// start-sorted intervals with a per-thread open stack finds it.
+    pub fn build(timeline: &Timeline) -> CallGraph {
+        let mut graph = CallGraph::default();
+        // Per-thread stack of (func, end_ns, depth).
+        let mut stacks: HashMap<tempest_probe::event::ThreadId, Vec<(FunctionId, u64, u32)>> =
+            HashMap::new();
+        // Intervals are sorted by (start, depth) — parents precede
+        // children at equal starts.
+        for iv in &timeline.intervals {
+            let stack = stacks.entry(iv.thread).or_default();
+            // Pop frames that ended before this interval started, and any
+            // at the same-or-greater depth (siblings).
+            while let Some(&(_, end, depth)) = stack.last() {
+                if end <= iv.start_ns || depth >= iv.depth {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            match stack.last() {
+                Some(&(parent, _, depth)) if depth + 1 == iv.depth => {
+                    let e = graph.edges.entry((parent, iv.func)).or_default();
+                    e.0 += 1;
+                    e.1 += iv.duration_ns();
+                }
+                _ => {
+                    *graph.root_calls.entry(iv.func).or_default() += 1;
+                }
+            }
+            stack.push((iv.func, iv.end_ns, iv.depth));
+        }
+        graph
+    }
+
+    /// The edge between two functions, if any calls happened.
+    pub fn edge(&self, caller: FunctionId, callee: FunctionId) -> Option<CallEdge> {
+        self.edges.get(&(caller, callee)).map(|&(calls, child_ns)| CallEdge {
+            caller,
+            callee,
+            calls,
+            child_ns,
+        })
+    }
+
+    /// Everyone `caller` calls, sorted by child time descending.
+    pub fn callees(&self, caller: FunctionId) -> Vec<CallEdge> {
+        let mut out: Vec<CallEdge> = self
+            .edges
+            .iter()
+            .filter(|((from, _), _)| *from == caller)
+            .map(|(&(caller, callee), &(calls, child_ns))| CallEdge {
+                caller,
+                callee,
+                calls,
+                child_ns,
+            })
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.child_ns));
+        out
+    }
+
+    /// Everyone who calls `callee`, sorted by child time descending.
+    pub fn callers(&self, callee: FunctionId) -> Vec<CallEdge> {
+        let mut out: Vec<CallEdge> = self
+            .edges
+            .iter()
+            .filter(|((_, to), _)| *to == callee)
+            .map(|(&(caller, callee), &(calls, child_ns))| CallEdge {
+                caller,
+                callee,
+                calls,
+                child_ns,
+            })
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.child_ns));
+        out
+    }
+
+    /// Total number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Render a gprof-style call-graph listing.
+    pub fn render(&self, name_of: &dyn Fn(FunctionId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("caller              -> callee               calls   child(s)\n");
+        let mut rows: Vec<CallEdge> = self
+            .edges
+            .iter()
+            .map(|(&(caller, callee), &(calls, child_ns))| CallEdge {
+                caller,
+                callee,
+                calls,
+                child_ns,
+            })
+            .collect();
+        rows.sort_by_key(|e| std::cmp::Reverse(e.child_ns));
+        for e in rows {
+            let _ = writeln!(
+                out,
+                "{:<19} -> {:<19} {:>6} {:>10.3}",
+                name_of(e.caller),
+                name_of(e.callee),
+                e.calls,
+                e.child_ns as f64 / 1e9
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_probe::event::{Event, ThreadId};
+
+    const T0: ThreadId = ThreadId(0);
+    const MAIN: FunctionId = FunctionId(0);
+    const FOO1: FunctionId = FunctionId(1);
+    const FOO2: FunctionId = FunctionId(2);
+
+    fn micro_d() -> Timeline {
+        Timeline::build(&[
+            Event::enter(0, T0, MAIN),
+            Event::enter(10, T0, FOO1),
+            Event::enter(20, T0, FOO2),
+            Event::exit(30, T0, FOO2),
+            Event::exit(60, T0, FOO1),
+            Event::enter(70, T0, FOO2),
+            Event::exit(90, T0, FOO2),
+            Event::exit(100, T0, MAIN),
+        ])
+    }
+
+    #[test]
+    fn recovers_micro_d_edges() {
+        let g = CallGraph::build(&micro_d());
+        assert_eq!(g.edge_count(), 3);
+        let main_foo1 = g.edge(MAIN, FOO1).unwrap();
+        assert_eq!(main_foo1.calls, 1);
+        assert_eq!(main_foo1.child_ns, 50);
+        let foo1_foo2 = g.edge(FOO1, FOO2).unwrap();
+        assert_eq!(foo1_foo2.calls, 1);
+        assert_eq!(foo1_foo2.child_ns, 10);
+        let main_foo2 = g.edge(MAIN, FOO2).unwrap();
+        assert_eq!(main_foo2.calls, 1);
+        assert_eq!(main_foo2.child_ns, 20);
+        assert_eq!(g.root_calls.get(&MAIN), Some(&1));
+        assert_eq!(g.edge(FOO2, FOO1), None);
+    }
+
+    #[test]
+    fn callers_and_callees_sorted_by_child_time() {
+        let g = CallGraph::build(&micro_d());
+        let callees = g.callees(MAIN);
+        assert_eq!(callees.len(), 2);
+        assert_eq!(callees[0].callee, FOO1); // 50 ns > 20 ns
+        let callers = g.callers(FOO2);
+        assert_eq!(callers.len(), 2);
+        assert_eq!(callers[0].caller, MAIN); // 20 ns > 10 ns
+    }
+
+    #[test]
+    fn recursion_edges_self_loop() {
+        let tl = Timeline::build(&[
+            Event::enter(0, T0, FOO1),
+            Event::enter(10, T0, FOO1),
+            Event::exit(40, T0, FOO1),
+            Event::exit(50, T0, FOO1),
+        ]);
+        let g = CallGraph::build(&tl);
+        let selfloop = g.edge(FOO1, FOO1).unwrap();
+        assert_eq!(selfloop.calls, 1);
+        assert_eq!(selfloop.child_ns, 30);
+        assert_eq!(g.root_calls.get(&FOO1), Some(&1));
+    }
+
+    #[test]
+    fn sibling_calls_attribute_to_same_parent() {
+        let tl = Timeline::build(&[
+            Event::enter(0, T0, MAIN),
+            Event::enter(10, T0, FOO1),
+            Event::exit(20, T0, FOO1),
+            Event::enter(30, T0, FOO1),
+            Event::exit(40, T0, FOO1),
+            Event::exit(50, T0, MAIN),
+        ]);
+        let g = CallGraph::build(&tl);
+        let e = g.edge(MAIN, FOO1).unwrap();
+        assert_eq!(e.calls, 2);
+        assert_eq!(e.child_ns, 20);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        let t1 = ThreadId(1);
+        let tl = Timeline::build(&[
+            Event::enter(0, T0, MAIN),
+            Event::enter(0, t1, FOO1),
+            Event::enter(5, t1, FOO2),
+            Event::exit(9, t1, FOO2),
+            Event::exit(10, t1, FOO1),
+            Event::exit(20, T0, MAIN),
+        ]);
+        let g = CallGraph::build(&tl);
+        // MAIN (thread 0) is not FOO1's parent.
+        assert_eq!(g.edge(MAIN, FOO1), None);
+        assert!(g.edge(FOO1, FOO2).is_some());
+        assert_eq!(g.root_calls.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_edges() {
+        let g = CallGraph::build(&micro_d());
+        let names = |f: FunctionId| ["main", "foo1", "foo2"][f.0 as usize].to_string();
+        let text = g.render(&names);
+        assert!(text.contains("main"));
+        assert!(text.contains("->"));
+        assert_eq!(text.lines().count(), 4); // header + 3 edges
+    }
+}

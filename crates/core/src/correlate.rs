@@ -1,0 +1,275 @@
+//! Temperature↔function correlation.
+//!
+//! The core of the paper: *"The Tempest parser acquires function timestamps
+//! and provides a mapping between timestamps and temperature"* (§3.2). Each
+//! sensor sample is attributed to every function on the call stack at the
+//! sample's instant (inclusive attribution — how the paper's Figure 2(a)
+//! reports full thermal statistics for both `main` and the `foo1` it
+//! spends its time in), and separately to the innermost frame (exclusive
+//! attribution, used by hot-spot ranking).
+//!
+//! The sweep is O((intervals + samples)·log) — a merge along the time axis
+//! with an active-interval set — so full NAS-length traces parse in
+//! milliseconds.
+
+use crate::timeline::{Interval, Timeline};
+use std::collections::HashMap;
+use tempest_probe::func::FunctionId;
+use tempest_sensors::{SensorId, SensorReading};
+
+/// Samples attributed to one function, per sensor, in °F.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionSamples {
+    /// Sensor → Fahrenheit readings taken while the function was active.
+    pub inclusive: HashMap<SensorId, Vec<f64>>,
+    /// Sensor → readings taken while the function was the innermost frame.
+    pub exclusive: HashMap<SensorId, Vec<f64>>,
+}
+
+/// The full correlation result.
+#[derive(Debug, Clone, Default)]
+pub struct Correlation {
+    /// Function → attributed samples.
+    pub per_function: HashMap<FunctionId, FunctionSamples>,
+    /// Samples that fell outside every interval (before `main`, after
+    /// exit, or in gaps).
+    pub unattributed: usize,
+}
+
+/// Attribute `samples` (time-sorted) to the functions of `timeline`.
+pub fn correlate(timeline: &Timeline, samples: &[SensorReading]) -> Correlation {
+    let mut result = Correlation::default();
+    if samples.is_empty() {
+        return result;
+    }
+    let intervals = &timeline.intervals; // sorted by start_ns
+    debug_assert!(samples.windows(2).all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+
+    // Active set of interval indices; entries are lazily removed when
+    // their interval has ended.
+    let mut active: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+
+    for s in samples {
+        let t = s.timestamp_ns;
+        // Admit intervals that have started.
+        while next < intervals.len() && intervals[next].start_ns <= t {
+            active.push(next);
+            next += 1;
+        }
+        // Retire intervals that have ended.
+        active.retain(|&i| intervals[i].end_ns > t);
+
+        let covering: Vec<&Interval> = active
+            .iter()
+            .map(|&i| &intervals[i])
+            .filter(|iv| iv.contains(t))
+            .collect();
+        if covering.is_empty() {
+            result.unattributed += 1;
+            continue;
+        }
+        let f = s.temperature.fahrenheit();
+
+        // Inclusive: each distinct function once, even if on the stack
+        // multiple times (recursion) or on several threads.
+        let mut seen: Vec<FunctionId> = Vec::with_capacity(covering.len());
+        for iv in &covering {
+            if !seen.contains(&iv.func) {
+                seen.push(iv.func);
+                result
+                    .per_function
+                    .entry(iv.func)
+                    .or_default()
+                    .inclusive
+                    .entry(s.sensor)
+                    .or_default()
+                    .push(f);
+            }
+        }
+
+        // Exclusive: the innermost frame of each thread.
+        let mut innermost: HashMap<tempest_probe::event::ThreadId, &Interval> = HashMap::new();
+        for iv in &covering {
+            innermost
+                .entry(iv.thread)
+                .and_modify(|cur| {
+                    if iv.depth > cur.depth {
+                        *cur = iv;
+                    }
+                })
+                .or_insert(iv);
+        }
+        for iv in innermost.values() {
+            result
+                .per_function
+                .entry(iv.func)
+                .or_default()
+                .exclusive
+                .entry(s.sensor)
+                .or_default()
+                .push(f);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Timeline;
+    use tempest_probe::event::{Event, ThreadId};
+    use tempest_sensors::Temperature;
+
+    const T0: ThreadId = ThreadId(0);
+    const MAIN: FunctionId = FunctionId(0);
+    const FOO1: FunctionId = FunctionId(1);
+    const FOO2: FunctionId = FunctionId(2);
+    const S0: SensorId = SensorId(0);
+    const S1: SensorId = SensorId(1);
+
+    fn sample(t: u64, sensor: SensorId, celsius: f64) -> SensorReading {
+        SensorReading::new(sensor, t, Temperature::from_celsius(celsius))
+    }
+
+    fn micro_d_timeline() -> Timeline {
+        // main(0..100) { foo1(10..60) { foo2(20..30) } foo2(70..90) }
+        Timeline::build(&[
+            Event::enter(0, T0, MAIN),
+            Event::enter(10, T0, FOO1),
+            Event::enter(20, T0, FOO2),
+            Event::exit(30, T0, FOO2),
+            Event::exit(60, T0, FOO1),
+            Event::enter(70, T0, FOO2),
+            Event::exit(90, T0, FOO2),
+            Event::exit(100, T0, MAIN),
+        ])
+    }
+
+    #[test]
+    fn sample_attributed_to_whole_stack_inclusively() {
+        let tl = micro_d_timeline();
+        let c = correlate(&tl, &[sample(25, S0, 40.0)]);
+        // t=25: stack is main→foo1→foo2.
+        assert_eq!(c.per_function[&MAIN].inclusive[&S0].len(), 1);
+        assert_eq!(c.per_function[&FOO1].inclusive[&S0].len(), 1);
+        assert_eq!(c.per_function[&FOO2].inclusive[&S0].len(), 1);
+        // Exclusive only to the innermost (foo2).
+        assert!(c.per_function[&FOO2].exclusive.contains_key(&S0));
+        assert!(!c.per_function[&FOO1].exclusive.contains_key(&S0));
+        assert!(!c.per_function[&MAIN].exclusive.contains_key(&S0));
+        assert_eq!(c.unattributed, 0);
+    }
+
+    #[test]
+    fn fahrenheit_conversion_applied() {
+        let tl = micro_d_timeline();
+        let c = correlate(&tl, &[sample(5, S0, 40.0)]); // only main active
+        let v = &c.per_function[&MAIN].inclusive[&S0];
+        assert!((v[0] - 104.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_outside_any_interval_are_unattributed() {
+        let tl = micro_d_timeline();
+        let c = correlate(&tl, &[sample(150, S0, 40.0)]);
+        assert_eq!(c.unattributed, 1);
+        assert!(c.per_function.is_empty());
+    }
+
+    #[test]
+    fn multiple_sensors_kept_separate() {
+        let tl = micro_d_timeline();
+        let c = correlate(
+            &tl,
+            &[sample(5, S0, 40.0), sample(5, S1, 25.0), sample(65, S0, 41.0)],
+        );
+        let main = &c.per_function[&MAIN];
+        assert_eq!(main.inclusive[&S0].len(), 2);
+        assert_eq!(main.inclusive[&S1].len(), 1);
+    }
+
+    #[test]
+    fn function_seen_at_different_temperatures_over_time() {
+        // The paper's motivating case: the same function can execute at
+        // different temperatures as conditions change (§3.1).
+        let tl = micro_d_timeline();
+        let c = correlate(
+            &tl,
+            &[sample(25, S0, 35.0), sample(75, S0, 45.0)], // both inside foo2
+        );
+        let foo2 = &c.per_function[&FOO2].inclusive[&S0];
+        assert_eq!(foo2.len(), 2);
+        assert!((foo2[1] - foo2[0] - 18.0).abs() < 1e-9, "10 °C = 18 °F apart");
+    }
+
+    #[test]
+    fn recursion_attributes_once_per_sample() {
+        let tl = Timeline::build(&[
+            Event::enter(0, T0, FOO1),
+            Event::enter(10, T0, FOO1),
+            Event::exit(90, T0, FOO1),
+            Event::exit(100, T0, FOO1),
+        ]);
+        let c = correlate(&tl, &[sample(50, S0, 40.0)]);
+        assert_eq!(
+            c.per_function[&FOO1].inclusive[&S0].len(),
+            1,
+            "recursive frames must not double-attribute"
+        );
+        // Exclusive also exactly once (innermost frame).
+        assert_eq!(c.per_function[&FOO1].exclusive[&S0].len(), 1);
+    }
+
+    #[test]
+    fn two_threads_both_get_exclusive_attribution() {
+        let t1 = ThreadId(1);
+        let tl = Timeline::build(&[
+            Event::enter(0, T0, MAIN),
+            Event::enter(0, t1, FOO1),
+            Event::exit(100, T0, MAIN),
+            Event::exit(100, t1, FOO1),
+        ]);
+        let c = correlate(&tl, &[sample(50, S0, 40.0)]);
+        // One sample, but each thread's innermost gets an exclusive hit.
+        assert_eq!(c.per_function[&MAIN].exclusive[&S0].len(), 1);
+        assert_eq!(c.per_function[&FOO1].exclusive[&S0].len(), 1);
+    }
+
+    #[test]
+    fn boundary_semantics_match_intervals() {
+        let tl = micro_d_timeline();
+        // t=60 is foo1's exclusive end: not inside foo1, inside main.
+        let c = correlate(&tl, &[sample(60, S0, 40.0)]);
+        assert!(!c.per_function.contains_key(&FOO1));
+        assert!(c.per_function.contains_key(&MAIN));
+    }
+
+    #[test]
+    fn dense_sweep_attributes_proportionally() {
+        let tl = micro_d_timeline();
+        // A sample every time unit from 0..100.
+        let samples: Vec<SensorReading> = (0..100).map(|t| sample(t, S0, 40.0)).collect();
+        let c = correlate(&tl, &samples);
+        assert_eq!(c.per_function[&MAIN].inclusive[&S0].len(), 100);
+        assert_eq!(c.per_function[&FOO1].inclusive[&S0].len(), 50); // 10..60
+        assert_eq!(c.per_function[&FOO2].inclusive[&S0].len(), 30); // 20..30 + 70..90
+        assert_eq!(c.unattributed, 0);
+        // Exclusive partitions the samples across the three functions.
+        let ex: usize = [MAIN, FOO1, FOO2]
+            .iter()
+            .map(|f| c.per_function[f].exclusive[&S0].len())
+            .sum();
+        assert_eq!(ex, 100);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let tl = micro_d_timeline();
+        let c = correlate(&tl, &[]);
+        assert!(c.per_function.is_empty());
+        let empty_tl = Timeline::build(&[]);
+        let c2 = correlate(&empty_tl, &[sample(5, S0, 40.0)]);
+        assert_eq!(c2.unattributed, 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Multi-node aggregation.
+//!
+//! §3.2: *"The profiling information for every node in the cluster along
+//! with the timestamps is aggregated."* A [`ClusterProfile`] collects the
+//! per-node profiles of one parallel run and answers the cross-node
+//! questions the paper asks: which nodes run hot, how much the same
+//! workload diverges between nodes, and how one function behaves across
+//! the cluster.
+
+use crate::profile::NodeProfile;
+use crate::stats::{Summary, SummaryStats};
+use tempest_sensors::SensorKind;
+
+/// The profiles of every node in one parallel run.
+#[derive(Debug, Clone)]
+pub struct ClusterProfile {
+    /// Per-node profiles, sorted by node id.
+    pub nodes: Vec<NodeProfile>,
+}
+
+/// One node's headline thermal numbers (over its CPU sensors).
+#[derive(Debug, Clone)]
+pub struct NodeThermalSummary {
+    /// Cluster rank of the node.
+    pub node_id: u32,
+    /// Node hostname.
+    pub hostname: String,
+    /// Average of CPU-sensor averages over the whole run (weighted by
+    /// `main`'s samples — i.e. the program-duration profile).
+    pub avg_f: f64,
+    /// Hottest single reading seen by a CPU sensor.
+    pub max_f: f64,
+}
+
+impl ClusterProfile {
+    /// Wrap per-node profiles, sorted by node id.
+    pub fn new(mut nodes: Vec<NodeProfile>) -> Self {
+        nodes.sort_by_key(|n| n.node.node_id);
+        ClusterProfile { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-node headline summary over CPU sensors, using the top-level
+    /// (longest-running) function's thermal stats as the program profile.
+    pub fn node_summaries(&self) -> Vec<NodeThermalSummary> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let cpu_sensors: Vec<_> = n
+                    .node
+                    .sensors
+                    .iter()
+                    .filter(|s| s.kind.is_cpu())
+                    .map(|s| s.id)
+                    .collect();
+                let top = n.functions.first();
+                let (mut sum, mut count, mut max) = (0.0, 0usize, f64::MIN);
+                if let Some(top) = top {
+                    for (sensor, s) in &top.thermal {
+                        let is_cpu = cpu_sensors.is_empty() || cpu_sensors.contains(sensor);
+                        if is_cpu {
+                            sum += s.avg;
+                            count += 1;
+                            max = max.max(s.max);
+                        }
+                    }
+                }
+                NodeThermalSummary {
+                    node_id: n.node.node_id,
+                    hostname: n.node.hostname.clone(),
+                    avg_f: if count > 0 { sum / count as f64 } else { f64::NAN },
+                    max_f: if count > 0 { max } else { f64::NAN },
+                }
+            })
+            .collect()
+    }
+
+    /// Spread of average node temperatures — the paper's "thermals vary
+    /// between systems (under the same load), at times significantly".
+    /// Returns `(min_avg, max_avg)` over nodes with data.
+    pub fn node_divergence_f(&self) -> Option<(f64, f64)> {
+        let avgs: Vec<f64> = self
+            .node_summaries()
+            .iter()
+            .map(|s| s.avg_f)
+            .filter(|v| v.is_finite())
+            .collect();
+        if avgs.is_empty() {
+            return None;
+        }
+        Some((
+            avgs.iter().cloned().fold(f64::MAX, f64::min),
+            avgs.iter().cloned().fold(f64::MIN, f64::max),
+        ))
+    }
+
+    /// One function's per-node thermal summary: `(node_id, Summary)` over
+    /// the hottest CPU sensor of each node, for nodes where the function
+    /// ran significantly.
+    pub fn function_across_nodes(&self, name: &str) -> Vec<(u32, Summary)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| {
+                let f = n.by_name(name)?;
+                if !f.significant {
+                    return None;
+                }
+                // Hottest sensor by average.
+                let best = f
+                    .thermal
+                    .iter()
+                    .max_by(|a, b| a.1.avg.partial_cmp(&b.1.avg).unwrap())?;
+                Some((n.node.node_id, *best.1))
+            })
+            .collect()
+    }
+
+    /// Cluster-wide summary for one function: pools each node's
+    /// hottest-sensor average into a distribution.
+    pub fn function_cluster_summary(&self, name: &str) -> Option<Summary> {
+        let per_node = self.function_across_nodes(name);
+        if per_node.is_empty() {
+            return None;
+        }
+        let avgs: Vec<f64> = per_node.iter().map(|(_, s)| s.avg).collect();
+        SummaryStats::from_samples(&avgs).summary()
+    }
+
+    /// Render the cross-node table for one function — one row per node
+    /// with the hottest-sensor statistics (the multi-node view of
+    /// Tables 2–3).
+    pub fn render_function_table(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "Function: {name}\n{:<8} {:>8} {:>8} {:>8} {:>7} {:>8}\n",
+            "node", "Min", "Avg", "Max", "Sdv", "Med"
+        );
+        for (node, s) in self.function_across_nodes(name) {
+            let _ = writeln!(
+                out,
+                "node{:<4} {:>8.2} {:>8.2} {:>8.2} {:>7.2} {:>8.2}",
+                node + 1,
+                s.min,
+                s.avg,
+                s.max,
+                s.sdv,
+                s.med
+            );
+        }
+        out
+    }
+
+    /// Count of nodes whose ambient sensors exist (used by reports to note
+    /// the §4 "ambient sensors don't correlate" observation).
+    pub fn nodes_with_ambient(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                n.node
+                    .sensors
+                    .iter()
+                    .any(|s| matches!(s.kind, SensorKind::Ambient))
+            })
+            .count()
+    }
+}
+
+/// Shift every timestamp in `trace` by `offset_ns` — the cross-node clock
+/// alignment step for *natively* collected cluster traces.
+///
+/// Simulated runs share a virtual clock, but real per-node `rdtsc` clocks
+/// have arbitrary offsets; the paper handles intra-node skew by core
+/// pinning (§3.3) and the aggregation step must map each node's axis onto
+/// a common reference. Offsets come from an NTP-style exchange —
+/// [`tempest_probe::clock::estimate_offset`] is the estimator. Timestamps
+/// saturate at zero rather than wrapping.
+pub fn shift_trace(trace: &mut tempest_probe::trace::Trace, offset_ns: i64) {
+    let shift = |ts: u64| -> u64 {
+        if offset_ns >= 0 {
+            ts.saturating_add(offset_ns as u64)
+        } else {
+            ts.saturating_sub(offset_ns.unsigned_abs())
+        }
+    };
+    for e in &mut trace.events {
+        e.timestamp_ns = shift(e.timestamp_ns);
+    }
+    for s in &mut trace.samples {
+        s.timestamp_ns = shift(s.timestamp_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::correlate;
+    use crate::profile::build_profiles;
+    use crate::timeline::Timeline;
+    use tempest_probe::event::{Event, ThreadId};
+    use tempest_probe::func::{FunctionDef, FunctionId, ScopeKind};
+    use tempest_probe::trace::{NodeMeta, SensorMeta};
+    use tempest_sensors::{SensorId, SensorKind, SensorReading, Temperature};
+
+    /// Build a node profile whose single sensor reads `base_c + ramp`.
+    fn node(node_id: u32, base_c: f64) -> NodeProfile {
+        let sec = 1_000_000_000u64;
+        let events = vec![
+            Event::enter(0, ThreadId(0), FunctionId(0)),
+            Event::enter(sec, ThreadId(0), FunctionId(1)),
+            Event::exit(9 * sec, ThreadId(0), FunctionId(1)),
+            Event::exit(10 * sec, ThreadId(0), FunctionId(0)),
+        ];
+        let defs = vec![
+            FunctionDef {
+                id: FunctionId(0),
+                name: "main".into(),
+                address: 0x400000,
+                kind: ScopeKind::Function,
+            },
+            FunctionDef {
+                id: FunctionId(1),
+                name: "adi_".into(),
+                address: 0x400010,
+                kind: ScopeKind::Function,
+            },
+        ];
+        let tl = Timeline::build(&events);
+        let samples: Vec<SensorReading> = (0..40)
+            .map(|i| {
+                SensorReading::new(
+                    SensorId(0),
+                    i as u64 * 250_000_000,
+                    Temperature::from_celsius(base_c + i as f64 * 0.05),
+                )
+            })
+            .collect();
+        let corr = correlate(&tl, &samples);
+        let meta = NodeMeta {
+            node_id,
+            hostname: format!("node{node_id}"),
+            sensors: vec![SensorMeta {
+                id: SensorId(0),
+                label: "CPU0 die".into(),
+                kind: SensorKind::CpuCore,
+            }],
+        };
+        build_profiles(meta, &defs, &tl, &corr, &samples)
+    }
+
+    #[test]
+    fn nodes_sorted_by_id() {
+        let c = ClusterProfile::new(vec![node(2, 42.0), node(0, 40.0), node(1, 41.0)]);
+        let ids: Vec<u32> = c.nodes.iter().map(|n| n.node.node_id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(c.node_count(), 3);
+    }
+
+    #[test]
+    fn summaries_reflect_per_node_heat() {
+        let c = ClusterProfile::new(vec![node(0, 40.0), node(1, 45.0)]);
+        let s = c.node_summaries();
+        assert_eq!(s.len(), 2);
+        assert!(s[1].avg_f > s[0].avg_f, "node 1 is hotter by construction");
+        assert!(s[1].max_f >= s[1].avg_f);
+    }
+
+    #[test]
+    fn divergence_captures_spread() {
+        let c = ClusterProfile::new(vec![node(0, 40.0), node(1, 45.0), node(2, 42.0)]);
+        let (lo, hi) = c.node_divergence_f().unwrap();
+        // 5 °C spread = 9 °F.
+        assert!(hi - lo > 8.0, "spread {:.2}", hi - lo);
+    }
+
+    #[test]
+    fn function_across_nodes_collects_significant_entries() {
+        let c = ClusterProfile::new(vec![node(0, 40.0), node(1, 45.0)]);
+        let rows = c.function_across_nodes("adi_");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 0);
+        assert!(rows[1].1.avg > rows[0].1.avg);
+        assert!(c.function_across_nodes("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn cluster_summary_pools_node_averages() {
+        let c = ClusterProfile::new(vec![node(0, 40.0), node(1, 45.0)]);
+        let s = c.function_cluster_summary("adi_").unwrap();
+        assert_eq!(s.count, 2);
+        assert!(s.min < s.max);
+        assert!(c.function_cluster_summary("nope").is_none());
+    }
+
+    #[test]
+    fn function_table_renders_per_node_rows() {
+        let c = ClusterProfile::new(vec![node(0, 40.0), node(1, 45.0)]);
+        let table = c.render_function_table("adi_");
+        assert!(table.contains("Function: adi_"));
+        assert!(table.contains("node1"));
+        assert!(table.contains("node2"));
+        assert_eq!(table.lines().count(), 4); // title + header + 2 rows
+    }
+
+    #[test]
+    fn ambient_counting() {
+        let c = ClusterProfile::new(vec![node(0, 40.0)]);
+        assert_eq!(c.nodes_with_ambient(), 0);
+    }
+
+    #[test]
+    fn shift_trace_aligns_clock_axes() {
+        use tempest_probe::trace::Trace;
+        let mut trace = Trace {
+            node: NodeMeta::anonymous(),
+            functions: vec![],
+            events: vec![
+                Event::enter(1_000, ThreadId(0), FunctionId(0)),
+                Event::exit(2_000, ThreadId(0), FunctionId(0)),
+            ],
+            samples: vec![SensorReading::new(
+                SensorId(0),
+                1_500,
+                Temperature::from_celsius(40.0),
+            )],
+        };
+        shift_trace(&mut trace, 500);
+        assert_eq!(trace.events[0].timestamp_ns, 1_500);
+        assert_eq!(trace.samples[0].timestamp_ns, 2_000);
+        shift_trace(&mut trace, -3_000);
+        assert_eq!(trace.events[0].timestamp_ns, 0, "saturates at zero");
+        assert_eq!(trace.events[1].timestamp_ns, 0);
+    }
+
+    #[test]
+    fn empty_cluster() {
+        let c = ClusterProfile::new(vec![]);
+        assert_eq!(c.node_divergence_f(), None);
+        assert!(c.node_summaries().is_empty());
+    }
+}

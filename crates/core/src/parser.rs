@@ -1,0 +1,149 @@
+//! The one-call front door: trace in, profile out.
+//!
+//! Figure 1 of the paper: users "invoke the Tempest parser for post
+//! processing" after a run. [`analyze_trace`] is that invocation — it
+//! chains timeline reconstruction, symbolisation (validating that every
+//! event's function id resolves through the trace's symbol table, as the
+//! original resolved addresses against the executable), correlation, and
+//! profile assembly.
+
+use crate::correlate::correlate;
+use crate::profile::{build_profiles, NodeProfile};
+use crate::timeline::Timeline;
+use tempest_probe::trace::Trace;
+
+/// Knobs for the analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisOptions {
+    /// Override the estimated sampling interval (ns) used by the
+    /// significance rule. `None` = estimate from the trace.
+    pub sample_interval_ns: Option<u64>,
+}
+
+/// Errors from analysis.
+#[derive(Debug)]
+pub enum ParseError {
+    /// An event references a function id missing from the symbol table.
+    UnknownFunction(u32),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownFunction(id) => {
+                write!(f, "event references unknown function id {id} (corrupt symbol table?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Analyse one node's trace into a [`NodeProfile`].
+pub fn analyze_trace(trace: &Trace, options: AnalysisOptions) -> Result<NodeProfile, ParseError> {
+    // Symbolisation check: every referenced id must resolve. The original
+    // tool did the analogous address→symbol lookup via the ELF symbol
+    // table; an unresolvable address meant a corrupt trace.
+    for e in &trace.events {
+        let func = match e.kind {
+            tempest_probe::event::EventKind::Enter { func } => func,
+            tempest_probe::event::EventKind::Exit { func } => func,
+            _ => continue,
+        };
+        if trace.function(func).is_none() {
+            return Err(ParseError::UnknownFunction(func.0));
+        }
+    }
+
+    let timeline = Timeline::build(&trace.events);
+    let correlation = correlate(&timeline, &trace.samples);
+    let mut profile = build_profiles(
+        trace.node.clone(),
+        &trace.functions,
+        &timeline,
+        &correlation,
+        &trace.samples,
+    );
+    if let Some(dt) = options.sample_interval_ns {
+        profile.sample_interval_ns = Some(dt);
+        // Re-apply the significance rule under the forced interval.
+        for f in &mut profile.functions {
+            let long_enough = f.inclusive_ns >= dt;
+            if !long_enough {
+                f.significant = false;
+                f.thermal.clear();
+                f.thermal_exclusive.clear();
+            }
+        }
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_probe::event::{Event, ThreadId};
+    use tempest_probe::func::{FunctionDef, FunctionId, ScopeKind};
+    use tempest_probe::trace::NodeMeta;
+    use tempest_sensors::{SensorId, SensorReading, Temperature};
+
+    fn mini_trace() -> Trace {
+        let sec = 1_000_000_000u64;
+        Trace {
+            node: NodeMeta::anonymous(),
+            functions: vec![FunctionDef {
+                id: FunctionId(0),
+                name: "main".into(),
+                address: 0x400000,
+                kind: ScopeKind::Function,
+            }],
+            events: vec![
+                Event::enter(0, ThreadId(0), FunctionId(0)),
+                Event::exit(10 * sec, ThreadId(0), FunctionId(0)),
+            ],
+            samples: (0..40)
+                .map(|i| {
+                    SensorReading::new(
+                        SensorId(0),
+                        i * 250_000_000,
+                        Temperature::from_celsius(40.0),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn end_to_end_analysis() {
+        let p = analyze_trace(&mini_trace(), AnalysisOptions::default()).unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let main = p.by_name("main").unwrap();
+        assert!(main.significant);
+        assert_eq!(main.thermal[&SensorId(0)].count, 40);
+        assert!((main.thermal[&SensorId(0)].avg - 104.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_function_id_is_an_error() {
+        let mut t = mini_trace();
+        t.events.push(Event::enter(1, ThreadId(0), FunctionId(9)));
+        let err = analyze_trace(&t, AnalysisOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::UnknownFunction(9)));
+        assert!(err.to_string().contains("unknown function id 9"));
+    }
+
+    #[test]
+    fn forced_sample_interval_reapplies_significance() {
+        // Force an interval longer than main's 10 s: nothing significant.
+        let p = analyze_trace(
+            &mini_trace(),
+            AnalysisOptions {
+                sample_interval_ns: Some(11_000_000_000),
+            },
+        )
+        .unwrap();
+        let main = p.by_name("main").unwrap();
+        assert!(!main.significant);
+        assert!(main.thermal.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Thermal phase segmentation — the §5 research direction.
+//!
+//! "We need to isolate performance characteristics at finer granularity
+//! to see if we can identify specific traits in codes that lead to higher
+//! thermals. These kinds of observations could lead to techniques that
+//! encourage thermal aware code (or library) development."
+//!
+//! [`segment_phases`] splits a sensor's time series into warming, cooling
+//! and steady phases; [`attribute_phases`] then names the function that
+//! dominated each phase, yielding a per-function *thermal trait*: does
+//! this code heat the machine, cool it, or hold it? The per-function
+//! warming rates ([`function_traits`]) are the quantitative version.
+
+use crate::timeline::Timeline;
+use std::collections::HashMap;
+use tempest_probe::func::FunctionId;
+use tempest_sensors::{SensorId, SensorReading};
+
+/// Thermal direction of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trend {
+    /// Temperature rising faster than the steady band.
+    Warming,
+    /// Temperature falling faster than the steady band.
+    Cooling,
+    /// Temperature within the steady band.
+    Steady,
+}
+
+/// One contiguous stretch of consistent thermal trend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalPhase {
+    /// Direction of the phase.
+    pub trend: Trend,
+    /// Start/end on the trace clock, ns.
+    pub start_ns: u64,
+    /// End of the phase, ns.
+    pub end_ns: u64,
+    /// Net temperature change over the phase, °F.
+    pub delta_f: f64,
+}
+
+impl ThermalPhase {
+    /// Phase length in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_ns - self.start_ns) as f64 / 1e9
+    }
+
+    /// Mean rate over the phase, °F/s.
+    pub fn rate_f_per_s(&self) -> f64 {
+        let d = self.duration_s();
+        if d > 0.0 {
+            self.delta_f / d
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Segment one sensor's samples into phases.
+///
+/// A centred moving window of `window` samples smooths quantisation
+/// steps; rates above `steady_band_f_per_s` (°F/s) in magnitude classify
+/// as warming/cooling, inside as steady. Adjacent same-trend windows
+/// merge.
+pub fn segment_phases(
+    samples: &[SensorReading],
+    sensor: SensorId,
+    window: usize,
+    steady_band_f_per_s: f64,
+) -> Vec<ThermalPhase> {
+    let pts: Vec<(u64, f64)> = samples
+        .iter()
+        .filter(|s| s.sensor == sensor)
+        .map(|s| (s.timestamp_ns, s.temperature.fahrenheit()))
+        .collect();
+    let w = window.max(2);
+    if pts.len() < w + 1 {
+        return Vec::new();
+    }
+
+    // Smoothed values.
+    let smooth: Vec<(u64, f64)> = pts
+        .windows(w)
+        .map(|win| {
+            let t = win[w / 2].0;
+            let v = win.iter().map(|p| p.1).sum::<f64>() / w as f64;
+            (t, v)
+        })
+        .collect();
+
+    let classify = |a: (u64, f64), b: (u64, f64)| -> Trend {
+        let dt = (b.0 - a.0) as f64 / 1e9;
+        if dt <= 0.0 {
+            return Trend::Steady;
+        }
+        let rate = (b.1 - a.1) / dt;
+        if rate > steady_band_f_per_s {
+            Trend::Warming
+        } else if rate < -steady_band_f_per_s {
+            Trend::Cooling
+        } else {
+            Trend::Steady
+        }
+    };
+
+    let mut phases: Vec<ThermalPhase> = Vec::new();
+    for pair in smooth.windows(2) {
+        let trend = classify(pair[0], pair[1]);
+        let delta = pair[1].1 - pair[0].1;
+        match phases.last_mut() {
+            Some(last) if last.trend == trend => {
+                last.end_ns = pair[1].0;
+                last.delta_f += delta;
+            }
+            _ => phases.push(ThermalPhase {
+                trend,
+                start_ns: pair[0].0,
+                end_ns: pair[1].0,
+                delta_f: delta,
+            }),
+        }
+    }
+    phases
+}
+
+/// For each phase, the function that held the CPU (innermost frame)
+/// longest during it.
+pub fn attribute_phases(
+    phases: &[ThermalPhase],
+    timeline: &Timeline,
+) -> Vec<(ThermalPhase, Option<FunctionId>)> {
+    phases
+        .iter()
+        .map(|phase| {
+            let mut occupancy: HashMap<FunctionId, u64> = HashMap::new();
+            for iv in &timeline.intervals {
+                let lo = iv.start_ns.max(phase.start_ns);
+                let hi = iv.end_ns.min(phase.end_ns);
+                if hi > lo {
+                    // Weight by depth so the innermost frame wins where
+                    // frames overlap; exact innermost-occupancy would need
+                    // a sweep, but depth-weighted overlap picks the same
+                    // winner for well-nested code.
+                    *occupancy.entry(iv.func).or_default() += (hi - lo) * (iv.depth as u64 + 1);
+                }
+            }
+            let dominant = occupancy.into_iter().max_by_key(|&(_, ns)| ns).map(|(f, _)| f);
+            (phase.clone(), dominant)
+        })
+        .collect()
+}
+
+/// A function's thermal trait: time-weighted mean warming rate of the
+/// phases it dominated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionTrait {
+    /// The function the trait describes.
+    pub func: FunctionId,
+    /// Mean °F/s while this function dominated the machine.
+    pub rate_f_per_s: f64,
+    /// Seconds of phase time attributed.
+    pub seconds: f64,
+}
+
+/// Aggregate phase attribution into per-function thermal traits, sorted
+/// hottest-trait first.
+pub fn function_traits(
+    phases: &[ThermalPhase],
+    timeline: &Timeline,
+) -> Vec<FunctionTrait> {
+    let mut acc: HashMap<FunctionId, (f64, f64)> = HashMap::new(); // (Σ delta, Σ secs)
+    for (phase, func) in attribute_phases(phases, timeline) {
+        if let Some(f) = func {
+            let e = acc.entry(f).or_default();
+            e.0 += phase.delta_f;
+            e.1 += phase.duration_s();
+        }
+    }
+    let mut traits: Vec<FunctionTrait> = acc
+        .into_iter()
+        .filter(|(_, (_, secs))| *secs > 0.0)
+        .map(|(func, (delta, secs))| FunctionTrait {
+            func,
+            rate_f_per_s: delta / secs,
+            seconds: secs,
+        })
+        .collect();
+    traits.sort_by(|a, b| b.rate_f_per_s.partial_cmp(&a.rate_f_per_s).unwrap());
+    traits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_probe::event::{Event, ThreadId};
+    use tempest_sensors::Temperature;
+
+    const S0: SensorId = SensorId(0);
+    const T0: ThreadId = ThreadId(0);
+    const MAIN: FunctionId = FunctionId(0);
+    const HOT: FunctionId = FunctionId(1);
+    const COOL: FunctionId = FunctionId(2);
+
+    /// 0–30 s warming 0.5 °C/s, 30–60 s cooling 0.25 °C/s, 4 Hz samples.
+    fn ramp_samples() -> Vec<SensorReading> {
+        (0..240)
+            .map(|i| {
+                let t_s = i as f64 * 0.25;
+                let c = if t_s < 30.0 {
+                    35.0 + 0.5 * t_s
+                } else {
+                    50.0 - 0.25 * (t_s - 30.0)
+                };
+                SensorReading::new(S0, (t_s * 1e9) as u64, Temperature::from_celsius(c))
+            })
+            .collect()
+    }
+
+    fn ramp_timeline() -> Timeline {
+        // HOT runs 0..30 s, COOL runs 30..60 s, inside MAIN.
+        Timeline::build(&[
+            Event::enter(0, T0, MAIN),
+            Event::enter(0, T0, HOT),
+            Event::exit(30_000_000_000, T0, HOT),
+            Event::enter(30_000_000_000, T0, COOL),
+            Event::exit(60_000_000_000, T0, COOL),
+            Event::exit(60_000_000_000, T0, MAIN),
+        ])
+    }
+
+    #[test]
+    fn segments_warming_then_cooling() {
+        let phases = segment_phases(&ramp_samples(), S0, 4, 0.1);
+        assert!(phases.len() >= 2, "got {phases:?}");
+        assert_eq!(phases[0].trend, Trend::Warming);
+        assert!(phases[0].delta_f > 20.0);
+        let last = phases.last().unwrap();
+        assert_eq!(last.trend, Trend::Cooling);
+        assert!(last.delta_f < -5.0);
+    }
+
+    #[test]
+    fn constant_series_is_one_steady_phase() {
+        let samples: Vec<SensorReading> = (0..100)
+            .map(|i| SensorReading::new(S0, i * 250_000_000, Temperature::from_celsius(40.0)))
+            .collect();
+        let phases = segment_phases(&samples, S0, 4, 0.1);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].trend, Trend::Steady);
+        assert_eq!(phases[0].delta_f, 0.0);
+    }
+
+    #[test]
+    fn too_few_samples_yield_nothing() {
+        let samples: Vec<SensorReading> = (0..3)
+            .map(|i| SensorReading::new(S0, i, Temperature::from_celsius(40.0)))
+            .collect();
+        assert!(segment_phases(&samples, S0, 4, 0.1).is_empty());
+    }
+
+    #[test]
+    fn attribution_names_the_dominant_function() {
+        let phases = segment_phases(&ramp_samples(), S0, 4, 0.1);
+        let attributed = attribute_phases(&phases, &ramp_timeline());
+        // The warming phase belongs to HOT, the cooling one to COOL.
+        let warming = attributed.iter().find(|(p, _)| p.trend == Trend::Warming).unwrap();
+        assert_eq!(warming.1, Some(HOT));
+        let cooling = attributed.iter().find(|(p, _)| p.trend == Trend::Cooling).unwrap();
+        assert_eq!(cooling.1, Some(COOL));
+    }
+
+    #[test]
+    fn traits_rank_heater_above_cooler() {
+        let phases = segment_phases(&ramp_samples(), S0, 4, 0.1);
+        let traits = function_traits(&phases, &ramp_timeline());
+        assert!(traits.len() >= 2);
+        assert_eq!(traits[0].func, HOT);
+        assert!(traits[0].rate_f_per_s > 0.5);
+        let cool = traits.iter().find(|t| t.func == COOL).unwrap();
+        assert!(cool.rate_f_per_s < 0.0);
+    }
+
+    #[test]
+    fn phase_rate_math() {
+        let p = ThermalPhase {
+            trend: Trend::Warming,
+            start_ns: 0,
+            end_ns: 10_000_000_000,
+            delta_f: 5.0,
+        };
+        assert!((p.duration_s() - 10.0).abs() < 1e-12);
+        assert!((p.rate_f_per_s() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,265 @@
+//! Temperature-timeline rendering — Figure 2(b) and Figures 3–4.
+//!
+//! The paper plots temperature (°F) against execution time (s), one panel
+//! per node, with the active function annotated across the top. This
+//! module renders the same thing as ASCII (terminal-friendly) and CSV
+//! (for external plotting), from the trace's sample stream.
+
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+use tempest_sensors::{SensorId, SensorReading};
+
+/// One named series of (seconds, °F) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Legend label.
+    pub label: String,
+    /// (seconds, °F) points in time order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Extract one sensor's series from a sample stream, converting the
+    /// time axis to seconds from `epoch_ns`.
+    pub fn from_samples(
+        label: impl Into<String>,
+        samples: &[SensorReading],
+        sensor: SensorId,
+        epoch_ns: u64,
+    ) -> TimeSeries {
+        TimeSeries {
+            label: label.into(),
+            points: samples
+                .iter()
+                .filter(|s| s.sensor == sensor)
+                .map(|s| {
+                    (
+                        (s.timestamp_ns.saturating_sub(epoch_ns)) as f64 / 1e9,
+                        s.temperature.fahrenheit(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Minimum and maximum temperature, if non-empty.
+    pub fn temp_range(&self) -> Option<(f64, f64)> {
+        self.points.iter().fold(None, |acc, &(_, v)| match acc {
+            None => Some((v, v)),
+            Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+        })
+    }
+
+    /// Time extent in seconds, if non-empty.
+    pub fn time_range(&self) -> Option<(f64, f64)> {
+        match (self.points.first(), self.points.last()) {
+            (Some(&(a, _)), Some(&(b, _))) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+/// Render one or more series on a shared axis as ASCII art.
+///
+/// `width`×`height` is the plot body; a °F axis runs down the left and a
+/// seconds axis along the bottom. Each series draws with its own glyph.
+pub fn ascii_plot(series: &[TimeSeries], width: usize, height: usize) -> String {
+    let width = width.clamp(16, 400);
+    let height = height.clamp(4, 100);
+    let glyphs = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+    let mut tmin = f64::MAX;
+    let mut tmax = f64::MIN;
+    let mut xmax = 0.0f64;
+    for s in series {
+        if let Some((lo, hi)) = s.temp_range() {
+            tmin = tmin.min(lo);
+            tmax = tmax.max(hi);
+        }
+        if let Some((_, hi)) = s.time_range() {
+            xmax = xmax.max(hi);
+        }
+    }
+    if tmin > tmax {
+        return "(no data)\n".to_string();
+    }
+    if (tmax - tmin).abs() < 1e-9 {
+        tmax = tmin + 1.0;
+    }
+    if xmax <= 0.0 {
+        xmax = 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(x, y) in &s.points {
+            let col = ((x / xmax) * (width - 1) as f64).round() as usize;
+            let row = (((y - tmin) / (tmax - tmin)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = g;
+        }
+    }
+
+    let mut out = String::new();
+    for (ri, row) in grid.iter().enumerate() {
+        let frac = 1.0 - ri as f64 / (height - 1) as f64;
+        let label = tmin + frac * (tmax - tmin);
+        let _ = writeln!(out, "{label:>7.1} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "        +{}", "-".repeat(width));
+    let _ = writeln!(out, "         0.0s{:>width$.1}s", xmax, width = width - 5);
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "         {} = {}", glyphs[si % glyphs.len()], s.label);
+    }
+    out
+}
+
+/// Render the function-occupancy banner shown across the top of the
+/// paper's Figure 2(b): which function held the CPU, when.
+pub fn function_banner(timeline: &Timeline, names: &dyn Fn(u32) -> String, width: usize) -> String {
+    let width = width.clamp(16, 400);
+    let span = timeline.span_ns().max(1);
+    let origin = timeline.span.0;
+    let mut row = vec!['.'; width];
+    // Deepest-frame occupancy: later (deeper) intervals overwrite.
+    let mut sorted = timeline.intervals.clone();
+    sorted.sort_by_key(|i| i.depth);
+    for iv in &sorted {
+        let a = ((iv.start_ns - origin) as f64 / span as f64 * (width - 1) as f64) as usize;
+        let b = ((iv.end_ns - origin) as f64 / span as f64 * (width - 1) as f64) as usize;
+        let name = names(iv.func.0);
+        let initial = name.chars().next().unwrap_or('?');
+        for c in row.iter_mut().take(b.min(width - 1) + 1).skip(a) {
+            *c = initial;
+        }
+    }
+    row.into_iter().collect()
+}
+
+/// Export series as CSV: `seconds,<label1>,<label2>,…` with rows aligned by
+/// point index (series from one tempd share timestamps).
+pub fn csv_export(series: &[TimeSeries]) -> String {
+    let mut out = String::from("seconds");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for r in 0..rows {
+        let t = series
+            .iter()
+            .find_map(|s| s.points.get(r).map(|p| p.0))
+            .unwrap_or(0.0);
+        let _ = write!(out, "{t:.3}");
+        for s in series {
+            match s.points.get(r) {
+                Some(&(_, v)) => {
+                    let _ = write!(out, ",{v:.2}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_sensors::Temperature;
+
+    fn series(label: &str, pts: &[(f64, f64)]) -> TimeSeries {
+        TimeSeries {
+            label: label.to_string(),
+            points: pts.to_vec(),
+        }
+    }
+
+    #[test]
+    fn from_samples_filters_and_converts() {
+        let samples = vec![
+            SensorReading::new(SensorId(0), 1_000_000_000, Temperature::from_celsius(40.0)),
+            SensorReading::new(SensorId(1), 1_000_000_000, Temperature::from_celsius(25.0)),
+            SensorReading::new(SensorId(0), 2_000_000_000, Temperature::from_celsius(41.0)),
+        ];
+        let ts = TimeSeries::from_samples("cpu", &samples, SensorId(0), 1_000_000_000);
+        assert_eq!(ts.points.len(), 2);
+        assert!((ts.points[0].0 - 0.0).abs() < 1e-9);
+        assert!((ts.points[1].0 - 1.0).abs() < 1e-9);
+        assert!((ts.points[0].1 - 104.0).abs() < 1e-9); // 40 °C
+    }
+
+    #[test]
+    fn ranges() {
+        let ts = series("a", &[(0.0, 100.0), (1.0, 110.0), (2.0, 105.0)]);
+        assert_eq!(ts.temp_range(), Some((100.0, 110.0)));
+        assert_eq!(ts.time_range(), Some((0.0, 2.0)));
+        assert_eq!(series("e", &[]).temp_range(), None);
+    }
+
+    #[test]
+    fn ascii_plot_has_axes_and_legend() {
+        let ts = series("cpu0", &[(0.0, 100.0), (30.0, 120.0), (60.0, 115.0)]);
+        let plot = ascii_plot(&[ts], 60, 10);
+        assert!(plot.contains('|'));
+        assert!(plot.contains('*'));
+        assert!(plot.contains("cpu0"));
+        assert!(plot.contains("0.0s"));
+        assert!(plot.lines().count() >= 12);
+    }
+
+    #[test]
+    fn ascii_plot_empty_series() {
+        assert_eq!(ascii_plot(&[], 40, 8), "(no data)\n");
+        assert_eq!(ascii_plot(&[series("e", &[])], 40, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn ascii_plot_constant_series_does_not_divide_by_zero() {
+        let ts = series("flat", &[(0.0, 104.0), (10.0, 104.0)]);
+        let plot = ascii_plot(&[ts], 40, 8);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = series("hot", &[(0.0, 110.0), (10.0, 112.0)]);
+        let b = series("cool", &[(0.0, 95.0), (10.0, 96.0)]);
+        let plot = ascii_plot(&[a, b], 40, 10);
+        assert!(plot.contains('*') && plot.contains('+'));
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let a = series("n1", &[(0.0, 100.0), (0.25, 101.0)]);
+        let b = series("n2", &[(0.0, 99.0), (0.25, 98.5)]);
+        let csv = csv_export(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "seconds,n1,n2");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.000,100.00,99.00"));
+    }
+
+    #[test]
+    fn banner_shows_function_occupancy() {
+        use tempest_probe::event::{Event, ThreadId};
+        use tempest_probe::func::FunctionId;
+        let tl = Timeline::build(&[
+            Event::enter(0, ThreadId(0), FunctionId(0)),      // main
+            Event::enter(0, ThreadId(0), FunctionId(1)),      // foo1 first half
+            Event::exit(50, ThreadId(0), FunctionId(1)),
+            Event::enter(50, ThreadId(0), FunctionId(2)),     // goo2 second half
+            Event::exit(100, ThreadId(0), FunctionId(2)),
+            Event::exit(100, ThreadId(0), FunctionId(0)),
+        ]);
+        let names = |id: u32| ["main", "foo1", "goo2"][id as usize].to_string();
+        let banner = function_banner(&tl, &names, 40);
+        assert_eq!(banner.len(), 40);
+        assert!(banner.starts_with('f'));
+        assert!(banner.ends_with('g'));
+    }
+}

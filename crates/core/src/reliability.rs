@@ -1,0 +1,106 @@
+//! Reliability impact estimates — the paper's §1 motivation, quantified.
+//!
+//! "The Arrhenius equation states a temperature increase of 10 degrees
+//! Celsius results in reliability decrease of an electronic device by 50
+//! percent. In a compute server cluster this translates to a shorter
+//! average life span for each electronic device and a shorter
+//! mean-time-between-failure (MTBF)."
+//!
+//! [`mtbf_factor`] converts a temperature (or a profile's temperature
+//! distribution) into a relative MTBF against a reference temperature
+//! using that 2×-per-10 °C rule, letting the thermal-optimisation
+//! experiments quote their wins in reliability terms.
+
+use crate::profile::NodeProfile;
+use tempest_sensors::Temperature;
+
+/// Relative failure-rate multiplier at `t` versus `reference`
+/// (>1 = failing faster), per the 2×-per-10 °C Arrhenius rule of thumb.
+pub fn failure_rate_factor(t: Temperature, reference: Temperature) -> f64 {
+    2f64.powf((t - reference) / 10.0)
+}
+
+/// Relative MTBF at `t` versus `reference` (<1 = shorter life).
+pub fn mtbf_factor(t: Temperature, reference: Temperature) -> f64 {
+    1.0 / failure_rate_factor(t, reference)
+}
+
+/// Time-weighted mean failure-rate factor over a sampled temperature
+/// series (°C), versus `reference` — the right way to integrate a
+/// fluctuating profile, since failure rates, not MTBFs, add.
+pub fn mean_failure_rate(series_c: &[f64], reference: Temperature) -> f64 {
+    if series_c.is_empty() {
+        return 1.0;
+    }
+    series_c
+        .iter()
+        .map(|&c| failure_rate_factor(Temperature::from_celsius(c), reference))
+        .sum::<f64>()
+        / series_c.len() as f64
+}
+
+/// Summarise the reliability cost of a node profile: mean failure-rate
+/// factor of its hottest sensor (weighted by the program-spanning
+/// function's samples) against the node's coolest observed temperature.
+pub fn profile_reliability_cost(profile: &NodeProfile) -> Option<f64> {
+    let top = profile.functions.first()?;
+    let hottest = top
+        .thermal
+        .values()
+        .max_by(|a, b| a.avg.partial_cmp(&b.avg).unwrap())?;
+    let reference_f = top
+        .thermal
+        .values()
+        .map(|s| s.min)
+        .fold(f64::MAX, f64::min);
+    let reference = Temperature::from_fahrenheit(reference_f);
+    // Approximate the distribution by its summary: use avg (the series
+    // itself is not retained in the profile).
+    Some(failure_rate_factor(
+        Temperature::from_fahrenheit(hottest.avg),
+        reference,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64) -> Temperature {
+        Temperature::from_celsius(x)
+    }
+
+    #[test]
+    fn ten_degrees_doubles_failure_rate() {
+        assert!((failure_rate_factor(c(50.0), c(40.0)) - 2.0).abs() < 1e-12);
+        assert!((mtbf_factor(c(50.0), c(40.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_temperature_is_neutral() {
+        assert_eq!(failure_rate_factor(c(40.0), c(40.0)), 1.0);
+        assert_eq!(mtbf_factor(c(40.0), c(40.0)), 1.0);
+    }
+
+    #[test]
+    fn cooler_than_reference_extends_life() {
+        assert!(mtbf_factor(c(35.0), c(40.0)) > 1.0);
+    }
+
+    #[test]
+    fn five_degrees_is_sqrt_two() {
+        assert!((failure_rate_factor(c(45.0), c(40.0)) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rate_integrates_fluctuation() {
+        // Half the time at reference, half at +10 °C: mean rate 1.5,
+        // which is *worse* than the rate at the mean (+5 °C → 1.41) —
+        // convexity matters, which is why we integrate rates.
+        let series = [40.0, 50.0, 40.0, 50.0];
+        let m = mean_failure_rate(&series, c(40.0));
+        assert!((m - 1.5).abs() < 1e-12);
+        assert!(m > failure_rate_factor(c(45.0), c(40.0)));
+        assert_eq!(mean_failure_rate(&[], c(40.0)), 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The standard-output report — Figure 2(a) of the paper.
+//!
+//! Output is divided horizontally into functions listed by total
+//! (inclusive) execution time; each significant function gets one row per
+//! sensor with the seven statistics. Insignificant functions (shorter than
+//! the sampling interval) print their time and a note, exactly as the
+//! paper's foo2 does.
+
+use crate::profile::{FunctionProfile, NodeProfile};
+use std::fmt::Write as _;
+
+/// Render the Figure-2(a)-style report for one node.
+pub fn render_stdout(profile: &NodeProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Tempest profile: node {} ({})  span {:.3}s  sampling {}",
+        profile.node.node_id,
+        profile.node.hostname,
+        profile.span_ns as f64 / 1e9,
+        profile
+            .sample_interval_ns
+            .map(|ns| format!("{:.2}Hz", 1e9 / ns as f64))
+            .unwrap_or_else(|| "none".to_string()),
+    );
+    let _ = writeln!(out, "{}", "=".repeat(78));
+    for f in &profile.functions {
+        render_function(&mut out, profile, f);
+    }
+    if profile.unattributed_samples > 0 {
+        let _ = writeln!(
+            out,
+            "({} samples outside any function interval)",
+            profile.unattributed_samples
+        );
+    }
+    if !profile.warnings.is_empty() {
+        let _ = writeln!(out, "({} trace repairs during parsing)", profile.warnings.len());
+    }
+    out
+}
+
+fn render_function(out: &mut String, _profile: &NodeProfile, f: &FunctionProfile) {
+    let _ = writeln!(
+        out,
+        "Function: {:<24} Total Time(sec): {:.6}",
+        f.func.name,
+        f.inclusive_secs()
+    );
+    if !f.significant {
+        let _ = writeln!(
+            out,
+            "         (time below sampling interval; thermal data not significant)"
+        );
+        let _ = writeln!(out);
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "         {:>8} {:>8} {:>8} {:>7} {:>7} {:>8} {:>8}",
+        "Min", "Avg", "Max", "Sdv", "Var", "Med", "Mod"
+    );
+    for (sensor, s) in &f.thermal {
+        // Paper tables label rows "sensor1" … "sensor6" regardless of the
+        // hwmon label; the detailed label lives in the node metadata.
+        let label = sensor.to_string();
+        let _ = writeln!(
+            out,
+            "{:<9} {:>8.2} {:>8.2} {:>8.2} {:>7.2} {:>7.2} {:>8.2} {:>8.2}",
+            label, s.min, s.avg, s.max, s.sdv, s.var, s.med, s.mode
+        );
+    }
+    let _ = writeln!(out);
+}
+
+/// A compact one-line-per-function summary (name, time, hottest average) —
+/// handy in examples and experiment logs.
+pub fn render_summary_line(f: &FunctionProfile) -> String {
+    match f.peak_avg_f() {
+        Some(peak) => format!(
+            "{:<24} {:>10.3}s  calls {:>6}  hottest avg {:>7.2} F",
+            f.func.name,
+            f.inclusive_secs(),
+            f.calls,
+            peak
+        ),
+        None => format!(
+            "{:<24} {:>10.3}s  calls {:>6}  (not significant)",
+            f.func.name,
+            f.inclusive_secs(),
+            f.calls
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::correlate;
+    use crate::profile::build_profiles;
+    use crate::timeline::Timeline;
+    use tempest_probe::event::{Event, ThreadId};
+    use tempest_probe::func::{FunctionDef, FunctionId, ScopeKind};
+    use tempest_probe::trace::NodeMeta;
+    use tempest_sensors::{SensorId, SensorReading, Temperature};
+
+    fn make_profile() -> NodeProfile {
+        let sec = 1_000_000_000u64;
+        let events = vec![
+            Event::enter(0, ThreadId(0), FunctionId(0)),
+            Event::enter(0, ThreadId(0), FunctionId(1)),
+            Event::exit(60 * sec, ThreadId(0), FunctionId(1)),
+            Event::enter(60 * sec, ThreadId(0), FunctionId(2)),
+            Event::exit(60 * sec + 1_000_000, ThreadId(0), FunctionId(2)),
+            Event::exit(61 * sec, ThreadId(0), FunctionId(0)),
+        ];
+        let defs: Vec<FunctionDef> = ["main", "foo1", "foo2"]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| FunctionDef {
+                id: FunctionId(i as u32),
+                name: n.to_string(),
+                address: 0x400000 + 16 * i as u64,
+                kind: ScopeKind::Function,
+            })
+            .collect();
+        let tl = Timeline::build(&events);
+        let samples: Vec<SensorReading> = (0..240)
+            .flat_map(|i| {
+                let t = i as u64 * 250_000_000;
+                [
+                    SensorReading::new(SensorId(0), t, Temperature::from_celsius(45.0)),
+                    SensorReading::new(SensorId(1), t, Temperature::from_celsius(35.0)),
+                ]
+            })
+            .collect();
+        let corr = correlate(&tl, &samples);
+        build_profiles(NodeMeta::anonymous(), &defs, &tl, &corr, &samples)
+    }
+
+    #[test]
+    fn report_contains_paper_format_elements() {
+        let report = render_stdout(&make_profile());
+        assert!(report.contains("Function: main"));
+        assert!(report.contains("Total Time(sec): 61.000000"));
+        assert!(report.contains("Min"));
+        assert!(report.contains("Mod"));
+        assert!(report.contains("sensor1"));
+        assert!(report.contains("sensor2"));
+        // 45 °C = 113 °F, the paper's hot-sensor neighbourhood.
+        assert!(report.contains("113.00"));
+    }
+
+    #[test]
+    fn insignificant_function_noted() {
+        let report = render_stdout(&make_profile());
+        let foo2_at = report.find("Function: foo2").unwrap();
+        let note_at = report[foo2_at..].find("not significant").unwrap();
+        assert!(note_at < 200, "note should follow foo2's header");
+    }
+
+    #[test]
+    fn functions_ordered_by_time() {
+        let report = render_stdout(&make_profile());
+        let main_at = report.find("Function: main").unwrap();
+        let foo1_at = report.find("Function: foo1").unwrap();
+        let foo2_at = report.find("Function: foo2").unwrap();
+        assert!(main_at < foo1_at && foo1_at < foo2_at);
+    }
+
+    #[test]
+    fn summary_lines() {
+        let p = make_profile();
+        let line = render_summary_line(p.by_name("foo1").unwrap());
+        assert!(line.contains("foo1"));
+        assert!(line.contains("hottest avg"));
+        let line2 = render_summary_line(p.by_name("foo2").unwrap());
+        assert!(line2.contains("not significant"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Summary statistics: the Min/Avg/Max/Sdv/Var/Med/Mod columns of the
+//! paper's tables.
+//!
+//! The paper's numbers are internally consistent with *population*
+//! variance (Figure 2(a): Sdv 2.73, Var 7.45 = 2.73²), so that's what we
+//! compute. Median of an even count is the mean of the two middle values;
+//! mode is the most frequent value with ties broken toward the smallest
+//! (modes are meaningful here because sensor readings are quantised).
+
+/// Accumulates samples and produces the seven summary statistics.
+///
+/// Values are unit-agnostic `f64`s; the thermal profile feeds Fahrenheit in
+/// (the paper's reporting unit).
+#[derive(Debug, Clone, Default)]
+pub struct SummaryStats {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SummaryStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        SummaryStats::default()
+    }
+
+    /// Build directly from a slice.
+    pub fn from_samples(values: &[f64]) -> Self {
+        let mut s = SummaryStats::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let n = self.samples.len() as f64;
+        Some(self.samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    fn sorted_samples(&mut self) -> &[f64] {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        &self.samples
+    }
+
+    /// Median (mean of the middle two for even counts).
+    pub fn median(&mut self) -> Option<f64> {
+        let s = self.sorted_samples();
+        let n = s.len();
+        if n == 0 {
+            None
+        } else if n % 2 == 1 {
+            Some(s[n / 2])
+        } else {
+            Some((s[n / 2 - 1] + s[n / 2]) / 2.0)
+        }
+    }
+
+    /// Mode: most frequent value, smallest on ties. Exact equality is the
+    /// right notion because sensor data is quantised.
+    pub fn mode(&mut self) -> Option<f64> {
+        let s = self.sorted_samples();
+        if s.is_empty() {
+            return None;
+        }
+        let mut best = s[0];
+        let mut best_count = 0usize;
+        let mut i = 0;
+        while i < s.len() {
+            let mut j = i + 1;
+            while j < s.len() && s[j] == s[i] {
+                j += 1;
+            }
+            let count = j - i;
+            if count > best_count {
+                best_count = count;
+                best = s[i];
+            }
+            i = j;
+        }
+        Some(best)
+    }
+
+    /// All seven statistics at once; `None` when empty.
+    pub fn summary(&mut self) -> Option<Summary> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: self.count(),
+            min: self.min().unwrap(),
+            avg: self.mean().unwrap(),
+            max: self.max().unwrap(),
+            sdv: self.stddev().unwrap(),
+            var: self.variance().unwrap(),
+            med: self.median().unwrap(),
+            mode: self.mode().unwrap(),
+        })
+    }
+}
+
+/// A computed set of the seven statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub avg: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Population standard deviation.
+    pub sdv: f64,
+    /// Population variance (= sdv²).
+    pub var: f64,
+    /// Median.
+    pub med: f64,
+    /// Most frequent value (smallest on ties).
+    pub mode: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_none() {
+        let mut s = SummaryStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.mode(), None);
+        assert!(s.summary().is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = SummaryStats::from_samples(&[42.0]);
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.min, 42.0);
+        assert_eq!(sum.max, 42.0);
+        assert_eq!(sum.avg, 42.0);
+        assert_eq!(sum.sdv, 0.0);
+        assert_eq!(sum.var, 0.0);
+        assert_eq!(sum.med, 42.0);
+        assert_eq!(sum.mode, 42.0);
+        assert_eq!(sum.count, 1);
+    }
+
+    #[test]
+    fn known_values() {
+        // 1..=5: mean 3, pop-var 2, sdv √2, median 3.
+        let mut s = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.variance(), Some(2.0));
+        assert!((s.stddev().unwrap() - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.median(), Some(3.0));
+    }
+
+    #[test]
+    fn variance_is_sdv_squared_like_the_paper() {
+        // Figure 2(a): Sdv 2.73, Var 7.45 — Var = Sdv².
+        let mut s = SummaryStats::from_samples(&[114.0, 118.0, 121.0, 122.0, 124.0, 124.0]);
+        let sum = s.summary().unwrap();
+        assert!((sum.var - sum.sdv * sum.sdv).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_count_median_averages_middles() {
+        let mut s = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(s.median(), Some(2.5));
+    }
+
+    #[test]
+    fn median_unaffected_by_insertion_order() {
+        let mut a = SummaryStats::from_samples(&[5.0, 1.0, 3.0]);
+        let mut b = SummaryStats::from_samples(&[3.0, 5.0, 1.0]);
+        assert_eq!(a.median(), b.median());
+    }
+
+    #[test]
+    fn mode_picks_most_frequent() {
+        let mut s = SummaryStats::from_samples(&[94.0, 95.0, 95.0, 95.0, 97.0]);
+        assert_eq!(s.mode(), Some(95.0));
+    }
+
+    #[test]
+    fn mode_ties_break_smallest() {
+        let mut s = SummaryStats::from_samples(&[95.0, 94.0, 95.0, 94.0]);
+        assert_eq!(s.mode(), Some(94.0));
+    }
+
+    #[test]
+    fn pushes_after_median_still_correct() {
+        let mut s = SummaryStats::from_samples(&[1.0, 3.0]);
+        assert_eq!(s.median(), Some(2.0));
+        s.push(100.0);
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn quantised_sensor_scenario() {
+        // A realistic quantised series like the paper's sensor4 in Table 2:
+        // values on the 1 °C (1.8 °F) grid with mode at the cool plateau.
+        let series = [102.2, 102.2, 102.2, 104.0, 105.8, 105.8, 102.2, 104.0];
+        let mut s = SummaryStats::from_samples(&series);
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.min, 102.2);
+        assert_eq!(sum.max, 105.8);
+        assert_eq!(sum.mode, 102.2);
+        assert!(sum.avg > 102.2 && sum.avg < 105.8);
+        assert!((sum.var - sum.sdv * sum.sdv).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,230 @@
+//! Event sinks and per-thread buffering.
+//!
+//! The <7 % overhead claim of §3.4 depends on the entry/exit hot path doing
+//! almost nothing: stamp, push into a thread-local vector, return. Flushing
+//! to the shared sink happens in batches. [`EventSink`] is the shared
+//! endpoint; [`VecSink`] collects in memory (native profiling and tests),
+//! [`ChannelSink`] forwards through a crossbeam channel to a writer thread
+//! (how the original's trace-file writer was decoupled).
+
+use crate::event::Event;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Receives batches of events from instrumented threads and `tempd`.
+pub trait EventSink: Send + Sync {
+    /// Accept a batch. Implementations must tolerate being called from
+    /// many threads concurrently.
+    fn submit(&self, batch: &[Event]);
+}
+
+/// An in-memory sink: a mutex-protected vector.
+#[derive(Default)]
+pub struct VecSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl VecSink {
+    /// New empty sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(VecSink::default())
+    }
+
+    /// Drain everything collected so far.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for VecSink {
+    fn submit(&self, batch: &[Event]) {
+        self.events.lock().extend_from_slice(batch);
+    }
+}
+
+/// A sink that forwards batches over a channel to a consumer thread.
+pub struct ChannelSink {
+    tx: Sender<Vec<Event>>,
+}
+
+impl ChannelSink {
+    /// Create a sink and the receiving end.
+    pub fn new() -> (Arc<Self>, Receiver<Vec<Event>>) {
+        let (tx, rx) = unbounded();
+        (Arc::new(ChannelSink { tx }), rx)
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn submit(&self, batch: &[Event]) {
+        // A closed receiver means the session is over; drop silently, like
+        // the original library ignoring writes after its destructor ran.
+        let _ = self.tx.send(batch.to_vec());
+    }
+}
+
+/// A per-thread staging buffer. Push is the hot path: one bounds check and
+/// a vector write; the batch is handed to the sink when `capacity` is
+/// reached or on flush/drop.
+pub struct ThreadBuffer {
+    buf: Vec<Event>,
+    capacity: usize,
+    sink: Arc<dyn EventSink>,
+}
+
+impl ThreadBuffer {
+    /// Default staging capacity — 4096 events ≈ 96 KiB, large enough that
+    /// flushes are rare for realistic call rates.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// New buffer feeding `sink`.
+    pub fn new(sink: Arc<dyn EventSink>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ThreadBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            sink,
+        }
+    }
+
+    /// Record one event.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        self.buf.push(ev);
+        if self.buf.len() >= self.capacity {
+            self.flush();
+        }
+    }
+
+    /// Hand everything staged to the sink.
+    pub fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.sink.submit(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    /// Events currently staged (not yet flushed).
+    pub fn staged(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl Drop for ThreadBuffer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ThreadId;
+    use crate::func::FunctionId;
+
+    fn ev(ts: u64) -> Event {
+        Event::enter(ts, ThreadId(0), FunctionId(0))
+    }
+
+    #[test]
+    fn vec_sink_collects_batches() {
+        let sink = VecSink::new();
+        sink.submit(&[ev(1), ev(2)]);
+        sink.submit(&[ev(3)]);
+        assert_eq!(sink.len(), 3);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn thread_buffer_flushes_at_capacity() {
+        let sink = VecSink::new();
+        let mut buf = ThreadBuffer::new(sink.clone(), 4);
+        for i in 0..3 {
+            buf.push(ev(i));
+        }
+        assert_eq!(sink.len(), 0, "below capacity: nothing flushed");
+        assert_eq!(buf.staged(), 3);
+        buf.push(ev(3));
+        assert_eq!(sink.len(), 4, "capacity reached: flushed");
+        assert_eq!(buf.staged(), 0);
+    }
+
+    #[test]
+    fn thread_buffer_flushes_on_drop() {
+        let sink = VecSink::new();
+        {
+            let mut buf = ThreadBuffer::new(sink.clone(), 100);
+            buf.push(ev(1));
+            buf.push(ev(2));
+        }
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn explicit_flush_is_idempotent() {
+        let sink = VecSink::new();
+        let mut buf = ThreadBuffer::new(sink.clone(), 100);
+        buf.push(ev(1));
+        buf.flush();
+        buf.flush();
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn channel_sink_forwards_batches() {
+        let (sink, rx) = ChannelSink::new();
+        sink.submit(&[ev(1), ev(2)]);
+        sink.submit(&[ev(3)]);
+        drop(sink);
+        let all: Vec<Event> = rx.iter().flatten().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].timestamp_ns, 3);
+    }
+
+    #[test]
+    fn channel_sink_survives_closed_receiver() {
+        let (sink, rx) = ChannelSink::new();
+        drop(rx);
+        sink.submit(&[ev(1)]); // must not panic
+    }
+
+    #[test]
+    fn concurrent_submission_loses_nothing() {
+        let sink = VecSink::new();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let sink = sink.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut buf = ThreadBuffer::new(sink, 16);
+                for i in 0..1000 {
+                    buf.push(ev(t * 10_000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.len(), 8000);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let sink = VecSink::new();
+        let mut buf = ThreadBuffer::new(sink.clone(), 0);
+        buf.push(ev(1));
+        assert_eq!(sink.len(), 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Timestamp sources.
+//!
+//! The paper avoided `gettimeofday`-class system timers ("known to incur
+//! significant overhead") and sampled the time-stamp counter with `rdtsc`
+//! directly, calibrating it to wall time and pinning processes to a core to
+//! dodge cross-core skew (§3.2–3.3). [`TscClock`] is that design in Rust;
+//! [`MonotonicClock`] is the safe fallback on other architectures;
+//! [`VirtualClock`] drives the discrete-event cluster simulator; and
+//! [`SkewedClock`] injects the cross-core skew the paper warns about so the
+//! limitation can be demonstrated and tested (experiment E15).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond timestamp source shared by instrumentation and
+/// `tempd`, so function events and sensor samples land on one time axis.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's epoch (construction, usually).
+    fn now_ns(&self) -> u64;
+}
+
+/// `std::time::Instant`-based clock; the portable default.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// Epoch = now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// Raw cycle counter, when the architecture exposes one.
+#[inline]
+pub fn read_cycle_counter() -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: rdtsc has no memory side effects.
+        Some(unsafe { core::arch::x86_64::_rdtsc() })
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        let cnt: u64;
+        // SAFETY: cntvct_el0 is readable from EL0 on Linux.
+        unsafe { core::arch::asm!("mrs {}, cntvct_el0", out(reg) cnt) };
+        Some(cnt)
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        None
+    }
+}
+
+/// Calibrated cycle-counter clock — the `rdtsc` path of the paper.
+///
+/// Calibration measures the counter frequency against `Instant` over a
+/// short spin, then converts cycles to nanoseconds with integer math.
+/// The paper's footnote 2 ("we identified the equivalent instruction on
+/// PowerPC") corresponds to the `aarch64` branch of
+/// [`read_cycle_counter`] here.
+#[derive(Debug)]
+pub struct TscClock {
+    epoch_cycles: u64,
+    /// Nanoseconds per 2^24 cycles (fixed-point ratio).
+    ns_per_cycle_fp: u64,
+}
+
+impl TscClock {
+    const FP_SHIFT: u32 = 24;
+
+    /// Calibrate over roughly `calib_ms` milliseconds. Returns `None` on
+    /// architectures without a usable cycle counter — callers fall back to
+    /// [`MonotonicClock`].
+    pub fn calibrate(calib_ms: u64) -> Option<Self> {
+        let c0 = read_cycle_counter()?;
+        let t0 = Instant::now();
+        let target = std::time::Duration::from_millis(calib_ms.max(1));
+        while t0.elapsed() < target {
+            std::hint::spin_loop();
+        }
+        let c1 = read_cycle_counter()?;
+        let dt_ns = t0.elapsed().as_nanos() as u64;
+        let cycles = c1.saturating_sub(c0).max(1);
+        let ns_per_cycle_fp = ((dt_ns as u128) << Self::FP_SHIFT) / cycles as u128;
+        Some(TscClock {
+            epoch_cycles: c1,
+            ns_per_cycle_fp: ns_per_cycle_fp as u64,
+        })
+    }
+
+    /// The calibrated counter frequency in MHz.
+    pub fn frequency_mhz(&self) -> f64 {
+        // ns_per_cycle = fp / 2^24; f = 1/ns_per_cycle GHz.
+        let ns_per_cycle = self.ns_per_cycle_fp as f64 / (1u64 << Self::FP_SHIFT) as f64;
+        1000.0 / ns_per_cycle
+    }
+}
+
+impl Clock for TscClock {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        let c = read_cycle_counter().unwrap_or(self.epoch_cycles);
+        let dc = c.saturating_sub(self.epoch_cycles) as u128;
+        ((dc * self.ns_per_cycle_fp as u128) >> Self::FP_SHIFT) as u64
+    }
+}
+
+/// A manually advanced clock for simulation. The cluster simulator sets it
+/// as events execute, so traces produced in simulation carry timestamps on
+/// the same axis as native ones.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the current time. Monotonicity is the caller's contract; the
+    /// discrete-event scheduler guarantees it.
+    pub fn set_ns(&self, ns: u64) {
+        self.now.store(ns, Ordering::Release);
+    }
+
+    /// Advance by `delta_ns`, returning the new time.
+    pub fn advance_ns(&self, delta_ns: u64) -> u64 {
+        self.now.fetch_add(delta_ns, Ordering::AcqRel) + delta_ns
+    }
+}
+
+impl Clock for VirtualClock {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Acquire)
+    }
+}
+
+/// Wraps a clock with a constant offset and rate error, reproducing the
+/// unsynchronised-TSC problem of §3.3 ("clock skewing across processors or
+/// cores"). Used to *demonstrate* the limitation, and by the compensation
+/// tests.
+#[derive(Debug)]
+pub struct SkewedClock<C: Clock> {
+    inner: C,
+    /// Constant offset added to every reading, ns.
+    pub offset_ns: i64,
+    /// Rate error in parts per million (e.g. 50.0 = clock runs 50 ppm fast).
+    pub drift_ppm: f64,
+}
+
+impl<C: Clock> SkewedClock<C> {
+    /// Wrap `inner` with the given skew.
+    pub fn new(inner: C, offset_ns: i64, drift_ppm: f64) -> Self {
+        SkewedClock {
+            inner,
+            offset_ns,
+            drift_ppm,
+        }
+    }
+}
+
+impl<C: Clock> Clock for SkewedClock<C> {
+    fn now_ns(&self) -> u64 {
+        let t = self.inner.now_ns() as f64 * (1.0 + self.drift_ppm * 1e-6);
+        let v = t as i64 + self.offset_ns;
+        v.max(0) as u64
+    }
+}
+
+/// Estimate the constant offset between two clocks by simultaneous
+/// sampling — the compensation primitive Tempest uses when it must compare
+/// timestamps across cores. Returns the offset to *subtract* from `b`
+/// readings to map them onto `a`'s axis.
+pub fn estimate_offset(a: &dyn Clock, b: &dyn Clock, rounds: usize) -> i64 {
+    let mut best = i64::MAX;
+    let mut off = 0i64;
+    for _ in 0..rounds.max(1) {
+        let a0 = a.now_ns() as i64;
+        let bm = b.now_ns() as i64;
+        let a1 = a.now_ns() as i64;
+        // Narrowest bracket wins (NTP-style).
+        let width = a1 - a0;
+        if width < best {
+            best = width;
+            off = bm - (a0 + width / 2);
+        }
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let mut prev = c.now_ns();
+        for _ in 0..1000 {
+            let now = c.now_ns();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn monotonic_clock_tracks_real_time() {
+        let c = MonotonicClock::new();
+        let t0 = c.now_ns();
+        std::thread::sleep(Duration::from_millis(20));
+        let dt = c.now_ns() - t0;
+        assert!(dt >= 18_000_000, "slept 20 ms but clock moved {dt} ns");
+    }
+
+    #[test]
+    fn tsc_clock_calibrates_and_tracks_time() {
+        let Some(tsc) = TscClock::calibrate(20) else {
+            eprintln!("no cycle counter on this arch; skipping");
+            return;
+        };
+        assert!(tsc.frequency_mhz() > 1.0, "freq {}", tsc.frequency_mhz());
+        let t0 = tsc.now_ns();
+        std::thread::sleep(Duration::from_millis(30));
+        let dt = tsc.now_ns() - t0;
+        // Within 20 % of wall time is plenty for a 20 ms calibration.
+        assert!(
+            (24_000_000..60_000_000).contains(&dt),
+            "TSC measured {dt} ns for a 30 ms sleep"
+        );
+    }
+
+    #[test]
+    fn virtual_clock_is_settable() {
+        let v = VirtualClock::new();
+        assert_eq!(v.now_ns(), 0);
+        v.set_ns(1_500);
+        assert_eq!(v.now_ns(), 1_500);
+        assert_eq!(v.advance_ns(500), 2_000);
+        assert_eq!(v.now_ns(), 2_000);
+    }
+
+    #[test]
+    fn virtual_clock_clones_share_time() {
+        let v = VirtualClock::new();
+        let w = v.clone();
+        v.set_ns(42);
+        assert_eq!(w.now_ns(), 42);
+    }
+
+    #[test]
+    fn skewed_clock_applies_offset() {
+        let v = VirtualClock::new();
+        v.set_ns(1_000_000);
+        let s = SkewedClock::new(v.clone(), 2_500, 0.0);
+        assert_eq!(s.now_ns(), 1_002_500);
+    }
+
+    #[test]
+    fn skewed_clock_applies_drift() {
+        let v = VirtualClock::new();
+        v.set_ns(1_000_000_000); // 1 s
+        let s = SkewedClock::new(v.clone(), 0, 100.0); // 100 ppm fast
+        let expect = 1_000_000_000u64 + 100_000;
+        assert_eq!(s.now_ns(), expect);
+    }
+
+    #[test]
+    fn skewed_clock_clamps_at_zero() {
+        let v = VirtualClock::new();
+        v.set_ns(10);
+        let s = SkewedClock::new(v, -1_000, 0.0);
+        assert_eq!(s.now_ns(), 0);
+    }
+
+    #[test]
+    fn offset_estimation_recovers_constant_skew() {
+        let v = VirtualClock::new();
+        v.set_ns(5_000_000);
+        let skewed = SkewedClock::new(v.clone(), 12_345, 0.0);
+        let est = estimate_offset(&v, &skewed, 10);
+        assert!(
+            (est - 12_345).abs() <= 1,
+            "estimated {est}, true 12345"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Trace events.
+//!
+//! Two streams share one time axis: function entry/exit events from the
+//! instrumentation hooks, and sensor samples from `tempd`. The paper's
+//! parser "acquires function timestamps and provides a mapping between
+//! timestamps and temperature" — that mapping is only possible because both
+//! streams carry timestamps from the same clock.
+
+use crate::func::FunctionId;
+use tempest_sensors::SensorId;
+
+/// Identifier of an OS thread (or simulated process context) within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// Function (or explicit block) entry — `__cyg_profile_func_enter`.
+    Enter {
+        /// The entered scope.
+        func: FunctionId,
+    },
+    /// Function (or explicit block) exit — `__cyg_profile_func_exit`.
+    Exit {
+        /// The exited scope.
+        func: FunctionId,
+    },
+    /// One sensor reading from `tempd`, in millidegrees Celsius. Stored as
+    /// an integer so events stay `Copy` and densely packed.
+    Sample {
+        /// Which sensor was read.
+        sensor: SensorId,
+        /// Reported temperature, thousandths of a °C.
+        millicelsius: i32,
+    },
+}
+
+/// One timestamped event on a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Nanoseconds on the session clock.
+    pub timestamp_ns: u64,
+    /// Which thread produced it (samples use the tempd pseudo-thread).
+    pub thread: ThreadId,
+    /// What happened at that instant.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Thread id conventionally used by the tempd sampler.
+    pub const TEMPD_THREAD: ThreadId = ThreadId(u32::MAX);
+
+    /// Function entry.
+    pub fn enter(timestamp_ns: u64, thread: ThreadId, func: FunctionId) -> Self {
+        Event {
+            timestamp_ns,
+            thread,
+            kind: EventKind::Enter { func },
+        }
+    }
+
+    /// Function exit.
+    pub fn exit(timestamp_ns: u64, thread: ThreadId, func: FunctionId) -> Self {
+        Event {
+            timestamp_ns,
+            thread,
+            kind: EventKind::Exit { func },
+        }
+    }
+
+    /// Sensor sample.
+    pub fn sample(timestamp_ns: u64, sensor: SensorId, celsius: f64) -> Self {
+        Event {
+            timestamp_ns,
+            thread: Self::TEMPD_THREAD,
+            kind: EventKind::Sample {
+                sensor,
+                millicelsius: (celsius * 1000.0).round() as i32,
+            },
+        }
+    }
+
+    /// The sample temperature in °C, if this is a sample event.
+    pub fn sample_celsius(&self) -> Option<f64> {
+        match self.kind {
+            EventKind::Sample { millicelsius, .. } => Some(millicelsius as f64 / 1000.0),
+            _ => None,
+        }
+    }
+
+    /// True for entry/exit events.
+    pub fn is_scope_event(&self) -> bool {
+        matches!(self.kind, EventKind::Enter { .. } | EventKind::Exit { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let f = FunctionId(3);
+        let e = Event::enter(10, ThreadId(0), f);
+        assert_eq!(e.kind, EventKind::Enter { func: f });
+        assert!(e.is_scope_event());
+        let x = Event::exit(20, ThreadId(0), f);
+        assert_eq!(x.kind, EventKind::Exit { func: f });
+        assert!(x.is_scope_event());
+    }
+
+    #[test]
+    fn sample_roundtrips_celsius() {
+        let s = Event::sample(5, SensorId(2), 40.125);
+        assert_eq!(s.thread, Event::TEMPD_THREAD);
+        assert!(!s.is_scope_event());
+        assert!((s.sample_celsius().unwrap() - 40.125).abs() < 1e-9);
+        assert_eq!(Event::enter(0, ThreadId(0), FunctionId(0)).sample_celsius(), None);
+    }
+
+    #[test]
+    fn sample_rounds_to_millicelsius() {
+        let s = Event::sample(0, SensorId(0), 40.00009);
+        assert!((s.sample_celsius().unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_are_compact() {
+        // Events are recorded on the hot path; keep them small (≤ 24 bytes
+        // keeps a per-thread buffer cache-friendly).
+        assert!(std::mem::size_of::<Event>() <= 24);
+    }
+}

@@ -1,0 +1,230 @@
+//! The function registry — the process's symbol table.
+//!
+//! gcc's `-finstrument-functions` hands Tempest raw function *addresses*;
+//! the parser later reads the executable's symbol table to map addresses to
+//! names (§3.2). In the Rust reproduction, instrumented scopes register
+//! themselves once and receive a [`FunctionId`]; the registry doubles as
+//! the symbol table the analysis side consults, including synthetic
+//! addresses so the address→name resolution path of the original design is
+//! exercised end to end.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier for an instrumented scope, dense from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FunctionId(pub u32);
+
+/// Whether a scope is a whole function (transparent instrumentation) or an
+/// explicit basic block (the non-transparent `libtempestperblk` API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScopeKind {
+    /// A whole function (transparent instrumentation).
+    Function,
+    /// An explicit basic block (`libtempestperblk` API).
+    Block,
+}
+
+/// One registered scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Dense identifier, also the symbol-table index.
+    pub id: FunctionId,
+    /// Demangled name, e.g. `"matmul_sub"`.
+    pub name: String,
+    /// Synthetic code address, mimicking the `void *this_fn` the gcc hooks
+    /// deliver. Unique per function.
+    pub address: u64,
+    /// Function or explicit block.
+    pub kind: ScopeKind,
+}
+
+#[derive(Default, Debug)]
+struct Inner {
+    defs: Vec<FunctionDef>,
+    by_name: HashMap<String, FunctionId>,
+}
+
+/// Thread-safe registry of instrumented scopes.
+///
+/// Registration is idempotent by name: instrumenting the same function from
+/// many threads or call sites yields one id, just as one symbol has one
+/// address.
+#[derive(Clone, Default, Debug)]
+pub struct FunctionRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+/// Base of the synthetic text segment; addresses are `BASE + 16*id`,
+/// resembling small sequential functions in a real binary.
+const TEXT_BASE: u64 = 0x0040_0000;
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a function by name.
+    pub fn register(&self, name: &str) -> FunctionId {
+        self.register_kind(name, ScopeKind::Function)
+    }
+
+    /// Register (or look up) a scope with an explicit kind.
+    pub fn register_kind(&self, name: &str, kind: ScopeKind) -> FunctionId {
+        if let Some(&id) = self.inner.read().by_name.get(name) {
+            return id;
+        }
+        let mut inner = self.inner.write();
+        // Double-checked: another thread may have registered between locks.
+        if let Some(&id) = inner.by_name.get(name) {
+            return id;
+        }
+        let id = FunctionId(inner.defs.len() as u32);
+        inner.defs.push(FunctionDef {
+            id,
+            name: name.to_string(),
+            address: TEXT_BASE + 16 * id.0 as u64,
+            kind,
+        });
+        inner.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve an id to its definition.
+    pub fn get(&self, id: FunctionId) -> Option<FunctionDef> {
+        self.inner.read().defs.get(id.0 as usize).cloned()
+    }
+
+    /// Resolve a name to an id, if registered.
+    pub fn lookup(&self, name: &str) -> Option<FunctionId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Resolve a synthetic address back to a definition — the parser's
+    /// symbol-table walk.
+    pub fn resolve_address(&self, address: u64) -> Option<FunctionDef> {
+        if address < TEXT_BASE || !(address - TEXT_BASE).is_multiple_of(16) {
+            return None;
+        }
+        let idx = ((address - TEXT_BASE) / 16) as u32;
+        self.get(FunctionId(idx))
+    }
+
+    /// Snapshot of every definition, in id order — the symbol table dumped
+    /// into a trace file header.
+    pub fn snapshot(&self) -> Vec<FunctionDef> {
+        self.inner.read().defs.clone()
+    }
+
+    /// Number of registered scopes.
+    pub fn len(&self) -> usize {
+        self.inner.read().defs.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = FunctionRegistry::new();
+        let a = r.register("main");
+        let b = r.register("main");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let r = FunctionRegistry::new();
+        assert_eq!(r.register("main"), FunctionId(0));
+        assert_eq!(r.register("foo1"), FunctionId(1));
+        assert_eq!(r.register("foo2"), FunctionId(2));
+    }
+
+    #[test]
+    fn lookup_and_get_agree() {
+        let r = FunctionRegistry::new();
+        let id = r.register("adi_");
+        assert_eq!(r.lookup("adi_"), Some(id));
+        let def = r.get(id).unwrap();
+        assert_eq!(def.name, "adi_");
+        assert_eq!(def.kind, ScopeKind::Function);
+        assert_eq!(r.lookup("missing"), None);
+        assert_eq!(r.get(FunctionId(99)), None);
+    }
+
+    #[test]
+    fn address_resolution_roundtrips() {
+        let r = FunctionRegistry::new();
+        let id = r.register("matvec_sub");
+        let def = r.get(id).unwrap();
+        let back = r.resolve_address(def.address).unwrap();
+        assert_eq!(back.name, "matvec_sub");
+        // Unknown / misaligned addresses resolve to nothing.
+        assert!(r.resolve_address(def.address + 1).is_none());
+        assert!(r.resolve_address(0).is_none());
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let r = FunctionRegistry::new();
+        let ids: Vec<_> = (0..100).map(|i| r.register(&format!("f{i}"))).collect();
+        let mut addrs: Vec<_> = ids.iter().map(|&i| r.get(i).unwrap().address).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 100);
+    }
+
+    #[test]
+    fn block_scopes_are_tagged() {
+        let r = FunctionRegistry::new();
+        let id = r.register_kind("loop_body", ScopeKind::Block);
+        assert_eq!(r.get(id).unwrap().kind, ScopeKind::Block);
+    }
+
+    #[test]
+    fn concurrent_registration_yields_one_id() {
+        let r = FunctionRegistry::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .map(|i| r.register(&format!("fn{}", i % 10)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<FunctionId>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(r.len(), 10);
+        // Every thread saw the same id for the same name.
+        for res in &results[1..] {
+            for (i, id) in res.iter().enumerate() {
+                assert_eq!(results[0][i % 10].0, results[0][i % 10].0);
+                assert_eq!(r.get(*id).unwrap().name, format!("fn{}", i % 10));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_in_id_order() {
+        let r = FunctionRegistry::new();
+        r.register("a");
+        r.register("b");
+        r.register("c");
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.iter().map(|d| d.id.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! RAII scope guard: the Rust stand-in for `__cyg_profile_func_exit`.
+//!
+//! gcc guarantees the exit hook runs on every return path; in Rust, `Drop`
+//! gives the same guarantee — including early returns, `?`, and panics
+//! (unwinding), which is strictly stronger than the original: a crashing
+//! function still closes its interval, so the parser sees a well-nested
+//! stream.
+
+use crate::func::FunctionId;
+use crate::profiler::ThreadProfiler;
+
+/// An open function/block interval; records the exit event when dropped.
+#[must_use = "dropping the guard immediately would record a zero-length scope"]
+pub struct ScopeGuard<'a> {
+    tp: &'a ThreadProfiler,
+    func: FunctionId,
+}
+
+impl<'a> ScopeGuard<'a> {
+    /// Open a guard for `func` on `tp`. The entry event must already have
+    /// been recorded (done by [`ThreadProfiler::scope`]).
+    pub(crate) fn new(tp: &'a ThreadProfiler, func: FunctionId) -> Self {
+        ScopeGuard { tp, func }
+    }
+
+    /// The function this guard tracks.
+    pub fn function(&self) -> FunctionId {
+        self.func
+    }
+}
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        self.tp.exit(self.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::buffer::VecSink;
+    use crate::clock::VirtualClock;
+    use crate::event::EventKind;
+    use crate::profiler::Profiler;
+    use std::sync::Arc;
+
+    #[test]
+    fn early_return_closes_scope() {
+        let sink = VecSink::new();
+        let p = Profiler::new(Arc::new(VirtualClock::new()), sink.clone());
+        let tp = p.thread_profiler();
+
+        fn may_return_early(tp: &crate::profiler::ThreadProfiler, early: bool) -> u32 {
+            let _g = tp.scope("early_fn");
+            if early {
+                return 1;
+            }
+            2
+        }
+        may_return_early(&tp, true);
+        tp.flush();
+        let ev = sink.drain();
+        assert_eq!(ev.len(), 2);
+        assert!(matches!(ev[1].kind, EventKind::Exit { .. }));
+    }
+
+    #[test]
+    fn panic_unwind_closes_scope() {
+        let sink = VecSink::new();
+        let p = Profiler::new(Arc::new(VirtualClock::new()), sink.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tp = p.thread_profiler();
+            let _g = tp.scope("panicky");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // Guard dropped during unwind, then ThreadBuffer dropped → flushed.
+        let ev = sink.drain();
+        assert_eq!(ev.len(), 2, "enter and exit both recorded despite panic");
+        assert!(matches!(ev[1].kind, EventKind::Exit { .. }));
+    }
+
+    #[test]
+    fn recursion_produces_nested_pairs() {
+        let sink = VecSink::new();
+        let p = Profiler::new(Arc::new(VirtualClock::new()), sink.clone());
+        let tp = p.thread_profiler();
+
+        fn recurse(tp: &crate::profiler::ThreadProfiler, depth: u32) {
+            let _g = tp.scope("recurse");
+            if depth > 0 {
+                recurse(tp, depth - 1);
+            }
+        }
+        recurse(&tp, 3);
+        tp.flush();
+        let ev = sink.drain();
+        assert_eq!(ev.len(), 8); // 4 enters + 4 exits
+        // First four are enters, last four exits (LIFO nesting).
+        assert!(ev[..4].iter().all(|e| matches!(e.kind, EventKind::Enter { .. })));
+        assert!(ev[4..].iter().all(|e| matches!(e.kind, EventKind::Exit { .. })));
+    }
+}

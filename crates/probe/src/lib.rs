@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # tempest-probe
+//!
+//! The instrumentation runtime of the Tempest reproduction — the analogue of
+//! the paper's `libtempest.so`.
+//!
+//! The original tool leaned on gcc's `-finstrument-functions` to call
+//! entry/exit handlers around every function, stamped those events with
+//! `rdtsc`, and ran a `tempd` daemon that sampled every thermal sensor four
+//! times a second. Rust has no stable compiler hook for function
+//! instrumentation, so this crate provides the idiomatic equivalent:
+//!
+//! * [`clock`] — the timestamp source: a calibrated TSC reader on x86_64
+//!   ([`clock::TscClock`]), a monotonic fallback, a [`clock::VirtualClock`]
+//!   for simulation, and a skewed wrapper reproducing the paper's §3.3
+//!   cross-core clock-skew discussion.
+//! * [`func`] — the function registry: the process's "symbol table"
+//!   (address → name) that the parser later uses for symbolisation.
+//! * [`event`] / [`buffer`] — entry/exit event records and per-thread
+//!   buffered sinks.
+//! * [`guard`] — RAII scope guards plus the [`profile_fn!`](crate::profile_fn)/
+//!   [`profile_block!`](crate::profile_block) macros: `profile_fn!` is the transparent
+//!   `-finstrument-functions` path; `profile_block!` is the explicit
+//!   `libtempestperblk.so` basic-block API.
+//! * [`tempd`] — the background sampling daemon.
+//! * [`trace`] — the on-disk trace format and in-memory [`trace::Trace`].
+//! * [`session`] — ties a profiler, a tempd, and a trace writer together
+//!   for one profiled run.
+
+pub mod buffer;
+pub mod clock;
+pub mod event;
+pub mod func;
+pub mod guard;
+pub mod profiler;
+pub mod session;
+pub mod stream;
+pub mod tempd;
+pub mod trace;
+
+pub use buffer::{ChannelSink, EventSink, VecSink};
+pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use event::{Event, EventKind, ThreadId};
+pub use func::{FunctionDef, FunctionId, FunctionRegistry, ScopeKind};
+pub use guard::ScopeGuard;
+pub use profiler::Profiler;
+pub use session::ProfilingSession;
+pub use tempd::{Tempd, TempdConfig, TempdStats};
+pub use trace::{NodeMeta, SensorMeta, Trace};

@@ -1,0 +1,354 @@
+//! The profiler: session state plus per-thread recording handles.
+//!
+//! A [`Profiler`] owns what's shared for one profiled run — the clock, the
+//! event sink, the function registry, and the global enable flag. Each
+//! thread asks it for a [`ThreadProfiler`], its private recording handle;
+//! the handle stages events locally ([`crate::buffer::ThreadBuffer`]) so
+//! the entry/exit hot path never takes a lock. This mirrors the original
+//! `libtempest.so`, where the gcc hooks wrote to per-process buffers and a
+//! destructor flushed them at exit.
+
+use crate::buffer::{EventSink, ThreadBuffer};
+use crate::clock::Clock;
+use crate::event::{Event, ThreadId};
+use crate::func::{FunctionId, FunctionRegistry, ScopeKind};
+use crate::guard::ScopeGuard;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Shared profiling state for one run.
+pub struct Profiler {
+    clock: Arc<dyn Clock>,
+    sink: Arc<dyn EventSink>,
+    registry: FunctionRegistry,
+    enabled: Arc<AtomicBool>,
+    next_thread: AtomicU32,
+    buffer_capacity: usize,
+}
+
+impl Profiler {
+    /// Create a profiler over the given clock and sink.
+    pub fn new(clock: Arc<dyn Clock>, sink: Arc<dyn EventSink>) -> Arc<Self> {
+        Arc::new(Profiler {
+            clock,
+            sink,
+            registry: FunctionRegistry::new(),
+            enabled: Arc::new(AtomicBool::new(true)),
+            next_thread: AtomicU32::new(0),
+            buffer_capacity: ThreadBuffer::DEFAULT_CAPACITY,
+        })
+    }
+
+    /// The function registry (symbol table) of this run.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The session clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Globally enable/disable recording. Disabled probes cost one relaxed
+    /// atomic load — how Tempest stays linked in without profiling.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Create the recording handle for the calling thread. Each call
+    /// allocates a fresh [`ThreadId`].
+    pub fn thread_profiler(self: &Arc<Self>) -> ThreadProfiler {
+        let tid = ThreadId(self.next_thread.fetch_add(1, Ordering::Relaxed));
+        self.thread_profiler_with_id(tid)
+    }
+
+    /// Recording handle with an explicit thread id — used by the cluster
+    /// simulator, where "threads" are simulated MPI ranks.
+    pub fn thread_profiler_with_id(self: &Arc<Self>, tid: ThreadId) -> ThreadProfiler {
+        ThreadProfiler {
+            profiler: Arc::clone(self),
+            thread: tid,
+            buf: RefCell::new(ThreadBuffer::new(self.sink.clone(), self.buffer_capacity)),
+        }
+    }
+}
+
+/// A thread's private recording handle.
+///
+/// Not `Sync`: exactly one thread drives it, which is what makes the
+/// unlocked staging buffer safe.
+pub struct ThreadProfiler {
+    profiler: Arc<Profiler>,
+    thread: ThreadId,
+    buf: RefCell<ThreadBuffer>,
+}
+
+impl ThreadProfiler {
+    /// This handle's thread id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The owning profiler.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// Register a function name (idempotent) without recording anything.
+    pub fn register(&self, name: &str) -> FunctionId {
+        self.profiler.registry.register(name)
+    }
+
+    /// Record a function entry.
+    #[inline]
+    pub fn enter(&self, func: FunctionId) {
+        if self.profiler.is_enabled() {
+            let ts = self.profiler.clock.now_ns();
+            self.buf.borrow_mut().push(Event::enter(ts, self.thread, func));
+        }
+    }
+
+    /// Record a function exit.
+    #[inline]
+    pub fn exit(&self, func: FunctionId) {
+        if self.profiler.is_enabled() {
+            let ts = self.profiler.clock.now_ns();
+            self.buf.borrow_mut().push(Event::exit(ts, self.thread, func));
+        }
+    }
+
+    /// Enter a named function scope; the guard records the exit on drop.
+    /// This is the transparent instrumentation path.
+    pub fn scope<'a>(&'a self, name: &str) -> ScopeGuard<'a> {
+        let id = self.profiler.registry.register(name);
+        self.enter(id);
+        ScopeGuard::new(self, id)
+    }
+
+    /// Enter a named basic-block scope — the explicit
+    /// `libtempestperblk.so` API of §3.2.
+    pub fn block<'a>(&'a self, name: &str) -> ScopeGuard<'a> {
+        let id = self.profiler.registry.register_kind(name, ScopeKind::Block);
+        self.enter(id);
+        ScopeGuard::new(self, id)
+    }
+
+    /// Flush staged events to the shared sink.
+    pub fn flush(&self) {
+        self.buf.borrow_mut().flush();
+    }
+}
+
+/// Expands to the enclosing function's path, trimmed of module prefixes —
+/// the name the registry records when [`profile_fn!`](crate::profile_fn) is used bare.
+#[macro_export]
+macro_rules! function_name {
+    () => {{
+        fn f() {}
+        fn type_name_of<T>(_: T) -> &'static str {
+            std::any::type_name::<T>()
+        }
+        let name = type_name_of(f);
+        let name = name.strip_suffix("::f").unwrap_or(name);
+        name.rsplit("::").next().unwrap_or(name)
+    }};
+}
+
+/// Instrument the enclosing scope as a function: records entry now and exit
+/// when the scope ends. With one argument uses the enclosing function's
+/// name; with two, the given name.
+///
+/// ```
+/// # use tempest_probe::{Profiler, VecSink, MonotonicClock, profile_fn};
+/// # use std::sync::Arc;
+/// fn matmul_sub(tp: &tempest_probe::profiler::ThreadProfiler) {
+///     profile_fn!(tp);
+///     // … work …
+/// }
+/// # let p = Profiler::new(Arc::new(MonotonicClock::new()), VecSink::new());
+/// # let tp = p.thread_profiler();
+/// # matmul_sub(&tp);
+/// ```
+#[macro_export]
+macro_rules! profile_fn {
+    ($tp:expr) => {
+        let _tempest_scope_guard = $tp.scope($crate::function_name!());
+    };
+    ($tp:expr, $name:expr) => {
+        let _tempest_scope_guard = $tp.scope($name);
+    };
+}
+
+/// Instrument an explicit basic block (the non-transparent API).
+#[macro_export]
+macro_rules! profile_block {
+    ($tp:expr, $name:expr) => {
+        let _tempest_block_guard = $tp.block($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::VecSink;
+    use crate::clock::VirtualClock;
+    use crate::event::EventKind;
+
+    fn setup() -> (Arc<Profiler>, Arc<VecSink>, VirtualClock) {
+        let clock = VirtualClock::new();
+        let sink = VecSink::new();
+        let p = Profiler::new(Arc::new(clock.clone()), sink.clone());
+        (p, sink, clock)
+    }
+
+    #[test]
+    fn scope_records_enter_and_exit() {
+        let (p, sink, clock) = setup();
+        let tp = p.thread_profiler();
+        clock.set_ns(100);
+        {
+            let _g = tp.scope("foo1");
+            clock.set_ns(250);
+        }
+        tp.flush();
+        let ev = sink.drain();
+        assert_eq!(ev.len(), 2);
+        let f = p.registry().lookup("foo1").unwrap();
+        assert_eq!(ev[0].kind, EventKind::Enter { func: f });
+        assert_eq!(ev[0].timestamp_ns, 100);
+        assert_eq!(ev[1].kind, EventKind::Exit { func: f });
+        assert_eq!(ev[1].timestamp_ns, 250);
+    }
+
+    #[test]
+    fn nested_scopes_are_well_formed() {
+        let (p, sink, _clock) = setup();
+        let tp = p.thread_profiler();
+        {
+            let _a = tp.scope("main");
+            {
+                let _b = tp.scope("foo1");
+            }
+            {
+                let _c = tp.scope("foo2");
+            }
+        }
+        tp.flush();
+        let ev = sink.drain();
+        let names: Vec<String> = ev
+            .iter()
+            .map(|e| {
+                let (tag, f) = match e.kind {
+                    EventKind::Enter { func } => (">", func),
+                    EventKind::Exit { func } => ("<", func),
+                    _ => unreachable!(),
+                };
+                format!("{tag}{}", p.registry().get(f).unwrap().name)
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![">main", ">foo1", "<foo1", ">foo2", "<foo2", "<main"]
+        );
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let (p, sink, _clock) = setup();
+        let tp = p.thread_profiler();
+        p.set_enabled(false);
+        {
+            let _g = tp.scope("invisible");
+        }
+        tp.flush();
+        assert!(sink.is_empty());
+        assert!(!p.is_enabled());
+        // Name was still registered (registration is orthogonal).
+        assert!(p.registry().lookup("invisible").is_some());
+    }
+
+    #[test]
+    fn thread_ids_are_distinct() {
+        let (p, _sink, _clock) = setup();
+        let a = p.thread_profiler();
+        let b = p.thread_profiler();
+        assert_ne!(a.thread_id(), b.thread_id());
+    }
+
+    #[test]
+    fn explicit_thread_id_is_respected() {
+        let (p, sink, _clock) = setup();
+        let tp = p.thread_profiler_with_id(ThreadId(7));
+        {
+            let _g = tp.scope("ranked");
+        }
+        tp.flush();
+        assert!(sink.drain().iter().all(|e| e.thread == ThreadId(7)));
+    }
+
+    #[test]
+    fn block_scope_registers_block_kind() {
+        let (p, sink, _clock) = setup();
+        let tp = p.thread_profiler();
+        {
+            let _g = tp.block("inner_loop");
+        }
+        tp.flush();
+        assert_eq!(sink.len(), 2);
+        let id = p.registry().lookup("inner_loop").unwrap();
+        assert_eq!(p.registry().get(id).unwrap().kind, ScopeKind::Block);
+    }
+
+    #[test]
+    fn macros_compile_and_record() {
+        let (p, sink, _clock) = setup();
+        let tp = p.thread_profiler();
+
+        fn instrumented(tp: &ThreadProfiler) {
+            crate::profile_fn!(tp);
+            crate::profile_block!(tp, "blk");
+        }
+        instrumented(&tp);
+        tp.flush();
+        let ev = sink.drain();
+        assert_eq!(ev.len(), 4); // fn enter/exit + block enter/exit
+        assert!(p.registry().lookup("instrumented").is_some());
+        assert!(p.registry().lookup("blk").is_some());
+    }
+
+    #[test]
+    fn function_name_macro_trims_path() {
+        fn probe_point() -> &'static str {
+            crate::function_name!()
+        }
+        assert_eq!(probe_point(), "probe_point");
+    }
+
+    #[test]
+    fn multithreaded_recording() {
+        let (p, sink, _clock) = setup();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                let tp = p.thread_profiler();
+                for _ in 0..500 {
+                    let _g = tp.scope("worker_fn");
+                }
+                tp.flush();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.len(), 4 * 500 * 2);
+        // One shared registration despite four threads.
+        assert_eq!(p.registry().len(), 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! A profiling session: profiler + tempd + trace assembly in one handle.
+//!
+//! This is the user-facing composition the paper describes in Figure 1:
+//! "compile with instrumentation enabled, link to one or more Tempest
+//! libraries, run their code, and invoke the Tempest parser for post
+//! processing". In Rust terms: start a session, instrument scopes with
+//! [`crate::profile_fn!`], finish the session to obtain a
+//! [`Trace`] ready for the `tempest-core` parser.
+
+use crate::buffer::VecSink;
+use crate::clock::{Clock, MonotonicClock};
+use crate::profiler::{Profiler, ThreadProfiler};
+use crate::tempd::{Tempd, TempdConfig, TempdStats};
+use crate::trace::{NodeMeta, SensorMeta, Trace};
+use std::sync::Arc;
+use tempest_sensors::SensorSource;
+
+/// A live profiling session on one node.
+pub struct ProfilingSession {
+    profiler: Arc<Profiler>,
+    sink: Arc<VecSink>,
+    tempd: Option<Tempd>,
+    node: NodeMeta,
+    tempd_stats: Option<TempdStats>,
+}
+
+impl ProfilingSession {
+    /// Start a session with the default monotonic clock and no sensor
+    /// daemon (pure performance profiling).
+    pub fn start() -> Self {
+        Self::start_with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Start a session on an explicit clock, no sensors.
+    pub fn start_with_clock(clock: Arc<dyn Clock>) -> Self {
+        let sink = VecSink::new();
+        let profiler = Profiler::new(clock, sink.clone());
+        ProfilingSession {
+            profiler,
+            sink,
+            tempd: None,
+            node: NodeMeta::anonymous(),
+            tempd_stats: None,
+        }
+    }
+
+    /// Start a session and launch `tempd` over the given sensor source at
+    /// the paper's default 4 Hz (or any configured rate).
+    pub fn start_with_sensors(
+        clock: Arc<dyn Clock>,
+        source: Box<dyn SensorSource>,
+        config: TempdConfig,
+    ) -> Self {
+        let sink = VecSink::new();
+        let profiler = Profiler::new(clock.clone(), sink.clone());
+        let sensors = source
+            .sensors()
+            .iter()
+            .map(|s| SensorMeta {
+                id: s.id,
+                label: s.label.clone(),
+                kind: s.kind,
+            })
+            .collect();
+        let node = NodeMeta {
+            node_id: 0,
+            hostname: hostname(),
+            sensors,
+        };
+        let tempd = Tempd::spawn(source, clock, sink.clone(), config);
+        ProfilingSession {
+            profiler,
+            sink,
+            tempd: Some(tempd),
+            node,
+            tempd_stats: None,
+        }
+    }
+
+    /// Set the cluster rank recorded in the trace.
+    pub fn set_node_id(&mut self, id: u32) {
+        self.node.node_id = id;
+    }
+
+    /// The session's profiler, for spawning [`ThreadProfiler`]s.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// Shorthand: a recording handle for the calling thread.
+    pub fn thread_profiler(&self) -> ThreadProfiler {
+        self.profiler.thread_profiler()
+    }
+
+    /// Stop tempd (if running) and assemble the trace. Thread profilers
+    /// must be flushed/dropped by the caller before this — their staged
+    /// events flush on drop.
+    pub fn finish(mut self) -> Trace {
+        if let Some(t) = self.tempd.take() {
+            self.tempd_stats = Some(t.shutdown());
+        }
+        let mixed = self.sink.drain();
+        let functions = self.profiler.registry().snapshot();
+        Trace::from_mixed_events(self.node.clone(), functions, mixed)
+    }
+
+    /// Like [`finish`](Self::finish) but also returns tempd statistics
+    /// (for the §4.1 steady-state/overhead experiments).
+    pub fn finish_with_stats(mut self) -> (Trace, Option<TempdStats>) {
+        if let Some(t) = self.tempd.take() {
+            self.tempd_stats = Some(t.shutdown());
+        }
+        let stats = self.tempd_stats;
+        let mixed = self.sink.drain();
+        let functions = self.profiler.registry().snapshot();
+        (
+            Trace::from_mixed_events(self.node.clone(), functions, mixed),
+            stats,
+        )
+    }
+}
+
+/// A streaming profiling session: events are written to a trace file
+/// *while the program runs* (a crash leaves a parsable prefix), via a
+/// dedicated writer thread fed by a [`crate::buffer::ChannelSink`].
+///
+/// This is closest to the original tool's behaviour, which aggregated
+/// trace files during execution rather than holding runs in memory.
+pub struct StreamingSession {
+    profiler: Arc<Profiler>,
+    tempd: Option<Tempd>,
+    node: NodeMeta,
+    writer: Option<std::thread::JoinHandle<std::io::Result<(u64, u64)>>>,
+    sink: Arc<crate::buffer::ChannelSink>,
+}
+
+impl StreamingSession {
+    /// Start a streaming session writing to `path`, with an optional
+    /// sensor source for tempd.
+    pub fn start(
+        path: &std::path::Path,
+        clock: Arc<dyn Clock>,
+        source: Option<Box<dyn SensorSource>>,
+        config: TempdConfig,
+    ) -> std::io::Result<StreamingSession> {
+        let (sink, rx) = crate::buffer::ChannelSink::new();
+        let profiler = Profiler::new(clock.clone(), sink.clone());
+        let sensors = source
+            .as_ref()
+            .map(|s| {
+                s.sensors()
+                    .iter()
+                    .map(|m| SensorMeta {
+                        id: m.id,
+                        label: m.label.clone(),
+                        kind: m.kind,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let node = NodeMeta {
+            node_id: 0,
+            hostname: hostname(),
+            sensors,
+        };
+        let tempd = source.map(|s| Tempd::spawn(s, clock, sink.clone(), config));
+
+        let file = std::fs::File::create(path)?;
+        let out = std::io::BufWriter::new(file);
+        // The writer thread owns the file; it learns the final symbol
+        // table through a snapshot taken when the channel closes — so the
+        // registry handle travels with it.
+        let registry = profiler.registry().clone();
+        let node_for_writer = node.clone();
+        let writer = std::thread::Builder::new()
+            .name("tempest-writer".to_string())
+            .spawn(move || {
+                let mut w = crate::stream::StreamWriter::new(out)?;
+                for batch in rx.iter() {
+                    w.write_batch(&batch)?;
+                }
+                w.finish(&node_for_writer, &registry.snapshot())
+            })?;
+
+        Ok(StreamingSession {
+            profiler,
+            tempd,
+            node,
+            writer: Some(writer),
+            sink,
+        })
+    }
+
+    /// The session's profiler.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// A recording handle for the calling thread.
+    pub fn thread_profiler(&self) -> ThreadProfiler {
+        self.profiler.thread_profiler()
+    }
+
+    /// Node metadata recorded in the stream.
+    pub fn node(&self) -> &NodeMeta {
+        &self.node
+    }
+
+    /// Stop tempd, close the channel, and wait for the writer to flush.
+    /// Returns `(events, samples)` written.
+    pub fn finish(mut self) -> std::io::Result<(u64, u64)> {
+        if let Some(t) = self.tempd.take() {
+            t.shutdown();
+        }
+        // Dropping the last sender closes the channel; the writer then
+        // finishes the file. The profiler holds a sink Arc too, so drop
+        // both our handle and the profiler's by replacing the sink… the
+        // profiler's Arc<dyn EventSink> clone keeps the channel open, so
+        // we must drop the whole profiler (thread profilers must already
+        // be gone, per the finish contract).
+        let writer = self.writer.take().expect("finish called once");
+        drop(self.sink);
+        drop(self.profiler);
+        writer.join().expect("writer thread panicked")
+    }
+}
+
+fn hostname() -> String {
+    std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use tempest_sensors::source::ConstantSource;
+
+    #[test]
+    fn plain_session_produces_scope_trace() {
+        let session = ProfilingSession::start();
+        let tp = session.thread_profiler();
+        {
+            let _m = tp.scope("main");
+            let _f = tp.scope("foo1");
+        }
+        tp.flush();
+        drop(tp);
+        let trace = session.finish();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.functions.len(), 2);
+        assert!(trace.samples.is_empty());
+    }
+
+    #[test]
+    fn sensor_session_collects_both_streams() {
+        let session = ProfilingSession::start_with_sensors(
+            Arc::new(MonotonicClock::new()),
+            Box::new(ConstantSource::single(40.0)),
+            TempdConfig { rate_hz: 200.0 },
+        );
+        let tp = session.thread_profiler();
+        {
+            let _g = tp.scope("work");
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        drop(tp); // flush on drop
+        let (trace, stats) = session.finish_with_stats();
+        assert_eq!(trace.events.len(), 2);
+        assert!(!trace.samples.is_empty(), "tempd should have sampled");
+        assert_eq!(trace.node.sensors.len(), 1);
+        let stats = stats.unwrap();
+        assert!(stats.rounds > 0);
+    }
+
+    #[test]
+    fn events_and_samples_share_the_clock_axis() {
+        let session = ProfilingSession::start_with_sensors(
+            Arc::new(MonotonicClock::new()),
+            Box::new(ConstantSource::single(40.0)),
+            TempdConfig { rate_hz: 500.0 },
+        );
+        let tp = session.thread_profiler();
+        {
+            let _g = tp.scope("work");
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        }
+        drop(tp);
+        let trace = session.finish();
+        let enter_ts = trace.events[0].timestamp_ns;
+        let exit_ts = trace.events[1].timestamp_ns;
+        assert!(matches!(trace.events[0].kind, EventKind::Enter { .. }));
+        // Samples taken during the scope fall inside [enter, exit].
+        let inside = trace
+            .samples
+            .iter()
+            .filter(|s| s.timestamp_ns >= enter_ts && s.timestamp_ns <= exit_ts)
+            .count();
+        assert!(
+            inside >= 5,
+            "expected several samples inside the 30 ms scope, got {inside}"
+        );
+    }
+
+    #[test]
+    fn streaming_session_writes_parsable_file() {
+        let path =
+            std::env::temp_dir().join(format!("tempest-stream-{}.trace", std::process::id()));
+        let session = StreamingSession::start(
+            &path,
+            Arc::new(MonotonicClock::new()),
+            Some(Box::new(ConstantSource::single(41.0))),
+            TempdConfig { rate_hz: 200.0 },
+        )
+        .unwrap();
+        {
+            let tp = session.thread_profiler();
+            let _g = tp.scope("streamed_main");
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        } // thread profiler dropped (flushes) before finish
+        let (events, samples) = session.finish().unwrap();
+        assert_eq!(events, 2);
+        assert!(samples > 0);
+
+        let (trace, truncated) = crate::stream::load_stream(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(!truncated);
+        assert_eq!(trace.events.len(), 2);
+        assert!(trace.samples.len() as u64 == samples);
+        assert!(trace.functions.iter().any(|f| f.name == "streamed_main"));
+        assert_eq!(trace.node.sensors.len(), 1);
+    }
+
+    #[test]
+    fn node_id_is_recorded() {
+        let mut session = ProfilingSession::start();
+        session.set_node_id(3);
+        let trace = session.finish();
+        assert_eq!(trace.node.node_id, 3);
+    }
+}

@@ -1,0 +1,492 @@
+//! Streaming trace capture: write-while-running.
+//!
+//! The in-memory [`crate::trace::Trace`] format needs the whole run in
+//! RAM before serialisation. The original Tempest wrote its trace file
+//! *during* execution (a crashed run still leaves a usable prefix — and
+//! long NAS runs never hold hours of events in memory). This module adds
+//! a chunked streaming format: a [`StreamWriter`] consumes batches from a
+//! [`crate::buffer::ChannelSink`] on a writer thread, appending
+//! self-delimiting chunks; [`read_stream`] recovers a [`Trace`] from the
+//! file, tolerating a truncated final chunk exactly the way a crash
+//! would leave one.
+//!
+//! Layout: `TMPSTRM1` magic, then chunks. Chunk = `u8` tag, `u32` count,
+//! payload. Tags: 1 = scope events, 2 = samples, 3 = symbol table,
+//! 4 = node metadata. The symbol table is (re)written on `finish`, so a
+//! clean close carries names; a crashed file still parses with ids only.
+
+use crate::event::{Event, EventKind, ThreadId};
+use crate::func::{FunctionDef, FunctionId, ScopeKind};
+use crate::trace::{NodeMeta, SensorMeta, Trace, TraceError};
+use crossbeam::channel::Receiver;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use tempest_sensors::{SensorId, SensorReading, Temperature};
+
+const STREAM_MAGIC: &[u8; 8] = b"TMPSTRM1";
+
+/// Incremental writer for one node's stream file.
+pub struct StreamWriter<W: Write> {
+    out: W,
+    events_written: u64,
+    samples_written: u64,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// Start a stream: writes the magic immediately.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(STREAM_MAGIC)?;
+        Ok(StreamWriter {
+            out,
+            events_written: 0,
+            samples_written: 0,
+        })
+    }
+
+    /// Append a batch of mixed events (scope events and samples are
+    /// split into separate chunks).
+    pub fn write_batch(&mut self, batch: &[Event]) -> io::Result<()> {
+        let scopes: Vec<&Event> = batch.iter().filter(|e| e.is_scope_event()).collect();
+        let samples: Vec<&Event> = batch.iter().filter(|e| !e.is_scope_event()).collect();
+        if !scopes.is_empty() {
+            self.out.write_all(&[1u8])?;
+            self.out.write_all(&(scopes.len() as u32).to_le_bytes())?;
+            for e in scopes {
+                let (tag, func) = match e.kind {
+                    EventKind::Enter { func } => (1u8, func),
+                    EventKind::Exit { func } => (2u8, func),
+                    _ => unreachable!(),
+                };
+                self.out.write_all(&[tag])?;
+                self.out.write_all(&e.thread.0.to_le_bytes())?;
+                self.out.write_all(&func.0.to_le_bytes())?;
+                self.out.write_all(&e.timestamp_ns.to_le_bytes())?;
+                self.events_written += 1;
+            }
+        }
+        if !samples.is_empty() {
+            self.out.write_all(&[2u8])?;
+            self.out.write_all(&(samples.len() as u32).to_le_bytes())?;
+            for e in &samples {
+                if let EventKind::Sample { sensor, millicelsius } = e.kind {
+                    self.out.write_all(&sensor.0.to_le_bytes())?;
+                    self.out.write_all(&e.timestamp_ns.to_le_bytes())?;
+                    self.out.write_all(&millicelsius.to_le_bytes())?;
+                    self.samples_written += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Close the stream: append node metadata and the symbol table, then
+    /// flush. Returns `(events, samples)` written.
+    pub fn finish(mut self, node: &NodeMeta, functions: &[FunctionDef]) -> io::Result<(u64, u64)> {
+        // Tag 4: node metadata.
+        self.out.write_all(&[4u8])?;
+        self.out.write_all(&1u32.to_le_bytes())?;
+        self.out.write_all(&node.node_id.to_le_bytes())?;
+        write_str(&mut self.out, &node.hostname)?;
+        self.out.write_all(&(node.sensors.len() as u16).to_le_bytes())?;
+        for s in &node.sensors {
+            self.out.write_all(&s.id.0.to_le_bytes())?;
+            self.out.write_all(&[sensor_kind_code(s.kind)])?;
+            write_str(&mut self.out, &s.label)?;
+        }
+        // Tag 3: symbol table.
+        self.out.write_all(&[3u8])?;
+        self.out.write_all(&(functions.len() as u32).to_le_bytes())?;
+        for f in functions {
+            self.out.write_all(&f.id.0.to_le_bytes())?;
+            self.out.write_all(&f.address.to_le_bytes())?;
+            self.out.write_all(&[match f.kind {
+                ScopeKind::Function => 0,
+                ScopeKind::Block => 1,
+            }])?;
+            write_str(&mut self.out, &f.name)?;
+        }
+        self.out.flush()?;
+        Ok((self.events_written, self.samples_written))
+    }
+}
+
+/// Drain a [`ChannelSink`](crate::buffer::ChannelSink) receiver into a
+/// stream file until the channel closes, then finish with the metadata.
+/// This is the writer-thread body for live capture.
+pub fn drain_to_stream<W: Write>(
+    rx: Receiver<Vec<Event>>,
+    out: W,
+    node: &NodeMeta,
+    functions: &[FunctionDef],
+) -> io::Result<(u64, u64)> {
+    let mut writer = StreamWriter::new(out)?;
+    for batch in rx.iter() {
+        writer.write_batch(&batch)?;
+    }
+    writer.finish(node, functions)
+}
+
+/// Read a stream file back into a [`Trace`]. A truncated tail (crash
+/// mid-chunk) is tolerated: complete chunks parse, the partial one is
+/// dropped, and `truncated` is reported.
+pub fn read_stream<R: Read>(r: &mut R) -> Result<(Trace, bool), TraceError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != STREAM_MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let mut events = Vec::new();
+    let mut samples: Vec<SensorReading> = Vec::new();
+    let mut functions: Vec<FunctionDef> = Vec::new();
+    let mut node = NodeMeta::anonymous();
+    let mut truncated = false;
+
+    'chunks: loop {
+        let mut tag = [0u8; 1];
+        match r.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let count = match try_read_u32(r) {
+            Some(c) => c,
+            None => {
+                truncated = true;
+                break;
+            }
+        };
+        match tag[0] {
+            1 => {
+                for _ in 0..count {
+                    let Some(bytes) = try_read_n::<17>(r) else {
+                        truncated = true;
+                        break 'chunks;
+                    };
+                    let ev_tag = bytes[0];
+                    let thread = ThreadId(u32::from_le_bytes(bytes[1..5].try_into().unwrap()));
+                    let func = FunctionId(u32::from_le_bytes(bytes[5..9].try_into().unwrap()));
+                    let ts = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
+                    let kind = match ev_tag {
+                        1 => EventKind::Enter { func },
+                        2 => EventKind::Exit { func },
+                        _ => return Err(TraceError::Corrupt("bad stream event tag")),
+                    };
+                    events.push(Event {
+                        timestamp_ns: ts,
+                        thread,
+                        kind,
+                    });
+                }
+            }
+            2 => {
+                for _ in 0..count {
+                    let Some(bytes) = try_read_n::<14>(r) else {
+                        truncated = true;
+                        break 'chunks;
+                    };
+                    let sensor = SensorId(u16::from_le_bytes(bytes[0..2].try_into().unwrap()));
+                    let ts = u64::from_le_bytes(bytes[2..10].try_into().unwrap());
+                    let mc = i32::from_le_bytes(bytes[10..14].try_into().unwrap());
+                    samples.push(SensorReading::new(
+                        sensor,
+                        ts,
+                        Temperature::from_millicelsius(mc as i64),
+                    ));
+                }
+            }
+            3 => {
+                for _ in 0..count {
+                    let Some(id) = try_read_u32(r) else {
+                        truncated = true;
+                        break 'chunks;
+                    };
+                    let Some(addr_bytes) = try_read_n::<9>(r) else {
+                        truncated = true;
+                        break 'chunks;
+                    };
+                    let address = u64::from_le_bytes(addr_bytes[0..8].try_into().unwrap());
+                    let kind = match addr_bytes[8] {
+                        0 => ScopeKind::Function,
+                        1 => ScopeKind::Block,
+                        _ => return Err(TraceError::Corrupt("bad stream scope kind")),
+                    };
+                    let Some(name) = try_read_str(r) else {
+                        truncated = true;
+                        break 'chunks;
+                    };
+                    functions.push(FunctionDef {
+                        id: FunctionId(id),
+                        name,
+                        address,
+                        kind,
+                    });
+                }
+            }
+            4 => {
+                let Some(node_id) = try_read_u32(r) else {
+                    truncated = true;
+                    break;
+                };
+                let Some(hostname) = try_read_str(r) else {
+                    truncated = true;
+                    break;
+                };
+                let Some(nsensors_b) = try_read_n::<2>(r) else {
+                    truncated = true;
+                    break;
+                };
+                let nsensors = u16::from_le_bytes(nsensors_b);
+                let mut sensors = Vec::with_capacity(nsensors as usize);
+                for _ in 0..nsensors {
+                    let Some(head) = try_read_n::<3>(r) else {
+                        truncated = true;
+                        break 'chunks;
+                    };
+                    let id = SensorId(u16::from_le_bytes(head[0..2].try_into().unwrap()));
+                    let kind = decode_sensor_kind(head[2])?;
+                    let Some(label) = try_read_str(r) else {
+                        truncated = true;
+                        break 'chunks;
+                    };
+                    sensors.push(SensorMeta { id, label, kind });
+                }
+                node = NodeMeta {
+                    node_id,
+                    hostname,
+                    sensors,
+                };
+            }
+            _ => return Err(TraceError::Corrupt("bad stream chunk tag")),
+        }
+    }
+
+    // If the run crashed before finish(), synthesise a symbol table so
+    // the parser can still run (ids only).
+    if functions.is_empty() {
+        let mut ids: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Enter { func } | EventKind::Exit { func } => Some(func.0),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        functions = ids
+            .into_iter()
+            .map(|id| FunctionDef {
+                id: FunctionId(id),
+                name: format!("fn#{id}"),
+                address: 0x400000 + 16 * id as u64,
+                kind: ScopeKind::Function,
+            })
+            .collect();
+    }
+
+    events.sort_by_key(|e| e.timestamp_ns);
+    samples.sort_by_key(|s| s.timestamp_ns);
+    Ok((
+        Trace {
+            node,
+            functions,
+            events,
+            samples,
+        },
+        truncated,
+    ))
+}
+
+/// Read a stream file from disk.
+pub fn load_stream(path: &Path) -> Result<(Trace, bool), TraceError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_stream(&mut f)
+}
+
+fn sensor_kind_code(k: tempest_sensors::SensorKind) -> u8 {
+    use tempest_sensors::SensorKind::*;
+    match k {
+        CpuCore => 0,
+        CpuPackage => 1,
+        Motherboard => 2,
+        Ambient => 3,
+        Memory => 4,
+        Other => 5,
+    }
+}
+
+fn decode_sensor_kind(b: u8) -> Result<tempest_sensors::SensorKind, TraceError> {
+    use tempest_sensors::SensorKind::*;
+    Ok(match b {
+        0 => CpuCore,
+        1 => CpuPackage,
+        2 => Motherboard,
+        3 => Ambient,
+        4 => Memory,
+        5 => Other,
+        _ => return Err(TraceError::Corrupt("bad sensor kind in stream")),
+    })
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    w.write_all(&(len as u16).to_le_bytes())?;
+    w.write_all(&bytes[..len])
+}
+
+fn try_read_n<const N: usize>(r: &mut impl Read) -> Option<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).ok().map(|_| buf)
+}
+
+fn try_read_u32(r: &mut impl Read) -> Option<u32> {
+    try_read_n::<4>(r).map(u32::from_le_bytes)
+}
+
+fn try_read_str(r: &mut impl Read) -> Option<String> {
+    let len = try_read_n::<2>(r).map(u16::from_le_bytes)? as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).ok()?;
+    String::from_utf8(buf).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{ChannelSink, EventSink};
+
+    fn demo_events() -> Vec<Event> {
+        vec![
+            Event::enter(0, ThreadId(0), FunctionId(0)),
+            Event::sample(5, SensorId(0), 40.5),
+            Event::enter(10, ThreadId(0), FunctionId(1)),
+            Event::sample(15, SensorId(1), 25.0),
+            Event::exit(20, ThreadId(0), FunctionId(1)),
+            Event::exit(30, ThreadId(0), FunctionId(0)),
+        ]
+    }
+
+    fn demo_functions() -> Vec<FunctionDef> {
+        vec![
+            FunctionDef {
+                id: FunctionId(0),
+                name: "main".into(),
+                address: 0x400000,
+                kind: ScopeKind::Function,
+            },
+            FunctionDef {
+                id: FunctionId(1),
+                name: "foo1".into(),
+                address: 0x400010,
+                kind: ScopeKind::Function,
+            },
+        ]
+    }
+
+    fn demo_node() -> NodeMeta {
+        NodeMeta {
+            node_id: 2,
+            hostname: "node2".into(),
+            sensors: vec![SensorMeta {
+                id: SensorId(0),
+                label: "die".into(),
+                kind: tempest_sensors::SensorKind::CpuCore,
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_stream_roundtrips() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf).unwrap();
+        w.write_batch(&demo_events()[..3]).unwrap();
+        w.write_batch(&demo_events()[3..]).unwrap();
+        let (ev, sa) = w.finish(&demo_node(), &demo_functions()).unwrap();
+        assert_eq!(ev, 4);
+        assert_eq!(sa, 2);
+
+        let (trace, truncated) = read_stream(&mut buf.as_slice()).unwrap();
+        assert!(!truncated);
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.samples.len(), 2);
+        assert_eq!(trace.node.hostname, "node2");
+        assert_eq!(trace.function(FunctionId(1)).unwrap().name, "foo1");
+        assert!((trace.samples[0].temperature.celsius() - 40.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf).unwrap();
+        w.write_batch(&demo_events()).unwrap();
+        w.finish(&demo_node(), &demo_functions()).unwrap();
+        // Chop mid-way through the symbol chunk.
+        let cut = buf.len() - 7;
+        let (trace, truncated) = read_stream(&mut buf[..cut].to_vec().as_slice()).unwrap();
+        assert!(truncated);
+        // Events survived even though the tail is gone.
+        assert_eq!(trace.events.len(), 4);
+    }
+
+    #[test]
+    fn crashed_stream_without_finish_still_parses() {
+        let mut buf = Vec::new();
+        {
+            let mut w = StreamWriter::new(&mut buf).unwrap();
+            w.write_batch(&demo_events()).unwrap();
+            // scope ends without finish(): simulated crash
+        }
+        let (trace, truncated) = read_stream(&mut buf.as_slice()).unwrap();
+        assert!(!truncated, "complete chunks, just no metadata");
+        assert_eq!(trace.events.len(), 4);
+        // Synthesised symbol table with placeholder names.
+        assert_eq!(trace.function(FunctionId(0)).unwrap().name, "fn#0");
+        // And the normal parser runs on it.
+        let tl = crate::trace::Trace {
+            functions: trace.functions.clone(),
+            ..trace.clone()
+        };
+        assert_eq!(tl.events.len(), 4);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTMAGIC".to_vec();
+        assert!(matches!(
+            read_stream(&mut buf.as_slice()),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn writer_thread_drains_channel_to_file() {
+        let (sink, rx) = ChannelSink::new();
+        let node = demo_node();
+        let functions = demo_functions();
+        let writer = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let counts = drain_to_stream(rx, &mut buf, &node, &functions).unwrap();
+            (buf, counts)
+        });
+        sink.submit(&demo_events()[..2]);
+        sink.submit(&demo_events()[2..]);
+        drop(sink); // close channel → writer finishes
+        let (buf, (ev, sa)) = writer.join().unwrap();
+        assert_eq!((ev, sa), (4, 2));
+        let (trace, truncated) = read_stream(&mut buf.as_slice()).unwrap();
+        assert!(!truncated);
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.node.node_id, 2);
+    }
+
+    #[test]
+    fn empty_stream_is_valid_and_empty() {
+        let mut buf = Vec::new();
+        let w = StreamWriter::new(&mut buf).unwrap();
+        w.finish(&NodeMeta::anonymous(), &[]).unwrap();
+        let (trace, truncated) = read_stream(&mut buf.as_slice()).unwrap();
+        assert!(!truncated);
+        assert!(trace.events.is_empty());
+        assert!(trace.samples.is_empty());
+    }
+}

@@ -1,0 +1,563 @@
+//! The trace file: Tempest's on-disk interchange format.
+//!
+//! §3.2: *"The profiling information for every node in the cluster along
+//! with the timestamps is aggregated into a trace file."* A [`Trace`] holds
+//! one node's worth: node metadata, the function symbol table, the scope
+//! (entry/exit) event stream, and the sensor sample stream. The binary
+//! format is versioned and self-describing; [`Trace::write_to`] /
+//! [`Trace::read_from`] round-trip it, and [`Trace::to_text`] renders a
+//! human-readable dump for debugging.
+
+use crate::event::{Event, EventKind, ThreadId};
+use crate::func::{FunctionDef, FunctionId, ScopeKind};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use tempest_sensors::{SensorId, SensorKind, SensorReading, Temperature};
+
+/// Magic + version prefix of the binary format.
+const MAGIC: &[u8; 8] = b"TMPEST01";
+
+/// Description of one sensor as recorded in the trace header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorMeta {
+    /// Identifier used by the node's readings.
+    pub id: SensorId,
+    /// Human-readable sensor label.
+    pub label: String,
+    /// What the sensor measures.
+    pub kind: SensorKind,
+}
+
+/// Which node of the cluster produced a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMeta {
+    /// Rank of the node within the cluster (0-based).
+    pub node_id: u32,
+    /// Hostname, for human-readable reports.
+    pub hostname: String,
+    /// The node's sensor inventory.
+    pub sensors: Vec<SensorMeta>,
+}
+
+impl NodeMeta {
+    /// Metadata for a single unnamed node with no sensors (tests, simple
+    /// native runs before sensor discovery).
+    pub fn anonymous() -> Self {
+        NodeMeta {
+            node_id: 0,
+            hostname: "localhost".to_string(),
+            sensors: Vec::new(),
+        }
+    }
+}
+
+/// One node's complete profiling record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Which node produced the trace.
+    pub node: NodeMeta,
+    /// The symbol table: every instrumented scope.
+    pub functions: Vec<FunctionDef>,
+    /// Function entry/exit events, in recording order.
+    pub events: Vec<Event>,
+    /// Sensor samples, in sampling order.
+    pub samples: Vec<SensorReading>,
+}
+
+/// Errors from reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// Structurally invalid content (reason attached).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "I/O error reading trace: {e}"),
+            TraceError::BadMagic => write!(f, "not a Tempest trace (bad magic)"),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl Trace {
+    /// Assemble a trace from a mixed event stream (as drained from a
+    /// sink): scope events and samples are separated, both sorted by
+    /// timestamp (stable, so same-timestamp ordering is preserved).
+    pub fn from_mixed_events(node: NodeMeta, functions: Vec<FunctionDef>, mixed: Vec<Event>) -> Self {
+        let mut events = Vec::new();
+        let mut samples = Vec::new();
+        for e in mixed {
+            match e.kind {
+                EventKind::Sample { sensor, millicelsius } => samples.push(SensorReading::new(
+                    sensor,
+                    e.timestamp_ns,
+                    Temperature::from_millicelsius(millicelsius as i64),
+                )),
+                _ => events.push(e),
+            }
+        }
+        events.sort_by_key(|e| e.timestamp_ns);
+        samples.sort_by_key(|s| s.timestamp_ns);
+        Trace {
+            node,
+            functions,
+            events,
+            samples,
+        }
+    }
+
+    /// Duration from first to last recorded instant, in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        let lo = self
+            .events
+            .first()
+            .map(|e| e.timestamp_ns)
+            .into_iter()
+            .chain(self.samples.first().map(|s| s.timestamp_ns))
+            .min();
+        let hi = self
+            .events
+            .last()
+            .map(|e| e.timestamp_ns)
+            .into_iter()
+            .chain(self.samples.last().map(|s| s.timestamp_ns))
+            .max();
+        match (lo, hi) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => 0,
+        }
+    }
+
+    /// Look up a function definition by id.
+    pub fn function(&self, id: FunctionId) -> Option<&FunctionDef> {
+        self.functions.iter().find(|f| f.id == id)
+    }
+
+    // ---- binary encoding -------------------------------------------------
+
+    /// Serialise to any writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.node.node_id.to_le_bytes())?;
+        write_str(w, &self.node.hostname)?;
+        w.write_all(&(self.node.sensors.len() as u16).to_le_bytes())?;
+        for s in &self.node.sensors {
+            w.write_all(&s.id.0.to_le_bytes())?;
+            w.write_all(&[encode_sensor_kind(s.kind)])?;
+            write_str(w, &s.label)?;
+        }
+        w.write_all(&(self.functions.len() as u32).to_le_bytes())?;
+        for f in &self.functions {
+            w.write_all(&f.id.0.to_le_bytes())?;
+            w.write_all(&f.address.to_le_bytes())?;
+            w.write_all(&[match f.kind {
+                ScopeKind::Function => 0,
+                ScopeKind::Block => 1,
+            }])?;
+            write_str(w, &f.name)?;
+        }
+        w.write_all(&(self.events.len() as u64).to_le_bytes())?;
+        for e in &self.events {
+            let (tag, func) = match e.kind {
+                EventKind::Enter { func } => (1u8, func),
+                EventKind::Exit { func } => (2u8, func),
+                EventKind::Sample { .. } => unreachable!("samples kept separately"),
+            };
+            w.write_all(&[tag])?;
+            w.write_all(&e.thread.0.to_le_bytes())?;
+            w.write_all(&func.0.to_le_bytes())?;
+            w.write_all(&e.timestamp_ns.to_le_bytes())?;
+        }
+        w.write_all(&(self.samples.len() as u64).to_le_bytes())?;
+        for s in &self.samples {
+            w.write_all(&s.sensor.0.to_le_bytes())?;
+            w.write_all(&s.timestamp_ns.to_le_bytes())?;
+            // Full f64 bits: quantisation is a *sensor* property; the
+            // trace format must round-trip whatever was reported.
+            w.write_all(&s.temperature.celsius().to_bits().to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialise from any reader.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let node_id = read_u32(r)?;
+        let hostname = read_str(r)?;
+        let sensor_count = read_u16(r)? as usize;
+        let mut sensors = Vec::with_capacity(sensor_count);
+        for _ in 0..sensor_count {
+            let id = SensorId(read_u16(r)?);
+            let kind = decode_sensor_kind(read_u8(r)?)?;
+            let label = read_str(r)?;
+            sensors.push(SensorMeta { id, label, kind });
+        }
+        let fn_count = read_u32(r)? as usize;
+        let mut functions = Vec::with_capacity(fn_count);
+        for _ in 0..fn_count {
+            let id = FunctionId(read_u32(r)?);
+            let address = read_u64(r)?;
+            let kind = match read_u8(r)? {
+                0 => ScopeKind::Function,
+                1 => ScopeKind::Block,
+                _ => return Err(TraceError::Corrupt("bad scope kind")),
+            };
+            let name = read_str(r)?;
+            functions.push(FunctionDef {
+                id,
+                name,
+                address,
+                kind,
+            });
+        }
+        let ev_count = read_u64(r)? as usize;
+        let mut events = Vec::with_capacity(ev_count.min(1 << 24));
+        for _ in 0..ev_count {
+            let tag = read_u8(r)?;
+            let thread = ThreadId(read_u32(r)?);
+            let func = FunctionId(read_u32(r)?);
+            let ts = read_u64(r)?;
+            let kind = match tag {
+                1 => EventKind::Enter { func },
+                2 => EventKind::Exit { func },
+                _ => return Err(TraceError::Corrupt("bad event tag")),
+            };
+            events.push(Event {
+                timestamp_ns: ts,
+                thread,
+                kind,
+            });
+        }
+        let sample_count = read_u64(r)? as usize;
+        let mut samples = Vec::with_capacity(sample_count.min(1 << 24));
+        for _ in 0..sample_count {
+            let sensor = SensorId(read_u16(r)?);
+            let ts = read_u64(r)?;
+            let bits = read_u64(r)?;
+            let celsius = f64::from_bits(bits);
+            if !celsius.is_finite() {
+                return Err(TraceError::Corrupt("non-finite sample temperature"));
+            }
+            samples.push(SensorReading::new(
+                sensor,
+                ts,
+                Temperature::from_celsius(celsius),
+            ));
+        }
+        Ok(Trace {
+            node: NodeMeta {
+                node_id,
+                hostname,
+                sensors,
+            },
+            functions,
+            events,
+            samples,
+        })
+    }
+
+    /// Write to a file path.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Read from a file path.
+    pub fn load(path: &Path) -> Result<Trace, TraceError> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Trace::read_from(&mut f)
+    }
+
+    /// Human-readable dump (debugging aid; not parsed back).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# tempest trace: node {} ({}), {} functions, {} events, {} samples\n",
+            self.node.node_id,
+            self.node.hostname,
+            self.functions.len(),
+            self.events.len(),
+            self.samples.len()
+        ));
+        for f in &self.functions {
+            out.push_str(&format!(
+                "F {} {:#010x} {:?} {}\n",
+                f.id.0, f.address, f.kind, f.name
+            ));
+        }
+        for e in &self.events {
+            let (tag, func) = match e.kind {
+                EventKind::Enter { func } => ('>', func),
+                EventKind::Exit { func } => ('<', func),
+                _ => continue,
+            };
+            out.push_str(&format!("{tag} t{} f{} @{}\n", e.thread.0, func.0, e.timestamp_ns));
+        }
+        for s in &self.samples {
+            out.push_str(&format!(
+                "T {} @{} {:.3}C\n",
+                s.sensor,
+                s.timestamp_ns,
+                s.temperature.celsius()
+            ));
+        }
+        out
+    }
+}
+
+fn encode_sensor_kind(k: SensorKind) -> u8 {
+    match k {
+        SensorKind::CpuCore => 0,
+        SensorKind::CpuPackage => 1,
+        SensorKind::Motherboard => 2,
+        SensorKind::Ambient => 3,
+        SensorKind::Memory => 4,
+        SensorKind::Other => 5,
+    }
+}
+
+fn decode_sensor_kind(b: u8) -> Result<SensorKind, TraceError> {
+    Ok(match b {
+        0 => SensorKind::CpuCore,
+        1 => SensorKind::CpuPackage,
+        2 => SensorKind::Motherboard,
+        3 => SensorKind::Ambient,
+        4 => SensorKind::Memory,
+        5 => SensorKind::Other,
+        _ => return Err(TraceError::Corrupt("bad sensor kind")),
+    })
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    w.write_all(&(len as u16).to_le_bytes())?;
+    w.write_all(&bytes[..len])
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String, TraceError> {
+    let len = read_u16(r)? as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| TraceError::Corrupt("invalid UTF-8 string"))
+}
+
+macro_rules! read_le {
+    ($name:ident, $ty:ty) => {
+        fn $name<R: Read>(r: &mut R) -> Result<$ty, TraceError> {
+            let mut buf = [0u8; std::mem::size_of::<$ty>()];
+            r.read_exact(&mut buf)?;
+            Ok(<$ty>::from_le_bytes(buf))
+        }
+    };
+}
+read_le!(read_u16, u16);
+read_le!(read_u32, u32);
+read_le!(read_u64, u64);
+
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8, TraceError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let node = NodeMeta {
+            node_id: 2,
+            hostname: "node2".to_string(),
+            sensors: vec![
+                SensorMeta {
+                    id: SensorId(0),
+                    label: "CPU0 die".to_string(),
+                    kind: SensorKind::CpuCore,
+                },
+                SensorMeta {
+                    id: SensorId(1),
+                    label: "ambient".to_string(),
+                    kind: SensorKind::Ambient,
+                },
+            ],
+        };
+        let functions = vec![
+            FunctionDef {
+                id: FunctionId(0),
+                name: "main".to_string(),
+                address: 0x400000,
+                kind: ScopeKind::Function,
+            },
+            FunctionDef {
+                id: FunctionId(1),
+                name: "foo1".to_string(),
+                address: 0x400010,
+                kind: ScopeKind::Block,
+            },
+        ];
+        let events = vec![
+            Event::enter(100, ThreadId(0), FunctionId(0)),
+            Event::enter(200, ThreadId(0), FunctionId(1)),
+            Event::exit(900, ThreadId(0), FunctionId(1)),
+            Event::exit(1000, ThreadId(0), FunctionId(0)),
+        ];
+        let samples = vec![
+            SensorReading::new(SensorId(0), 250, Temperature::from_celsius(40.0)),
+            SensorReading::new(SensorId(1), 250, Temperature::from_celsius(25.5)),
+            SensorReading::new(SensorId(0), 500, Temperature::from_celsius(41.0)),
+        ];
+        Trace {
+            node,
+            functions,
+            events,
+            samples,
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let path = std::env::temp_dir().join(format!("tempest-trace-{}.bin", std::process::id()));
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        sample_trace().write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            Trace::read_from(&mut buf.as_slice()),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_trace_rejected() {
+        let mut buf = Vec::new();
+        sample_trace().write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(
+            Trace::read_from(&mut buf.as_slice()),
+            Err(TraceError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_event_tag_rejected() {
+        let t = Trace {
+            events: vec![Event::enter(1, ThreadId(0), FunctionId(0))],
+            ..sample_trace()
+        };
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        // The single event's tag byte is 12 (samples) + 8+8+4 bytes from
+        // the end... simpler: find the last Enter tag (value 1) before the
+        // event payload; events section starts right after the u64 count.
+        // Locate by writing a trace with zero functions/sensors instead.
+        let t2 = Trace {
+            node: NodeMeta::anonymous(),
+            functions: vec![],
+            events: vec![Event::enter(1, ThreadId(0), FunctionId(0))],
+            samples: vec![],
+        };
+        let mut b2 = Vec::new();
+        t2.write_to(&mut b2).unwrap();
+        // Layout: magic(8) node_id(4) hostname len(2)+9 sensors(2) fns(4)
+        // events count(8) then tag.
+        let tag_pos = 8 + 4 + 2 + "localhost".len() + 2 + 4 + 8;
+        assert_eq!(b2[tag_pos], 1);
+        b2[tag_pos] = 99;
+        assert!(matches!(
+            Trace::read_from(&mut b2.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn from_mixed_events_separates_and_sorts() {
+        let mixed = vec![
+            Event::sample(300, SensorId(0), 41.0),
+            Event::enter(100, ThreadId(0), FunctionId(0)),
+            Event::sample(200, SensorId(0), 40.0),
+            Event::exit(400, ThreadId(0), FunctionId(0)),
+        ];
+        let t = Trace::from_mixed_events(NodeMeta::anonymous(), vec![], mixed);
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.samples.len(), 2);
+        assert!(t.samples[0].timestamp_ns < t.samples[1].timestamp_ns);
+        assert_eq!(t.span_ns(), 300); // 100 → 400
+    }
+
+    #[test]
+    fn span_of_empty_trace_is_zero() {
+        let t = Trace {
+            node: NodeMeta::anonymous(),
+            functions: vec![],
+            events: vec![],
+            samples: vec![],
+        };
+        assert_eq!(t.span_ns(), 0);
+    }
+
+    #[test]
+    fn function_lookup() {
+        let t = sample_trace();
+        assert_eq!(t.function(FunctionId(1)).unwrap().name, "foo1");
+        assert!(t.function(FunctionId(9)).is_none());
+    }
+
+    #[test]
+    fn text_dump_mentions_key_facts() {
+        let txt = sample_trace().to_text();
+        assert!(txt.contains("node 2"));
+        assert!(txt.contains("main"));
+        assert!(txt.contains("sensor1"));
+        assert!(txt.contains("40.000C"));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace {
+            node: NodeMeta::anonymous(),
+            functions: vec![],
+            events: vec![],
+            samples: vec![],
+        };
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert_eq!(Trace::read_from(&mut buf.as_slice()).unwrap(), t);
+    }
+}

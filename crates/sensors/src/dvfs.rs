@@ -1,0 +1,209 @@
+//! Dynamic voltage and frequency scaling model.
+//!
+//! §4.1: the paper *disables* DVFS for its experiments ("this effectively
+//! sets the CPU to its highest frequency"), so the default governor here is
+//! [`Governor::Performance`]. The thermal-feedback governor is implemented
+//! so the thermal-optimisation experiment (E12) can demonstrate what the
+//! paper's future work proposes: using Tempest data to drive management
+//! decisions.
+
+/// One frequency/voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PState {
+    /// Core frequency in MHz.
+    pub freq_mhz: f64,
+    /// Core voltage in volts.
+    pub volts: f64,
+}
+
+impl PState {
+    /// Dynamic power scale relative to a nominal P-state: `(f/f0)·(V/V0)²`.
+    pub fn dynamic_scale(self, nominal: PState) -> f64 {
+        (self.freq_mhz / nominal.freq_mhz) * (self.volts / nominal.volts).powi(2)
+    }
+
+    /// Static/leakage power scale relative to nominal: `V/V0`.
+    pub fn static_scale(self, nominal: PState) -> f64 {
+        self.volts / nominal.volts
+    }
+
+    /// Performance scale relative to nominal (execution-time multiplier is
+    /// the inverse of this).
+    pub fn perf_scale(self, nominal: PState) -> f64 {
+        self.freq_mhz / nominal.freq_mhz
+    }
+}
+
+/// The P-state table of the paper's 1.8 GHz Opteron nodes.
+pub fn opteron_pstates() -> Vec<PState> {
+    vec![
+        PState { freq_mhz: 1000.0, volts: 1.10 },
+        PState { freq_mhz: 1400.0, volts: 1.20 },
+        PState { freq_mhz: 1800.0, volts: 1.35 },
+    ]
+}
+
+/// DVFS policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Governor {
+    /// Always the highest P-state — the paper's experimental setting.
+    Performance,
+    /// Always the lowest P-state.
+    Powersave,
+    /// Drop one P-state when the observed temperature exceeds `trip_c`,
+    /// return to max when it falls below `trip_c - hysteresis_c`.
+    ThermalThrottle {
+        /// Temperature above which the governor steps a P-state down, °C.
+        trip_c: f64,
+        /// Recovery band below the trip point before stepping back up, °C.
+        hysteresis_c: f64,
+    },
+}
+
+/// A per-socket DVFS controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dvfs {
+    states: Vec<PState>,
+    governor: Governor,
+    current: usize,
+}
+
+impl Dvfs {
+    /// Build a controller; `states` must be sorted by ascending frequency.
+    pub fn new(states: Vec<PState>, governor: Governor) -> Self {
+        assert!(!states.is_empty());
+        assert!(
+            states.windows(2).all(|w| w[0].freq_mhz <= w[1].freq_mhz),
+            "P-states must be sorted by frequency"
+        );
+        let current = match governor {
+            Governor::Powersave => 0,
+            _ => states.len() - 1,
+        };
+        Dvfs {
+            states,
+            governor,
+            current,
+        }
+    }
+
+    /// The paper's configuration: Opteron table, performance governor.
+    pub fn disabled_opteron() -> Self {
+        Dvfs::new(opteron_pstates(), Governor::Performance)
+    }
+
+    /// Current operating point.
+    pub fn state(&self) -> PState {
+        self.states[self.current]
+    }
+
+    /// Highest operating point (the nominal reference).
+    pub fn nominal(&self) -> PState {
+        *self.states.last().unwrap()
+    }
+
+    /// Index of the current P-state.
+    pub fn state_index(&self) -> usize {
+        self.current
+    }
+
+    /// Update the governor with an observed temperature; returns `true` if
+    /// the P-state changed.
+    pub fn update(&mut self, observed_c: f64) -> bool {
+        let prev = self.current;
+        match self.governor {
+            Governor::Performance => self.current = self.states.len() - 1,
+            Governor::Powersave => self.current = 0,
+            Governor::ThermalThrottle { trip_c, hysteresis_c } => {
+                if observed_c > trip_c && self.current > 0 {
+                    self.current -= 1;
+                } else if observed_c < trip_c - hysteresis_c
+                    && self.current < self.states.len() - 1
+                {
+                    self.current += 1;
+                }
+            }
+        }
+        self.current != prev
+    }
+
+    /// Dynamic power multiplier at the current state.
+    pub fn dynamic_scale(&self) -> f64 {
+        self.state().dynamic_scale(self.nominal())
+    }
+
+    /// Static power multiplier at the current state.
+    pub fn static_scale(&self) -> f64 {
+        self.state().static_scale(self.nominal())
+    }
+
+    /// Performance multiplier at the current state (≤ 1.0).
+    pub fn perf_scale(&self) -> f64 {
+        self.state().perf_scale(self.nominal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_governor_pins_top_state() {
+        let mut d = Dvfs::disabled_opteron();
+        assert_eq!(d.state().freq_mhz, 1800.0);
+        assert!(!d.update(95.0)); // stays at top even when hot
+        assert_eq!(d.state().freq_mhz, 1800.0);
+        assert!((d.dynamic_scale() - 1.0).abs() < 1e-12);
+        assert!((d.perf_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powersave_pins_bottom_state() {
+        let d = Dvfs::new(opteron_pstates(), Governor::Powersave);
+        assert_eq!(d.state().freq_mhz, 1000.0);
+        assert!(d.dynamic_scale() < 1.0);
+    }
+
+    #[test]
+    fn throttle_steps_down_when_hot_and_recovers() {
+        let mut d = Dvfs::new(
+            opteron_pstates(),
+            Governor::ThermalThrottle {
+                trip_c: 70.0,
+                hysteresis_c: 5.0,
+            },
+        );
+        assert_eq!(d.state().freq_mhz, 1800.0);
+        assert!(d.update(75.0));
+        assert_eq!(d.state().freq_mhz, 1400.0);
+        assert!(d.update(75.0));
+        assert_eq!(d.state().freq_mhz, 1000.0);
+        assert!(!d.update(75.0)); // floor
+        // Inside hysteresis band: hold.
+        assert!(!d.update(67.0));
+        // Below band: step back up.
+        assert!(d.update(60.0));
+        assert_eq!(d.state().freq_mhz, 1400.0);
+    }
+
+    #[test]
+    fn dynamic_scale_follows_fv2() {
+        let states = opteron_pstates();
+        let lo = states[0];
+        let hi = states[2];
+        let expect = (1000.0 / 1800.0) * (1.10f64 / 1.35).powi(2);
+        assert!((lo.dynamic_scale(hi) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_states_rejected() {
+        Dvfs::new(
+            vec![
+                PState { freq_mhz: 1800.0, volts: 1.35 },
+                PState { freq_mhz: 1000.0, volts: 1.10 },
+            ],
+            Governor::Performance,
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Fan model.
+//!
+//! §4.1 of the paper: *"we disabled DVFS and auto fan speed regulation …
+//! sets the fan speed to a constant high speed (e.g. 3000 RPMs)"*. The fan
+//! model therefore defaults to a fixed RPM, but also implements the
+//! thermostat controller the paper disabled, so the feedback ablation
+//! (experiment E12/E15 extensions) can turn it back on.
+
+/// Fan operating policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FanPolicy {
+    /// Constant speed — the paper's experimental configuration.
+    Fixed {
+        /// The pinned speed, RPM.
+        rpm: f64,
+    },
+    /// Proportional thermostat: below `low_c` run at `min_rpm`, above
+    /// `high_c` run at `max_rpm`, linear in between. This is the "auto fan
+    /// speed regulation" the paper disables to avoid feedback effects.
+    Thermostat {
+        /// Below this temperature the fan runs at `min_rpm`, °C.
+        low_c: f64,
+        /// Above this temperature the fan runs at `max_rpm`, °C.
+        high_c: f64,
+        /// Speed at or below `low_c`, RPM.
+        min_rpm: f64,
+        /// Speed at or above `high_c`, RPM.
+        max_rpm: f64,
+    },
+}
+
+/// A chassis/CPU fan. Airflow reduces the exhaust thermal resistance of the
+/// node's [`crate::rc_model::ThermalStack`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fan {
+    /// Active policy.
+    pub policy: FanPolicy,
+    /// RPM at which the nominal thermal resistance is calibrated.
+    pub nominal_rpm: f64,
+    current_rpm: f64,
+}
+
+impl Fan {
+    /// The paper's configuration: constant 3000 RPM.
+    pub fn fixed_high() -> Self {
+        Fan::new(FanPolicy::Fixed { rpm: 3000.0 }, 3000.0)
+    }
+
+    /// Create a fan with the given policy, calibrated at `nominal_rpm`.
+    pub fn new(policy: FanPolicy, nominal_rpm: f64) -> Self {
+        assert!(nominal_rpm > 0.0);
+        let current_rpm = match policy {
+            FanPolicy::Fixed { rpm } => rpm,
+            FanPolicy::Thermostat { min_rpm, .. } => min_rpm,
+        };
+        Fan {
+            policy,
+            nominal_rpm,
+            current_rpm,
+        }
+    }
+
+    /// Current speed in RPM.
+    pub fn rpm(&self) -> f64 {
+        self.current_rpm
+    }
+
+    /// Update fan speed given the temperature the controller observes.
+    pub fn update(&mut self, observed_c: f64) {
+        self.current_rpm = match self.policy {
+            FanPolicy::Fixed { rpm } => rpm,
+            FanPolicy::Thermostat {
+                low_c,
+                high_c,
+                min_rpm,
+                max_rpm,
+            } => {
+                if observed_c <= low_c {
+                    min_rpm
+                } else if observed_c >= high_c {
+                    max_rpm
+                } else {
+                    let t = (observed_c - low_c) / (high_c - low_c);
+                    min_rpm + t * (max_rpm - min_rpm)
+                }
+            }
+        };
+    }
+
+    /// Multiplier on the exhaust thermal resistance relative to nominal.
+    ///
+    /// Convective resistance falls roughly with the square root of airflow
+    /// for the laminar-ish regime of chassis fans; we use
+    /// `(nominal/current)^0.6`, clamped so a stalled fan does not produce
+    /// infinite resistance.
+    pub fn resistance_factor(&self) -> f64 {
+        let ratio = self.nominal_rpm / self.current_rpm.max(1.0);
+        ratio.powf(0.6).clamp(0.2, 5.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_fan_ignores_temperature() {
+        let mut f = Fan::fixed_high();
+        f.update(30.0);
+        assert_eq!(f.rpm(), 3000.0);
+        f.update(90.0);
+        assert_eq!(f.rpm(), 3000.0);
+        assert!((f.resistance_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermostat_interpolates() {
+        let mut f = Fan::new(
+            FanPolicy::Thermostat {
+                low_c: 40.0,
+                high_c: 70.0,
+                min_rpm: 1000.0,
+                max_rpm: 3000.0,
+            },
+            3000.0,
+        );
+        f.update(30.0);
+        assert_eq!(f.rpm(), 1000.0);
+        f.update(55.0);
+        assert!((f.rpm() - 2000.0).abs() < 1e-9);
+        f.update(80.0);
+        assert_eq!(f.rpm(), 3000.0);
+    }
+
+    #[test]
+    fn slower_fan_raises_resistance() {
+        let mut f = Fan::new(
+            FanPolicy::Thermostat {
+                low_c: 40.0,
+                high_c: 70.0,
+                min_rpm: 1500.0,
+                max_rpm: 3000.0,
+            },
+            3000.0,
+        );
+        f.update(30.0); // min speed
+        let slow = f.resistance_factor();
+        f.update(90.0); // max speed
+        let fast = f.resistance_factor();
+        assert!(slow > fast);
+        assert!((fast - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resistance_factor_clamped_for_stalled_fan() {
+        let f = Fan::new(FanPolicy::Fixed { rpm: 0.0 }, 3000.0);
+        assert!(f.resistance_factor() <= 5.0);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! # tempest-sensors
+//!
+//! Thermal-sensor substrate for the Tempest thermal profiler.
+//!
+//! The original Tempest tool (Cameron, Pyla & Varadarajan, ICPP 2007) read
+//! motherboard and CPU thermal sensors through the Linux *lm-sensors*
+//! package. This crate provides the equivalent abstraction for the Rust
+//! reproduction:
+//!
+//! * [`source::SensorSource`] — the trait every sensor provider implements.
+//! * [`hwmon::HwmonSource`] — a real reader for `/sys/class/hwmon` and
+//!   `/sys/class/thermal` on Linux machines that have sensors.
+//! * [`sim::SimulatedSensorBank`] — a simulated bank of sensors driven by a
+//!   lumped-RC thermal model ([`rc_model`]), a power model ([`power`]), a fan
+//!   model ([`fan`]) and optional DVFS feedback ([`dvfs`]). This is the
+//!   substitute for real cluster hardware: it exercises exactly the same
+//!   sampling path the paper's `tempd` daemon used, while remaining fully
+//!   deterministic and portable.
+//! * [`platform`] — presets reproducing the sensor inventories the paper
+//!   observed (3 sensors on x86 Opteron boxes, up to 7 on PowerPC G5).
+//! * [`validation`] — the §3.4 "external reference sensor" validation
+//!   harness: quantised sensor readings are compared against the model's
+//!   ground truth.
+//!
+//! Temperatures are stored internally in degrees Celsius and converted to
+//! Fahrenheit for reporting, matching the paper's figures and tables (which
+//! show readings quantised on a 1 °C grid, visible as 1.8 °F steps).
+
+pub mod dvfs;
+pub mod fan;
+pub mod hwmon;
+pub mod noise;
+pub mod node_model;
+pub mod platform;
+pub mod power;
+pub mod quantize;
+pub mod rc_model;
+pub mod reading;
+pub mod replay;
+pub mod sim;
+pub mod source;
+pub mod units;
+pub mod validation;
+
+pub use node_model::{NodeThermalModel, NodeThermalParams};
+pub use quantize::Quantization;
+pub use reading::SensorReading;
+pub use sim::SimulatedSensorBank;
+pub use source::{SensorId, SensorInfo, SensorKind, SensorSource};
+pub use units::Temperature;

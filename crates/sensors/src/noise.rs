@@ -1,0 +1,113 @@
+//! Measurement-noise models.
+//!
+//! The paper notes that "thermal sensor technology is emergent and at times
+//! unstable" (§4.1) and that repeated measurements carry ~5 % variance
+//! (§3.4). The noise model injects (deterministic, seeded) Gaussian jitter
+//! and occasional spike glitches so the analysis pipeline is exercised on
+//! realistic, imperfect data.
+
+use crate::units::Temperature;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Additive noise applied to a physical temperature before quantisation.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    rng: StdRng,
+    /// Standard deviation of Gaussian jitter, °C.
+    pub sigma_c: f64,
+    /// Probability per sample of a glitch spike.
+    pub spike_prob: f64,
+    /// Magnitude of a glitch spike, °C (sign is random).
+    pub spike_magnitude_c: f64,
+}
+
+impl NoiseModel {
+    /// Jitter-only noise with the given standard deviation.
+    pub fn gaussian(seed: u64, sigma_c: f64) -> Self {
+        NoiseModel {
+            rng: StdRng::seed_from_u64(seed),
+            sigma_c,
+            spike_prob: 0.0,
+            spike_magnitude_c: 0.0,
+        }
+    }
+
+    /// Jitter plus rare spikes — models the "unstable" sensors of §4.1.
+    pub fn unstable(seed: u64, sigma_c: f64, spike_prob: f64, spike_magnitude_c: f64) -> Self {
+        NoiseModel {
+            rng: StdRng::seed_from_u64(seed),
+            sigma_c,
+            spike_prob,
+            spike_magnitude_c,
+        }
+    }
+
+    /// No noise at all (ground-truth path).
+    pub fn none(seed: u64) -> Self {
+        NoiseModel::gaussian(seed, 0.0)
+    }
+
+    /// Apply noise to one physical temperature.
+    pub fn perturb(&mut self, t: Temperature) -> Temperature {
+        let mut delta = if self.sigma_c > 0.0 {
+            // Box–Muller transform; two uniforms → one normal deviate.
+            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * self.sigma_c
+        } else {
+            0.0
+        };
+        if self.spike_prob > 0.0 && self.rng.gen_bool(self.spike_prob) {
+            let sign = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            delta += sign * self.spike_magnitude_c;
+        }
+        t + delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut n = NoiseModel::none(7);
+        let t = Temperature::from_celsius(40.0);
+        for _ in 0..100 {
+            assert_eq!(n.perturb(t), t);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let t = Temperature::from_celsius(40.0);
+        let mut a = NoiseModel::gaussian(42, 0.5);
+        let mut b = NoiseModel::gaussian(42, 0.5);
+        for _ in 0..50 {
+            assert_eq!(a.perturb(t), b.perturb(t));
+        }
+    }
+
+    #[test]
+    fn gaussian_statistics_roughly_correct() {
+        let mut n = NoiseModel::gaussian(1, 0.5);
+        let t = Temperature::from_celsius(40.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.perturb(t).celsius() - 40.0).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sdv {}", var.sqrt());
+    }
+
+    #[test]
+    fn spikes_occur_at_configured_rate() {
+        let mut n = NoiseModel::unstable(9, 0.0, 0.1, 10.0);
+        let t = Temperature::from_celsius(40.0);
+        let spikes = (0..10_000)
+            .filter(|_| (n.perturb(t).celsius() - 40.0).abs() > 5.0)
+            .count();
+        // Expect ~1000; allow generous slack.
+        assert!((700..1300).contains(&spikes), "spikes {spikes}");
+    }
+}

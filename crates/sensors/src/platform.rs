@@ -1,0 +1,158 @@
+//! Platform presets: which sensors a node exposes.
+//!
+//! §3.4: *"we observed as few as 3 sensors on x86 platforms from AMD and up
+//! to 7 sensors on PowerPC G5 systems"*. A [`PlatformSpec`] describes the
+//! sensor inventory and how each sensor maps onto the physical node model,
+//! so the simulated bank can reproduce either machine.
+
+use crate::quantize::Quantization;
+use crate::source::SensorKind;
+
+/// Where on the node model one sensor reads from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorTap {
+    /// Die temperature of socket `n`.
+    Die(usize),
+    /// Heat-sink/package temperature of socket `n`.
+    Sink(usize),
+    /// Motherboard sensor.
+    Board,
+    /// Chassis ambient sensor.
+    Ambient,
+}
+
+/// One sensor's wiring: label, kind, tap point, and quantisation grid.
+#[derive(Debug, Clone)]
+pub struct SensorSpec {
+    /// Human-readable label (mirrors lm-sensors labels).
+    pub label: String,
+    /// What the sensor measures.
+    pub kind: SensorKind,
+    /// Where on the node model the sensor reads.
+    pub tap: SensorTap,
+    /// Reporting grid of the sensor.
+    pub quantization: Quantization,
+}
+
+impl SensorSpec {
+    fn new(label: &str, kind: SensorKind, tap: SensorTap, quantization: Quantization) -> Self {
+        SensorSpec {
+            label: label.to_string(),
+            kind,
+            tap,
+            quantization,
+        }
+    }
+}
+
+/// A platform's sensor inventory.
+#[derive(Debug, Clone)]
+pub struct PlatformSpec {
+    /// Platform name (e.g. `"AMD Opteron (x86_64)"`).
+    pub name: String,
+    /// The sensors, in the order `tempd` will report them.
+    pub sensors: Vec<SensorSpec>,
+}
+
+impl PlatformSpec {
+    /// The paper's minimal x86 inventory: one CPU die sensor per socket
+    /// plus one board sensor — three sensors on a dual-socket AMD box.
+    pub fn x86_minimal() -> Self {
+        PlatformSpec {
+            name: "AMD Opteron (x86_64, 3 sensors)".to_string(),
+            sensors: vec![
+                SensorSpec::new("CPU0 die", SensorKind::CpuCore, SensorTap::Die(0), Quantization::CPU_GRID),
+                SensorSpec::new("CPU1 die", SensorKind::CpuCore, SensorTap::Die(1), Quantization::CPU_GRID),
+                SensorSpec::new("M/B temp", SensorKind::Motherboard, SensorTap::Board, Quantization::AMBIENT_GRID),
+            ],
+        }
+    }
+
+    /// The six-sensor inventory visible in the paper's Tables 2–3
+    /// (sensor1…sensor6): two ambient/board sensors on coarse grids and
+    /// die+sink pairs for both sockets on the 1 °C grid.
+    pub fn opteron_full() -> Self {
+        PlatformSpec {
+            name: "AMD Opteron dual-socket (6 sensors)".to_string(),
+            sensors: vec![
+                SensorSpec::new("chassis ambient", SensorKind::Ambient, SensorTap::Ambient, Quantization::AMBIENT_GRID),
+                SensorSpec::new("M/B temp", SensorKind::Motherboard, SensorTap::Board, Quantization::CPU_GRID),
+                SensorSpec::new("CPU0 package", SensorKind::CpuPackage, SensorTap::Sink(0), Quantization::CPU_GRID),
+                SensorSpec::new("CPU0 die", SensorKind::CpuCore, SensorTap::Die(0), Quantization::CPU_GRID),
+                SensorSpec::new("CPU1 die", SensorKind::CpuCore, SensorTap::Die(1), Quantization::CPU_GRID),
+                SensorSpec::new("CPU1 package", SensorKind::CpuPackage, SensorTap::Sink(1), Quantization::CPU_GRID),
+            ],
+        }
+    }
+
+    /// PowerPC G5 (System X) inventory: up to 7 sensors per node.
+    pub fn powerpc_g5() -> Self {
+        PlatformSpec {
+            name: "PowerPC G5 / System X (7 sensors)".to_string(),
+            sensors: vec![
+                SensorSpec::new("CPU A die", SensorKind::CpuCore, SensorTap::Die(0), Quantization::CPU_GRID),
+                SensorSpec::new("CPU A heatsink", SensorKind::CpuPackage, SensorTap::Sink(0), Quantization::CPU_GRID),
+                SensorSpec::new("CPU B die", SensorKind::CpuCore, SensorTap::Die(1), Quantization::CPU_GRID),
+                SensorSpec::new("CPU B heatsink", SensorKind::CpuPackage, SensorTap::Sink(1), Quantization::CPU_GRID),
+                SensorSpec::new("drive bay", SensorKind::Other, SensorTap::Ambient, Quantization::AMBIENT_GRID),
+                SensorSpec::new("backside", SensorKind::Motherboard, SensorTap::Board, Quantization::CPU_GRID),
+                SensorSpec::new("intake ambient", SensorKind::Ambient, SensorTap::Ambient, Quantization::AMBIENT_GRID),
+            ],
+        }
+    }
+
+    /// Number of sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// The highest socket index any sensor taps, if any CPU sensor exists.
+    pub fn max_socket(&self) -> Option<usize> {
+        self.sensors
+            .iter()
+            .filter_map(|s| match s.tap {
+                SensorTap::Die(n) | SensorTap::Sink(n) => Some(n),
+                _ => None,
+            })
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sensor_counts() {
+        assert_eq!(PlatformSpec::x86_minimal().sensor_count(), 3);
+        assert_eq!(PlatformSpec::opteron_full().sensor_count(), 6);
+        assert_eq!(PlatformSpec::powerpc_g5().sensor_count(), 7);
+    }
+
+    #[test]
+    fn opteron_full_matches_table_layout() {
+        // Tables 2–3 list six sensors; sensors 4 and 5 show the widest
+        // dynamic range (they are die sensors in our mapping).
+        let p = PlatformSpec::opteron_full();
+        assert_eq!(p.sensors[3].tap, SensorTap::Die(0));
+        assert_eq!(p.sensors[4].tap, SensorTap::Die(1));
+        assert!(matches!(p.sensors[0].kind, SensorKind::Ambient));
+    }
+
+    #[test]
+    fn max_socket_spans_all_cpu_sensors() {
+        assert_eq!(PlatformSpec::opteron_full().max_socket(), Some(1));
+        assert_eq!(PlatformSpec::x86_minimal().max_socket(), Some(1));
+    }
+
+    #[test]
+    fn cpu_sensors_use_celsius_grid() {
+        for p in [PlatformSpec::opteron_full(), PlatformSpec::powerpc_g5()] {
+            for s in &p.sensors {
+                if s.kind.is_cpu() {
+                    assert_eq!(s.quantization, Quantization::CPU_GRID, "{}", s.label);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! CPU power model: activity → watts.
+//!
+//! The paper fixes frequency (DVFS off) and attributes thermal differences
+//! to *what* the code does — "the workload characteristics including amount
+//! and type of computation can affect the thermals significantly" (§5). We
+//! model that with a linear idle/busy power envelope scaled by an
+//! instruction-mix factor: FP-dense loops draw near-peak power, while
+//! memory-bound or communication-wait phases draw much less.
+
+/// The kind of work a core is doing, used to scale dynamic power.
+///
+/// Values are derived from the power phases reported for NAS PB codes in
+/// Cameron, Ge & Feng (IEEE Computer 2005), the paper's reference \[3\]:
+/// all-to-all communication phases draw close to idle power while dense FP
+/// compute approaches TDP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActivityMix {
+    /// Halted / OS idle loop.
+    Idle,
+    /// Spinning on communication (MPI busy-wait): bus activity, little FP.
+    CommWait,
+    /// Memory-bound computation (streaming, pointer chasing).
+    MemoryBound,
+    /// Mixed integer/FP computation.
+    Balanced,
+    /// Dense floating-point computation (the "CPU burn" of Figure 2).
+    FpDense,
+    /// Custom dynamic-power fraction in `[0, 1]`.
+    Custom(f64),
+}
+
+impl ActivityMix {
+    /// Fraction of the dynamic power envelope this mix consumes.
+    pub fn dynamic_fraction(self) -> f64 {
+        match self {
+            ActivityMix::Idle => 0.0,
+            ActivityMix::CommWait => 0.30,
+            ActivityMix::MemoryBound => 0.55,
+            ActivityMix::Balanced => 0.75,
+            ActivityMix::FpDense => 1.0,
+            ActivityMix::Custom(f) => f.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Per-core linear power envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePowerModel {
+    /// Power drawn by an idle core at nominal frequency, watts.
+    pub idle_watts: f64,
+    /// Power drawn by a fully busy FP-dense core at nominal frequency, watts.
+    pub busy_watts: f64,
+}
+
+impl CorePowerModel {
+    /// The dual-core Opteron-era envelope used for the paper's cluster:
+    /// ~15 W idle, ~45 W flat-out per core (95 W TDP per dual-core socket).
+    pub const OPTERON: CorePowerModel = CorePowerModel {
+        idle_watts: 15.0,
+        busy_watts: 45.0,
+    };
+
+    /// PowerPC 970 (System X) envelope.
+    pub const POWERPC_G5: CorePowerModel = CorePowerModel {
+        idle_watts: 20.0,
+        busy_watts: 55.0,
+    };
+
+    /// Power for a core running `mix` at `utilization` ∈ \[0,1\] of the time,
+    /// with a frequency/voltage scale factor (1.0 = nominal).
+    ///
+    /// Dynamic power scales as `f·V²`; [`crate::dvfs`] supplies the combined
+    /// factor. Static (idle) power is scaled by `V` only, approximating
+    /// leakage reduction at lower voltage.
+    pub fn power(self, mix: ActivityMix, utilization: f64, dvfs_dynamic: f64, dvfs_static: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let dynamic = (self.busy_watts - self.idle_watts) * mix.dynamic_fraction() * u;
+        self.idle_watts * dvfs_static + dynamic * dvfs_dynamic
+    }
+
+    /// Power at nominal frequency (no DVFS scaling).
+    pub fn power_nominal(self, mix: ActivityMix, utilization: f64) -> f64 {
+        self.power(mix, utilization, 1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_draws_idle_power() {
+        let m = CorePowerModel::OPTERON;
+        assert!((m.power_nominal(ActivityMix::Idle, 1.0) - 15.0).abs() < 1e-12);
+        assert!((m.power_nominal(ActivityMix::FpDense, 0.0) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp_dense_draws_busy_power() {
+        let m = CorePowerModel::OPTERON;
+        assert!((m.power_nominal(ActivityMix::FpDense, 1.0) - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_ordering_matches_physics() {
+        let m = CorePowerModel::OPTERON;
+        let p = |mix| m.power_nominal(mix, 1.0);
+        assert!(p(ActivityMix::Idle) < p(ActivityMix::CommWait));
+        assert!(p(ActivityMix::CommWait) < p(ActivityMix::MemoryBound));
+        assert!(p(ActivityMix::MemoryBound) < p(ActivityMix::Balanced));
+        assert!(p(ActivityMix::Balanced) < p(ActivityMix::FpDense));
+    }
+
+    #[test]
+    fn custom_fraction_clamped() {
+        assert_eq!(ActivityMix::Custom(2.0).dynamic_fraction(), 1.0);
+        assert_eq!(ActivityMix::Custom(-1.0).dynamic_fraction(), 0.0);
+        assert!((ActivityMix::Custom(0.4).dynamic_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let m = CorePowerModel::OPTERON;
+        assert_eq!(
+            m.power_nominal(ActivityMix::FpDense, 5.0),
+            m.power_nominal(ActivityMix::FpDense, 1.0)
+        );
+    }
+
+    #[test]
+    fn dvfs_reduces_power() {
+        let m = CorePowerModel::OPTERON;
+        let full = m.power(ActivityMix::FpDense, 1.0, 1.0, 1.0);
+        let scaled = m.power(ActivityMix::FpDense, 1.0, 0.5, 0.8);
+        assert!(scaled < full);
+        // Static floor still present.
+        assert!(scaled > 0.0);
+    }
+}

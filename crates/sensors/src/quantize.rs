@@ -1,0 +1,126 @@
+//! Sensor quantisation.
+//!
+//! Real motherboard sensors do not report continuous values. The Opteron
+//! system in the paper reports on a 1 °C grid (visible as 1.8 °F steps in
+//! Tables 2–3: 102.20, 104.00, 105.80 …), while some ambient sensors report
+//! on a 1 °F grid (91.00, 94.00 …). [`Quantization`] captures both, plus an
+//! exact mode used as the "external reference sensor" in validation.
+
+use crate::units::Temperature;
+
+/// How a sensor rounds the underlying physical temperature before reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantization {
+    /// No quantisation; reports the exact model temperature. Used as the
+    /// external-reference ground truth in §3.4-style validation.
+    None,
+    /// Round to the nearest multiple of `millicelsius` thousandths of a °C.
+    /// `CelsiusStep(1000)` is the 1 °C grid of the paper's CPU sensors.
+    CelsiusStep(u32),
+    /// Round to the nearest multiple of `millifahrenheit` thousandths of a
+    /// °F. `FahrenheitStep(1000)` matches the paper's integral-°F ambient
+    /// sensors.
+    FahrenheitStep(u32),
+}
+
+impl Quantization {
+    /// The 1 °C grid used by the paper's CPU core sensors.
+    pub const CPU_GRID: Quantization = Quantization::CelsiusStep(1000);
+    /// The 1 °F grid used by the paper's board/ambient sensors.
+    pub const AMBIENT_GRID: Quantization = Quantization::FahrenheitStep(1000);
+
+    /// Apply the quantisation to a physical temperature.
+    pub fn apply(self, t: Temperature) -> Temperature {
+        match self {
+            Quantization::None => t,
+            Quantization::CelsiusStep(mc) => {
+                let step = mc.max(1) as f64 / 1000.0;
+                Temperature::from_celsius((t.celsius() / step).round() * step)
+            }
+            Quantization::FahrenheitStep(mf) => {
+                let step = mf.max(1) as f64 / 1000.0;
+                Temperature::from_fahrenheit((t.fahrenheit() / step).round() * step)
+            }
+        }
+    }
+
+    /// The worst-case absolute error introduced by this quantisation, in °C.
+    pub fn max_error_celsius(self) -> f64 {
+        match self {
+            Quantization::None => 0.0,
+            Quantization::CelsiusStep(mc) => mc.max(1) as f64 / 1000.0 / 2.0,
+            Quantization::FahrenheitStep(mf) => mf.max(1) as f64 / 1000.0 * 5.0 / 9.0 / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let t = Temperature::from_celsius(40.123456);
+        assert_eq!(Quantization::None.apply(t), t);
+        assert_eq!(Quantization::None.max_error_celsius(), 0.0);
+    }
+
+    #[test]
+    fn celsius_grid_rounds_to_integer_celsius() {
+        let q = Quantization::CPU_GRID;
+        assert!((q.apply(Temperature::from_celsius(40.4)).celsius() - 40.0).abs() < 1e-9);
+        assert!((q.apply(Temperature::from_celsius(40.6)).celsius() - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn celsius_grid_produces_paper_fahrenheit_steps() {
+        // Successive 1 °C steps are 1.8 °F apart: 102.2, 104.0, 105.8.
+        let q = Quantization::CPU_GRID;
+        let f39 = q.apply(Temperature::from_celsius(39.2)).fahrenheit();
+        let f40 = q.apply(Temperature::from_celsius(40.1)).fahrenheit();
+        let f41 = q.apply(Temperature::from_celsius(41.4)).fahrenheit();
+        assert!((f39 - 102.2).abs() < 1e-9);
+        assert!((f40 - 104.0).abs() < 1e-9);
+        assert!((f41 - 105.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fahrenheit_grid_rounds_to_integer_fahrenheit() {
+        let q = Quantization::AMBIENT_GRID;
+        let t = q.apply(Temperature::from_fahrenheit(91.4));
+        assert!((t.fahrenheit() - 91.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_celsius_grid() {
+        let q = Quantization::CelsiusStep(500);
+        assert!((q.apply(Temperature::from_celsius(40.3)).celsius() - 40.5).abs() < 1e-9);
+        assert!((q.max_error_celsius() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_step_does_not_divide_by_zero() {
+        // Degenerate config: step of 0 is clamped to 1 m°C.
+        let q = Quantization::CelsiusStep(0);
+        let t = q.apply(Temperature::from_celsius(40.0004));
+        assert!(t.is_physical());
+    }
+
+    #[test]
+    fn error_bound_holds_on_sweep() {
+        for q in [
+            Quantization::CPU_GRID,
+            Quantization::AMBIENT_GRID,
+            Quantization::CelsiusStep(250),
+        ] {
+            let bound = q.max_error_celsius() + 1e-9;
+            let mut c = 20.0;
+            while c < 90.0 {
+                let t = Temperature::from_celsius(c);
+                let err = (q.apply(t) - t).abs();
+                assert!(err <= bound, "{q:?}: err {err} > bound {bound} at {c}");
+                c += 0.137;
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Lumped-parameter RC thermal models.
+//!
+//! This is the physical substrate standing in for real hardware: the same
+//! first-order heat-flow abstraction that tools like Mercury (Heath et al.,
+//! 2006) use for whole-system emulation. A thermal mass with capacitance `C`
+//! (J/°C) connected to an environment at `T_env` through a thermal
+//! resistance `R` (°C/W) and heated with power `P` (W) obeys
+//!
+//! ```text
+//! C · dT/dt = P − (T − T_env)/R
+//! ```
+//!
+//! For piecewise-constant power the ODE has the closed form
+//!
+//! ```text
+//! T(t+Δt) = T_ss + (T(t) − T_ss) · exp(−Δt/(R·C)),   T_ss = T_env + P·R
+//! ```
+//!
+//! which [`RcNode::advance`] uses directly — the integrator is *exact* for
+//! constant inputs, so simulation accuracy is independent of step size.
+//! [`ThermalStack`] chains several nodes (die → heat-sink → case air) to get
+//! the realistic fast-transient + slow-drift behaviour visible in the
+//! paper's Figures 2–4.
+
+use crate::units::Temperature;
+
+/// One thermal mass coupled to a reference environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcNode {
+    /// Thermal resistance to the environment, °C per watt.
+    pub resistance: f64,
+    /// Thermal capacitance, joules per °C.
+    pub capacitance: f64,
+    /// Current temperature of the mass.
+    pub temperature: Temperature,
+}
+
+impl RcNode {
+    /// Create a node at thermal equilibrium with `env` (zero power).
+    pub fn at_equilibrium(resistance: f64, capacitance: f64, env: Temperature) -> Self {
+        assert!(resistance > 0.0, "thermal resistance must be positive");
+        assert!(capacitance > 0.0, "thermal capacitance must be positive");
+        RcNode {
+            resistance,
+            capacitance,
+            temperature: env,
+        }
+    }
+
+    /// The time constant τ = R·C in seconds.
+    #[inline]
+    pub fn time_constant(&self) -> f64 {
+        self.resistance * self.capacitance
+    }
+
+    /// The steady-state temperature for constant power `p_watts` against an
+    /// environment at `env`.
+    #[inline]
+    pub fn steady_state(&self, p_watts: f64, env: Temperature) -> Temperature {
+        env + p_watts * self.resistance
+    }
+
+    /// Advance the node by `dt_s` seconds under constant power `p_watts`
+    /// and environment `env`, using the exact exponential solution.
+    pub fn advance(&mut self, dt_s: f64, p_watts: f64, env: Temperature) {
+        debug_assert!(dt_s >= 0.0);
+        if dt_s == 0.0 {
+            return;
+        }
+        let t_ss = self.steady_state(p_watts, env);
+        let alpha = (-dt_s / self.time_constant()).exp();
+        self.temperature = t_ss + (self.temperature - t_ss) * alpha;
+    }
+
+    /// Heat currently flowing from this node into the environment, in watts.
+    #[inline]
+    pub fn heat_flow_out(&self, env: Temperature) -> f64 {
+        (self.temperature - env) / self.resistance
+    }
+}
+
+/// A series chain of RC stages: stage 0 is the heat source (CPU die), the
+/// last stage couples to the ambient environment.
+///
+/// Each step treats neighbouring stage temperatures as the local environment
+/// over the sub-interval, which is the standard explicit staggered update
+/// for thermal ladders; we subdivide internally so the coupling error stays
+/// below the sensors' quantisation floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalStack {
+    stages: Vec<RcNode>,
+    /// Upper bound on the internal sub-step, seconds.
+    max_substep: f64,
+}
+
+impl ThermalStack {
+    /// Build a chain from `(resistance, capacitance)` pairs, all starting at
+    /// equilibrium with `ambient`. Stage 0 receives the input power.
+    pub fn new(stages: &[(f64, f64)], ambient: Temperature) -> Self {
+        assert!(!stages.is_empty(), "a thermal stack needs at least one stage");
+        let stages = stages
+            .iter()
+            .map(|&(r, c)| RcNode::at_equilibrium(r, c, ambient))
+            .collect::<Vec<_>>();
+        // Sub-step at 1/10 of the fastest time constant keeps the staggered
+        // coupling error far below 1 °C sensor quantisation.
+        let fastest = stages
+            .iter()
+            .map(RcNode::time_constant)
+            .fold(f64::INFINITY, f64::min);
+        ThermalStack {
+            stages,
+            max_substep: fastest / 10.0,
+        }
+    }
+
+    /// Temperature of the heat-source stage (what a CPU die sensor sees).
+    pub fn source_temperature(&self) -> Temperature {
+        self.stages[0].temperature
+    }
+
+    /// Temperature of stage `i` (0 = die; later stages are sink/case).
+    pub fn stage_temperature(&self, i: usize) -> Temperature {
+        self.stages[i].temperature
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Force every stage back to equilibrium with `ambient` — the paper's
+    /// "allow the system to return to steady state after every test".
+    pub fn reset_to(&mut self, ambient: Temperature) {
+        for s in &mut self.stages {
+            s.temperature = ambient;
+        }
+    }
+
+    /// Scale the resistance of the final (case→ambient) stage, modelling fan
+    /// airflow: `factor` < 1 means stronger cooling. Applies to the last
+    /// stage only; die→sink conduction is unaffected by airflow.
+    pub fn scale_exhaust_resistance(&mut self, factor: f64, nominal_r: f64) {
+        let last = self.stages.len() - 1;
+        self.stages[last].resistance = (nominal_r * factor).max(1e-6);
+    }
+
+    /// Advance the whole chain by `dt_s` seconds with `p_watts` injected
+    /// into stage 0 and the far end coupled to `ambient`.
+    pub fn advance(&mut self, dt_s: f64, p_watts: f64, ambient: Temperature) {
+        debug_assert!(dt_s >= 0.0);
+        let mut remaining = dt_s;
+        while remaining > 0.0 {
+            let step = remaining.min(self.max_substep);
+            self.advance_substep(step, p_watts, ambient);
+            remaining -= step;
+        }
+    }
+
+    fn advance_substep(&mut self, dt_s: f64, p_watts: f64, ambient: Temperature) {
+        let n = self.stages.len();
+        // Heat flowing into each stage = power in (stage 0) or conduction
+        // from the previous stage; environment = next stage (or ambient).
+        let temps: Vec<Temperature> = self.stages.iter().map(|s| s.temperature).collect();
+        for i in 0..n {
+            let env = if i + 1 < n { temps[i + 1] } else { ambient };
+            let p_in = if i == 0 {
+                p_watts
+            } else {
+                // Conduction from the hotter upstream stage through the
+                // upstream stage's resistance.
+                (temps[i - 1] - temps[i]) / self.stages[i - 1].resistance
+            };
+            self.stages[i].advance(dt_s, p_in, env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amb() -> Temperature {
+        Temperature::from_celsius(25.0)
+    }
+
+    #[test]
+    fn equilibrium_is_stable_without_power() {
+        let mut n = RcNode::at_equilibrium(0.5, 100.0, amb());
+        n.advance(1000.0, 0.0, amb());
+        assert!((n.temperature - amb()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let mut n = RcNode::at_equilibrium(0.5, 100.0, amb());
+        // P=60 W through 0.5 °C/W → ΔT = 30 °C. After 15τ the residual is
+        // 30·e⁻¹⁵ ≈ 9e-6 °C.
+        n.advance(15.0 * n.time_constant(), 60.0, amb());
+        let ss = n.steady_state(60.0, amb());
+        assert!((ss.celsius() - 55.0).abs() < 1e-9);
+        assert!((n.temperature - ss).abs() < 1e-4);
+    }
+
+    #[test]
+    fn exact_solution_matches_analytic_form() {
+        let mut n = RcNode::at_equilibrium(0.4, 50.0, amb());
+        let p = 80.0;
+        let dt = 7.3;
+        n.advance(dt, p, amb());
+        let tau = 0.4 * 50.0;
+        let t_ss = 25.0 + p * 0.4;
+        let expect = t_ss + (25.0 - t_ss) * (-dt / tau).exp();
+        assert!((n.temperature.celsius() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_size_independence() {
+        // One 10 s step == ten 1 s steps, because the integrator is exact.
+        let mut a = RcNode::at_equilibrium(0.5, 100.0, amb());
+        let mut b = a.clone();
+        a.advance(10.0, 60.0, amb());
+        for _ in 0..10 {
+            b.advance(1.0, 60.0, amb());
+        }
+        assert!((a.temperature - b.temperature).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warming_is_monotone_toward_steady_state() {
+        let mut n = RcNode::at_equilibrium(0.5, 100.0, amb());
+        let mut prev = n.temperature;
+        for _ in 0..50 {
+            n.advance(5.0, 60.0, amb());
+            assert!(n.temperature >= prev);
+            assert!(n.temperature <= n.steady_state(60.0, amb()) + 1e-9);
+            prev = n.temperature;
+        }
+    }
+
+    #[test]
+    fn cooling_after_power_off() {
+        let mut n = RcNode::at_equilibrium(0.5, 100.0, amb());
+        n.advance(500.0, 60.0, amb());
+        let hot = n.temperature;
+        n.advance(5.0, 0.0, amb());
+        assert!(n.temperature < hot);
+        n.advance(10_000.0, 0.0, amb());
+        assert!((n.temperature - amb()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heat_flow_balances_at_steady_state() {
+        let mut n = RcNode::at_equilibrium(0.5, 100.0, amb());
+        n.advance(1e6, 42.0, amb());
+        assert!((n.heat_flow_out(amb()) - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stack_source_runs_hotter_than_sink() {
+        let mut s = ThermalStack::new(&[(0.25, 20.0), (0.35, 400.0)], amb());
+        s.advance(300.0, 60.0, amb());
+        assert!(s.stage_temperature(0) > s.stage_temperature(1));
+        assert!(s.stage_temperature(1) > amb());
+    }
+
+    #[test]
+    fn stack_steady_state_sums_resistances() {
+        // In steady state all power flows through every stage, so
+        // T_die = ambient + P·(R0 + R1).
+        let mut s = ThermalStack::new(&[(0.25, 20.0), (0.35, 400.0)], amb());
+        s.advance(50_000.0, 60.0, amb());
+        let expect = 25.0 + 60.0 * (0.25 + 0.35);
+        assert!(
+            (s.source_temperature().celsius() - expect).abs() < 0.05,
+            "got {} expected {expect}",
+            s.source_temperature().celsius()
+        );
+    }
+
+    #[test]
+    fn stack_reset_restores_equilibrium() {
+        let mut s = ThermalStack::new(&[(0.25, 20.0), (0.35, 400.0)], amb());
+        s.advance(100.0, 80.0, amb());
+        assert!(s.source_temperature() > amb());
+        s.reset_to(amb());
+        assert_eq!(s.source_temperature(), amb());
+        assert_eq!(s.stage_temperature(1), amb());
+    }
+
+    #[test]
+    fn stronger_fan_lowers_steady_state() {
+        let mut slow = ThermalStack::new(&[(0.25, 20.0), (0.35, 400.0)], amb());
+        let mut fast = slow.clone();
+        fast.scale_exhaust_resistance(0.5, 0.35);
+        slow.advance(50_000.0, 60.0, amb());
+        fast.advance(50_000.0, 60.0, amb());
+        assert!(fast.source_temperature() < slow.source_temperature());
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance")]
+    fn zero_resistance_rejected() {
+        RcNode::at_equilibrium(0.0, 10.0, amb());
+    }
+
+    #[test]
+    fn fast_transient_plus_slow_drift() {
+        // The two-stage stack should show a fast die transient (small τ0)
+        // riding on a slow sink drift (large τ1) — the shape of the paper's
+        // Figure 2(b).
+        let mut s = ThermalStack::new(&[(0.25, 4.0), (0.35, 800.0)], amb());
+        s.advance(2.0, 60.0, amb());
+        let after_fast = s.source_temperature();
+        // Fast stage nearly saturated against the still-cool sink:
+        assert!(after_fast - amb() > 10.0);
+        s.advance(600.0, 60.0, amb());
+        // …but long-run drift continues well past the fast transient.
+        assert!(s.source_temperature() - after_fast > 5.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Timestamped sensor readings — the atoms of a thermal trace.
+
+use crate::source::SensorId;
+use crate::units::Temperature;
+
+/// One sample of one sensor at one instant.
+///
+/// `tempd` produces a stream of these (four per second per sensor by
+/// default); the Tempest parser later correlates them with the function
+/// timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorReading {
+    /// Which sensor produced the reading.
+    pub sensor: SensorId,
+    /// Nanoseconds since the profiling session's epoch, on the same clock
+    /// as the function entry/exit events.
+    pub timestamp_ns: u64,
+    /// The reported (possibly quantised, possibly noisy) temperature.
+    pub temperature: Temperature,
+}
+
+impl SensorReading {
+    /// Convenience constructor.
+    pub fn new(sensor: SensorId, timestamp_ns: u64, temperature: Temperature) -> Self {
+        SensorReading {
+            sensor,
+            timestamp_ns,
+            temperature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_preserves_fields() {
+        let r = SensorReading::new(SensorId(3), 250_000_000, Temperature::from_celsius(40.0));
+        assert_eq!(r.sensor, SensorId(3));
+        assert_eq!(r.timestamp_ns, 250_000_000);
+        assert!((r.temperature.celsius() - 40.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! Replay recorded sensor logs as a live source.
+//!
+//! [`ReplaySource`] turns a previously recorded sample log (e.g. a real
+//! machine's hwmon readings exported to CSV) back into a
+//! [`SensorSource`], so archived thermal data can be pushed through the
+//! whole Tempest pipeline — the "profile once, analyse anywhere" use the
+//! paper's portability goal implies. Each `sample_into` call reports the
+//! recorded values at or before the *requested* timestamp (zero-order
+//! hold), so replay timing does not need to match recording timing.
+
+use crate::reading::SensorReading;
+use crate::source::{SensorInfo, SensorKind, SensorSource};
+use crate::units::Temperature;
+
+/// A sensor source backed by a recorded sample log.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    infos: Vec<SensorInfo>,
+    /// Per sensor: (timestamp_ns, °C), sorted by timestamp.
+    tracks: Vec<Vec<(u64, f64)>>,
+    /// Per sensor: cursor over its track.
+    cursors: Vec<usize>,
+}
+
+impl ReplaySource {
+    /// Build from recorded readings and their sensor inventory. Readings
+    /// for unknown sensor ids are dropped.
+    pub fn new(infos: Vec<SensorInfo>, mut readings: Vec<SensorReading>) -> Self {
+        readings.sort_by_key(|r| r.timestamp_ns);
+        let mut tracks = vec![Vec::new(); infos.len()];
+        for r in readings {
+            if let Some(track) = tracks.get_mut(r.sensor.0 as usize) {
+                track.push((r.timestamp_ns, r.temperature.celsius()));
+            }
+        }
+        let cursors = vec![0; infos.len()];
+        ReplaySource {
+            infos,
+            tracks,
+            cursors,
+        }
+    }
+
+    /// Parse a simple CSV log: header `timestamp_ns,<label1>,<label2>,…`
+    /// then one row per sampling round with temperatures in °C. All
+    /// sensors get [`SensorKind::Other`] unless the label contains "cpu"
+    /// or "core"/"die" (CPU) or "ambient" (ambient).
+    pub fn from_csv(text: &str) -> Result<ReplaySource, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty log")?;
+        let cols: Vec<&str> = header.split(',').collect();
+        if cols.len() < 2 || cols[0] != "timestamp_ns" {
+            return Err("header must be `timestamp_ns,<labels…>`".to_string());
+        }
+        let infos: Vec<SensorInfo> = cols[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                let lower = label.to_lowercase();
+                let kind = if lower.contains("core") || lower.contains("die") || lower.contains("cpu") {
+                    SensorKind::CpuCore
+                } else if lower.contains("ambient") {
+                    SensorKind::Ambient
+                } else {
+                    SensorKind::Other
+                };
+                SensorInfo::new(i as u16, label.trim(), kind)
+            })
+            .collect();
+        let mut readings = Vec::new();
+        for (ln, line) in lines.enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != cols.len() {
+                return Err(format!("row {}: {} fields, expected {}", ln + 2, fields.len(), cols.len()));
+            }
+            let ts: u64 = fields[0]
+                .trim()
+                .parse()
+                .map_err(|_| format!("row {}: bad timestamp", ln + 2))?;
+            for (i, f) in fields[1..].iter().enumerate() {
+                let c: f64 = f
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("row {}: bad temperature", ln + 2))?;
+                readings.push(SensorReading::new(
+                    crate::SensorId(i as u16),
+                    ts,
+                    Temperature::from_celsius(c),
+                ));
+            }
+        }
+        Ok(ReplaySource::new(infos, readings))
+    }
+
+    /// Recorded span, ns (0 if empty).
+    pub fn span_ns(&self) -> u64 {
+        let lo = self
+            .tracks
+            .iter()
+            .filter_map(|t| t.first().map(|p| p.0))
+            .min();
+        let hi = self
+            .tracks
+            .iter()
+            .filter_map(|t| t.last().map(|p| p.0))
+            .max();
+        match (lo, hi) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        }
+    }
+}
+
+impl SensorSource for ReplaySource {
+    fn sensors(&self) -> &[SensorInfo] {
+        &self.infos
+    }
+
+    fn sample_into(&mut self, timestamp_ns: u64, out: &mut Vec<SensorReading>) {
+        for (i, info) in self.infos.iter().enumerate() {
+            let track = &self.tracks[i];
+            if track.is_empty() {
+                continue;
+            }
+            // Advance the cursor to the last recorded point ≤ timestamp.
+            let cur = &mut self.cursors[i];
+            while *cur + 1 < track.len() && track[*cur + 1].0 <= timestamp_ns {
+                *cur += 1;
+            }
+            // Before the first record: hold the first value.
+            let (_, c) = track[*cur];
+            out.push(SensorReading::new(
+                info.id,
+                timestamp_ns,
+                Temperature::from_celsius(c),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SensorId;
+
+    fn source() -> ReplaySource {
+        let infos = vec![
+            SensorInfo::new(0, "cpu die", SensorKind::CpuCore),
+            SensorInfo::new(1, "ambient", SensorKind::Ambient),
+        ];
+        let readings = vec![
+            SensorReading::new(SensorId(0), 0, Temperature::from_celsius(40.0)),
+            SensorReading::new(SensorId(1), 0, Temperature::from_celsius(25.0)),
+            SensorReading::new(SensorId(0), 1_000, Temperature::from_celsius(42.0)),
+            SensorReading::new(SensorId(1), 1_000, Temperature::from_celsius(25.5)),
+            SensorReading::new(SensorId(0), 2_000, Temperature::from_celsius(44.0)),
+        ];
+        ReplaySource::new(infos, readings)
+    }
+
+    #[test]
+    fn zero_order_hold_at_requested_times() {
+        let mut s = source();
+        let r = s.sample_all(500);
+        assert!((r[0].temperature.celsius() - 40.0).abs() < 1e-9);
+        let r = s.sample_all(1_500);
+        assert!((r[0].temperature.celsius() - 42.0).abs() < 1e-9);
+        let r = s.sample_all(10_000);
+        assert!((r[0].temperature.celsius() - 44.0).abs() < 1e-9, "holds last");
+        assert!((r[1].temperature.celsius() - 25.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requested_timestamp_is_reported() {
+        let mut s = source();
+        let r = s.sample_all(777);
+        assert!(r.iter().all(|x| x.timestamp_ns == 777));
+    }
+
+    #[test]
+    fn cursors_only_move_forward() {
+        let mut s = source();
+        s.sample_all(2_000);
+        // Asking for an earlier time after advancing holds the cursor
+        // (zero-order hold is monotone by design — tempd asks in order).
+        let r = s.sample_all(0);
+        assert!((r[0].temperature.celsius() - 44.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let csv = "timestamp_ns,cpu die,ambient\n0,40.0,25.0\n250000000,41.0,25.1\n";
+        let mut s = ReplaySource::from_csv(csv).unwrap();
+        assert_eq!(s.sensor_count(), 2);
+        assert_eq!(s.sensors()[0].kind, SensorKind::CpuCore);
+        assert_eq!(s.sensors()[1].kind, SensorKind::Ambient);
+        assert_eq!(s.span_ns(), 250_000_000);
+        let r = s.sample_all(250_000_000);
+        assert!((r[0].temperature.celsius() - 41.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_errors_are_reported() {
+        assert!(ReplaySource::from_csv("").is_err());
+        assert!(ReplaySource::from_csv("time,cpu\n0,40\n").is_err());
+        assert!(ReplaySource::from_csv("timestamp_ns,cpu\n0\n").is_err());
+        assert!(ReplaySource::from_csv("timestamp_ns,cpu\nx,40\n").is_err());
+        assert!(ReplaySource::from_csv("timestamp_ns,cpu\n0,hot\n").is_err());
+    }
+
+    #[test]
+    fn empty_tracks_are_skipped() {
+        let infos = vec![
+            SensorInfo::new(0, "a", SensorKind::CpuCore),
+            SensorInfo::new(1, "b", SensorKind::Other),
+        ];
+        let readings = vec![SensorReading::new(
+            SensorId(0),
+            0,
+            Temperature::from_celsius(40.0),
+        )];
+        let mut s = ReplaySource::new(infos, readings);
+        let r = s.sample_all(0);
+        assert_eq!(r.len(), 1, "sensor without data reports nothing");
+    }
+}

@@ -1,0 +1,221 @@
+//! The simulated sensor bank: the full substitute for lm-sensors hardware.
+//!
+//! [`SimulatedSensorBank`] wires a [`NodeThermalModel`] to a
+//! [`PlatformSpec`]: each platform sensor taps a point of the physical
+//! model, then passes through a per-sensor [`NoiseModel`] and
+//! [`Quantization`](crate::Quantization) before being reported — exactly the signal chain a real
+//! motherboard sensor presents to `tempd`. The unquantised, noise-free tap
+//! value is retained as ground truth for §3.4-style validation.
+
+use crate::node_model::NodeThermalModel;
+use crate::noise::NoiseModel;
+use crate::platform::{PlatformSpec, SensorTap};
+use crate::reading::SensorReading;
+use crate::source::{SensorInfo, SensorSource};
+use crate::units::Temperature;
+
+/// A simulated bank of sensors over one node's thermal model.
+#[derive(Debug, Clone)]
+pub struct SimulatedSensorBank {
+    platform: PlatformSpec,
+    model: NodeThermalModel,
+    infos: Vec<SensorInfo>,
+    noise: Vec<NoiseModel>,
+    /// Ground-truth (pre-noise, pre-quantisation) value of the last sample.
+    last_truth: Vec<Temperature>,
+}
+
+impl SimulatedSensorBank {
+    /// Build a bank. `noise_seed` derives one independent noise stream per
+    /// sensor; `sigma_c = 0` gives noiseless (but still quantised) sensors.
+    pub fn new(platform: PlatformSpec, model: NodeThermalModel, noise_seed: u64, sigma_c: f64) -> Self {
+        if let Some(max_socket) = platform.max_socket() {
+            assert!(
+                max_socket < model.params().sockets,
+                "platform taps socket {max_socket} but node has {} sockets",
+                model.params().sockets
+            );
+        }
+        let infos = platform
+            .sensors
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut info = SensorInfo::new(i as u16, s.label.clone(), s.kind);
+                if let SensorTap::Die(n) | SensorTap::Sink(n) = s.tap {
+                    info = info.on_cpu(n as u16);
+                }
+                info
+            })
+            .collect();
+        let noise = (0..platform.sensors.len())
+            .map(|i| NoiseModel::gaussian(noise_seed.wrapping_add(i as u64 * 0x5DEE_CE66), sigma_c))
+            .collect();
+        let n = platform.sensors.len();
+        SimulatedSensorBank {
+            platform,
+            model,
+            infos,
+            noise,
+            last_truth: vec![Temperature::from_celsius(0.0); n],
+        }
+    }
+
+    /// Mutable access to the underlying node model (to advance it between
+    /// samples).
+    pub fn model_mut(&mut self) -> &mut NodeThermalModel {
+        &mut self.model
+    }
+
+    /// The underlying node model.
+    pub fn model(&self) -> &NodeThermalModel {
+        &self.model
+    }
+
+    /// The platform spec this bank simulates.
+    pub fn platform(&self) -> &PlatformSpec {
+        &self.platform
+    }
+
+    /// Ground-truth temperatures captured during the most recent
+    /// `sample_*` call — the "external reference sensor" for validation.
+    pub fn last_ground_truth(&self) -> &[Temperature] {
+        &self.last_truth
+    }
+
+    fn tap_value(&self, tap: SensorTap) -> Temperature {
+        match tap {
+            SensorTap::Die(s) => self.model.die_temperature(s),
+            SensorTap::Sink(s) => self.model.sink_temperature(s),
+            SensorTap::Board => self.model.board_temperature(),
+            SensorTap::Ambient => self.model.ambient_temperature(),
+        }
+    }
+}
+
+impl SensorSource for SimulatedSensorBank {
+    fn sensors(&self) -> &[SensorInfo] {
+        &self.infos
+    }
+
+    fn sample_into(&mut self, timestamp_ns: u64, out: &mut Vec<SensorReading>) {
+        for i in 0..self.platform.sensors.len() {
+            let spec = &self.platform.sensors[i];
+            let truth = self.tap_value(spec.tap);
+            self.last_truth[i] = truth;
+            let noisy = self.noise[i].perturb(truth);
+            let reported = spec.quantization.apply(noisy);
+            out.push(SensorReading::new(self.infos[i].id, timestamp_ns, reported));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_model::NodeThermalParams;
+    use crate::platform::PlatformSpec;
+    use crate::power::ActivityMix;
+    use crate::source::SensorId;
+
+    fn bank() -> SimulatedSensorBank {
+        SimulatedSensorBank::new(
+            PlatformSpec::opteron_full(),
+            NodeThermalModel::new(NodeThermalParams::opteron_node()),
+            42,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn exposes_platform_sensor_count() {
+        let b = bank();
+        assert_eq!(b.sensor_count(), 6);
+        assert_eq!(b.sensors()[3].cpu_index, Some(0));
+    }
+
+    #[test]
+    fn readings_are_quantised_on_celsius_grid() {
+        let mut b = bank();
+        let loads = vec![(ActivityMix::FpDense, 1.0); 4];
+        for _ in 0..30 {
+            b.model_mut().advance(1.0, &loads, 1.0, 1.0);
+        }
+        let r = b.sample_all(30_000_000_000);
+        // Sensor index 3 is CPU0 die, quantised to integer Celsius.
+        let c = r[3].temperature.celsius();
+        assert!((c - c.round()).abs() < 1e-9, "die sensor not on 1 °C grid: {c}");
+    }
+
+    #[test]
+    fn ground_truth_tracks_reported_value_within_quantisation() {
+        let mut b = bank();
+        let loads = vec![(ActivityMix::Balanced, 1.0); 4];
+        for step in 0..60 {
+            b.model_mut().advance(1.0, &loads, 1.0, 1.0);
+            let r = b.sample_all(step as u64 * 1_000_000_000);
+            let truth = b.last_ground_truth().to_vec();
+            for (reading, t) in r.iter().zip(&truth) {
+                let err = (reading.temperature - *t).abs();
+                assert!(err <= 0.75, "reported vs truth error {err} °C too large");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_workload_raises_die_sensor() {
+        let mut b = bank();
+        let first = b.sample_all(0)[3].temperature;
+        let loads = vec![(ActivityMix::FpDense, 1.0); 4];
+        for _ in 0..120 {
+            b.model_mut().advance(1.0, &loads, 1.0, 1.0);
+        }
+        let after = b.sample_all(120_000_000_000)[3].temperature;
+        assert!(after - first > 5.0, "die should warm by >5 °C under burn");
+    }
+
+    #[test]
+    fn sensor_ids_are_sequential() {
+        let mut b = bank();
+        let r = b.sample_all(0);
+        for (i, reading) in r.iter().enumerate() {
+            assert_eq!(reading.sensor, SensorId(i as u16));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sockets")]
+    fn platform_incompatible_with_node_rejected() {
+        // G5 platform taps socket 1, but build a single-socket node.
+        let mut params = NodeThermalParams::opteron_node();
+        params.sockets = 1;
+        SimulatedSensorBank::new(
+            PlatformSpec::powerpc_g5(),
+            NodeThermalModel::new(params),
+            0,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn noise_streams_differ_between_sensors() {
+        let mut b = SimulatedSensorBank::new(
+            PlatformSpec::opteron_full(),
+            NodeThermalModel::new(NodeThermalParams::opteron_node()),
+            42,
+            3.0, // exaggerated noise so quantisation doesn't mask it
+        );
+        let loads = vec![(ActivityMix::Balanced, 1.0); 4];
+        let mut diffs = 0;
+        for _ in 0..50 {
+            b.model_mut().advance(1.0, &loads, 1.0, 1.0);
+            let r = b.sample_all(0);
+            // Die sensors of the two sockets see identical loads; only
+            // noise can separate them sample-to-sample.
+            if (r[3].temperature - r[4].temperature).abs() > 1e-9 {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 0, "independent noise should separate twin sensors");
+    }
+}

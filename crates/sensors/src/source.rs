@@ -1,0 +1,213 @@
+//! The sensor-provider abstraction.
+//!
+//! Everything that can be sampled by `tempd` — real hwmon hardware, the
+//! simulated RC-model bank, or a replayed trace — implements
+//! [`SensorSource`]. The trait mirrors what lm-sensors gave the original
+//! tool: enumerate sensors once, then sample all of them cheaply and
+//! repeatedly.
+
+use crate::reading::SensorReading;
+use crate::units::Temperature;
+use std::fmt;
+
+/// Stable identifier of a sensor within one node. Indexes into the slice
+/// returned by [`SensorSource::sensors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SensorId(pub u16);
+
+impl fmt::Display for SensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper tables label sensors 1-based: "sensor1" … "sensor6".
+        write!(f, "sensor{}", self.0 + 1)
+    }
+}
+
+/// What a sensor physically measures. The paper distinguishes core CPU
+/// sensors (which correlate with code phases) from ambient/chassis sensors
+/// (which it found reflected external airflow instead — §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorKind {
+    /// On-die or per-core CPU sensor.
+    CpuCore,
+    /// CPU package / heat-spreader sensor.
+    CpuPackage,
+    /// Motherboard sensor near the VRM or northbridge.
+    Motherboard,
+    /// Ambient air inside the chassis.
+    Ambient,
+    /// DIMM or memory-controller sensor.
+    Memory,
+    /// Anything else (PSU, drive bay, …).
+    Other,
+}
+
+impl SensorKind {
+    /// True for the sensors the paper reports in its tables (the ones that
+    /// track code phases).
+    pub fn is_cpu(self) -> bool {
+        matches!(self, SensorKind::CpuCore | SensorKind::CpuPackage)
+    }
+}
+
+/// Static description of one sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorInfo {
+    /// Identifier used in readings.
+    pub id: SensorId,
+    /// Human-readable label, e.g. `"CPU0 core"` or `"ambient front"`.
+    pub label: String,
+    /// What the sensor measures.
+    pub kind: SensorKind,
+    /// Which CPU socket/core the sensor is attached to, if any.
+    pub cpu_index: Option<u16>,
+}
+
+impl SensorInfo {
+    /// Convenience constructor.
+    pub fn new(id: u16, label: impl Into<String>, kind: SensorKind) -> Self {
+        SensorInfo {
+            id: SensorId(id),
+            label: label.into(),
+            kind,
+            cpu_index: None,
+        }
+    }
+
+    /// Attach a CPU index.
+    pub fn on_cpu(mut self, cpu: u16) -> Self {
+        self.cpu_index = Some(cpu);
+        self
+    }
+}
+
+/// A provider of thermal readings.
+///
+/// Implementations must be cheap to `sample_all` — the paper's `tempd` calls
+/// it four times a second and uses <1 % CPU.
+pub trait SensorSource: Send {
+    /// The fixed set of sensors this source exposes.
+    fn sensors(&self) -> &[SensorInfo];
+
+    /// Read every sensor, stamping readings with `timestamp_ns` (nanoseconds
+    /// on the profiling clock). Appends to `out` to let callers reuse one
+    /// allocation across the sampling loop.
+    fn sample_into(&mut self, timestamp_ns: u64, out: &mut Vec<SensorReading>);
+
+    /// Read every sensor into a fresh vector.
+    fn sample_all(&mut self, timestamp_ns: u64) -> Vec<SensorReading> {
+        let mut out = Vec::with_capacity(self.sensors().len());
+        self.sample_into(timestamp_ns, &mut out);
+        out
+    }
+
+    /// Number of sensors; the paper saw 3 on x86 and up to 7 on PowerPC G5.
+    fn sensor_count(&self) -> usize {
+        self.sensors().len()
+    }
+}
+
+/// A trivial source that always reports fixed temperatures. Useful in tests
+/// and as a null object for overhead measurements (isolates sampling-loop
+/// cost from sensor-read cost).
+#[derive(Debug, Clone)]
+pub struct ConstantSource {
+    infos: Vec<SensorInfo>,
+    values: Vec<Temperature>,
+}
+
+impl ConstantSource {
+    /// Build a source with `labels_and_temps` fixed readings.
+    pub fn new(labels_and_temps: Vec<(String, SensorKind, Temperature)>) -> Self {
+        let infos = labels_and_temps
+            .iter()
+            .enumerate()
+            .map(|(i, (label, kind, _))| SensorInfo::new(i as u16, label.clone(), *kind))
+            .collect();
+        let values = labels_and_temps.into_iter().map(|(_, _, t)| t).collect();
+        ConstantSource { infos, values }
+    }
+
+    /// A single-sensor constant source, handy in unit tests.
+    pub fn single(celsius: f64) -> Self {
+        ConstantSource::new(vec![(
+            "const".to_string(),
+            SensorKind::CpuCore,
+            Temperature::from_celsius(celsius),
+        )])
+    }
+}
+
+impl SensorSource for ConstantSource {
+    fn sensors(&self) -> &[SensorInfo] {
+        &self.infos
+    }
+
+    fn sample_into(&mut self, timestamp_ns: u64, out: &mut Vec<SensorReading>) {
+        for (info, &t) in self.infos.iter().zip(&self.values) {
+            out.push(SensorReading::new(info.id, timestamp_ns, t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_id_display_is_one_based() {
+        assert_eq!(SensorId(0).to_string(), "sensor1");
+        assert_eq!(SensorId(5).to_string(), "sensor6");
+    }
+
+    #[test]
+    fn cpu_kinds() {
+        assert!(SensorKind::CpuCore.is_cpu());
+        assert!(SensorKind::CpuPackage.is_cpu());
+        assert!(!SensorKind::Ambient.is_cpu());
+        assert!(!SensorKind::Motherboard.is_cpu());
+    }
+
+    #[test]
+    fn constant_source_reports_fixed_values() {
+        let mut src = ConstantSource::new(vec![
+            (
+                "cpu".into(),
+                SensorKind::CpuCore,
+                Temperature::from_celsius(40.0),
+            ),
+            (
+                "amb".into(),
+                SensorKind::Ambient,
+                Temperature::from_celsius(25.0),
+            ),
+        ]);
+        assert_eq!(src.sensor_count(), 2);
+        let r = src.sample_all(10);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].sensor, SensorId(0));
+        assert_eq!(r[1].sensor, SensorId(1));
+        assert!(r.iter().all(|x| x.timestamp_ns == 10));
+        // Stable across repeated samples.
+        let r2 = src.sample_all(20);
+        assert_eq!(r[0].temperature, r2[0].temperature);
+    }
+
+    #[test]
+    fn sample_into_appends() {
+        let mut src = ConstantSource::single(30.0);
+        let mut buf = Vec::new();
+        src.sample_into(1, &mut buf);
+        src.sample_into(2, &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0].timestamp_ns, 1);
+        assert_eq!(buf[1].timestamp_ns, 2);
+    }
+
+    #[test]
+    fn sensor_info_builder() {
+        let s = SensorInfo::new(2, "CPU1 core", SensorKind::CpuCore).on_cpu(1);
+        assert_eq!(s.id, SensorId(2));
+        assert_eq!(s.cpu_index, Some(1));
+        assert_eq!(s.label, "CPU1 core");
+    }
+}

@@ -1,0 +1,259 @@
+//! Temperature units.
+//!
+//! Tempest's figures and tables report degrees Fahrenheit, but hardware
+//! sensors (lm-sensors, hwmon) report millidegrees Celsius. [`Temperature`]
+//! stores Celsius internally and converts on demand, so the rest of the
+//! system never has to guess which unit a raw `f64` is in.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A temperature, stored internally in degrees Celsius.
+///
+/// `Temperature` is a thin `f64` newtype with explicit unit constructors and
+/// accessors. Arithmetic between temperatures operates on the Celsius scale
+/// (differences in °C equal differences in Kelvin, so deltas are unambiguous).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Temperature(f64);
+
+impl Temperature {
+    /// Absolute zero, the lower bound for any physical reading.
+    pub const ABSOLUTE_ZERO: Temperature = Temperature(-273.15);
+
+    /// Construct from degrees Celsius.
+    #[inline]
+    pub const fn from_celsius(c: f64) -> Self {
+        Temperature(c)
+    }
+
+    /// Construct from degrees Fahrenheit.
+    #[inline]
+    pub fn from_fahrenheit(f: f64) -> Self {
+        Temperature((f - 32.0) * 5.0 / 9.0)
+    }
+
+    /// Construct from millidegrees Celsius (the unit used by Linux hwmon
+    /// `temp*_input` files).
+    #[inline]
+    pub fn from_millicelsius(mc: i64) -> Self {
+        Temperature(mc as f64 / 1000.0)
+    }
+
+    /// Degrees Celsius.
+    #[inline]
+    pub fn celsius(self) -> f64 {
+        self.0
+    }
+
+    /// Degrees Fahrenheit (the paper's reporting unit).
+    #[inline]
+    pub fn fahrenheit(self) -> f64 {
+        self.0 * 9.0 / 5.0 + 32.0
+    }
+
+    /// Kelvin.
+    #[inline]
+    pub fn kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// Millidegrees Celsius, rounded to the nearest integer.
+    #[inline]
+    pub fn millicelsius(self) -> i64 {
+        (self.0 * 1000.0).round() as i64
+    }
+
+    /// True if the value is a physically plausible sensor reading
+    /// (finite and above absolute zero).
+    #[inline]
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 >= Self::ABSOLUTE_ZERO.0
+    }
+
+    /// Clamp to the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Temperature, hi: Temperature) -> Temperature {
+        Temperature(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Temperature) -> Temperature {
+        Temperature(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Temperature) -> Temperature {
+        Temperature(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Temperature {
+    /// Formats in Fahrenheit with two decimals, matching Tempest's tables
+    /// (e.g. `102.20`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.fahrenheit())
+    }
+}
+
+impl Add<f64> for Temperature {
+    type Output = Temperature;
+    /// Adds a delta expressed in °C (equivalently, Kelvin).
+    #[inline]
+    fn add(self, delta_c: f64) -> Temperature {
+        Temperature(self.0 + delta_c)
+    }
+}
+
+impl AddAssign<f64> for Temperature {
+    #[inline]
+    fn add_assign(&mut self, delta_c: f64) {
+        self.0 += delta_c;
+    }
+}
+
+impl Sub<f64> for Temperature {
+    type Output = Temperature;
+    #[inline]
+    fn sub(self, delta_c: f64) -> Temperature {
+        Temperature(self.0 - delta_c)
+    }
+}
+
+impl SubAssign<f64> for Temperature {
+    #[inline]
+    fn sub_assign(&mut self, delta_c: f64) {
+        self.0 -= delta_c;
+    }
+}
+
+impl Sub for Temperature {
+    type Output = f64;
+    /// The difference between two temperatures, in °C/Kelvin.
+    #[inline]
+    fn sub(self, other: Temperature) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl Mul<f64> for Temperature {
+    type Output = Temperature;
+    /// Scales the Celsius value; only meaningful for blending/interpolation.
+    #[inline]
+    fn mul(self, k: f64) -> Temperature {
+        Temperature(self.0 * k)
+    }
+}
+
+impl Div<f64> for Temperature {
+    type Output = Temperature;
+    #[inline]
+    fn div(self, k: f64) -> Temperature {
+        Temperature(self.0 / k)
+    }
+}
+
+impl Neg for Temperature {
+    type Output = Temperature;
+    #[inline]
+    fn neg(self) -> Temperature {
+        Temperature(-self.0)
+    }
+}
+
+/// Linear interpolation between two temperatures: `a + t*(b - a)`.
+#[inline]
+pub fn lerp(a: Temperature, b: Temperature, t: f64) -> Temperature {
+    Temperature::from_celsius(a.celsius() + t * (b.celsius() - a.celsius()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_roundtrip() {
+        let t = Temperature::from_celsius(40.0);
+        assert_eq!(t.celsius(), 40.0);
+        assert!((t.fahrenheit() - 104.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fahrenheit_roundtrip() {
+        let t = Temperature::from_fahrenheit(104.0);
+        assert!((t.celsius() - 40.0).abs() < 1e-12);
+        assert!((t.fahrenheit() - 104.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_grid_values_are_celsius_integers() {
+        // Table 2/3 of the paper show 102.20, 104.00, 105.80 °F — a 1 °C grid.
+        for (f, c) in [(102.2, 39.0), (104.0, 40.0), (105.8, 41.0), (113.0, 45.0)] {
+            let t = Temperature::from_fahrenheit(f);
+            assert!(
+                (t.celsius() - c).abs() < 1e-9,
+                "{f} °F should be {c} °C, got {}",
+                t.celsius()
+            );
+        }
+    }
+
+    #[test]
+    fn millicelsius_matches_hwmon_convention() {
+        let t = Temperature::from_millicelsius(41_500);
+        assert!((t.celsius() - 41.5).abs() < 1e-12);
+        assert_eq!(t.millicelsius(), 41_500);
+    }
+
+    #[test]
+    fn kelvin_offset() {
+        assert!((Temperature::from_celsius(0.0).kelvin() - 273.15).abs() < 1e-12);
+        assert!((Temperature::ABSOLUTE_ZERO.kelvin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = Temperature::from_celsius(40.0);
+        let b = a + 2.5;
+        assert!((b.celsius() - 42.5).abs() < 1e-12);
+        assert!((b - a - 2.5).abs() < 1e-12);
+        let mut c = a;
+        c += 1.0;
+        c -= 0.5;
+        assert!((c.celsius() - 40.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physical_bounds() {
+        assert!(Temperature::from_celsius(25.0).is_physical());
+        assert!(!Temperature::from_celsius(-300.0).is_physical());
+        assert!(!Temperature::from_celsius(f64::NAN).is_physical());
+        assert!(!Temperature::from_celsius(f64::INFINITY).is_physical());
+    }
+
+    #[test]
+    fn clamp_min_max() {
+        let lo = Temperature::from_celsius(20.0);
+        let hi = Temperature::from_celsius(90.0);
+        assert_eq!(Temperature::from_celsius(100.0).clamp(lo, hi), hi);
+        assert_eq!(Temperature::from_celsius(10.0).clamp(lo, hi), lo);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let t = Temperature::from_celsius(39.0);
+        assert_eq!(t.to_string(), "102.20");
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Temperature::from_celsius(30.0);
+        let b = Temperature::from_celsius(50.0);
+        assert_eq!(lerp(a, b, 0.0), a);
+        assert_eq!(lerp(a, b, 1.0), b);
+        assert!((lerp(a, b, 0.5).celsius() - 40.0).abs() < 1e-12);
+    }
+}

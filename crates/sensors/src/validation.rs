@@ -1,0 +1,177 @@
+//! Sensor-accuracy validation (§3.4).
+//!
+//! The paper validated its hardware sensors "by running a set of CPU
+//! intensive micro-benchmarks and comparing sensor measurements to those
+//! measured by an external sensor attached to the CPU". Here the simulated
+//! bank's ground truth plays the external sensor; [`ValidationReport`]
+//! accumulates per-sensor error statistics and checks them against a bound
+//! (Mercury, the closest prior tool, validated within 1 °C — we apply the
+//! same bar).
+
+use crate::units::Temperature;
+
+/// Accumulated error statistics for one sensor against its reference.
+#[derive(Debug, Clone, Default)]
+pub struct SensorErrorStats {
+    /// Number of paired observations.
+    pub samples: usize,
+    /// Sum of signed errors (reported − reference), °C.
+    sum_err: f64,
+    /// Sum of squared errors.
+    sum_sq: f64,
+    /// Largest absolute error observed, °C.
+    pub max_abs_err: f64,
+}
+
+impl SensorErrorStats {
+    /// Record one paired observation.
+    pub fn record(&mut self, reported: Temperature, reference: Temperature) {
+        let e = reported - reference;
+        self.samples += 1;
+        self.sum_err += e;
+        self.sum_sq += e * e;
+        self.max_abs_err = self.max_abs_err.max(e.abs());
+    }
+
+    /// Mean signed error (bias), °C.
+    pub fn bias(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_err / self.samples as f64
+        }
+    }
+
+    /// Root-mean-square error, °C.
+    pub fn rmse(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.samples as f64).sqrt()
+        }
+    }
+}
+
+/// Validation results for a whole sensor bank.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Per-sensor error statistics, indexed like the bank's sensors.
+    pub per_sensor: Vec<SensorErrorStats>,
+    /// The acceptance bound on max absolute error, °C.
+    pub bound_c: f64,
+}
+
+impl ValidationReport {
+    /// Start a report for `sensor_count` sensors with the given bound.
+    pub fn new(sensor_count: usize, bound_c: f64) -> Self {
+        ValidationReport {
+            per_sensor: vec![SensorErrorStats::default(); sensor_count],
+            bound_c,
+        }
+    }
+
+    /// Record one sampling round: `reported[i]` vs `reference[i]`.
+    pub fn record_round(&mut self, reported: &[Temperature], reference: &[Temperature]) {
+        assert_eq!(reported.len(), self.per_sensor.len());
+        assert_eq!(reference.len(), self.per_sensor.len());
+        for ((stat, r), t) in self.per_sensor.iter_mut().zip(reported).zip(reference) {
+            stat.record(*r, *t);
+        }
+    }
+
+    /// True if every sensor's worst-case error is within the bound.
+    pub fn passed(&self) -> bool {
+        self.per_sensor.iter().all(|s| s.max_abs_err <= self.bound_c)
+    }
+
+    /// Worst max-abs-error over all sensors, °C.
+    pub fn worst_error(&self) -> f64 {
+        self.per_sensor
+            .iter()
+            .map(|s| s.max_abs_err)
+            .fold(0.0, f64::max)
+    }
+
+    /// Render a human-readable summary table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("sensor  samples      bias      rmse   max|err|  verdict\n");
+        for (i, s) in self.per_sensor.iter().enumerate() {
+            let verdict = if s.max_abs_err <= self.bound_c { "ok" } else { "FAIL" };
+            out.push_str(&format!(
+                "{:>6}  {:>7}  {:>8.3}  {:>8.3}  {:>9.3}  {}\n",
+                i + 1,
+                s.samples,
+                s.bias(),
+                s.rmse(),
+                s.max_abs_err,
+                verdict
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64) -> Temperature {
+        Temperature::from_celsius(x)
+    }
+
+    #[test]
+    fn perfect_sensor_has_zero_error() {
+        let mut r = ValidationReport::new(1, 1.0);
+        for i in 0..100 {
+            let t = c(30.0 + i as f64 * 0.1);
+            r.record_round(&[t], &[t]);
+        }
+        assert!(r.passed());
+        assert_eq!(r.worst_error(), 0.0);
+        assert_eq!(r.per_sensor[0].bias(), 0.0);
+        assert_eq!(r.per_sensor[0].rmse(), 0.0);
+    }
+
+    #[test]
+    fn quantised_sensor_within_half_step() {
+        use crate::quantize::Quantization;
+        let mut r = ValidationReport::new(1, 0.5 + 1e-9);
+        let q = Quantization::CPU_GRID;
+        let mut x = 20.0;
+        while x < 80.0 {
+            let truth = c(x);
+            r.record_round(&[q.apply(truth)], &[truth]);
+            x += 0.0371;
+        }
+        assert!(r.passed(), "quantisation error {} exceeds 0.5", r.worst_error());
+        assert!(r.per_sensor[0].rmse() > 0.0);
+    }
+
+    #[test]
+    fn biased_sensor_detected() {
+        let mut r = ValidationReport::new(1, 1.0);
+        for _ in 0..50 {
+            r.record_round(&[c(42.0)], &[c(40.0)]);
+        }
+        assert!(!r.passed());
+        assert!((r.per_sensor[0].bias() - 2.0).abs() < 1e-12);
+        assert!((r.per_sensor[0].rmse() - 2.0).abs() < 1e-12);
+        assert_eq!(r.worst_error(), 2.0);
+    }
+
+    #[test]
+    fn table_renders_verdicts() {
+        let mut r = ValidationReport::new(2, 1.0);
+        r.record_round(&[c(40.2), c(45.0)], &[c(40.0), c(40.0)]);
+        let table = r.to_table();
+        assert!(table.contains("ok"));
+        assert!(table.contains("FAIL"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_round_length_panics() {
+        let mut r = ValidationReport::new(2, 1.0);
+        r.record_round(&[c(40.0)], &[c(40.0)]);
+    }
+}

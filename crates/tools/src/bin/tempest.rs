@@ -1,0 +1,11 @@
+//! The `tempest` command-line entry point. All logic lives in
+//! [`tempest_tools::cli`] so it can be tested in-process.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = tempest_tools::main_with_args(&args, &mut stdout) {
+        eprintln!("tempest: {}", e.message);
+        std::process::exit(e.code);
+    }
+}

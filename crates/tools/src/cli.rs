@@ -1,0 +1,568 @@
+//! The `tempest` CLI: subcommand parsing and execution.
+//!
+//! ```text
+//! tempest demo <ft|bt|cg|ep|mg|lu|is|micro-d> [--class S|W|A|B|C] [--np N] [--out DIR]
+//! tempest report <trace…>           # Figure-2(a) report per node
+//! tempest summary <trace…>          # cluster-level merge & divergence
+//! tempest plot <trace> [--sensor N] # ASCII timeline + function banner
+//! tempest gprof <trace>             # baseline flat profile of the same events
+//! tempest dump <trace>              # raw text dump
+//! tempest sensors                   # live hwmon discovery + one sample
+//! ```
+//!
+//! Argument handling is deliberately hand-rolled: the dependency budget
+//! (DESIGN.md) has no CLI crate, and the grammar is six fixed verbs.
+
+use std::path::{Path, PathBuf};
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_core::plot::{ascii_plot, function_banner, TimeSeries};
+use tempest_core::timeline::Timeline;
+use tempest_core::{analyze_trace, report, AnalysisOptions, ClusterProfile};
+use tempest_probe::trace::Trace;
+use tempest_sensors::SensorId;
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// What went wrong, user-facing.
+    pub message: String,
+    /// Suggested process exit code (2 = usage, 1 = runtime).
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn run(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+const USAGE: &str = "\
+tempest — thermal profiler for parallel code (Tempest reproduction)
+
+USAGE:
+  tempest demo <ft|bt|cg|ep|mg|lu|is|micro-d> [--class S|W|A|B|C] [--np N] [--out DIR]
+  tempest record  <a|b|c|d|e> [--out DIR]      (native run, real instrumentation)
+  tempest report  <trace file(s)> [--format text|csv|kv|md]
+  tempest summary <trace file(s)>
+  tempest plot    <trace file> [--sensor N]
+  tempest traits  <trace file> [--sensor N]
+  tempest callgraph <trace file>
+  tempest gprof   <trace file>
+  tempest dump    <trace file>
+  tempest sensors
+";
+
+/// Entry point given argv (without the program name). Writes to stdout;
+/// returns an error with exit code otherwise.
+pub fn main_with_args(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let mut it = args.iter();
+    let verb = it.next().map(String::as_str).unwrap_or("");
+    let rest: Vec<String> = it.cloned().collect();
+    match verb {
+        "demo" => cmd_demo(&rest, out),
+        "record" => cmd_record(&rest, out),
+        "report" => cmd_report(&rest, out),
+        "summary" => cmd_summary(&rest, out),
+        "plot" => cmd_plot(&rest, out),
+        "traits" => cmd_traits(&rest, out),
+        "callgraph" => cmd_callgraph(&rest, out),
+        "gprof" => cmd_gprof(&rest, out),
+        "dump" => cmd_dump(&rest, out),
+        "sensors" => cmd_sensors(out),
+        "help" | "--help" | "-h" | "" => {
+            let _ = write!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // All our flags take a value.
+            skip = args.get(i + 1).is_some();
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn parse_class(s: &str) -> Result<Class, CliError> {
+    Ok(match s.to_ascii_uppercase().as_str() {
+        "S" => Class::S,
+        "W" => Class::W,
+        "A" => Class::A,
+        "B" => Class::B,
+        "C" => Class::C,
+        other => return Err(CliError::usage(format!("unknown class `{other}`"))),
+    })
+}
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    Trace::load(Path::new(path)).map_err(|e| CliError::run(format!("{path}: {e}")))
+}
+
+fn cmd_demo(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let workload = pos
+        .first()
+        .ok_or_else(|| CliError::usage("demo: which workload?"))?
+        .as_str();
+    let class = parse_class(&flag_value(args, "--class").unwrap_or_else(|| "A".into()))?;
+    let np: usize = flag_value(args, "--np")
+        .unwrap_or_else(|| "4".into())
+        .parse()
+        .map_err(|_| CliError::usage("--np wants an integer"))?;
+    let dir = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "traces".into()));
+
+    let programs = match workload {
+        "micro-d" => vec![tempest_workloads::micro::program(
+            tempest_workloads::micro::Micro::D,
+            30.0,
+            2.0,
+        )],
+        name => {
+            let bench = NpbBenchmark::ALL
+                .into_iter()
+                .find(|b| b.name() == name)
+                .ok_or_else(|| CliError::usage(format!("unknown workload `{name}`")))?;
+            bench.programs(class, np)
+        }
+    };
+    let cfg = ClusterRunConfig::paper_default();
+    let run = ClusterRun::execute(&cfg, &programs);
+    std::fs::create_dir_all(&dir).map_err(|e| CliError::run(format!("{}: {e}", dir.display())))?;
+    for trace in &run.traces {
+        let path = dir.join(format!("{workload}-node{}.trace", trace.node.node_id));
+        trace
+            .save(&path)
+            .map_err(|e| CliError::run(format!("{}: {e}", path.display())))?;
+        let _ = writeln!(
+            out,
+            "wrote {} ({} events, {} samples)",
+            path.display(),
+            trace.events.len(),
+            trace.samples.len()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "simulated {:.1}s on {} node(s); next: tempest report {}/{workload}-node0.trace",
+        run.engine.end_ns as f64 / 1e9,
+        run.traces.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_record(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use tempest_workloads::micro::{run_native, Micro, MicroConfig};
+    let pos = positional(args);
+    let which = pos
+        .first()
+        .ok_or_else(|| CliError::usage("record: which micro-benchmark (a-e)?"))?;
+    let micro = match which.to_ascii_lowercase().as_str() {
+        "a" => Micro::A,
+        "b" => Micro::B,
+        "c" => Micro::C,
+        "d" => Micro::D,
+        "e" => Micro::E,
+        other => return Err(CliError::usage(format!("unknown micro-benchmark `{other}`"))),
+    };
+    let dir = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "traces".into()));
+    std::fs::create_dir_all(&dir).map_err(|e| CliError::run(format!("{}: {e}", dir.display())))?;
+
+    // Real instrumentation; real hwmon sensors when present, simulated
+    // Opteron bank otherwise (the portable fallback of §3.4).
+    let hw = tempest_sensors::hwmon::HwmonSource::discover();
+    let source: Box<dyn tempest_sensors::SensorSource> = if hw.is_available() {
+        Box::new(hw)
+    } else {
+        Box::new(tempest_sensors::sim::SimulatedSensorBank::new(
+            tempest_sensors::platform::PlatformSpec::opteron_full(),
+            tempest_sensors::node_model::NodeThermalModel::new(
+                tempest_sensors::node_model::NodeThermalParams::opteron_node(),
+            ),
+            7,
+            0.1,
+        ))
+    };
+    let session = tempest_probe::ProfilingSession::start_with_sensors(
+        std::sync::Arc::new(tempest_probe::MonotonicClock::new()),
+        source,
+        tempest_probe::tempd::TempdConfig { rate_hz: 20.0 },
+    );
+    {
+        let tp = session.thread_profiler();
+        run_native(micro, MicroConfig::default(), &tp);
+    }
+    let trace = session.finish();
+    let path = dir.join(format!("micro-{}.trace", which.to_ascii_lowercase()));
+    trace
+        .save(&path)
+        .map_err(|e| CliError::run(format!("{}: {e}", path.display())))?;
+    let _ = writeln!(
+        out,
+        "recorded {} ({} events, {} samples over {:.3} s)",
+        path.display(),
+        trace.events.len(),
+        trace.samples.len(),
+        trace.span_ns() as f64 / 1e9
+    );
+    Ok(())
+}
+
+fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    if pos.is_empty() {
+        return Err(CliError::usage("report: which trace file(s)?"));
+    }
+    let format = flag_value(args, "--format").unwrap_or_else(|| "text".into());
+    for path in pos {
+        let trace = load_trace(path)?;
+        let profile = analyze_trace(&trace, AnalysisOptions::default())
+            .map_err(|e| CliError::run(format!("{path}: {e}")))?;
+        let rendered = match format.as_str() {
+            "text" => report::render_stdout(&profile),
+            "csv" => tempest_core::export::profile_to_csv(&profile),
+            "kv" => tempest_core::export::profile_to_kv(&profile),
+            "md" => tempest_core::export::profile_to_markdown(&profile),
+            other => return Err(CliError::usage(format!("unknown format `{other}`"))),
+        };
+        let _ = write!(out, "{rendered}");
+    }
+    Ok(())
+}
+
+fn cmd_traits(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("traits: which trace file?"))?;
+    let sensor: u16 = flag_value(args, "--sensor")
+        .unwrap_or_else(|| "3".into())
+        .parse()
+        .map_err(|_| CliError::usage("--sensor wants an integer"))?;
+    let trace = load_trace(path)?;
+    let timeline = Timeline::build(&trace.events);
+    let phases =
+        tempest_core::phases::segment_phases(&trace.samples, SensorId(sensor), 4, 0.15);
+    if phases.is_empty() {
+        return Err(CliError::run("not enough samples to segment phases"));
+    }
+    let _ = writeln!(out, "thermal phases (sensor index {sensor}):");
+    for p in &phases {
+        let _ = writeln!(
+            out,
+            "  {:>8.1}s..{:>8.1}s  {:<8}  {:+6.2} F ({:+.3} F/s)",
+            p.start_ns as f64 / 1e9,
+            p.end_ns as f64 / 1e9,
+            format!("{:?}", p.trend),
+            p.delta_f,
+            p.rate_f_per_s()
+        );
+    }
+    let _ = writeln!(out, "
+function thermal traits (dominant-phase warming rates):");
+    for t in tempest_core::phases::function_traits(&phases, &timeline) {
+        let name = trace
+            .function(t.func)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| format!("fn#{}", t.func.0));
+        let _ = writeln!(
+            out,
+            "  {:<20} {:+7.3} F/s over {:>7.1}s",
+            name, t.rate_f_per_s, t.seconds
+        );
+    }
+    Ok(())
+}
+
+fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    if pos.is_empty() {
+        return Err(CliError::usage("summary: which trace file(s)?"));
+    }
+    let mut profiles = Vec::new();
+    for path in &pos {
+        let trace = load_trace(path)?;
+        profiles.push(
+            analyze_trace(&trace, AnalysisOptions::default())
+                .map_err(|e| CliError::run(format!("{path}: {e}")))?,
+        );
+    }
+    let cluster = ClusterProfile::new(profiles);
+    let _ = writeln!(out, "cluster of {} node(s):", cluster.node_count());
+    for s in cluster.node_summaries() {
+        let _ = writeln!(
+            out,
+            "  node {} ({})  avg {:>6.1} F  max {:>6.1} F",
+            s.node_id + 1,
+            s.hostname,
+            s.avg_f,
+            s.max_f
+        );
+    }
+    if let Some((lo, hi)) = cluster.node_divergence_f() {
+        let _ = writeln!(out, "  divergence across nodes: {:.1} F", hi - lo);
+    }
+    let _ = writeln!(out, "\nhot spots (node 1):");
+    for spot in tempest_core::analysis::hotspots(&cluster.nodes[0], 5) {
+        let _ = writeln!(
+            out,
+            "  {:<20} avg {:>6.1} F  {:>7.2}s  score {:>8.2}",
+            spot.name, spot.avg_f, spot.inclusive_secs, spot.score
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plot(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("plot: which trace file?"))?;
+    let sensor: u16 = flag_value(args, "--sensor")
+        .unwrap_or_else(|| "3".into())
+        .parse()
+        .map_err(|_| CliError::usage("--sensor wants an integer"))?;
+    let trace = load_trace(path)?;
+    let timeline = Timeline::build(&trace.events);
+    let names: Vec<String> = trace.functions.iter().map(|f| f.name.clone()).collect();
+    let name_of = move |id: u32| {
+        names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("fn#{id}"))
+    };
+    let label = trace
+        .node
+        .sensors
+        .iter()
+        .find(|s| s.id == SensorId(sensor))
+        .map(|s| s.label.clone())
+        .unwrap_or_else(|| format!("sensor{}", sensor + 1));
+    let series = TimeSeries::from_samples(label, &trace.samples, SensorId(sensor), 0);
+    if series.points.is_empty() {
+        return Err(CliError::run(format!("no samples for sensor index {sensor}")));
+    }
+    let _ = writeln!(out, "function: {}", function_banner(&timeline, &name_of, 72));
+    let _ = write!(out, "{}", ascii_plot(&[series], 72, 16));
+    Ok(())
+}
+
+fn cmd_callgraph(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("callgraph: which trace file?"))?;
+    let trace = load_trace(path)?;
+    let timeline = Timeline::build(&trace.events);
+    let graph = tempest_core::callgraph::CallGraph::build(&timeline);
+    let names: Vec<String> = trace.functions.iter().map(|f| f.name.clone()).collect();
+    let name_of = move |f: tempest_probe::func::FunctionId| {
+        names
+            .get(f.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("fn#{}", f.0))
+    };
+    let _ = write!(out, "{}", graph.render(&name_of));
+    Ok(())
+}
+
+fn cmd_gprof(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("gprof: which trace file?"))?;
+    let trace = load_trace(path)?;
+    let flat = tempest_gprof::FlatProfile::from_events(&trace.events);
+    let _ = write!(out, "{}", flat.render(&trace.functions));
+    Ok(())
+}
+
+fn cmd_dump(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("dump: which trace file?"))?;
+    let trace = load_trace(path)?;
+    let _ = write!(out, "{}", trace.to_text());
+    Ok(())
+}
+
+fn cmd_sensors(out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use tempest_sensors::source::SensorSource;
+    let mut hw = tempest_sensors::hwmon::HwmonSource::discover();
+    if !hw.is_available() {
+        let _ = writeln!(
+            out,
+            "no hwmon/thermal sensors exposed on this host (container/VM?)"
+        );
+        return Ok(());
+    }
+    let readings = hw.sample_all(0);
+    for (info, r) in hw.sensors().iter().zip(&readings) {
+        let _ = writeln!(
+            out,
+            "{:<32} {:<12} {:>7.1} C",
+            info.label,
+            format!("{:?}", info.kind),
+            r.temperature.celsius()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        main_with_args(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tempest-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn demo_then_report_then_plot_roundtrip() {
+        let dir = temp_dir("demo");
+        let dir_s = dir.to_str().unwrap();
+        let out = run(&["demo", "micro-d", "--out", dir_s]).unwrap();
+        assert!(out.contains("wrote"));
+        let trace_path = dir.join("micro-d-node0.trace");
+        assert!(trace_path.exists());
+        let trace_s = trace_path.to_str().unwrap();
+
+        let report = run(&["report", trace_s]).unwrap();
+        assert!(report.contains("Function: main"));
+        assert!(report.contains("Min"));
+
+        let plot = run(&["plot", trace_s]).unwrap();
+        assert!(plot.contains("function:"));
+        assert!(plot.contains('|'));
+
+        let gprof = run(&["gprof", trace_s]).unwrap();
+        assert!(gprof.contains("cumulative"));
+
+        let dump = run(&["dump", trace_s]).unwrap();
+        assert!(dump.contains("# tempest trace"));
+
+        let md = run(&["report", trace_s, "--format", "md"]).unwrap();
+        assert!(md.contains("| sensor |"));
+        let csv = run(&["report", trace_s, "--format", "csv"]).unwrap();
+        assert!(csv.starts_with("node,function,"));
+        let kv = run(&["report", trace_s, "--format", "kv"]).unwrap();
+        assert!(kv.contains("function main"));
+        let traits = run(&["traits", trace_s]).unwrap();
+        assert!(traits.contains("thermal phases"));
+        assert!(traits.contains("F/s"));
+        let graph = run(&["callgraph", trace_s]).unwrap();
+        assert!(graph.contains("main"));
+        assert!(graph.contains("->"));
+
+        let summary = run(&["summary", trace_s]).unwrap();
+        assert!(summary.contains("cluster of 1 node"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn demo_npb_multi_node() {
+        let dir = temp_dir("npb");
+        let dir_s = dir.to_str().unwrap();
+        run(&["demo", "cg", "--class", "A", "--np", "4", "--out", dir_s]).unwrap();
+        for n in 0..4 {
+            assert!(dir.join(format!("cg-node{n}.trace")).exists());
+        }
+        // Summary over all four nodes.
+        let traces: Vec<String> = (0..4)
+            .map(|n| dir.join(format!("cg-node{n}.trace")).to_str().unwrap().to_string())
+            .collect();
+        let args: Vec<&str> = std::iter::once("summary")
+            .chain(traces.iter().map(String::as_str))
+            .collect();
+        let out = run(&args).unwrap();
+        assert!(out.contains("cluster of 4 node(s)"));
+        assert!(out.contains("divergence"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_missing_file_is_run_error() {
+        let err = run(&["report", "/nonexistent/x.trace"]).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn bad_class_rejected() {
+        let err = run(&["demo", "ft", "--class", "Z"]).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn record_native_micro_benchmark() {
+        let dir = temp_dir("record");
+        let dir_s = dir.to_str().unwrap();
+        let out = run(&["record", "d", "--out", dir_s]).unwrap();
+        assert!(out.contains("recorded"));
+        let trace_path = dir.join("micro-d.trace");
+        let report = run(&["report", trace_path.to_str().unwrap()]).unwrap();
+        assert!(report.contains("Function: main"));
+        assert!(report.contains("Function: foo1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sensors_runs_anywhere() {
+        let out = run(&["sensors"]).unwrap();
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+//! # tempest-tools
+//!
+//! Library backing the `tempest` command-line tool — the user-facing
+//! incarnation of the paper's Figure-1 workflow ("run their code, and
+//! invoke the Tempest parser for post processing"). Each subcommand is a
+//! function here so it can be unit-tested without spawning processes.
+
+pub mod cli;
+
+pub use cli::{main_with_args, CliError};

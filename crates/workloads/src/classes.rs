@@ -1,0 +1,100 @@
+//! NAS Parallel Benchmark problem classes.
+//!
+//! NPB defines classes S (sample), W (workstation), A, B, C in increasing
+//! problem size. The paper's cluster results use class C with NP=4. The
+//! simulated phase models scale their compute-phase durations and message
+//! sizes by class; the factors follow the official NPB size ratios
+//! (roughly 4× work per class step for most codes).
+
+/// NPB problem class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    /// Sample size for quick functional checks.
+    S,
+    /// Workstation size.
+    W,
+    /// Small production size.
+    A,
+    /// Medium production size (≈4× A).
+    B,
+    /// Large production size (≈16× A) — the paper's configuration.
+    C,
+}
+
+impl Class {
+    /// All classes, smallest first.
+    pub const ALL: [Class; 5] = [Class::S, Class::W, Class::A, Class::B, Class::C];
+
+    /// Work multiplier relative to class A (the usual ~4× ladder, with S
+    /// and W far smaller — handy for fast tests).
+    pub fn work_factor(self) -> f64 {
+        match self {
+            Class::S => 0.002,
+            Class::W => 0.03,
+            Class::A => 1.0,
+            Class::B => 4.0,
+            Class::C => 16.0,
+        }
+    }
+
+    /// Message-size multiplier relative to class A (communication volume
+    /// grows slower than compute for most codes: ~2.5× per step).
+    pub fn msg_factor(self) -> f64 {
+        match self {
+            Class::S => 0.01,
+            Class::W => 0.08,
+            Class::A => 1.0,
+            Class::B => 2.5,
+            Class::C => 6.25,
+        }
+    }
+
+    /// Canonical letter.
+    pub fn letter(self) -> char {
+        match self {
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+            Class::C => 'C',
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_factors_monotone() {
+        let f: Vec<f64> = Class::ALL.iter().map(|c| c.work_factor()).collect();
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn msg_factors_monotone() {
+        let f: Vec<f64> = Class::ALL.iter().map(|c| c.msg_factor()).collect();
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn class_c_is_the_paper_configuration() {
+        assert_eq!(Class::C.work_factor(), 16.0);
+        assert_eq!(Class::C.to_string(), "C");
+    }
+
+    #[test]
+    fn compute_grows_faster_than_communication() {
+        // B→C: work ×4, messages ×2.5 — comm fraction shrinks with class.
+        assert!(
+            Class::C.work_factor() / Class::B.work_factor()
+                > Class::C.msg_factor() / Class::B.msg_factor()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # tempest-workloads
+//!
+//! Workloads for the Tempest reproduction, in three families:
+//!
+//! * [`npb`] — phase-accurate models of the NAS Parallel Benchmarks the
+//!   paper profiles (FT and BT in the evaluation; CG, EP, MG, LU and IS
+//!   for completeness). Each model produces per-rank
+//!   [`tempest_cluster::Program`]s whose function names, phase structure,
+//!   communication pattern and compute/communication ratio follow the real
+//!   codes — FT spends ~50 % of its time in all-to-all (§4.3), BT hits a
+//!   synchronisation event ~1.5 s in (Figure 4), and the function
+//!   inventories match Tables 2–3 (`adi_`, `matvec_sub`, `matmul_sub`, …).
+//! * [`native`] — *real* compute kernels (an FFT, a BT-style block
+//!   tridiagonal solver, a conjugate-gradient solver, a CPU burn) that run
+//!   on the host under real instrumentation. These are what the overhead
+//!   experiment (§3.4: Tempest <7 %, gprof <10 %) measures.
+//! * [`micro`] — the five Table-1 micro-benchmarks (A–E) used to validate
+//!   timeline reconstruction under interleaving and recursion, in both
+//!   native and simulated form.
+
+pub mod classes;
+pub mod micro;
+pub mod native;
+pub mod npb;
+
+pub use classes::Class;

@@ -1,0 +1,274 @@
+//! The Table-1 micro-benchmarks.
+//!
+//! §4.2: *"All benchmarks include: A (main alone), B (one function), C
+//! (multiple functions), D (multiple functions with interleaving), and E
+//! (multiple functions with recursion and interleaving)."* Benchmark D is
+//! the paper's worked example (Figure 2): `foo1` runs a CPU burn that
+//! dominates execution, `foo2` "simply exits after a short timer expires".
+//!
+//! Each benchmark exists twice: as a *native* instrumented run (real burn
+//! loops and timers on the host, for validating the probe) and as a
+//! *simulated* [`Program`] (for driving the cluster pipeline and the
+//! Figure-2 thermal profile, where `foo1` must run 60 s — too long to burn
+//! a real core in a test suite).
+
+use crate::native::burn::burn_for;
+use std::time::Duration;
+use tempest_cluster::Program;
+use tempest_probe::profiler::ThreadProfiler;
+use tempest_sensors::power::ActivityMix;
+
+/// Which micro-benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Micro {
+    /// Main alone.
+    A,
+    /// One function.
+    B,
+    /// Multiple functions.
+    C,
+    /// Multiple functions with interleaving (the Figure-2 benchmark).
+    D,
+    /// Multiple functions with recursion and interleaving.
+    E,
+}
+
+impl Micro {
+    /// All five, in Table-1 order.
+    pub const ALL: [Micro; 5] = [Micro::A, Micro::B, Micro::C, Micro::D, Micro::E];
+
+    /// Table-1 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Micro::A => "main alone",
+            Micro::B => "one function",
+            Micro::C => "multiple functions",
+            Micro::D => "multiple functions with interleaving",
+            Micro::E => "multiple functions with recursion and interleaving",
+        }
+    }
+}
+
+/// Durations for the native variants (milliseconds per unit of work).
+#[derive(Debug, Clone, Copy)]
+pub struct MicroConfig {
+    /// Burn length for the dominant function.
+    pub burn_ms: u64,
+    /// Timer length for the short function (foo2).
+    pub timer_ms: u64,
+    /// Recursion depth for benchmark E.
+    pub depth: u32,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig {
+            burn_ms: 40,
+            timer_ms: 10,
+            depth: 3,
+        }
+    }
+}
+
+/// Run a micro-benchmark natively under instrumentation.
+pub fn run_native(micro: Micro, cfg: MicroConfig, tp: &ThreadProfiler) {
+    let _main = tp.scope("main");
+    match micro {
+        Micro::A => {
+            burn_for(Duration::from_millis(cfg.burn_ms));
+        }
+        Micro::B => {
+            let _f = tp.scope("foo1");
+            burn_for(Duration::from_millis(cfg.burn_ms));
+        }
+        Micro::C => {
+            for name in ["foo1", "foo2", "foo3"] {
+                let _f = tp.scope(name);
+                burn_for(Duration::from_millis(cfg.burn_ms / 3));
+            }
+        }
+        Micro::D => {
+            // Table 1 D: main { foo1 { foo2 } ; foo2 }.
+            {
+                let _f1 = tp.scope("foo1");
+                burn_for(Duration::from_millis(cfg.burn_ms));
+                let _f2 = tp.scope("foo2");
+                std::thread::sleep(Duration::from_millis(cfg.timer_ms));
+            }
+            let _f2 = tp.scope("foo2");
+            std::thread::sleep(Duration::from_millis(cfg.timer_ms));
+        }
+        Micro::E => {
+            recurse(tp, cfg, cfg.depth);
+        }
+    }
+}
+
+fn recurse(tp: &ThreadProfiler, cfg: MicroConfig, depth: u32) {
+    let _f1 = tp.scope("foo1");
+    burn_for(Duration::from_millis(cfg.burn_ms / (cfg.depth as u64 + 1)));
+    if depth > 0 {
+        recurse(tp, cfg, depth - 1);
+    }
+    let _f2 = tp.scope("foo2");
+    std::thread::sleep(Duration::from_millis(cfg.timer_ms / (cfg.depth as u64 + 1).max(1)));
+}
+
+/// The simulated single-rank program for a micro-benchmark.
+///
+/// `burn_secs`/`timer_secs` control the dominant burn and the short timer.
+/// Figure 2's configuration is `program(Micro::D, 60.0, 1.3)` — foo1 burns
+/// the CPU for ~60 s, foo2 waits on a timer.
+pub fn program(micro: Micro, burn_secs: f64, timer_secs: f64) -> Program {
+    match micro {
+        Micro::A => Program::builder()
+            .call("main", |b| b.compute(burn_secs, ActivityMix::FpDense))
+            .build(),
+        Micro::B => Program::builder()
+            .call("main", |b| {
+                b.call("foo1", |b| b.compute(burn_secs, ActivityMix::FpDense))
+            })
+            .build(),
+        Micro::C => Program::builder()
+            .call("main", |b| {
+                b.call("foo1", |b| b.compute(burn_secs / 3.0, ActivityMix::FpDense))
+                    .call("foo2", |b| b.compute(burn_secs / 3.0, ActivityMix::MemoryBound))
+                    .call("foo3", |b| b.compute(burn_secs / 3.0, ActivityMix::Balanced))
+            })
+            .build(),
+        Micro::D => Program::builder()
+            .call("main", |b| {
+                b.call("foo1", |b| {
+                    b.compute(burn_secs, ActivityMix::FpDense)
+                        .call("foo2", |b| b.sleep(timer_secs))
+                })
+                .call("foo2", |b| b.sleep(timer_secs))
+            })
+            .build(),
+        Micro::E => {
+            // Two levels of recursion with interleaved foo2, mirroring the
+            // native variant.
+            Program::builder()
+                .call("main", |b| {
+                    b.call("foo1", |b| {
+                        b.compute(burn_secs / 2.0, ActivityMix::FpDense)
+                            .call("foo1", |b| {
+                                b.compute(burn_secs / 2.0, ActivityMix::FpDense)
+                                    .call("foo2", |b| b.sleep(timer_secs / 2.0))
+                            })
+                            .call("foo2", |b| b.sleep(timer_secs / 2.0))
+                    })
+                })
+                .build()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempest_core::{analyze_trace, AnalysisOptions};
+    use tempest_probe::{MonotonicClock, Profiler, VecSink};
+
+    fn run_and_parse(micro: Micro) -> tempest_core::NodeProfile {
+        let sink = VecSink::new();
+        let profiler = Profiler::new(Arc::new(MonotonicClock::new()), sink.clone());
+        let tp = profiler.thread_profiler();
+        run_native(micro, MicroConfig::default(), &tp);
+        tp.flush();
+        let trace = tempest_probe::trace::Trace::from_mixed_events(
+            tempest_probe::trace::NodeMeta::anonymous(),
+            profiler.registry().snapshot(),
+            sink.drain(),
+        );
+        analyze_trace(&trace, AnalysisOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn a_has_only_main() {
+        let p = run_and_parse(Micro::A);
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].func.name, "main");
+        assert!(p.functions[0].inclusive_ns >= 35_000_000);
+    }
+
+    #[test]
+    fn b_main_includes_foo1() {
+        let p = run_and_parse(Micro::B);
+        let main = p.by_name("main").unwrap();
+        let foo1 = p.by_name("foo1").unwrap();
+        assert!(main.inclusive_ns >= foo1.inclusive_ns);
+        assert_eq!(foo1.calls, 1);
+    }
+
+    #[test]
+    fn c_three_functions_roughly_equal() {
+        let p = run_and_parse(Micro::C);
+        let times: Vec<u64> = ["foo1", "foo2", "foo3"]
+            .iter()
+            .map(|n| p.by_name(n).unwrap().inclusive_ns)
+            .collect();
+        let max = *times.iter().max().unwrap() as f64;
+        let min = *times.iter().min().unwrap() as f64;
+        assert!(max / min < 3.0, "unbalanced thirds: {times:?}");
+    }
+
+    #[test]
+    fn d_interleaving_counts_foo2_twice() {
+        let p = run_and_parse(Micro::D);
+        assert_eq!(p.by_name("foo2").unwrap().calls, 2);
+        assert_eq!(p.by_name("foo1").unwrap().calls, 1);
+        // foo1 dominates main's time, as in Figure 2. The bound is loose:
+        // under CI load the foo2 sleeps can overshoot their 10 ms.
+        let main = p.by_name("main").unwrap().inclusive_ns as f64;
+        let foo1 = p.by_name("foo1").unwrap().inclusive_ns as f64;
+        assert!(foo1 / main > 0.25, "foo1/main = {:.2}", foo1 / main);
+    }
+
+    #[test]
+    fn e_recursion_reconstructs_cleanly() {
+        let p = run_and_parse(Micro::E);
+        let foo1 = p.by_name("foo1").unwrap();
+        assert_eq!(foo1.calls, MicroConfig::default().depth as u64 + 1);
+        // Inclusive time counted once despite nesting: ≤ main's.
+        assert!(foo1.inclusive_ns <= p.by_name("main").unwrap().inclusive_ns);
+        assert!(p.warnings.is_empty());
+    }
+
+    #[test]
+    fn simulated_programs_all_balanced() {
+        for m in Micro::ALL {
+            let p = program(m, 6.0, 0.5);
+            assert!(p.scopes_balanced(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn simulated_d_shape_matches_table1() {
+        use tempest_cluster::Op;
+        let p = program(Micro::D, 60.0, 1.3);
+        let names: Vec<String> = p
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::CallEnter(n) => Some(format!(">{n}")),
+                Op::CallExit => Some("<".to_string()),
+                Op::Compute { .. } => Some("C".to_string()),
+                Op::Sleep { .. } => Some("S".to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![">main", ">foo1", "C", ">foo2", "S", "<", "<", ">foo2", "S", "<", "<"]
+        );
+    }
+
+    #[test]
+    fn descriptions_cover_all() {
+        for m in Micro::ALL {
+            assert!(!m.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! CPU burn — the paper's Figure-2 heater.
+//!
+//! Micro-benchmark D's `foo1` "calls a CPU burn code that heats up the CPU
+//! rapidly". This is that code: a dependent fused-multiply-add chain that
+//! keeps the FP pipeline saturated. Also usable as a wall-clock burner
+//! ([`burn_for`]) for experiments that need "hot for N seconds".
+
+use super::NativeKernel;
+use std::time::{Duration, Instant};
+use tempest_probe::profiler::ThreadProfiler;
+
+/// Fixed-work FP burn kernel.
+#[derive(Debug, Clone)]
+pub struct Burn {
+    /// Number of FMA-chain steps.
+    pub steps: u64,
+    /// How many instrumented chunks the work is split into.
+    pub chunks: u64,
+}
+
+impl Burn {
+    /// Scale the default workload (scale 1.0 ≈ a few hundred ms on a
+    /// modern core).
+    pub fn scaled(scale: f64) -> Self {
+        Burn {
+            steps: ((80_000_000.0 * scale) as u64).max(1_000),
+            chunks: 8,
+        }
+    }
+}
+
+/// The inner chain; `#[inline(never)]` keeps the work an honest function
+/// call like the compiled Fortran the paper instrumented.
+#[inline(never)]
+fn fma_chain(steps: u64, seed: f64) -> f64 {
+    let mut a = seed;
+    let mut b = 1.000000001f64;
+    for _ in 0..steps {
+        a = a.mul_add(b, 1e-12);
+        b = b.mul_add(0.999999999, 1e-13);
+    }
+    std::hint::black_box(a + b)
+}
+
+impl NativeKernel for Burn {
+    fn name(&self) -> &'static str {
+        "burn"
+    }
+
+    fn run(&self, tp: Option<&ThreadProfiler>) -> f64 {
+        let mut acc = 0.0;
+        let per_chunk = self.steps / self.chunks.max(1);
+        for i in 0..self.chunks {
+            super::maybe_scope!(tp, "burn_chunk");
+            acc += fma_chain(per_chunk, 0.5 + i as f64 * 1e-6);
+        }
+        acc
+    }
+
+    fn instrumented_calls(&self) -> u64 {
+        self.chunks
+    }
+}
+
+/// Burn the CPU until `d` has elapsed; returns the number of chain steps
+/// executed (and keeps the result live).
+pub fn burn_for(d: Duration) -> u64 {
+    let t0 = Instant::now();
+    let mut total = 0u64;
+    let mut acc = 0.5f64;
+    while t0.elapsed() < d {
+        acc += fma_chain(200_000, acc);
+        total += 200_000;
+    }
+    std::hint::black_box(acc);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_checksum() {
+        let k = Burn { steps: 100_000, chunks: 4 };
+        assert_eq!(k.run(None), k.run(None));
+    }
+
+    #[test]
+    fn work_scales_with_steps() {
+        let small = Burn { steps: 50_000, chunks: 1 };
+        let large = Burn { steps: 5_000_000, chunks: 1 };
+        let t = |k: &Burn| {
+            let t0 = Instant::now();
+            std::hint::black_box(k.run(None));
+            t0.elapsed()
+        };
+        // Warm up, then compare.
+        t(&small);
+        assert!(t(&large) > t(&small));
+    }
+
+    #[test]
+    fn burn_for_respects_duration() {
+        let t0 = Instant::now();
+        let steps = burn_for(Duration::from_millis(30));
+        let took = t0.elapsed();
+        assert!(steps > 0);
+        assert!(took >= Duration::from_millis(30));
+        assert!(took < Duration::from_millis(500), "took {took:?}");
+    }
+
+    #[test]
+    fn scaled_never_degenerates() {
+        assert!(Burn::scaled(0.0).steps >= 1_000);
+    }
+}

@@ -1,0 +1,247 @@
+//! A real radix-2 complex FFT — the native stand-in for NPB FT's compute.
+//!
+//! Iterative Cooley–Tukey with bit-reversal permutation. The kernel runs
+//! `iterations` rounds of evolve → forward FFT → inverse FFT and returns a
+//! round-trip checksum, mirroring FT's evolve/fft loop; the unit tests
+//! verify the transform against a direct DFT and the inverse against the
+//! identity.
+
+use super::NativeKernel;
+use tempest_probe::profiler::ThreadProfiler;
+
+/// A complex number. Kept local and `#[repr(C)]`-simple; pulling in a
+/// complex-arithmetic crate would be heavier than the 20 lines used here.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+
+    fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// In-place iterative FFT. `inverse` selects the conjugate transform and
+/// applies the 1/n scale.
+pub fn fft_in_place(data: &mut [C64], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = C64::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = C64::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data {
+            x.re *= scale;
+            x.im *= scale;
+        }
+    }
+}
+
+/// FT-style native kernel: evolve/FFT/IFFT rounds over a complex signal.
+#[derive(Debug, Clone)]
+pub struct FftKernel {
+    /// log2 of the transform length.
+    pub log2n: u32,
+    /// evolve→fft→ifft rounds.
+    pub iterations: u32,
+}
+
+impl FftKernel {
+    /// Scale the default workload.
+    pub fn scaled(scale: f64) -> Self {
+        let log2n = if scale >= 0.5 { 16 } else { 14 };
+        FftKernel {
+            log2n,
+            iterations: ((30.0 * scale) as u32).max(4),
+        }
+    }
+
+    fn initial_signal(&self) -> Vec<C64> {
+        let n = 1usize << self.log2n;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                C64::new(
+                    (2.0 * std::f64::consts::PI * 3.0 * x).sin(),
+                    (2.0 * std::f64::consts::PI * 5.0 * x).cos() * 0.5,
+                )
+            })
+            .collect()
+    }
+}
+
+impl NativeKernel for FftKernel {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn run(&self, tp: Option<&ThreadProfiler>) -> f64 {
+        let mut data = self.initial_signal();
+        let mut checksum = 0.0;
+        for it in 0..self.iterations {
+            {
+                super::maybe_scope!(tp, "evolve");
+                let decay = (-(it as f64) * 1e-3).exp();
+                for x in &mut data {
+                    x.re *= decay;
+                    x.im *= decay;
+                }
+            }
+            {
+                super::maybe_scope!(tp, "fft_forward");
+                fft_in_place(&mut data, false);
+            }
+            {
+                super::maybe_scope!(tp, "fft_inverse");
+                fft_in_place(&mut data, true);
+            }
+            {
+                super::maybe_scope!(tp, "checksum");
+                checksum += data[it as usize % data.len()].abs();
+            }
+        }
+        std::hint::black_box(checksum)
+    }
+
+    fn instrumented_calls(&self) -> u64 {
+        self.iterations as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct_dft(x: &[C64]) -> Vec<C64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = C64::default();
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(v.mul(C64::new(ang.cos(), ang.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_dft() {
+        let signal: Vec<C64> = (0..16)
+            .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let expect = direct_dft(&signal);
+        let mut got = signal.clone();
+        fft_in_place(&mut got, false);
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let signal: Vec<C64> = (0..256)
+            .map(|i| C64::new((i as f64 * 0.11).sin(), (i as f64 * 0.37).cos()))
+            .collect();
+        let mut data = signal.clone();
+        fft_in_place(&mut data, false);
+        fft_in_place(&mut data, true);
+        for (a, b) in data.iter().zip(&signal) {
+            assert!(a.sub(*b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_energy() {
+        let n = 64;
+        let signal: Vec<C64> = (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                C64::new((2.0 * std::f64::consts::PI * 7.0 * x).cos(), 0.0)
+            })
+            .collect();
+        let mut data = signal;
+        fft_in_place(&mut data, false);
+        // Energy at bins 7 and n−7.
+        assert!(data[7].abs() > 30.0);
+        assert!(data[57].abs() > 30.0);
+        for (i, v) in data.iter().enumerate() {
+            if i != 7 && i != 57 {
+                assert!(v.abs() < 1e-6, "leakage at bin {i}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut d = vec![C64::default(); 12];
+        fft_in_place(&mut d, false);
+    }
+
+    #[test]
+    fn kernel_checksum_is_stable() {
+        let k = FftKernel { log2n: 8, iterations: 3 };
+        assert_eq!(k.run(None), k.run(None));
+        assert!(k.run(None).is_finite());
+    }
+}

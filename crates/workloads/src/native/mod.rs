@@ -1,0 +1,101 @@
+//! Real compute kernels for native profiling.
+//!
+//! The simulated cluster covers the paper's parallel experiments; these
+//! kernels cover the *native* ones — Tempest's overhead measurement
+//! (§3.4), native micro-benchmark profiling (Figure 2), and the gprof
+//! comparison. Each kernel does genuine numerical work (checked by its
+//! tests), takes an optional [`ThreadProfiler`], and instruments its
+//! internal functions only when one is supplied, so the same binary runs
+//! instrumented and uninstrumented for overhead A/B runs.
+
+pub mod adi;
+pub mod burn;
+pub mod cg;
+pub mod fft;
+pub mod mm;
+pub mod stream;
+
+use tempest_probe::profiler::ThreadProfiler;
+
+/// A kernel the overhead harness can run with or without instrumentation.
+pub trait NativeKernel {
+    /// Short name for reports (e.g. `"fft"`).
+    fn name(&self) -> &'static str;
+
+    /// Execute the kernel. `tp = Some(_)` instruments internal functions;
+    /// `None` runs bare. Returns a checksum so the optimiser cannot remove
+    /// the work (callers should `black_box` it anyway).
+    fn run(&self, tp: Option<&ThreadProfiler>) -> f64;
+
+    /// Approximate number of instrumented scope entries per run — used by
+    /// the overhead analysis to report cost per event.
+    fn instrumented_calls(&self) -> u64;
+}
+
+/// Enter a scope only when a profiler is present. The `Option<ScopeGuard>`
+/// binding keeps drop (exit) semantics identical to the always-on path.
+macro_rules! maybe_scope {
+    ($tp:expr, $name:expr) => {
+        let _guard = $tp.map(|t| t.scope($name));
+    };
+}
+pub(crate) use maybe_scope;
+
+/// The standard kernel set used by the §3.4 overhead experiment (SPEC/NAS
+/// stand-ins: FP-dense, FFT, block solver, sparse CG).
+pub fn standard_kernels(scale: f64) -> Vec<Box<dyn NativeKernel>> {
+    vec![
+        Box::new(burn::Burn::scaled(scale)),
+        Box::new(fft::FftKernel::scaled(scale)),
+        Box::new(adi::AdiKernel::scaled(scale)),
+        Box::new(cg::CgKernel::scaled(scale)),
+        Box::new(mm::MatMulKernel::scaled(scale)),
+        Box::new(stream::StreamKernel::scaled(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempest_probe::{MonotonicClock, Profiler, VecSink};
+
+    #[test]
+    fn all_kernels_run_bare_and_instrumented_to_same_checksum() {
+        let sink = VecSink::new();
+        let profiler = Profiler::new(Arc::new(MonotonicClock::new()), sink.clone());
+        let tp = profiler.thread_profiler();
+        for k in standard_kernels(0.05) {
+            let bare = k.run(None);
+            let inst = k.run(Some(&tp));
+            assert!(
+                (bare - inst).abs() < 1e-9 * bare.abs().max(1.0),
+                "{}: checksum changed under instrumentation ({bare} vs {inst})",
+                k.name()
+            );
+        }
+        tp.flush();
+        assert!(!sink.is_empty(), "instrumented runs must emit events");
+    }
+
+    #[test]
+    fn instrumented_call_counts_match_emitted_events() {
+        let sink = VecSink::new();
+        let profiler = Profiler::new(Arc::new(MonotonicClock::new()), sink.clone());
+        let tp = profiler.thread_profiler();
+        for k in standard_kernels(0.05) {
+            sink.drain();
+            k.run(Some(&tp));
+            tp.flush();
+            let events = sink.drain().len() as u64;
+            assert_eq!(
+                events,
+                2 * k.instrumented_calls(),
+                "{}: events {} vs 2×{} declared calls",
+                k.name(),
+                events,
+                k.instrumented_calls()
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! STREAM-style memory bandwidth kernel.
+//!
+//! The memory-bound pole of the overhead suite (and the native
+//! counterpart of the `ActivityMix::MemoryBound` power class): the four
+//! classic STREAM operations — copy, scale, add, triad — over arrays
+//! sized past cache. Validated against the closed-form expected values
+//! the STREAM benchmark itself checks.
+
+use super::NativeKernel;
+use tempest_probe::profiler::ThreadProfiler;
+
+/// One STREAM pass: returns (a, b, c) after `reps` rounds of the four
+/// operations with the canonical update pattern.
+pub fn stream_rounds(n: usize, reps: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut a = vec![1.0f64; n];
+    let mut b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+    let scalar = 3.0;
+    for _ in 0..reps {
+        // copy: c = a
+        c.copy_from_slice(&a);
+        // scale: b = scalar * c
+        for (bi, ci) in b.iter_mut().zip(&c) {
+            *bi = scalar * ci;
+        }
+        // add: c = a + b
+        for ((ci, ai), bi) in c.iter_mut().zip(&a).zip(&b) {
+            *ci = ai + bi;
+        }
+        // triad: a = b + scalar * c
+        for ((ai, bi), ci) in a.iter_mut().zip(&b).zip(&c) {
+            *ai = bi + scalar * ci;
+        }
+    }
+    (a, b, c)
+}
+
+/// Closed-form expected values after `reps` rounds (as STREAM validates).
+pub fn stream_expected(reps: usize) -> (f64, f64, f64) {
+    let scalar = 3.0;
+    let mut a = 1.0f64;
+    let mut b = 2.0f64;
+    let mut c = 0.0f64;
+    for _ in 0..reps {
+        c = a;
+        b = scalar * c;
+        c = a + b;
+        a = b + scalar * c;
+    }
+    (a, b, c)
+}
+
+/// The instrumented kernel.
+#[derive(Debug, Clone)]
+pub struct StreamKernel {
+    /// Array length (8 MB per array at 1M doubles — past L2 of the era).
+    pub n: usize,
+    /// Rounds of the four STREAM operations.
+    pub reps: usize,
+}
+
+impl StreamKernel {
+    /// Scale the default workload.
+    pub fn scaled(scale: f64) -> Self {
+        StreamKernel {
+            n: 1 << 20,
+            reps: ((36.0 * scale) as usize).max(4),
+        }
+    }
+}
+
+impl NativeKernel for StreamKernel {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn run(&self, tp: Option<&ThreadProfiler>) -> f64 {
+        let scalar = 3.0;
+        let mut a = vec![1.0f64; self.n];
+        let mut b = vec![2.0f64; self.n];
+        let mut c = vec![0.0f64; self.n];
+        for _ in 0..self.reps {
+            {
+                super::maybe_scope!(tp, "stream_copy");
+                c.copy_from_slice(&a);
+            }
+            {
+                super::maybe_scope!(tp, "stream_scale");
+                for (bi, ci) in b.iter_mut().zip(&c) {
+                    *bi = scalar * ci;
+                }
+            }
+            {
+                super::maybe_scope!(tp, "stream_add");
+                for ((ci, ai), bi) in c.iter_mut().zip(&a).zip(&b) {
+                    *ci = ai + bi;
+                }
+            }
+            {
+                super::maybe_scope!(tp, "stream_triad");
+                for ((ai, bi), ci) in a.iter_mut().zip(&b).zip(&c) {
+                    *ai = bi + scalar * ci;
+                }
+            }
+        }
+        std::hint::black_box(a[self.n / 2] + b[self.n / 3] + c[self.n / 5])
+    }
+
+    fn instrumented_calls(&self) -> u64 {
+        4 * self.reps as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_closed_form() {
+        let (a, b, c) = stream_rounds(1024, 5);
+        let (ea, eb, ec) = stream_expected(5);
+        // Every element follows the scalar recurrence.
+        for i in [0, 100, 1023] {
+            assert!((a[i] - ea).abs() < 1e-9 * ea.abs());
+            assert!((b[i] - eb).abs() < 1e-9 * eb.abs());
+            assert!((c[i] - ec).abs() < 1e-9 * ec.abs());
+        }
+    }
+
+    #[test]
+    fn zero_reps_leaves_initial_values() {
+        let (a, b, c) = stream_rounds(64, 0);
+        assert!(a.iter().all(|&v| v == 1.0));
+        assert!(b.iter().all(|&v| v == 2.0));
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn kernel_checksum_matches_recurrence() {
+        let k = StreamKernel { n: 4096, reps: 3 };
+        let got = k.run(None);
+        let (ea, eb, ec) = stream_expected(3);
+        assert!((got - (ea + eb + ec)).abs() < 1e-6 * got.abs());
+        assert_eq!(k.run(None), got);
+    }
+}

@@ -1,0 +1,186 @@
+//! BT — block tridiagonal ADI solver.
+//!
+//! Real NPB BT structure: `initialize` and `exact_rhs` set up the grid,
+//! then `niter` iterations of `adi_`, which runs `compute_rhs` and the
+//! three sweep solvers `x_solve`/`y_solve`/`z_solve` (each built on the
+//! 5×5 block helpers `matvec_sub`, `matmul_sub`, `binvcrhs`) and `add`.
+//! Sweeps exchange faces with neighbour ranks.
+//!
+//! Figure 4 of the paper: *"The BT benchmark performs several tasks
+//! followed by a synchronization event that occurs at about 1.5 seconds
+//! into the run for our class C experiments … At the synchronization
+//! event, all nodes see a dramatic rise in temperature indicative of
+//! increased computation."* The model reproduces that: a memory-bound
+//! initialisation of ≈1.5 s (class C, NP=4), a barrier, then hot FP-dense
+//! ADI iterations. Table 3's function inventory (`adi_`, `matvec_sub`,
+//! `matmul_sub`) appears with the same ordering of inclusive times.
+
+use super::{scaled_bytes, scaled_compute};
+use crate::classes::Class;
+use tempest_cluster::{Program, ProgramBuilder};
+use tempest_sensors::power::ActivityMix;
+
+fn niter(class: Class) -> usize {
+    match class {
+        Class::S => 3,
+        Class::W => 5,
+        _ => 12,
+    }
+}
+
+/// Build rank `rank`'s BT program.
+pub fn program(class: Class, np: usize, rank: usize) -> Program {
+    // Initialisation: memory-bound (touching the whole grid), sized to hit
+    // the ~1.5 s synchronisation point at class C NP=4.
+    let init_s = scaled_compute(0.3, class, np);
+    let exact_rhs_s = scaled_compute(0.075, class, np);
+    // Per-iteration sweep costs (FP-dense 5×5 block arithmetic).
+    let rhs_s = scaled_compute(0.055, class, np);
+    let blk_matvec_s = scaled_compute(0.035, class, np);
+    let blk_matmul_s = scaled_compute(0.033, class, np);
+    let solve_extra_s = scaled_compute(0.04, class, np);
+    let add_s = scaled_compute(0.012, class, np);
+    let face_bytes = scaled_bytes(2.5e6, class, np, 1);
+
+    let left = rank.checked_sub(1);
+    let right = if rank + 1 < np { Some(rank + 1) } else { None };
+
+    let sweep = move |b: ProgramBuilder, name: &str| {
+        b.call(name, move |b| {
+            // Face exchange with neighbours (ring along the sweep axis).
+            let mut b = b;
+            if let Some(l) = left {
+                b = b.send(l, face_bytes).recv(l);
+            }
+            if let Some(r) = right {
+                b = b.send(r, face_bytes).recv(r);
+            }
+            b.call("matvec_sub", |b| b.compute(blk_matvec_s, ActivityMix::FpDense))
+                .call("matmul_sub", |b| b.compute(blk_matmul_s, ActivityMix::FpDense))
+                .call("binvcrhs", |b| b.compute(solve_extra_s, ActivityMix::FpDense))
+        })
+    };
+
+    let b = Program::builder().call("MAIN__", move |b| {
+        let b = b
+            // Setup phases are light (grid initialisation, exact-solution
+            // evaluation): clearly cooler than the post-barrier ADI burn —
+            // the contrast that makes Figure 4's synchronised rise visible.
+            .call("initialize_", |b| b.compute(init_s, ActivityMix::Custom(0.08)))
+            .call("exact_rhs_", |b| b.compute(exact_rhs_s, ActivityMix::Custom(0.35)))
+            // The synchronisation event of Figure 4.
+            .barrier();
+        let b = b.repeat(niter(class), move |b| {
+            b.call("adi_", move |b| {
+                let b = b.call("compute_rhs_", |b| b.compute(rhs_s, ActivityMix::FpDense));
+                let b = sweep(b, "x_solve_");
+                let b = sweep(b, "y_solve_");
+                let b = sweep(b, "z_solve_");
+                b.call("add_", |b| b.compute(add_s, ActivityMix::FpDense))
+            })
+        });
+        b.call("verify_", |b| b.compute_ms(5.0, ActivityMix::Balanced).allreduce(40))
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_cluster::{ClusterRun, ClusterRunConfig, Op};
+
+    #[test]
+    fn sync_event_lands_near_1_5s_for_class_c_np4() {
+        // The barrier is preceded only by initialise/exact_rhs: their
+        // summed class-C NP=4 model cost is (0.3 + 0.075)·16/4 = 1.5 s.
+        let p = program(Class::C, 4, 0);
+        let mut before_barrier_ns = 0u64;
+        for op in &p.ops {
+            match op {
+                Op::Barrier => break,
+                Op::Compute { duration_ns, .. } => before_barrier_ns += duration_ns,
+                _ => {}
+            }
+        }
+        let secs = before_barrier_ns as f64 / 1e9;
+        assert!(
+            (1.2..=1.8).contains(&secs),
+            "sync event at {secs:.2}s, paper says ≈1.5 s"
+        );
+    }
+
+    #[test]
+    fn table3_function_ordering() {
+        // Table 3: adi_ (6.32 s) > matvec_sub (4.08 s) > matmul_sub
+        // (3.80 s) by inclusive time. Check the model preserves the
+        // ordering structurally: per iteration, adi_ includes everything;
+        // matvec_sub total > matmul_sub total.
+        let p = program(Class::C, 4, 0);
+        let sum = |name: &str| {
+            let mut total = 0u64;
+            let mut depth_in = 0usize;
+            for op in &p.ops {
+                match op {
+                    Op::CallEnter(n)
+                        if (n == name || depth_in > 0) => {
+                            depth_in += 1;
+                        }
+                    Op::CallExit => depth_in = depth_in.saturating_sub(1),
+                    Op::Compute { duration_ns, .. } if depth_in > 0 => total += duration_ns,
+                    _ => {}
+                }
+            }
+            total
+        };
+        let adi = sum("adi_");
+        let matvec = sum("matvec_sub");
+        let matmul = sum("matmul_sub");
+        assert!(adi > matvec, "adi {adi} !> matvec {matvec}");
+        assert!(matvec > matmul, "matvec {matvec} !> matmul {matmul}");
+    }
+
+    #[test]
+    fn all_nodes_warm_after_sync() {
+        // Class C: the configuration of Figure 4 (a class-W run is under a
+        // second — too short for any thermal mass to move).
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        let progs: Vec<Program> = (0..4).map(|r| program(Class::C, 4, r)).collect();
+        let run = ClusterRun::execute(&cfg, &progs);
+        // Every node's CPU0 die sensor (index 3) should end warmer than it
+        // started: the ADI phase is hot on all nodes.
+        for (n, replay) in run.replays.iter().enumerate() {
+            let die: Vec<f64> = replay
+                .samples
+                .iter()
+                .filter(|s| s.sensor.0 == 3)
+                .map(|s| s.temperature.celsius())
+                .collect();
+            assert!(
+                die.last().unwrap() > &(die[0] + 1.0),
+                "node {n} never warmed: {:.1} → {:.1}",
+                die[0],
+                die.last().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn neighbour_exchange_present_for_multirank() {
+        let p = program(Class::S, 4, 1);
+        let sends = p.ops.iter().filter(|o| matches!(o, Op::Send { .. })).count();
+        let recvs = p.ops.iter().filter(|o| matches!(o, Op::Recv { .. })).count();
+        assert!(sends > 0 && recvs > 0);
+        assert_eq!(sends, recvs);
+        // Rank 0 talks only to rank 1.
+        let p0 = program(Class::S, 2, 0);
+        assert!(p0.ops.iter().all(|o| !matches!(o, Op::Send { to: 2.., .. })));
+    }
+
+    #[test]
+    fn single_rank_has_no_communication_but_runs() {
+        let p = program(Class::S, 1, 0);
+        assert!(p.ops.iter().all(|o| !matches!(o, Op::Send { .. } | Op::Recv { .. })));
+        assert!(p.scopes_balanced());
+    }
+}

@@ -1,0 +1,83 @@
+//! CG — conjugate gradient with an irregular sparse matrix.
+//!
+//! Real NPB CG: `niter` outer iterations, each calling `conj_grad` (25
+//! inner CG steps of sparse mat-vec, dots and AXPYs). The sparse mat-vec
+//! is memory-bound (random access into the matrix), which is why CG runs
+//! cooler per unit time than BT's dense block arithmetic; reductions are
+//! small but frequent all-reduces.
+
+use super::{scaled_bytes, scaled_compute};
+use crate::classes::Class;
+use tempest_cluster::Program;
+use tempest_sensors::power::ActivityMix;
+
+fn niter(class: Class) -> usize {
+    match class {
+        Class::S => 3,
+        Class::W => 5,
+        _ => 15,
+    }
+}
+
+/// Build rank `rank`'s CG program.
+pub fn program(class: Class, np: usize, rank: usize) -> Program {
+    let _ = rank;
+    let matvec_s = scaled_compute(0.045, class, np);
+    let dots_s = scaled_compute(0.004, class, np);
+    let axpy_s = scaled_compute(0.008, class, np);
+    let reduce_bytes = scaled_bytes(8.0, class, np, 0).max(8);
+    let exchange_bytes = scaled_bytes(1.2e6, class, np, 1);
+
+    Program::builder()
+        .call("MAIN__", |b| {
+            let b = b.call("makea_", |b| {
+                b.compute(scaled_compute(0.15, class, np), ActivityMix::MemoryBound)
+            });
+            b.repeat(niter(class), |b| {
+                b.call("conj_grad_", |b| {
+                    b.repeat(5, |b| {
+                        // One modelled block of inner CG steps.
+                        b.call("sparse_matvec", |b| {
+                            b.compute(matvec_s, ActivityMix::MemoryBound)
+                                .alltoall(exchange_bytes)
+                        })
+                        .call("dot_product", |b| {
+                            b.compute(dots_s, ActivityMix::Balanced).allreduce(reduce_bytes)
+                        })
+                        .call("daxpy", |b| b.compute(axpy_s, ActivityMix::Balanced))
+                    })
+                })
+                .allreduce(8) // residual norm
+            })
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_cluster::Op;
+
+    #[test]
+    fn memory_bound_dominates_compute_mix() {
+        let p = program(Class::A, 4, 0);
+        let (mut mem_ns, mut other_ns) = (0u64, 0u64);
+        for op in &p.ops {
+            if let Op::Compute { duration_ns, mix, .. } = op {
+                if *mix == ActivityMix::MemoryBound {
+                    mem_ns += duration_ns;
+                } else {
+                    other_ns += duration_ns;
+                }
+            }
+        }
+        assert!(mem_ns > other_ns, "CG should be memory-bound: {mem_ns} vs {other_ns}");
+    }
+
+    #[test]
+    fn frequent_small_reductions() {
+        let p = program(Class::A, 4, 0);
+        let reduces = p.ops.iter().filter(|o| matches!(o, Op::AllReduce { .. })).count();
+        assert!(reduces >= niter(Class::A) * 5, "got {reduces}");
+    }
+}

@@ -1,0 +1,92 @@
+//! EP — embarrassingly parallel random-number kernel.
+//!
+//! Real NPB EP: each rank generates its share of Gaussian pairs
+//! (`vranlc` + tallying), with exactly one small all-reduce at the end.
+//! Almost pure FP compute — the hottest and most uniform profile of the
+//! suite; a useful thermal contrast to FT's comm-bound behaviour.
+
+use super::scaled_compute;
+use crate::classes::Class;
+use tempest_cluster::Program;
+use tempest_sensors::power::ActivityMix;
+
+/// Build rank `rank`'s EP program.
+pub fn program(class: Class, np: usize, rank: usize) -> Program {
+    let _ = rank;
+    let gen_s = scaled_compute(2.4, class, np);
+
+    Program::builder()
+        .call("MAIN__", |b| {
+            b.repeat(8, |b| {
+                // Blocked generation keeps entry/exit events flowing so
+                // the trace shows activity (the real code blocks by 2^16).
+                b.call("vranlc_", |b| b.compute(gen_s / 8.0, ActivityMix::FpDense))
+            })
+            .call("gaussian_tally", |b| {
+                b.compute(scaled_compute(0.2, class, np), ActivityMix::Balanced)
+            })
+            .allreduce(80)
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_cluster::{ClusterRun, ClusterRunConfig, Op};
+
+    #[test]
+    fn single_reduction_only() {
+        let p = program(Class::A, 4, 0);
+        let comms = p
+            .ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Op::AllReduce { .. } | Op::AllToAll { .. } | Op::Barrier | Op::Send { .. }
+                )
+            })
+            .count();
+        assert_eq!(comms, 1, "EP has exactly one reduction");
+    }
+
+    #[test]
+    fn comm_fraction_is_negligible() {
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        let progs: Vec<Program> = (0..4).map(|r| program(Class::W, 4, r)).collect();
+        let run = ClusterRun::execute(&cfg, &progs);
+        assert!(run.engine.comm_fraction(0) < 0.05);
+    }
+
+    #[test]
+    fn ep_runs_hotter_than_ft_per_second() {
+        // EP is pure FP; FT is half comm-wait. Compare die temperature
+        // over the same wall window (5–9 s) — both class-C runs are longer
+        // than that, so the thermal mass has equal time to charge.
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        cfg.thermal.hetero_seed = None;
+        let avg_die_window = |progs: Vec<Program>| {
+            let run = ClusterRun::execute(&cfg, &progs);
+            assert!(run.engine.end_ns > 9_000_000_000, "run shorter than window");
+            let die: Vec<f64> = run.replays[0]
+                .samples
+                .iter()
+                .filter(|s| {
+                    s.sensor.0 == 3
+                        && (5_000_000_000..9_000_000_000).contains(&s.timestamp_ns)
+                })
+                .map(|s| s.temperature.celsius())
+                .collect();
+            die.iter().sum::<f64>() / die.len() as f64
+        };
+        let ep = avg_die_window((0..4).map(|r| program(Class::C, 4, r)).collect());
+        let ft = avg_die_window(super::super::ft::program_all(Class::C, 4));
+        assert!(
+            ep > ft + 0.5,
+            "EP window average {ep:.1} °C should exceed FT {ft:.1} °C"
+        );
+    }
+}

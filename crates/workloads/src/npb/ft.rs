@@ -1,0 +1,125 @@
+//! FT — 3-D FFT PDE solver.
+//!
+//! Real NPB FT structure: `setup` / `compute_indexmap` /
+//! `compute_initial_conditions`, then `niter` iterations of `evolve`,
+//! `fft` (the `cffts1/2/3` passes), and the distributed transpose
+//! (`transpose_x_yz`) implemented as `MPI_Alltoall`, finishing each
+//! iteration with a `checksum` all-reduce.
+//!
+//! §4.3: *"FT (Fourier Transform) … spends 50 % of its time in all-to-all
+//! communication"*, with a very regular power profile but — as the paper
+//! found — irregular thermals across nodes. The model's per-iteration
+//! compute and transpose volume are tuned so the NP=4 class-C
+//! communication fraction lands near one half.
+
+use super::{scaled_bytes, scaled_compute};
+use crate::classes::Class;
+use tempest_cluster::{Program, ProgramBuilder};
+use tempest_sensors::power::ActivityMix;
+
+/// Iteration count per class (the real FT uses ~20 for A–C).
+fn niter(class: Class) -> usize {
+    match class {
+        Class::S => 4,
+        Class::W => 6,
+        _ => 20,
+    }
+}
+
+/// Build rank `rank`'s FT program.
+pub fn program(class: Class, np: usize, rank: usize) -> Program {
+    let _ = rank; // SPMD: all ranks run the same program.
+    // Class-A single-rank model costs. FFT passes are FP-dense with heavy
+    // strided memory traffic; evolve is a streaming multiply.
+    let evolve_s = scaled_compute(0.06, class, np);
+    let fft_pass_s = scaled_compute(0.075, class, np);
+    // Transpose volume: each rank exchanges its slab with every other.
+    // Tuned so that at class C, NP=4 over gigabit the exchange takes
+    // roughly as long as the compute half of the iteration — the paper's
+    // "FT spends 50 % of its time in all-to-all communication" (§4.3):
+    // 41 MB/pair × 3 pairwise rounds ≈ 1.1 s vs ≈1.1 s of FFT passes.
+    let transpose_bytes = scaled_bytes(105e6, class, np, 2);
+    let checksum_bytes = 16;
+
+    let b = Program::builder().call("MAIN__", |b| {
+        let b = b
+            .call("setup_", |b| b.compute_ms(20.0, ActivityMix::Balanced))
+            .call("compute_indexmap_", |b| {
+                b.compute(scaled_compute(0.02, class, np), ActivityMix::MemoryBound)
+            })
+            .call("compute_initial_conditions_", |b| {
+                b.compute(scaled_compute(0.05, class, np), ActivityMix::MemoryBound)
+            })
+            // Warm-up FFT outside the timed loop (as in the real code).
+            .call("fft_", |b| fft_body(b, fft_pass_s, transpose_bytes));
+        b.repeat(niter(class), |b| {
+            b.call("evolve_", |b| b.compute(evolve_s, ActivityMix::MemoryBound))
+                .call("fft_", |b| fft_body(b, fft_pass_s, transpose_bytes))
+                .call("checksum_", |b| {
+                    b.compute_ms(2.0, ActivityMix::Balanced).allreduce(checksum_bytes)
+                })
+        })
+    });
+    b.build()
+}
+
+/// All ranks' programs (convenience for tests and benches).
+pub fn program_all(class: Class, np: usize) -> Vec<Program> {
+    (0..np).map(|r| program(class, np, r)).collect()
+}
+
+/// One 3-D FFT: two local pass groups around the distributed transpose.
+fn fft_body(b: ProgramBuilder, fft_pass_s: f64, transpose_bytes: u64) -> ProgramBuilder {
+    b.call("cffts1_", |b| b.compute(fft_pass_s, ActivityMix::FpDense))
+        .call("cffts2_", |b| b.compute(fft_pass_s, ActivityMix::FpDense))
+        .call("transpose_x_yz_", |b| b.alltoall(transpose_bytes))
+        .call("cffts3_", |b| b.compute(fft_pass_s, ActivityMix::FpDense))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_cluster::{ClusterRun, ClusterRunConfig};
+
+    #[test]
+    fn comm_fraction_near_one_half_at_class_c() {
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        let progs: Vec<Program> = (0..4).map(|r| program(Class::C, 4, r)).collect();
+        let run = ClusterRun::execute(&cfg, &progs);
+        let f = run.engine.comm_fraction(0);
+        assert!(
+            (0.3..=0.7).contains(&f),
+            "FT comm fraction {f:.2}, paper says ≈0.5"
+        );
+    }
+
+    #[test]
+    fn function_inventory_matches_real_ft() {
+        let p = program(Class::S, 4, 0);
+        let names: Vec<&str> = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                tempest_cluster::Op::CallEnter(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        for expected in ["MAIN__", "setup_", "evolve_", "cffts1_", "transpose_x_yz_", "checksum_"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn class_c_run_is_tens_of_seconds() {
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        let progs: Vec<Program> = (0..4).map(|r| program(Class::C, 4, r)).collect();
+        let run = ClusterRun::execute(&cfg, &progs);
+        let secs = run.engine.end_ns as f64 / 1e9;
+        assert!(
+            (10.0..=200.0).contains(&secs),
+            "class C NP=4 runtime {secs:.1}s outside the paper's figure range"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! IS — integer bucket sort.
+//!
+//! Real NPB IS: each iteration ranks its keys into buckets (`rank_keys`,
+//! integer/memory work — no floating point at all), sizes the exchange
+//! with an all-reduce, redistributes keys with an all-to-all-v, and
+//! locally sorts. The integer-only mix makes IS the coolest benchmark of
+//! the suite per busy second — a useful endpoint for the
+//! "type of computation affects thermals" observation (§5).
+
+use super::{scaled_bytes, scaled_compute};
+use crate::classes::Class;
+use tempest_cluster::Program;
+use tempest_sensors::power::ActivityMix;
+
+fn niter(class: Class) -> usize {
+    match class {
+        Class::S => 3,
+        Class::W => 5,
+        _ => 10,
+    }
+}
+
+/// Build rank `rank`'s IS program.
+pub fn program(class: Class, np: usize, rank: usize) -> Program {
+    let _ = rank;
+    let rank_keys_s = scaled_compute(0.08, class, np);
+    let local_sort_s = scaled_compute(0.05, class, np);
+    let key_bytes = scaled_bytes(4e6, class, np, 2);
+
+    Program::builder()
+        .call("MAIN__", |b| {
+            let b = b.call("create_seq_", |b| {
+                b.compute(scaled_compute(0.06, class, np), ActivityMix::MemoryBound)
+            });
+            b.repeat(niter(class), |b| {
+                b.call("rank_", |b| {
+                    b.call("bucket_count", |b| {
+                        // Integer tallying: memory-bound, low FP power.
+                        b.compute(rank_keys_s, ActivityMix::MemoryBound)
+                    })
+                    .allreduce(scaled_bytes(4096.0, class, np, 0))
+                    .alltoall(key_bytes)
+                    .call("local_sort", |b| b.compute(local_sort_s, ActivityMix::MemoryBound))
+                })
+            })
+            .call("full_verify_", |b| {
+                b.compute(scaled_compute(0.03, class, np), ActivityMix::MemoryBound)
+            })
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_cluster::Op;
+
+    #[test]
+    fn no_fp_dense_phases() {
+        let p = program(Class::A, 4, 0);
+        assert!(
+            p.ops.iter().all(|o| !matches!(
+                o,
+                Op::Compute { mix: ActivityMix::FpDense, .. }
+            )),
+            "IS is integer-only"
+        );
+    }
+
+    #[test]
+    fn each_iteration_exchanges_keys() {
+        let p = program(Class::A, 4, 0);
+        let a2a = p.ops.iter().filter(|o| matches!(o, Op::AllToAll { .. })).count();
+        assert_eq!(a2a, niter(Class::A));
+    }
+}

@@ -1,0 +1,100 @@
+//! MG — multigrid V-cycle Poisson solver.
+//!
+//! Real NPB MG: V-cycles over a grid hierarchy — smoothing (`psinv`),
+//! residual (`resid`), restriction (`rprj3`) and prolongation (`interp`),
+//! with boundary exchanges (`comm3`) at every level and a final norm
+//! all-reduce. Work per level shrinks 8× as the grid coarsens, so the
+//! thermal profile shows a sawtooth of hot fine-grid phases and
+//! comm-dominated coarse phases.
+
+use super::{scaled_bytes, scaled_compute};
+use crate::classes::Class;
+use tempest_cluster::{Program, ProgramBuilder};
+use tempest_sensors::power::ActivityMix;
+
+fn ncycles(class: Class) -> usize {
+    match class {
+        Class::S => 2,
+        Class::W => 4,
+        _ => 10,
+    }
+}
+
+const LEVELS: usize = 4;
+
+/// Build rank `rank`'s MG program.
+pub fn program(class: Class, np: usize, rank: usize) -> Program {
+    let _ = rank;
+    let fine_smooth_s = scaled_compute(0.09, class, np);
+    let fine_resid_s = scaled_compute(0.07, class, np);
+    let fine_bytes = scaled_bytes(1.6e6, class, np, 1);
+
+    let level = move |b: ProgramBuilder, lvl: usize, down: bool| {
+        let shrink = 8f64.powi(lvl as i32);
+        let smooth = fine_smooth_s / shrink;
+        let resid = fine_resid_s / shrink;
+        let bytes = ((fine_bytes as f64 / shrink) as u64).max(64);
+        let name = if down { "rprj3_" } else { "interp_" };
+        b.call("comm3_", move |b| b.alltoall(bytes))
+            .call("psinv_", move |b| b.compute(smooth, ActivityMix::FpDense))
+            .call("resid_", move |b| b.compute(resid, ActivityMix::MemoryBound))
+            .call(name, move |b| b.compute(resid * 0.4, ActivityMix::MemoryBound))
+    };
+
+    Program::builder()
+        .call("MAIN__", move |b| {
+            let b = b.call("setup_", |b| {
+                b.compute(scaled_compute(0.05, class, np), ActivityMix::MemoryBound)
+            });
+            b.repeat(ncycles(class), move |b| {
+                b.call("mg3P_", move |b| {
+                    // Down the hierarchy…
+                    let mut b = b;
+                    for lvl in 0..LEVELS {
+                        b = level(b, lvl, true);
+                    }
+                    // …and back up.
+                    for lvl in (0..LEVELS).rev() {
+                        b = level(b, lvl, false);
+                    }
+                    b
+                })
+                .call("norm2u3_", |b| b.compute_ms(1.0, ActivityMix::Balanced).allreduce(16))
+            })
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_cluster::Op;
+
+    #[test]
+    fn vcycle_structure_has_both_directions() {
+        let p = program(Class::S, 4, 0);
+        let rprj = p.ops.iter().filter(|o| matches!(o, Op::CallEnter(n) if n == "rprj3_")).count();
+        let interp = p.ops.iter().filter(|o| matches!(o, Op::CallEnter(n) if n == "interp_")).count();
+        assert_eq!(rprj, interp);
+        assert_eq!(rprj, LEVELS * ncycles(Class::S));
+    }
+
+    #[test]
+    fn coarse_levels_do_less_work() {
+        let p = program(Class::A, 4, 0);
+        // Collect psinv compute durations in order; within a half-cycle
+        // they shrink 8× per level.
+        let durs: Vec<u64> = p
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Compute { duration_ns, mix, .. } if *mix == ActivityMix::FpDense => {
+                    Some(*duration_ns)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(durs[0] > durs[1] && durs[1] > durs[2]);
+        assert_eq!(durs[0] / durs[1], 8);
+    }
+}

@@ -1,0 +1,169 @@
+//! Phase models of the NAS Parallel Benchmarks.
+//!
+//! Each model reproduces what Tempest *observes* about the real code: the
+//! function inventory (names straight from the Fortran sources, as they
+//! appear in the paper's Tables 2–3), the phase structure, the instruction
+//! mix of each phase (which drives power and therefore heat), and the
+//! communication pattern/volume (which drives the compute/communication
+//! ratio — e.g. FT's ~50 % all-to-all share, §4.3).
+//!
+//! Durations are expressed in *model seconds* tuned so class C at NP=4
+//! lands in the tens-of-seconds range of the paper's figures; classes
+//! scale by [`Class::work_factor`]/[`Class::msg_factor`] and work divides
+//! across ranks.
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+
+use crate::classes::Class;
+use tempest_cluster::Program;
+
+/// Which benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NpbBenchmark {
+    /// 3-D FFT PDE solver (all-to-all heavy).
+    Ft,
+    /// Block tridiagonal ADI solver (FP dense).
+    Bt,
+    /// Conjugate gradient (memory bound, frequent reductions).
+    Cg,
+    /// Embarrassingly parallel (pure FP).
+    Ep,
+    /// Multigrid V-cycles.
+    Mg,
+    /// SSOR with pipelined wavefronts.
+    Lu,
+    /// Integer bucket sort (no FP).
+    Is,
+    /// Scalar pentadiagonal ADI solver (BT's memory-bound sibling).
+    Sp,
+}
+
+impl NpbBenchmark {
+    /// All modelled benchmarks.
+    pub const ALL: [NpbBenchmark; 8] = [
+        NpbBenchmark::Ft,
+        NpbBenchmark::Bt,
+        NpbBenchmark::Sp,
+        NpbBenchmark::Cg,
+        NpbBenchmark::Ep,
+        NpbBenchmark::Mg,
+        NpbBenchmark::Lu,
+        NpbBenchmark::Is,
+    ];
+
+    /// Conventional lowercase name (`ft`, `bt`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            NpbBenchmark::Ft => "ft",
+            NpbBenchmark::Bt => "bt",
+            NpbBenchmark::Cg => "cg",
+            NpbBenchmark::Ep => "ep",
+            NpbBenchmark::Mg => "mg",
+            NpbBenchmark::Lu => "lu",
+            NpbBenchmark::Is => "is",
+            NpbBenchmark::Sp => "sp",
+        }
+    }
+
+    /// Build rank `rank`'s program for an `np`-rank class-`class` run.
+    pub fn program(self, class: Class, np: usize, rank: usize) -> Program {
+        match self {
+            NpbBenchmark::Ft => ft::program(class, np, rank),
+            NpbBenchmark::Bt => bt::program(class, np, rank),
+            NpbBenchmark::Cg => cg::program(class, np, rank),
+            NpbBenchmark::Ep => ep::program(class, np, rank),
+            NpbBenchmark::Mg => mg::program(class, np, rank),
+            NpbBenchmark::Lu => lu::program(class, np, rank),
+            NpbBenchmark::Is => is::program(class, np, rank),
+            NpbBenchmark::Sp => sp::program(class, np, rank),
+        }
+    }
+
+    /// Programs for all ranks.
+    pub fn programs(self, class: Class, np: usize) -> Vec<Program> {
+        (0..np).map(|r| self.program(class, np, r)).collect()
+    }
+}
+
+/// Per-rank compute seconds for a phase whose class-A single-rank cost is
+/// `base_a_secs`: scaled up by class, divided across ranks.
+pub(crate) fn scaled_compute(base_a_secs: f64, class: Class, np: usize) -> f64 {
+    base_a_secs * class.work_factor() / np as f64
+}
+
+/// Message bytes for a phase whose class-A volume is `base_a_bytes`,
+/// divided by `np_power` rank factors (collectives split differently per
+/// algorithm).
+pub(crate) fn scaled_bytes(base_a_bytes: f64, class: Class, np: usize, np_power: i32) -> u64 {
+    (base_a_bytes * class.msg_factor() / (np as f64).powi(np_power)).max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_cluster::{ClusterRunConfig, ClusterRun};
+
+    #[test]
+    fn all_programs_build_balanced_for_every_class() {
+        for bench in NpbBenchmark::ALL {
+            for class in [Class::S, Class::A, Class::C] {
+                for np in [1, 2, 4] {
+                    // LU's pipeline needs np ≥ 2 to exercise send/recv but
+                    // must still build for np = 1.
+                    let progs = bench.programs(class, np);
+                    assert_eq!(progs.len(), np);
+                    for (r, p) in progs.iter().enumerate() {
+                        assert!(
+                            p.scopes_balanced(),
+                            "{} class {class} np {np} rank {r}: unbalanced scopes",
+                            bench.name()
+                        );
+                        assert!(!p.ops.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_scaling_increases_runtime() {
+        // Run FT at class S and W; W must take longer.
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        let t = |class: Class| {
+            let run = ClusterRun::execute(&cfg, &NpbBenchmark::Ft.programs(class, 4));
+            run.engine.end_ns
+        };
+        assert!(t(Class::W) > t(Class::S));
+    }
+
+    #[test]
+    fn every_benchmark_executes_on_the_simulator() {
+        // Smoke-test the full engine+thermal path at class S.
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        for bench in NpbBenchmark::ALL {
+            let run = ClusterRun::execute(&cfg, &bench.programs(Class::S, 4));
+            assert!(run.engine.end_ns > 0, "{} made no progress", bench.name());
+            assert_eq!(run.traces.len(), 4);
+            for t in &run.traces {
+                assert!(!t.events.is_empty(), "{}: no events", bench.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_helpers() {
+        assert!(scaled_compute(1.0, Class::C, 4) > scaled_compute(1.0, Class::A, 4));
+        assert!(scaled_compute(1.0, Class::A, 4) < scaled_compute(1.0, Class::A, 1));
+        assert!(scaled_bytes(1e6, Class::C, 4, 2) >= 1);
+        assert_eq!(scaled_bytes(0.0, Class::S, 4, 1), 1, "floor at 1 byte");
+    }
+}

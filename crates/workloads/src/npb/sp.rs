@@ -1,0 +1,131 @@
+//! SP — scalar pentadiagonal ADI solver.
+//!
+//! BT's sibling in the NPB suite: the same ADI structure (`adi` running
+//! `compute_rhs`, `x_solve`/`y_solve`/`z_solve`, `add`) but with *scalar*
+//! pentadiagonal systems instead of 5×5 blocks — less arithmetic per grid
+//! point, more memory traffic, and roughly twice the iterations. The
+//! thermal consequence (visible in the survey experiment): SP runs cooler
+//! than BT per second despite the near-identical call tree, a clean
+//! instance of the paper's "type of computation" observation.
+
+use super::{scaled_bytes, scaled_compute};
+use crate::classes::Class;
+use tempest_cluster::{Program, ProgramBuilder};
+use tempest_sensors::power::ActivityMix;
+
+fn niter(class: Class) -> usize {
+    match class {
+        Class::S => 5,
+        Class::W => 8,
+        _ => 20, // SP runs ~400 real iterations; scaled like BT's 12↔200
+    }
+}
+
+/// Build rank `rank`'s SP program.
+pub fn program(class: Class, np: usize, rank: usize) -> Program {
+    let init_s = scaled_compute(0.2, class, np);
+    let rhs_s = scaled_compute(0.04, class, np);
+    // Scalar sweeps: memory-heavy forward/backward substitutions.
+    let sweep_s = scaled_compute(0.045, class, np);
+    let txinvr_s = scaled_compute(0.012, class, np);
+    let add_s = scaled_compute(0.008, class, np);
+    let face_bytes = scaled_bytes(1.8e6, class, np, 1);
+
+    let left = rank.checked_sub(1);
+    let right = if rank + 1 < np { Some(rank + 1) } else { None };
+
+    let sweep = move |b: ProgramBuilder, name: &str| {
+        b.call(name, move |b| {
+            let mut b = b;
+            if let Some(l) = left {
+                b = b.send(l, face_bytes).recv(l);
+            }
+            if let Some(r) = right {
+                b = b.send(r, face_bytes).recv(r);
+            }
+            // Thomas-style scalar elimination: streaming, not FP-dense.
+            b.compute(sweep_s, ActivityMix::MemoryBound)
+        })
+    };
+
+    Program::builder()
+        .call("MAIN__", move |b| {
+            let b = b
+                .call("initialize_", |b| b.compute(init_s, ActivityMix::Custom(0.1)))
+                .barrier();
+            b.repeat(niter(class), move |b| {
+                b.call("adi_", move |b| {
+                    let b = b
+                        .call("compute_rhs_", |b| b.compute(rhs_s, ActivityMix::Balanced))
+                        .call("txinvr_", |b| b.compute(txinvr_s, ActivityMix::Balanced));
+                    let b = sweep(b, "x_solve_");
+                    let b = sweep(b, "y_solve_");
+                    let b = sweep(b, "z_solve_");
+                    b.call("add_", |b| b.compute(add_s, ActivityMix::Balanced))
+                })
+            })
+            .call("verify_", |b| b.compute_ms(4.0, ActivityMix::Balanced).allreduce(40))
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_cluster::{ClusterRun, ClusterRunConfig};
+
+    #[test]
+    fn inventory_matches_real_sp() {
+        let p = program(Class::S, 4, 0);
+        let names: Vec<&str> = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                tempest_cluster::Op::CallEnter(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        for expected in ["MAIN__", "adi_", "txinvr_", "x_solve_", "z_solve_", "verify_"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert!(p.scopes_balanced());
+    }
+
+    #[test]
+    fn sp_runs_cooler_than_bt_per_busy_second() {
+        // Same cluster, same window: BT's FP-dense blocks out-heat SP's
+        // memory-bound scalar sweeps — "type of computation" (§5).
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        cfg.thermal.hetero_seed = None;
+        let window = 3_000_000_000u64..8_000_000_000u64;
+        let avg_die = |progs: Vec<Program>| {
+            let run = ClusterRun::execute(&cfg, &progs);
+            assert!(run.engine.end_ns > window.end);
+            let die: Vec<f64> = run.traces[0]
+                .samples
+                .iter()
+                .filter(|s| s.sensor.0 == 3 && window.contains(&s.timestamp_ns))
+                .map(|s| s.temperature.celsius())
+                .collect();
+            die.iter().sum::<f64>() / die.len() as f64
+        };
+        let sp = avg_die((0..4).map(|r| program(Class::C, 4, r)).collect());
+        let bt = avg_die((0..4).map(|r| super::super::bt::program(Class::C, 4, r)).collect());
+        assert!(
+            sp < bt,
+            "SP (scalar/memory) should run cooler than BT (block/FP): {sp:.1} !< {bt:.1}"
+        );
+    }
+
+    #[test]
+    fn pipeline_executes_at_every_class() {
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.thermal.noise_sigma_c = 0.0;
+        for class in [Class::S, Class::A] {
+            let progs: Vec<Program> = (0..4).map(|r| program(class, 4, r)).collect();
+            let run = ClusterRun::execute(&cfg, &progs);
+            assert!(run.engine.end_ns > 0);
+        }
+    }
+}

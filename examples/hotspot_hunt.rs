@@ -1,0 +1,57 @@
+//! Answer the paper's questions 1 and 2:
+//!
+//! * "What parts of my parallel application will benefit from thermal
+//!   management techniques?"
+//! * "Where do I start optimizing my parallel application to reduce
+//!   thermals?"
+//!
+//! Runs NAS BT on the simulated cluster and ranks hot spots per node —
+//! functions that are both hot *and* where exclusive time is spent, so
+//! optimising them would actually remove heat.
+//!
+//! Run with: `cargo run --release --example hotspot_hunt`
+
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_core::analysis::hotspots;
+use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn main() {
+    println!("profiling NAS BT class B, NP=4…\n");
+    let cfg = ClusterRunConfig::paper_default();
+    let run = ClusterRun::execute(&cfg, &NpbBenchmark::Bt.programs(Class::B, 4));
+    let cluster = ClusterProfile::new(
+        run.traces
+            .iter()
+            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .collect(),
+    );
+
+    for node in &cluster.nodes {
+        println!(
+            "hot spots on {} (score = excess °F × exclusive seconds):",
+            node.node.hostname
+        );
+        for spot in hotspots(node, 3) {
+            println!(
+                "  {:<16} avg {:>6.1} F  over {:>6.2}s  score {:>8.2}",
+                spot.name, spot.avg_f, spot.inclusive_secs, spot.score
+            );
+        }
+        println!();
+    }
+
+    // Cluster-wide: which function is the global hot spot?
+    println!("cluster-wide view of the usual suspects:");
+    for name in ["adi_", "compute_rhs_", "matvec_sub", "matmul_sub", "binvcrhs"] {
+        if let Some(summary) = cluster.function_cluster_summary(name) {
+            println!(
+                "  {:<14} avg-of-node-averages {:>6.1} F (min {:>6.1}, max {:>6.1})",
+                name, summary.avg, summary.min, summary.max
+            );
+        }
+    }
+    println!("\n→ start optimising inside `adi_`'s solver helpers: they are the");
+    println!("  hottest code the program spends real time in (question 2 answered).");
+}

@@ -1,0 +1,80 @@
+//! Profile a *shared-memory* parallel program natively.
+//!
+//! The paper's cluster results use MPI, but its portability table also
+//! covers "several x86 32- and 64-bit machines with both shared and
+//! distributed memory". This example is the shared-memory case: four
+//! worker threads run real FFT work under one profiling session, each
+//! with its own `ThreadProfiler`, while a single `tempd` samples. The
+//! report then shows per-function totals accumulated across threads
+//! (calls = thread count) — and the timeline keeps the threads separate
+//! underneath, which is what lets exclusive attribution stay per-thread.
+//!
+//! Run with: `cargo run --release --example parallel_native`
+
+use std::sync::Arc;
+use tempest_core::{analyze_trace, report, AnalysisOptions};
+use tempest_probe::tempd::TempdConfig;
+use tempest_probe::{profile_fn, MonotonicClock, ProfilingSession};
+use tempest_sensors::node_model::{NodeThermalModel, NodeThermalParams};
+use tempest_sensors::platform::PlatformSpec;
+use tempest_sensors::sim::SimulatedSensorBank;
+use tempest_workloads::native::fft::FftKernel;
+use tempest_workloads::native::NativeKernel;
+
+fn main() {
+    let threads = 4;
+    println!("profiling an FFT workload across {threads} threads…\n");
+
+    let session = ProfilingSession::start_with_sensors(
+        Arc::new(MonotonicClock::new()),
+        Box::new(SimulatedSensorBank::new(
+            PlatformSpec::opteron_full(),
+            NodeThermalModel::new(NodeThermalParams::opteron_node()),
+            11,
+            0.1,
+        )),
+        TempdConfig::default(),
+    );
+
+    let profiler = Arc::clone(session.profiler());
+    let mut handles = Vec::new();
+    for worker in 0..threads {
+        let profiler = Arc::clone(&profiler);
+        handles.push(std::thread::spawn(move || {
+            let tp = profiler.thread_profiler();
+            profile_fn!(&tp, "worker_main");
+            // Each worker runs a real kernel; stagger sizes so threads
+            // finish at different times (visible in the timeline).
+            let kernel = FftKernel {
+                log2n: 14,
+                iterations: 6 + worker as u32 * 2,
+            };
+            std::hint::black_box(kernel.run(Some(&tp)));
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let (trace, stats) = session.finish_with_stats();
+    if let Some(stats) = stats {
+        println!(
+            "tempd sampled {} rounds at {:.4} % CPU\n",
+            stats.rounds,
+            stats.cpu_fraction() * 100.0
+        );
+    }
+    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    print!("{}", report::render_stdout(&profile));
+
+    let worker = profile.by_name("worker_main").expect("workers profiled");
+    println!(
+        "worker_main: {} calls (one per thread), {:.2}s inclusive core-time summed\n\
+         across threads over a {:.2}s wall-clock run — the timeline keeps threads\n\
+         separate underneath, so exclusive attribution and the call graph stay\n\
+         per-thread even though the report aggregates.",
+        worker.calls,
+        worker.inclusive_secs(),
+        profile.span_ns as f64 / 1e9
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: profile a toy program end to end.
+//!
+//! The workflow the paper's Figure 1 describes, in Rust terms:
+//!
+//! 1. start a [`ProfilingSession`] (links the "Tempest library" in),
+//! 2. instrument functions with [`profile_fn!`] (the
+//!    `-finstrument-functions` analogue),
+//! 3. finish the session to get a trace,
+//! 4. run the parser and print the Figure-2(a) report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::time::Duration;
+use tempest_core::{analyze_trace, report, AnalysisOptions};
+use tempest_probe::{profile_fn, ProfilingSession};
+use tempest_workloads::native::burn::burn_for;
+
+fn foo1(tp: &tempest_probe::profiler::ThreadProfiler) {
+    profile_fn!(tp);
+    // A CPU burn, like the paper's micro-benchmark D.
+    burn_for(Duration::from_millis(400));
+    foo2(tp);
+}
+
+fn foo2(tp: &tempest_probe::profiler::ThreadProfiler) {
+    profile_fn!(tp);
+    // "foo2 simply exits after a short timer expires."
+    std::thread::sleep(Duration::from_millis(60));
+}
+
+fn main() {
+    // 1. Start a session. (`start_with_sensors` would also launch tempd
+    //    over real hwmon sensors — see the `live_sensors` example.)
+    let session = ProfilingSession::start();
+    let tp = session.thread_profiler();
+
+    // 2. Run the instrumented program.
+    {
+        profile_fn!(&tp, "main");
+        foo1(&tp);
+        foo2(&tp);
+    }
+    tp.flush();
+    drop(tp);
+
+    // 3. Collect the trace…
+    let trace = session.finish();
+    println!(
+        "trace: {} functions, {} events over {:.3} s\n",
+        trace.functions.len(),
+        trace.events.len(),
+        trace.span_ns() as f64 / 1e9
+    );
+
+    // 4. …and parse it.
+    let profile = analyze_trace(&trace, AnalysisOptions::default()).expect("trace parses");
+    print!("{}", report::render_stdout(&profile));
+    println!("(no thermal rows: this session ran without a sensor source —");
+    println!(" see `profile_cluster` for the full thermal pipeline)");
+}

@@ -1,0 +1,96 @@
+//! Integration: the non-transparent basic-block API.
+//!
+//! §3.2: "Tempest also supports measurement at basic block granularity
+//! using libtempestperblk.so. Basic block measurement is non-transparent
+//! and requires explicit API calls." In the reproduction that's
+//! [`tempest_probe::profile_block!`] / `ThreadProfiler::block` — blocks
+//! register with `ScopeKind::Block`, flow through the same trace and
+//! parser, and appear in the report alongside functions.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_probe::func::ScopeKind;
+use tempest_probe::tempd::TempdConfig;
+use tempest_probe::{profile_block, profile_fn, MonotonicClock, ProfilingSession};
+use tempest_sensors::source::ConstantSource;
+use tempest_workloads::native::burn::burn_for;
+
+#[test]
+fn blocks_profile_alongside_functions() {
+    let session = ProfilingSession::start_with_sensors(
+        Arc::new(MonotonicClock::new()),
+        Box::new(ConstantSource::single(42.0)),
+        TempdConfig { rate_hz: 100.0 },
+    );
+    let tp = session.thread_profiler();
+    {
+        profile_fn!(&tp, "solver");
+        // Two explicitly instrumented basic blocks inside one function.
+        for _ in 0..3 {
+            {
+                profile_block!(&tp, "forward_elimination");
+                burn_for(Duration::from_millis(25));
+            }
+            {
+                profile_block!(&tp, "back_substitution");
+                burn_for(Duration::from_millis(12));
+            }
+        }
+    }
+    drop(tp);
+    let trace = session.finish();
+
+    // The symbol table distinguishes blocks from functions.
+    let fe = trace
+        .functions
+        .iter()
+        .find(|f| f.name == "forward_elimination")
+        .expect("block registered");
+    assert_eq!(fe.kind, ScopeKind::Block);
+    let solver = trace.functions.iter().find(|f| f.name == "solver").unwrap();
+    assert_eq!(solver.kind, ScopeKind::Function);
+
+    // The parser profiles blocks like any scope.
+    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let fe = profile.by_name("forward_elimination").unwrap();
+    let bs = profile.by_name("back_substitution").unwrap();
+    assert_eq!(fe.calls, 3);
+    assert_eq!(bs.calls, 3);
+    assert!(
+        fe.inclusive_ns > bs.inclusive_ns,
+        "25 ms×3 block must outweigh 12 ms×3 block"
+    );
+    // Both blocks ran long enough (≥ one 10 ms sampling interval) for
+    // thermal significance.
+    assert!(fe.significant);
+    assert!(bs.significant);
+    assert!((fe.thermal.values().next().unwrap().avg - 107.6).abs() < 0.1); // 42 °C
+
+    // Blocks nest inside their enclosing function's inclusive time.
+    let solver = profile.by_name("solver").unwrap();
+    assert!(solver.inclusive_ns >= fe.inclusive_ns + bs.inclusive_ns);
+}
+
+#[test]
+fn mixed_granularity_timeline_stays_well_nested() {
+    let session = ProfilingSession::start();
+    let tp = session.thread_profiler();
+    {
+        profile_fn!(&tp, "outer");
+        {
+            profile_block!(&tp, "blk_a");
+            {
+                profile_fn!(&tp, "inner_fn");
+                {
+                    profile_block!(&tp, "blk_b");
+                }
+            }
+        }
+    }
+    drop(tp);
+    let trace = session.finish();
+    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    assert!(profile.warnings.is_empty(), "mixed nesting must reconstruct");
+    assert_eq!(profile.functions.len(), 4);
+}

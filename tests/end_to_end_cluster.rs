@@ -1,0 +1,122 @@
+//! Integration: the full simulated-cluster pipeline, across crates.
+//!
+//! workload models (workloads) → engine + thermal replay (cluster +
+//! sensors) → per-node traces (probe) → parse & merge (core) → the
+//! paper's cluster-level observations.
+
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn parse_cluster(run: &ClusterRun) -> ClusterProfile {
+    ClusterProfile::new(
+        run.traces
+            .iter()
+            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .collect(),
+    )
+}
+
+#[test]
+fn ft_run_reproduces_paper_observations() {
+    let cfg = ClusterRunConfig::paper_default();
+    let run = ClusterRun::execute(&cfg, &NpbBenchmark::Ft.programs(Class::A, 4));
+    // ~half the time in all-to-all (§4.3).
+    let comm = run.engine.comm_fraction(0);
+    assert!((0.2..0.8).contains(&comm), "FT comm fraction {comm}");
+
+    let cluster = parse_cluster(&run);
+    assert_eq!(cluster.node_count(), 4);
+    // Every node profiled the same function inventory.
+    for node in &cluster.nodes {
+        for f in ["MAIN__", "evolve_", "cffts1_", "transpose_x_yz_"] {
+            assert!(node.by_name(f).is_some(), "{f} missing on node {}", node.node.node_id);
+        }
+    }
+    // Nodes diverge thermally under identical load (§4).
+    let (lo, hi) = cluster.node_divergence_f().unwrap();
+    assert!(hi > lo, "no divergence at all?");
+}
+
+#[test]
+fn bt_run_has_significant_table3_functions() {
+    let cfg = ClusterRunConfig::paper_default();
+    let run = ClusterRun::execute(&cfg, &NpbBenchmark::Bt.programs(Class::A, 4));
+    let cluster = parse_cluster(&run);
+    let node0 = &cluster.nodes[0];
+    let adi = node0.by_name("adi_").unwrap();
+    let matvec = node0.by_name("matvec_sub").unwrap();
+    let matmul = node0.by_name("matmul_sub").unwrap();
+    assert!(adi.significant && matvec.significant && matmul.significant);
+    assert!(adi.inclusive_ns > matvec.inclusive_ns);
+    assert!(matvec.inclusive_ns > matmul.inclusive_ns);
+    // Six sensor rows each (Table 3).
+    assert_eq!(adi.thermal.len(), 6);
+}
+
+#[test]
+fn traces_survive_disk_roundtrip_per_node() {
+    let cfg = ClusterRunConfig::paper_default();
+    let run = ClusterRun::execute(&cfg, &NpbBenchmark::Cg.programs(Class::S, 4));
+    let dir = std::env::temp_dir().join(format!("tempest-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for t in &run.traces {
+        let path = dir.join(format!("node{}.trace", t.node.node_id));
+        t.save(&path).unwrap();
+        let back = tempest_probe::trace::Trace::load(&path).unwrap();
+        assert_eq!(&back, t);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulated_and_reported_spans_agree() {
+    let cfg = ClusterRunConfig::paper_default();
+    let run = ClusterRun::execute(&cfg, &NpbBenchmark::Ep.programs(Class::W, 4));
+    let cluster = parse_cluster(&run);
+    for (node, trace) in cluster.nodes.iter().zip(&run.traces) {
+        let main = node.by_name("MAIN__").unwrap();
+        // MAIN__ inclusive time equals the rank's simulated runtime.
+        let rank = trace.node.node_id as usize;
+        let expect = run.engine.rank_end_ns[rank];
+        assert_eq!(main.inclusive_ns, expect);
+    }
+}
+
+#[test]
+fn every_npb_benchmark_flows_through_the_pipeline() {
+    let mut cfg = ClusterRunConfig::paper_default();
+    cfg.thermal.noise_sigma_c = 0.0;
+    for bench in NpbBenchmark::ALL {
+        let run = ClusterRun::execute(&cfg, &bench.programs(Class::S, 4));
+        let cluster = parse_cluster(&run);
+        for node in &cluster.nodes {
+            assert!(
+                node.by_name("MAIN__").is_some(),
+                "{}: MAIN__ missing",
+                bench.name()
+            );
+            assert!(node.warnings.is_empty(), "{}: trace repairs", bench.name());
+            // A handful of samples legitimately fall outside any function:
+            // the tick at exactly the rank's exit (half-open intervals) and
+            // ticks after this node's rank finished while others still run.
+            assert!(
+                node.unattributed_samples * 6 < node.functions.len().max(1) * 1000,
+                "{}: too many orphan samples ({})",
+                bench.name(),
+                node.unattributed_samples
+            );
+        }
+    }
+}
+
+#[test]
+fn np_one_single_node_degenerate_case() {
+    let mut cfg = ClusterRunConfig::paper_default();
+    cfg.spec = tempest_cluster::ClusterSpec::new(1, 4, tempest_cluster::Placement::Spread);
+    let run = ClusterRun::execute(&cfg, &NpbBenchmark::Ft.programs(Class::S, 1));
+    assert_eq!(run.traces.len(), 1);
+    let cluster = parse_cluster(&run);
+    assert!(cluster.nodes[0].by_name("MAIN__").is_some());
+}

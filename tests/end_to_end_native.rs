@@ -1,0 +1,117 @@
+//! Integration: the full native pipeline, across crates.
+//!
+//! instrument (probe) → tempd samples (probe+sensors) → trace file
+//! round-trip (probe) → parse (core) → report (core).
+
+use std::sync::Arc;
+use std::time::Duration;
+use tempest_core::{analyze_trace, report, AnalysisOptions};
+use tempest_probe::tempd::TempdConfig;
+use tempest_probe::{MonotonicClock, ProfilingSession};
+use tempest_sensors::source::ConstantSource;
+use tempest_sensors::{SensorKind, Temperature};
+use tempest_workloads::native::burn::burn_for;
+
+fn two_sensor_source() -> ConstantSource {
+    ConstantSource::new(vec![
+        (
+            "CPU die".to_string(),
+            SensorKind::CpuCore,
+            Temperature::from_celsius(45.0),
+        ),
+        (
+            "ambient".to_string(),
+            SensorKind::Ambient,
+            Temperature::from_celsius(25.0),
+        ),
+    ])
+}
+
+#[test]
+fn native_session_to_report() {
+    let session = ProfilingSession::start_with_sensors(
+        Arc::new(MonotonicClock::new()),
+        Box::new(two_sensor_source()),
+        TempdConfig { rate_hz: 50.0 },
+    );
+    let tp = session.thread_profiler();
+    {
+        let _main = tp.scope("main");
+        {
+            let _f = tp.scope("foo1");
+            burn_for(Duration::from_millis(120));
+        }
+        {
+            let _f = tp.scope("foo2");
+            std::thread::sleep(Duration::from_millis(40));
+        }
+    }
+    drop(tp);
+    let trace = session.finish();
+
+    // Trace file round-trip through a real file.
+    let path = std::env::temp_dir().join(format!("tempest-e2e-{}.trace", std::process::id()));
+    trace.save(&path).unwrap();
+    let loaded = tempest_probe::trace::Trace::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, trace);
+
+    // Parse and check the profile.
+    let profile = analyze_trace(&loaded, AnalysisOptions::default()).unwrap();
+    assert!(profile.warnings.is_empty());
+    let main = profile.by_name("main").unwrap();
+    let foo1 = profile.by_name("foo1").unwrap();
+    assert!(main.inclusive_ns >= foo1.inclusive_ns);
+    assert!(foo1.significant, "120 ms ≫ 20 ms sampling interval");
+    // Constant 45 °C source → 113 °F on every attributed sample.
+    let die_stats = foo1.thermal.values().next().unwrap();
+    assert!((die_stats.avg - 113.0).abs() < 1e-6);
+    assert_eq!(die_stats.min, die_stats.max);
+
+    // Report renders the paper's format.
+    let text = report::render_stdout(&profile);
+    assert!(text.contains("Function: main"));
+    assert!(text.contains("113.00"));
+}
+
+#[test]
+fn disabled_profiler_yields_empty_but_valid_trace() {
+    let session = ProfilingSession::start();
+    session.profiler().set_enabled(false);
+    let tp = session.thread_profiler();
+    {
+        let _g = tp.scope("invisible");
+    }
+    drop(tp);
+    let trace = session.finish();
+    assert!(trace.events.is_empty());
+    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    assert!(profile.functions.is_empty());
+}
+
+#[test]
+fn multi_thread_native_profile_attributes_by_thread() {
+    let session = ProfilingSession::start_with_sensors(
+        Arc::new(MonotonicClock::new()),
+        Box::new(two_sensor_source()),
+        TempdConfig { rate_hz: 100.0 },
+    );
+    let profiler = Arc::clone(session.profiler());
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        let p = Arc::clone(&profiler);
+        handles.push(std::thread::spawn(move || {
+            let tp = p.thread_profiler();
+            let _g = tp.scope(if i == 0 { "writer" } else { "worker" });
+            burn_for(Duration::from_millis(60));
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let trace = session.finish();
+    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let worker = profile.by_name("worker").unwrap();
+    assert_eq!(worker.calls, 2, "two worker threads");
+    assert!(profile.by_name("writer").is_some());
+}

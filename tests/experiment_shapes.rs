@@ -1,0 +1,107 @@
+//! Integration: the headline experiment *shapes* as assertions, so
+//! `cargo test` guards what the `exp_*` binaries demonstrate. Workload
+//! classes are reduced where the shape survives it; anything slower lives
+//! in the binaries only.
+
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_core::analysis::{detect_sync_rise, hotspots};
+use tempest_core::plot::TimeSeries;
+use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_sensors::SensorId;
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn die_series(run: &ClusterRun) -> Vec<TimeSeries> {
+    run.traces
+        .iter()
+        .map(|t| {
+            TimeSeries::from_samples(
+                format!("node {}", t.node.node_id + 1),
+                &t.samples,
+                SensorId(3),
+                0,
+            )
+        })
+        .collect()
+}
+
+/// E5/Figure 3: FT at class C — ~50 % all-to-all, thermally divergent nodes.
+#[test]
+fn e5_ft_comm_heavy_and_divergent() {
+    let (run, cluster) = run_and_parse(NpbBenchmark::Ft, Class::C);
+    let f = run.engine.comm_fraction(0);
+    assert!((0.3..=0.7).contains(&f), "FT comm fraction {f:.2} not ≈ 0.5");
+    let (lo, hi) = cluster.node_divergence_f().unwrap();
+    assert!(hi - lo > 1.0, "FT nodes should diverge thermally");
+}
+
+/// E6/Figure 4: BT — synchronised warm-up near 1.5 s, hot/cool node split.
+#[test]
+fn e6_bt_synchronised_rise() {
+    let (run, cluster) = run_and_parse(NpbBenchmark::Bt, Class::C);
+    let series = die_series(&run);
+    let t = detect_sync_rise(&series, 1.0, 1.5).expect("sync rise detected");
+    assert!(
+        (0.5..=6.0).contains(&t),
+        "sync at {t:.1}s, paper says ≈1.5 s"
+    );
+    let peaks: Vec<f64> = cluster.node_summaries().iter().map(|s| s.max_f).collect();
+    let spread = peaks.iter().cloned().fold(f64::MIN, f64::max)
+        - peaks.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread > 1.0, "nodes should peak differently: {peaks:?}");
+}
+
+/// E8/Table 3 ordering at the class the paper used.
+#[test]
+fn e8_table3_ordering() {
+    let (_, cluster) = run_and_parse(NpbBenchmark::Bt, Class::C);
+    let n0 = &cluster.nodes[0];
+    let t = |name: &str| n0.by_name(name).unwrap().inclusive_ns;
+    assert!(t("adi_") > t("matvec_sub"));
+    assert!(t("matvec_sub") > t("matmul_sub"));
+}
+
+/// E12: DVFS on the hot spot cools it and costs localised time.
+#[test]
+fn e12_dvfs_cools_hot_spot() {
+    let cfg = ClusterRunConfig::paper_default();
+    let base_programs = NpbBenchmark::Bt.programs(Class::A, 4);
+    let base_run = ClusterRun::execute(&cfg, &base_programs);
+    let base = parse(&base_run);
+    let target = hotspots(&base.nodes[0], 1)[0].name.clone();
+
+    let opt_programs: Vec<_> = base_programs
+        .iter()
+        .map(|p| p.with_dvfs_on(&target, 0.55))
+        .collect();
+    let opt_run = ClusterRun::execute(&cfg, &opt_programs);
+    let opt = parse(&opt_run);
+
+    let before = base.nodes[0].by_name(&target).unwrap();
+    let after = opt.nodes[0].by_name(&target).unwrap();
+    assert!(
+        after.inclusive_ns > before.inclusive_ns,
+        "DVFS'd function must take longer"
+    );
+    let (b, a) = (
+        before.peak_avg_f().unwrap_or(0.0),
+        after.peak_avg_f().unwrap_or(0.0),
+    );
+    assert!(a < b, "DVFS'd function must run cooler: {a:.1} !< {b:.1}");
+}
+
+fn parse(run: &ClusterRun) -> ClusterProfile {
+    ClusterProfile::new(
+        run.traces
+            .iter()
+            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .collect(),
+    )
+}
+
+fn run_and_parse(bench: NpbBenchmark, class: Class) -> (ClusterRun, ClusterProfile) {
+    let cfg = ClusterRunConfig::paper_default();
+    let run = ClusterRun::execute(&cfg, &bench.programs(class, 4));
+    let cluster = parse(&run);
+    (run, cluster)
+}

@@ -1,0 +1,83 @@
+//! Integration: §3.4's cross-tool check — "Both tools provided similar
+//! results for total execution time in the various code functions."
+//!
+//! Tempest's timeline-based inclusive times and gprof's bucket cumulative
+//! times are computed from the same event stream; on non-recursive codes
+//! they must agree exactly, and the tools must disagree exactly where
+//! gprof's known recursion double-counting kicks in.
+
+use std::sync::Arc;
+use tempest_core::timeline::Timeline;
+use tempest_gprof::FlatProfile;
+use tempest_probe::{MonotonicClock, Profiler, VecSink};
+use tempest_workloads::micro::{run_native, Micro, MicroConfig};
+
+fn events_for(micro: Micro) -> (Vec<tempest_probe::Event>, tempest_probe::FunctionRegistry) {
+    let sink = VecSink::new();
+    let profiler = Profiler::new(Arc::new(MonotonicClock::new()), sink.clone());
+    let tp = profiler.thread_profiler();
+    run_native(
+        micro,
+        MicroConfig {
+            burn_ms: 24,
+            timer_ms: 6,
+            depth: 2,
+        },
+        &tp,
+    );
+    tp.flush();
+    let mut events = sink.drain();
+    events.sort_by_key(|e| e.timestamp_ns);
+    (events, profiler.registry().clone())
+}
+
+#[test]
+fn inclusive_times_agree_on_non_recursive_codes() {
+    for micro in [Micro::A, Micro::B, Micro::C, Micro::D] {
+        let (events, registry) = events_for(micro);
+        let timeline = Timeline::build(&events);
+        let flat = FlatProfile::from_events(&events);
+        for (func, times) in &timeline.times {
+            let bucket = flat.bucket(*func).unwrap();
+            assert_eq!(
+                times.inclusive_ns,
+                bucket.cumulative_ns,
+                "{micro:?}: {} differs between tools",
+                registry.get(*func).unwrap().name
+            );
+            assert_eq!(times.calls, bucket.calls);
+        }
+    }
+}
+
+#[test]
+fn exclusive_times_agree_everywhere() {
+    // Self time has no recursion ambiguity: the innermost frame is the
+    // innermost frame. Tools must agree on every benchmark, including E.
+    for micro in Micro::ALL {
+        let (events, _) = events_for(micro);
+        let timeline = Timeline::build(&events);
+        let flat = FlatProfile::from_events(&events);
+        for (func, times) in &timeline.times {
+            let bucket = flat.bucket(*func).unwrap();
+            assert_eq!(times.exclusive_ns, bucket.self_ns, "{micro:?}");
+        }
+    }
+}
+
+#[test]
+fn recursion_is_where_the_tools_differ() {
+    // Benchmark E recurses: gprof double-counts the overlap, Tempest
+    // counts wall presence once. gprof ≥ Tempest, strictly greater for
+    // the recursive function.
+    let (events, registry) = events_for(Micro::E);
+    let timeline = Timeline::build(&events);
+    let flat = FlatProfile::from_events(&events);
+    let foo1 = registry.lookup("foo1").unwrap();
+    let tempest_incl = timeline.times[&foo1].inclusive_ns;
+    let gprof_cum = flat.bucket(foo1).unwrap().cumulative_ns;
+    assert!(
+        gprof_cum > tempest_incl,
+        "gprof should double-count recursion: {gprof_cum} vs {tempest_incl}"
+    );
+}

@@ -1,0 +1,92 @@
+//! Integration: Table-1 micro-benchmarks through the whole system, in both
+//! native and simulated form (E1).
+
+use std::sync::Arc;
+use tempest_cluster::{ClusterRun, ClusterRunConfig, ClusterSpec, Placement};
+use tempest_core::{analyze_trace, AnalysisOptions, NodeProfile};
+use tempest_probe::trace::{NodeMeta, Trace};
+use tempest_probe::{MonotonicClock, Profiler, VecSink};
+use tempest_workloads::micro::{program, run_native, Micro, MicroConfig};
+
+fn native_profile(micro: Micro) -> NodeProfile {
+    let sink = VecSink::new();
+    let profiler = Profiler::new(Arc::new(MonotonicClock::new()), sink.clone());
+    let tp = profiler.thread_profiler();
+    run_native(
+        micro,
+        MicroConfig {
+            burn_ms: 30,
+            timer_ms: 8,
+            depth: 2,
+        },
+        &tp,
+    );
+    tp.flush();
+    let trace = Trace::from_mixed_events(
+        NodeMeta::anonymous(),
+        profiler.registry().snapshot(),
+        sink.drain(),
+    );
+    analyze_trace(&trace, AnalysisOptions::default()).unwrap()
+}
+
+#[test]
+fn all_five_reconstruct_without_repairs_natively() {
+    for micro in Micro::ALL {
+        let p = native_profile(micro);
+        assert!(p.warnings.is_empty(), "{micro:?} produced repairs");
+        assert!(p.by_name("main").is_some());
+    }
+}
+
+#[test]
+fn benchmark_d_simulated_matches_figure_2_shape() {
+    // foo1 heats the CPU; the foo2 timer lets it cool — check the actual
+    // sensor series, not just the profile.
+    let mut cfg = ClusterRunConfig::paper_default();
+    cfg.spec = ClusterSpec::new(1, 4, Placement::Spread);
+    cfg.thermal.hetero_seed = None;
+    cfg.thermal.noise_sigma_c = 0.0;
+    let run = ClusterRun::execute(&cfg, &[program(Micro::D, 30.0, 4.0)]);
+    let trace = &run.traces[0];
+
+    let die: Vec<(u64, f64)> = trace
+        .samples
+        .iter()
+        .filter(|s| s.sensor.0 == 3)
+        .map(|s| (s.timestamp_ns, s.temperature.fahrenheit()))
+        .collect();
+    let at = |t_s: f64| {
+        die.iter()
+            .min_by_key(|(ts, _)| (*ts as i64 - (t_s * 1e9) as i64).abs())
+            .unwrap()
+            .1
+    };
+    assert!(at(29.5) > at(0.2) + 5.0, "foo1 heats the die");
+    assert!(at(33.5) < at(29.5), "foo2's timer lets it cool");
+
+    // And the profile agrees with Table 1's structure.
+    let profile = analyze_trace(trace, AnalysisOptions::default()).unwrap();
+    assert_eq!(profile.by_name("foo2").unwrap().calls, 2);
+    let foo1 = profile.by_name("foo1").unwrap();
+    assert!(foo1.significant);
+    // foo1's max die temperature exceeds its min: the function ran at
+    // different temperatures over its lifetime (§3.1's motivation).
+    let die_stats = foo1.thermal.values().max_by(|a, b| a.max.partial_cmp(&b.max).unwrap()).unwrap();
+    assert!(die_stats.max - die_stats.min > 3.0);
+}
+
+#[test]
+fn benchmark_e_simulated_recursion() {
+    let mut cfg = ClusterRunConfig::paper_default();
+    cfg.spec = ClusterSpec::new(1, 4, Placement::Spread);
+    let run = ClusterRun::execute(&cfg, &[program(Micro::E, 8.0, 1.0)]);
+    let profile = analyze_trace(&run.traces[0], AnalysisOptions::default()).unwrap();
+    let foo1 = profile.by_name("foo1").unwrap();
+    assert_eq!(foo1.calls, 2, "two nested foo1 frames");
+    let main = profile.by_name("main").unwrap();
+    assert!(
+        foo1.inclusive_ns <= main.inclusive_ns,
+        "recursion must not double-count inclusive time"
+    );
+}

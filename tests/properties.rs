@@ -1,0 +1,302 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use tempest_core::stats::SummaryStats;
+use tempest_core::timeline::Timeline;
+use tempest_probe::event::{Event, ThreadId};
+use tempest_probe::func::{FunctionDef, FunctionId, ScopeKind};
+use tempest_probe::trace::{NodeMeta, SensorMeta, Trace};
+use tempest_sensors::rc_model::RcNode;
+use tempest_sensors::{Quantization, SensorId, SensorReading, Temperature};
+
+// ---------- statistics ----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn stats_invariants(samples in prop::collection::vec(-50.0f64..150.0, 1..200)) {
+        let mut s = SummaryStats::from_samples(&samples);
+        let sum = s.summary().unwrap();
+        prop_assert!(sum.min <= sum.avg + 1e-9);
+        prop_assert!(sum.avg <= sum.max + 1e-9);
+        prop_assert!(sum.min <= sum.med && sum.med <= sum.max);
+        prop_assert!((sum.var - sum.sdv * sum.sdv).abs() < 1e-6);
+        prop_assert!(sum.sdv >= 0.0);
+        // Mode is one of the samples.
+        prop_assert!(samples.contains(&sum.mode));
+        prop_assert_eq!(sum.count, samples.len());
+    }
+
+    #[test]
+    fn stats_are_permutation_invariant(mut samples in prop::collection::vec(0.0f64..100.0, 2..50)) {
+        let mut a = SummaryStats::from_samples(&samples);
+        samples.reverse();
+        let mut b = SummaryStats::from_samples(&samples);
+        let (x, y) = (a.summary().unwrap(), b.summary().unwrap());
+        prop_assert_eq!(x.min, y.min);
+        prop_assert_eq!(x.max, y.max);
+        prop_assert!((x.avg - y.avg).abs() < 1e-9);
+        prop_assert_eq!(x.med, y.med);
+        prop_assert_eq!(x.mode, y.mode);
+    }
+}
+
+// ---------- timeline reconstruction ---------------------------------------
+
+/// Generate a random well-nested call tree as an event stream, returning
+/// the events and the total span.
+fn arb_nested_events() -> impl Strategy<Value = Vec<Event>> {
+    // A sequence of enter/exit decisions over a small function alphabet.
+    prop::collection::vec((0u32..6, prop::bool::ANY), 1..60).prop_map(|ops| {
+        let mut events = Vec::new();
+        let mut stack: Vec<FunctionId> = Vec::new();
+        let mut t = 0u64;
+        for (f, enter) in ops {
+            t += 7;
+            if enter || stack.is_empty() {
+                let id = FunctionId(f);
+                stack.push(id);
+                events.push(Event::enter(t, ThreadId(0), id));
+            } else {
+                let id = stack.pop().unwrap();
+                events.push(Event::exit(t, ThreadId(0), id));
+            }
+        }
+        // Close what's left, well-nested.
+        while let Some(id) = stack.pop() {
+            t += 7;
+            events.push(Event::exit(t, ThreadId(0), id));
+        }
+        events
+    })
+}
+
+proptest! {
+    #[test]
+    fn well_nested_streams_reconstruct_cleanly(events in arb_nested_events()) {
+        let tl = Timeline::build(&events);
+        prop_assert!(tl.warnings.is_empty(), "warnings on well-nested input: {:?}", tl.warnings);
+        // Enter count == interval count.
+        let enters = events.iter().filter(|e| matches!(e.kind,
+            tempest_probe::event::EventKind::Enter { .. })).count();
+        prop_assert_eq!(tl.intervals.len(), enters);
+        // No interval is inverted, none escapes the span.
+        for iv in &tl.intervals {
+            prop_assert!(iv.start_ns <= iv.end_ns);
+            prop_assert!(iv.start_ns >= tl.span.0 && iv.end_ns <= tl.span.1);
+            prop_assert!(!iv.truncated);
+        }
+        // Exclusive times partition the busy span: sum over functions of
+        // exclusive == total stack-occupied time == span when a frame is
+        // always open... compute occupied time directly instead.
+        let excl: u64 = tl.times.values().map(|t| t.exclusive_ns).sum();
+        prop_assert!(excl <= tl.span_ns());
+        // Inclusive of any function ≤ span; ≥ its own exclusive.
+        for times in tl.times.values() {
+            prop_assert!(times.inclusive_ns <= tl.span_ns());
+            prop_assert!(times.inclusive_ns >= times.exclusive_ns);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_never_panic_and_close_everything(
+        events in arb_nested_events(),
+        cut in 0usize..40,
+    ) {
+        let cut = cut.min(events.len());
+        let tl = Timeline::build(&events[..cut]);
+        // All intervals closed at or before the last timestamp.
+        for iv in &tl.intervals {
+            prop_assert!(iv.end_ns <= tl.span.1);
+        }
+    }
+}
+
+// ---------- trace round-trip ----------------------------------------------
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        prop::collection::vec((0u32..4, 0u64..1_000, prop::bool::ANY), 0..40),
+        prop::collection::vec((0u16..3, 0u64..1_000, -10.0f64..110.0), 0..40),
+        "[a-z]{1,12}",
+    )
+        .prop_map(|(evs, samps, host)| {
+            let functions: Vec<FunctionDef> = (0..4)
+                .map(|i| FunctionDef {
+                    id: FunctionId(i),
+                    name: format!("fn{i}"),
+                    address: 0x400000 + 16 * i as u64,
+                    kind: if i % 2 == 0 { ScopeKind::Function } else { ScopeKind::Block },
+                })
+                .collect();
+            let mut events: Vec<Event> = evs
+                .into_iter()
+                .map(|(f, t, enter)| {
+                    if enter {
+                        Event::enter(t, ThreadId(0), FunctionId(f))
+                    } else {
+                        Event::exit(t, ThreadId(0), FunctionId(f))
+                    }
+                })
+                .collect();
+            events.sort_by_key(|e| e.timestamp_ns);
+            let mut samples: Vec<SensorReading> = samps
+                .into_iter()
+                .map(|(s, t, c)| SensorReading::new(SensorId(s), t, Temperature::from_celsius(c)))
+                .collect();
+            samples.sort_by_key(|s| s.timestamp_ns);
+            Trace {
+                node: NodeMeta {
+                    node_id: 3,
+                    hostname: host,
+                    sensors: vec![SensorMeta {
+                        id: SensorId(0),
+                        label: "die".to_string(),
+                        kind: tempest_sensors::SensorKind::CpuCore,
+                    }],
+                },
+                functions,
+                events,
+                samples,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn trace_binary_roundtrip(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+}
+
+// ---------- thermal model ---------------------------------------------------
+
+proptest! {
+    #[test]
+    fn rc_node_stays_bounded_and_converges(
+        r in 0.05f64..1.0,
+        c in 5.0f64..500.0,
+        p in 0.0f64..200.0,
+        steps in 1usize..50,
+    ) {
+        let amb = Temperature::from_celsius(25.0);
+        let mut node = RcNode::at_equilibrium(r, c, amb);
+        let ss = node.steady_state(p, amb);
+        for _ in 0..steps {
+            node.advance(3.0, p, amb);
+            // Monotone approach, never overshooting.
+            prop_assert!(node.temperature >= amb - 1e-9);
+            prop_assert!(node.temperature <= ss + 1e-9);
+        }
+        // Long run converges.
+        node.advance(50.0 * node.time_constant(), p, amb);
+        prop_assert!((node.temperature - ss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rc_step_size_invariance(
+        dt_splits in 1u32..20,
+        p in 0.0f64..150.0,
+    ) {
+        let amb = Temperature::from_celsius(25.0);
+        let mut whole = RcNode::at_equilibrium(0.3, 60.0, amb);
+        let mut split = whole.clone();
+        whole.advance(12.0, p, amb);
+        for _ in 0..dt_splits {
+            split.advance(12.0 / dt_splits as f64, p, amb);
+        }
+        prop_assert!((whole.temperature - split.temperature).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantisation_error_within_half_step(c in -20.0f64..120.0) {
+        let t = Temperature::from_celsius(c);
+        for q in [Quantization::CPU_GRID, Quantization::AMBIENT_GRID] {
+            let err = (q.apply(t) - t).abs();
+            prop_assert!(err <= q.max_error_celsius() + 1e-9);
+        }
+    }
+}
+
+// ---------- simulator determinism ------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn engine_is_deterministic(seed in 0u64..1_000) {
+        use tempest_cluster::{ClusterRun, ClusterRunConfig};
+        use tempest_workloads::npb::NpbBenchmark;
+        use tempest_workloads::Class;
+        let mut cfg = ClusterRunConfig::paper_default();
+        cfg.seed = seed;
+        let programs = NpbBenchmark::Cg.programs(Class::S, 4);
+        let a = ClusterRun::execute(&cfg, &programs);
+        let b = ClusterRun::execute(&cfg, &programs);
+        prop_assert_eq!(a.engine.end_ns, b.engine.end_ns);
+        prop_assert_eq!(&a.traces, &b.traces);
+    }
+}
+
+// ---------- engine invariants ------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn engine_segments_never_overlap_per_core(
+        secs in 0.01f64..0.5,
+        np in 1usize..9,
+        barriers in 0usize..3,
+    ) {
+        use tempest_cluster::{engine, ClusterSpec, NetworkModel, Placement, Program};
+        use tempest_sensors::power::ActivityMix;
+        let spec = ClusterSpec::new(4, 4, Placement::Spread);
+        let program = {
+            let mut b = Program::builder().enter("main");
+            for _ in 0..=barriers {
+                b = b.compute(secs, ActivityMix::Balanced);
+                if barriers > 0 {
+                    b = b.barrier();
+                }
+            }
+            b.ret().build()
+        };
+        let programs = vec![program; np];
+        let out = engine::run(&spec, &NetworkModel::gigabit_ethernet(), &programs, &[1.0; 4]);
+
+        // Per-(node, core) segments are disjoint.
+        let mut per_core: std::collections::HashMap<(usize, usize), Vec<(u64, u64)>> =
+            std::collections::HashMap::new();
+        for s in &out.segments {
+            per_core.entry((s.node, s.core)).or_default().push((s.start_ns, s.end_ns));
+        }
+        for spans in per_core.values_mut() {
+            spans.sort();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+        }
+        // Blocked time never exceeds runtime; ends bounded by makespan.
+        for r in 0..np {
+            prop_assert!(out.comm_blocked_ns[r] <= out.rank_end_ns[r]);
+            prop_assert!(out.rank_end_ns[r] <= out.end_ns);
+        }
+        // Each rank's event stream is well-nested (balanced, monotone).
+        for events in &out.events_per_rank {
+            let mut depth = 0i64;
+            let mut prev = 0u64;
+            for e in events {
+                prop_assert!(e.timestamp_ns >= prev);
+                prev = e.timestamp_ns;
+                match e.kind {
+                    tempest_probe::event::EventKind::Enter { .. } => depth += 1,
+                    tempest_probe::event::EventKind::Exit { .. } => depth -= 1,
+                    _ => {}
+                }
+                prop_assert!(depth >= 0);
+            }
+            prop_assert_eq!(depth, 0);
+        }
+    }
+}
