@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, format-check the whole workspace.
+# Run from the repository root before pushing. Lint/format steps are
+# skipped (with a warning) when the component is not installed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "!! clippy not installed; skipping lint" >&2
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "!! rustfmt not installed; skipping format check" >&2
+fi
+
+echo "CI OK"

@@ -17,7 +17,10 @@ use tempest_sensors::power::ActivityMix;
 use tempest_sensors::SensorId;
 
 fn main() {
-    banner("E13", "Ambient vs core sensor correlation with code phases (§4)");
+    banner(
+        "E13",
+        "Ambient vs core sensor correlation with code phases (§4)",
+    );
     let mut cfg = ClusterRunConfig::paper_default();
     cfg.spec = ClusterSpec::new(1, 4, Placement::Pack);
     cfg.thermal.hetero_seed = None;

@@ -15,7 +15,10 @@ use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
 fn main() {
-    banner("E16", "Thermal feedback ablation: §4.1's disabled DVFS/fan, re-enabled");
+    banner(
+        "E16",
+        "Thermal feedback ablation: §4.1's disabled DVFS/fan, re-enabled",
+    );
     // An all-core 4-minute CPU burn (the Figure-2 heater on every core of
     // every node) — the regime where governors actually trip. NAS codes at
     // one rank per node leave three cores idle and never cross a sane trip
@@ -64,7 +67,11 @@ fn main() {
         "  governor caps the peak ({:.1} F → {:.1} F)  [{}]",
         disabled_peak.fahrenheit(),
         managed_peak.fahrenheit(),
-        if managed_peak <= disabled_peak { "ok" } else { "off" }
+        if managed_peak <= disabled_peak {
+            "ok"
+        } else {
+            "off"
+        }
     );
     println!(
         "  …at a nonzero performance cost ({:+.1} %)  [{}]",
@@ -75,7 +82,11 @@ fn main() {
         "  tighter trip point throttles more ({:.0} % vs {:.0} % of control periods)  [{}]",
         rows[2].1.throttled_fraction * 100.0,
         rows[1].1.throttled_fraction * 100.0,
-        if rows[2].1.throttled_fraction >= rows[1].1.throttled_fraction { "ok" } else { "off" }
+        if rows[2].1.throttled_fraction >= rows[1].1.throttled_fraction {
+            "ok"
+        } else {
+            "off"
+        }
     );
     println!("\n→ this is why the paper pinned frequency and fans: with feedback on,");
     println!("  the thermal profile reflects the governor as much as the code.");

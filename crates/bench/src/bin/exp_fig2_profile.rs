@@ -13,7 +13,10 @@ use tempest_sensors::SensorId;
 use tempest_workloads::micro::{program, Micro};
 
 fn main() {
-    banner("E3", "Figure 2(b): temperature profile of micro-benchmark D");
+    banner(
+        "E3",
+        "Figure 2(b): temperature profile of micro-benchmark D",
+    );
     let mut cfg = ClusterRunConfig::paper_default();
     cfg.spec = ClusterSpec::new(1, 4, Placement::Spread);
     cfg.thermal.hetero_seed = None;
@@ -41,9 +44,7 @@ fn main() {
     let at = |t: f64| {
         die.points
             .iter()
-            .min_by(|a, b| {
-                (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).unwrap())
             .unwrap()
             .1
     };

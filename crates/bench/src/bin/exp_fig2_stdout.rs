@@ -33,7 +33,11 @@ fn main() {
     println!(
         "  main total {:.1}s ≈ program duration (paper: 60.3 s)    [{}]",
         main.inclusive_secs(),
-        if (main.inclusive_secs() - 62.6).abs() < 5.0 { "ok" } else { "off" }
+        if (main.inclusive_secs() - 62.6).abs() < 5.0 {
+            "ok"
+        } else {
+            "off"
+        }
     );
     let hottest = foo1.peak_avg_f().unwrap_or(0.0);
     println!(

@@ -33,7 +33,12 @@ fn main() {
     let summaries = cluster.node_summaries();
     println!("\nper-node averages over the run (CPU sensors):");
     for s in &summaries {
-        println!("  node {}: avg {:>6.1} F   max {:>6.1} F", s.node_id + 1, s.avg_f, s.max_f);
+        println!(
+            "  node {}: avg {:>6.1} F   max {:>6.1} F",
+            s.node_id + 1,
+            s.avg_f,
+            s.max_f
+        );
     }
     let (lo, hi) = cluster.node_divergence_f().unwrap();
     println!("\nshape checks vs the paper:");

@@ -32,7 +32,11 @@ fn main() {
     match sync {
         Some(t) => println!(
             "  synchronised rise detected at {t:.1} s (paper: ≈1.5 s)  [{}]",
-            if (0.5..=6.0).contains(&t) { "ok" } else { "off" }
+            if (0.5..=6.0).contains(&t) {
+                "ok"
+            } else {
+                "off"
+            }
         ),
         None => println!("  synchronised rise NOT detected  [off]"),
     }

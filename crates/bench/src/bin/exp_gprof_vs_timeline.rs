@@ -34,7 +34,10 @@ fn build(order_hot_first: bool) -> Program {
 }
 
 fn main() {
-    banner("E14", "gprof buckets vs Tempest timeline (§3.1 design ablation)");
+    banner(
+        "E14",
+        "gprof buckets vs Tempest timeline (§3.1 design ablation)",
+    );
     let mut cfg = ClusterRunConfig::paper_default();
     cfg.spec = ClusterSpec::new(1, 4, Placement::Spread);
     cfg.thermal.hetero_seed = None;
@@ -66,9 +69,11 @@ fn main() {
     }
 
     // gprof cannot tell the runs apart (identical buckets per function)…
-    let same_buckets = flats[0]
-        .iter()
-        .all(|(n, b)| flats[1].iter().any(|(m, c)| n == m && approx(b.self_ns, c.self_ns)));
+    let same_buckets = flats[0].iter().all(|(n, b)| {
+        flats[1]
+            .iter()
+            .any(|(m, c)| n == m && approx(b.self_ns, c.self_ns))
+    });
     // …but Tempest's per-run correlation differs: the function *after*
     // the hot one inherits heat (cool_fn is warmer in the hot-first run).
     let cool_when_after_hot = temps[0].1;

@@ -23,7 +23,10 @@ use tempest_workloads::native::burn::Burn;
 use tempest_workloads::native::NativeKernel;
 
 fn main() {
-    banner("E15", "Limitations (§3.3): clock skew and short-lived functions");
+    banner(
+        "E15",
+        "Limitations (§3.3): clock skew and short-lived functions",
+    );
 
     // --- 1. Clock skew -------------------------------------------------
     let reference = VirtualClock::new();
@@ -33,7 +36,11 @@ fn main() {
     println!("injected cross-core offset: 37500 ns; estimated: {est} ns");
     println!(
         "  compensation recovers the offset  [{}]",
-        if (est - 37_500).abs() <= 2 { "ok" } else { "off" }
+        if (est - 37_500).abs() <= 2 {
+            "ok"
+        } else {
+            "off"
+        }
     );
     // Show what the skew does to an uncompensated merged timeline: an
     // exit stamped by the skewed core can precede its own entry.
@@ -46,10 +53,16 @@ fn main() {
 
     // --- 2. Short-lived functions --------------------------------------
     println!("\nper-call probe cost as functions get shorter (paper: short-lived functions inflate overhead):");
-    println!("{:>12} {:>12} {:>12} {:>10}", "calls", "work/call", "overhead %", "ns/call");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "calls", "work/call", "overhead %", "ns/call"
+    );
     let total_steps = 8_000_000u64;
     for chunks in [8u64, 64, 512, 4096, 32768] {
-        let kernel = Burn { steps: total_steps, chunks };
+        let kernel = Burn {
+            steps: total_steps,
+            chunks,
+        };
         // Bare.
         let t0 = Instant::now();
         std::hint::black_box(kernel.run(None));

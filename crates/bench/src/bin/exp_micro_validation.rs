@@ -41,9 +41,7 @@ fn main() {
                     .iter()
                     .all(|n| profile.by_name(n).is_some()),
                 Micro::D => profile.by_name("foo2").map(|f| f.calls) == Some(2),
-                Micro::E => {
-                    profile.by_name("foo1").map(|f| f.calls) == Some(cfg.depth as u64 + 1)
-                }
+                Micro::E => profile.by_name("foo1").map(|f| f.calls) == Some(cfg.depth as u64 + 1),
             };
         if !ok {
             failures += 1;

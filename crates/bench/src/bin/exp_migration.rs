@@ -12,7 +12,10 @@ use tempest_sensors::node_model::NodeThermalParams;
 use tempest_sensors::power::ActivityMix;
 
 fn main() {
-    banner("E17", "Temperature-aware placement (§5 future work / Moore et al. policies)");
+    banner(
+        "E17",
+        "Temperature-aware placement (§5 future work / Moore et al. policies)",
+    );
     let jobs: Vec<Job> = (0..32)
         .map(|i| Job {
             duration_s: if i % 4 == 0 { 80.0 } else { 45.0 },
@@ -66,17 +69,29 @@ fn main() {
         "  temperature-aware placement lowers the cluster peak ({:.1} F → {:.1} F)  [{}]",
         rr.peak_c * 9.0 / 5.0 + 32.0,
         cool.peak_c * 9.0 / 5.0 + 32.0,
-        if cool.peak_c < rr.peak_c - 0.25 { "ok" } else { "off" }
+        if cool.peak_c < rr.peak_c - 0.25 {
+            "ok"
+        } else {
+            "off"
+        }
     );
     let makespan_cost = (cool.makespan_s / rr.makespan_s - 1.0) * 100.0;
     println!(
         "  …at a bounded makespan cost ({makespan_cost:+.1} %)  [{}]",
-        if makespan_cost.abs() < 25.0 { "ok" } else { "off" }
+        if makespan_cost.abs() < 25.0 {
+            "ok"
+        } else {
+            "off"
+        }
     );
     println!(
         "  the hot server (node 4) receives fewer jobs: {:?} vs round-robin {:?}  [{}]",
         cool.jobs_per_node,
         rr.jobs_per_node,
-        if cool.jobs_per_node[3] < rr.jobs_per_node[3] { "ok" } else { "off" }
+        if cool.jobs_per_node[3] < rr.jobs_per_node[3] {
+            "ok"
+        } else {
+            "off"
+        }
     );
 }

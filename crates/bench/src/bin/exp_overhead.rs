@@ -7,8 +7,8 @@
 //!
 //! Pass `--quick` for a fast low-confidence pass (3 runs, small kernels).
 
-use tempest_bench::overhead::{measure, render_table};
 use tempest_bench::banner;
+use tempest_bench::overhead::{measure, render_table};
 use tempest_workloads::native::standard_kernels;
 
 fn main() {
@@ -24,7 +24,10 @@ fn main() {
     print!("{}", render_table(&rows));
     println!();
 
-    let worst_tempest = rows.iter().map(|r| r.tempest_pct()).fold(f64::MIN, f64::max);
+    let worst_tempest = rows
+        .iter()
+        .map(|r| r.tempest_pct())
+        .fold(f64::MIN, f64::max);
     let worst_gprof = rows.iter().map(|r| r.gprof_pct()).fold(f64::MIN, f64::max);
     // Sub-percent overheads are noise-dominated; count a kernel for
     // Tempest if it is cheaper or within a 1-point tie band (the paper's

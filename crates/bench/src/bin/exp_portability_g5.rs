@@ -15,7 +15,10 @@ use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
 fn main() {
-    banner("E19", "Portability: FT on the PowerPC G5 / System X configuration");
+    banner(
+        "E19",
+        "Portability: FT on the PowerPC G5 / System X configuration",
+    );
     let mut cfg = ClusterRunConfig::paper_default();
     cfg.net = NetworkModel::infiniband();
     cfg.thermal.platform = PlatformSpec::powerpc_g5();
@@ -56,7 +59,11 @@ fn main() {
     println!("\nshape checks vs the paper:");
     println!(
         "  7 sensors per node on G5 (paper: up to 7)  [{}]",
-        if node0.node.sensors.len() == 7 { "ok" } else { "off" }
+        if node0.node.sensors.len() == 7 {
+            "ok"
+        } else {
+            "off"
+        }
     );
     println!(
         "  MAIN__ thermal rows == sensor count  [{}]",
@@ -70,6 +77,10 @@ fn main() {
         "  faster fabric lowers FT's comm share ({:.0} % IB vs {:.0} % GigE)  [{}]",
         run.engine.comm_fraction(0) * 100.0,
         eth_run.engine.comm_fraction(0) * 100.0,
-        if run.engine.comm_fraction(0) < eth_run.engine.comm_fraction(0) { "ok" } else { "off" }
+        if run.engine.comm_fraction(0) < eth_run.engine.comm_fraction(0) {
+            "ok"
+        } else {
+            "off"
+        }
     );
 }

@@ -12,7 +12,10 @@ use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
 fn main() {
-    banner("E18", "Sampling-rate ablation around the paper's 4 Hz design point");
+    banner(
+        "E18",
+        "Sampling-rate ablation around the paper's 4 Hz design point",
+    );
     let programs = NpbBenchmark::Bt.programs(Class::C, 4);
 
     // Reference: 64 Hz.

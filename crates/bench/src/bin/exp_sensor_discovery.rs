@@ -15,7 +15,10 @@ use tempest_sensors::platform::PlatformSpec;
 use tempest_sensors::source::SensorSource;
 
 fn main() {
-    banner("E11", "Sensor discovery across platforms (paper: 3 on x86 … 7 on G5)");
+    banner(
+        "E11",
+        "Sensor discovery across platforms (paper: 3 on x86 … 7 on G5)",
+    );
     for platform in [
         PlatformSpec::x86_minimal(),
         PlatformSpec::opteron_full(),
@@ -23,7 +26,10 @@ fn main() {
     ] {
         println!("{} — {} sensors", platform.name, platform.sensor_count());
         for s in &platform.sensors {
-            println!("    {:<18} {:?} @ {:?} ({:?})", s.label, s.kind, s.tap, s.quantization);
+            println!(
+                "    {:<18} {:?} @ {:?} ({:?})",
+                s.label, s.kind, s.tap, s.quantization
+            );
         }
     }
 

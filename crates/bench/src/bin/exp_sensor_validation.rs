@@ -16,7 +16,10 @@ use tempest_sensors::source::SensorSource;
 use tempest_sensors::validation::ValidationReport;
 
 fn main() {
-    banner("E10", "Sensor validation vs external reference (paper §3.4)");
+    banner(
+        "E10",
+        "Sensor validation vs external reference (paper §3.4)",
+    );
     let platform = PlatformSpec::opteron_full();
     let model = NodeThermalModel::new(NodeThermalParams::opteron_node());
     // Realistic noise: σ = 0.15 °C plus 1 °C quantisation.

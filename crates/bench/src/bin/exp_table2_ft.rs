@@ -10,7 +10,10 @@ use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
 fn main() {
-    banner("E7", "Table 2: FT functional thermal profile, NP=4 class C (node 1)");
+    banner(
+        "E7",
+        "Table 2: FT functional thermal profile, NP=4 class C (node 1)",
+    );
     let (_run, cluster) = run_npb(NpbBenchmark::Ft, Class::C, 4);
     let node0 = &cluster.nodes[0];
     print!("{}", render_stdout(node0));

@@ -10,7 +10,10 @@ use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
 fn main() {
-    banner("E8", "Table 3: BT functional thermal profile, NP=4 class C (node 1)");
+    banner(
+        "E8",
+        "Table 3: BT functional thermal profile, NP=4 class C (node 1)",
+    );
     let (_run, cluster) = run_npb(NpbBenchmark::Bt, Class::C, 4);
     let node0 = &cluster.nodes[0];
 

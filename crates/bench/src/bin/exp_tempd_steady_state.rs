@@ -21,7 +21,10 @@ use tempest_sensors::source::{ConstantSource, SensorSource};
 use tempest_workloads::micro::{program, Micro};
 
 fn main() {
-    banner("E9", "tempd steady state (paper: <1 % CPU, no thermal impact)");
+    banner(
+        "E9",
+        "tempd steady state (paper: <1 % CPU, no thermal impact)",
+    );
 
     // (a) Real tempd on this host, 4 Hz for 3 seconds.
     let hw = HwmonSource::discover();
@@ -46,7 +49,11 @@ fn main() {
     );
     println!(
         "  <1 % CPU (paper)  [{}]",
-        if stats.cpu_fraction() < 0.01 { "ok" } else { "off" }
+        if stats.cpu_fraction() < 0.01 {
+            "ok"
+        } else {
+            "off"
+        }
     );
 
     // (b) Simulated idle cluster: die temperature must hold steady.

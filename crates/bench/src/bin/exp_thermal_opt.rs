@@ -18,7 +18,10 @@ use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
 fn main() {
-    banner("E12", "Thermal optimisation analysis (question 4): DVFS on the hottest function");
+    banner(
+        "E12",
+        "Thermal optimisation analysis (question 4): DVFS on the hottest function",
+    );
     let cfg = ClusterRunConfig::paper_default();
 
     // Baseline run + hot-spot identification.
@@ -53,11 +56,17 @@ fn main() {
     let deltas = compare_profiles(node0, &optimised.nodes[0]);
     println!("function-level before → after (node 1):");
     println!("{:<16} {:>10} {:>10}", "function", "Δtime(s)", "Δtemp(F)");
-    for d in deltas.iter().filter(|d| d.dtime_secs.abs() > 0.01 || d.dtemp_f.abs() > 0.2) {
+    for d in deltas
+        .iter()
+        .filter(|d| d.dtime_secs.abs() > 0.01 || d.dtemp_f.abs() > 0.2)
+    {
         println!("{:<16} {:>10.2} {:>10.2}", d.name, d.dtime_secs, d.dtemp_f);
     }
 
-    let tgt = deltas.iter().find(|d| d.name == target).expect("target diffed");
+    let tgt = deltas
+        .iter()
+        .find(|d| d.name == target)
+        .expect("target diffed");
     let main_delta = deltas.iter().find(|d| d.name == "MAIN__").unwrap();
     println!("\nshape checks vs the paper's motivation:");
     println!(
@@ -73,7 +82,10 @@ fn main() {
     );
 
     // Quote the win in the paper's own §1 currency: the Arrhenius rule.
-    let before_f = node0.by_name(&target).and_then(|f| f.peak_avg_f()).unwrap_or(0.0);
+    let before_f = node0
+        .by_name(&target)
+        .and_then(|f| f.peak_avg_f())
+        .unwrap_or(0.0);
     let after_f = optimised.nodes[0]
         .by_name(&target)
         .and_then(|f| f.peak_avg_f())

@@ -125,9 +125,8 @@ pub fn measure(kernel: &dyn NativeKernel, runs: usize) -> OverheadRow {
 
 /// Render the §3.4 comparison table.
 pub fn render_table(rows: &[OverheadRow]) -> String {
-    let mut out = String::from(
-        "kernel     bare(s)  tempest(s)  gprof(s)  tempest%  gprof%   ns/call\n",
-    );
+    let mut out =
+        String::from("kernel     bare(s)  tempest(s)  gprof(s)  tempest%  gprof%   ns/call\n");
     for r in rows {
         out.push_str(&format!(
             "{:<10} {:>7.3} {:>11.3} {:>9.3} {:>8.2} {:>7.2} {:>9.1}\n",
@@ -155,7 +154,10 @@ mod tests {
         // `exp_overhead` binary; this debug-build unit test only guards
         // against a gross regression (e.g. a lock on the hot path), so it
         // uses a loose bound that survives CI noise.
-        let k = Burn { steps: 12_000_000, chunks: 8 };
+        let k = Burn {
+            steps: 12_000_000,
+            chunks: 8,
+        };
         // Timing tests flake under CI load; accept the better of two
         // attempts before declaring a regression.
         let best = (0..2)

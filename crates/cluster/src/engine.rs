@@ -87,9 +87,15 @@ struct RankState {
 enum Blocked {
     No,
     /// Waiting in collective instance `idx` since `arrived_ns`.
-    Collective { idx: usize, arrived_ns: u64 },
+    Collective {
+        idx: usize,
+        arrived_ns: u64,
+    },
     /// Waiting for a message from `from` since `arrived_ns`.
-    Recv { from: usize, arrived_ns: u64 },
+    Recv {
+        from: usize,
+        arrived_ns: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -243,7 +249,10 @@ pub fn run(
                 );
                 inst.arrivals[r] = Some(now);
                 ranks[r].coll_counter += 1;
-                ranks[r].blocked = Blocked::Collective { idx, arrived_ns: now };
+                ranks[r].blocked = Blocked::Collective {
+                    idx,
+                    arrived_ns: now,
+                };
 
                 if inst.arrivals.iter().all(Option::is_some) {
                     let max_arrival = inst.arrivals.iter().map(|a| a.unwrap()).max().unwrap();
@@ -328,7 +337,10 @@ pub fn run(
                         ranks[r].pc += 1;
                     }
                     None => {
-                        ranks[r].blocked = Blocked::Recv { from, arrived_ns: now };
+                        ranks[r].blocked = Blocked::Recv {
+                            from,
+                            arrived_ns: now,
+                        };
                     }
                 }
             }
@@ -420,7 +432,12 @@ mod tests {
             let p = Program::builder()
                 .call("main", |b| b.alltoall(bytes))
                 .build();
-            let out = run(&spec(4), &net(), &[p.clone(), p.clone(), p.clone(), p], &[1.0; 4]);
+            let out = run(
+                &spec(4),
+                &net(),
+                &[p.clone(), p.clone(), p.clone(), p],
+                &[1.0; 4],
+            );
             out.end_ns
         };
         assert!(mk(1 << 20) > mk(1 << 10) * 10);
@@ -437,7 +454,9 @@ mod tests {
     #[test]
     fn send_recv_pairs_transfer_data() {
         let sender = Program::builder()
-            .call("main", |b| b.compute(0.5, ActivityMix::Balanced).send(1, 1_000_000))
+            .call("main", |b| {
+                b.compute(0.5, ActivityMix::Balanced).send(1, 1_000_000)
+            })
             .build();
         let receiver = Program::builder().call("main", |b| b.recv(0)).build();
         let out = run(&spec(2), &net(), &[sender, receiver], &[1.0, 1.0]);
@@ -449,9 +468,7 @@ mod tests {
 
     #[test]
     fn recv_after_send_completes_without_blocking_wait() {
-        let sender = Program::builder()
-            .call("main", |b| b.send(1, 1024))
-            .build();
+        let sender = Program::builder().call("main", |b| b.send(1, 1024)).build();
         let receiver = Program::builder()
             .call("main", |b| b.compute(1.0, ActivityMix::Balanced).recv(0))
             .build();
@@ -506,7 +523,10 @@ mod tests {
             .collect();
         assert_eq!(kinds, vec![true, true, false, true, false, false]);
         // Timestamps are monotone.
-        let ts: Vec<u64> = out.events_per_rank[0].iter().map(|e| e.timestamp_ns).collect();
+        let ts: Vec<u64> = out.events_per_rank[0]
+            .iter()
+            .map(|e| e.timestamp_ns)
+            .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
     }
 

@@ -101,10 +101,7 @@ pub fn feedback_replay(
     let idle = vec![(ActivityMix::Idle, 0.0); cores];
     model.advance(3600.0, &idle, 1.0, 1.0);
 
-    let node_segments: Vec<&LoadSegment> = segments
-        .iter()
-        .filter(|s| s.node == node)
-        .collect();
+    let node_segments: Vec<&LoadSegment> = segments.iter().filter(|s| s.node == node).collect();
     let mut per_core: Vec<Vec<&LoadSegment>> = vec![Vec::new(); cores];
     for s in &node_segments {
         per_core[s.core.min(cores - 1)].push(s);

@@ -91,7 +91,10 @@ pub fn simulate_schedule_with(
     let mut running: Vec<Vec<RunningJob>> = (0..nodes).map(|_| Vec::new()).collect();
     let mut jobs_per_node = vec![0usize; nodes];
     let mut next_arrival = 0.0f64;
-    let mut pending = jobs.iter().copied().collect::<std::collections::VecDeque<_>>();
+    let mut pending = jobs
+        .iter()
+        .copied()
+        .collect::<std::collections::VecDeque<_>>();
     let mut rr = 0usize;
 
     let mut t = 0.0f64;

@@ -283,7 +283,9 @@ mod tests {
     fn repeat_unrolls() {
         let p = Program::builder()
             .call("main", |b| {
-                b.repeat(3, |b| b.call("iter", |b| b.compute_ms(10.0, ActivityMix::Balanced)))
+                b.repeat(3, |b| {
+                    b.call("iter", |b| b.compute_ms(10.0, ActivityMix::Balanced))
+                })
             })
             .build();
         let iters = p
@@ -339,9 +341,13 @@ mod tests {
     #[test]
     fn comm_ops_record() {
         let p = Program::builder()
-            .call("main", |b| b.alltoall(1024).barrier().allreduce(8).send(1, 64).recv(1))
+            .call("main", |b| {
+                b.alltoall(1024).barrier().allreduce(8).send(1, 64).recv(1)
+            })
             .build();
-        assert!(p.ops.contains(&Op::AllToAll { bytes_per_pair: 1024 }));
+        assert!(p.ops.contains(&Op::AllToAll {
+            bytes_per_pair: 1024
+        }));
         assert!(p.ops.contains(&Op::Barrier));
         assert_eq!(p.nominal_busy_ns(), 0);
     }

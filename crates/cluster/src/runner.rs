@@ -63,11 +63,22 @@ impl ClusterRun {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let j = cfg.node_speed_jitter.abs();
         let node_speed: Vec<f64> = (0..cfg.spec.nodes)
-            .map(|_| if j > 0.0 { rng.gen_range(1.0 - j..1.0 + j) } else { 1.0 })
+            .map(|_| {
+                if j > 0.0 {
+                    rng.gen_range(1.0 - j..1.0 + j)
+                } else {
+                    1.0
+                }
+            })
             .collect();
 
         let engine_out = engine::run(&cfg.spec, &cfg.net, programs, &node_speed);
-        let replays = replay(&cfg.spec, &engine_out.segments, engine_out.end_ns, &cfg.thermal);
+        let replays = replay(
+            &cfg.spec,
+            &engine_out.segments,
+            engine_out.end_ns,
+            &cfg.thermal,
+        );
 
         let np = programs.len();
         let traces = (0..cfg.spec.nodes)
@@ -182,7 +193,11 @@ mod tests {
         let run = ClusterRun::execute(&cfg, &programs);
         assert_eq!(run.traces[0].events.len(), 8);
         // Events are time-sorted after the merge.
-        let ts: Vec<u64> = run.traces[0].events.iter().map(|e| e.timestamp_ns).collect();
+        let ts: Vec<u64> = run.traces[0]
+            .events
+            .iter()
+            .map(|e| e.timestamp_ns)
+            .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
     }
 }

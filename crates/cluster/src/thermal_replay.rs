@@ -116,13 +116,19 @@ fn replay_node(
     // so its segments never overlap).
     let mut per_core: Vec<Vec<&LoadSegment>> = vec![Vec::new(); cores];
     for s in segments {
-        assert!(s.core < cores, "segment on core {} of a {cores}-core node", s.core);
+        assert!(
+            s.core < cores,
+            "segment on core {} of a {cores}-core node",
+            s.core
+        );
         per_core[s.core].push(s);
     }
     for list in &mut per_core {
         list.sort_by_key(|s| s.start_ns);
-        debug_assert!(list.windows(2).all(|w| w[0].end_ns <= w[1].start_ns),
-            "overlapping segments on one core");
+        debug_assert!(
+            list.windows(2).all(|w| w[0].end_ns <= w[1].start_ns),
+            "overlapping segments on one core"
+        );
     }
     let mut cursor = vec![0usize; cores];
 
@@ -146,9 +152,9 @@ fn replay_node(
 
     // Take the t=0 sample before any load is applied.
     let maybe_sample = |bank: &mut SimulatedSensorBank,
-                            t: u64,
-                            samples: &mut Vec<SensorReading>,
-                            truth: &mut Vec<(u64, Vec<Temperature>)>| {
+                        t: u64,
+                        samples: &mut Vec<SensorReading>,
+                        truth: &mut Vec<(u64, Vec<Temperature>)>| {
         if t.is_multiple_of(cfg.sample_interval_ns) && t <= end_ns {
             bank.sample_into(t, samples);
             truth.push((t, bank.last_ground_truth().to_vec()));
@@ -236,7 +242,7 @@ mod tests {
         let out = replay(&spec(), &[burn_segment(0, 10.0)], 10_000_000_000, &cfg());
         assert_eq!(out.len(), 2);
         let sensors = 6; // opteron_full
-        // Samples at t = 0, 0.25, …, 10.0 → 41 rounds.
+                         // Samples at t = 0, 0.25, …, 10.0 → 41 rounds.
         assert_eq!(out[0].samples.len(), 41 * sensors);
         // Timestamps are multiples of the interval.
         assert!(out[0]
@@ -280,7 +286,10 @@ mod tests {
         // Idle power keeps the node a few degrees above ambient, so the
         // post-burn drop is modest (the paper's Figure 2(b) shows the same
         // partial cool-down while foo2's timer runs).
-        assert!(at(60_000_000_000) < at(30_000_000_000) - 1.0, "cooled after");
+        assert!(
+            at(60_000_000_000) < at(30_000_000_000) - 1.0,
+            "cooled after"
+        );
     }
 
     #[test]
@@ -323,7 +332,10 @@ mod tests {
             .collect();
         let spread = finals.iter().cloned().fold(f64::MIN, f64::max)
             - finals.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread > 2.0, "per-node spread {spread} °F too small: {finals:?}");
+        assert!(
+            spread > 2.0,
+            "per-node spread {spread} °F too small: {finals:?}"
+        );
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl ClusterSpec {
 
     /// All ranks placed on `node` in an `np`-rank job.
     pub fn ranks_on_node(&self, node: usize, np: usize) -> Vec<usize> {
-        (0..np).filter(|&r| self.place(r, np).node == node).collect()
+        (0..np)
+            .filter(|&r| self.place(r, np).node == node)
+            .collect()
     }
 }
 

@@ -64,7 +64,10 @@ pub fn hotspots(profile: &NodeProfile, k: usize) -> Vec<HotSpot> {
             })
         })
         .collect();
-    spots.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    // total_cmp: a NaN score (possible when thermal data degraded to NaN
+    // summaries) must not panic the sort; descending total order sinks
+    // -NaN to the bottom and keeps the ranking deterministic.
+    spots.sort_by(|a, b| b.score.total_cmp(&a.score));
     spots.truncate(k);
     spots
 }
@@ -279,7 +282,11 @@ mod tests {
                 .map(|i| {
                     let t = i as f64 * 0.1;
                     // Flat until 1.5 s, then ramp at 4 °F/s.
-                    let v = if t < 1.5 { 100.0 } else { 100.0 + (t - 1.5) * 4.0 };
+                    let v = if t < 1.5 {
+                        100.0
+                    } else {
+                        100.0 + (t - 1.5) * 4.0
+                    };
                     (t, v + offset)
                 })
                 .collect(),
@@ -293,7 +300,9 @@ mod tests {
     fn sync_rise_not_detected_when_one_node_flat() {
         let ramp = TimeSeries {
             label: "r".into(),
-            points: (0..50).map(|i| (i as f64 * 0.1, 100.0 + i as f64)).collect(),
+            points: (0..50)
+                .map(|i| (i as f64 * 0.1, 100.0 + i as f64))
+                .collect(),
         };
         let flat = TimeSeries {
             label: "f".into(),
@@ -381,7 +390,11 @@ mod tests {
         let after = quick_profile(42.0, 22); // cooler but slower
         let deltas = compare_profiles(&before, &after);
         let hot = deltas.iter().find(|d| d.name == "hot_fn").unwrap();
-        assert!(hot.dtemp_f < -5.0, "should report cooling, got {}", hot.dtemp_f);
+        assert!(
+            hot.dtemp_f < -5.0,
+            "should report cooling, got {}",
+            hot.dtemp_f
+        );
         assert!(hot.dtime_secs > 1.0, "should report slowdown");
     }
 }

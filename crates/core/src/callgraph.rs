@@ -75,12 +75,14 @@ impl CallGraph {
 
     /// The edge between two functions, if any calls happened.
     pub fn edge(&self, caller: FunctionId, callee: FunctionId) -> Option<CallEdge> {
-        self.edges.get(&(caller, callee)).map(|&(calls, child_ns)| CallEdge {
-            caller,
-            callee,
-            calls,
-            child_ns,
-        })
+        self.edges
+            .get(&(caller, callee))
+            .map(|&(calls, child_ns)| CallEdge {
+                caller,
+                callee,
+                calls,
+                child_ns,
+            })
     }
 
     /// Everyone `caller` calls, sorted by child time descending.
@@ -125,7 +127,8 @@ impl CallGraph {
     /// Render a gprof-style call-graph listing.
     pub fn render(&self, name_of: &dyn Fn(FunctionId) -> String) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("caller              -> callee               calls   child(s)\n");
+        let mut out =
+            String::from("caller              -> callee               calls   child(s)\n");
         let mut rows: Vec<CallEdge> = self
             .edges
             .iter()

@@ -43,7 +43,9 @@ pub fn correlate(timeline: &Timeline, samples: &[SensorReading]) -> Correlation 
         return result;
     }
     let intervals = &timeline.intervals; // sorted by start_ns
-    debug_assert!(samples.windows(2).all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+    debug_assert!(samples
+        .windows(2)
+        .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
 
     // Active set of interval indices; entries are lazily removed when
     // their interval has ended.
@@ -182,7 +184,11 @@ mod tests {
         let tl = micro_d_timeline();
         let c = correlate(
             &tl,
-            &[sample(5, S0, 40.0), sample(5, S1, 25.0), sample(65, S0, 41.0)],
+            &[
+                sample(5, S0, 40.0),
+                sample(5, S1, 25.0),
+                sample(65, S0, 41.0),
+            ],
         );
         let main = &c.per_function[&MAIN];
         assert_eq!(main.inclusive[&S0].len(), 2);
@@ -200,7 +206,10 @@ mod tests {
         );
         let foo2 = &c.per_function[&FOO2].inclusive[&S0];
         assert_eq!(foo2.len(), 2);
-        assert!((foo2[1] - foo2[0] - 18.0).abs() < 1e-9, "10 °C = 18 °F apart");
+        assert!(
+            (foo2[1] - foo2[0] - 18.0).abs() < 1e-9,
+            "10 °C = 18 °F apart"
+        );
     }
 
     #[test]

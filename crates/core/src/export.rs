@@ -98,7 +98,10 @@ pub fn profile_to_markdown(profile: &NodeProfile) -> String {
             f.calls
         );
         if !f.significant {
-            let _ = writeln!(out, "_below the sampling interval; no thermal statistics_\n");
+            let _ = writeln!(
+                out,
+                "_below the sampling interval; no thermal statistics_\n"
+            );
             continue;
         }
         let _ = writeln!(out, "| sensor | min | avg | max | sdv | var | med | mod |");
@@ -148,7 +151,13 @@ mod tests {
         }];
         let tl = Timeline::build(&events);
         let samples: Vec<SensorReading> = (0..40)
-            .map(|i| SensorReading::new(SensorId(0), i * 250_000_000, Temperature::from_celsius(40.0)))
+            .map(|i| {
+                SensorReading::new(
+                    SensorId(0),
+                    i * 250_000_000,
+                    Temperature::from_celsius(40.0),
+                )
+            })
             .collect();
         let corr = correlate(&tl, &samples);
         build_profiles(NodeMeta::anonymous(), &defs, &tl, &corr, &samples)
@@ -162,7 +171,7 @@ mod tests {
         let row = lines.next().unwrap();
         assert!(row.contains("\"main,with(comma)\""));
         assert!(row.contains("104.00")); // 40 °C avg
-        // Header columns == row columns (quotes protect the comma).
+                                         // Header columns == row columns (quotes protect the comma).
         assert_eq!(csv.lines().next().unwrap().split(',').count(), 15);
     }
 

@@ -52,7 +52,7 @@ pub mod stats;
 pub mod timeline;
 
 pub use merge::ClusterProfile;
-pub use parser::{analyze_trace, AnalysisOptions};
-pub use profile::{FunctionProfile, NodeProfile};
+pub use parser::{analyze_trace, analyze_trace_salvaged, AnalysisOptions, ParseError};
+pub use profile::{DataQuality, FunctionProfile, NodeProfile};
 pub use stats::SummaryStats;
 pub use timeline::{Interval, Timeline};

@@ -12,10 +12,21 @@ use crate::stats::{Summary, SummaryStats};
 use tempest_sensors::SensorKind;
 
 /// The profiles of every node in one parallel run.
+///
+/// A cluster profile tolerates *partial* runs: nodes whose traces were
+/// lost entirely simply don't appear in `nodes`, and
+/// [`ClusterProfile::with_expected`] records how many ranks the run was
+/// supposed to have so [`missing_node_ids`](ClusterProfile::missing_node_ids)
+/// and [`node_coverage`](ClusterProfile::node_coverage) can report the
+/// shortfall. All cross-node statistics are computed over the surviving
+/// nodes only.
 #[derive(Debug, Clone)]
 pub struct ClusterProfile {
     /// Per-node profiles, sorted by node id.
     pub nodes: Vec<NodeProfile>,
+    /// How many nodes the run was configured with, when known. `None`
+    /// means "assume `nodes` is complete".
+    pub expected_nodes: Option<usize>,
 }
 
 /// One node's headline thermal numbers (over its CPU sensors).
@@ -36,12 +47,72 @@ impl ClusterProfile {
     /// Wrap per-node profiles, sorted by node id.
     pub fn new(mut nodes: Vec<NodeProfile>) -> Self {
         nodes.sort_by_key(|n| n.node.node_id);
-        ClusterProfile { nodes }
+        ClusterProfile {
+            nodes,
+            expected_nodes: None,
+        }
+    }
+
+    /// Wrap the per-node profiles that *survived* a run of
+    /// `expected_nodes` ranks. Profiles that could not be produced (trace
+    /// missing, unsalvageable) are simply absent from `nodes`.
+    pub fn with_expected(nodes: Vec<NodeProfile>, expected_nodes: usize) -> Self {
+        let mut c = ClusterProfile::new(nodes);
+        c.expected_nodes = Some(expected_nodes);
+        c
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Node ids the run expected but has no profile for. Empty when the
+    /// expected count is unknown or everything survived. Node ids are
+    /// assumed to be the ranks `0..expected_nodes`.
+    pub fn missing_node_ids(&self) -> Vec<u32> {
+        let Some(expected) = self.expected_nodes else {
+            return Vec::new();
+        };
+        (0..expected as u32)
+            .filter(|id| !self.nodes.iter().any(|n| n.node.node_id == *id))
+            .collect()
+    }
+
+    /// Fraction (0.0–1.0) of expected nodes that produced a profile.
+    /// 1.0 when the expected count is unknown.
+    pub fn node_coverage(&self) -> f64 {
+        match self.expected_nodes {
+            Some(0) | None => 1.0,
+            Some(expected) => (self.nodes.len() as f64 / expected as f64).min(1.0),
+        }
+    }
+
+    /// One line per node summarising its
+    /// [`DataQuality`](crate::profile::DataQuality), plus a line per
+    /// missing node — the cluster-wide damage report `tempest doctor`
+    /// prints.
+    pub fn quality_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for n in &self.nodes {
+            let state = if n.quality.is_pristine() {
+                "ok"
+            } else {
+                "degraded"
+            };
+            let _ = writeln!(
+                out,
+                "node{:<4} {:<9} {}",
+                n.node.node_id + 1,
+                state,
+                n.quality
+            );
+        }
+        for id in self.missing_node_ids() {
+            let _ = writeln!(out, "node{:<4} missing   no trace recovered", id + 1);
+        }
+        out
     }
 
     /// Per-node headline summary over CPU sensors, using the top-level
@@ -72,7 +143,11 @@ impl ClusterProfile {
                 NodeThermalSummary {
                     node_id: n.node.node_id,
                     hostname: n.node.hostname.clone(),
-                    avg_f: if count > 0 { sum / count as f64 } else { f64::NAN },
+                    avg_f: if count > 0 {
+                        sum / count as f64
+                    } else {
+                        f64::NAN
+                    },
                     max_f: if count > 0 { max } else { f64::NAN },
                 }
             })
@@ -110,10 +185,13 @@ impl ClusterProfile {
                     return None;
                 }
                 // Hottest sensor by average.
+                // A NaN average (degraded sensor data) must neither panic
+                // the cluster merge nor win the hottest-sensor pick.
                 let best = f
                     .thermal
                     .iter()
-                    .max_by(|a, b| a.1.avg.partial_cmp(&b.1.avg).unwrap())?;
+                    .filter(|(_, s)| s.avg.is_finite())
+                    .max_by(|a, b| a.1.avg.total_cmp(&b.1.avg))?;
                 Some((n.node.node_id, *best.1))
             })
             .collect()

@@ -145,7 +145,10 @@ pub fn attribute_phases(
                     *occupancy.entry(iv.func).or_default() += (hi - lo) * (iv.depth as u64 + 1);
                 }
             }
-            let dominant = occupancy.into_iter().max_by_key(|&(_, ns)| ns).map(|(f, _)| f);
+            let dominant = occupancy
+                .into_iter()
+                .max_by_key(|&(_, ns)| ns)
+                .map(|(f, _)| f);
             (phase.clone(), dominant)
         })
         .collect()
@@ -165,10 +168,7 @@ pub struct FunctionTrait {
 
 /// Aggregate phase attribution into per-function thermal traits, sorted
 /// hottest-trait first.
-pub fn function_traits(
-    phases: &[ThermalPhase],
-    timeline: &Timeline,
-) -> Vec<FunctionTrait> {
+pub fn function_traits(phases: &[ThermalPhase], timeline: &Timeline) -> Vec<FunctionTrait> {
     let mut acc: HashMap<FunctionId, (f64, f64)> = HashMap::new(); // (Σ delta, Σ secs)
     for (phase, func) in attribute_phases(phases, timeline) {
         if let Some(f) = func {
@@ -186,7 +186,8 @@ pub fn function_traits(
             seconds: secs,
         })
         .collect();
-    traits.sort_by(|a, b| b.rate_f_per_s.partial_cmp(&a.rate_f_per_s).unwrap());
+    // total_cmp keeps the sort panic-free if a rate degraded to NaN.
+    traits.sort_by(|a, b| b.rate_f_per_s.total_cmp(&a.rate_f_per_s));
     traits
 }
 
@@ -264,9 +265,15 @@ mod tests {
         let phases = segment_phases(&ramp_samples(), S0, 4, 0.1);
         let attributed = attribute_phases(&phases, &ramp_timeline());
         // The warming phase belongs to HOT, the cooling one to COOL.
-        let warming = attributed.iter().find(|(p, _)| p.trend == Trend::Warming).unwrap();
+        let warming = attributed
+            .iter()
+            .find(|(p, _)| p.trend == Trend::Warming)
+            .unwrap();
         assert_eq!(warming.1, Some(HOT));
-        let cooling = attributed.iter().find(|(p, _)| p.trend == Trend::Cooling).unwrap();
+        let cooling = attributed
+            .iter()
+            .find(|(p, _)| p.trend == Trend::Cooling)
+            .unwrap();
         assert_eq!(cooling.1, Some(COOL));
     }
 

@@ -249,10 +249,10 @@ mod tests {
         use tempest_probe::event::{Event, ThreadId};
         use tempest_probe::func::FunctionId;
         let tl = Timeline::build(&[
-            Event::enter(0, ThreadId(0), FunctionId(0)),      // main
-            Event::enter(0, ThreadId(0), FunctionId(1)),      // foo1 first half
+            Event::enter(0, ThreadId(0), FunctionId(0)), // main
+            Event::enter(0, ThreadId(0), FunctionId(1)), // foo1 first half
             Event::exit(50, ThreadId(0), FunctionId(1)),
-            Event::enter(50, ThreadId(0), FunctionId(2)),     // goo2 second half
+            Event::enter(50, ThreadId(0), FunctionId(2)), // goo2 second half
             Event::exit(100, ThreadId(0), FunctionId(2)),
             Event::exit(100, ThreadId(0), FunctionId(0)),
         ]);

@@ -14,8 +14,108 @@ use crate::stats::{Summary, SummaryStats};
 use crate::timeline::{Timeline, TimelineWarning};
 use std::collections::BTreeMap;
 use tempest_probe::func::FunctionDef;
-use tempest_probe::trace::NodeMeta;
+use tempest_probe::trace::{NodeMeta, SalvageReport};
 use tempest_sensors::{SensorId, SensorReading};
+
+/// Per-node accounting of how much data survived the sense→trace→parse
+/// pipeline, attached to every [`NodeProfile`].
+///
+/// A pristine run reports zeros everywhere and a coverage of 1.0. Every
+/// recovery action — salvaging a truncated file, dropping an event with a
+/// poisoned function id, skipping a non-monotonic timestamp window,
+/// discarding a NaN sample — is counted here instead of silently absorbed,
+/// so a profile built from damaged inputs advertises exactly what it lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataQuality {
+    /// Whether the profile was produced with recovery enabled
+    /// ([`crate::parser::AnalysisOptions::recover`]).
+    pub recovered: bool,
+    /// Scope (enter/exit) events inspected by the parser.
+    pub events_seen: usize,
+    /// Events dropped because their function id was absent from the
+    /// symbol table (recover mode only; a strict parse errors instead).
+    pub events_dropped_unknown_func: usize,
+    /// Events dropped by the greedy monotonic-timestamp filter
+    /// (recover mode only).
+    pub events_dropped_nonmonotonic: usize,
+    /// Events the trace file declared but salvage could not recover.
+    pub events_lost_in_salvage: u64,
+    /// Samples the trace file declared but salvage could not recover.
+    pub samples_lost_in_salvage: u64,
+    /// Non-finite sample temperatures discarded (during salvage or by the
+    /// recovering parser).
+    pub nonfinite_samples_skipped: u64,
+    /// Explicit gap markers in the trace — each records one sensor read
+    /// the tempd daemon could not obtain.
+    pub gap_events: usize,
+    /// Estimated sensor time lost to gaps: gap count × sampling interval.
+    pub gap_time_ns: u64,
+    /// Fraction (0.0–1.0) of expected sensor samples actually present,
+    /// measured against the node's sensor inventory and its best-covered
+    /// sensor. 1.0 = full coverage.
+    pub sensor_coverage: f64,
+}
+
+impl Default for DataQuality {
+    fn default() -> Self {
+        DataQuality {
+            recovered: false,
+            events_seen: 0,
+            events_dropped_unknown_func: 0,
+            events_dropped_nonmonotonic: 0,
+            events_lost_in_salvage: 0,
+            samples_lost_in_salvage: 0,
+            nonfinite_samples_skipped: 0,
+            gap_events: 0,
+            gap_time_ns: 0,
+            sensor_coverage: 1.0,
+        }
+    }
+}
+
+impl DataQuality {
+    /// Total events dropped by the parser (unknown-func + non-monotonic).
+    pub fn events_dropped(&self) -> usize {
+        self.events_dropped_unknown_func + self.events_dropped_nonmonotonic
+    }
+
+    /// True when nothing was lost anywhere in the pipeline.
+    pub fn is_pristine(&self) -> bool {
+        self.events_dropped() == 0
+            && self.events_lost_in_salvage == 0
+            && self.samples_lost_in_salvage == 0
+            && self.nonfinite_samples_skipped == 0
+            && self.gap_events == 0
+            && self.sensor_coverage >= 1.0
+    }
+
+    /// Fold a salvage reader's losses into this record.
+    pub fn absorb_salvage(&mut self, report: &SalvageReport) {
+        self.events_lost_in_salvage += report.events_lost();
+        self.samples_lost_in_salvage += report.samples_lost();
+        self.nonfinite_samples_skipped += report.nonfinite_samples_skipped;
+    }
+}
+
+impl std::fmt::Display for DataQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "coverage {:.1}%, {} events dropped ({} unknown-func, {} non-monotonic), \
+             {} events / {} samples lost to truncation, {} non-finite samples, \
+             {} gaps (~{:.2} s)",
+            self.sensor_coverage * 100.0,
+            self.events_dropped(),
+            self.events_dropped_unknown_func,
+            self.events_dropped_nonmonotonic,
+            self.events_lost_in_salvage,
+            self.samples_lost_in_salvage,
+            self.nonfinite_samples_skipped,
+            self.gap_events,
+            self.gap_time_ns as f64 / 1e9,
+        )
+    }
+}
 
 /// One function's complete profile on one node.
 #[derive(Debug, Clone)]
@@ -73,6 +173,8 @@ pub struct NodeProfile {
     pub warnings: Vec<TimelineWarning>,
     /// Sensor samples that fell outside every function interval.
     pub unattributed_samples: usize,
+    /// How much data survived the pipeline (losses, gaps, coverage).
+    pub quality: DataQuality,
 }
 
 impl NodeProfile {
@@ -160,6 +262,7 @@ pub fn build_profiles(
         sample_interval_ns,
         warnings: timeline.warnings.clone(),
         unattributed_samples: correlation.unattributed,
+        quality: DataQuality::default(),
     }
 }
 
@@ -192,10 +295,10 @@ mod tests {
     fn fig2_profile() -> NodeProfile {
         let sec = 1_000_000_000u64;
         let events = vec![
-            Event::enter(0, T0, FunctionId(0)),                 // main
-            Event::enter(0, T0, FunctionId(1)),                 // foo1 0..60 s
+            Event::enter(0, T0, FunctionId(0)), // main
+            Event::enter(0, T0, FunctionId(1)), // foo1 0..60 s
             Event::exit(60 * sec, T0, FunctionId(1)),
-            Event::enter(60 * sec, T0, FunctionId(2)),          // foo2: 1 ms
+            Event::enter(60 * sec, T0, FunctionId(2)), // foo2: 1 ms
             Event::exit(60 * sec + 1_000_000, T0, FunctionId(2)),
             Event::exit(61 * sec, T0, FunctionId(0)),
         ];

@@ -44,15 +44,14 @@ pub fn mean_failure_rate(series_c: &[f64], reference: Temperature) -> f64 {
 /// function's samples) against the node's coolest observed temperature.
 pub fn profile_reliability_cost(profile: &NodeProfile) -> Option<f64> {
     let top = profile.functions.first()?;
+    // Skip NaN averages (degraded sensor data) rather than panicking or
+    // letting a NaN win the hottest-sensor pick.
     let hottest = top
         .thermal
         .values()
-        .max_by(|a, b| a.avg.partial_cmp(&b.avg).unwrap())?;
-    let reference_f = top
-        .thermal
-        .values()
-        .map(|s| s.min)
-        .fold(f64::MAX, f64::min);
+        .filter(|s| s.avg.is_finite())
+        .max_by(|a, b| a.avg.total_cmp(&b.avg))?;
+    let reference_f = top.thermal.values().map(|s| s.min).fold(f64::MAX, f64::min);
     let reference = Temperature::from_fahrenheit(reference_f);
     // Approximate the distribution by its summary: use avg (the series
     // itself is not retained in the profile).

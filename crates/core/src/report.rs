@@ -35,7 +35,11 @@ pub fn render_stdout(profile: &NodeProfile) -> String {
         );
     }
     if !profile.warnings.is_empty() {
-        let _ = writeln!(out, "({} trace repairs during parsing)", profile.warnings.len());
+        let _ = writeln!(
+            out,
+            "({} trace repairs during parsing)",
+            profile.warnings.len()
+        );
     }
     out
 }

@@ -132,7 +132,7 @@ impl Timeline {
             let (func, is_enter) = match e.kind {
                 EventKind::Enter { func } => (func, true),
                 EventKind::Exit { func } => (func, false),
-                EventKind::Sample { .. } => continue,
+                EventKind::Sample { .. } | EventKind::Gap { .. } => continue,
             };
             let t = e.timestamp_ns;
             let stack = stacks.entry(e.thread).or_default();
@@ -388,7 +388,10 @@ mod tests {
         assert_eq!(tl.warnings.len(), 1);
         assert!(matches!(
             tl.warnings[0],
-            TimelineWarning::UnclosedFrames { thread: T0, count: 1 }
+            TimelineWarning::UnclosedFrames {
+                thread: T0,
+                count: 1
+            }
         ));
         let main_iv = tl.intervals.iter().find(|i| i.func == MAIN).unwrap();
         assert!(main_iv.truncated);

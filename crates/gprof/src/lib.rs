@@ -54,7 +54,7 @@ impl FlatProfile {
             let (func, is_enter) = match e.kind {
                 EventKind::Enter { func } => (func, true),
                 EventKind::Exit { func } => (func, false),
-                EventKind::Sample { .. } => continue,
+                EventKind::Sample { .. } | EventKind::Gap { .. } => continue,
             };
             first.get_or_insert(e.timestamp_ns);
             last = last.max(e.timestamp_ns);

@@ -299,9 +299,6 @@ mod tests {
         v.set_ns(5_000_000);
         let skewed = SkewedClock::new(v.clone(), 12_345, 0.0);
         let est = estimate_offset(&v, &skewed, 10);
-        assert!(
-            (est - 12_345).abs() <= 1,
-            "estimated {est}, true 12345"
-        );
+        assert!((est - 12_345).abs() <= 1, "estimated {est}, true 12345");
     }
 }

@@ -1,0 +1,245 @@
+//! Trace-corruption injectors for robustness testing.
+//!
+//! The salvage reader ([`crate::trace::Trace::read_salvage`]) and the
+//! recovering parser downstream both exist to survive damage that real
+//! deployments produce: a node that crashed or ran out of disk mid-write
+//! (truncation), an instrumentation bug or buffer overrun that lost exit
+//! events, clock steps that locally scrambled timestamps, and memory
+//! corruption that poisoned symbol-table ids. This module *manufactures*
+//! each of those, deterministically, so tests can assert exact recovery
+//! behaviour. All injectors either operate on the serialized byte stream
+//! (truncation) or on a decoded [`Trace`] in memory (the rest).
+
+use crate::event::EventKind;
+use crate::func::FunctionId;
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Truncate serialized trace bytes to `len` bytes — what a crashed or
+/// disk-full writer leaves behind. Returns the (possibly shorter) prefix.
+pub fn truncate_at_byte(bytes: &[u8], len: usize) -> Vec<u8> {
+    bytes[..len.min(bytes.len())].to_vec()
+}
+
+/// Truncate serialized trace bytes to the given fraction of their length
+/// (`0.0 ..= 1.0`).
+pub fn truncate_at_fraction(bytes: &[u8], fraction: f64) -> Vec<u8> {
+    let len = (bytes.len() as f64 * fraction.clamp(0.0, 1.0)) as usize;
+    truncate_at_byte(bytes, len)
+}
+
+/// Deterministic, seeded in-memory trace corruptor.
+#[derive(Debug)]
+pub struct TraceCorruptor {
+    rng: StdRng,
+}
+
+impl TraceCorruptor {
+    /// A corruptor whose probabilistic injectors draw from `seed`.
+    pub fn new(seed: u64) -> Self {
+        TraceCorruptor {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Delete each `Exit` event independently with `probability` — models
+    /// lost exit hooks (longjmp, abort, instrumentation buffer overrun).
+    /// Returns how many exits were dropped.
+    pub fn drop_exit_events(&mut self, trace: &mut Trace, probability: f64) -> usize {
+        let p = probability.clamp(0.0, 1.0);
+        let before = trace.events.len();
+        let rng = &mut self.rng;
+        trace
+            .events
+            .retain(|e| !(matches!(e.kind, EventKind::Exit { .. }) && rng.gen_bool(p)));
+        before - trace.events.len()
+    }
+
+    /// Scramble event timestamps inside a window: each event in
+    /// `[start_ns, start_ns + window_ns)` gets a fresh timestamp drawn
+    /// uniformly from that window — models a clock step or an unserialised
+    /// multi-writer race. The event *order* in the vector is left as-is,
+    /// so timestamps become locally non-monotonic. Returns how many events
+    /// were rewritten.
+    pub fn shuffle_timestamp_window(
+        &mut self,
+        trace: &mut Trace,
+        start_ns: u64,
+        window_ns: u64,
+    ) -> usize {
+        if window_ns == 0 {
+            return 0;
+        }
+        let end = start_ns.saturating_add(window_ns);
+        let mut hit = 0;
+        for e in &mut trace.events {
+            if (start_ns..end).contains(&e.timestamp_ns) {
+                e.timestamp_ns = self.rng.gen_range(start_ns..end);
+                hit += 1;
+            }
+        }
+        hit
+    }
+
+    /// Rewrite each scope event's function id, with `probability`, to an id
+    /// absent from the symbol table — models a poisoned symbol table or id
+    /// stream. Returns how many events were poisoned.
+    pub fn poison_symbol_ids(&mut self, trace: &mut Trace, probability: f64) -> usize {
+        let p = probability.clamp(0.0, 1.0);
+        let poison_base = trace
+            .functions
+            .iter()
+            .map(|f| f.id.0)
+            .max()
+            .map_or(1_000_000, |m| m + 1_000_000);
+        let mut hit = 0;
+        for e in &mut trace.events {
+            let func = match &mut e.kind {
+                EventKind::Enter { func } | EventKind::Exit { func } => func,
+                _ => continue,
+            };
+            if self.rng.gen_bool(p) {
+                *func = FunctionId(poison_base + hit as u32);
+                hit += 1;
+            }
+        }
+        hit
+    }
+
+    /// Remove every sample from `sensor` — the in-memory equivalent of a
+    /// sensor that was dead for the whole run. Returns how many samples
+    /// were removed.
+    pub fn kill_sensor(&mut self, trace: &mut Trace, sensor: tempest_sensors::SensorId) -> usize {
+        let before = trace.samples.len();
+        trace.samples.retain(|s| s.sensor != sensor);
+        before - trace.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, ThreadId};
+    use crate::func::{FunctionDef, ScopeKind};
+    use crate::trace::NodeMeta;
+    use tempest_sensors::{SensorId, SensorReading, Temperature};
+
+    fn demo_trace() -> Trace {
+        let functions = (0..3)
+            .map(|i| FunctionDef {
+                id: FunctionId(i),
+                name: format!("f{i}"),
+                address: 0x1000 + i as u64,
+                kind: ScopeKind::Function,
+            })
+            .collect();
+        let mut events = Vec::new();
+        for i in 0..50u64 {
+            let f = FunctionId((i % 3) as u32);
+            events.push(Event::enter(i * 100, ThreadId(0), f));
+            events.push(Event::exit(i * 100 + 50, ThreadId(0), f));
+        }
+        let samples = (0..20u64)
+            .map(|i| {
+                SensorReading::new(
+                    SensorId((i % 2) as u16),
+                    i * 250,
+                    Temperature::from_celsius(40.0),
+                )
+            })
+            .collect();
+        Trace {
+            node: NodeMeta::anonymous(),
+            functions,
+            events,
+            samples,
+        }
+    }
+
+    #[test]
+    fn truncation_helpers_clip() {
+        let bytes = vec![0u8; 100];
+        assert_eq!(truncate_at_byte(&bytes, 60).len(), 60);
+        assert_eq!(truncate_at_byte(&bytes, 1_000).len(), 100);
+        assert_eq!(truncate_at_fraction(&bytes, 0.6).len(), 60);
+        assert_eq!(truncate_at_fraction(&bytes, 2.0).len(), 100);
+        assert_eq!(truncate_at_fraction(&bytes, -1.0).len(), 0);
+    }
+
+    #[test]
+    fn drop_exit_events_only_touches_exits() {
+        let mut t = demo_trace();
+        let dropped = TraceCorruptor::new(1).drop_exit_events(&mut t, 0.5);
+        assert!(dropped > 0 && dropped < 50, "dropped {dropped}");
+        let enters = t
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Enter { .. }))
+            .count();
+        assert_eq!(enters, 50, "enters untouched");
+        assert_eq!(t.events.len(), 100 - dropped);
+    }
+
+    #[test]
+    fn drop_exit_events_is_deterministic() {
+        let mut a = demo_trace();
+        let mut b = demo_trace();
+        TraceCorruptor::new(7).drop_exit_events(&mut a, 0.3);
+        TraceCorruptor::new(7).drop_exit_events(&mut b, 0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_window_breaks_monotonicity_only_inside_window() {
+        let mut t = demo_trace();
+        let hit = TraceCorruptor::new(3).shuffle_timestamp_window(&mut t, 1_000, 1_000);
+        assert!(hit > 0);
+        for e in &t.events {
+            let original_in_window = (1_000..2_000).contains(&e.timestamp_ns);
+            if !original_in_window {
+                continue;
+            }
+            assert!((1_000..2_000).contains(&e.timestamp_ns));
+        }
+        // Events outside the window keep their exact timestamps.
+        let outside: Vec<u64> = t
+            .events
+            .iter()
+            .map(|e| e.timestamp_ns)
+            .filter(|ts| !(1_000..2_000).contains(ts))
+            .collect();
+        let expected: Vec<u64> = demo_trace()
+            .events
+            .iter()
+            .map(|e| e.timestamp_ns)
+            .filter(|ts| !(1_000..2_000).contains(ts))
+            .collect();
+        assert_eq!(outside, expected);
+    }
+
+    #[test]
+    fn poisoned_ids_are_unknown_to_symbol_table() {
+        let mut t = demo_trace();
+        let hit = TraceCorruptor::new(5).poison_symbol_ids(&mut t, 0.2);
+        assert!(hit > 0);
+        let poisoned = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Enter { func } | EventKind::Exit { func } => Some(func),
+                _ => None,
+            })
+            .filter(|f| t.function(*f).is_none())
+            .count();
+        assert_eq!(poisoned, hit);
+    }
+
+    #[test]
+    fn kill_sensor_removes_exactly_that_sensor() {
+        let mut t = demo_trace();
+        let removed = TraceCorruptor::new(0).kill_sensor(&mut t, SensorId(0));
+        assert_eq!(removed, 10);
+        assert!(t.samples.iter().all(|s| s.sensor == SensorId(1)));
+    }
+}

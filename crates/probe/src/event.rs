@@ -34,6 +34,14 @@ pub enum EventKind {
         /// Reported temperature, thousandths of a °C.
         millicelsius: i32,
     },
+    /// An explicit marker that `tempd` expected a reading from `sensor`
+    /// here but did not get one (dropout, quarantine, or sensor death).
+    /// Downstream consumers use gaps to account coverage honestly instead
+    /// of silently interpolating across missing data.
+    Gap {
+        /// The sensor whose reading is missing.
+        sensor: SensorId,
+    },
 }
 
 /// One timestamped event on a node.
@@ -81,6 +89,15 @@ impl Event {
         }
     }
 
+    /// Missing-reading marker from the tempd sampler.
+    pub fn gap(timestamp_ns: u64, sensor: SensorId) -> Self {
+        Event {
+            timestamp_ns,
+            thread: Self::TEMPD_THREAD,
+            kind: EventKind::Gap { sensor },
+        }
+    }
+
     /// The sample temperature in °C, if this is a sample event.
     pub fn sample_celsius(&self) -> Option<f64> {
         match self.kind {
@@ -116,13 +133,30 @@ mod tests {
         assert_eq!(s.thread, Event::TEMPD_THREAD);
         assert!(!s.is_scope_event());
         assert!((s.sample_celsius().unwrap() - 40.125).abs() < 1e-9);
-        assert_eq!(Event::enter(0, ThreadId(0), FunctionId(0)).sample_celsius(), None);
+        assert_eq!(
+            Event::enter(0, ThreadId(0), FunctionId(0)).sample_celsius(),
+            None
+        );
     }
 
     #[test]
     fn sample_rounds_to_millicelsius() {
         let s = Event::sample(0, SensorId(0), 40.00009);
         assert!((s.sample_celsius().unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_markers_ride_the_tempd_thread() {
+        let g = Event::gap(42, SensorId(1));
+        assert_eq!(g.thread, Event::TEMPD_THREAD);
+        assert_eq!(
+            g.kind,
+            EventKind::Gap {
+                sensor: SensorId(1)
+            }
+        );
+        assert!(!g.is_scope_event());
+        assert_eq!(g.sample_celsius(), None);
     }
 
     #[test]

@@ -95,8 +95,12 @@ mod tests {
         tp.flush();
         let ev = sink.drain();
         assert_eq!(ev.len(), 8); // 4 enters + 4 exits
-        // First four are enters, last four exits (LIFO nesting).
-        assert!(ev[..4].iter().all(|e| matches!(e.kind, EventKind::Enter { .. })));
-        assert!(ev[4..].iter().all(|e| matches!(e.kind, EventKind::Exit { .. })));
+                                 // First four are enters, last four exits (LIFO nesting).
+        assert!(ev[..4]
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::Enter { .. })));
+        assert!(ev[4..]
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::Exit { .. })));
     }
 }

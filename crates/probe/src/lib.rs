@@ -23,12 +23,18 @@
 //!   `-finstrument-functions` path; `profile_block!` is the explicit
 //!   `libtempestperblk.so` basic-block API.
 //! * [`tempd`] — the background sampling daemon.
-//! * [`trace`] — the on-disk trace format and in-memory [`trace::Trace`].
+//! * [`trace`] — the on-disk trace format and in-memory [`trace::Trace`],
+//!   with a strict reader and a salvage reader that recovers the longest
+//!   valid prefix of a damaged file.
+//! * [`corrupt`] — deterministic trace-corruption injectors (truncation,
+//!   dropped exits, timestamp scrambles, poisoned symbol ids) that
+//!   manufacture the damage the salvage/recovery paths must survive.
 //! * [`session`] — ties a profiler, a tempd, and a trace writer together
 //!   for one profiled run.
 
 pub mod buffer;
 pub mod clock;
+pub mod corrupt;
 pub mod event;
 pub mod func;
 pub mod guard;
@@ -40,10 +46,11 @@ pub mod trace;
 
 pub use buffer::{ChannelSink, EventSink, VecSink};
 pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use corrupt::TraceCorruptor;
 pub use event::{Event, EventKind, ThreadId};
 pub use func::{FunctionDef, FunctionId, FunctionRegistry, ScopeKind};
 pub use guard::ScopeGuard;
 pub use profiler::Profiler;
 pub use session::ProfilingSession;
-pub use tempd::{Tempd, TempdConfig, TempdStats};
-pub use trace::{NodeMeta, SensorMeta, Trace};
+pub use tempd::{ResilientSampler, SamplingHealth, Tempd, TempdConfig, TempdStats};
+pub use trace::{NodeMeta, SalvageReport, SensorMeta, Trace, TraceSection};

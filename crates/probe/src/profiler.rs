@@ -110,7 +110,9 @@ impl ThreadProfiler {
     pub fn enter(&self, func: FunctionId) {
         if self.profiler.is_enabled() {
             let ts = self.profiler.clock.now_ns();
-            self.buf.borrow_mut().push(Event::enter(ts, self.thread, func));
+            self.buf
+                .borrow_mut()
+                .push(Event::enter(ts, self.thread, func));
         }
     }
 
@@ -119,7 +121,9 @@ impl ThreadProfiler {
     pub fn exit(&self, func: FunctionId) {
         if self.profiler.is_enabled() {
             let ts = self.profiler.clock.now_ns();
-            self.buf.borrow_mut().push(Event::exit(ts, self.thread, func));
+            self.buf
+                .borrow_mut()
+                .push(Event::exit(ts, self.thread, func));
         }
     }
 

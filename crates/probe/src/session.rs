@@ -256,7 +256,7 @@ mod tests {
         let session = ProfilingSession::start_with_sensors(
             Arc::new(MonotonicClock::new()),
             Box::new(ConstantSource::single(40.0)),
-            TempdConfig { rate_hz: 200.0 },
+            TempdConfig::at_rate(200.0),
         );
         let tp = session.thread_profiler();
         {
@@ -277,7 +277,7 @@ mod tests {
         let session = ProfilingSession::start_with_sensors(
             Arc::new(MonotonicClock::new()),
             Box::new(ConstantSource::single(40.0)),
-            TempdConfig { rate_hz: 500.0 },
+            TempdConfig::at_rate(500.0),
         );
         let tp = session.thread_profiler();
         {
@@ -309,7 +309,7 @@ mod tests {
             &path,
             Arc::new(MonotonicClock::new()),
             Some(Box::new(ConstantSource::single(41.0))),
-            TempdConfig { rate_hz: 200.0 },
+            TempdConfig::at_rate(200.0),
         )
         .unwrap();
         {

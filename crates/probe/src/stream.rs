@@ -46,20 +46,24 @@ impl<W: Write> StreamWriter<W> {
     /// Append a batch of mixed events (scope events and samples are
     /// split into separate chunks).
     pub fn write_batch(&mut self, batch: &[Event]) -> io::Result<()> {
-        let scopes: Vec<&Event> = batch.iter().filter(|e| e.is_scope_event()).collect();
-        let samples: Vec<&Event> = batch.iter().filter(|e| !e.is_scope_event()).collect();
+        // Gap markers travel in the scope-event chunk (they are part of the
+        // event stream, not the sample stream).
+        let is_sample = |e: &&Event| matches!(e.kind, EventKind::Sample { .. });
+        let scopes: Vec<&Event> = batch.iter().filter(|e| !is_sample(e)).collect();
+        let samples: Vec<&Event> = batch.iter().filter(is_sample).collect();
         if !scopes.is_empty() {
             self.out.write_all(&[1u8])?;
             self.out.write_all(&(scopes.len() as u32).to_le_bytes())?;
             for e in scopes {
-                let (tag, func) = match e.kind {
-                    EventKind::Enter { func } => (1u8, func),
-                    EventKind::Exit { func } => (2u8, func),
-                    _ => unreachable!(),
+                let (tag, payload) = match e.kind {
+                    EventKind::Enter { func } => (1u8, func.0),
+                    EventKind::Exit { func } => (2u8, func.0),
+                    EventKind::Gap { sensor } => (3u8, sensor.0 as u32),
+                    EventKind::Sample { .. } => unreachable!(),
                 };
                 self.out.write_all(&[tag])?;
                 self.out.write_all(&e.thread.0.to_le_bytes())?;
-                self.out.write_all(&func.0.to_le_bytes())?;
+                self.out.write_all(&payload.to_le_bytes())?;
                 self.out.write_all(&e.timestamp_ns.to_le_bytes())?;
                 self.events_written += 1;
             }
@@ -68,7 +72,11 @@ impl<W: Write> StreamWriter<W> {
             self.out.write_all(&[2u8])?;
             self.out.write_all(&(samples.len() as u32).to_le_bytes())?;
             for e in &samples {
-                if let EventKind::Sample { sensor, millicelsius } = e.kind {
+                if let EventKind::Sample {
+                    sensor,
+                    millicelsius,
+                } = e.kind
+                {
                     self.out.write_all(&sensor.0.to_le_bytes())?;
                     self.out.write_all(&e.timestamp_ns.to_le_bytes())?;
                     self.out.write_all(&millicelsius.to_le_bytes())?;
@@ -87,7 +95,8 @@ impl<W: Write> StreamWriter<W> {
         self.out.write_all(&1u32.to_le_bytes())?;
         self.out.write_all(&node.node_id.to_le_bytes())?;
         write_str(&mut self.out, &node.hostname)?;
-        self.out.write_all(&(node.sensors.len() as u16).to_le_bytes())?;
+        self.out
+            .write_all(&(node.sensors.len() as u16).to_le_bytes())?;
         for s in &node.sensors {
             self.out.write_all(&s.id.0.to_le_bytes())?;
             self.out.write_all(&[sensor_kind_code(s.kind)])?;
@@ -95,7 +104,8 @@ impl<W: Write> StreamWriter<W> {
         }
         // Tag 3: symbol table.
         self.out.write_all(&[3u8])?;
-        self.out.write_all(&(functions.len() as u32).to_le_bytes())?;
+        self.out
+            .write_all(&(functions.len() as u32).to_le_bytes())?;
         for f in functions {
             self.out.write_all(&f.id.0.to_le_bytes())?;
             self.out.write_all(&f.address.to_le_bytes())?;
@@ -164,11 +174,18 @@ pub fn read_stream<R: Read>(r: &mut R) -> Result<(Trace, bool), TraceError> {
                     };
                     let ev_tag = bytes[0];
                     let thread = ThreadId(u32::from_le_bytes(bytes[1..5].try_into().unwrap()));
-                    let func = FunctionId(u32::from_le_bytes(bytes[5..9].try_into().unwrap()));
+                    let payload = u32::from_le_bytes(bytes[5..9].try_into().unwrap());
                     let ts = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
                     let kind = match ev_tag {
-                        1 => EventKind::Enter { func },
-                        2 => EventKind::Exit { func },
+                        1 => EventKind::Enter {
+                            func: FunctionId(payload),
+                        },
+                        2 => EventKind::Exit {
+                            func: FunctionId(payload),
+                        },
+                        3 => EventKind::Gap {
+                            sensor: SensorId(payload as u16),
+                        },
                         _ => return Err(TraceError::Corrupt("bad stream event tag")),
                     };
                     events.push(Event {

@@ -12,30 +12,69 @@
 //! [`SensorSource`] at a fixed rate, converts readings into
 //! [`Event::sample`] records on the session clock, and accounts its own
 //! busy time so the <1 % CPU claim is measurable (experiment E9).
+//!
+//! ## Graceful degradation
+//!
+//! Real sensors fail (see [`tempest_sensors::faults`] for the taxonomy), so
+//! the sampling loop is resilient rather than trusting: non-finite
+//! temperatures are discarded before they can poison the trace, a sensor
+//! that returns no reading is retried with exponential backoff within the
+//! round, a sensor that misses too many consecutive rounds is quarantined
+//! (no more retry cost; it may rejoin if it starts answering again), and
+//! every reading that remains missing is recorded as an explicit
+//! [`Event::gap`] marker so downstream analysis can account coverage
+//! honestly. [`SamplingHealth`] counts all of it.
 
 use crate::buffer::EventSink;
 use crate::clock::Clock;
 use crate::event::Event;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tempest_sensors::SensorSource;
+use tempest_sensors::{SensorReading, SensorSource};
 
 /// Sampling configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct TempdConfig {
     /// Samples per second per sensor. The paper's default is 4 Hz.
     pub rate_hz: f64,
+    /// How many immediate re-reads to attempt when a sensor produces no
+    /// reading in a round. 0 disables retries.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubled for each further retry.
+    /// `Duration::ZERO` retries immediately.
+    pub retry_backoff: Duration,
+    /// Quarantine a sensor after this many *consecutive* rounds without a
+    /// reading: it stops costing retries (gap markers continue, and it
+    /// rejoins automatically if it answers again). 0 disables quarantine.
+    pub quarantine_after: u32,
+    /// Emit an [`Event::gap`] for every expected-but-missing reading.
+    pub emit_gaps: bool,
 }
 
 impl Default for TempdConfig {
     fn default() -> Self {
-        TempdConfig { rate_hz: 4.0 }
+        TempdConfig {
+            rate_hz: 4.0,
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(500),
+            quarantine_after: 8,
+            emit_gaps: true,
+        }
     }
 }
 
 impl TempdConfig {
+    /// A config with the given sampling rate and default resilience knobs.
+    pub fn at_rate(rate_hz: f64) -> Self {
+        TempdConfig {
+            rate_hz,
+            ..Default::default()
+        }
+    }
+
     /// The sampling interval.
     pub fn interval(&self) -> Duration {
         Duration::from_secs_f64(1.0 / self.rate_hz.max(0.001))
@@ -54,6 +93,39 @@ struct Counters {
     busy_ns: AtomicU64,
 }
 
+/// Degradation accounting for a sampling run: how many reads succeeded,
+/// were retried, recovered, dropped, or turned into gap markers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplingHealth {
+    /// Readings accepted into the event stream.
+    pub reads_ok: u64,
+    /// Expected readings that were ultimately missing for a round.
+    pub missed_reads: u64,
+    /// Retry attempts issued.
+    pub retries: u64,
+    /// Readings obtained only thanks to a retry.
+    pub recovered_reads: u64,
+    /// Readings discarded because the temperature was NaN/∞.
+    pub nonfinite_dropped: u64,
+    /// Gap markers emitted into the event stream.
+    pub gaps_emitted: u64,
+    /// Sensors currently quarantined.
+    pub quarantined_sensors: u64,
+}
+
+impl SamplingHealth {
+    /// Fraction of expected reads that made it into the stream, in
+    /// `[0, 1]`. 1.0 when nothing was expected.
+    pub fn coverage(&self) -> f64 {
+        let expected = self.reads_ok + self.missed_reads;
+        if expected == 0 {
+            1.0
+        } else {
+            self.reads_ok as f64 / expected as f64
+        }
+    }
+}
+
 /// Final statistics after shutdown.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TempdStats {
@@ -63,6 +135,8 @@ pub struct TempdStats {
     pub busy_ns: u64,
     /// Wall time the daemon ran, ns.
     pub wall_ns: u64,
+    /// Degradation accounting for the run.
+    pub health: SamplingHealth,
 }
 
 impl TempdStats {
@@ -77,12 +151,139 @@ impl TempdStats {
     }
 }
 
+/// Per-sensor failure-tracking state.
+#[derive(Debug, Clone, Copy, Default)]
+struct SensorHealth {
+    consecutive_misses: u32,
+    quarantined: bool,
+}
+
+/// The resilient sampling round engine shared by the daemon thread and by
+/// callers that schedule rounds themselves (simulators, tests).
+///
+/// One instance tracks per-sensor health across rounds; feed it the same
+/// source every round.
+pub struct ResilientSampler {
+    config: TempdConfig,
+    sensors: Vec<SensorHealth>,
+    totals: SamplingHealth,
+    readings: Vec<SensorReading>,
+    retry_buf: Vec<SensorReading>,
+    batch: Vec<Event>,
+}
+
+impl ResilientSampler {
+    /// A fresh sampler; sensor health starts clean.
+    pub fn new(config: TempdConfig) -> Self {
+        ResilientSampler {
+            config,
+            sensors: Vec::new(),
+            totals: SamplingHealth::default(),
+            readings: Vec::new(),
+            retry_buf: Vec::new(),
+            batch: Vec::new(),
+        }
+    }
+
+    /// Cumulative health counters across all rounds so far.
+    pub fn health(&self) -> SamplingHealth {
+        self.totals
+    }
+
+    /// Take one sampling round: read every sensor, retry the silent ones,
+    /// quarantine repeat offenders, and submit samples plus gap markers to
+    /// `sink`.
+    pub fn round(
+        &mut self,
+        source: &mut dyn SensorSource,
+        timestamp_ns: u64,
+        sink: &dyn EventSink,
+    ) {
+        let inventory: Vec<_> = source.sensors().iter().map(|s| s.id).collect();
+        self.sensors
+            .resize(inventory.len(), SensorHealth::default());
+
+        self.readings.clear();
+        source.sample_into(timestamp_ns, &mut self.readings);
+        let dropped = drop_nonfinite(&mut self.readings);
+        self.totals.nonfinite_dropped += dropped;
+
+        self.batch.clear();
+        for (idx, &id) in inventory.iter().enumerate() {
+            let mut reading = self.readings.iter().find(|r| r.sensor == id).copied();
+
+            // Retry silent, non-quarantined sensors with exponential backoff.
+            if reading.is_none() && !self.sensors[idx].quarantined {
+                let mut backoff = self.config.retry_backoff;
+                for _ in 0..self.config.max_retries {
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff *= 2;
+                    }
+                    self.totals.retries += 1;
+                    self.retry_buf.clear();
+                    source.sample_into(timestamp_ns, &mut self.retry_buf);
+                    self.totals.nonfinite_dropped += drop_nonfinite(&mut self.retry_buf);
+                    reading = self.retry_buf.iter().find(|r| r.sensor == id).copied();
+                    if reading.is_some() {
+                        self.totals.recovered_reads += 1;
+                        break;
+                    }
+                }
+            }
+
+            match reading {
+                Some(r) => {
+                    self.totals.reads_ok += 1;
+                    let state = &mut self.sensors[idx];
+                    state.consecutive_misses = 0;
+                    if state.quarantined {
+                        // The sensor answered again: lift the quarantine.
+                        state.quarantined = false;
+                        self.totals.quarantined_sensors -= 1;
+                    }
+                    self.batch.push(Event::sample(
+                        r.timestamp_ns,
+                        r.sensor,
+                        r.temperature.celsius(),
+                    ));
+                }
+                None => {
+                    self.totals.missed_reads += 1;
+                    let state = &mut self.sensors[idx];
+                    state.consecutive_misses = state.consecutive_misses.saturating_add(1);
+                    if !state.quarantined
+                        && self.config.quarantine_after > 0
+                        && state.consecutive_misses >= self.config.quarantine_after
+                    {
+                        state.quarantined = true;
+                        self.totals.quarantined_sensors += 1;
+                    }
+                    if self.config.emit_gaps {
+                        self.totals.gaps_emitted += 1;
+                        self.batch.push(Event::gap(timestamp_ns, id));
+                    }
+                }
+            }
+        }
+        sink.submit(&self.batch);
+    }
+}
+
+/// Remove non-finite temperatures in place; returns how many were dropped.
+fn drop_nonfinite(readings: &mut Vec<SensorReading>) -> u64 {
+    let before = readings.len();
+    readings.retain(|r| r.temperature.celsius().is_finite());
+    (before - readings.len()) as u64
+}
+
 /// A running sampling daemon. Dropping the handle stops the thread (the
 /// analogue of the destructor that "sends a signal to tempd for
 /// termination", §3.2).
 pub struct Tempd {
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    health: Arc<Mutex<SamplingHealth>>,
     started: Instant,
     thread: Option<JoinHandle<()>>,
 }
@@ -98,28 +299,22 @@ impl Tempd {
     ) -> Tempd {
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
+        let health = Arc::new(Mutex::new(SamplingHealth::default()));
         let thread_stop = Arc::clone(&stop);
         let thread_counters = Arc::clone(&counters);
+        let thread_health = Arc::clone(&health);
         let interval = config.interval();
 
         let thread = std::thread::Builder::new()
             .name("tempd".to_string())
             .spawn(move || {
-                let mut readings = Vec::with_capacity(source.sensor_count());
-                let mut batch = Vec::with_capacity(source.sensor_count());
+                let mut sampler = ResilientSampler::new(config);
                 let mut next_tick = Instant::now();
                 while !thread_stop.load(Ordering::Relaxed) {
                     let t0 = Instant::now();
                     let ts = clock.now_ns();
-                    readings.clear();
-                    source.sample_into(ts, &mut readings);
-                    batch.clear();
-                    batch.extend(
-                        readings
-                            .iter()
-                            .map(|r| Event::sample(r.timestamp_ns, r.sensor, r.temperature.celsius())),
-                    );
-                    sink.submit(&batch);
+                    sampler.round(&mut *source, ts, &*sink);
+                    *thread_health.lock() = sampler.health();
                     thread_counters.rounds.fetch_add(1, Ordering::Relaxed);
                     thread_counters
                         .busy_ns
@@ -141,6 +336,7 @@ impl Tempd {
         Tempd {
             stop,
             counters,
+            health,
             started: Instant::now(),
             thread: Some(thread),
         }
@@ -160,6 +356,7 @@ impl Tempd {
             rounds: self.counters.rounds.load(Ordering::Relaxed),
             busy_ns: self.counters.busy_ns.load(Ordering::Relaxed),
             wall_ns: self.started.elapsed().as_nanos() as u64,
+            health: *self.health.lock(),
         }
     }
 }
@@ -174,13 +371,24 @@ impl Drop for Tempd {
 
 /// Synchronously take one sampling round — used by the cluster simulator,
 /// which schedules sampling on virtual time instead of running a thread.
+///
+/// Stateless (no retry/quarantine history across calls), but degradation-
+/// aware within the round: non-finite temperatures are dropped and every
+/// inventory sensor with no surviving reading gets an [`Event::gap`]
+/// marker. Use [`ResilientSampler`] to also get retries and quarantine.
 pub fn sample_round(source: &mut dyn SensorSource, timestamp_ns: u64, sink: &dyn EventSink) {
     let mut readings = Vec::with_capacity(source.sensor_count());
     source.sample_into(timestamp_ns, &mut readings);
-    let batch: Vec<Event> = readings
+    drop_nonfinite(&mut readings);
+    let mut batch: Vec<Event> = readings
         .iter()
         .map(|r| Event::sample(r.timestamp_ns, r.sensor, r.temperature.celsius()))
         .collect();
+    for info in source.sensors() {
+        if !readings.iter().any(|r| r.sensor == info.id) {
+            batch.push(Event::gap(timestamp_ns, info.id));
+        }
+    }
     sink.submit(&batch);
 }
 
@@ -190,7 +398,9 @@ mod tests {
     use crate::buffer::VecSink;
     use crate::clock::MonotonicClock;
     use crate::event::EventKind;
+    use tempest_sensors::faults::{FaultPlan, FaultySensorSource};
     use tempest_sensors::source::ConstantSource;
+    use tempest_sensors::SensorId;
 
     #[test]
     fn samples_at_roughly_configured_rate() {
@@ -200,7 +410,7 @@ mod tests {
             Box::new(ConstantSource::single(40.0)),
             clock,
             sink.clone(),
-            TempdConfig { rate_hz: 50.0 },
+            TempdConfig::at_rate(50.0),
         );
         std::thread::sleep(Duration::from_millis(300));
         let stats = tempd.shutdown();
@@ -211,6 +421,8 @@ mod tests {
             stats.rounds
         );
         assert_eq!(sink.len() as u64, stats.rounds);
+        assert_eq!(stats.health.missed_reads, 0);
+        assert_eq!(stats.health.coverage(), 1.0);
     }
 
     #[test]
@@ -221,7 +433,7 @@ mod tests {
             Box::new(ConstantSource::single(42.5)),
             clock,
             sink.clone(),
-            TempdConfig { rate_hz: 100.0 },
+            TempdConfig::at_rate(100.0),
         );
         std::thread::sleep(Duration::from_millis(100));
         tempd.shutdown();
@@ -262,7 +474,7 @@ mod tests {
                 Box::new(ConstantSource::single(40.0)),
                 clock,
                 sink.clone(),
-                TempdConfig { rate_hz: 100.0 },
+                TempdConfig::at_rate(100.0),
             );
             std::thread::sleep(Duration::from_millis(50));
         } // dropped here
@@ -293,8 +505,241 @@ mod tests {
     }
 
     #[test]
+    fn sample_round_marks_gaps_for_dead_sensors() {
+        let sink = VecSink::new();
+        let plan = FaultPlan::new(1).dead_after(SensorId(0), 0);
+        let mut src = FaultySensorSource::new(
+            Box::new(ConstantSource::new(vec![
+                (
+                    "a".into(),
+                    tempest_sensors::SensorKind::CpuCore,
+                    tempest_sensors::Temperature::from_celsius(40.0),
+                ),
+                (
+                    "b".into(),
+                    tempest_sensors::SensorKind::Ambient,
+                    tempest_sensors::Temperature::from_celsius(25.0),
+                ),
+            ])),
+            plan,
+        );
+        sample_round(&mut src, 99, &*sink);
+        let ev = sink.drain();
+        assert_eq!(ev.len(), 2);
+        assert!(ev.iter().any(|e| e.kind
+            == EventKind::Gap {
+                sensor: SensorId(0)
+            }));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Sample { sensor, .. } if sensor == SensorId(1))));
+    }
+
+    #[test]
+    fn resilient_sampler_quarantines_dead_sensor_and_keeps_marking_gaps() {
+        let sink = VecSink::new();
+        let plan = FaultPlan::new(2).dead_after(SensorId(0), 0);
+        let mut src = FaultySensorSource::new(Box::new(ConstantSource::single(40.0)), plan);
+        let config = TempdConfig {
+            max_retries: 1,
+            retry_backoff: Duration::ZERO,
+            quarantine_after: 3,
+            ..Default::default()
+        };
+        let mut sampler = ResilientSampler::new(config);
+        for t in 0..10u64 {
+            sampler.round(&mut src, t, &*sink);
+        }
+        let h = sampler.health();
+        assert_eq!(h.missed_reads, 10);
+        assert_eq!(h.gaps_emitted, 10, "gaps continue during quarantine");
+        assert_eq!(h.quarantined_sensors, 1);
+        // Retries stop once quarantined: rounds 0,1,2 retried once each.
+        assert_eq!(h.retries, 3);
+        assert_eq!(h.reads_ok, 0);
+        assert_eq!(h.coverage(), 0.0);
+        let ev = sink.drain();
+        assert_eq!(ev.len(), 10);
+        assert!(ev.iter().all(|e| matches!(e.kind, EventKind::Gap { .. })));
+    }
+
+    #[test]
+    fn resilient_sampler_recovers_intermittent_sensor_via_retry() {
+        // A source that fails every other call: the round's first read
+        // misses, the retry succeeds.
+        struct Flaky {
+            infos: Vec<tempest_sensors::SensorInfo>,
+            calls: u64,
+        }
+        impl SensorSource for Flaky {
+            fn sensors(&self) -> &[tempest_sensors::SensorInfo] {
+                &self.infos
+            }
+            fn sample_into(&mut self, ts: u64, out: &mut Vec<SensorReading>) {
+                self.calls += 1;
+                if self.calls.is_multiple_of(2) {
+                    out.push(SensorReading::new(
+                        SensorId(0),
+                        ts,
+                        tempest_sensors::Temperature::from_celsius(40.0),
+                    ));
+                }
+            }
+        }
+        let sink = VecSink::new();
+        let mut src = Flaky {
+            infos: vec![tempest_sensors::SensorInfo::new(
+                0,
+                "flaky",
+                tempest_sensors::SensorKind::CpuCore,
+            )],
+            calls: 0,
+        };
+        let config = TempdConfig {
+            max_retries: 2,
+            retry_backoff: Duration::ZERO,
+            ..Default::default()
+        };
+        let mut sampler = ResilientSampler::new(config);
+        for t in 0..6u64 {
+            sampler.round(&mut src, t, &*sink);
+        }
+        let h = sampler.health();
+        // Each round makes two calls: the first (odd-numbered) read fails,
+        // the retry (even-numbered) succeeds — so every read is recovered.
+        assert_eq!(h.missed_reads, 0, "every miss was recovered by retry");
+        assert_eq!(h.reads_ok, 6);
+        assert_eq!(h.recovered_reads, 6);
+        assert_eq!(h.coverage(), 1.0);
+    }
+
+    #[test]
+    fn resilient_sampler_drops_nan_and_marks_gap() {
+        let sink = VecSink::new();
+        let plan = FaultPlan::new(3).poison_nan(SensorId(0), 1.0);
+        let mut src = FaultySensorSource::new(Box::new(ConstantSource::single(40.0)), plan);
+        let config = TempdConfig {
+            max_retries: 0,
+            ..Default::default()
+        };
+        let mut sampler = ResilientSampler::new(config);
+        sampler.round(&mut src, 7, &*sink);
+        let h = sampler.health();
+        assert_eq!(h.nonfinite_dropped, 1);
+        assert_eq!(h.missed_reads, 1);
+        let ev = sink.drain();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(
+            ev[0].kind,
+            EventKind::Gap {
+                sensor: SensorId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn quarantine_lifts_when_sensor_recovers() {
+        // Dead for the first 5 rounds (timestamps 0..5), then alive.
+        struct Lazarus {
+            infos: Vec<tempest_sensors::SensorInfo>,
+        }
+        impl SensorSource for Lazarus {
+            fn sensors(&self) -> &[tempest_sensors::SensorInfo] {
+                &self.infos
+            }
+            fn sample_into(&mut self, ts: u64, out: &mut Vec<SensorReading>) {
+                if ts >= 5 {
+                    out.push(SensorReading::new(
+                        SensorId(0),
+                        ts,
+                        tempest_sensors::Temperature::from_celsius(41.0),
+                    ));
+                }
+            }
+        }
+        let sink = VecSink::new();
+        let mut src = Lazarus {
+            infos: vec![tempest_sensors::SensorInfo::new(
+                0,
+                "lazarus",
+                tempest_sensors::SensorKind::CpuCore,
+            )],
+        };
+        let config = TempdConfig {
+            max_retries: 0,
+            quarantine_after: 2,
+            ..Default::default()
+        };
+        let mut sampler = ResilientSampler::new(config);
+        for t in 0..10u64 {
+            sampler.round(&mut src, t, &*sink);
+        }
+        let h = sampler.health();
+        assert_eq!(h.quarantined_sensors, 0, "quarantine lifted on recovery");
+        assert_eq!(h.missed_reads, 5);
+        assert_eq!(h.reads_ok, 5);
+    }
+
+    #[test]
+    fn tempd_thread_survives_full_fault_storm() {
+        // Every fault class at once: the daemon must not panic and must
+        // publish honest health accounting.
+        let sink = VecSink::new();
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let base = ConstantSource::new(vec![
+            (
+                "cpu0".into(),
+                tempest_sensors::SensorKind::CpuCore,
+                tempest_sensors::Temperature::from_celsius(50.0),
+            ),
+            (
+                "cpu1".into(),
+                tempest_sensors::SensorKind::CpuCore,
+                tempest_sensors::Temperature::from_celsius(52.0),
+            ),
+            (
+                "amb".into(),
+                tempest_sensors::SensorKind::Ambient,
+                tempest_sensors::Temperature::from_celsius(25.0),
+            ),
+        ]);
+        let plan = FaultPlan::new(0xFA11)
+            .dead_after(SensorId(0), 0)
+            .poison_nan(SensorId(1), 0.5)
+            .dropout(SensorId(2), 0.5);
+        let faulty = FaultySensorSource::new(Box::new(base), plan);
+        let tempd = Tempd::spawn(
+            Box::new(faulty),
+            clock,
+            sink.clone(),
+            TempdConfig {
+                rate_hz: 200.0,
+                max_retries: 1,
+                retry_backoff: Duration::ZERO,
+                quarantine_after: 4,
+                emit_gaps: true,
+            },
+        );
+        std::thread::sleep(Duration::from_millis(200));
+        let stats = tempd.shutdown();
+        assert!(stats.rounds > 5);
+        let h = stats.health;
+        assert!(h.missed_reads > 0, "dead sensor must register misses");
+        assert!(h.gaps_emitted >= h.missed_reads);
+        assert!(h.coverage() < 1.0);
+        assert!(h.quarantined_sensors >= 1, "dead sensor quarantined");
+        let ev = sink.drain();
+        assert!(ev.iter().any(|e| matches!(e.kind, EventKind::Gap { .. })));
+        // NaN never reaches the stream.
+        assert!(ev
+            .iter()
+            .filter_map(|e| e.sample_celsius())
+            .all(|c| c.is_finite()));
+    }
+
+    #[test]
     fn interval_math() {
-        let c = TempdConfig { rate_hz: 4.0 };
+        let c = TempdConfig::at_rate(4.0);
         assert_eq!(c.interval_ns(), 250_000_000);
         let d = TempdConfig::default();
         assert_eq!(d.interval_ns(), 250_000_000);

@@ -93,16 +93,81 @@ impl From<io::Error> for TraceError {
     }
 }
 
+/// Which section of the binary layout a salvage read stopped in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSection {
+    /// Node id / hostname / sensor inventory.
+    NodeMeta,
+    /// The function symbol table.
+    Functions,
+    /// The scope-event stream.
+    Events,
+    /// The sensor-sample stream.
+    Samples,
+}
+
+impl std::fmt::Display for TraceSection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceSection::NodeMeta => "node metadata",
+            TraceSection::Functions => "function table",
+            TraceSection::Events => "event stream",
+            TraceSection::Samples => "sample stream",
+        })
+    }
+}
+
+/// What [`Trace::read_salvage`] managed to recover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Section in which parsing stopped, or `None` if the trace was intact.
+    pub truncated_in: Option<TraceSection>,
+    /// Events the header declared (0 if truncated before the event count).
+    pub events_declared: u64,
+    /// Events actually recovered.
+    pub events_salvaged: u64,
+    /// Samples the header declared (0 if truncated before the count).
+    pub samples_declared: u64,
+    /// Samples actually recovered.
+    pub samples_salvaged: u64,
+    /// Non-finite sample temperatures dropped during salvage.
+    pub nonfinite_samples_skipped: u64,
+}
+
+impl SalvageReport {
+    /// True when nothing was lost: the trace parsed to the end.
+    pub fn is_clean(&self) -> bool {
+        self.truncated_in.is_none() && self.nonfinite_samples_skipped == 0
+    }
+
+    /// Events the header promised but the file no longer contains.
+    pub fn events_lost(&self) -> u64 {
+        self.events_declared.saturating_sub(self.events_salvaged)
+    }
+
+    /// Samples the header promised but were truncated or non-finite.
+    pub fn samples_lost(&self) -> u64 {
+        self.samples_declared.saturating_sub(self.samples_salvaged)
+    }
+}
+
 impl Trace {
     /// Assemble a trace from a mixed event stream (as drained from a
     /// sink): scope events and samples are separated, both sorted by
     /// timestamp (stable, so same-timestamp ordering is preserved).
-    pub fn from_mixed_events(node: NodeMeta, functions: Vec<FunctionDef>, mixed: Vec<Event>) -> Self {
+    pub fn from_mixed_events(
+        node: NodeMeta,
+        functions: Vec<FunctionDef>,
+        mixed: Vec<Event>,
+    ) -> Self {
         let mut events = Vec::new();
         let mut samples = Vec::new();
         for e in mixed {
             match e.kind {
-                EventKind::Sample { sensor, millicelsius } => samples.push(SensorReading::new(
+                EventKind::Sample {
+                    sensor,
+                    millicelsius,
+                } => samples.push(SensorReading::new(
                     sensor,
                     e.timestamp_ns,
                     Temperature::from_millicelsius(millicelsius as i64),
@@ -172,14 +237,16 @@ impl Trace {
         }
         w.write_all(&(self.events.len() as u64).to_le_bytes())?;
         for e in &self.events {
-            let (tag, func) = match e.kind {
-                EventKind::Enter { func } => (1u8, func),
-                EventKind::Exit { func } => (2u8, func),
+            // Gap markers reuse the func slot for the sensor id (tag 3).
+            let (tag, payload) = match e.kind {
+                EventKind::Enter { func } => (1u8, func.0),
+                EventKind::Exit { func } => (2u8, func.0),
+                EventKind::Gap { sensor } => (3u8, sensor.0 as u32),
                 EventKind::Sample { .. } => unreachable!("samples kept separately"),
             };
             w.write_all(&[tag])?;
             w.write_all(&e.thread.0.to_le_bytes())?;
-            w.write_all(&func.0.to_le_bytes())?;
+            w.write_all(&payload.to_le_bytes())?;
             w.write_all(&e.timestamp_ns.to_le_bytes())?;
         }
         w.write_all(&(self.samples.len() as u64).to_le_bytes())?;
@@ -193,85 +260,133 @@ impl Trace {
         Ok(())
     }
 
-    /// Deserialise from any reader.
+    /// Deserialise from any reader. Strict: any truncation or structural
+    /// damage is a typed error. Use [`Trace::read_salvage`] to recover the
+    /// longest valid prefix of a damaged trace instead.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+        Self::read_inner(r, false).map(|(trace, _)| trace)
+    }
+
+    /// Deserialise as much of a damaged trace as possible.
+    ///
+    /// Only a missing/garbled magic prefix is fatal (there is nothing to
+    /// salvage from a file that is not a Tempest trace). Any later
+    /// truncation or corruption stops parsing at the last fully-decoded
+    /// record; everything already decoded is returned along with a
+    /// [`SalvageReport`] saying where parsing stopped and how much of each
+    /// section survived. Non-finite sample temperatures are skipped (and
+    /// counted) rather than treated as fatal.
+    pub fn read_salvage<R: Read>(r: &mut R) -> Result<(Trace, SalvageReport), TraceError> {
+        Self::read_inner(r, true)
+    }
+
+    fn read_inner<R: Read>(r: &mut R, salvage: bool) -> Result<(Trace, SalvageReport), TraceError> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(TraceError::BadMagic);
         }
-        let node_id = read_u32(r)?;
-        let hostname = read_str(r)?;
-        let sensor_count = read_u16(r)? as usize;
-        let mut sensors = Vec::with_capacity(sensor_count);
-        for _ in 0..sensor_count {
-            let id = SensorId(read_u16(r)?);
-            let kind = decode_sensor_kind(read_u8(r)?)?;
-            let label = read_str(r)?;
-            sensors.push(SensorMeta { id, label, kind });
-        }
-        let fn_count = read_u32(r)? as usize;
-        let mut functions = Vec::with_capacity(fn_count);
-        for _ in 0..fn_count {
-            let id = FunctionId(read_u32(r)?);
-            let address = read_u64(r)?;
-            let kind = match read_u8(r)? {
-                0 => ScopeKind::Function,
-                1 => ScopeKind::Block,
-                _ => return Err(TraceError::Corrupt("bad scope kind")),
-            };
-            let name = read_str(r)?;
-            functions.push(FunctionDef {
-                id,
-                name,
-                address,
-                kind,
-            });
-        }
-        let ev_count = read_u64(r)? as usize;
-        let mut events = Vec::with_capacity(ev_count.min(1 << 24));
-        for _ in 0..ev_count {
-            let tag = read_u8(r)?;
-            let thread = ThreadId(read_u32(r)?);
-            let func = FunctionId(read_u32(r)?);
-            let ts = read_u64(r)?;
-            let kind = match tag {
-                1 => EventKind::Enter { func },
-                2 => EventKind::Exit { func },
-                _ => return Err(TraceError::Corrupt("bad event tag")),
-            };
-            events.push(Event {
-                timestamp_ns: ts,
-                thread,
-                kind,
-            });
-        }
-        let sample_count = read_u64(r)? as usize;
-        let mut samples = Vec::with_capacity(sample_count.min(1 << 24));
-        for _ in 0..sample_count {
-            let sensor = SensorId(read_u16(r)?);
-            let ts = read_u64(r)?;
-            let bits = read_u64(r)?;
-            let celsius = f64::from_bits(bits);
-            if !celsius.is_finite() {
-                return Err(TraceError::Corrupt("non-finite sample temperature"));
+
+        let mut trace = Trace {
+            node: NodeMeta::anonymous(),
+            functions: Vec::new(),
+            events: Vec::new(),
+            samples: Vec::new(),
+        };
+        let mut report = SalvageReport::default();
+        let mut section = TraceSection::NodeMeta;
+
+        // Parse into `trace` in place so that when salvage mode stops at a
+        // damaged record, every record decoded before it is already kept.
+        let outcome: Result<(), TraceError> = (|| {
+            trace.node.node_id = read_u32(r)?;
+            trace.node.hostname = read_str(r)?;
+            let sensor_count = read_u16(r)? as usize;
+            for _ in 0..sensor_count {
+                let id = SensorId(read_u16(r)?);
+                let kind = decode_sensor_kind(read_u8(r)?)?;
+                let label = read_str(r)?;
+                trace.node.sensors.push(SensorMeta { id, label, kind });
             }
-            samples.push(SensorReading::new(
-                sensor,
-                ts,
-                Temperature::from_celsius(celsius),
-            ));
+            section = TraceSection::Functions;
+            let fn_count = read_u32(r)? as usize;
+            for _ in 0..fn_count {
+                let id = FunctionId(read_u32(r)?);
+                let address = read_u64(r)?;
+                let kind = match read_u8(r)? {
+                    0 => ScopeKind::Function,
+                    1 => ScopeKind::Block,
+                    _ => return Err(TraceError::Corrupt("bad scope kind")),
+                };
+                let name = read_str(r)?;
+                trace.functions.push(FunctionDef {
+                    id,
+                    name,
+                    address,
+                    kind,
+                });
+            }
+            section = TraceSection::Events;
+            let ev_count = read_u64(r)? as usize;
+            report.events_declared = ev_count as u64;
+            trace.events.reserve(ev_count.min(1 << 24));
+            for _ in 0..ev_count {
+                let tag = read_u8(r)?;
+                let thread = ThreadId(read_u32(r)?);
+                let payload = read_u32(r)?;
+                let ts = read_u64(r)?;
+                let kind = match tag {
+                    1 => EventKind::Enter {
+                        func: FunctionId(payload),
+                    },
+                    2 => EventKind::Exit {
+                        func: FunctionId(payload),
+                    },
+                    3 => EventKind::Gap {
+                        sensor: SensorId(payload as u16),
+                    },
+                    _ => return Err(TraceError::Corrupt("bad event tag")),
+                };
+                trace.events.push(Event {
+                    timestamp_ns: ts,
+                    thread,
+                    kind,
+                });
+            }
+            section = TraceSection::Samples;
+            let sample_count = read_u64(r)? as usize;
+            report.samples_declared = sample_count as u64;
+            trace.samples.reserve(sample_count.min(1 << 24));
+            for _ in 0..sample_count {
+                let sensor = SensorId(read_u16(r)?);
+                let ts = read_u64(r)?;
+                let bits = read_u64(r)?;
+                let celsius = f64::from_bits(bits);
+                if !celsius.is_finite() {
+                    if salvage {
+                        report.nonfinite_samples_skipped += 1;
+                        continue;
+                    }
+                    return Err(TraceError::Corrupt("non-finite sample temperature"));
+                }
+                trace.samples.push(SensorReading::new(
+                    sensor,
+                    ts,
+                    Temperature::from_celsius(celsius),
+                ));
+            }
+            Ok(())
+        })();
+
+        if let Err(err) = outcome {
+            if !salvage {
+                return Err(err);
+            }
+            report.truncated_in = Some(section);
         }
-        Ok(Trace {
-            node: NodeMeta {
-                node_id,
-                hostname,
-                sensors,
-            },
-            functions,
-            events,
-            samples,
-        })
+        report.events_salvaged = trace.events.len() as u64;
+        report.samples_salvaged = trace.samples.len() as u64;
+        Ok((trace, report))
     }
 
     /// Write to a file path.
@@ -284,6 +399,12 @@ impl Trace {
     pub fn load(path: &Path) -> Result<Trace, TraceError> {
         let mut f = io::BufReader::new(std::fs::File::open(path)?);
         Trace::read_from(&mut f)
+    }
+
+    /// Read from a file path, salvaging what a damaged file still holds.
+    pub fn load_salvage(path: &Path) -> Result<(Trace, SalvageReport), TraceError> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Trace::read_salvage(&mut f)
     }
 
     /// Human-readable dump (debugging aid; not parsed back).
@@ -304,12 +425,16 @@ impl Trace {
             ));
         }
         for e in &self.events {
-            let (tag, func) = match e.kind {
-                EventKind::Enter { func } => ('>', func),
-                EventKind::Exit { func } => ('<', func),
+            let (tag, payload) = match e.kind {
+                EventKind::Enter { func } => ('>', func.0),
+                EventKind::Exit { func } => ('<', func.0),
+                EventKind::Gap { sensor } => ('!', sensor.0 as u32),
                 _ => continue,
             };
-            out.push_str(&format!("{tag} t{} f{} @{}\n", e.thread.0, func.0, e.timestamp_ns));
+            out.push_str(&format!(
+                "{tag} t{} f{} @{}\n",
+                e.thread.0, payload, e.timestamp_ns
+            ));
         }
         for s in &self.samples {
             out.push_str(&format!(
@@ -372,7 +497,6 @@ macro_rules! read_le {
 read_le!(read_u16, u16);
 read_le!(read_u32, u32);
 read_le!(read_u64, u64);
-
 
 fn read_u8<R: Read>(r: &mut R) -> Result<u8, TraceError> {
     let mut b = [0u8; 1];
@@ -546,6 +670,100 @@ mod tests {
         assert!(txt.contains("main"));
         assert!(txt.contains("sensor1"));
         assert!(txt.contains("40.000C"));
+    }
+
+    #[test]
+    fn gap_events_roundtrip() {
+        let mut t = sample_trace();
+        t.events.push(Event::gap(1500, SensorId(1)));
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+        assert!(t.to_text().contains("! t4294967295 f1 @1500"));
+    }
+
+    #[test]
+    fn salvage_of_intact_trace_is_clean() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let (back, report) = Trace::read_salvage(&mut buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+        assert!(report.is_clean());
+        assert_eq!(report.events_salvaged, t.events.len() as u64);
+        assert_eq!(report.samples_salvaged, t.samples.len() as u64);
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_of_truncated_samples() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 5); // clips the final sample record
+        let (back, report) = Trace::read_salvage(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.events, t.events, "events section was intact");
+        assert_eq!(back.samples.len(), t.samples.len() - 1);
+        assert_eq!(report.truncated_in, Some(TraceSection::Samples));
+        assert_eq!(report.samples_lost(), 1);
+        assert_eq!(report.events_lost(), 0);
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_of_truncated_events() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        // Events section: 4 records of 17 bytes; cut inside the third.
+        let header_len = buf.len() - (4 * 17 + 8 + t.samples.len() * 18) - 8;
+        buf.truncate(header_len + 8 + 2 * 17 + 9);
+        let (back, report) = Trace::read_salvage(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.functions, t.functions);
+        assert_eq!(back.events, t.events[..2]);
+        assert!(back.samples.is_empty());
+        assert_eq!(report.truncated_in, Some(TraceSection::Events));
+        assert_eq!(report.events_declared, 4);
+        assert_eq!(report.events_lost(), 2);
+    }
+
+    #[test]
+    fn salvage_skips_nonfinite_samples() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        // Poison the final sample's f64 payload (last 8 bytes) with NaN.
+        let n = buf.len();
+        buf[n - 8..].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            Trace::read_from(&mut buf.as_slice()),
+            Err(TraceError::Corrupt(_))
+        ));
+        let (back, report) = Trace::read_salvage(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.samples.len(), t.samples.len() - 1);
+        assert_eq!(report.nonfinite_samples_skipped, 1);
+        assert_eq!(report.truncated_in, None);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn salvage_still_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        sample_trace().write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            Trace::read_salvage(&mut buf.as_slice()),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn salvage_of_header_only_yields_empty_trace() {
+        let mut buf = Vec::new();
+        sample_trace().write_to(&mut buf).unwrap();
+        buf.truncate(10); // magic + part of node_id
+        let (back, report) = Trace::read_salvage(&mut buf.as_slice()).unwrap();
+        assert!(back.events.is_empty() && back.samples.is_empty());
+        assert_eq!(report.truncated_in, Some(TraceSection::NodeMeta));
     }
 
     #[test]

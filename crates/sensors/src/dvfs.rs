@@ -37,9 +37,18 @@ impl PState {
 /// The P-state table of the paper's 1.8 GHz Opteron nodes.
 pub fn opteron_pstates() -> Vec<PState> {
     vec![
-        PState { freq_mhz: 1000.0, volts: 1.10 },
-        PState { freq_mhz: 1400.0, volts: 1.20 },
-        PState { freq_mhz: 1800.0, volts: 1.35 },
+        PState {
+            freq_mhz: 1000.0,
+            volts: 1.10,
+        },
+        PState {
+            freq_mhz: 1400.0,
+            volts: 1.20,
+        },
+        PState {
+            freq_mhz: 1800.0,
+            volts: 1.35,
+        },
     ]
 }
 
@@ -114,11 +123,13 @@ impl Dvfs {
         match self.governor {
             Governor::Performance => self.current = self.states.len() - 1,
             Governor::Powersave => self.current = 0,
-            Governor::ThermalThrottle { trip_c, hysteresis_c } => {
+            Governor::ThermalThrottle {
+                trip_c,
+                hysteresis_c,
+            } => {
                 if observed_c > trip_c && self.current > 0 {
                     self.current -= 1;
-                } else if observed_c < trip_c - hysteresis_c
-                    && self.current < self.states.len() - 1
+                } else if observed_c < trip_c - hysteresis_c && self.current < self.states.len() - 1
                 {
                     self.current += 1;
                 }
@@ -179,7 +190,7 @@ mod tests {
         assert!(d.update(75.0));
         assert_eq!(d.state().freq_mhz, 1000.0);
         assert!(!d.update(75.0)); // floor
-        // Inside hysteresis band: hold.
+                                  // Inside hysteresis band: hold.
         assert!(!d.update(67.0));
         // Below band: step back up.
         assert!(d.update(60.0));
@@ -200,8 +211,14 @@ mod tests {
     fn unsorted_states_rejected() {
         Dvfs::new(
             vec![
-                PState { freq_mhz: 1800.0, volts: 1.35 },
-                PState { freq_mhz: 1000.0, volts: 1.10 },
+                PState {
+                    freq_mhz: 1800.0,
+                    volts: 1.35,
+                },
+                PState {
+                    freq_mhz: 1000.0,
+                    volts: 1.10,
+                },
             ],
             Governor::Performance,
         );

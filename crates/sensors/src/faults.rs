@@ -1,0 +1,474 @@
+//! Deterministic fault injection for sensor sources.
+//!
+//! Real lm-sensors deployments fail in characteristic ways the paper's
+//! `tempd` had to survive: i2c reads time out intermittently, a sensor
+//! freezes at its last value after a firmware hiccup, EMI produces
+//! single-sample spikes or NaN garbage, a bus access stalls for tens of
+//! milliseconds, and occasionally a sensor dies outright mid-run. This
+//! module injects exactly those failure modes into any [`SensorSource`]
+//! through the [`FaultySensorSource`] decorator, driven by a seeded
+//! [`FaultPlan`] so every fault schedule is reproducible bit-for-bit.
+//!
+//! Faults manifest in the *output* of `sample_into` — dropped or dead
+//! sensors simply produce no reading that round, stuck sensors repeat a
+//! frozen value, spikes perturb or poison the temperature — so the
+//! [`SensorSource`] contract is unchanged and every consumer (tempd, the
+//! replay harness, tests) exercises its real degradation paths.
+
+use crate::reading::SensorReading;
+use crate::source::{SensorId, SensorInfo, SensorSource};
+use crate::units::Temperature;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// One failure mode applied to one sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Each read independently fails (no reading emitted) with this
+    /// probability — models intermittent i2c/SMBus timeouts.
+    Dropout {
+        /// Per-round probability in `[0, 1]` that the read is lost.
+        probability: f64,
+    },
+    /// From `from_ns` onward the sensor repeats the last value it reported
+    /// before the fault engaged (or its first post-fault read if none) —
+    /// models a wedged sensor controller.
+    StuckAt {
+        /// Timestamp at which the sensor freezes.
+        from_ns: u64,
+    },
+    /// Each read is independently perturbed with this probability — models
+    /// electrical noise. A spike adds `delta_celsius`; if `poison_nan` it
+    /// instead reports NaN, which downstream consumers must filter.
+    Spike {
+        /// Per-round probability in `[0, 1]` of a perturbed read.
+        probability: f64,
+        /// Magnitude added to the true temperature on a spike.
+        delta_celsius: f64,
+        /// Report NaN instead of an offset value.
+        poison_nan: bool,
+    },
+    /// Each read stalls for `delay` with this probability — models a bus
+    /// stall. The delay is *recorded* in [`FaultStats`] and only actually
+    /// slept when [`FaultPlan::real_delays`] is set, so tests stay fast.
+    SlowRead {
+        /// Per-round probability in `[0, 1]` of a stalled read.
+        probability: f64,
+        /// How long the stalled read takes.
+        delay: Duration,
+    },
+    /// The sensor produces no readings at all from `from_ns` onward —
+    /// models permanent sensor death.
+    DeadAfter {
+        /// Timestamp of death.
+        from_ns: u64,
+    },
+}
+
+/// A [`FaultKind`] bound to the sensor it afflicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorFault {
+    /// The afflicted sensor.
+    pub sensor: SensorId,
+    /// The failure mode.
+    pub kind: FaultKind,
+}
+
+/// A reproducible schedule of sensor faults.
+///
+/// The same plan (same seed, same faults) applied to the same source
+/// produces an identical corrupted stream, which is what lets the fault
+/// matrix in `tests/fault_injection.rs` make exact assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-read probability draws.
+    pub seed: u64,
+    /// Faults to apply; multiple faults may target one sensor.
+    pub faults: Vec<SensorFault>,
+    /// Actually sleep on [`FaultKind::SlowRead`] stalls. Off by default so
+    /// unit tests only account the virtual delay.
+    pub real_delays: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+            real_delays: false,
+        }
+    }
+
+    /// Add an intermittent-dropout fault.
+    pub fn dropout(mut self, sensor: SensorId, probability: f64) -> Self {
+        self.faults.push(SensorFault {
+            sensor,
+            kind: FaultKind::Dropout { probability },
+        });
+        self
+    }
+
+    /// Add a stuck-at fault engaging at `from_ns`.
+    pub fn stuck_at(mut self, sensor: SensorId, from_ns: u64) -> Self {
+        self.faults.push(SensorFault {
+            sensor,
+            kind: FaultKind::StuckAt { from_ns },
+        });
+        self
+    }
+
+    /// Add an additive-spike fault.
+    pub fn spike(mut self, sensor: SensorId, probability: f64, delta_celsius: f64) -> Self {
+        self.faults.push(SensorFault {
+            sensor,
+            kind: FaultKind::Spike {
+                probability,
+                delta_celsius,
+                poison_nan: false,
+            },
+        });
+        self
+    }
+
+    /// Add a NaN-poisoning fault.
+    pub fn poison_nan(mut self, sensor: SensorId, probability: f64) -> Self {
+        self.faults.push(SensorFault {
+            sensor,
+            kind: FaultKind::Spike {
+                probability,
+                delta_celsius: 0.0,
+                poison_nan: true,
+            },
+        });
+        self
+    }
+
+    /// Add a slow-read fault.
+    pub fn slow_read(mut self, sensor: SensorId, probability: f64, delay: Duration) -> Self {
+        self.faults.push(SensorFault {
+            sensor,
+            kind: FaultKind::SlowRead { probability, delay },
+        });
+        self
+    }
+
+    /// Add a permanent-death fault engaging at `from_ns`.
+    pub fn dead_after(mut self, sensor: SensorId, from_ns: u64) -> Self {
+        self.faults.push(SensorFault {
+            sensor,
+            kind: FaultKind::DeadAfter { from_ns },
+        });
+        self
+    }
+}
+
+/// Counters describing what a [`FaultySensorSource`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Readings suppressed by [`FaultKind::Dropout`].
+    pub dropouts: u64,
+    /// Readings replaced by a frozen value.
+    pub stuck_reads: u64,
+    /// Readings perturbed by a finite spike.
+    pub spikes: u64,
+    /// Readings poisoned to NaN.
+    pub nan_reads: u64,
+    /// Readings that incurred a stall.
+    pub slow_reads: u64,
+    /// Total virtual stall time accumulated by slow reads.
+    pub slow_read_ns: u64,
+    /// Readings suppressed because the sensor was dead.
+    pub dead_reads: u64,
+}
+
+impl FaultStats {
+    /// Total readings suppressed (dropout + death).
+    pub fn suppressed(&self) -> u64 {
+        self.dropouts + self.dead_reads
+    }
+
+    /// Total readings whose value was corrupted (stuck + spike + NaN).
+    pub fn corrupted(&self) -> u64 {
+        self.stuck_reads + self.spikes + self.nan_reads
+    }
+}
+
+/// Per-sensor mutable fault state.
+#[derive(Debug, Clone, Default)]
+struct SensorState {
+    frozen: Option<Temperature>,
+}
+
+/// Decorator injecting a [`FaultPlan`] into an inner [`SensorSource`].
+///
+/// The decorated source still advertises the full sensor inventory via
+/// [`SensorSource::sensors`] — exactly like real hardware, where a dead
+/// sensor is still listed by lm-sensors but stops answering reads. Consumers
+/// detect failures by diffing `sample_into` output against the inventory.
+pub struct FaultySensorSource {
+    inner: Box<dyn SensorSource>,
+    plan: FaultPlan,
+    rng: StdRng,
+    states: Vec<SensorState>,
+    stats: FaultStats,
+    scratch: Vec<SensorReading>,
+}
+
+impl FaultySensorSource {
+    /// Wrap `inner` with the fault schedule in `plan`.
+    pub fn new(inner: Box<dyn SensorSource>, plan: FaultPlan) -> Self {
+        let n = inner.sensors().len();
+        FaultySensorSource {
+            inner,
+            rng: StdRng::seed_from_u64(plan.seed),
+            states: vec![SensorState::default(); n],
+            plan,
+            stats: FaultStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The plan driving this source.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Apply every fault targeting `reading.sensor`. Returns `None` if the
+    /// reading is suppressed, otherwise the (possibly mutated) reading.
+    fn afflict(&mut self, mut reading: SensorReading) -> Option<SensorReading> {
+        let idx = reading.sensor.0 as usize;
+        for fault in &self.plan.faults {
+            if fault.sensor != reading.sensor {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::DeadAfter { from_ns } => {
+                    if reading.timestamp_ns >= from_ns {
+                        self.stats.dead_reads += 1;
+                        return None;
+                    }
+                }
+                FaultKind::Dropout { probability } => {
+                    if self.rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                        self.stats.dropouts += 1;
+                        return None;
+                    }
+                }
+                FaultKind::StuckAt { from_ns } => {
+                    if reading.timestamp_ns >= from_ns {
+                        let state = &mut self.states[idx];
+                        let frozen = *state.frozen.get_or_insert(reading.temperature);
+                        if frozen != reading.temperature {
+                            self.stats.stuck_reads += 1;
+                        }
+                        reading.temperature = frozen;
+                    } else {
+                        self.states[idx].frozen = Some(reading.temperature);
+                    }
+                }
+                FaultKind::Spike {
+                    probability,
+                    delta_celsius,
+                    poison_nan,
+                } => {
+                    if self.rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                        if poison_nan {
+                            self.stats.nan_reads += 1;
+                            reading.temperature = Temperature::from_celsius(f64::NAN);
+                        } else {
+                            self.stats.spikes += 1;
+                            reading.temperature = Temperature::from_celsius(
+                                reading.temperature.celsius() + delta_celsius,
+                            );
+                        }
+                    }
+                }
+                FaultKind::SlowRead { probability, delay } => {
+                    if self.rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                        self.stats.slow_reads += 1;
+                        self.stats.slow_read_ns += delay.as_nanos() as u64;
+                        if self.plan.real_delays {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                }
+            }
+        }
+        Some(reading)
+    }
+}
+
+impl SensorSource for FaultySensorSource {
+    fn sensors(&self) -> &[SensorInfo] {
+        self.inner.sensors()
+    }
+
+    fn sample_into(&mut self, timestamp_ns: u64, out: &mut Vec<SensorReading>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.inner.sample_into(timestamp_ns, &mut scratch);
+        for reading in scratch.drain(..) {
+            if let Some(r) = self.afflict(reading) {
+                out.push(r);
+            }
+        }
+        self.scratch = scratch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ConstantSource, SensorKind};
+
+    fn three_sensor_source() -> Box<dyn SensorSource> {
+        Box::new(ConstantSource::new(vec![
+            (
+                "cpu0".into(),
+                SensorKind::CpuCore,
+                Temperature::from_celsius(50.0),
+            ),
+            (
+                "cpu1".into(),
+                SensorKind::CpuCore,
+                Temperature::from_celsius(55.0),
+            ),
+            (
+                "amb".into(),
+                SensorKind::Ambient,
+                Temperature::from_celsius(25.0),
+            ),
+        ]))
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut faulty = FaultySensorSource::new(three_sensor_source(), FaultPlan::new(1));
+        let out = faulty.sample_all(100);
+        assert_eq!(out.len(), 3);
+        assert_eq!(faulty.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn dead_sensor_disappears_after_cutoff() {
+        let plan = FaultPlan::new(2).dead_after(SensorId(1), 1_000);
+        let mut faulty = FaultySensorSource::new(three_sensor_source(), plan);
+        assert_eq!(faulty.sample_all(999).len(), 3);
+        let after = faulty.sample_all(1_000);
+        assert_eq!(after.len(), 2);
+        assert!(after.iter().all(|r| r.sensor != SensorId(1)));
+        assert_eq!(faulty.stats().dead_reads, 1);
+        // Inventory still lists the dead sensor, like real lm-sensors.
+        assert_eq!(faulty.sensor_count(), 3);
+    }
+
+    #[test]
+    fn dropout_rate_is_roughly_honoured_and_deterministic() {
+        let plan = FaultPlan::new(42).dropout(SensorId(0), 0.5);
+        let mut a = FaultySensorSource::new(three_sensor_source(), plan.clone());
+        let mut b = FaultySensorSource::new(three_sensor_source(), plan);
+        let mut kept_a = 0;
+        let mut kept_b = 0;
+        for t in 0..1_000u64 {
+            kept_a += a
+                .sample_all(t)
+                .iter()
+                .filter(|r| r.sensor == SensorId(0))
+                .count();
+            kept_b += b
+                .sample_all(t)
+                .iter()
+                .filter(|r| r.sensor == SensorId(0))
+                .count();
+        }
+        assert_eq!(kept_a, kept_b, "same seed must drop the same reads");
+        assert!((300..700).contains(&kept_a), "kept {kept_a} of 1000");
+    }
+
+    #[test]
+    fn nan_poisoning_counts_reads() {
+        let plan = FaultPlan::new(7).poison_nan(SensorId(2), 1.0);
+        let mut faulty = FaultySensorSource::new(three_sensor_source(), plan);
+        let out = faulty.sample_all(5);
+        let amb = out.iter().find(|r| r.sensor == SensorId(2)).unwrap();
+        assert!(amb.temperature.celsius().is_nan());
+        assert_eq!(faulty.stats().nan_reads, 1);
+    }
+
+    #[test]
+    fn spike_offsets_value() {
+        let plan = FaultPlan::new(7).spike(SensorId(0), 1.0, 40.0);
+        let mut faulty = FaultySensorSource::new(three_sensor_source(), plan);
+        let out = faulty.sample_all(5);
+        let cpu = out.iter().find(|r| r.sensor == SensorId(0)).unwrap();
+        assert!((cpu.temperature.celsius() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_read_accrues_virtual_delay_without_sleeping() {
+        let plan = FaultPlan::new(3).slow_read(SensorId(0), 1.0, Duration::from_millis(50));
+        let mut faulty = FaultySensorSource::new(three_sensor_source(), plan);
+        let start = std::time::Instant::now();
+        for t in 0..10u64 {
+            faulty.sample_all(t);
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+        let stats = faulty.stats();
+        assert_eq!(stats.slow_reads, 10);
+        assert_eq!(stats.slow_read_ns, 10 * 50_000_000);
+    }
+
+    #[test]
+    fn stuck_sensor_freezes_at_pre_fault_value() {
+        // A source whose value changes every sample, so freezing is visible.
+        struct Ramp {
+            infos: Vec<SensorInfo>,
+        }
+        impl SensorSource for Ramp {
+            fn sensors(&self) -> &[SensorInfo] {
+                &self.infos
+            }
+            fn sample_into(&mut self, timestamp_ns: u64, out: &mut Vec<SensorReading>) {
+                out.push(SensorReading::new(
+                    SensorId(0),
+                    timestamp_ns,
+                    Temperature::from_celsius(timestamp_ns as f64),
+                ));
+            }
+        }
+        let src = Box::new(Ramp {
+            infos: vec![SensorInfo::new(0, "ramp", SensorKind::CpuCore)],
+        });
+        let plan = FaultPlan::new(1).stuck_at(SensorId(0), 5);
+        let mut faulty = FaultySensorSource::new(src, plan);
+        let temps: Vec<f64> = (0..10u64)
+            .map(|t| faulty.sample_all(t)[0].temperature.celsius())
+            .collect();
+        assert_eq!(&temps[..5], &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert!(temps[5..].iter().all(|&c| c == 4.0), "frozen at last good");
+        assert_eq!(faulty.stats().stuck_reads, 5);
+    }
+
+    #[test]
+    fn multiple_faults_compose() {
+        let plan = FaultPlan::new(9)
+            .dead_after(SensorId(0), 500)
+            .poison_nan(SensorId(1), 1.0)
+            .dropout(SensorId(2), 1.0);
+        let mut faulty = FaultySensorSource::new(three_sensor_source(), plan);
+        let out = faulty.sample_all(1_000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sensor, SensorId(1));
+        assert!(out[0].temperature.celsius().is_nan());
+        let stats = faulty.stats();
+        assert_eq!(stats.suppressed(), 2);
+        assert_eq!(stats.corrupted(), 1);
+    }
+}

@@ -37,7 +37,10 @@ pub struct HwmonSource {
 impl HwmonSource {
     /// Discover sensors under the standard sysfs roots.
     pub fn discover() -> Self {
-        Self::discover_at(Path::new("/sys/class/hwmon"), Path::new("/sys/class/thermal"))
+        Self::discover_at(
+            Path::new("/sys/class/hwmon"),
+            Path::new("/sys/class/thermal"),
+        )
     }
 
     /// Discovery with explicit roots — used by tests with a fake sysfs tree.
@@ -75,12 +78,15 @@ impl HwmonSource {
                     .collect();
                 inputs.sort();
                 for input in inputs {
-                    let stem = input
+                    // A malformed (non-UTF-8) file name yields no stem:
+                    // skip that channel instead of panicking mid-discovery.
+                    let Some(stem) = input
                         .file_name()
                         .and_then(|n| n.to_str())
-                        .unwrap()
-                        .trim_end_matches("_input")
-                        .to_string();
+                        .map(|n| n.trim_end_matches("_input").to_string())
+                    else {
+                        continue;
+                    };
                     let label = fs::read_to_string(dir.join(format!("{stem}_label")))
                         .map(|s| s.trim().to_string())
                         .unwrap_or_else(|_| stem.clone());
@@ -210,10 +216,7 @@ mod tests {
 
         pub fn make(prefix: &str) -> TempDirGuard {
             let n = N.fetch_add(1, Ordering::Relaxed);
-            let path = std::env::temp_dir().join(format!(
-                "{prefix}-{}-{n}",
-                std::process::id()
-            ));
+            let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
             std::fs::create_dir_all(&path).unwrap();
             TempDirGuard { path }
         }
@@ -249,6 +252,31 @@ mod tests {
         let second = src.sample_all(1);
         assert_eq!(second.len(), 3, "held value keeps cadence");
         assert_eq!(second[0].temperature, first[0].temperature);
+    }
+
+    #[test]
+    fn malformed_sensor_file_names_are_skipped_not_panicked() {
+        use std::ffi::OsStr;
+        use std::os::unix::ffi::OsStrExt;
+        let (g, _) = fake_sysfs();
+        // A temp*_input whose name is not valid UTF-8 must be skipped.
+        let bad = g
+            .path
+            .join("hwmon/hwmon0")
+            .join(OsStr::from_bytes(b"temp\xff9_input"));
+        fs::write(&bad, "55000\n").unwrap();
+        // And a temp*_input that is a directory (unreadable as a sensor)
+        // must not break sampling for its siblings.
+        fs::create_dir_all(g.path.join("hwmon/hwmon0/temp8_input")).unwrap();
+        let mut src = HwmonSource::discover_at(&g.path.join("hwmon"), &g.path.join("thermal"));
+        let readings = src.sample_all(0);
+        // 3 good channels from fake_sysfs; the directory one is discovered
+        // but produces no reading; the non-UTF-8 one is skipped entirely.
+        assert_eq!(readings.len(), 3);
+        assert!(
+            src.sensors().iter().all(|s| !s.label.contains('\u{fffd}')),
+            "no mojibake labels"
+        );
     }
 
     #[test]

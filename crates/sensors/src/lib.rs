@@ -17,6 +17,9 @@
 //!   substitute for real cluster hardware: it exercises exactly the same
 //!   sampling path the paper's `tempd` daemon used, while remaining fully
 //!   deterministic and portable.
+//! * [`faults`] — deterministic fault injection ([`faults::FaultySensorSource`])
+//!   reproducing the failure modes of real lm-sensors hardware: dropouts,
+//!   stuck-at values, spikes/NaN poisoning, slow reads, and permanent death.
 //! * [`platform`] — presets reproducing the sensor inventories the paper
 //!   observed (3 sensors on x86 Opteron boxes, up to 7 on PowerPC G5).
 //! * [`validation`] — the §3.4 "external reference sensor" validation
@@ -29,9 +32,10 @@
 
 pub mod dvfs;
 pub mod fan;
+pub mod faults;
 pub mod hwmon;
-pub mod noise;
 pub mod node_model;
+pub mod noise;
 pub mod platform;
 pub mod power;
 pub mod quantize;
@@ -43,6 +47,7 @@ pub mod source;
 pub mod units;
 pub mod validation;
 
+pub use faults::{FaultKind, FaultPlan, FaultStats, FaultySensorSource, SensorFault};
 pub use node_model::{NodeThermalModel, NodeThermalParams};
 pub use quantize::Quantization;
 pub use reading::SensorReading;

@@ -87,7 +87,9 @@ impl NodeThermalParams {
     /// (±1.5 °C inlet air). `node_index` seeds the perturbation so each
     /// node is stable across runs.
     pub fn heterogeneous(&self, cluster_seed: u64, node_index: usize) -> NodeThermalParams {
-        let mut rng = StdRng::seed_from_u64(cluster_seed ^ (node_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            cluster_seed ^ (node_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let mut p = self.clone();
         p.r_die *= rng.gen_range(0.80..1.20);
         p.r_sink *= rng.gen_range(0.85..1.15);
@@ -180,7 +182,8 @@ impl NodeThermalModel {
             stack.advance(dt_s, socket_power, self.params.ambient);
         }
         // Board heating: a fraction of total node power warms the board mass.
-        self.board.advance(dt_s, total_power * 0.15, self.params.ambient);
+        self.board
+            .advance(dt_s, total_power * 0.15, self.params.ambient);
         // Ambient wander: slow pseudo-periodic airflow fluctuation,
         // independent of the workload by construction.
         self.wander_phase = self.elapsed_s / 47.0;

@@ -61,9 +61,24 @@ impl PlatformSpec {
         PlatformSpec {
             name: "AMD Opteron (x86_64, 3 sensors)".to_string(),
             sensors: vec![
-                SensorSpec::new("CPU0 die", SensorKind::CpuCore, SensorTap::Die(0), Quantization::CPU_GRID),
-                SensorSpec::new("CPU1 die", SensorKind::CpuCore, SensorTap::Die(1), Quantization::CPU_GRID),
-                SensorSpec::new("M/B temp", SensorKind::Motherboard, SensorTap::Board, Quantization::AMBIENT_GRID),
+                SensorSpec::new(
+                    "CPU0 die",
+                    SensorKind::CpuCore,
+                    SensorTap::Die(0),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "CPU1 die",
+                    SensorKind::CpuCore,
+                    SensorTap::Die(1),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "M/B temp",
+                    SensorKind::Motherboard,
+                    SensorTap::Board,
+                    Quantization::AMBIENT_GRID,
+                ),
             ],
         }
     }
@@ -75,12 +90,42 @@ impl PlatformSpec {
         PlatformSpec {
             name: "AMD Opteron dual-socket (6 sensors)".to_string(),
             sensors: vec![
-                SensorSpec::new("chassis ambient", SensorKind::Ambient, SensorTap::Ambient, Quantization::AMBIENT_GRID),
-                SensorSpec::new("M/B temp", SensorKind::Motherboard, SensorTap::Board, Quantization::CPU_GRID),
-                SensorSpec::new("CPU0 package", SensorKind::CpuPackage, SensorTap::Sink(0), Quantization::CPU_GRID),
-                SensorSpec::new("CPU0 die", SensorKind::CpuCore, SensorTap::Die(0), Quantization::CPU_GRID),
-                SensorSpec::new("CPU1 die", SensorKind::CpuCore, SensorTap::Die(1), Quantization::CPU_GRID),
-                SensorSpec::new("CPU1 package", SensorKind::CpuPackage, SensorTap::Sink(1), Quantization::CPU_GRID),
+                SensorSpec::new(
+                    "chassis ambient",
+                    SensorKind::Ambient,
+                    SensorTap::Ambient,
+                    Quantization::AMBIENT_GRID,
+                ),
+                SensorSpec::new(
+                    "M/B temp",
+                    SensorKind::Motherboard,
+                    SensorTap::Board,
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "CPU0 package",
+                    SensorKind::CpuPackage,
+                    SensorTap::Sink(0),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "CPU0 die",
+                    SensorKind::CpuCore,
+                    SensorTap::Die(0),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "CPU1 die",
+                    SensorKind::CpuCore,
+                    SensorTap::Die(1),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "CPU1 package",
+                    SensorKind::CpuPackage,
+                    SensorTap::Sink(1),
+                    Quantization::CPU_GRID,
+                ),
             ],
         }
     }
@@ -90,13 +135,48 @@ impl PlatformSpec {
         PlatformSpec {
             name: "PowerPC G5 / System X (7 sensors)".to_string(),
             sensors: vec![
-                SensorSpec::new("CPU A die", SensorKind::CpuCore, SensorTap::Die(0), Quantization::CPU_GRID),
-                SensorSpec::new("CPU A heatsink", SensorKind::CpuPackage, SensorTap::Sink(0), Quantization::CPU_GRID),
-                SensorSpec::new("CPU B die", SensorKind::CpuCore, SensorTap::Die(1), Quantization::CPU_GRID),
-                SensorSpec::new("CPU B heatsink", SensorKind::CpuPackage, SensorTap::Sink(1), Quantization::CPU_GRID),
-                SensorSpec::new("drive bay", SensorKind::Other, SensorTap::Ambient, Quantization::AMBIENT_GRID),
-                SensorSpec::new("backside", SensorKind::Motherboard, SensorTap::Board, Quantization::CPU_GRID),
-                SensorSpec::new("intake ambient", SensorKind::Ambient, SensorTap::Ambient, Quantization::AMBIENT_GRID),
+                SensorSpec::new(
+                    "CPU A die",
+                    SensorKind::CpuCore,
+                    SensorTap::Die(0),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "CPU A heatsink",
+                    SensorKind::CpuPackage,
+                    SensorTap::Sink(0),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "CPU B die",
+                    SensorKind::CpuCore,
+                    SensorTap::Die(1),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "CPU B heatsink",
+                    SensorKind::CpuPackage,
+                    SensorTap::Sink(1),
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "drive bay",
+                    SensorKind::Other,
+                    SensorTap::Ambient,
+                    Quantization::AMBIENT_GRID,
+                ),
+                SensorSpec::new(
+                    "backside",
+                    SensorKind::Motherboard,
+                    SensorTap::Board,
+                    Quantization::CPU_GRID,
+                ),
+                SensorSpec::new(
+                    "intake ambient",
+                    SensorKind::Ambient,
+                    SensorTap::Ambient,
+                    Quantization::AMBIENT_GRID,
+                ),
             ],
         }
     }

@@ -72,7 +72,13 @@ impl CorePowerModel {
     /// Dynamic power scales as `f·V²`; [`crate::dvfs`] supplies the combined
     /// factor. Static (idle) power is scaled by `V` only, approximating
     /// leakage reduction at lower voltage.
-    pub fn power(self, mix: ActivityMix, utilization: f64, dvfs_dynamic: f64, dvfs_static: f64) -> f64 {
+    pub fn power(
+        self,
+        mix: ActivityMix,
+        utilization: f64,
+        dvfs_dynamic: f64,
+        dvfs_static: f64,
+    ) -> f64 {
         let u = utilization.clamp(0.0, 1.0);
         let dynamic = (self.busy_watts - self.idle_watts) * mix.dynamic_fraction() * u;
         self.idle_watts * dvfs_static + dynamic * dvfs_dynamic

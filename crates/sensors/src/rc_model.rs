@@ -97,7 +97,10 @@ impl ThermalStack {
     /// Build a chain from `(resistance, capacitance)` pairs, all starting at
     /// equilibrium with `ambient`. Stage 0 receives the input power.
     pub fn new(stages: &[(f64, f64)], ambient: Temperature) -> Self {
-        assert!(!stages.is_empty(), "a thermal stack needs at least one stage");
+        assert!(
+            !stages.is_empty(),
+            "a thermal stack needs at least one stage"
+        );
         let stages = stages
             .iter()
             .map(|&(r, c)| RcNode::at_equilibrium(r, c, ambient))

@@ -57,13 +57,14 @@ impl ReplaySource {
             .enumerate()
             .map(|(i, label)| {
                 let lower = label.to_lowercase();
-                let kind = if lower.contains("core") || lower.contains("die") || lower.contains("cpu") {
-                    SensorKind::CpuCore
-                } else if lower.contains("ambient") {
-                    SensorKind::Ambient
-                } else {
-                    SensorKind::Other
-                };
+                let kind =
+                    if lower.contains("core") || lower.contains("die") || lower.contains("cpu") {
+                        SensorKind::CpuCore
+                    } else if lower.contains("ambient") {
+                        SensorKind::Ambient
+                    } else {
+                        SensorKind::Other
+                    };
                 SensorInfo::new(i as u16, label.trim(), kind)
             })
             .collect();
@@ -71,7 +72,12 @@ impl ReplaySource {
         for (ln, line) in lines.enumerate() {
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != cols.len() {
-                return Err(format!("row {}: {} fields, expected {}", ln + 2, fields.len(), cols.len()));
+                return Err(format!(
+                    "row {}: {} fields, expected {}",
+                    ln + 2,
+                    fields.len(),
+                    cols.len()
+                ));
             }
             let ts: u64 = fields[0]
                 .trim()
@@ -166,7 +172,10 @@ mod tests {
         let r = s.sample_all(1_500);
         assert!((r[0].temperature.celsius() - 42.0).abs() < 1e-9);
         let r = s.sample_all(10_000);
-        assert!((r[0].temperature.celsius() - 44.0).abs() < 1e-9, "holds last");
+        assert!(
+            (r[0].temperature.celsius() - 44.0).abs() < 1e-9,
+            "holds last"
+        );
         assert!((r[1].temperature.celsius() - 25.5).abs() < 1e-9);
     }
 

@@ -28,7 +28,12 @@ pub struct SimulatedSensorBank {
 impl SimulatedSensorBank {
     /// Build a bank. `noise_seed` derives one independent noise stream per
     /// sensor; `sigma_c = 0` gives noiseless (but still quantised) sensors.
-    pub fn new(platform: PlatformSpec, model: NodeThermalModel, noise_seed: u64, sigma_c: f64) -> Self {
+    pub fn new(
+        platform: PlatformSpec,
+        model: NodeThermalModel,
+        noise_seed: u64,
+        sigma_c: f64,
+    ) -> Self {
         if let Some(max_socket) = platform.max_socket() {
             assert!(
                 max_socket < model.params().sockets,
@@ -144,7 +149,10 @@ mod tests {
         let r = b.sample_all(30_000_000_000);
         // Sensor index 3 is CPU0 die, quantised to integer Celsius.
         let c = r[3].temperature.celsius();
-        assert!((c - c.round()).abs() < 1e-9, "die sensor not on 1 °C grid: {c}");
+        assert!(
+            (c - c.round()).abs() < 1e-9,
+            "die sensor not on 1 °C grid: {c}"
+        );
     }
 
     #[test]

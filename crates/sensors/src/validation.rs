@@ -81,7 +81,9 @@ impl ValidationReport {
 
     /// True if every sensor's worst-case error is within the bound.
     pub fn passed(&self) -> bool {
-        self.per_sensor.iter().all(|s| s.max_abs_err <= self.bound_c)
+        self.per_sensor
+            .iter()
+            .all(|s| s.max_abs_err <= self.bound_c)
     }
 
     /// Worst max-abs-error over all sensors, °C.
@@ -96,7 +98,11 @@ impl ValidationReport {
     pub fn to_table(&self) -> String {
         let mut out = String::from("sensor  samples      bias      rmse   max|err|  verdict\n");
         for (i, s) in self.per_sensor.iter().enumerate() {
-            let verdict = if s.max_abs_err <= self.bound_c { "ok" } else { "FAIL" };
+            let verdict = if s.max_abs_err <= self.bound_c {
+                "ok"
+            } else {
+                "FAIL"
+            };
             out.push_str(&format!(
                 "{:>6}  {:>7}  {:>8.3}  {:>8.3}  {:>9.3}  {}\n",
                 i + 1,
@@ -143,7 +149,11 @@ mod tests {
             r.record_round(&[q.apply(truth)], &[truth]);
             x += 0.0371;
         }
-        assert!(r.passed(), "quantisation error {} exceeds 0.5", r.worst_error());
+        assert!(
+            r.passed(),
+            "quantisation error {} exceeds 0.5",
+            r.worst_error()
+        );
         assert!(r.per_sensor[0].rmse() > 0.0);
     }
 

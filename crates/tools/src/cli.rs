@@ -17,8 +17,10 @@ use std::path::{Path, PathBuf};
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::plot::{ascii_plot, function_banner, TimeSeries};
 use tempest_core::timeline::Timeline;
-use tempest_core::{analyze_trace, report, AnalysisOptions, ClusterProfile};
-use tempest_probe::trace::Trace;
+use tempest_core::{
+    analyze_trace, analyze_trace_salvaged, report, AnalysisOptions, ClusterProfile, ParseError,
+};
+use tempest_probe::trace::{SalvageReport, Trace};
 use tempest_sensors::SensorId;
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
@@ -54,8 +56,9 @@ tempest — thermal profiler for parallel code (Tempest reproduction)
 USAGE:
   tempest demo <ft|bt|cg|ep|mg|lu|is|micro-d> [--class S|W|A|B|C] [--np N] [--out DIR]
   tempest record  <a|b|c|d|e> [--out DIR]      (native run, real instrumentation)
-  tempest report  <trace file(s)> [--format text|csv|kv|md]
-  tempest summary <trace file(s)>
+  tempest report  <trace file(s)> [--format text|csv|kv|md] [--recover]
+  tempest summary <trace file(s)> [--recover]
+  tempest doctor  <trace file(s)>              (triage damaged traces)
   tempest plot    <trace file> [--sensor N]
   tempest traits  <trace file> [--sensor N]
   tempest callgraph <trace file>
@@ -75,6 +78,7 @@ pub fn main_with_args(args: &[String], out: &mut dyn std::io::Write) -> Result<(
         "record" => cmd_record(&rest, out),
         "report" => cmd_report(&rest, out),
         "summary" => cmd_summary(&rest, out),
+        "doctor" => cmd_doctor(&rest, out),
         "plot" => cmd_plot(&rest, out),
         "traits" => cmd_traits(&rest, out),
         "callgraph" => cmd_callgraph(&rest, out),
@@ -85,7 +89,9 @@ pub fn main_with_args(args: &[String], out: &mut dyn std::io::Write) -> Result<(
             let _ = write!(out, "{USAGE}");
             Ok(())
         }
-        other => Err(CliError::usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -94,6 +100,13 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Flags that take no value; everything else starting `--` consumes one.
+const BOOLEAN_FLAGS: &[&str] = &["--recover"];
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -105,8 +118,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             continue;
         }
         if a.starts_with("--") {
-            // All our flags take a value.
-            skip = args.get(i + 1).is_some();
+            skip = !BOOLEAN_FLAGS.contains(&a.as_str()) && args.get(i + 1).is_some();
             continue;
         }
         out.push(a);
@@ -127,6 +139,21 @@ fn parse_class(s: &str) -> Result<Class, CliError> {
 
 fn load_trace(path: &str) -> Result<Trace, CliError> {
     Trace::load(Path::new(path)).map_err(|e| CliError::run(format!("{path}: {e}")))
+}
+
+/// Load strictly, or — under `--recover` — salvage the longest valid
+/// prefix of a damaged file and report what was lost.
+fn load_trace_recovering(
+    path: &str,
+    recover: bool,
+) -> Result<(Trace, Option<SalvageReport>), CliError> {
+    if recover {
+        Trace::load_salvage(Path::new(path))
+            .map(|(t, r)| (t, Some(r)))
+            .map_err(|e| CliError::run(format!("{path}: {e}")))
+    } else {
+        load_trace(path).map(|t| (t, None))
+    }
 }
 
 fn cmd_demo(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -194,7 +221,11 @@ fn cmd_record(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
         "c" => Micro::C,
         "d" => Micro::D,
         "e" => Micro::E,
-        other => return Err(CliError::usage(format!("unknown micro-benchmark `{other}`"))),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown micro-benchmark `{other}`"
+            )))
+        }
     };
     let dir = PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "traces".into()));
     std::fs::create_dir_all(&dir).map_err(|e| CliError::run(format!("{}: {e}", dir.display())))?;
@@ -217,7 +248,7 @@ fn cmd_record(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
     let session = tempest_probe::ProfilingSession::start_with_sensors(
         std::sync::Arc::new(tempest_probe::MonotonicClock::new()),
         source,
-        tempest_probe::tempd::TempdConfig { rate_hz: 20.0 },
+        tempest_probe::tempd::TempdConfig::at_rate(20.0),
     );
     {
         let tp = session.thread_profiler();
@@ -245,9 +276,14 @@ fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
         return Err(CliError::usage("report: which trace file(s)?"));
     }
     let format = flag_value(args, "--format").unwrap_or_else(|| "text".into());
+    let recover = flag_present(args, "--recover");
     for path in pos {
-        let trace = load_trace(path)?;
-        let profile = analyze_trace(&trace, AnalysisOptions::default())
+        let (trace, salvage) = load_trace_recovering(path, recover)?;
+        let options = AnalysisOptions {
+            recover,
+            ..Default::default()
+        };
+        let profile = analyze_trace_salvaged(&trace, salvage.as_ref(), options)
             .map_err(|e| CliError::run(format!("{path}: {e}")))?;
         let rendered = match format.as_str() {
             "text" => report::render_stdout(&profile),
@@ -257,6 +293,9 @@ fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
             other => return Err(CliError::usage(format!("unknown format `{other}`"))),
         };
         let _ = write!(out, "{rendered}");
+        if recover && !profile.quality.is_pristine() {
+            let _ = writeln!(out, "data quality: {}", profile.quality);
+        }
     }
     Ok(())
 }
@@ -272,8 +311,7 @@ fn cmd_traits(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
         .map_err(|_| CliError::usage("--sensor wants an integer"))?;
     let trace = load_trace(path)?;
     let timeline = Timeline::build(&trace.events);
-    let phases =
-        tempest_core::phases::segment_phases(&trace.samples, SensorId(sensor), 4, 0.15);
+    let phases = tempest_core::phases::segment_phases(&trace.samples, SensorId(sensor), 4, 0.15);
     if phases.is_empty() {
         return Err(CliError::run("not enough samples to segment phases"));
     }
@@ -289,8 +327,11 @@ fn cmd_traits(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
             p.rate_f_per_s()
         );
     }
-    let _ = writeln!(out, "
-function thermal traits (dominant-phase warming rates):");
+    let _ = writeln!(
+        out,
+        "
+function thermal traits (dominant-phase warming rates):"
+    );
     for t in tempest_core::phases::function_traits(&phases, &timeline) {
         let name = trace
             .function(t.func)
@@ -310,16 +351,47 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
     if pos.is_empty() {
         return Err(CliError::usage("summary: which trace file(s)?"));
     }
+    let recover = flag_present(args, "--recover");
     let mut profiles = Vec::new();
+    let mut lost = 0usize;
     for path in &pos {
-        let trace = load_trace(path)?;
-        profiles.push(
-            analyze_trace(&trace, AnalysisOptions::default())
-                .map_err(|e| CliError::run(format!("{path}: {e}")))?,
+        if recover {
+            // Partial-cluster tolerance: a node whose trace is missing or
+            // unsalvageable is reported and skipped, not fatal.
+            match load_trace_recovering(path, true).and_then(|(trace, salvage)| {
+                analyze_trace_salvaged(&trace, salvage.as_ref(), AnalysisOptions::recovering())
+                    .map_err(|e| CliError::run(format!("{path}: {e}")))
+            }) {
+                Ok(p) => profiles.push(p),
+                Err(e) => {
+                    lost += 1;
+                    let _ = writeln!(out, "skipping node: {}", e.message);
+                }
+            }
+        } else {
+            let trace = load_trace(path)?;
+            profiles.push(
+                analyze_trace(&trace, AnalysisOptions::default())
+                    .map_err(|e| CliError::run(format!("{path}: {e}")))?,
+            );
+        }
+    }
+    if profiles.is_empty() {
+        return Err(CliError::run("no node trace could be recovered"));
+    }
+    let cluster = if recover {
+        ClusterProfile::with_expected(profiles, pos.len())
+    } else {
+        ClusterProfile::new(profiles)
+    };
+    let _ = writeln!(out, "cluster of {} node(s):", cluster.node_count());
+    if lost > 0 {
+        let _ = writeln!(
+            out,
+            "  ({lost} of {} node trace(s) unrecoverable; statistics cover survivors only)",
+            pos.len()
         );
     }
-    let cluster = ClusterProfile::new(profiles);
-    let _ = writeln!(out, "cluster of {} node(s):", cluster.node_count());
     for s in cluster.node_summaries() {
         let _ = writeln!(
             out,
@@ -333,6 +405,12 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
     if let Some((lo, hi)) = cluster.node_divergence_f() {
         let _ = writeln!(out, "  divergence across nodes: {:.1} F", hi - lo);
     }
+    if recover && (lost > 0 || cluster.nodes.iter().any(|n| !n.quality.is_pristine())) {
+        let _ = writeln!(out, "\ndata quality:");
+        for line in cluster.quality_report().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
     let _ = writeln!(out, "\nhot spots (node 1):");
     for spot in tempest_core::analysis::hotspots(&cluster.nodes[0], 5) {
         let _ = writeln!(
@@ -340,6 +418,66 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             "  {:<20} avg {:>6.1} F  {:>7.2}s  score {:>8.2}",
             spot.name, spot.avg_f, spot.inclusive_secs, spot.score
         );
+    }
+    Ok(())
+}
+
+/// `tempest doctor`: triage trace files without analysing them in full.
+/// For each file: try a strict read; if that fails, salvage and report
+/// exactly what was lost; then pre-flight the decoded trace the way a
+/// strict parse would. Exit code stays 0 — doctor diagnoses, it does not
+/// judge.
+fn cmd_doctor(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    if pos.is_empty() {
+        return Err(CliError::usage("doctor: which trace file(s)?"));
+    }
+    for path in pos {
+        let strict = Trace::load(Path::new(path));
+        let (verdict, detail, trace) = match strict {
+            Ok(trace) => ("ok", String::from("strict read clean"), Some(trace)),
+            Err(strict_err) => match Trace::load_salvage(Path::new(path)) {
+                Ok((trace, rep)) => {
+                    let mut d = format!("strict read failed ({strict_err}); salvaged");
+                    if let Some(section) = rep.truncated_in {
+                        d += &format!(
+                            " — truncated in {section}: {}/{} events, {}/{} samples",
+                            rep.events_salvaged,
+                            rep.events_declared,
+                            rep.samples_salvaged,
+                            rep.samples_declared
+                        );
+                    }
+                    if rep.nonfinite_samples_skipped > 0 {
+                        d += &format!(
+                            ", {} non-finite sample(s) dropped",
+                            rep.nonfinite_samples_skipped
+                        );
+                    }
+                    ("degraded", d, Some(trace))
+                }
+                Err(e) => ("unreadable", format!("salvage failed: {e}"), None),
+            },
+        };
+        let _ = writeln!(out, "{path}: {verdict}");
+        let _ = writeln!(out, "  {detail}");
+        if let Some(trace) = trace {
+            match ParseError::classify(&trace) {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  parse: clean ({} events, {} samples, {} function(s))",
+                        trace.events.len(),
+                        trace.samples.len(),
+                        trace.functions.len()
+                    );
+                }
+                Some(problem) => {
+                    let _ = writeln!(out, "  parse: {problem}");
+                    let _ = writeln!(out, "  hint: re-run with --recover to analyse anyway");
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -371,9 +509,15 @@ fn cmd_plot(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
         .unwrap_or_else(|| format!("sensor{}", sensor + 1));
     let series = TimeSeries::from_samples(label, &trace.samples, SensorId(sensor), 0);
     if series.points.is_empty() {
-        return Err(CliError::run(format!("no samples for sensor index {sensor}")));
+        return Err(CliError::run(format!(
+            "no samples for sensor index {sensor}"
+        )));
     }
-    let _ = writeln!(out, "function: {}", function_banner(&timeline, &name_of, 72));
+    let _ = writeln!(
+        out,
+        "function: {}",
+        function_banner(&timeline, &name_of, 72)
+    );
     let _ = write!(out, "{}", ascii_plot(&[series], 72, 16));
     Ok(())
 }
@@ -524,7 +668,12 @@ mod tests {
         }
         // Summary over all four nodes.
         let traces: Vec<String> = (0..4)
-            .map(|n| dir.join(format!("cg-node{n}.trace")).to_str().unwrap().to_string())
+            .map(|n| {
+                dir.join(format!("cg-node{n}.trace"))
+                    .to_str()
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         let args: Vec<&str> = std::iter::once("summary")
             .chain(traces.iter().map(String::as_str))
@@ -564,5 +713,63 @@ mod tests {
     fn sensors_runs_anywhere() {
         let out = run(&["sensors"]).unwrap();
         assert!(!out.is_empty());
+    }
+
+    /// Write a demo trace and a 60%-truncated copy of it; return both paths.
+    fn good_and_truncated(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+        let dir = temp_dir(tag);
+        let dir_s = dir.to_str().unwrap();
+        run(&["demo", "micro-d", "--out", dir_s]).unwrap();
+        let good = dir.join("micro-d-node0.trace");
+        let bytes = std::fs::read(&good).unwrap();
+        let cut = dir.join("truncated.trace");
+        std::fs::write(&cut, &bytes[..bytes.len() * 6 / 10]).unwrap();
+        (dir, good, cut)
+    }
+
+    #[test]
+    fn doctor_triages_good_and_damaged_traces() {
+        let (dir, good, cut) = good_and_truncated("doctor");
+        let out = run(&["doctor", good.to_str().unwrap()]).unwrap();
+        assert!(out.contains(": ok"), "{out}");
+        assert!(out.contains("parse: clean"), "{out}");
+
+        let out = run(&["doctor", cut.to_str().unwrap()]).unwrap();
+        assert!(out.contains(": degraded"), "{out}");
+        assert!(out.contains("truncated in"), "{out}");
+
+        let out = run(&["doctor", "/nonexistent/x.trace"]).unwrap();
+        assert!(out.contains(": unreadable"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_recover_salvages_truncated_trace() {
+        let (dir, _good, cut) = good_and_truncated("recover");
+        // Strict report refuses the damaged file...
+        let err = run(&["report", cut.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.code, 1);
+        // ...but --recover produces a profile plus a quality line.
+        let out = run(&["report", cut.to_str().unwrap(), "--recover"]).unwrap();
+        assert!(out.contains("Function: main"), "{out}");
+        assert!(out.contains("data quality:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_recover_tolerates_missing_nodes() {
+        let (dir, good, _cut) = good_and_truncated("partial");
+        let out = run(&[
+            "summary",
+            good.to_str().unwrap(),
+            "/nonexistent/gone.trace",
+            "--recover",
+        ])
+        .unwrap();
+        assert!(out.contains("skipping node"), "{out}");
+        assert!(out.contains("cluster of 1 node"), "{out}");
+        assert!(out.contains("survivors only"), "{out}");
+        assert!(out.contains("hot spots"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

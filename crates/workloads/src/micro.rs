@@ -111,7 +111,9 @@ fn recurse(tp: &ThreadProfiler, cfg: MicroConfig, depth: u32) {
         recurse(tp, cfg, depth - 1);
     }
     let _f2 = tp.scope("foo2");
-    std::thread::sleep(Duration::from_millis(cfg.timer_ms / (cfg.depth as u64 + 1).max(1)));
+    std::thread::sleep(Duration::from_millis(
+        cfg.timer_ms / (cfg.depth as u64 + 1).max(1),
+    ));
 }
 
 /// The simulated single-rank program for a micro-benchmark.
@@ -132,8 +134,12 @@ pub fn program(micro: Micro, burn_secs: f64, timer_secs: f64) -> Program {
         Micro::C => Program::builder()
             .call("main", |b| {
                 b.call("foo1", |b| b.compute(burn_secs / 3.0, ActivityMix::FpDense))
-                    .call("foo2", |b| b.compute(burn_secs / 3.0, ActivityMix::MemoryBound))
-                    .call("foo3", |b| b.compute(burn_secs / 3.0, ActivityMix::Balanced))
+                    .call("foo2", |b| {
+                        b.compute(burn_secs / 3.0, ActivityMix::MemoryBound)
+                    })
+                    .call("foo3", |b| {
+                        b.compute(burn_secs / 3.0, ActivityMix::Balanced)
+                    })
             })
             .build(),
         Micro::D => Program::builder()

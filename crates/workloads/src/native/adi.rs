@@ -349,7 +349,11 @@ mod tests {
 
     #[test]
     fn kernel_is_deterministic() {
-        let k = AdiKernel { n: 32, sweeps: 2, block_granularity: true };
+        let k = AdiKernel {
+            n: 32,
+            sweeps: 2,
+            block_granularity: true,
+        };
         assert_eq!(k.run(None), k.run(None));
         assert!(k.run(None).is_finite());
     }

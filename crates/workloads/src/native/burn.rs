@@ -82,14 +82,23 @@ mod tests {
 
     #[test]
     fn deterministic_checksum() {
-        let k = Burn { steps: 100_000, chunks: 4 };
+        let k = Burn {
+            steps: 100_000,
+            chunks: 4,
+        };
         assert_eq!(k.run(None), k.run(None));
     }
 
     #[test]
     fn work_scales_with_steps() {
-        let small = Burn { steps: 50_000, chunks: 1 };
-        let large = Burn { steps: 5_000_000, chunks: 1 };
+        let small = Burn {
+            steps: 50_000,
+            chunks: 1,
+        };
+        let large = Burn {
+            steps: 5_000_000,
+            chunks: 1,
+        };
         let t = |k: &Burn| {
             let t0 = Instant::now();
             std::hint::black_box(k.run(None));

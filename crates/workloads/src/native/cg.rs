@@ -191,7 +191,11 @@ mod tests {
 
     #[test]
     fn kernel_deterministic() {
-        let k = CgKernel { k: 24, inner_iters: 10, outer: 2 };
+        let k = CgKernel {
+            k: 24,
+            inner_iters: 10,
+            outer: 2,
+        };
         assert_eq!(k.run(None), k.run(None));
     }
 }

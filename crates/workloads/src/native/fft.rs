@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn kernel_checksum_is_stable() {
-        let k = FftKernel { log2n: 8, iterations: 3 };
+        let k = FftKernel {
+            log2n: 8,
+            iterations: 3,
+        };
         assert_eq!(k.run(None), k.run(None));
         assert!(k.run(None).is_finite());
     }

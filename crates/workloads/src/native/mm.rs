@@ -154,7 +154,11 @@ mod tests {
 
     #[test]
     fn kernel_deterministic() {
-        let k = MatMulKernel { n: 48, block: 16, reps: 2 };
+        let k = MatMulKernel {
+            n: 48,
+            block: 16,
+            reps: 2,
+        };
         assert_eq!(k.run(None), k.run(None));
     }
 }

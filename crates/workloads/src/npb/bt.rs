@@ -55,9 +55,15 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
             if let Some(r) = right {
                 b = b.send(r, face_bytes).recv(r);
             }
-            b.call("matvec_sub", |b| b.compute(blk_matvec_s, ActivityMix::FpDense))
-                .call("matmul_sub", |b| b.compute(blk_matmul_s, ActivityMix::FpDense))
-                .call("binvcrhs", |b| b.compute(solve_extra_s, ActivityMix::FpDense))
+            b.call("matvec_sub", |b| {
+                b.compute(blk_matvec_s, ActivityMix::FpDense)
+            })
+            .call("matmul_sub", |b| {
+                b.compute(blk_matmul_s, ActivityMix::FpDense)
+            })
+            .call("binvcrhs", |b| {
+                b.compute(solve_extra_s, ActivityMix::FpDense)
+            })
         })
     };
 
@@ -66,8 +72,12 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
             // Setup phases are light (grid initialisation, exact-solution
             // evaluation): clearly cooler than the post-barrier ADI burn —
             // the contrast that makes Figure 4's synchronised rise visible.
-            .call("initialize_", |b| b.compute(init_s, ActivityMix::Custom(0.08)))
-            .call("exact_rhs_", |b| b.compute(exact_rhs_s, ActivityMix::Custom(0.35)))
+            .call("initialize_", |b| {
+                b.compute(init_s, ActivityMix::Custom(0.08))
+            })
+            .call("exact_rhs_", |b| {
+                b.compute(exact_rhs_s, ActivityMix::Custom(0.35))
+            })
             // The synchronisation event of Figure 4.
             .barrier();
         let b = b.repeat(niter(class), move |b| {
@@ -79,7 +89,9 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
                 b.call("add_", |b| b.compute(add_s, ActivityMix::FpDense))
             })
         });
-        b.call("verify_", |b| b.compute_ms(5.0, ActivityMix::Balanced).allreduce(40))
+        b.call("verify_", |b| {
+            b.compute_ms(5.0, ActivityMix::Balanced).allreduce(40)
+        })
     });
     b.build()
 }
@@ -121,10 +133,9 @@ mod tests {
             let mut depth_in = 0usize;
             for op in &p.ops {
                 match op {
-                    Op::CallEnter(n)
-                        if (n == name || depth_in > 0) => {
-                            depth_in += 1;
-                        }
+                    Op::CallEnter(n) if (n == name || depth_in > 0) => {
+                        depth_in += 1;
+                    }
                     Op::CallExit => depth_in = depth_in.saturating_sub(1),
                     Op::Compute { duration_ns, .. } if depth_in > 0 => total += duration_ns,
                     _ => {}
@@ -168,19 +179,33 @@ mod tests {
     #[test]
     fn neighbour_exchange_present_for_multirank() {
         let p = program(Class::S, 4, 1);
-        let sends = p.ops.iter().filter(|o| matches!(o, Op::Send { .. })).count();
-        let recvs = p.ops.iter().filter(|o| matches!(o, Op::Recv { .. })).count();
+        let sends = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Send { .. }))
+            .count();
+        let recvs = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Recv { .. }))
+            .count();
         assert!(sends > 0 && recvs > 0);
         assert_eq!(sends, recvs);
         // Rank 0 talks only to rank 1.
         let p0 = program(Class::S, 2, 0);
-        assert!(p0.ops.iter().all(|o| !matches!(o, Op::Send { to: 2.., .. })));
+        assert!(p0
+            .ops
+            .iter()
+            .all(|o| !matches!(o, Op::Send { to: 2.., .. })));
     }
 
     #[test]
     fn single_rank_has_no_communication_but_runs() {
         let p = program(Class::S, 1, 0);
-        assert!(p.ops.iter().all(|o| !matches!(o, Op::Send { .. } | Op::Recv { .. })));
+        assert!(p
+            .ops
+            .iter()
+            .all(|o| !matches!(o, Op::Send { .. } | Op::Recv { .. })));
         assert!(p.scopes_balanced());
     }
 }

@@ -42,7 +42,8 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
                                 .alltoall(exchange_bytes)
                         })
                         .call("dot_product", |b| {
-                            b.compute(dots_s, ActivityMix::Balanced).allreduce(reduce_bytes)
+                            b.compute(dots_s, ActivityMix::Balanced)
+                                .allreduce(reduce_bytes)
                         })
                         .call("daxpy", |b| b.compute(axpy_s, ActivityMix::Balanced))
                     })
@@ -63,7 +64,10 @@ mod tests {
         let p = program(Class::A, 4, 0);
         let (mut mem_ns, mut other_ns) = (0u64, 0u64);
         for op in &p.ops {
-            if let Op::Compute { duration_ns, mix, .. } = op {
+            if let Op::Compute {
+                duration_ns, mix, ..
+            } = op
+            {
                 if *mix == ActivityMix::MemoryBound {
                     mem_ns += duration_ns;
                 } else {
@@ -71,13 +75,20 @@ mod tests {
                 }
             }
         }
-        assert!(mem_ns > other_ns, "CG should be memory-bound: {mem_ns} vs {other_ns}");
+        assert!(
+            mem_ns > other_ns,
+            "CG should be memory-bound: {mem_ns} vs {other_ns}"
+        );
     }
 
     #[test]
     fn frequent_small_reductions() {
         let p = program(Class::A, 4, 0);
-        let reduces = p.ops.iter().filter(|o| matches!(o, Op::AllReduce { .. })).count();
+        let reduces = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::AllReduce { .. }))
+            .count();
         assert!(reduces >= niter(Class::A) * 5, "got {reduces}");
     }
 }

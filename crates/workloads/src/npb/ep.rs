@@ -75,8 +75,7 @@ mod tests {
                 .samples
                 .iter()
                 .filter(|s| {
-                    s.sensor.0 == 3
-                        && (5_000_000_000..9_000_000_000).contains(&s.timestamp_ns)
+                    s.sensor.0 == 3 && (5_000_000_000..9_000_000_000).contains(&s.timestamp_ns)
                 })
                 .map(|s| s.temperature.celsius())
                 .collect();

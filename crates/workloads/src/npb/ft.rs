@@ -29,8 +29,8 @@ fn niter(class: Class) -> usize {
 /// Build rank `rank`'s FT program.
 pub fn program(class: Class, np: usize, rank: usize) -> Program {
     let _ = rank; // SPMD: all ranks run the same program.
-    // Class-A single-rank model costs. FFT passes are FP-dense with heavy
-    // strided memory traffic; evolve is a streaming multiply.
+                  // Class-A single-rank model costs. FFT passes are FP-dense with heavy
+                  // strided memory traffic; evolve is a streaming multiply.
     let evolve_s = scaled_compute(0.06, class, np);
     let fft_pass_s = scaled_compute(0.075, class, np);
     // Transpose volume: each rank exchanges its slab with every other.
@@ -56,7 +56,8 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
             b.call("evolve_", |b| b.compute(evolve_s, ActivityMix::MemoryBound))
                 .call("fft_", |b| fft_body(b, fft_pass_s, transpose_bytes))
                 .call("checksum_", |b| {
-                    b.compute_ms(2.0, ActivityMix::Balanced).allreduce(checksum_bytes)
+                    b.compute_ms(2.0, ActivityMix::Balanced)
+                        .allreduce(checksum_bytes)
                 })
         })
     });
@@ -105,7 +106,14 @@ mod tests {
                 _ => None,
             })
             .collect();
-        for expected in ["MAIN__", "setup_", "evolve_", "cffts1_", "transpose_x_yz_", "checksum_"] {
+        for expected in [
+            "MAIN__",
+            "setup_",
+            "evolve_",
+            "cffts1_",
+            "transpose_x_yz_",
+            "checksum_",
+        ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
     }

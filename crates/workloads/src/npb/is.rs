@@ -40,7 +40,9 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
                     })
                     .allreduce(scaled_bytes(4096.0, class, np, 0))
                     .alltoall(key_bytes)
-                    .call("local_sort", |b| b.compute(local_sort_s, ActivityMix::MemoryBound))
+                    .call("local_sort", |b| {
+                        b.compute(local_sort_s, ActivityMix::MemoryBound)
+                    })
                 })
             })
             .call("full_verify_", |b| {
@@ -61,7 +63,10 @@ mod tests {
         assert!(
             p.ops.iter().all(|o| !matches!(
                 o,
-                Op::Compute { mix: ActivityMix::FpDense, .. }
+                Op::Compute {
+                    mix: ActivityMix::FpDense,
+                    ..
+                }
             )),
             "IS is integer-only"
         );
@@ -70,7 +75,11 @@ mod tests {
     #[test]
     fn each_iteration_exchanges_keys() {
         let p = program(Class::A, 4, 0);
-        let a2a = p.ops.iter().filter(|o| matches!(o, Op::AllToAll { .. })).count();
+        let a2a = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::AllToAll { .. }))
+            .count();
         assert_eq!(a2a, niter(Class::A));
     }
 }

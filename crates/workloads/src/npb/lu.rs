@@ -81,7 +81,9 @@ mod tests {
         let last = program(Class::S, 4, 3);
         // Rank 0's blts never receives; rank 3's blts never sends.
         let receives_from = |p: &Program, from: usize| {
-            p.ops.iter().any(|o| matches!(o, Op::Recv { from: f } if *f == from))
+            p.ops
+                .iter()
+                .any(|o| matches!(o, Op::Recv { from: f } if *f == from))
         };
         assert!(!receives_from(&first, usize::MAX - 1)); // no panic path
         assert!(receives_from(&last, 2));
@@ -104,6 +106,9 @@ mod tests {
     fn single_rank_pipeline_degenerates_cleanly() {
         let p = program(Class::S, 1, 0);
         assert!(p.scopes_balanced());
-        assert!(p.ops.iter().all(|o| !matches!(o, Op::Send { .. } | Op::Recv { .. })));
+        assert!(p
+            .ops
+            .iter()
+            .all(|o| !matches!(o, Op::Send { .. } | Op::Recv { .. })));
     }
 }

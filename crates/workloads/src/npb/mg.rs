@@ -37,8 +37,12 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
         let name = if down { "rprj3_" } else { "interp_" };
         b.call("comm3_", move |b| b.alltoall(bytes))
             .call("psinv_", move |b| b.compute(smooth, ActivityMix::FpDense))
-            .call("resid_", move |b| b.compute(resid, ActivityMix::MemoryBound))
-            .call(name, move |b| b.compute(resid * 0.4, ActivityMix::MemoryBound))
+            .call("resid_", move |b| {
+                b.compute(resid, ActivityMix::MemoryBound)
+            })
+            .call(name, move |b| {
+                b.compute(resid * 0.4, ActivityMix::MemoryBound)
+            })
     };
 
     Program::builder()
@@ -59,7 +63,9 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
                     }
                     b
                 })
-                .call("norm2u3_", |b| b.compute_ms(1.0, ActivityMix::Balanced).allreduce(16))
+                .call("norm2u3_", |b| {
+                    b.compute_ms(1.0, ActivityMix::Balanced).allreduce(16)
+                })
             })
         })
         .build()
@@ -73,8 +79,16 @@ mod tests {
     #[test]
     fn vcycle_structure_has_both_directions() {
         let p = program(Class::S, 4, 0);
-        let rprj = p.ops.iter().filter(|o| matches!(o, Op::CallEnter(n) if n == "rprj3_")).count();
-        let interp = p.ops.iter().filter(|o| matches!(o, Op::CallEnter(n) if n == "interp_")).count();
+        let rprj = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::CallEnter(n) if n == "rprj3_"))
+            .count();
+        let interp = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::CallEnter(n) if n == "interp_"))
+            .count();
         assert_eq!(rprj, interp);
         assert_eq!(rprj, LEVELS * ncycles(Class::S));
     }
@@ -88,9 +102,9 @@ mod tests {
             .ops
             .iter()
             .filter_map(|o| match o {
-                Op::Compute { duration_ns, mix, .. } if *mix == ActivityMix::FpDense => {
-                    Some(*duration_ns)
-                }
+                Op::Compute {
+                    duration_ns, mix, ..
+                } if *mix == ActivityMix::FpDense => Some(*duration_ns),
                 _ => None,
             })
             .collect();

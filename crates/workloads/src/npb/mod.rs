@@ -108,7 +108,7 @@ pub(crate) fn scaled_bytes(base_a_bytes: f64, class: Class, np: usize, np_power:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tempest_cluster::{ClusterRunConfig, ClusterRun};
+    use tempest_cluster::{ClusterRun, ClusterRunConfig};
 
     #[test]
     fn all_programs_build_balanced_for_every_class() {

@@ -51,7 +51,9 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
     Program::builder()
         .call("MAIN__", move |b| {
             let b = b
-                .call("initialize_", |b| b.compute(init_s, ActivityMix::Custom(0.1)))
+                .call("initialize_", |b| {
+                    b.compute(init_s, ActivityMix::Custom(0.1))
+                })
                 .barrier();
             b.repeat(niter(class), move |b| {
                 b.call("adi_", move |b| {
@@ -64,7 +66,9 @@ pub fn program(class: Class, np: usize, rank: usize) -> Program {
                     b.call("add_", |b| b.compute(add_s, ActivityMix::Balanced))
                 })
             })
-            .call("verify_", |b| b.compute_ms(4.0, ActivityMix::Balanced).allreduce(40))
+            .call("verify_", |b| {
+                b.compute_ms(4.0, ActivityMix::Balanced).allreduce(40)
+            })
         })
         .build()
 }
@@ -85,7 +89,9 @@ mod tests {
                 _ => None,
             })
             .collect();
-        for expected in ["MAIN__", "adi_", "txinvr_", "x_solve_", "z_solve_", "verify_"] {
+        for expected in [
+            "MAIN__", "adi_", "txinvr_", "x_solve_", "z_solve_", "verify_",
+        ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
         assert!(p.scopes_balanced());
@@ -111,7 +117,11 @@ mod tests {
             die.iter().sum::<f64>() / die.len() as f64
         };
         let sp = avg_die((0..4).map(|r| program(Class::C, 4, r)).collect());
-        let bt = avg_die((0..4).map(|r| super::super::bt::program(Class::C, 4, r)).collect());
+        let bt = avg_die(
+            (0..4)
+                .map(|r| super::super::bt::program(Class::C, 4, r))
+                .collect(),
+        );
         assert!(
             sp < bt,
             "SP (scalar/memory) should run cooler than BT (block/FP): {sp:.1} !< {bt:.1}"

@@ -44,7 +44,13 @@ fn main() {
 
     // Cluster-wide: which function is the global hot spot?
     println!("cluster-wide view of the usual suspects:");
-    for name in ["adi_", "compute_rhs_", "matvec_sub", "matmul_sub", "binvcrhs"] {
+    for name in [
+        "adi_",
+        "compute_rhs_",
+        "matvec_sub",
+        "matmul_sub",
+        "binvcrhs",
+    ] {
         if let Some(summary) = cluster.function_cluster_summary(name) {
             println!(
                 "  {:<14} avg-of-node-averages {:>6.1} F (min {:>6.1}, max {:>6.1})",

@@ -47,10 +47,16 @@ fn main() {
     let optimised = profile(&cfg, &optimised_programs);
 
     println!("\n3. function-level before → after (node 1):");
-    println!("   {:<16} {:>10} {:>10}", "function", "Δtime(s)", "Δtemp(F)");
+    println!(
+        "   {:<16} {:>10} {:>10}",
+        "function", "Δtime(s)", "Δtemp(F)"
+    );
     for d in compare_profiles(&baseline.nodes[0], &optimised.nodes[0]) {
         if d.dtime_secs.abs() > 0.005 || d.dtemp_f.abs() > 0.2 {
-            println!("   {:<16} {:>+10.2} {:>+10.2}", d.name, d.dtime_secs, d.dtemp_f);
+            println!(
+                "   {:<16} {:>+10.2} {:>+10.2}",
+                d.name, d.dtime_secs, d.dtemp_f
+            );
         }
     }
 

@@ -21,7 +21,7 @@ fn blocks_profile_alongside_functions() {
     let session = ProfilingSession::start_with_sensors(
         Arc::new(MonotonicClock::new()),
         Box::new(ConstantSource::single(42.0)),
-        TempdConfig { rate_hz: 100.0 },
+        TempdConfig::at_rate(100.0),
     );
     let tp = session.thread_profiler();
     {
@@ -91,6 +91,9 @@ fn mixed_granularity_timeline_stays_well_nested() {
     drop(tp);
     let trace = session.finish();
     let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
-    assert!(profile.warnings.is_empty(), "mixed nesting must reconstruct");
+    assert!(
+        profile.warnings.is_empty(),
+        "mixed nesting must reconstruct"
+    );
     assert_eq!(profile.functions.len(), 4);
 }

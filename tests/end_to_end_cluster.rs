@@ -31,7 +31,11 @@ fn ft_run_reproduces_paper_observations() {
     // Every node profiled the same function inventory.
     for node in &cluster.nodes {
         for f in ["MAIN__", "evolve_", "cffts1_", "transpose_x_yz_"] {
-            assert!(node.by_name(f).is_some(), "{f} missing on node {}", node.node.node_id);
+            assert!(
+                node.by_name(f).is_some(),
+                "{f} missing on node {}",
+                node.node.node_id
+            );
         }
     }
     // Nodes diverge thermally under identical load (§4).

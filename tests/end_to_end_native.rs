@@ -32,7 +32,7 @@ fn native_session_to_report() {
     let session = ProfilingSession::start_with_sensors(
         Arc::new(MonotonicClock::new()),
         Box::new(two_sensor_source()),
-        TempdConfig { rate_hz: 50.0 },
+        TempdConfig::at_rate(50.0),
     );
     let tp = session.thread_profiler();
     {
@@ -94,7 +94,7 @@ fn multi_thread_native_profile_attributes_by_thread() {
     let session = ProfilingSession::start_with_sensors(
         Arc::new(MonotonicClock::new()),
         Box::new(two_sensor_source()),
-        TempdConfig { rate_hz: 100.0 },
+        TempdConfig::at_rate(100.0),
     );
     let profiler = Arc::clone(session.profiler());
     let mut handles = Vec::new();

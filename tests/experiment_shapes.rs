@@ -30,7 +30,10 @@ fn die_series(run: &ClusterRun) -> Vec<TimeSeries> {
 fn e5_ft_comm_heavy_and_divergent() {
     let (run, cluster) = run_and_parse(NpbBenchmark::Ft, Class::C);
     let f = run.engine.comm_fraction(0);
-    assert!((0.3..=0.7).contains(&f), "FT comm fraction {f:.2} not ≈ 0.5");
+    assert!(
+        (0.3..=0.7).contains(&f),
+        "FT comm fraction {f:.2} not ≈ 0.5"
+    );
     let (lo, hi) = cluster.node_divergence_f().unwrap();
     assert!(hi - lo > 1.0, "FT nodes should diverge thermally");
 }

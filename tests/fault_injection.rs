@@ -1,0 +1,296 @@
+//! Fault-injection matrix: the sense→trace→parse pipeline must degrade
+//! gracefully, never panic.
+//!
+//! Three layers of damage are exercised together, mirroring what a real
+//! cluster deployment produces: sensors that die or lie (sensors crate
+//! fault harness), trace files truncated mid-write (probe salvage
+//! reader), and event streams missing exits (corruption injectors +
+//! recovering parser). The headline acceptance scenario: a four-node run
+//! with one dead sensor, one rank's trace truncated at 60%, and 1% of
+//! another rank's exit events dropped still produces a [`ClusterProfile`]
+//! whose surviving-node hot-spot rankings match the fault-free run, with
+//! [`DataQuality`] reporting every loss.
+
+use std::time::Duration;
+use tempest_cluster::{ClusterRun, ClusterRunConfig};
+use tempest_core::analysis::hotspots;
+use tempest_core::{
+    analyze_trace, analyze_trace_salvaged, AnalysisOptions, ClusterProfile, NodeProfile,
+};
+use tempest_probe::corrupt::{truncate_at_fraction, TraceCorruptor};
+use tempest_probe::event::EventKind;
+use tempest_probe::tempd::{ResilientSampler, TempdConfig};
+use tempest_probe::trace::Trace;
+use tempest_probe::VecSink;
+use tempest_sensors::faults::{FaultPlan, FaultySensorSource};
+use tempest_sensors::node_model::{NodeThermalModel, NodeThermalParams};
+use tempest_sensors::platform::PlatformSpec;
+use tempest_sensors::sim::SimulatedSensorBank;
+use tempest_sensors::SensorId;
+use tempest_workloads::npb::NpbBenchmark;
+use tempest_workloads::Class;
+
+fn cg_run() -> ClusterRun {
+    let cfg = ClusterRunConfig::paper_default();
+    ClusterRun::execute(&cfg, &NpbBenchmark::Cg.programs(Class::A, 4))
+}
+
+fn ranking(p: &NodeProfile) -> Vec<String> {
+    hotspots(p, 5).into_iter().map(|h| h.name).collect()
+}
+
+/// The acceptance scenario from the issue: dead sensor + 60% truncation +
+/// 1% dropped exits across a four-node run.
+#[test]
+fn damaged_cluster_still_ranks_hotspots() {
+    let run = cg_run();
+    let baseline: Vec<NodeProfile> = run
+        .traces
+        .iter()
+        .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+        .collect();
+    let baseline_rankings: Vec<Vec<String>> = baseline.iter().map(ranking).collect();
+    assert!(
+        baseline_rankings.iter().all(|r| !r.is_empty()),
+        "baseline must have hot spots to compare against"
+    );
+
+    // Fault 1 — node 0 ran with one sensor dead the entire run.
+    let mut t0 = run.traces[0].clone();
+    let removed = TraceCorruptor::new(11).kill_sensor(&mut t0, SensorId(0));
+    assert!(removed > 0, "sensor 0 should have had samples to remove");
+
+    // Fault 2 — node 1's trace file was truncated at 60% (crash mid-write).
+    let mut bytes = Vec::new();
+    run.traces[1].write_to(&mut bytes).unwrap();
+    let cut = truncate_at_fraction(&bytes, 0.6);
+    let (t1, salvage) = Trace::read_salvage(&mut cut.as_slice()).unwrap();
+    assert!(
+        salvage.truncated_in.is_some(),
+        "60% cut must lose something"
+    );
+
+    // Fault 3 — node 2 lost 1% of its exit events (instrumentation bug).
+    let mut t2 = run.traces[2].clone();
+    let dropped_exits = TraceCorruptor::new(13).drop_exit_events(&mut t2, 0.01);
+    assert!(dropped_exits > 0);
+
+    // Node 3 is untouched.
+    let opts = AnalysisOptions::recovering();
+    let p0 = analyze_trace(&t0, opts).unwrap();
+    let p1 = analyze_trace_salvaged(&t1, Some(&salvage), opts).unwrap();
+    let p2 = analyze_trace(&t2, opts).unwrap();
+    let p3 = analyze_trace(&run.traces[3], opts).unwrap();
+
+    // Every loss is reported, nothing silently absorbed.
+    assert!(
+        p0.quality.sensor_coverage < 1.0,
+        "dead sensor must dent coverage, got {}",
+        p0.quality.sensor_coverage
+    );
+    assert!(
+        p1.quality.events_lost_in_salvage + p1.quality.samples_lost_in_salvage > 0,
+        "truncation losses must be recorded: {}",
+        p1.quality
+    );
+    assert!(
+        !p2.warnings.is_empty(),
+        "dropped exits must surface as timeline repairs"
+    );
+    assert!(p3.quality.is_pristine(), "untouched node: {}", p3.quality);
+
+    let cluster = ClusterProfile::with_expected(vec![p0, p1, p2, p3], 4);
+    assert_eq!(cluster.node_count(), 4);
+    assert!(cluster.missing_node_ids().is_empty());
+    assert_eq!(cluster.node_coverage(), 1.0);
+
+    // Hot-spot rankings on nodes whose timing survived intact (0: lost a
+    // sensor, 3: untouched) match the fault-free run exactly.
+    for idx in [0usize, 3] {
+        assert_eq!(
+            ranking(&cluster.nodes[idx]),
+            baseline_rankings[idx],
+            "node {idx} ranking diverged from fault-free run"
+        );
+    }
+    // Node 2 lost 1% of its exits: force-closing those frames can promote
+    // extra functions into the list, but the fault-free hot spots must
+    // keep their relative order, led by the same top function.
+    let damaged = ranking(&cluster.nodes[2]);
+    assert_eq!(damaged.first(), baseline_rankings[2].first());
+    let mut cursor = damaged.iter();
+    for want in &baseline_rankings[2] {
+        assert!(
+            cursor.any(|got| got == want),
+            "node 2 lost or reordered hot spot {want}: {damaged:?} vs {:?}",
+            baseline_rankings[2]
+        );
+    }
+    // The truncated node still profiles; its top function is one the
+    // fault-free run also ranked (the prefix preserves the big spenders).
+    let truncated_ranking = ranking(&cluster.nodes[1]);
+    if let Some(top) = truncated_ranking.first() {
+        assert!(
+            baseline_rankings[1].contains(top),
+            "truncated node's top spot {top} unknown to baseline {:?}",
+            baseline_rankings[1]
+        );
+    }
+
+    // The cluster-wide damage report names the degraded nodes.
+    let report = cluster.quality_report();
+    assert!(report.contains("degraded"), "{report}");
+    assert!(report.contains("ok"), "{report}");
+}
+
+/// A cluster where one rank's trace is wholly lost still merges: the
+/// survivors carry the statistics and the shortfall is reported.
+#[test]
+fn missing_rank_tolerated_by_cluster_merge() {
+    let run = cg_run();
+    let opts = AnalysisOptions::recovering();
+    // Rank 2's trace never made it off the node.
+    let survivors: Vec<NodeProfile> = run
+        .traces
+        .iter()
+        .filter(|t| t.node.node_id != 2)
+        .map(|t| analyze_trace(t, opts).unwrap())
+        .collect();
+    let cluster = ClusterProfile::with_expected(survivors, 4);
+    assert_eq!(cluster.node_count(), 3);
+    assert_eq!(cluster.missing_node_ids(), vec![2]);
+    assert!((cluster.node_coverage() - 0.75).abs() < 1e-9);
+    assert!(cluster.quality_report().contains("missing"));
+    // Cross-node statistics still work over the survivors.
+    assert!(cluster.node_divergence_f().is_some());
+    assert_eq!(cluster.node_summaries().len(), 3);
+}
+
+fn sim_bank() -> SimulatedSensorBank {
+    SimulatedSensorBank::new(
+        PlatformSpec::opteron_full(),
+        NodeThermalModel::new(NodeThermalParams::opteron_node()),
+        7,
+        0.1,
+    )
+}
+
+/// Every fault kind — alone and stacked — must flow through the resilient
+/// sampler without panicking, and the sampler's health ledger must add up.
+#[test]
+fn every_fault_plan_completes_without_panic() {
+    let plans = vec![
+        ("dropout", FaultPlan::new(1).dropout(SensorId(0), 0.5)),
+        (
+            "stuck",
+            FaultPlan::new(2).stuck_at(SensorId(1), 1_000_000_000),
+        ),
+        ("spike", FaultPlan::new(3).spike(SensorId(2), 0.3, 25.0)),
+        ("nan", FaultPlan::new(4).poison_nan(SensorId(3), 0.3)),
+        (
+            "slow",
+            FaultPlan::new(5).slow_read(SensorId(0), 0.5, Duration::from_micros(200)),
+        ),
+        ("dead", FaultPlan::new(6).dead_after(SensorId(1), 0)),
+        (
+            "storm",
+            FaultPlan::new(7)
+                .dropout(SensorId(0), 0.9)
+                .stuck_at(SensorId(1), 0)
+                .spike(SensorId(2), 0.5, 40.0)
+                .poison_nan(SensorId(3), 0.5)
+                .dead_after(SensorId(4), 500_000_000)
+                .slow_read(SensorId(5), 0.2, Duration::from_micros(100)),
+        ),
+    ];
+    for (name, plan) in plans {
+        let mut faulty = FaultySensorSource::new(Box::new(sim_bank()), plan);
+        let config = TempdConfig {
+            retry_backoff: Duration::ZERO, // don't sleep in tests
+            ..TempdConfig::at_rate(4.0)
+        };
+        let mut sampler = ResilientSampler::new(config);
+        let sink = VecSink::new();
+        for round in 0..50u64 {
+            sampler.round(&mut faulty, round * 250_000_000, sink.as_ref());
+        }
+        let health = sampler.health();
+        let events = sink.drain();
+        let samples = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Sample { .. }))
+            .count() as u64;
+        let gaps = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Gap { .. }))
+            .count() as u64;
+        assert_eq!(samples, health.reads_ok, "{name}: sample accounting");
+        assert_eq!(gaps, health.gaps_emitted, "{name}: gap accounting");
+        assert_eq!(
+            health.reads_ok + health.missed_reads,
+            50 * 6,
+            "{name}: every sensor-round accounted for (ok {} missed {})",
+            health.reads_ok,
+            health.missed_reads
+        );
+        let coverage = health.coverage();
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "{name}: coverage {coverage}"
+        );
+    }
+}
+
+/// Truncating a serialized trace at every section boundary region still
+/// salvages a usable prefix, and recovered profiles never panic.
+#[test]
+fn truncation_sweep_salvages_or_errors_never_panics() {
+    let run = cg_run();
+    let mut bytes = Vec::new();
+    run.traces[0].write_to(&mut bytes).unwrap();
+    for pct in [0.0, 0.05, 0.1, 0.25, 0.4, 0.6, 0.75, 0.9, 0.99, 1.0] {
+        let cut = truncate_at_fraction(&bytes, pct);
+        match Trace::read_salvage(&mut cut.as_slice()) {
+            Ok((trace, report)) => {
+                // Whatever survived must analyse cleanly in recover mode.
+                let p =
+                    analyze_trace_salvaged(&trace, Some(&report), AnalysisOptions::recovering())
+                        .unwrap();
+                if report.truncated_in.is_some() {
+                    assert!(p.quality.recovered);
+                }
+            }
+            Err(e) => {
+                // Only a cut inside the magic/header may be unreadable.
+                assert!(pct < 0.05, "cut at {pct} should salvage, got {e}");
+            }
+        }
+    }
+}
+
+/// Poisoned symbol ids and scrambled timestamp windows: strict parsing
+/// reports a typed error, recovery analyses the remainder and counts the
+/// drops.
+#[test]
+fn poisoned_and_scrambled_traces_recover_with_accounting() {
+    let run = cg_run();
+    let mut t = run.traces[0].clone();
+    let mut corruptor = TraceCorruptor::new(21);
+    let poisoned = corruptor.poison_symbol_ids(&mut t, 0.02);
+    let span = t.span_ns();
+    let scrambled = corruptor.shuffle_timestamp_window(&mut t, span / 4, span / 10);
+    assert!(poisoned > 0 && scrambled > 0);
+
+    assert!(
+        analyze_trace(&t, AnalysisOptions::default()).is_err(),
+        "strict mode must reject the damage"
+    );
+    let p = analyze_trace(&t, AnalysisOptions::recovering()).unwrap();
+    assert_eq!(p.quality.events_dropped_unknown_func, poisoned);
+    assert!(
+        p.quality.events_dropped_nonmonotonic > 0,
+        "scramble should force monotonic drops"
+    );
+    assert!(!p.quality.is_pristine());
+    assert!(!ranking(&p).is_empty(), "profile still usable");
+}

@@ -72,7 +72,11 @@ fn benchmark_d_simulated_matches_figure_2_shape() {
     assert!(foo1.significant);
     // foo1's max die temperature exceeds its min: the function ran at
     // different temperatures over its lifetime (§3.1's motivation).
-    let die_stats = foo1.thermal.values().max_by(|a, b| a.max.partial_cmp(&b.max).unwrap()).unwrap();
+    let die_stats = foo1
+        .thermal
+        .values()
+        .max_by(|a, b| a.max.partial_cmp(&b.max).unwrap())
+        .unwrap();
     assert!(die_stats.max - die_stats.min > 3.0);
 }
 

@@ -125,7 +125,11 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                     id: FunctionId(i),
                     name: format!("fn{i}"),
                     address: 0x400000 + 16 * i as u64,
-                    kind: if i % 2 == 0 { ScopeKind::Function } else { ScopeKind::Block },
+                    kind: if i % 2 == 0 {
+                        ScopeKind::Function
+                    } else {
+                        ScopeKind::Block
+                    },
                 })
                 .collect();
             let mut events: Vec<Event> = evs
@@ -168,6 +172,45 @@ proptest! {
         trace.write_to(&mut buf).unwrap();
         let back = Trace::read_from(&mut buf.as_slice()).unwrap();
         prop_assert_eq!(back, trace);
+    }
+
+    // Cutting the serialized bytes at ANY offset either salvages a valid
+    // prefix of the original trace or returns a typed error — never a
+    // panic, and never silently invented data.
+    #[test]
+    fn any_truncation_salvages_prefix_or_errors(
+        trace in arb_trace(),
+        raw_cut in 0usize..8192,
+    ) {
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let cut = raw_cut.min(buf.len());
+        let short = &buf[..cut];
+        match Trace::read_salvage(&mut &short[..]) {
+            Ok((back, report)) => {
+                // Whatever survived is a byte-faithful prefix.
+                prop_assert!(back.events.len() <= trace.events.len());
+                prop_assert_eq!(&back.events[..], &trace.events[..back.events.len()]);
+                prop_assert!(back.samples.len() <= trace.samples.len());
+                prop_assert_eq!(&back.samples[..], &trace.samples[..back.samples.len()]);
+                // The report's accounting matches what came back.
+                prop_assert_eq!(report.events_salvaged as usize, back.events.len());
+                prop_assert_eq!(report.samples_salvaged as usize, back.samples.len());
+                if cut == buf.len() {
+                    prop_assert!(report.is_clean(), "full buffer must salvage clean");
+                    prop_assert_eq!(back, trace);
+                }
+            }
+            Err(_) => {
+                // A typed error is only acceptable before any payload could
+                // exist: cuts inside the magic or node-meta header.
+            }
+        }
+        // The strict reader must reject every proper prefix (all sections
+        // are length-prefixed), and must not panic either.
+        if cut < buf.len() {
+            prop_assert!(Trace::read_from(&mut &short[..]).is_err());
+        }
     }
 }
 

@@ -1,0 +1,279 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench-definition API (`Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter*`, `criterion_group!`/`criterion_main!`)
+//! so the workspace's benches compile and run without network access, but
+//! replaces criterion's statistical machinery with a simple calibrated
+//! timing loop that prints mean wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes, decimal multiple reporting.
+    BytesDecimal(u64),
+}
+
+/// Batch sizing for `iter_batched*`.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Input shared by exactly this many iterations.
+    NumIterations(u64),
+    /// One input per batch of unspecified size.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 1024,
+            BatchSize::LargeInput => 64,
+            BatchSize::NumIterations(n) => n.max(1),
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Benchmark registry / runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Configure how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Apply CLI-style configuration (accepted for API parity; no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_bench(&id.into(), self.sample_size, None, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, self.throughput, f);
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up / calibration: grow iteration count until one sample takes
+    // at least ~2ms, so short routines aren't dominated by timer overhead.
+    loop {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || b.iters >= 1 << 24 {
+            break;
+        }
+        b.iters *= 8;
+    }
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut timed = 0u64;
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        best = best.min(b.elapsed);
+        total += b.elapsed;
+        timed += b.iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / timed.max(1) as f64;
+    let rate = match tp {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!("  {:.1} MiB/s", n as f64 / 1048576.0 / (mean_ns / 1e9))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.0} elem/s", n as f64 / (mean_ns / 1e9))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id}: mean {mean_ns:.1} ns/iter (best sample {:.1} ns/iter){rate}",
+        best.as_nanos() as f64 / b.iters.max(1) as f64
+    );
+}
+
+/// Times a closure over a calibrated number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a per-batch input built by `setup` (by reference).
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let per_batch = size.iters_per_batch();
+        let mut remaining = self.iters;
+        let mut elapsed = Duration::ZERO;
+        while remaining > 0 {
+            let n = remaining.min(per_batch);
+            let mut input = setup();
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine(&mut input));
+            }
+            elapsed += start.elapsed();
+            remaining -= n;
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Time `routine` with a per-batch input built by `setup` (by value).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch = size.iters_per_batch().min(4096);
+        let mut remaining = self.iters;
+        let mut elapsed = Duration::ZERO;
+        while remaining > 0 {
+            let n = remaining.min(per_batch);
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            elapsed += start.elapsed();
+            remaining -= n;
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $(
+                $target(&mut c);
+            )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $(
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(8));
+        g.bench_function("sum", |b| b.iter(|| (0u64..8).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![0u8; 16],
+                |v| v.iter().map(|&x| x as u32).sum::<u32>(),
+                BatchSize::NumIterations(32),
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+}

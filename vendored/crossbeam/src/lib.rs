@@ -1,0 +1,34 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by this
+//! workspace; since Rust 1.72 `std::sync::mpsc` is itself backed by the
+//! crossbeam queue implementation and its `Sender` is `Sync + Clone`, so a
+//! thin re-export is behaviourally equivalent for our purposes.
+
+/// Multi-producer channels (std-backed).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn sender_is_sync_clone_and_delivers_in_order() {
+        fn assert_sync<T: Sync + Clone + Send>() {}
+        assert_sync::<channel::Sender<u32>>();
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

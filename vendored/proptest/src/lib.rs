@@ -1,0 +1,466 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of proptest's API the workspace's property tests
+//! use: the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, the
+//! [`Strategy`] trait with `prop_map`, range/tuple/vec/bool strategies, and
+//! a tiny `[class]{m,n}` regex-string strategy.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and case index; the
+//!   run is fully deterministic (seeded from the test name), so re-running
+//!   reproduces it exactly.
+//! * **Fewer default cases** (64 instead of 256) to keep offline CI fast.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 stream used to generate test cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed deterministically from a test name and case index.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h ^ ((case as u64) << 32 | 0x5DEE_CE66))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $ty
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `&str` patterns act as regex-string strategies. Supported subset:
+/// literal characters, `[a-z0-9_]`-style classes, and `{m,n}` / `{n}` / `+`
+/// / `*` repetition of the final atom.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a char class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad class range in {pattern:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Parse optional repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad {m,n}"),
+                    n.trim().parse::<usize>().expect("bad {m,n}"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad {n}");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else {
+            (1, 1)
+        };
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.usize_in(lo, hi + 1)
+        };
+        for _ in 0..count {
+            out.push(alphabet[rng.usize_in(0, alphabet.len())]);
+        }
+    }
+    out
+}
+
+/// Strategy namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Vectors of `element` with a length drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.usize_in(self.len.start, self.len.end.max(self.len.start + 1));
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Either boolean, uniformly.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration for [`proptest!`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert a condition inside a property; failure reports the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[test] fn $name:ident ($($args:tt)*) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                    let outcome = {
+                        $crate::__proptest_bind!(__rng; $($args)*);
+                        (|| -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    };
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}:\n{}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; $argp:pat_param in $strat:expr) => {
+        let $argp = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $argp:pat_param in $strat:expr,) => {
+        let $argp = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $argp:pat_param in $strat:expr, $($rest:tt)+) => {
+        let $argp = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_subset() {
+        let mut rng = crate::TestRng::for_case("pattern", 0);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f64..9.0, n in 1usize..5, b in prop::bool::ANY) {
+            prop_assert!((-3.0..9.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(matches!(b, true | false));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec((0u32..10, prop::bool::ANY), 2..20)
+            .prop_map(|pairs| pairs.into_iter().map(|(a, _)| a).collect::<Vec<u32>>())) {
+            prop_assert!(v.len() >= 2 && v.len() < 20);
+            prop_assert!(v.iter().all(|&a| a < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_limits_cases(seed in 0u64..1_000) {
+            prop_assert!(seed < 1_000);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::TestRng::for_case("t", 1);
+        let mut b = crate::TestRng::for_case("t", 1);
+        let s = prop::collection::vec(0u64..100, 3..10);
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
+    }
+}
