@@ -11,6 +11,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run (benches must compile)"
+cargo bench --no-run -p tempest-bench
+
+echo "==> perf_smoke (refresh BENCH_parse.json)"
+cargo run --release -q -p tempest-bench --bin perf_smoke -- BENCH_parse.json >/dev/null
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,81 @@
+//! Criterion: the perf-critical path end to end on synthetic traces.
+//!
+//! Covers the three stages the parallel-analysis work optimised — zero-copy
+//! decode, the allocation-free correlate sweep, and the full per-node
+//! pipeline — plus the multi-node engine at 1 and 4 workers. Inputs come
+//! from [`TraceGenerator`], so sizes are exact and runs are reproducible.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tempest_core::correlate::correlate;
+use tempest_core::timeline::Timeline;
+use tempest_core::{analyze_trace, AnalysisOptions, Engine};
+use tempest_probe::trace::Trace;
+use tempest_probe::{TraceGenerator, TraceSpec};
+
+fn bench_perf_pipeline(c: &mut Criterion) {
+    let spec = TraceSpec {
+        seed: 42,
+        events: 100_000,
+        duration_ns: 60 * 1_000_000_000,
+        sample_interval_ns: 1_000_000, // 1 kHz: dense sample stream
+        ..Default::default()
+    };
+    let trace = TraceGenerator::new(spec).generate(0);
+    let bytes = trace.to_bytes();
+    let timeline = Timeline::build(&trace.events);
+
+    let mut g = c.benchmark_group("perf_pipeline");
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    g.bench_function("decode_100k_events", |b| {
+        b.iter(|| Trace::decode(black_box(&bytes)).unwrap());
+    });
+    g.bench_function("encode_100k_events", |b| {
+        let mut scratch = Vec::with_capacity(bytes.len());
+        b.iter(|| {
+            scratch.clear();
+            black_box(&trace).encode_into(&mut scratch);
+            black_box(scratch.len())
+        });
+    });
+    g.bench_function("correlate_100k_events", |b| {
+        b.iter(|| correlate(black_box(&timeline), black_box(&trace.samples)));
+    });
+    g.bench_function("full_pipeline_100k_events", |b| {
+        b.iter(|| analyze_trace(black_box(&trace), AnalysisOptions::default()).unwrap());
+    });
+    g.finish();
+
+    // Multi-node fan-out: 4 nodes through the engine at 1 vs 4 workers.
+    let dir = std::env::temp_dir().join(format!("tempest-bench-engine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cluster_spec = TraceSpec {
+        events: 25_000,
+        ..spec
+    };
+    let gen = TraceGenerator::new(cluster_spec);
+    let paths: Vec<String> = (0..4)
+        .map(|n| {
+            let p = dir.join(format!("node{n}.trace"));
+            gen.generate(n).save(&p).unwrap();
+            p.to_str().unwrap().to_string()
+        })
+        .collect();
+    let mut g = c.benchmark_group("cluster_fanout");
+    g.throughput(Throughput::Elements(4));
+    for jobs in [1usize, 4] {
+        let engine = Engine::new(jobs);
+        g.bench_function(format!("analyze_4_nodes_jobs{jobs}"), |b| {
+            b.iter(|| {
+                let results = engine.analyze_files(black_box(&paths), AnalysisOptions::default());
+                assert!(results.iter().all(Result::is_ok));
+                results.len()
+            });
+        });
+    }
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_perf_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! `perf_smoke` — the perf harness's headline numbers, as JSON.
+//!
+//! Generates a 4-node synthetic cluster totalling ~1M scope events,
+//! then measures the optimised path end to end:
+//!
+//! * zero-copy decode throughput (events/s and MB/s),
+//! * correlate-sweep allocation counts (the rewrite's target metric),
+//! * full multi-node analysis wall time at `--jobs 1` vs `--jobs 4`
+//!   and the resulting speedup,
+//! * peak RSS of the whole process.
+//!
+//! Writes `BENCH_parse.json` (or the path given as the first argument).
+//! The host's CPU count is recorded alongside the speedup: on a
+//! single-CPU container the 4-worker run cannot beat 1 worker, and the
+//! honest number in the JSON reflects that.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tempest_core::correlate::correlate;
+use tempest_core::timeline::Timeline;
+use tempest_core::{AnalysisOptions, Engine};
+use tempest_probe::trace::Trace;
+use tempest_probe::{TraceGenerator, TraceSpec};
+
+/// Counts every heap allocation so stages can report allocation deltas.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates everything to `System`; only adds relaxed counters.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation counters around a closure: `(calls, bytes, result)`.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let out = f();
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
+        ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
+        out,
+    )
+}
+
+/// Peak resident set size in kB, from /proc/self/status (0 if unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn median_secs(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.total_cmp(b));
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parse.json".to_string());
+
+    const NODES: u32 = 4;
+    const EVENTS_PER_NODE: usize = 250_000;
+    let spec = TraceSpec {
+        seed: 42,
+        events: EVENTS_PER_NODE,
+        max_depth: 8,
+        threads: 4,
+        functions: 64,
+        sensors: 4,
+        duration_ns: 60 * 1_000_000_000,
+        sample_interval_ns: 1_000_000, // 1 kHz → 240k samples/node
+    };
+    eprintln!("generating {NODES}-node cluster, {EVENTS_PER_NODE} events/node...");
+    let gen = TraceGenerator::new(spec);
+    let traces = gen.generate_cluster(NODES);
+    let total_events: usize = traces.iter().map(|t| t.events.len()).sum();
+    let total_samples: usize = traces.iter().map(|t| t.samples.len()).sum();
+
+    let dir = std::env::temp_dir().join(format!("tempest-perf-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let paths: Vec<String> = traces
+        .iter()
+        .map(|t| {
+            let p = dir.join(format!("node{}.trace", t.node.node_id));
+            t.save(&p).expect("write trace");
+            p.to_str().unwrap().to_string()
+        })
+        .collect();
+    let total_bytes: u64 = paths
+        .iter()
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+
+    // --- decode throughput (zero-copy cursor over one read-to-end buffer).
+    eprintln!("measuring decode throughput...");
+    let images: Vec<Vec<u8>> = paths.iter().map(|p| std::fs::read(p).unwrap()).collect();
+    let decode_secs = median_secs(
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                for image in &images {
+                    std::hint::black_box(Trace::decode(image).unwrap());
+                }
+                t0.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let decode_events_per_s = total_events as f64 / decode_secs;
+    let decode_mb_per_s = total_bytes as f64 / 1e6 / decode_secs;
+
+    // --- correlate sweep: wall time + allocation profile on one node.
+    eprintln!("measuring correlate sweep...");
+    let timeline = Timeline::build(&traces[0].events);
+    let _warm = correlate(&timeline, &traces[0].samples);
+    let t0 = Instant::now();
+    let (corr_allocs, corr_alloc_bytes, corr) =
+        count_allocs(|| correlate(&timeline, &traces[0].samples));
+    let correlate_secs = t0.elapsed().as_secs_f64();
+    let attributed = traces[0].samples.len() - corr.unattributed;
+
+    // --- full multi-node pipeline at 1 vs 4 workers (median of 3).
+    eprintln!("measuring engine fan-out...");
+    let time_jobs = |jobs: usize| -> f64 {
+        let engine = Engine::new(jobs);
+        median_secs(
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let results = engine.analyze_files(&paths, AnalysisOptions::default());
+                    assert!(results.iter().all(Result::is_ok));
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect(),
+        )
+    };
+    let secs_jobs1 = time_jobs(1);
+    let secs_jobs4 = time_jobs(4);
+    let speedup = secs_jobs1 / secs_jobs4;
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rss_kb = peak_rss_kb();
+
+    // Hand-formatted JSON: the dependency budget has no serde.
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup:.3},\n    \"cpus\": {cpus}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_parse.json");
+    std::fs::remove_dir_all(&dir).ok();
+
+    eprintln!(
+        "decode {decode_events_per_s:.0} events/s ({decode_mb_per_s:.1} MB/s); \
+         correlate {corr_allocs} allocs; \
+         jobs1 {secs_jobs1:.3}s vs jobs4 {secs_jobs4:.3}s (speedup {speedup:.2}x on {cpus} cpu(s))"
+    );
+    println!("{json}");
+}

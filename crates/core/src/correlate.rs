@@ -10,20 +10,31 @@
 //!
 //! The sweep is O((intervals + samples)·log) — a merge along the time axis
 //! with an active-interval set — so full NAS-length traces parse in
-//! milliseconds.
+//! milliseconds. The inner loop is allocation-free: function/thread ids
+//! are mapped to dense slots up front, the active set retires intervals by
+//! swap-remove, per-sample deduplication is epoch-stamped (no clearing
+//! between samples), and readings fold straight into streaming
+//! [`StreamingStats`] accumulators instead of growing per-function sample
+//! vectors — memory is O(functions · sensors · distinct values), not
+//! O(attributed samples).
 
-use crate::timeline::{Interval, Timeline};
+use crate::stats::StreamingStats;
+use crate::timeline::Timeline;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use tempest_probe::func::FunctionId;
 use tempest_sensors::{SensorId, SensorReading};
 
-/// Samples attributed to one function, per sensor, in °F.
+/// Samples attributed to one function, per sensor, in °F, folded into
+/// streaming accumulators.
 #[derive(Debug, Clone, Default)]
 pub struct FunctionSamples {
-    /// Sensor → Fahrenheit readings taken while the function was active.
-    pub inclusive: HashMap<SensorId, Vec<f64>>,
-    /// Sensor → readings taken while the function was the innermost frame.
-    pub exclusive: HashMap<SensorId, Vec<f64>>,
+    /// Sensor → accumulator over readings taken while the function was
+    /// active anywhere on a stack.
+    pub inclusive: HashMap<SensorId, StreamingStats>,
+    /// Sensor → accumulator over readings taken while the function was the
+    /// innermost frame of some thread.
+    pub exclusive: HashMap<SensorId, StreamingStats>,
 }
 
 /// The full correlation result.
@@ -34,83 +45,186 @@ pub struct Correlation {
     /// Samples that fell outside every interval (before `main`, after
     /// exit, or in gaps).
     pub unattributed: usize,
+    /// True when the input samples were out of timestamp order and the
+    /// sweep re-sorted a copy before attributing.
+    pub resorted: bool,
 }
 
-/// Attribute `samples` (time-sorted) to the functions of `timeline`.
+/// Dense per-sensor accumulator grid: `[sensor_slot][func_slot]`.
+/// Sensor slots are discovered lazily (traces typically carry a handful of
+/// sensors); function slots are fixed by the timeline's interval set.
+struct Arena {
+    sensor_slots: HashMap<SensorId, usize>,
+    sensor_ids: Vec<SensorId>,
+    inclusive: Vec<Vec<StreamingStats>>,
+    exclusive: Vec<Vec<StreamingStats>>,
+    func_slots: usize,
+}
+
+impl Arena {
+    fn new(func_slots: usize) -> Self {
+        Arena {
+            sensor_slots: HashMap::new(),
+            sensor_ids: Vec::new(),
+            inclusive: Vec::new(),
+            exclusive: Vec::new(),
+            func_slots,
+        }
+    }
+
+    fn sensor_slot(&mut self, sensor: SensorId) -> usize {
+        if let Some(&slot) = self.sensor_slots.get(&sensor) {
+            return slot;
+        }
+        let slot = self.sensor_ids.len();
+        self.sensor_slots.insert(sensor, slot);
+        self.sensor_ids.push(sensor);
+        self.inclusive
+            .push(vec![StreamingStats::default(); self.func_slots]);
+        self.exclusive
+            .push(vec![StreamingStats::default(); self.func_slots]);
+        slot
+    }
+}
+
+/// Attribute `samples` to the functions of `timeline`.
+///
+/// Samples are normally time-sorted by the trace writer; a damaged or
+/// hand-assembled trace with out-of-order samples is detected and a copy
+/// is re-sorted (stably) before the sweep, reported via
+/// [`Correlation::resorted`] rather than silently mis-attributed.
 pub fn correlate(timeline: &Timeline, samples: &[SensorReading]) -> Correlation {
     let mut result = Correlation::default();
     if samples.is_empty() {
         return result;
     }
-    let intervals = &timeline.intervals; // sorted by start_ns
-    debug_assert!(samples
+
+    // Recovering sort: the sweep is only correct on time-sorted samples.
+    let sorted = samples
         .windows(2)
-        .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+        .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns);
+    let samples: Cow<'_, [SensorReading]> = if sorted {
+        Cow::Borrowed(samples)
+    } else {
+        result.resorted = true;
+        let mut owned = samples.to_vec();
+        owned.sort_by_key(|s| s.timestamp_ns);
+        Cow::Owned(owned)
+    };
 
-    // Active set of interval indices; entries are lazily removed when
-    // their interval has ended.
-    let mut active: Vec<usize> = Vec::new();
+    let intervals = &timeline.intervals; // sorted by start_ns
+
+    // Dense slot maps: function ids and thread ids appearing in intervals.
+    let mut func_slots: HashMap<FunctionId, u32> = HashMap::new();
+    let mut func_ids: Vec<FunctionId> = Vec::new();
+    let mut thread_slots: HashMap<tempest_probe::event::ThreadId, u32> = HashMap::new();
+    // Per-interval precomputed slots, parallel to `intervals`.
+    let mut iv_func: Vec<u32> = Vec::with_capacity(intervals.len());
+    let mut iv_thread: Vec<u32> = Vec::with_capacity(intervals.len());
+    for iv in intervals {
+        let next_func = func_ids.len() as u32;
+        let fslot = *func_slots.entry(iv.func).or_insert(next_func);
+        if fslot == next_func {
+            func_ids.push(iv.func);
+        }
+        let next_thread = thread_slots.len() as u32;
+        let tslot = *thread_slots.entry(iv.thread).or_insert(next_thread);
+        iv_func.push(fslot);
+        iv_thread.push(tslot);
+    }
+    let n_funcs = func_ids.len();
+    let n_threads = thread_slots.len();
+
+    let mut arena = Arena::new(n_funcs);
+
+    // Sweep state. Epoch stamps replace per-sample clearing: a slot is
+    // "marked for this sample" iff its stamp equals the current epoch.
+    let mut active: Vec<u32> = Vec::new(); // interval indices, unordered
     let mut next = 0usize;
+    let mut func_epoch: Vec<u64> = vec![0; n_funcs];
+    let mut thread_epoch: Vec<u64> = vec![0; n_threads];
+    let mut thread_best_depth: Vec<u32> = vec![0; n_threads];
+    let mut thread_best_func: Vec<u32> = vec![0; n_threads];
+    let mut touched_threads: Vec<u32> = Vec::with_capacity(n_threads);
 
-    for s in samples {
+    for (sample_idx, s) in samples.iter().enumerate() {
         let t = s.timestamp_ns;
+        let epoch = sample_idx as u64 + 1; // 0 = "never seen"
+
         // Admit intervals that have started.
         while next < intervals.len() && intervals[next].start_ns <= t {
-            active.push(next);
+            active.push(next as u32);
             next += 1;
         }
-        // Retire intervals that have ended.
-        active.retain(|&i| intervals[i].end_ns > t);
-
-        let covering: Vec<&Interval> = active
-            .iter()
-            .map(|&i| &intervals[i])
-            .filter(|iv| iv.contains(t))
-            .collect();
-        if covering.is_empty() {
+        // Retire intervals that have ended (swap-remove keeps this O(1)
+        // per retirement; the active set is unordered by construction).
+        let mut i = 0;
+        while i < active.len() {
+            if intervals[active[i] as usize].end_ns <= t {
+                active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // Post-retirement, every active interval covers t: admission
+        // guarantees start ≤ t and retirement guarantees end > t, which is
+        // exactly `Interval::contains` ([start, end)).
+        if active.is_empty() {
             result.unattributed += 1;
             continue;
         }
-        let f = s.temperature.fahrenheit();
 
-        // Inclusive: each distinct function once, even if on the stack
-        // multiple times (recursion) or on several threads.
-        let mut seen: Vec<FunctionId> = Vec::with_capacity(covering.len());
-        for iv in &covering {
-            if !seen.contains(&iv.func) {
-                seen.push(iv.func);
-                result
-                    .per_function
-                    .entry(iv.func)
-                    .or_default()
-                    .inclusive
-                    .entry(s.sensor)
-                    .or_default()
-                    .push(f);
+        let f = s.temperature.fahrenheit();
+        let sensor = arena.sensor_slot(s.sensor);
+
+        touched_threads.clear();
+        for &idx in &active {
+            let idx = idx as usize;
+            let fslot = iv_func[idx];
+            let tslot = iv_thread[idx];
+            let depth = intervals[idx].depth;
+
+            // Inclusive: each distinct function once per sample, even when
+            // on the stack multiple times (recursion) or on several threads.
+            if func_epoch[fslot as usize] != epoch {
+                func_epoch[fslot as usize] = epoch;
+                arena.inclusive[sensor][fslot as usize].push(f);
+            }
+
+            // Track the innermost (deepest) frame per thread.
+            if thread_epoch[tslot as usize] != epoch {
+                thread_epoch[tslot as usize] = epoch;
+                thread_best_depth[tslot as usize] = depth;
+                thread_best_func[tslot as usize] = fslot;
+                touched_threads.push(tslot);
+            } else if depth > thread_best_depth[tslot as usize] {
+                thread_best_depth[tslot as usize] = depth;
+                thread_best_func[tslot as usize] = fslot;
             }
         }
 
-        // Exclusive: the innermost frame of each thread.
-        let mut innermost: HashMap<tempest_probe::event::ThreadId, &Interval> = HashMap::new();
-        for iv in &covering {
-            innermost
-                .entry(iv.thread)
-                .and_modify(|cur| {
-                    if iv.depth > cur.depth {
-                        *cur = iv;
-                    }
-                })
-                .or_insert(iv);
+        // Exclusive: the innermost frame of each thread active at t.
+        for &tslot in &touched_threads {
+            let fslot = thread_best_func[tslot as usize];
+            arena.exclusive[sensor][fslot as usize].push(f);
         }
-        for iv in innermost.values() {
-            result
-                .per_function
-                .entry(iv.func)
-                .or_default()
-                .exclusive
-                .entry(s.sensor)
-                .or_default()
-                .push(f);
+    }
+
+    // Materialise the public map from the dense grid.
+    for (fslot, &func) in func_ids.iter().enumerate() {
+        let mut fs = FunctionSamples::default();
+        for (sslot, &sensor) in arena.sensor_ids.iter().enumerate() {
+            let inc = &arena.inclusive[sslot][fslot];
+            if !inc.is_empty() {
+                fs.inclusive.insert(sensor, inc.clone());
+            }
+            let exc = &arena.exclusive[sslot][fslot];
+            if !exc.is_empty() {
+                fs.exclusive.insert(sensor, exc.clone());
+            }
+        }
+        if !fs.inclusive.is_empty() || !fs.exclusive.is_empty() {
+            result.per_function.insert(func, fs);
         }
     }
     result
@@ -153,9 +267,9 @@ mod tests {
         let tl = micro_d_timeline();
         let c = correlate(&tl, &[sample(25, S0, 40.0)]);
         // t=25: stack is main→foo1→foo2.
-        assert_eq!(c.per_function[&MAIN].inclusive[&S0].len(), 1);
-        assert_eq!(c.per_function[&FOO1].inclusive[&S0].len(), 1);
-        assert_eq!(c.per_function[&FOO2].inclusive[&S0].len(), 1);
+        assert_eq!(c.per_function[&MAIN].inclusive[&S0].count(), 1);
+        assert_eq!(c.per_function[&FOO1].inclusive[&S0].count(), 1);
+        assert_eq!(c.per_function[&FOO2].inclusive[&S0].count(), 1);
         // Exclusive only to the innermost (foo2).
         assert!(c.per_function[&FOO2].exclusive.contains_key(&S0));
         assert!(!c.per_function[&FOO1].exclusive.contains_key(&S0));
@@ -168,7 +282,7 @@ mod tests {
         let tl = micro_d_timeline();
         let c = correlate(&tl, &[sample(5, S0, 40.0)]); // only main active
         let v = &c.per_function[&MAIN].inclusive[&S0];
-        assert!((v[0] - 104.0).abs() < 1e-9);
+        assert!((v.min().unwrap() - 104.0).abs() < 1e-9);
     }
 
     #[test]
@@ -191,8 +305,8 @@ mod tests {
             ],
         );
         let main = &c.per_function[&MAIN];
-        assert_eq!(main.inclusive[&S0].len(), 2);
-        assert_eq!(main.inclusive[&S1].len(), 1);
+        assert_eq!(main.inclusive[&S0].count(), 2);
+        assert_eq!(main.inclusive[&S1].count(), 1);
     }
 
     #[test]
@@ -205,9 +319,9 @@ mod tests {
             &[sample(25, S0, 35.0), sample(75, S0, 45.0)], // both inside foo2
         );
         let foo2 = &c.per_function[&FOO2].inclusive[&S0];
-        assert_eq!(foo2.len(), 2);
+        assert_eq!(foo2.count(), 2);
         assert!(
-            (foo2[1] - foo2[0] - 18.0).abs() < 1e-9,
+            (foo2.max().unwrap() - foo2.min().unwrap() - 18.0).abs() < 1e-9,
             "10 °C = 18 °F apart"
         );
     }
@@ -222,12 +336,12 @@ mod tests {
         ]);
         let c = correlate(&tl, &[sample(50, S0, 40.0)]);
         assert_eq!(
-            c.per_function[&FOO1].inclusive[&S0].len(),
+            c.per_function[&FOO1].inclusive[&S0].count(),
             1,
             "recursive frames must not double-attribute"
         );
         // Exclusive also exactly once (innermost frame).
-        assert_eq!(c.per_function[&FOO1].exclusive[&S0].len(), 1);
+        assert_eq!(c.per_function[&FOO1].exclusive[&S0].count(), 1);
     }
 
     #[test]
@@ -241,8 +355,8 @@ mod tests {
         ]);
         let c = correlate(&tl, &[sample(50, S0, 40.0)]);
         // One sample, but each thread's innermost gets an exclusive hit.
-        assert_eq!(c.per_function[&MAIN].exclusive[&S0].len(), 1);
-        assert_eq!(c.per_function[&FOO1].exclusive[&S0].len(), 1);
+        assert_eq!(c.per_function[&MAIN].exclusive[&S0].count(), 1);
+        assert_eq!(c.per_function[&FOO1].exclusive[&S0].count(), 1);
     }
 
     #[test]
@@ -260,16 +374,39 @@ mod tests {
         // A sample every time unit from 0..100.
         let samples: Vec<SensorReading> = (0..100).map(|t| sample(t, S0, 40.0)).collect();
         let c = correlate(&tl, &samples);
-        assert_eq!(c.per_function[&MAIN].inclusive[&S0].len(), 100);
-        assert_eq!(c.per_function[&FOO1].inclusive[&S0].len(), 50); // 10..60
-        assert_eq!(c.per_function[&FOO2].inclusive[&S0].len(), 30); // 20..30 + 70..90
+        assert_eq!(c.per_function[&MAIN].inclusive[&S0].count(), 100);
+        assert_eq!(c.per_function[&FOO1].inclusive[&S0].count(), 50); // 10..60
+        assert_eq!(c.per_function[&FOO2].inclusive[&S0].count(), 30); // 20..30 + 70..90
         assert_eq!(c.unattributed, 0);
         // Exclusive partitions the samples across the three functions.
         let ex: usize = [MAIN, FOO1, FOO2]
             .iter()
-            .map(|f| c.per_function[f].exclusive[&S0].len())
+            .map(|f| c.per_function[f].exclusive[&S0].count())
             .sum();
         assert_eq!(ex, 100);
+    }
+
+    #[test]
+    fn out_of_order_samples_are_resorted_not_misattributed() {
+        let tl = micro_d_timeline();
+        let in_order = [sample(25, S0, 35.0), sample(75, S0, 45.0)];
+        let shuffled = [sample(75, S0, 45.0), sample(25, S0, 35.0)];
+        let a = correlate(&tl, &in_order);
+        let b = correlate(&tl, &shuffled);
+        assert!(!a.resorted);
+        assert!(b.resorted, "out-of-order input must be flagged");
+        // Identical attribution either way.
+        assert_eq!(a.unattributed, b.unattributed);
+        assert_eq!(a.per_function.len(), b.per_function.len());
+        for (func, fa) in &a.per_function {
+            let fb = &b.per_function[func];
+            for (sensor, sa) in &fa.inclusive {
+                assert_eq!(sa.summary(), fb.inclusive[sensor].summary());
+            }
+            for (sensor, sa) in &fa.exclusive {
+                assert_eq!(sa.summary(), fb.exclusive[sensor].summary());
+            }
+        }
     }
 
     #[test]

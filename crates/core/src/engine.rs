@@ -1,0 +1,209 @@
+//! Parallel cluster analysis engine.
+//!
+//! A cluster run produces one trace file per node, and each node's
+//! load → decode → timeline → correlate pipeline is independent of every
+//! other node's — embarrassingly parallel work the sequential CLI used to
+//! do one file at a time. [`Engine`] fans the per-node pipelines out over
+//! a work-stealing thread pool and returns results **in input order**, so
+//! callers render reports and merge [`ClusterProfile`]s deterministically:
+//! the output of an N-worker engine is byte-identical to a 1-worker run.
+//!
+//! [`ClusterProfile`]: crate::merge::ClusterProfile
+
+use crate::parser::{analyze_trace_salvaged, AnalysisOptions};
+use crate::profile::NodeProfile;
+use rayon::prelude::*;
+use tempest_probe::trace::Trace;
+
+/// A configured degree of parallelism for per-node analysis.
+pub struct Engine {
+    pool: rayon::ThreadPool,
+}
+
+impl Engine {
+    /// Build an engine fanning out to `jobs` workers; `0` means one per
+    /// available CPU.
+    pub fn new(jobs: usize) -> Engine {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .expect("thread pool construction is infallible");
+        Engine { pool }
+    }
+
+    /// The worker count this engine resolves to.
+    pub fn width(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Parallel map preserving input order. The unit the engine schedules:
+    /// per-node analyses, doctor triage, any independent per-file work.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.pool.install(|| items.into_par_iter().map(f).collect())
+    }
+
+    /// Run the full single-node pipeline (read file → decode → analyze)
+    /// for each path concurrently. The result vector is parallel to
+    /// `paths`; each failure carries a `"{path}: {cause}"` message exactly
+    /// as the sequential loader produced, so error reporting is unchanged.
+    ///
+    /// Under `options.recover` each file is decoded with salvage and its
+    /// losses flow into the profile's `DataQuality`; otherwise decoding
+    /// and analysis are strict.
+    pub fn analyze_files(
+        &self,
+        paths: &[String],
+        options: AnalysisOptions,
+    ) -> Vec<Result<NodeProfile, String>> {
+        let paths: Vec<String> = paths.to_vec();
+        self.map(paths, move |path| analyze_one(&path, options))
+    }
+}
+
+/// One node's pipeline: read the whole file, decode (salvaging when
+/// recovery is on), analyze.
+fn analyze_one(path: &str, options: AnalysisOptions) -> Result<NodeProfile, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let (trace, salvage) = if options.recover {
+        let (t, r) = Trace::decode_salvage(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        (t, Some(r))
+    } else {
+        (
+            Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))?,
+            None,
+        )
+    };
+    analyze_trace_salvaged(&trace, salvage.as_ref(), options).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_probe::event::{Event, ThreadId};
+    use tempest_probe::func::{FunctionDef, FunctionId, ScopeKind};
+    use tempest_probe::trace::{NodeMeta, SensorMeta};
+    use tempest_sensors::{SensorId, SensorKind, SensorReading, Temperature};
+
+    fn mini_trace(node_id: u32) -> Trace {
+        let sec = 1_000_000_000u64;
+        Trace {
+            node: NodeMeta {
+                node_id,
+                hostname: format!("node{node_id}"),
+                sensors: vec![SensorMeta {
+                    id: SensorId(0),
+                    label: "CPU0 die".into(),
+                    kind: SensorKind::CpuCore,
+                }],
+            },
+            functions: vec![FunctionDef {
+                id: FunctionId(0),
+                name: "main".into(),
+                address: 0x400000,
+                kind: ScopeKind::Function,
+            }],
+            events: vec![
+                Event::enter(0, ThreadId(0), FunctionId(0)),
+                Event::exit(10 * sec, ThreadId(0), FunctionId(0)),
+            ],
+            samples: (0..40)
+                .map(|i| {
+                    SensorReading::new(
+                        SensorId(0),
+                        i * 250_000_000,
+                        Temperature::from_celsius(40.0 + node_id as f64),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn write_traces(tag: &str, n: u32) -> (std::path::PathBuf, Vec<String>) {
+        let dir = std::env::temp_dir().join(format!("tempest-engine-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = (0..n)
+            .map(|i| {
+                let p = dir.join(format!("node{i}.trace"));
+                mini_trace(i).save(&p).unwrap();
+                p.to_str().unwrap().to_string()
+            })
+            .collect();
+        (dir, paths)
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let (dir, mut paths) = write_traces("order", 6);
+        paths.reverse(); // input order 5,4,3,2,1,0
+        let engine = Engine::new(4);
+        let results = engine.analyze_files(&paths, AnalysisOptions::default());
+        let ids: Vec<u32> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().node.node_id)
+            .collect();
+        assert_eq!(ids, vec![5, 4, 3, 2, 1, 0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (dir, paths) = write_traces("match", 4);
+        let seq = Engine::new(1).analyze_files(&paths, AnalysisOptions::default());
+        let par = Engine::new(4).analyze_files(&paths, AnalysisOptions::default());
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.functions.len(), b.functions.len());
+            for (fa, fb) in a.functions.iter().zip(&b.functions) {
+                assert_eq!(fa.func, fb.func);
+                assert_eq!(fa.inclusive_ns, fb.inclusive_ns);
+                assert_eq!(fa.thermal, fb.thermal);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_error_carries_path_in_place() {
+        let (dir, mut paths) = write_traces("err", 2);
+        paths.insert(1, "/nonexistent/gone.trace".to_string());
+        let results = Engine::new(2).analyze_files(&paths, AnalysisOptions::default());
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert!(err.starts_with("/nonexistent/gone.trace:"), "{err}");
+        assert!(results[2].is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_salvages_truncated_member() {
+        let (dir, paths) = write_traces("salvage", 1);
+        let bytes = std::fs::read(&paths[0]).unwrap();
+        let cut = dir.join("cut.trace");
+        std::fs::write(&cut, &bytes[..bytes.len() * 6 / 10]).unwrap();
+        let cut_s = cut.to_str().unwrap().to_string();
+
+        // Strict: decode error mentions the path.
+        let strict =
+            Engine::new(2).analyze_files(std::slice::from_ref(&cut_s), AnalysisOptions::default());
+        assert!(strict[0].is_err());
+
+        // Recover: profile produced, losses recorded.
+        let rec = Engine::new(2).analyze_files(&[cut_s], AnalysisOptions::recovering());
+        let p = rec[0].as_ref().unwrap();
+        assert!(!p.quality.is_pristine());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        let engine = Engine::new(0);
+        assert!(engine.width() >= 1);
+    }
+}

@@ -33,13 +33,16 @@
 //! Beyond the pipeline: [`callgraph`] recovers gprof's caller/callee view
 //! exactly from the timeline, [`phases`] segments runs into thermal
 //! phases and per-function warming-rate traits (§5), [`reliability`]
-//! turns temperature deltas into Arrhenius MTBF factors (§1), and
+//! turns temperature deltas into Arrhenius MTBF factors (§1),
 //! [`export`] renders profiles as CSV, key/value, or markdown (Figure 1's
-//! "variety of formats").
+//! "variety of formats"), and [`engine`] fans the per-node pipelines of a
+//! cluster run across a work-stealing thread pool with deterministic,
+//! input-ordered results.
 
 pub mod analysis;
 pub mod callgraph;
 pub mod correlate;
+pub mod engine;
 pub mod export;
 pub mod merge;
 pub mod parser;
@@ -51,6 +54,7 @@ pub mod report;
 pub mod stats;
 pub mod timeline;
 
+pub use engine::Engine;
 pub use merge::ClusterProfile;
 pub use parser::{analyze_trace, analyze_trace_salvaged, AnalysisOptions, ParseError};
 pub use profile::{DataQuality, FunctionProfile, NodeProfile};

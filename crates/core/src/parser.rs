@@ -238,6 +238,7 @@ pub fn analyze_trace_salvaged(
 
     let timeline = Timeline::build(&events);
     let correlation = correlate(&timeline, &samples);
+    quality.samples_resorted = correlation.resorted;
     let mut profile = build_profiles(
         trace.node.clone(),
         &trace.functions,

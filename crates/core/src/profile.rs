@@ -10,7 +10,7 @@
 //! thermal statistics.
 
 use crate::correlate::Correlation;
-use crate::stats::{Summary, SummaryStats};
+use crate::stats::Summary;
 use crate::timeline::{Timeline, TimelineWarning};
 use std::collections::BTreeMap;
 use tempest_probe::func::FunctionDef;
@@ -54,6 +54,11 @@ pub struct DataQuality {
     /// measured against the node's sensor inventory and its best-covered
     /// sensor. 1.0 = full coverage.
     pub sensor_coverage: f64,
+    /// Whether the correlation found out-of-order sample timestamps and
+    /// re-sorted a copy before attributing. No data is lost (so this does
+    /// not affect [`DataQuality::is_pristine`]), but it indicates a writer
+    /// that violated the format's ordering contract.
+    pub samples_resorted: bool,
 }
 
 impl Default for DataQuality {
@@ -69,6 +74,7 @@ impl Default for DataQuality {
             gap_events: 0,
             gap_time_ns: 0,
             sensor_coverage: 1.0,
+            samples_resorted: false,
         }
     }
 }
@@ -113,7 +119,11 @@ impl std::fmt::Display for DataQuality {
             self.nonfinite_samples_skipped,
             self.gap_events,
             self.gap_time_ns as f64 / 1e9,
-        )
+        )?;
+        if self.samples_resorted {
+            write!(f, ", samples re-sorted")?;
+        }
+        Ok(())
     }
 }
 
@@ -229,13 +239,15 @@ pub fn build_profiles(
             let mut thermal_exclusive = BTreeMap::new();
             if significant {
                 if let Some(fs) = fs {
-                    for (&sensor, vals) in &fs.inclusive {
-                        if let Some(sum) = SummaryStats::from_samples(vals).summary() {
+                    // The correlation already folded samples into streaming
+                    // accumulators; summaries read straight out of them.
+                    for (&sensor, stats) in &fs.inclusive {
+                        if let Some(sum) = stats.summary() {
                             thermal.insert(sensor, sum);
                         }
                     }
-                    for (&sensor, vals) in &fs.exclusive {
-                        if let Some(sum) = SummaryStats::from_samples(vals).summary() {
+                    for (&sensor, stats) in &fs.exclusive {
+                        if let Some(sum) = stats.summary() {
                             thermal_exclusive.insert(sensor, sum);
                         }
                     }

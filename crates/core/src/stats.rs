@@ -145,6 +145,180 @@ impl SummaryStats {
     }
 }
 
+/// Streaming accumulator for the same seven statistics, without retaining
+/// individual samples.
+///
+/// Samples are folded into a value histogram keyed by an order-preserving
+/// transform of the `f64` bit pattern, so every statistic — including the
+/// order statistics median and mode — is **exact** and independent of
+/// insertion order. Memory is O(distinct values) rather than O(samples);
+/// sensor readings are quantised to a coarse grid (typically 1 °C), so a
+/// multi-hour trace collapses to a few dozen histogram buckets per
+/// function·sensor cell where the sample-retaining accumulator would hold
+/// millions of `f64`s.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStats {
+    count: u64,
+    hist: std::collections::BTreeMap<u64, u64>,
+}
+
+/// Order-preserving f64 → u64 key: flips the encoding so unsigned key
+/// order equals numeric order (negatives below positives).
+fn f64_key(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+fn f64_unkey(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+impl StreamingStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats::default()
+    }
+
+    /// Build directly from a slice.
+    pub fn from_samples(values: &[f64]) -> Self {
+        let mut s = StreamingStats::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.count += 1;
+        *self.hist.entry(f64_key(v)).or_insert(0) += 1;
+    }
+
+    /// Fold another accumulator's samples into this one.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        self.count += other.count;
+        for (&k, &c) in &other.hist {
+            *self.hist.entry(k).or_insert(0) += c;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of distinct sample values (histogram buckets held).
+    pub fn distinct_values(&self) -> usize {
+        self.hist.len()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.hist.keys().next().copied().map(f64_unkey)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.hist.keys().next_back().copied().map(f64_unkey)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .hist
+            .iter()
+            .map(|(&k, &c)| f64_unkey(k) * c as f64)
+            .sum();
+        Some(sum / self.count as f64)
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let sum: f64 = self
+            .hist
+            .iter()
+            .map(|(&k, &c)| c as f64 * (f64_unkey(k) - mean).powi(2))
+            .sum();
+        Some(sum / self.count as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Value at sorted rank `r` (0-based), by cumulative histogram walk.
+    fn rank(&self, r: u64) -> f64 {
+        let mut seen = 0u64;
+        for (&k, &c) in &self.hist {
+            seen += c;
+            if seen > r {
+                return f64_unkey(k);
+            }
+        }
+        unreachable!("rank within count")
+    }
+
+    /// Median (mean of the middle two for even counts).
+    pub fn median(&self) -> Option<f64> {
+        let n = self.count;
+        if n == 0 {
+            None
+        } else if n % 2 == 1 {
+            Some(self.rank(n / 2))
+        } else {
+            Some((self.rank(n / 2 - 1) + self.rank(n / 2)) / 2.0)
+        }
+    }
+
+    /// Mode: most frequent value, smallest on ties.
+    pub fn mode(&self) -> Option<f64> {
+        let mut best: Option<(u64, u64)> = None;
+        for (&k, &c) in &self.hist {
+            // Ascending key order: strictly-greater keeps the smallest tie.
+            if best.map(|(_, bc)| c > bc).unwrap_or(true) {
+                best = Some((k, c));
+            }
+        }
+        best.map(|(k, _)| f64_unkey(k))
+    }
+
+    /// All seven statistics at once; `None` when empty.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: self.count(),
+            min: self.min().unwrap(),
+            avg: self.mean().unwrap(),
+            max: self.max().unwrap(),
+            sdv: self.stddev().unwrap(),
+            var: self.variance().unwrap(),
+            med: self.median().unwrap(),
+            mode: self.mode().unwrap(),
+        })
+    }
+}
+
 /// A computed set of the seven statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -247,6 +421,88 @@ mod tests {
         s.push(100.0);
         assert_eq!(s.median(), Some(3.0));
         assert_eq!(s.max(), Some(100.0));
+    }
+
+    /// Assert StreamingStats and SummaryStats agree on every statistic
+    /// for the given series.
+    fn assert_streaming_matches(series: &[f64]) {
+        let mut retained = SummaryStats::from_samples(series);
+        let streaming = StreamingStats::from_samples(series);
+        assert_eq!(streaming.count(), retained.count());
+        match retained.summary() {
+            None => assert!(streaming.summary().is_none()),
+            Some(r) => {
+                let s = streaming.summary().unwrap();
+                assert_eq!(s.count, r.count);
+                assert_eq!(s.min, r.min, "min for {series:?}");
+                assert_eq!(s.max, r.max, "max for {series:?}");
+                assert!((s.avg - r.avg).abs() < 1e-9, "avg for {series:?}");
+                assert!((s.var - r.var).abs() < 1e-9, "var for {series:?}");
+                assert!((s.sdv - r.sdv).abs() < 1e-9, "sdv for {series:?}");
+                assert_eq!(s.med, r.med, "median for {series:?}");
+                assert_eq!(s.mode, r.mode, "mode for {series:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_retained_on_fixed_series() {
+        assert_streaming_matches(&[]);
+        assert_streaming_matches(&[42.0]);
+        assert_streaming_matches(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_streaming_matches(&[1.0, 2.0, 3.0, 10.0]); // even-count median
+        assert_streaming_matches(&[95.0, 94.0, 95.0, 94.0]); // mode tie → smallest
+        assert_streaming_matches(&[102.2, 102.2, 102.2, 104.0, 105.8, 105.8, 102.2, 104.0]);
+        assert_streaming_matches(&[-5.0, -1.0, 0.0, 3.5, -5.0]); // negatives order correctly
+        assert_streaming_matches(&[114.0, 118.0, 121.0, 122.0, 124.0, 124.0]);
+    }
+
+    #[test]
+    fn streaming_matches_retained_on_generated_quantised_series() {
+        // Quantised pseudo-random walks like real sensor data, including
+        // median/mode on both parities and heavy repetition.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for len in [1usize, 2, 3, 7, 100, 1001] {
+            let series: Vec<f64> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    90.0 + (x % 64) as f64 * 0.25 // 0.25 °F grid
+                })
+                .collect();
+            assert_streaming_matches(&series);
+        }
+    }
+
+    #[test]
+    fn streaming_is_insertion_order_independent() {
+        let a = StreamingStats::from_samples(&[5.0, 1.0, 3.0, 3.0]);
+        let b = StreamingStats::from_samples(&[3.0, 3.0, 5.0, 1.0]);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn streaming_merge_equals_concatenation() {
+        let left = [94.0, 95.0, 95.0];
+        let right = [95.0, 97.0, 94.0, 92.5];
+        let mut merged = StreamingStats::from_samples(&left);
+        merged.merge(&StreamingStats::from_samples(&right));
+        let together: Vec<f64> = left.iter().chain(&right).copied().collect();
+        assert_eq!(
+            merged.summary(),
+            StreamingStats::from_samples(&together).summary()
+        );
+    }
+
+    #[test]
+    fn streaming_memory_is_bounded_by_distinct_values() {
+        let mut s = StreamingStats::new();
+        for i in 0..100_000u64 {
+            s.push(90.0 + (i % 8) as f64); // 8-value quantised sensor
+        }
+        assert_eq!(s.count(), 100_000);
+        assert_eq!(s.distinct_values(), 8);
     }
 
     #[test]

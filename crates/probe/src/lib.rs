@@ -29,6 +29,8 @@
 //! * [`corrupt`] — deterministic trace-corruption injectors (truncation,
 //!   dropped exits, timestamp scrambles, poisoned symbol ids) that
 //!   manufacture the damage the salvage/recovery paths must survive.
+//! * [`synth`] — deterministic synthetic-trace generation for benchmarks
+//!   and stress tests (dial in events/depth/threads/sensors exactly).
 //! * [`session`] — ties a profiler, a tempd, and a trace writer together
 //!   for one profiled run.
 
@@ -41,6 +43,7 @@ pub mod guard;
 pub mod profiler;
 pub mod session;
 pub mod stream;
+pub mod synth;
 pub mod tempd;
 pub mod trace;
 
@@ -52,5 +55,6 @@ pub use func::{FunctionDef, FunctionId, FunctionRegistry, ScopeKind};
 pub use guard::ScopeGuard;
 pub use profiler::Profiler;
 pub use session::ProfilingSession;
+pub use synth::{TraceGenerator, TraceSpec};
 pub use tempd::{ResilientSampler, SamplingHealth, Tempd, TempdConfig, TempdStats};
 pub use trace::{NodeMeta, SalvageReport, SensorMeta, Trace, TraceSection};

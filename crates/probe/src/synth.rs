@@ -1,0 +1,317 @@
+//! Synthetic trace generation for benchmarks and stress tests.
+//!
+//! The perf harness needs traces whose size is dialled in exactly —
+//! millions of events, deep stacks, many threads — without running a
+//! workload. [`TraceGenerator`] manufactures structurally valid traces
+//! from a [`TraceSpec`]: balanced enter/exit walks per thread (every
+//! enter is closed before the budget runs out), per-thread monotonic
+//! timestamps merged into one time-sorted stream, and quantised
+//! random-walk sensor samples like real hardware produces.
+//!
+//! Generation is fully deterministic: the same spec and node id always
+//! yield the byte-identical trace, so benchmark inputs are reproducible
+//! across runs and machines.
+
+use crate::event::{Event, ThreadId};
+use crate::func::{FunctionDef, FunctionId, ScopeKind};
+use crate::trace::{NodeMeta, SensorMeta, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tempest_sensors::{SensorId, SensorKind, SensorReading, Temperature};
+
+/// Shape of a synthetic trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSpec {
+    /// Master seed; combined with the node id so every node of a cluster
+    /// differs while the whole cluster stays reproducible.
+    pub seed: u64,
+    /// Target number of enter/exit events (the generator emits the
+    /// largest balanced count per thread that fits this budget).
+    pub events: usize,
+    /// Maximum call-stack depth per thread.
+    pub max_depth: usize,
+    /// Number of threads walking independent stacks.
+    pub threads: u32,
+    /// Number of distinct functions in the symbol table.
+    pub functions: u32,
+    /// Number of thermal sensors.
+    pub sensors: u16,
+    /// Trace span in nanoseconds.
+    pub duration_ns: u64,
+    /// Sensor sampling interval in nanoseconds.
+    pub sample_interval_ns: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            seed: 7,
+            events: 100_000,
+            max_depth: 8,
+            threads: 4,
+            functions: 32,
+            sensors: 4,
+            duration_ns: 60 * 1_000_000_000,
+            sample_interval_ns: 250_000_000,
+        }
+    }
+}
+
+/// Deterministic trace factory for one [`TraceSpec`].
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: TraceSpec,
+}
+
+impl TraceGenerator {
+    /// Generator for the given spec.
+    pub fn new(spec: TraceSpec) -> Self {
+        TraceGenerator { spec }
+    }
+
+    /// The spec this generator realises.
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+
+    /// Generate the trace of one cluster node.
+    pub fn generate(&self, node_id: u32) -> Trace {
+        let spec = &self.spec;
+        let mut rng =
+            StdRng::seed_from_u64(spec.seed ^ (node_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        let functions: Vec<FunctionDef> = (0..spec.functions.max(1))
+            .map(|i| FunctionDef {
+                id: FunctionId(i),
+                name: if i == 0 {
+                    "main".to_string()
+                } else {
+                    format!("fn_{i:03}")
+                },
+                address: 0x40_0000 + 16 * i as u64,
+                kind: ScopeKind::Function,
+            })
+            .collect();
+
+        let sensors: Vec<SensorMeta> = (0..spec.sensors.max(1))
+            .map(|i| SensorMeta {
+                id: SensorId(i),
+                label: if i + 1 == spec.sensors.max(1) && spec.sensors > 1 {
+                    "ambient".to_string()
+                } else {
+                    format!("CPU{i} die")
+                },
+                kind: if i + 1 == spec.sensors.max(1) && spec.sensors > 1 {
+                    SensorKind::Ambient
+                } else {
+                    SensorKind::CpuCore
+                },
+            })
+            .collect();
+
+        let threads = spec.threads.max(1);
+        // Largest even per-thread budget fitting the total.
+        let per_thread = ((spec.events / threads as usize) & !1).max(2);
+        let mut events: Vec<Event> = Vec::with_capacity(per_thread * threads as usize);
+        for t in 0..threads {
+            self.walk_thread(&mut rng, ThreadId(t), per_thread, &mut events);
+        }
+        // Per-thread streams are individually monotonic; the trace format
+        // carries one globally time-sorted stream (stable sort keeps
+        // same-instant events in thread order, so output is deterministic).
+        events.sort_by_key(|e| e.timestamp_ns);
+
+        // Quantised random-walk samples, emitted timestamp-major so the
+        // stream is time-sorted across sensors.
+        let n_sensors = spec.sensors.max(1);
+        let mut temps_c: Vec<f64> = (0..n_sensors).map(|i| 35.0 + 1.5 * i as f64).collect();
+        let mut samples: Vec<SensorReading> = Vec::new();
+        let interval = spec.sample_interval_ns.max(1);
+        let mut ts = 0u64;
+        while ts <= spec.duration_ns {
+            for (i, temp) in temps_c.iter_mut().enumerate() {
+                // ±0.25 °C steps on a 0.25 °C grid, bounded to a sane band.
+                let step = (rng.gen_range(-1i64..=1) as f64) * 0.25;
+                *temp = (*temp + step).clamp(25.0, 85.0);
+                samples.push(SensorReading::new(
+                    SensorId(i as u16),
+                    ts,
+                    Temperature::from_celsius(*temp),
+                ));
+            }
+            ts += interval;
+        }
+
+        Trace {
+            node: NodeMeta {
+                node_id,
+                hostname: format!("synth{node_id}"),
+                sensors,
+            },
+            functions,
+            events,
+            samples,
+        }
+    }
+
+    /// Generate one trace per node, `0..nodes`.
+    pub fn generate_cluster(&self, nodes: u32) -> Vec<Trace> {
+        (0..nodes).map(|id| self.generate(id)).collect()
+    }
+
+    /// One thread's balanced enter/exit walk: exactly `budget` events,
+    /// every enter matched by an exit, timestamps strictly advancing.
+    fn walk_thread(&self, rng: &mut StdRng, thread: ThreadId, budget: usize, out: &mut Vec<Event>) {
+        let spec = &self.spec;
+        let avg_step = (spec.duration_ns / budget as u64).max(1);
+        let mut ts = 0u64;
+        let mut stack: Vec<FunctionId> = Vec::with_capacity(spec.max_depth);
+        let mut remaining = budget;
+        while remaining > 0 {
+            ts += rng.gen_range(1..=avg_step * 2);
+            // An enter commits this event plus stack.len()+1 future exits,
+            // so it needs remaining > stack.len() + 1; otherwise close.
+            let can_enter = stack.len() < spec.max_depth.max(1) && remaining > stack.len() + 1;
+            let enter = if stack.is_empty() {
+                true
+            } else if !can_enter {
+                false
+            } else {
+                rng.gen_bool(0.55)
+            };
+            if enter {
+                let func = if stack.is_empty() {
+                    FunctionId(0)
+                } else {
+                    FunctionId(rng.gen_range(0..spec.functions.max(1)))
+                };
+                stack.push(func);
+                out.push(Event::enter(ts, thread, func));
+            } else {
+                let func = stack.pop().expect("exit implies non-empty stack");
+                out.push(Event::exit(ts, thread, func));
+            }
+            remaining -= 1;
+        }
+        debug_assert!(stack.is_empty(), "balanced walk must close every frame");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::collections::HashMap;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let spec = TraceSpec {
+            events: 5_000,
+            ..Default::default()
+        };
+        let a = TraceGenerator::new(spec).generate(0);
+        let b = TraceGenerator::new(spec).generate(0);
+        assert_eq!(a, b);
+        assert_eq!(a.to_bytes(), b.to_bytes(), "byte-identical regeneration");
+    }
+
+    #[test]
+    fn different_seed_or_node_differs() {
+        let spec = TraceSpec {
+            events: 2_000,
+            ..Default::default()
+        };
+        let base = TraceGenerator::new(spec).generate(0);
+        let other_node = TraceGenerator::new(spec).generate(1);
+        let other_seed = TraceGenerator::new(TraceSpec { seed: 8, ..spec }).generate(0);
+        assert_ne!(base.to_bytes(), other_node.to_bytes());
+        assert_ne!(base.to_bytes(), other_seed.to_bytes());
+    }
+
+    #[test]
+    fn walks_are_balanced_and_bounded() {
+        let spec = TraceSpec {
+            events: 10_000,
+            max_depth: 5,
+            threads: 3,
+            ..Default::default()
+        };
+        let t = TraceGenerator::new(spec).generate(0);
+        let mut depth: HashMap<ThreadId, usize> = HashMap::new();
+        for e in &t.events {
+            match e.kind {
+                EventKind::Enter { .. } => {
+                    let d = depth.entry(e.thread).or_insert(0);
+                    *d += 1;
+                    assert!(*d <= 5, "depth bound violated");
+                }
+                EventKind::Exit { .. } => {
+                    let d = depth.get_mut(&e.thread).expect("exit before enter");
+                    assert!(*d > 0);
+                    *d -= 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "every frame closed");
+    }
+
+    #[test]
+    fn streams_are_time_sorted() {
+        let t = TraceGenerator::new(TraceSpec {
+            events: 4_000,
+            ..Default::default()
+        })
+        .generate(0);
+        assert!(t
+            .events
+            .windows(2)
+            .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+        assert!(t
+            .samples
+            .windows(2)
+            .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns));
+    }
+
+    #[test]
+    fn event_budget_and_inventory_respected() {
+        let spec = TraceSpec {
+            events: 9_001, // odd, not divisible by threads
+            threads: 4,
+            functions: 10,
+            sensors: 3,
+            ..Default::default()
+        };
+        let t = TraceGenerator::new(spec).generate(2);
+        assert!(t.events.len() <= 9_001);
+        assert!(t.events.len() >= 8 * 9_001 / 10, "close to the budget");
+        assert_eq!(t.functions.len(), 10);
+        assert_eq!(t.node.sensors.len(), 3);
+        assert_eq!(t.node.node_id, 2);
+        // Samples cover the duration on the configured grid, all sensors.
+        let expected = (spec.duration_ns / spec.sample_interval_ns + 1) as usize * 3;
+        assert_eq!(t.samples.len(), expected);
+    }
+
+    #[test]
+    fn generated_trace_roundtrips_and_analyzes() {
+        let t = TraceGenerator::new(TraceSpec {
+            events: 2_000,
+            ..Default::default()
+        })
+        .generate(0);
+        let back = Trace::decode(&t.to_bytes()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn cluster_generation_is_per_node_deterministic() {
+        let spec = TraceSpec {
+            events: 1_000,
+            ..Default::default()
+        };
+        let cluster = TraceGenerator::new(spec).generate_cluster(3);
+        assert_eq!(cluster.len(), 3);
+        assert_eq!(cluster[1], TraceGenerator::new(spec).generate(1));
+    }
+}

@@ -17,6 +17,11 @@ use tempest_sensors::{SensorId, SensorKind, SensorReading, Temperature};
 /// Magic + version prefix of the binary format.
 const MAGIC: &[u8; 8] = b"TMPEST01";
 
+/// On-disk size of one event record: tag u8 + thread u32 + payload u32 + ts u64.
+const EVENT_RECORD_LEN: usize = 1 + 4 + 4 + 8;
+/// On-disk size of one sample record: sensor u16 + ts u64 + f64 bits.
+const SAMPLE_RECORD_LEN: usize = 2 + 8 + 8;
+
 /// Description of one sensor as recorded in the trace header.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SensorMeta {
@@ -214,28 +219,51 @@ impl Trace {
 
     // ---- binary encoding -------------------------------------------------
 
-    /// Serialise to any writer.
-    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
-        w.write_all(&self.node.node_id.to_le_bytes())?;
-        write_str(w, &self.node.hostname)?;
-        w.write_all(&(self.node.sensors.len() as u16).to_le_bytes())?;
+    /// Exact encoded size in bytes — used to reserve the encode buffer in
+    /// one allocation.
+    fn encoded_len(&self) -> usize {
+        let mut len = MAGIC.len() + 4 + 2 + self.node.hostname.len() + 2;
         for s in &self.node.sensors {
-            w.write_all(&s.id.0.to_le_bytes())?;
-            w.write_all(&[encode_sensor_kind(s.kind)])?;
-            write_str(w, &s.label)?;
+            len += 2 + 1 + 2 + s.label.len().min(u16::MAX as usize);
         }
-        w.write_all(&(self.functions.len() as u32).to_le_bytes())?;
+        len += 4;
         for f in &self.functions {
-            w.write_all(&f.id.0.to_le_bytes())?;
-            w.write_all(&f.address.to_le_bytes())?;
-            w.write_all(&[match f.kind {
+            len += 4 + 8 + 1 + 2 + f.name.len().min(u16::MAX as usize);
+        }
+        len += 8 + self.events.len() * EVENT_RECORD_LEN;
+        len += 8 + self.samples.len() * SAMPLE_RECORD_LEN;
+        len
+    }
+
+    /// Append the binary encoding to `buf` (a reusable scratch buffer —
+    /// callers that encode many traces clear and reuse one allocation).
+    ///
+    /// All small field writes are batched through this single in-memory
+    /// buffer; the per-event/per-sample records are encoded as fixed-size
+    /// byte arrays appended in one `extend_from_slice` each, so no encode
+    /// path ever issues a tiny I/O write.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.encoded_len());
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&self.node.node_id.to_le_bytes());
+        encode_str(buf, &self.node.hostname);
+        buf.extend_from_slice(&(self.node.sensors.len() as u16).to_le_bytes());
+        for s in &self.node.sensors {
+            buf.extend_from_slice(&s.id.0.to_le_bytes());
+            buf.push(encode_sensor_kind(s.kind));
+            encode_str(buf, &s.label);
+        }
+        buf.extend_from_slice(&(self.functions.len() as u32).to_le_bytes());
+        for f in &self.functions {
+            buf.extend_from_slice(&f.id.0.to_le_bytes());
+            buf.extend_from_slice(&f.address.to_le_bytes());
+            buf.push(match f.kind {
                 ScopeKind::Function => 0,
                 ScopeKind::Block => 1,
-            }])?;
-            write_str(w, &f.name)?;
+            });
+            encode_str(buf, &f.name);
         }
-        w.write_all(&(self.events.len() as u64).to_le_bytes())?;
+        buf.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
         for e in &self.events {
             // Gap markers reuse the func slot for the sensor id (tag 3).
             let (tag, payload) = match e.kind {
@@ -244,46 +272,76 @@ impl Trace {
                 EventKind::Gap { sensor } => (3u8, sensor.0 as u32),
                 EventKind::Sample { .. } => unreachable!("samples kept separately"),
             };
-            w.write_all(&[tag])?;
-            w.write_all(&e.thread.0.to_le_bytes())?;
-            w.write_all(&payload.to_le_bytes())?;
-            w.write_all(&e.timestamp_ns.to_le_bytes())?;
+            let mut rec = [0u8; EVENT_RECORD_LEN];
+            rec[0] = tag;
+            rec[1..5].copy_from_slice(&e.thread.0.to_le_bytes());
+            rec[5..9].copy_from_slice(&payload.to_le_bytes());
+            rec[9..17].copy_from_slice(&e.timestamp_ns.to_le_bytes());
+            buf.extend_from_slice(&rec);
         }
-        w.write_all(&(self.samples.len() as u64).to_le_bytes())?;
+        buf.extend_from_slice(&(self.samples.len() as u64).to_le_bytes());
         for s in &self.samples {
-            w.write_all(&s.sensor.0.to_le_bytes())?;
-            w.write_all(&s.timestamp_ns.to_le_bytes())?;
+            let mut rec = [0u8; SAMPLE_RECORD_LEN];
+            rec[0..2].copy_from_slice(&s.sensor.0.to_le_bytes());
+            rec[2..10].copy_from_slice(&s.timestamp_ns.to_le_bytes());
             // Full f64 bits: quantisation is a *sensor* property; the
             // trace format must round-trip whatever was reported.
-            w.write_all(&s.temperature.celsius().to_bits().to_le_bytes())?;
+            rec[10..18].copy_from_slice(&s.temperature.celsius().to_bits().to_le_bytes());
+            buf.extend_from_slice(&rec);
         }
-        Ok(())
     }
 
-    /// Deserialise from any reader. Strict: any truncation or structural
-    /// damage is a typed error. Use [`Trace::read_salvage`] to recover the
-    /// longest valid prefix of a damaged trace instead.
-    pub fn read_from<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
-        Self::read_inner(r, false).map(|(trace, _)| trace)
+    /// Binary encoding as one freshly allocated byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf
     }
 
-    /// Deserialise as much of a damaged trace as possible.
+    /// Serialise to any writer: encode into one buffer, then a single
+    /// `write_all` (no per-field writes reach the writer).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Decode a trace from its complete binary encoding. Strict: any
+    /// truncation or structural damage is a typed error. Use
+    /// [`Trace::decode_salvage`] to recover the longest valid prefix of a
+    /// damaged buffer instead.
+    pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
+        Self::decode_inner(bytes, false).map(|(trace, _)| trace)
+    }
+
+    /// Decode as much of a damaged trace as possible.
     ///
     /// Only a missing/garbled magic prefix is fatal (there is nothing to
-    /// salvage from a file that is not a Tempest trace). Any later
+    /// salvage from a buffer that is not a Tempest trace). Any later
     /// truncation or corruption stops parsing at the last fully-decoded
     /// record; everything already decoded is returned along with a
     /// [`SalvageReport`] saying where parsing stopped and how much of each
     /// section survived. Non-finite sample temperatures are skipped (and
     /// counted) rather than treated as fatal.
-    pub fn read_salvage<R: Read>(r: &mut R) -> Result<(Trace, SalvageReport), TraceError> {
-        Self::read_inner(r, true)
+    pub fn decode_salvage(bytes: &[u8]) -> Result<(Trace, SalvageReport), TraceError> {
+        Self::decode_inner(bytes, true)
     }
 
-    fn read_inner<R: Read>(r: &mut R, salvage: bool) -> Result<(Trace, SalvageReport), TraceError> {
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+    /// Deserialise from any reader (reads to end, then decodes zero-copy).
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Self::decode(&bytes)
+    }
+
+    /// [`Trace::decode_salvage`] over any reader.
+    pub fn read_salvage<R: Read>(r: &mut R) -> Result<(Trace, SalvageReport), TraceError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Self::decode_salvage(&bytes)
+    }
+
+    fn decode_inner(bytes: &[u8], salvage: bool) -> Result<(Trace, SalvageReport), TraceError> {
+        let mut cur = Cursor::new(bytes);
+        if cur.bytes(MAGIC.len())? != MAGIC {
             return Err(TraceError::BadMagic);
         }
 
@@ -299,26 +357,26 @@ impl Trace {
         // Parse into `trace` in place so that when salvage mode stops at a
         // damaged record, every record decoded before it is already kept.
         let outcome: Result<(), TraceError> = (|| {
-            trace.node.node_id = read_u32(r)?;
-            trace.node.hostname = read_str(r)?;
-            let sensor_count = read_u16(r)? as usize;
+            trace.node.node_id = cur.u32()?;
+            trace.node.hostname = cur.str()?;
+            let sensor_count = cur.u16()? as usize;
             for _ in 0..sensor_count {
-                let id = SensorId(read_u16(r)?);
-                let kind = decode_sensor_kind(read_u8(r)?)?;
-                let label = read_str(r)?;
+                let id = SensorId(cur.u16()?);
+                let kind = decode_sensor_kind(cur.u8()?)?;
+                let label = cur.str()?;
                 trace.node.sensors.push(SensorMeta { id, label, kind });
             }
             section = TraceSection::Functions;
-            let fn_count = read_u32(r)? as usize;
+            let fn_count = cur.u32()? as usize;
             for _ in 0..fn_count {
-                let id = FunctionId(read_u32(r)?);
-                let address = read_u64(r)?;
-                let kind = match read_u8(r)? {
+                let id = FunctionId(cur.u32()?);
+                let address = cur.u64()?;
+                let kind = match cur.u8()? {
                     0 => ScopeKind::Function,
                     1 => ScopeKind::Block,
                     _ => return Err(TraceError::Corrupt("bad scope kind")),
                 };
-                let name = read_str(r)?;
+                let name = cur.str()?;
                 trace.functions.push(FunctionDef {
                     id,
                     name,
@@ -327,14 +385,19 @@ impl Trace {
                 });
             }
             section = TraceSection::Events;
-            let ev_count = read_u64(r)? as usize;
+            let ev_count = cur.u64()? as usize;
             report.events_declared = ev_count as u64;
-            trace.events.reserve(ev_count.min(1 << 24));
+            // A lying header cannot force an over-allocation: the buffer
+            // length bounds how many records can actually be present.
+            trace
+                .events
+                .reserve(ev_count.min(cur.remaining() / EVENT_RECORD_LEN + 1));
             for _ in 0..ev_count {
-                let tag = read_u8(r)?;
-                let thread = ThreadId(read_u32(r)?);
-                let payload = read_u32(r)?;
-                let ts = read_u64(r)?;
+                let rec = cur.bytes(EVENT_RECORD_LEN)?;
+                let tag = rec[0];
+                let thread = ThreadId(u32::from_le_bytes(rec[1..5].try_into().unwrap()));
+                let payload = u32::from_le_bytes(rec[5..9].try_into().unwrap());
+                let ts = u64::from_le_bytes(rec[9..17].try_into().unwrap());
                 let kind = match tag {
                     1 => EventKind::Enter {
                         func: FunctionId(payload),
@@ -354,13 +417,16 @@ impl Trace {
                 });
             }
             section = TraceSection::Samples;
-            let sample_count = read_u64(r)? as usize;
+            let sample_count = cur.u64()? as usize;
             report.samples_declared = sample_count as u64;
-            trace.samples.reserve(sample_count.min(1 << 24));
+            trace
+                .samples
+                .reserve(sample_count.min(cur.remaining() / SAMPLE_RECORD_LEN + 1));
             for _ in 0..sample_count {
-                let sensor = SensorId(read_u16(r)?);
-                let ts = read_u64(r)?;
-                let bits = read_u64(r)?;
+                let rec = cur.bytes(SAMPLE_RECORD_LEN)?;
+                let sensor = SensorId(u16::from_le_bytes(rec[0..2].try_into().unwrap()));
+                let ts = u64::from_le_bytes(rec[2..10].try_into().unwrap());
+                let bits = u64::from_le_bytes(rec[10..18].try_into().unwrap());
                 let celsius = f64::from_bits(bits);
                 if !celsius.is_finite() {
                     if salvage {
@@ -389,22 +455,19 @@ impl Trace {
         Ok((trace, report))
     }
 
-    /// Write to a file path.
+    /// Write to a file path (one encode buffer, one write).
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-        self.write_to(&mut f)
+        std::fs::write(path, self.to_bytes())
     }
 
-    /// Read from a file path.
+    /// Read from a file path (one read-to-end, then zero-copy decode).
     pub fn load(path: &Path) -> Result<Trace, TraceError> {
-        let mut f = io::BufReader::new(std::fs::File::open(path)?);
-        Trace::read_from(&mut f)
+        Trace::decode(&std::fs::read(path)?)
     }
 
     /// Read from a file path, salvaging what a damaged file still holds.
     pub fn load_salvage(path: &Path) -> Result<(Trace, SalvageReport), TraceError> {
-        let mut f = io::BufReader::new(std::fs::File::open(path)?);
-        Trace::read_salvage(&mut f)
+        Trace::decode_salvage(&std::fs::read(path)?)
     }
 
     /// Human-readable dump (debugging aid; not parsed back).
@@ -471,37 +534,66 @@ fn decode_sensor_kind(b: u8) -> Result<SensorKind, TraceError> {
     })
 }
 
-fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+fn encode_str(buf: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     let len = bytes.len().min(u16::MAX as usize);
-    w.write_all(&(len as u16).to_le_bytes())?;
-    w.write_all(&bytes[..len])
+    buf.extend_from_slice(&(len as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..len]);
 }
 
-fn read_str<R: Read>(r: &mut R) -> Result<String, TraceError> {
-    let len = read_u16(r)? as usize;
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| TraceError::Corrupt("invalid UTF-8 string"))
+/// Zero-copy decode cursor over an in-memory trace image. Field reads are
+/// bounds-checked slices of the backing buffer; truncation surfaces as the
+/// same `TraceError::Io(UnexpectedEof)` a streaming reader would produce,
+/// so strict-mode callers see identical error shapes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
 }
 
-macro_rules! read_le {
-    ($name:ident, $ty:ty) => {
-        fn $name<R: Read>(r: &mut R) -> Result<$ty, TraceError> {
-            let mut buf = [0u8; std::mem::size_of::<$ty>()];
-            r.read_exact(&mut buf)?;
-            Ok(<$ty>::from_le_bytes(buf))
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        if self.remaining() < n {
+            return Err(TraceError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "trace truncated mid-record",
+            )));
         }
-    };
-}
-read_le!(read_u16, u16);
-read_le!(read_u32, u32);
-read_le!(read_u64, u64);
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
 
-fn read_u8<R: Read>(r: &mut R) -> Result<u8, TraceError> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
-    Ok(b[0])
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, TraceError> {
+        let len = self.u16()? as usize;
+        let bytes = self.bytes(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| TraceError::Corrupt("invalid UTF-8 string"))
+    }
 }
 
 #[cfg(test)]
@@ -565,6 +657,27 @@ mod tests {
         t.write_to(&mut buf).unwrap();
         let back = Trace::read_from(&mut buf.as_slice()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn encode_decode_reencode_is_byte_identical() {
+        let t = sample_trace();
+        let first = t.to_bytes();
+        let back = Trace::decode(&first).unwrap();
+        let second = back.to_bytes();
+        assert_eq!(first, second, "decode → re-encode must be byte-identical");
+
+        // write_to must emit exactly the encode_into image (the batched
+        // writer path cannot drift from the buffer encoder).
+        let mut via_writer = Vec::new();
+        t.write_to(&mut via_writer).unwrap();
+        assert_eq!(first, via_writer);
+
+        // encode_into appends, so a reused scratch buffer yields the same
+        // bytes after the prefix.
+        let mut scratch = b"prefix".to_vec();
+        t.encode_into(&mut scratch);
+        assert_eq!(&scratch[6..], first.as_slice());
     }
 
     #[test]

@@ -17,10 +17,8 @@ use std::path::{Path, PathBuf};
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::plot::{ascii_plot, function_banner, TimeSeries};
 use tempest_core::timeline::Timeline;
-use tempest_core::{
-    analyze_trace, analyze_trace_salvaged, report, AnalysisOptions, ClusterProfile, ParseError,
-};
-use tempest_probe::trace::{SalvageReport, Trace};
+use tempest_core::{report, AnalysisOptions, ClusterProfile, Engine, ParseError};
+use tempest_probe::trace::Trace;
 use tempest_sensors::SensorId;
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
@@ -56,9 +54,9 @@ tempest — thermal profiler for parallel code (Tempest reproduction)
 USAGE:
   tempest demo <ft|bt|cg|ep|mg|lu|is|micro-d> [--class S|W|A|B|C] [--np N] [--out DIR]
   tempest record  <a|b|c|d|e> [--out DIR]      (native run, real instrumentation)
-  tempest report  <trace file(s)> [--format text|csv|kv|md] [--recover]
-  tempest summary <trace file(s)> [--recover]
-  tempest doctor  <trace file(s)>              (triage damaged traces)
+  tempest report  <trace file(s)> [--format text|csv|kv|md] [--recover] [--jobs N]
+  tempest summary <trace file(s)> [--recover] [--jobs N]
+  tempest doctor  <trace file(s)> [--jobs N]   (triage damaged traces)
   tempest plot    <trace file> [--sensor N]
   tempest traits  <trace file> [--sensor N]
   tempest callgraph <trace file>
@@ -126,6 +124,18 @@ fn positional(args: &[String]) -> Vec<&String> {
     out
 }
 
+/// Parse `--jobs N` (0 = one worker per CPU, the default). Multi-node
+/// analysis fans out over this many workers; results are merged in input
+/// order, so any worker count produces byte-identical output.
+fn parse_jobs(args: &[String]) -> Result<usize, CliError> {
+    match flag_value(args, "--jobs") {
+        None => Ok(0),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage("--jobs wants an integer (0 = auto)")),
+    }
+}
+
 fn parse_class(s: &str) -> Result<Class, CliError> {
     Ok(match s.to_ascii_uppercase().as_str() {
         "S" => Class::S,
@@ -139,21 +149,6 @@ fn parse_class(s: &str) -> Result<Class, CliError> {
 
 fn load_trace(path: &str) -> Result<Trace, CliError> {
     Trace::load(Path::new(path)).map_err(|e| CliError::run(format!("{path}: {e}")))
-}
-
-/// Load strictly, or — under `--recover` — salvage the longest valid
-/// prefix of a damaged file and report what was lost.
-fn load_trace_recovering(
-    path: &str,
-    recover: bool,
-) -> Result<(Trace, Option<SalvageReport>), CliError> {
-    if recover {
-        Trace::load_salvage(Path::new(path))
-            .map(|(t, r)| (t, Some(r)))
-            .map_err(|e| CliError::run(format!("{path}: {e}")))
-    } else {
-        load_trace(path).map(|t| (t, None))
-    }
 }
 
 fn cmd_demo(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -271,26 +266,31 @@ fn cmd_record(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
 }
 
 fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
-    let pos = positional(args);
+    let pos: Vec<String> = positional(args).into_iter().cloned().collect();
     if pos.is_empty() {
         return Err(CliError::usage("report: which trace file(s)?"));
     }
     let format = flag_value(args, "--format").unwrap_or_else(|| "text".into());
+    if !matches!(format.as_str(), "text" | "csv" | "kv" | "md") {
+        return Err(CliError::usage(format!("unknown format `{format}`")));
+    }
     let recover = flag_present(args, "--recover");
-    for path in pos {
-        let (trace, salvage) = load_trace_recovering(path, recover)?;
-        let options = AnalysisOptions {
-            recover,
-            ..Default::default()
-        };
-        let profile = analyze_trace_salvaged(&trace, salvage.as_ref(), options)
-            .map_err(|e| CliError::run(format!("{path}: {e}")))?;
+    let options = AnalysisOptions {
+        recover,
+        ..Default::default()
+    };
+    // Analyse every node in parallel; render in input order (identical
+    // output to the sequential loop, including failing on the first bad
+    // trace by position).
+    let engine = Engine::new(parse_jobs(args)?);
+    for result in engine.analyze_files(&pos, options) {
+        let profile = result.map_err(CliError::run)?;
         let rendered = match format.as_str() {
             "text" => report::render_stdout(&profile),
             "csv" => tempest_core::export::profile_to_csv(&profile),
             "kv" => tempest_core::export::profile_to_kv(&profile),
             "md" => tempest_core::export::profile_to_markdown(&profile),
-            other => return Err(CliError::usage(format!("unknown format `{other}`"))),
+            _ => unreachable!("format validated above"),
         };
         let _ = write!(out, "{rendered}");
         if recover && !profile.quality.is_pristine() {
@@ -347,33 +347,30 @@ function thermal traits (dominant-phase warming rates):"
 }
 
 fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
-    let pos = positional(args);
+    let pos: Vec<String> = positional(args).into_iter().cloned().collect();
     if pos.is_empty() {
         return Err(CliError::usage("summary: which trace file(s)?"));
     }
     let recover = flag_present(args, "--recover");
+    let options = if recover {
+        AnalysisOptions::recovering()
+    } else {
+        AnalysisOptions::default()
+    };
+    let engine = Engine::new(parse_jobs(args)?);
     let mut profiles = Vec::new();
     let mut lost = 0usize;
-    for path in &pos {
-        if recover {
-            // Partial-cluster tolerance: a node whose trace is missing or
-            // unsalvageable is reported and skipped, not fatal.
-            match load_trace_recovering(path, true).and_then(|(trace, salvage)| {
-                analyze_trace_salvaged(&trace, salvage.as_ref(), AnalysisOptions::recovering())
-                    .map_err(|e| CliError::run(format!("{path}: {e}")))
-            }) {
-                Ok(p) => profiles.push(p),
-                Err(e) => {
-                    lost += 1;
-                    let _ = writeln!(out, "skipping node: {}", e.message);
-                }
+    for result in engine.analyze_files(&pos, options) {
+        match result {
+            Ok(p) => profiles.push(p),
+            // Partial-cluster tolerance under --recover: a node whose
+            // trace is missing or unsalvageable is reported and skipped,
+            // not fatal. Strict mode fails on the first bad node.
+            Err(message) if recover => {
+                lost += 1;
+                let _ = writeln!(out, "skipping node: {message}");
             }
-        } else {
-            let trace = load_trace(path)?;
-            profiles.push(
-                analyze_trace(&trace, AnalysisOptions::default())
-                    .map_err(|e| CliError::run(format!("{path}: {e}")))?,
-            );
+            Err(message) => return Err(CliError::run(message)),
         }
     }
     if profiles.is_empty() {
@@ -428,58 +425,69 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
 /// strict parse would. Exit code stays 0 — doctor diagnoses, it does not
 /// judge.
 fn cmd_doctor(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
-    let pos = positional(args);
+    let pos: Vec<String> = positional(args).into_iter().cloned().collect();
     if pos.is_empty() {
         return Err(CliError::usage("doctor: which trace file(s)?"));
     }
-    for path in pos {
-        let strict = Trace::load(Path::new(path));
-        let (verdict, detail, trace) = match strict {
-            Ok(trace) => ("ok", String::from("strict read clean"), Some(trace)),
-            Err(strict_err) => match Trace::load_salvage(Path::new(path)) {
-                Ok((trace, rep)) => {
-                    let mut d = format!("strict read failed ({strict_err}); salvaged");
-                    if let Some(section) = rep.truncated_in {
-                        d += &format!(
-                            " — truncated in {section}: {}/{} events, {}/{} samples",
-                            rep.events_salvaged,
-                            rep.events_declared,
-                            rep.samples_salvaged,
-                            rep.samples_declared
-                        );
-                    }
-                    if rep.nonfinite_samples_skipped > 0 {
-                        d += &format!(
-                            ", {} non-finite sample(s) dropped",
-                            rep.nonfinite_samples_skipped
-                        );
-                    }
-                    ("degraded", d, Some(trace))
-                }
-                Err(e) => ("unreadable", format!("salvage failed: {e}"), None),
-            },
-        };
-        let _ = writeln!(out, "{path}: {verdict}");
-        let _ = writeln!(out, "  {detail}");
-        if let Some(trace) = trace {
-            match ParseError::classify(&trace) {
-                None => {
-                    let _ = writeln!(
-                        out,
-                        "  parse: clean ({} events, {} samples, {} function(s))",
-                        trace.events.len(),
-                        trace.samples.len(),
-                        trace.functions.len()
+    // Each file's triage is independent; fan it out and print the fully
+    // rendered verdicts in input order.
+    let engine = Engine::new(parse_jobs(args)?);
+    for rendered in engine.map(pos, |path| triage_one(&path)) {
+        let _ = write!(out, "{rendered}");
+    }
+    Ok(())
+}
+
+/// Triage one trace file into doctor's rendered verdict block.
+fn triage_one(path: &str) -> String {
+    use std::fmt::Write as _;
+    let strict = Trace::load(Path::new(path));
+    let (verdict, detail, trace) = match strict {
+        Ok(trace) => ("ok", String::from("strict read clean"), Some(trace)),
+        Err(strict_err) => match Trace::load_salvage(Path::new(path)) {
+            Ok((trace, rep)) => {
+                let mut d = format!("strict read failed ({strict_err}); salvaged");
+                if let Some(section) = rep.truncated_in {
+                    d += &format!(
+                        " — truncated in {section}: {}/{} events, {}/{} samples",
+                        rep.events_salvaged,
+                        rep.events_declared,
+                        rep.samples_salvaged,
+                        rep.samples_declared
                     );
                 }
-                Some(problem) => {
-                    let _ = writeln!(out, "  parse: {problem}");
-                    let _ = writeln!(out, "  hint: re-run with --recover to analyse anyway");
+                if rep.nonfinite_samples_skipped > 0 {
+                    d += &format!(
+                        ", {} non-finite sample(s) dropped",
+                        rep.nonfinite_samples_skipped
+                    );
                 }
+                ("degraded", d, Some(trace))
+            }
+            Err(e) => ("unreadable", format!("salvage failed: {e}"), None),
+        },
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {verdict}");
+    let _ = writeln!(out, "  {detail}");
+    if let Some(trace) = trace {
+        match ParseError::classify(&trace) {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  parse: clean ({} events, {} samples, {} function(s))",
+                    trace.events.len(),
+                    trace.samples.len(),
+                    trace.functions.len()
+                );
+            }
+            Some(problem) => {
+                let _ = writeln!(out, "  parse: {problem}");
+                let _ = writeln!(out, "  hint: re-run with --recover to analyse anyway");
             }
         }
     }
-    Ok(())
+    out
 }
 
 fn cmd_plot(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -681,6 +689,32 @@ mod tests {
         let out = run(&args).unwrap();
         assert!(out.contains("cluster of 4 node(s)"));
         assert!(out.contains("divergence"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jobs_flag_does_not_change_output() {
+        let dir = temp_dir("jobs");
+        let dir_s = dir.to_str().unwrap();
+        run(&["demo", "cg", "--class", "A", "--np", "4", "--out", dir_s]).unwrap();
+        let traces: Vec<String> = (0..4)
+            .map(|n| {
+                dir.join(format!("cg-node{n}.trace"))
+                    .to_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        for verb in ["report", "summary", "doctor"] {
+            let mut base: Vec<&str> = vec![verb];
+            base.extend(traces.iter().map(String::as_str));
+            let seq = run(&[base.clone(), vec!["--jobs", "1"]].concat()).unwrap();
+            let par = run(&[base.clone(), vec!["--jobs", "4"]].concat()).unwrap();
+            assert_eq!(seq, par, "{verb} output must not depend on --jobs");
+            assert!(!seq.is_empty());
+        }
+        let err = run(&["report", "x.trace", "--jobs", "lots"]).unwrap_err();
+        assert_eq!(err.code, 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,139 @@
+//! Property: the parallel analysis engine is invisible in the output.
+//!
+//! Whatever `--jobs` is set to, a cluster analysis must produce
+//! byte-identical rendered reports and identical error strings — in
+//! strict mode, in `--recover` mode, and when a member trace is
+//! truncated and goes through the salvage path. The worker count may
+//! change wall time only, never a single byte of the result.
+
+use proptest::prelude::*;
+use tempest_core::{report, AnalysisOptions, Engine, NodeProfile};
+use tempest_probe::corrupt::truncate_at_fraction;
+use tempest_probe::{TraceGenerator, TraceSpec};
+
+/// Render an engine result vector exactly like the CLI does: reports in
+/// input order, errors in place as their message string.
+fn render_all(results: &[Result<NodeProfile, String>]) -> String {
+    let mut out = String::new();
+    for r in results {
+        match r {
+            Ok(p) => out.push_str(&report::render_stdout(p)),
+            Err(msg) => {
+                out.push_str("error: ");
+                out.push_str(msg);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Write a generated cluster to `dir`, optionally truncating one member,
+/// and return the file paths in node order.
+fn write_cluster(
+    dir: &std::path::Path,
+    spec: TraceSpec,
+    nodes: u32,
+    truncate: Option<(u32, f64)>,
+) -> Vec<String> {
+    let gen = TraceGenerator::new(spec);
+    gen.generate_cluster(nodes)
+        .iter()
+        .map(|t| {
+            let path = dir.join(format!("node{}.trace", t.node.node_id));
+            let mut bytes = t.to_bytes();
+            if let Some((victim, frac)) = truncate {
+                if t.node.node_id == victim {
+                    bytes = truncate_at_fraction(&bytes, frac);
+                }
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            path.to_str().unwrap().to_string()
+        })
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tempest-par-det-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Healthy cluster, strict mode: every worker count renders the same
+    // bytes as the single-threaded engine.
+    #[test]
+    fn jobs_count_never_changes_strict_output(
+        seed in 0u64..1_000,
+        events in 500usize..3_000,
+        threads in 1u32..5,
+        jobs in 2usize..6,
+    ) {
+        let spec = TraceSpec { seed, events, threads, ..Default::default() };
+        let dir = scratch_dir(&format!("strict-{seed}-{events}-{threads}-{jobs}"));
+        let paths = write_cluster(&dir, spec, 3, None);
+
+        let sequential = Engine::new(1).analyze_files(&paths, AnalysisOptions::default());
+        let parallel = Engine::new(jobs).analyze_files(&paths, AnalysisOptions::default());
+        prop_assert_eq!(render_all(&sequential), render_all(&parallel));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // One member truncated: strict mode must yield the identical error
+    // string in place, and `--recover` must salvage to identical bytes,
+    // regardless of worker count.
+    #[test]
+    fn jobs_count_never_changes_salvage_output(
+        seed in 0u64..1_000,
+        events in 500usize..3_000,
+        frac in 0.3f64..0.95,
+        jobs in 2usize..6,
+    ) {
+        let spec = TraceSpec { seed, events, ..Default::default() };
+        let dir = scratch_dir(&format!("salvage-{seed}-{events}-{jobs}"));
+        let paths = write_cluster(&dir, spec, 3, Some((1, frac)));
+
+        for options in [AnalysisOptions::default(), AnalysisOptions::recovering()] {
+            let sequential = Engine::new(1).analyze_files(&paths, options);
+            let parallel = Engine::new(jobs).analyze_files(&paths, options);
+            // Same success/failure shape member by member...
+            let shape = |rs: &[Result<NodeProfile, String>]| -> Vec<bool> {
+                rs.iter().map(Result::is_ok).collect()
+            };
+            prop_assert_eq!(shape(&sequential), shape(&parallel));
+            // ...and byte-identical rendering, errors included.
+            prop_assert_eq!(render_all(&sequential), render_all(&parallel));
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deterministic spot check: the exact acceptance shape (4 nodes, one
+/// salvaged member, recover mode) at 1/2/4 workers, compared pairwise.
+#[test]
+fn four_node_recover_identical_at_all_widths() {
+    let spec = TraceSpec {
+        seed: 99,
+        events: 4_000,
+        ..Default::default()
+    };
+    let dir = scratch_dir("fixed");
+    let paths = write_cluster(&dir, spec, 4, Some((2, 0.6)));
+
+    let sequential = Engine::new(1).analyze_files(&paths, AnalysisOptions::recovering());
+    assert!(
+        sequential[2].as_ref().is_ok_and(|p| p.quality.recovered),
+        "truncated member must go through the salvage path"
+    );
+    let reference = render_all(&sequential);
+    for jobs in [2usize, 4, 8] {
+        let got =
+            render_all(&Engine::new(jobs).analyze_files(&paths, AnalysisOptions::recovering()));
+        assert_eq!(reference, got, "jobs={jobs} diverged from sequential");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of rayon's API it actually uses: `ThreadPoolBuilder` /
+//! `ThreadPool::install`, `current_num_threads`, and the parallel-iterator
+//! pattern `items.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! The execution model is a real work-stealing scheduler, scoped to each
+//! parallel call instead of a persistent worker pool: tasks are dealt into
+//! per-worker deques in contiguous index blocks, each worker drains its own
+//! deque from the front and steals from the back of a victim's deque when
+//! idle. Workers are `std::thread::scope` threads, which keeps the
+//! implementation free of `unsafe` while still letting tasks borrow from the
+//! caller's stack exactly like rayon's scoped jobs do. Results are written
+//! back by task index, so output order is deterministic and identical to
+//! sequential execution regardless of the interleaving.
+//!
+//! Restoring upstream rayon is a one-line swap in the workspace manifest.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Pool width installed on the current thread (`None` = default).
+    static CURRENT_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the current scope would fan out to.
+pub fn current_num_threads() -> usize {
+    CURRENT_WIDTH
+        .with(|w| w.get())
+        .unwrap_or_else(default_width)
+}
+
+fn default_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The stand-in cannot actually
+/// fail to build; the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count. `0` (the default) means "one per CPU".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in the stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            default_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A configured degree of parallelism. Worker threads are spawned scoped
+/// per parallel call (see the crate docs), so the pool itself is just the
+/// width every `install`ed parallel iterator fans out to.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// The number of worker threads this pool fans out to.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Run `op` with this pool as the current one: parallel iterators
+    /// inside use this pool's width.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = CURRENT_WIDTH.with(|w| w.replace(Some(self.width)));
+        let guard = RestoreWidth(prev);
+        let out = op();
+        drop(guard);
+        out
+    }
+}
+
+/// Restores the previously installed width even if `op` panics.
+struct RestoreWidth(Option<usize>);
+
+impl Drop for RestoreWidth {
+    fn drop(&mut self) {
+        CURRENT_WIDTH.with(|w| w.set(self.0));
+    }
+}
+
+/// The traits user code imports wholesale.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Start a parallel pipeline that consumes the collection.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Conversion into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send;
+    /// Start a parallel pipeline over `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A materialised parallel iterator (the stand-in is eager: items are
+/// collected up front, then dealt to workers).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Execute the map with the current pool width and collect the results
+    /// in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        execute(current_num_threads(), self.items, &self.f)
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Work-stealing parallel map: deterministic, index-ordered results.
+fn execute<T: Send, R: Send>(width: usize, items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let width = width.min(n).max(1);
+    if width == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Deal contiguous index blocks into per-worker deques.
+    let block = n.div_ceil(width);
+    let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> = (0..width)
+        .map(|_| Mutex::new(VecDeque::with_capacity(block)))
+        .collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[(i / block).min(width - 1)]
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back((i, item));
+    }
+    let deques = &deques;
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots_ref = &slots;
+
+    std::thread::scope(|scope| {
+        for w in 0..width {
+            scope.spawn(move || {
+                loop {
+                    // Own deque first (front), then steal from victims (back).
+                    let task = pop_front(&deques[w])
+                        .or_else(|| (1..width).find_map(|d| pop_back(&deques[(w + d) % width])));
+                    let Some((i, item)) = task else { break };
+                    let r = f(item);
+                    *lock_recover(&slots_ref[i]) = Some(r);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every task index filled")
+        })
+        .collect()
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn pop_front<T>(deque: &Mutex<VecDeque<T>>) -> Option<T> {
+    lock_recover(deque).pop_front()
+}
+
+fn pop_back<T>(deque: &Mutex<VecDeque<T>>) -> Option<T> {
+    lock_recover(deque).pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let input: Vec<String> = (0..17).map(|i| format!("s{i}")).collect();
+        let out: Vec<usize> = pool.install(|| input.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(out[0], 2);
+        assert_eq!(out.len(), 17);
+    }
+
+    #[test]
+    fn width_one_and_empty_inputs() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<i32> = pool.install(|| Vec::<i32>::new().into_par_iter().map(|x| x).collect());
+        assert!(out.is_empty());
+        let out: Vec<i32> = pool.install(|| vec![7].into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn install_sets_and_restores_width() {
+        assert_eq!(current_num_threads(), default_width());
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 5);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 5);
+        });
+        assert_eq!(current_num_threads(), default_width());
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert_eq!(pool.current_num_threads(), default_width());
+    }
+
+    #[test]
+    fn work_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let items: Vec<u32> = (0..64).collect();
+        let _out: Vec<u32> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|&x| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    x
+                })
+                .collect()
+        });
+        // All workers that ran are distinct scoped threads; at minimum the
+        // map executed somewhere.
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+}
