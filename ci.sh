@@ -11,6 +11,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Kill-9 spool durability torture: spawns and SIGKILLs writer
+# subprocesses, so it is opt-in. Seeded and bounded (8 iterations);
+# override the seed with TEMPEST_TORTURE_SEED.
+if [ "${TEMPEST_TORTURE:-0}" = "1" ]; then
+    echo "==> crash torture (TEMPEST_TORTURE=1)"
+    TEMPEST_TORTURE=1 cargo test -q -p tempest-bench --test crash_torture
+else
+    echo "--  crash torture skipped (set TEMPEST_TORTURE=1 to run)"
+fi
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run -p tempest-bench
 

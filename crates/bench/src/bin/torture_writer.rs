@@ -1,0 +1,72 @@
+//! Crash-torture victim: spool events to disk forever until killed.
+//!
+//! Spawned by `tests/crash_torture.rs`, which SIGKILLs it at a random
+//! point and then checks that spool recovery yields at least every batch
+//! the victim acknowledged. The contract that makes the test sound:
+//! with [`FsyncPolicy::PerBatch`], `append_batch` returns only after the
+//! frame is fsynced, so an `acked N` line on stdout means batches
+//! `0..N` are durable no matter when the kill lands.
+//!
+//! Usage: `torture_writer <spool-dir> [segment-bytes]`
+//!
+//! Each batch `i` is deterministic: one enter, one sample, one exit,
+//! with timestamps derived from `i`. The recovery test can therefore
+//! validate not just counts but the shape of the salvaged prefix.
+
+use std::io::Write as _;
+use tempest_probe::spool::{FsyncPolicy, SpoolConfig, SpoolWriter};
+use tempest_probe::{Event, FunctionDef, FunctionId, NodeMeta, ScopeKind, ThreadId};
+use tempest_sensors::SensorId;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().unwrap_or_else(|| {
+        eprintln!("usage: torture_writer <spool-dir> [segment-bytes]");
+        std::process::exit(2);
+    });
+    // Small segments by default so kills land around rotations too.
+    let segment_bytes: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16 * 1024);
+
+    let cfg = SpoolConfig::new(&dir)
+        .segment_bytes(segment_bytes)
+        .fsync(FsyncPolicy::PerBatch);
+    let mut writer = match SpoolWriter::create(&cfg, NodeMeta::anonymous()) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("torture_writer: {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let functions = vec![FunctionDef {
+        id: FunctionId(0),
+        name: "victim".into(),
+        address: 0x1000,
+        kind: ScopeKind::Function,
+    }];
+
+    let stdout = std::io::stdout();
+    let thread = ThreadId(0);
+    let mut batch = Vec::with_capacity(3);
+    for i in 0u64.. {
+        let base = i * 1_000_000;
+        batch.clear();
+        batch.push(Event::enter(base, thread, FunctionId(0)));
+        batch.push(Event::sample(
+            base + 10,
+            SensorId(0),
+            40.0 + (i % 50) as f64,
+        ));
+        batch.push(Event::exit(base + 500_000, thread, FunctionId(0)));
+        writer.append_batch(&batch).expect("append_batch");
+        if writer.should_rotate() {
+            writer.rotate(&functions).expect("rotate");
+        }
+        // Only ack once the batch frame is fsynced (PerBatch policy above).
+        let mut lock = stdout.lock();
+        writeln!(lock, "acked {}", i + 1).expect("stdout");
+        lock.flush().expect("flush");
+    }
+}

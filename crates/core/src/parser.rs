@@ -453,12 +453,18 @@ mod tests {
             samples_declared: 40,
             samples_salvaged: 25,
             nonfinite_samples_skipped: 2,
+            events_dropped_backpressure: 7,
+            samples_dropped_backpressure: 3,
         };
         let p = analyze_trace_salvaged(&mini_trace(), Some(&report), AnalysisOptions::recovering())
             .unwrap();
         assert_eq!(p.quality.samples_lost_in_salvage, 15);
         assert_eq!(p.quality.nonfinite_samples_skipped, 2);
         assert_eq!(p.quality.events_lost_in_salvage, 0);
+        assert_eq!(p.quality.events_dropped_backpressure, 7);
+        assert_eq!(p.quality.samples_dropped_backpressure, 3);
+        assert!(!p.quality.is_pristine(), "shed events are not pristine");
+        assert!(p.quality.to_string().contains("backpressure"));
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct DataQuality {
     /// Non-finite sample temperatures discarded (during salvage or by the
     /// recovering parser).
     pub nonfinite_samples_skipped: u64,
+    /// Scope events the writer shed under backpressure before they
+    /// reached disk (from a spool session footer; 0 for plain traces).
+    pub events_dropped_backpressure: u64,
+    /// Sensor samples the writer shed under backpressure.
+    pub samples_dropped_backpressure: u64,
     /// Explicit gap markers in the trace — each records one sensor read
     /// the tempd daemon could not obtain.
     pub gap_events: usize,
@@ -71,6 +76,8 @@ impl Default for DataQuality {
             events_lost_in_salvage: 0,
             samples_lost_in_salvage: 0,
             nonfinite_samples_skipped: 0,
+            events_dropped_backpressure: 0,
+            samples_dropped_backpressure: 0,
             gap_events: 0,
             gap_time_ns: 0,
             sensor_coverage: 1.0,
@@ -91,6 +98,8 @@ impl DataQuality {
             && self.events_lost_in_salvage == 0
             && self.samples_lost_in_salvage == 0
             && self.nonfinite_samples_skipped == 0
+            && self.events_dropped_backpressure == 0
+            && self.samples_dropped_backpressure == 0
             && self.gap_events == 0
             && self.sensor_coverage >= 1.0
     }
@@ -100,6 +109,8 @@ impl DataQuality {
         self.events_lost_in_salvage += report.events_lost();
         self.samples_lost_in_salvage += report.samples_lost();
         self.nonfinite_samples_skipped += report.nonfinite_samples_skipped;
+        self.events_dropped_backpressure += report.events_dropped_backpressure;
+        self.samples_dropped_backpressure += report.samples_dropped_backpressure;
     }
 }
 
@@ -120,6 +131,13 @@ impl std::fmt::Display for DataQuality {
             self.gap_events,
             self.gap_time_ns as f64 / 1e9,
         )?;
+        if self.events_dropped_backpressure + self.samples_dropped_backpressure > 0 {
+            write!(
+                f,
+                ", {} events / {} samples shed by writer backpressure",
+                self.events_dropped_backpressure, self.samples_dropped_backpressure
+            )?;
+        }
         if self.samples_resorted {
             write!(f, ", samples re-sorted")?;
         }

@@ -31,6 +31,8 @@
 //!   manufacture the damage the salvage/recovery paths must survive.
 //! * [`synth`] — deterministic synthetic-trace generation for benchmarks
 //!   and stress tests (dial in events/depth/threads/sensors exactly).
+//! * [`spool`] — crash-consistent spooling: a segmented, checksummed
+//!   write-ahead log with bounded backpressure and `kill -9` recovery.
 //! * [`session`] — ties a profiler, a tempd, and a trace writer together
 //!   for one profiled run.
 
@@ -42,12 +44,13 @@ pub mod func;
 pub mod guard;
 pub mod profiler;
 pub mod session;
+pub mod spool;
 pub mod stream;
 pub mod synth;
 pub mod tempd;
 pub mod trace;
 
-pub use buffer::{ChannelSink, EventSink, VecSink};
+pub use buffer::{ChannelSink, EventSink, OverflowPolicy, VecSink};
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use corrupt::TraceCorruptor;
 pub use event::{Event, EventKind, ThreadId};
@@ -55,6 +58,7 @@ pub use func::{FunctionDef, FunctionId, FunctionRegistry, ScopeKind};
 pub use guard::ScopeGuard;
 pub use profiler::Profiler;
 pub use session::ProfilingSession;
+pub use spool::{FsyncPolicy, SpoolConfig, SpoolReport, SpoolSink, SpoolStats, SpoolWriter};
 pub use synth::{TraceGenerator, TraceSpec};
 pub use tempd::{ResilientSampler, SamplingHealth, Tempd, TempdConfig, TempdStats};
 pub use trace::{NodeMeta, SalvageReport, SensorMeta, Trace, TraceSection};

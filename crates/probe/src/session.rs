@@ -225,6 +225,88 @@ impl StreamingSession {
     }
 }
 
+/// A profiling session whose events are spooled to a crash-consistent
+/// segmented log (see [`crate::spool`]) while the program runs.
+///
+/// Unlike [`StreamingSession`]'s single append-only file, the spool
+/// checksums every frame, seals bounded segments atomically, and bounds
+/// the submit queue with an explicit overflow policy — so a `kill -9`
+/// mid-run leaves a directory that [`crate::spool::recover`] can always
+/// turn back into a verified trace.
+pub struct SpooledSession {
+    profiler: Arc<Profiler>,
+    tempd: Option<Tempd>,
+    node: NodeMeta,
+    sink: Arc<crate::spool::SpoolSink>,
+}
+
+impl SpooledSession {
+    /// Start a spooled session writing into `spool.dir`, with an optional
+    /// sensor source for tempd.
+    pub fn start(
+        spool: crate::spool::SpoolConfig,
+        clock: Arc<dyn Clock>,
+        source: Option<Box<dyn SensorSource>>,
+        config: TempdConfig,
+    ) -> std::io::Result<SpooledSession> {
+        let sensors = source
+            .as_ref()
+            .map(|s| {
+                s.sensors()
+                    .iter()
+                    .map(|m| SensorMeta {
+                        id: m.id,
+                        label: m.label.clone(),
+                        kind: m.kind,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let node = NodeMeta {
+            node_id: 0,
+            hostname: hostname(),
+            sensors,
+        };
+        let sink = crate::spool::SpoolSink::spawn(&spool, node.clone())?;
+        let profiler = Profiler::new(clock.clone(), sink.clone());
+        // The profiler owns the registry; hand it to the spool writer so
+        // sealed segments carry real symbol names.
+        sink.attach_registry(profiler.registry().clone());
+        let tempd = source.map(|s| Tempd::spawn(s, clock, sink.clone(), config));
+        Ok(SpooledSession {
+            profiler,
+            tempd,
+            node,
+            sink,
+        })
+    }
+
+    /// The session's profiler.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// A recording handle for the calling thread.
+    pub fn thread_profiler(&self) -> ThreadProfiler {
+        self.profiler.thread_profiler()
+    }
+
+    /// Node metadata stamped into every segment.
+    pub fn node(&self) -> &NodeMeta {
+        &self.node
+    }
+
+    /// Stop tempd, seal the spool, and return the writer statistics plus
+    /// tempd's (if it ran). The tempd shutdown happens first so its
+    /// backpressure drop count is read while the sink is still live, and
+    /// the spool footer then records the same loss for recovery to report.
+    pub fn finish(mut self) -> std::io::Result<(crate::spool::SpoolStats, Option<TempdStats>)> {
+        let tempd_stats = self.tempd.take().map(|t| t.shutdown());
+        let stats = self.sink.finish()?;
+        Ok((stats, tempd_stats))
+    }
+}
+
 fn hostname() -> String {
     std::env::var("HOSTNAME").unwrap_or_else(|_| "localhost".to_string())
 }
@@ -327,6 +409,42 @@ mod tests {
         assert_eq!(trace.events.len(), 2);
         assert!(trace.samples.len() as u64 == samples);
         assert!(trace.functions.iter().any(|f| f.name == "streamed_main"));
+        assert_eq!(trace.node.sensors.len(), 1);
+    }
+
+    #[test]
+    fn spooled_session_recovers_full_trace_from_disk() {
+        let dir = std::env::temp_dir().join(format!("tempest-spooled-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let session = SpooledSession::start(
+            crate::spool::SpoolConfig::new(&dir).fsync(crate::spool::FsyncPolicy::Never),
+            Arc::new(MonotonicClock::new()),
+            Some(Box::new(ConstantSource::single(39.0))),
+            TempdConfig::at_rate(200.0),
+        )
+        .unwrap();
+        {
+            let tp = session.thread_profiler();
+            let _g = tp.scope("spooled_main");
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        } // thread profiler dropped (flushes) before finish
+        let (stats, tempd_stats) = session.finish().unwrap();
+        assert_eq!(stats.events_written, 2);
+        assert!(stats.samples_written > 0);
+        assert_eq!(stats.events_dropped + stats.samples_dropped, 0);
+        assert_eq!(
+            tempd_stats.unwrap().health.samples_dropped_backpressure,
+            0,
+            "block policy sheds nothing"
+        );
+
+        let (trace, report) = crate::spool::recover(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(report.clean_shutdown);
+        assert!(report.salvage.is_clean());
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.samples.len() as u64, stats.samples_written);
+        assert!(trace.functions.iter().any(|f| f.name == "spooled_main"));
         assert_eq!(trace.node.sensors.len(), 1);
     }
 

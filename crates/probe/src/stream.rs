@@ -280,24 +280,7 @@ pub fn read_stream<R: Read>(r: &mut R) -> Result<(Trace, bool), TraceError> {
     // If the run crashed before finish(), synthesise a symbol table so
     // the parser can still run (ids only).
     if functions.is_empty() {
-        let mut ids: Vec<u32> = events
-            .iter()
-            .filter_map(|e| match e.kind {
-                EventKind::Enter { func } | EventKind::Exit { func } => Some(func.0),
-                _ => None,
-            })
-            .collect();
-        ids.sort_unstable();
-        ids.dedup();
-        functions = ids
-            .into_iter()
-            .map(|id| FunctionDef {
-                id: FunctionId(id),
-                name: format!("fn#{id}"),
-                address: 0x400000 + 16 * id as u64,
-                kind: ScopeKind::Function,
-            })
-            .collect();
+        functions = synthesize_functions(&events);
     }
 
     events.sort_by_key(|e| e.timestamp_ns);
@@ -319,7 +302,30 @@ pub fn load_stream(path: &Path) -> Result<(Trace, bool), TraceError> {
     read_stream(&mut f)
 }
 
-fn sensor_kind_code(k: tempest_sensors::SensorKind) -> u8 {
+/// Build a placeholder symbol table (ids only) for an event stream whose
+/// real symbol table was lost to a crash — shared by the stream reader and
+/// the spool recovery path.
+pub(crate) fn synthesize_functions(events: &[Event]) -> Vec<FunctionDef> {
+    let mut ids: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Enter { func } | EventKind::Exit { func } => Some(func.0),
+            _ => None,
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter()
+        .map(|id| FunctionDef {
+            id: FunctionId(id),
+            name: format!("fn#{id}"),
+            address: 0x400000 + 16 * id as u64,
+            kind: ScopeKind::Function,
+        })
+        .collect()
+}
+
+pub(crate) fn sensor_kind_code(k: tempest_sensors::SensorKind) -> u8 {
     use tempest_sensors::SensorKind::*;
     match k {
         CpuCore => 0,
@@ -331,7 +337,7 @@ fn sensor_kind_code(k: tempest_sensors::SensorKind) -> u8 {
     }
 }
 
-fn decode_sensor_kind(b: u8) -> Result<tempest_sensors::SensorKind, TraceError> {
+pub(crate) fn decode_sensor_kind(b: u8) -> Result<tempest_sensors::SensorKind, TraceError> {
     use tempest_sensors::SensorKind::*;
     Ok(match b {
         0 => CpuCore,

@@ -111,6 +111,11 @@ pub struct SamplingHealth {
     pub gaps_emitted: u64,
     /// Sensors currently quarantined.
     pub quarantined_sensors: u64,
+    /// Records tempd submitted that a bounded sink shed under
+    /// backpressure (they were sampled fine, then lost at the queue).
+    /// Filled in at shutdown from the sink's per-thread drop accounting;
+    /// always 0 while the daemon is still running.
+    pub samples_dropped_backpressure: u64,
 }
 
 impl SamplingHealth {
@@ -284,6 +289,9 @@ pub struct Tempd {
     stop: Arc<AtomicBool>,
     counters: Arc<Counters>,
     health: Arc<Mutex<SamplingHealth>>,
+    // Kept so shutdown can ask the sink how many of the daemon's
+    // submissions were shed under backpressure.
+    sink: Arc<dyn EventSink>,
     started: Instant,
     thread: Option<JoinHandle<()>>,
 }
@@ -303,6 +311,7 @@ impl Tempd {
         let thread_stop = Arc::clone(&stop);
         let thread_counters = Arc::clone(&counters);
         let thread_health = Arc::clone(&health);
+        let thread_sink = Arc::clone(&sink);
         let interval = config.interval();
 
         let thread = std::thread::Builder::new()
@@ -313,7 +322,7 @@ impl Tempd {
                 while !thread_stop.load(Ordering::Relaxed) {
                     let t0 = Instant::now();
                     let ts = clock.now_ns();
-                    sampler.round(&mut *source, ts, &*sink);
+                    sampler.round(&mut *source, ts, &*thread_sink);
                     *thread_health.lock() = sampler.health();
                     thread_counters.rounds.fetch_add(1, Ordering::Relaxed);
                     thread_counters
@@ -337,6 +346,7 @@ impl Tempd {
             stop,
             counters,
             health,
+            sink,
             started: Instant::now(),
             thread: Some(thread),
         }
@@ -352,11 +362,15 @@ impl Tempd {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+        let mut health = *self.health.lock();
+        // Everything tempd submits rides its pseudo-thread, so the sink's
+        // per-thread drop accounting attributes shed samples exactly.
+        health.samples_dropped_backpressure = self.sink.dropped_for(Event::TEMPD_THREAD);
         TempdStats {
             rounds: self.counters.rounds.load(Ordering::Relaxed),
             busy_ns: self.counters.busy_ns.load(Ordering::Relaxed),
             wall_ns: self.started.elapsed().as_nanos() as u64,
-            health: *self.health.lock(),
+            health,
         }
     }
 }
@@ -735,6 +749,33 @@ mod tests {
             .iter()
             .filter_map(|e| e.sample_celsius())
             .all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn shutdown_reports_backpressure_drops_from_bounded_sink() {
+        use crate::buffer::{ChannelSink, OverflowPolicy};
+        // Queue of one batch, never drained: every round after the first
+        // submit sheds, and shutdown must surface the exact count.
+        let (sink, rx) = ChannelSink::bounded(1, OverflowPolicy::DropNewest);
+        sink.submit(&[Event::sample(0, SensorId(0), 40.0)]);
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let tempd = Tempd::spawn(
+            Box::new(ConstantSource::single(40.0)),
+            clock,
+            sink.clone(),
+            TempdConfig::at_rate(500.0),
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        let stats = tempd.shutdown();
+        assert!(
+            stats.health.samples_dropped_backpressure > 0,
+            "a full queue must shed tempd submissions"
+        );
+        assert_eq!(
+            stats.health.samples_dropped_backpressure,
+            sink.dropped_for(Event::TEMPD_THREAD)
+        );
+        drop(rx);
     }
 
     #[test]

@@ -137,12 +137,22 @@ pub struct SalvageReport {
     pub samples_salvaged: u64,
     /// Non-finite sample temperatures dropped during salvage.
     pub nonfinite_samples_skipped: u64,
+    /// Scope events the *writer* shed under backpressure before they ever
+    /// reached disk (recorded in a spool's session footer; always 0 for
+    /// plain trace files).
+    pub events_dropped_backpressure: u64,
+    /// Sensor samples the writer shed under backpressure (tempd's bounded
+    /// path; always 0 for plain trace files).
+    pub samples_dropped_backpressure: u64,
 }
 
 impl SalvageReport {
     /// True when nothing was lost: the trace parsed to the end.
     pub fn is_clean(&self) -> bool {
-        self.truncated_in.is_none() && self.nonfinite_samples_skipped == 0
+        self.truncated_in.is_none()
+            && self.nonfinite_samples_skipped == 0
+            && self.events_dropped_backpressure == 0
+            && self.samples_dropped_backpressure == 0
     }
 
     /// Events the header promised but the file no longer contains.
@@ -456,8 +466,21 @@ impl Trace {
     }
 
     /// Write to a file path (one encode buffer, one write).
+    ///
+    /// The write is atomic with respect to crashes: bytes go to a sibling
+    /// temp file first and are `rename`d into place only once fully
+    /// written, so a crash mid-save can truncate the temp file but never
+    /// clobber an existing good trace at `path`.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        let tmp = sibling_tmp_path(path);
+        std::fs::write(&tmp, self.to_bytes())?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                Err(e)
+            }
+        }
     }
 
     /// Read from a file path (one read-to-end, then zero-copy decode).
@@ -509,6 +532,15 @@ impl Trace {
         }
         out
     }
+}
+
+/// Sibling temp-file path used by the atomic [`Trace::save`]: same
+/// directory (so the final `rename` never crosses a filesystem), name
+/// suffixed with the writing pid to keep concurrent savers apart.
+fn sibling_tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
 }
 
 fn encode_sensor_kind(k: SensorKind) -> u8 {
@@ -688,6 +720,56 @@ mod tests {
         let back = Trace::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("tempest-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.trace");
+
+        let first = sample_trace();
+        first.save(&path).unwrap();
+        // A stale temp file from a crashed previous save must not confuse
+        // a subsequent save (it is simply overwritten and renamed away).
+        let stale = sibling_tmp_path(&path);
+        std::fs::write(&stale, b"half-written garbage").unwrap();
+
+        let mut second = sample_trace();
+        second.node.node_id = 9;
+        second.save(&path).unwrap();
+        assert_eq!(Trace::load(&path).unwrap(), second);
+        assert!(!stale.exists(), "temp file renamed into place, not left");
+        // Nothing else leaked into the directory.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "x.trace")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_never_clobbers_existing_trace() {
+        let dir = std::env::temp_dir().join(format!("tempest-noclobber-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("good.trace");
+        let good = sample_trace();
+        good.save(&path).unwrap();
+
+        // Make the final rename fail: target becomes a non-empty directory.
+        let blocked = dir.join("blocked");
+        std::fs::create_dir_all(blocked.join("occupied")).unwrap();
+        let err = sample_trace().save(&blocked);
+        assert!(err.is_err(), "rename onto a non-empty directory must fail");
+        assert!(
+            !sibling_tmp_path(&blocked).exists(),
+            "failed save cleans up its temp file"
+        );
+        // The original, unrelated trace is of course untouched.
+        assert_eq!(Trace::load(&path).unwrap(), good);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! tempest gprof <trace>             # baseline flat profile of the same events
 //! tempest dump <trace>              # raw text dump
 //! tempest sensors                   # live hwmon discovery + one sample
+//! tempest spool recover <dir>       # rebuild a trace from a crash spool
 //! ```
 //!
 //! Argument handling is deliberately hand-rolled: the dependency budget
@@ -63,6 +64,7 @@ USAGE:
   tempest gprof   <trace file>
   tempest dump    <trace file>
   tempest sensors
+  tempest spool recover <spool dir> [--out FILE]   (rebuild a trace from a crash spool)
 ";
 
 /// Entry point given argv (without the program name). Writes to stdout;
@@ -83,6 +85,7 @@ pub fn main_with_args(args: &[String], out: &mut dyn std::io::Write) -> Result<(
         "gprof" => cmd_gprof(&rest, out),
         "dump" => cmd_dump(&rest, out),
         "sensors" => cmd_sensors(out),
+        "spool" => cmd_spool(&rest, out),
         "help" | "--help" | "-h" | "" => {
             let _ = write!(out, "{USAGE}");
             Ok(())
@@ -419,6 +422,75 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
     Ok(())
 }
 
+/// `tempest spool recover`: rebuild a trace from an on-disk crash spool
+/// written by the durable sink. Recovery is checksum-driven: every intact
+/// frame prefix is kept, the torn tail (if any) is discarded, and the
+/// result can optionally be materialised as a normal `.trace` file.
+fn cmd_spool(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    match pos.first().map(|s| s.as_str()) {
+        Some("recover") => {}
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown spool action `{other}` (only `recover`)"
+            )))
+        }
+        None => return Err(CliError::usage("spool: which action? (recover)")),
+    }
+    let dir = pos
+        .get(1)
+        .ok_or_else(|| CliError::usage("spool recover: which spool directory?"))?;
+    let dir_path = Path::new(dir.as_str());
+    if !tempest_probe::spool::is_spool_dir(dir_path) {
+        return Err(CliError::run(format!(
+            "{dir}: not a tempest spool directory (no segment files)"
+        )));
+    }
+    let (trace, rep) = tempest_probe::spool::recover(dir_path)
+        .map_err(|e| CliError::run(format!("{dir}: {e}")))?;
+    let shutdown = if rep.clean_shutdown {
+        "clean shutdown (session footer present)"
+    } else {
+        "unclean shutdown (no session footer; crash or kill)"
+    };
+    let _ = writeln!(out, "{dir}: {shutdown}");
+    let _ = writeln!(
+        out,
+        "  {} segment(s) scanned, {} frame(s) recovered, {} discarded",
+        rep.segments_scanned, rep.frames_recovered, rep.frames_discarded
+    );
+    let _ = writeln!(
+        out,
+        "  recovered {} events, {} samples, {} function(s)",
+        rep.events_recovered,
+        rep.samples_recovered,
+        trace.functions.len()
+    );
+    let shed_events = rep.salvage.events_dropped_backpressure;
+    let shed_samples = rep.salvage.samples_dropped_backpressure;
+    if shed_events + shed_samples > 0 {
+        let _ = writeln!(
+            out,
+            "  writer backpressure shed {shed_events} event(s) / {shed_samples} sample(s) before shutdown"
+        );
+    }
+    match flag_value(args, "--out") {
+        Some(path) => {
+            trace
+                .save(Path::new(&path))
+                .map_err(|e| CliError::run(format!("{path}: {e}")))?;
+            let _ = writeln!(out, "wrote {path}");
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  (dry run: pass --out FILE to save the recovered trace)"
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `tempest doctor`: triage trace files without analysing them in full.
 /// For each file: try a strict read; if that fails, salvage and report
 /// exactly what was lost; then pre-flight the decoded trace the way a
@@ -438,10 +510,16 @@ fn cmd_doctor(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
     Ok(())
 }
 
-/// Triage one trace file into doctor's rendered verdict block.
+/// Triage one trace file into doctor's rendered verdict block. Spool
+/// directories (from the durable sink) are triaged via checksum recovery
+/// rather than a strict file read.
 fn triage_one(path: &str) -> String {
     use std::fmt::Write as _;
-    let strict = Trace::load(Path::new(path));
+    let as_path = Path::new(path);
+    if as_path.is_dir() {
+        return triage_spool_dir(path, as_path);
+    }
+    let strict = Trace::load(as_path);
     let (verdict, detail, trace) = match strict {
         Ok(trace) => ("ok", String::from("strict read clean"), Some(trace)),
         Err(strict_err) => match Trace::load_salvage(Path::new(path)) {
@@ -485,6 +563,62 @@ fn triage_one(path: &str) -> String {
                 let _ = writeln!(out, "  parse: {problem}");
                 let _ = writeln!(out, "  hint: re-run with --recover to analyse anyway");
             }
+        }
+    }
+    out
+}
+
+/// Doctor verdict for a spool directory: run checksum recovery and report
+/// what survived. An unclean shutdown or discarded frames downgrade the
+/// verdict to `degraded`; a directory without segment files is `unreadable`.
+fn triage_spool_dir(path: &str, dir: &Path) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if !tempest_probe::spool::is_spool_dir(dir) {
+        let _ = writeln!(out, "{path}: unreadable");
+        let _ = writeln!(
+            out,
+            "  directory, but not a tempest spool (no segment files)"
+        );
+        return out;
+    }
+    match tempest_probe::spool::recover(dir) {
+        Ok((trace, rep)) => {
+            let verdict = if rep.clean_shutdown && rep.frames_discarded == 0 {
+                "ok"
+            } else {
+                "degraded"
+            };
+            let _ = writeln!(out, "{path}: {verdict}");
+            let _ = writeln!(
+                out,
+                "  spool: {} segment(s), {} frame(s) recovered, {} discarded, {} shutdown",
+                rep.segments_scanned,
+                rep.frames_recovered,
+                rep.frames_discarded,
+                if rep.clean_shutdown {
+                    "clean"
+                } else {
+                    "unclean"
+                }
+            );
+            let _ = writeln!(
+                out,
+                "  recovered {} events, {} samples, {} function(s)",
+                rep.events_recovered,
+                rep.samples_recovered,
+                trace.functions.len()
+            );
+            if verdict == "degraded" {
+                let _ = writeln!(
+                    out,
+                    "  hint: `tempest spool recover {path} --out FILE` saves the salvaged prefix"
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "{path}: unreadable");
+            let _ = writeln!(out, "  spool recovery failed: {e}");
         }
     }
     out
@@ -788,6 +922,99 @@ mod tests {
         assert!(out.contains("Function: main"), "{out}");
         assert!(out.contains("data quality:"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Write a small spool under a fresh temp dir. `clean` finishes the
+    /// writer (symbols + footer); otherwise the writer is dropped mid-flight,
+    /// leaving an unsealed `.open` segment with no footer — a crash.
+    fn write_spool(tag: &str, clean: bool) -> (PathBuf, PathBuf) {
+        use tempest_probe::spool::{SpoolConfig, SpoolWriter};
+        use tempest_probe::{Event, FunctionDef, FunctionId, NodeMeta, ScopeKind, ThreadId};
+        let parent = temp_dir(tag);
+        let dir = parent.join("spool");
+        let cfg = SpoolConfig::new(&dir);
+        let mut w = SpoolWriter::create(&cfg, NodeMeta::anonymous()).unwrap();
+        let t = ThreadId(0);
+        let mut batch = Vec::new();
+        for i in 0..10u64 {
+            batch.push(Event::enter(i * 1_000_000, t, FunctionId(0)));
+            batch.push(Event::sample(
+                i * 1_000_000 + 10,
+                SensorId(0),
+                40.0 + i as f64,
+            ));
+            batch.push(Event::exit(i * 1_000_000 + 500_000, t, FunctionId(0)));
+        }
+        w.append_batch(&batch).unwrap();
+        if clean {
+            let funcs = vec![FunctionDef {
+                id: FunctionId(0),
+                name: "main".into(),
+                address: 0x1000,
+                kind: ScopeKind::Function,
+            }];
+            w.finish(&funcs, 0, 0).unwrap();
+        }
+        (parent, dir)
+    }
+
+    #[test]
+    fn spool_recover_rebuilds_and_saves_a_trace() {
+        let (parent, dir) = write_spool("spool-clean", true);
+        let dir_s = dir.to_str().unwrap();
+
+        let out = run(&["spool", "recover", dir_s]).unwrap();
+        assert!(out.contains("clean shutdown"), "{out}");
+        assert!(out.contains("recovered 20 events, 10 samples"), "{out}");
+        assert!(out.contains("dry run"), "{out}");
+
+        let saved = parent.join("recovered.trace");
+        let saved_s = saved.to_str().unwrap();
+        let out = run(&["spool", "recover", dir_s, "--out", saved_s]).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let report = run(&["report", saved_s]).unwrap();
+        assert!(report.contains("Function: main"), "{report}");
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn spool_recover_flags_crashed_session() {
+        let (parent, dir) = write_spool("spool-crash", false);
+        let out = run(&["spool", "recover", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("unclean shutdown"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn spool_usage_errors() {
+        assert_eq!(run(&["spool"]).unwrap_err().code, 2);
+        assert_eq!(run(&["spool", "frobnicate"]).unwrap_err().code, 2);
+        assert_eq!(run(&["spool", "recover"]).unwrap_err().code, 2);
+        assert_eq!(
+            run(&["spool", "recover", "/nonexistent"]).unwrap_err().code,
+            1
+        );
+    }
+
+    #[test]
+    fn doctor_triages_spool_directories() {
+        let (parent, dir) = write_spool("doctor-spool", true);
+        let out = run(&["doctor", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains(": ok"), "{out}");
+        assert!(out.contains("clean shutdown"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
+
+        let (parent, dir) = write_spool("doctor-spool-crash", false);
+        let out = run(&["doctor", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains(": degraded"), "{out}");
+        assert!(out.contains("unclean shutdown"), "{out}");
+        assert!(out.contains("spool recover"), "{out}");
+
+        let empty = parent.join("not-a-spool");
+        std::fs::create_dir_all(&empty).unwrap();
+        let out = run(&["doctor", empty.to_str().unwrap()]).unwrap();
+        assert!(out.contains(": unreadable"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
     }
 
     #[test]

@@ -1,17 +1,28 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by this
-//! workspace; since Rust 1.72 `std::sync::mpsc` is itself backed by the
-//! crossbeam queue implementation and its `Sender` is `Sync + Clone`, so a
-//! thin re-export is behaviourally equivalent for our purposes.
+//! Only `crossbeam::channel::{unbounded, bounded, Sender, SyncSender,
+//! Receiver}` is used by this workspace; since Rust 1.72 `std::sync::mpsc`
+//! is itself backed by the crossbeam queue implementation and its senders
+//! are `Sync + Clone`, so a thin re-export is behaviourally equivalent for
+//! our purposes. `bounded` maps to `std::sync::mpsc::sync_channel`, whose
+//! `send` blocks when the queue is full and whose `try_send` reports
+//! `TrySendError::Full` — exactly the two overflow behaviours the probe's
+//! backpressure layer needs.
 
 /// Multi-producer channels (std-backed).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, SyncSender, TrySendError};
 
     /// An unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// A bounded MPSC channel holding at most `capacity` in-flight
+    /// messages. `send` blocks when full; `try_send` fails fast with
+    /// [`TrySendError::Full`].
+    pub fn bounded<T>(capacity: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(capacity)
     }
 }
 
@@ -30,5 +41,32 @@ mod tests {
         drop((tx, tx2));
         let got: Vec<u32> = rx.iter().collect();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_sender_reports_full_and_disconnected() {
+        fn assert_sync<T: Sync + Clone + Send>() {}
+        assert_sync::<channel::SyncSender<u32>>();
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Disconnected(3))
+        ));
+    }
+
+    #[test]
+    fn bounded_send_unblocks_when_receiver_drains() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1u32).unwrap();
+        let t = std::thread::spawn(move || tx.send(2)); // blocks until a slot frees
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap().unwrap();
     }
 }
