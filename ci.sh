@@ -27,6 +27,19 @@ cargo bench --no-run -p tempest-bench
 echo "==> perf_smoke (refresh BENCH_parse.json)"
 cargo run --release -q -p tempest-bench --bin perf_smoke -- BENCH_parse.json >/dev/null
 
+echo "==> BENCH_parse.json schema check"
+cargo run --release -q -p tempest-bench --bin json_check -- bench BENCH_parse.json
+
+echo "==> chrome-trace export + schema check"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    demo micro-d --out "$OBS_TMP/traces" >/dev/null
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    export --format chrome-trace "$OBS_TMP/traces/micro-d-node0.trace" \
+    --out "$OBS_TMP/trace.json" >/dev/null
+cargo run --release -q -p tempest-bench --bin json_check -- chrome "$OBS_TMP/trace.json"
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

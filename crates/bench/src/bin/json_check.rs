@@ -1,0 +1,155 @@
+//! `json_check` — schema gate for the JSON artefacts ci.sh produces.
+//!
+//! Two modes:
+//!
+//! * `json_check chrome <file>` — validates a Chrome `trace_event`
+//!   export: parseable JSON, a non-empty `traceEvents` array, the
+//!   required fields on every event, monotonically non-decreasing `ts`
+//!   within each thread's duration track, and at least one counter
+//!   (temperature) event.
+//! * `json_check bench <file>` — validates `BENCH_parse.json`: the
+//!   pipeline speedup is a number, or null with a `reason`, and the
+//!   `self_overhead` section is present with its timing fields.
+//!
+//! Exits nonzero with a message on the first violation, so ci.sh can
+//! gate on it directly.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use tempest_obs::Json;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("json_check: FAIL: {msg}");
+    ExitCode::from(1)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn check_chrome(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+
+    let mut last_ts: HashMap<i64, f64> = HashMap::new();
+    let mut durations = 0usize;
+    let mut counters = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if event.get("name").and_then(|n| n.as_str()).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if event.get("pid").and_then(|p| p.as_f64()).is_none() {
+            return Err(format!("event {i}: missing pid"));
+        }
+        match ph {
+            "X" => {
+                durations += 1;
+                let tid = event
+                    .get("tid")
+                    .and_then(|t| t.as_f64())
+                    .ok_or_else(|| format!("event {i}: X without tid"))?
+                    as i64;
+                let ts = event
+                    .get("ts")
+                    .and_then(|t| t.as_f64())
+                    .ok_or_else(|| format!("event {i}: X without ts"))?;
+                if event.get("dur").and_then(|d| d.as_f64()).is_none() {
+                    return Err(format!("event {i}: X without dur"));
+                }
+                if let Some(&prev) = last_ts.get(&tid) {
+                    if ts < prev {
+                        return Err(format!(
+                            "event {i}: ts went backwards on tid {tid} ({prev} -> {ts})"
+                        ));
+                    }
+                }
+                last_ts.insert(tid, ts);
+            }
+            "C" => counters += 1,
+            "i" | "M" => {}
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    if durations == 0 {
+        return Err("no duration (X) events".into());
+    }
+    if counters == 0 {
+        return Err("no counter (C) events — temperature tracks missing".into());
+    }
+    eprintln!(
+        "json_check: chrome OK — {} events ({durations} durations, {counters} counters, {} threads)",
+        events.len(),
+        last_ts.len()
+    );
+    Ok(())
+}
+
+fn check_bench(doc: &Json) -> Result<(), String> {
+    let pipeline = doc.get("pipeline").ok_or("missing pipeline section")?;
+    let speedup = pipeline
+        .get("speedup_jobs4_vs_jobs1")
+        .ok_or("missing pipeline.speedup_jobs4_vs_jobs1")?;
+    if speedup.is_null() {
+        let reason = pipeline
+            .get("reason")
+            .and_then(|r| r.as_str())
+            .ok_or("null speedup without a pipeline.reason string")?;
+        eprintln!("json_check: pipeline speedup is null ({reason}) — accepted");
+    } else if speedup.as_f64().is_none() {
+        return Err("pipeline.speedup_jobs4_vs_jobs1 is neither number nor null".into());
+    }
+
+    let overhead = doc
+        .get("self_overhead")
+        .ok_or("missing self_overhead section")?;
+    for field in ["seconds_metrics_on", "seconds_metrics_off", "slowdown_pct"] {
+        if overhead.get(field).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("self_overhead.{field} missing or non-numeric"));
+        }
+    }
+    let on = overhead
+        .get("seconds_metrics_on")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let off = overhead
+        .get("seconds_metrics_off")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    if on <= 0.0 || off <= 0.0 {
+        return Err("self_overhead timings must be positive".into());
+    }
+    eprintln!("json_check: bench OK — self_overhead present, speedup field well-formed");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [mode, path] => (mode.as_str(), path.as_str()),
+        _ => return fail("usage: json_check <chrome|bench> <file.json>"),
+    };
+    let doc = match load(path) {
+        Ok(doc) => doc,
+        Err(e) => return fail(&e),
+    };
+    let result = match mode {
+        "chrome" => check_chrome(&doc),
+        "bench" => check_bench(&doc),
+        other => Err(format!("unknown mode {other:?} (expected chrome or bench)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}

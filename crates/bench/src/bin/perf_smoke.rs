@@ -163,16 +163,39 @@ fn main() {
     };
     let secs_jobs1 = time_jobs(1);
     let secs_jobs4 = time_jobs(4);
-    let speedup = secs_jobs1 / secs_jobs4;
 
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // On a single-CPU host the 4-worker run cannot beat 1 worker; a sub-1.0
+    // "speedup" would read as a regression, so report null with the reason.
+    let (speedup_field, speedup_note) = if cpus < 2 {
+        (
+            format!("null,\n    \"reason\": \"cpus={cpus}\""),
+            "n/a".to_string(),
+        )
+    } else {
+        let speedup = secs_jobs1 / secs_jobs4;
+        (format!("{speedup:.3}"), format!("{speedup:.2}x"))
+    };
+
+    // --- self-observability overhead: the same jobs=1 pipeline with the
+    // metrics registry recording vs disabled.
+    eprintln!("measuring self-observability overhead...");
+    let registry = tempest_obs::global();
+    let was_enabled = registry.is_enabled();
+    registry.set_enabled(true);
+    let secs_metrics_on = time_jobs(1);
+    registry.set_enabled(false);
+    let secs_metrics_off = time_jobs(1);
+    registry.set_enabled(was_enabled);
+    let overhead_pct = (secs_metrics_on / secs_metrics_off - 1.0) * 100.0;
+
     let rss_kb = peak_rss_kb();
 
     // Hand-formatted JSON: the dependency budget has no serde.
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup:.3},\n    \"cpus\": {cpus}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
+        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup_field},\n    \"cpus\": {cpus}\n  }},\n  \"self_overhead\": {{\n    \"seconds_metrics_on\": {secs_metrics_on:.6},\n    \"seconds_metrics_off\": {secs_metrics_off:.6},\n    \"slowdown_pct\": {overhead_pct:.2}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write BENCH_parse.json");
     std::fs::remove_dir_all(&dir).ok();
@@ -180,7 +203,8 @@ fn main() {
     eprintln!(
         "decode {decode_events_per_s:.0} events/s ({decode_mb_per_s:.1} MB/s); \
          correlate {corr_allocs} allocs; \
-         jobs1 {secs_jobs1:.3}s vs jobs4 {secs_jobs4:.3}s (speedup {speedup:.2}x on {cpus} cpu(s))"
+         jobs1 {secs_jobs1:.3}s vs jobs4 {secs_jobs4:.3}s (speedup {speedup_note} on {cpus} cpu(s)); \
+         metrics overhead {overhead_pct:+.2}%"
     );
     println!("{json}");
 }

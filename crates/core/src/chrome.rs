@@ -1,0 +1,177 @@
+//! Chrome `trace_event` / Perfetto export of a reconstructed trace.
+//!
+//! Emits the JSON Object Format of the Trace Event specification, which
+//! both `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+//! load directly:
+//!
+//! - every reconstructed [`Interval`](crate::Interval) becomes a
+//!   complete duration event (`"ph": "X"`) on its thread's track;
+//! - every temperature sample becomes a counter event (`"ph": "C"`),
+//!   one counter track per sensor;
+//! - every sensor gap marker becomes an instant event (`"ph": "i"`);
+//! - process/thread names are declared with metadata events
+//!   (`"ph": "M"`).
+//!
+//! Timestamps are microseconds with nanosecond resolution kept in the
+//! fractional part. Duration events are emitted in timeline order
+//! (sorted by start time), so `ts` is monotonically non-decreasing
+//! within every thread track — a property the golden-file test and the
+//! ci.sh schema check both enforce.
+
+use std::collections::BTreeSet;
+
+use crate::timeline::Timeline;
+use tempest_obs::escape;
+use tempest_probe::{Event, EventKind, Trace};
+
+/// Converts nanoseconds to the microsecond `ts`/`dur` fields, keeping
+/// nanosecond resolution in the fraction.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders `trace` as a Chrome `trace_event` JSON document.
+///
+/// The reconstructed function timeline is computed internally with
+/// [`Timeline::build`]; salvage is not required — a partially decoded
+/// trace exports whatever intervals survive.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let timeline = Timeline::build(&trace.events);
+    let pid = trace.node.node_id;
+    let mut events: Vec<String> = Vec::new();
+
+    // Process + thread naming metadata.
+    events.push(format!(
+        r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"tempest node {pid} ({})"}}}}"#,
+        escape(&trace.node.hostname)
+    ));
+    let mut tids: BTreeSet<u32> = timeline.intervals.iter().map(|iv| iv.thread.0).collect();
+    for event in &trace.events {
+        if matches!(event.kind, EventKind::Gap { .. }) {
+            tids.insert(event.thread.0);
+        }
+    }
+    for tid in &tids {
+        let name = if *tid == Event::TEMPD_THREAD.0 {
+            "tempd".to_string()
+        } else {
+            format!("thread {tid}")
+        };
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{name}"}}}}"#
+        ));
+    }
+
+    // Function intervals as complete duration events. `timeline.intervals`
+    // is sorted by (start_ns, depth), so each thread's subsequence has
+    // non-decreasing ts.
+    for iv in &timeline.intervals {
+        let name = trace
+            .function(iv.func)
+            .map(|f| escape(&f.name))
+            .unwrap_or_else(|| format!("fn#{}", iv.func.0));
+        let mut args = format!(r#"{{"depth":{}"#, iv.depth);
+        if iv.truncated {
+            args.push_str(r#","truncated":true"#);
+        }
+        args.push('}');
+        events.push(format!(
+            r#"{{"name":"{name}","cat":"function","ph":"X","ts":{},"dur":{},"pid":{pid},"tid":{},"args":{args}}}"#,
+            us(iv.start_ns),
+            us(iv.duration_ns()),
+            iv.thread.0,
+        ));
+    }
+
+    // Temperature samples as one counter track per sensor.
+    let sensor_label = |id: u16| -> String {
+        trace
+            .node
+            .sensors
+            .iter()
+            .find(|s| s.id.0 == id)
+            .map(|s| escape(&s.label))
+            .unwrap_or_else(|| format!("sensor#{id}"))
+    };
+    for sample in &trace.samples {
+        let label = sensor_label(sample.sensor.0);
+        let mut value = format!("{:.3}", sample.temperature.celsius());
+        if !value
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '-')
+        {
+            value = "0.000".to_string(); // non-finite readings have no JSON literal
+        }
+        events.push(format!(
+            r#"{{"name":"temp {label}","ph":"C","pid":{pid},"tid":0,"ts":{},"args":{{"celsius":{value}}}}}"#,
+            us(sample.timestamp_ns),
+        ));
+    }
+
+    // Sensor gaps (quarantine / failed reads) as instant events.
+    for event in &trace.events {
+        if let EventKind::Gap { sensor } = event.kind {
+            let label = sensor_label(sensor.0);
+            events.push(format!(
+                r#"{{"name":"gap {label}","ph":"i","s":"t","pid":{pid},"tid":{},"ts":{}}}"#,
+                event.thread.0,
+                us(event.timestamp_ns),
+            ));
+        }
+    }
+
+    let mut out = String::with_capacity(events.len() * 96 + 128);
+    out.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"tool\": \"tempest\"},\n\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_obs::Json;
+    use tempest_probe::{TraceGenerator, TraceSpec};
+
+    #[test]
+    fn export_is_valid_json_with_expected_shapes() {
+        let spec = TraceSpec {
+            events: 2_000,
+            threads: 3,
+            sensors: 2,
+            ..TraceSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate(0);
+        let doc = chrome_trace_json(&trace);
+        let parsed = Json::parse(&doc).expect("export must be valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let durations = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        let counters = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .count();
+        let timeline = Timeline::build(&trace.events);
+        assert_eq!(durations, timeline.intervals.len());
+        assert_eq!(counters, trace.samples.len());
+    }
+
+    #[test]
+    fn timestamp_keeps_nanosecond_fraction() {
+        assert_eq!(us(1_234_567), "1234.567");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_000), "1.000");
+    }
+}

@@ -94,6 +94,7 @@ impl Arena {
 /// is re-sorted (stably) before the sweep, reported via
 /// [`Correlation::resorted`] rather than silently mis-attributed.
 pub fn correlate(timeline: &Timeline, samples: &[SensorReading]) -> Correlation {
+    let _stage = tempest_obs::stage("correlate");
     let mut result = Correlation::default();
     if samples.is_empty() {
         return result;

@@ -68,15 +68,18 @@ impl Engine {
 /// One node's pipeline: read the whole file, decode (salvaging when
 /// recovery is on), analyze.
 fn analyze_one(path: &str, options: AnalysisOptions) -> Result<NodeProfile, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    let (trace, salvage) = if options.recover {
-        let (t, r) = Trace::decode_salvage(&bytes).map_err(|e| format!("{path}: {e}"))?;
-        (t, Some(r))
-    } else {
-        (
-            Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))?,
-            None,
-        )
+    let (trace, salvage) = {
+        let _stage = tempest_obs::stage("decode");
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        if options.recover {
+            let (t, r) = Trace::decode_salvage(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            (t, Some(r))
+        } else {
+            (
+                Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))?,
+                None,
+            )
+        }
     };
     analyze_trace_salvaged(&trace, salvage.as_ref(), options).map_err(|e| format!("{path}: {e}"))
 }

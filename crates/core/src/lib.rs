@@ -35,12 +35,15 @@
 //! phases and per-function warming-rate traits (§5), [`reliability`]
 //! turns temperature deltas into Arrhenius MTBF factors (§1),
 //! [`export`] renders profiles as CSV, key/value, or markdown (Figure 1's
-//! "variety of formats"), and [`engine`] fans the per-node pipelines of a
+//! "variety of formats"), [`chrome`] renders the reconstructed timeline +
+//! temperature counter tracks as Chrome `trace_event` JSON that loads in
+//! Perfetto, and [`engine`] fans the per-node pipelines of a
 //! cluster run across a work-stealing thread pool with deterministic,
 //! input-ordered results.
 
 pub mod analysis;
 pub mod callgraph;
+pub mod chrome;
 pub mod correlate;
 pub mod engine;
 pub mod export;
@@ -54,6 +57,7 @@ pub mod report;
 pub mod stats;
 pub mod timeline;
 
+pub use chrome::chrome_trace_json;
 pub use engine::Engine;
 pub use merge::ClusterProfile;
 pub use parser::{analyze_trace, analyze_trace_salvaged, AnalysisOptions, ParseError};

@@ -46,6 +46,7 @@ pub struct NodeThermalSummary {
 impl ClusterProfile {
     /// Wrap per-node profiles, sorted by node id.
     pub fn new(mut nodes: Vec<NodeProfile>) -> Self {
+        let _stage = tempest_obs::stage("merge");
         nodes.sort_by_key(|n| n.node.node_id);
         ClusterProfile {
             nodes,

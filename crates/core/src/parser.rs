@@ -236,16 +236,22 @@ pub fn analyze_trace_salvaged(
         }
     };
 
-    let timeline = Timeline::build(&events);
+    let timeline = {
+        let _stage = tempest_obs::stage("timeline");
+        Timeline::build(&events)
+    };
     let correlation = correlate(&timeline, &samples);
     quality.samples_resorted = correlation.resorted;
-    let mut profile = build_profiles(
-        trace.node.clone(),
-        &trace.functions,
-        &timeline,
-        &correlation,
-        &samples,
-    );
+    let mut profile = {
+        let _stage = tempest_obs::stage("profile");
+        build_profiles(
+            trace.node.clone(),
+            &trace.functions,
+            &timeline,
+            &correlation,
+            &samples,
+        )
+    };
     if let Some(dt) = options.sample_interval_ns {
         profile.sample_interval_ns = Some(dt);
         // Re-apply the significance rule under the forced interval.

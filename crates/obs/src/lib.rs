@@ -1,0 +1,34 @@
+//! Tempest's self-observability layer.
+//!
+//! Tempest exists to make *other* programs observable; this crate makes
+//! Tempest observable to itself. It provides:
+//!
+//! - a [`Registry`] of counters, gauges, and fixed-log2-bucket
+//!   histograms whose hot paths are atomics only (one relaxed flag load
+//!   when disabled), with a process-wide instance behind [`global`];
+//! - a span-tracing facade ([`stage`], [`Span`]) that times coarse
+//!   pipeline stages into a bounded [`SpanRing`];
+//! - exporters: Prometheus text exposition ([`to_prometheus`]), a JSON
+//!   snapshot ([`to_json`]), a human table ([`to_human`]), and the
+//!   human-unit helpers ([`human_count`], [`human_ns`],
+//!   [`human_bytes`]) the CLI shares;
+//! - a dependency-free JSON [`parser`](json::Json::parse) used by tests
+//!   and the CI schema check to validate hand-formatted output such as
+//!   the Chrome `trace_event` export.
+//!
+//! See DESIGN.md §9 for the overhead budget and the metric name
+//! inventory.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use export::{human_bytes, human_count, human_ns, to_human, to_json, to_prometheus};
+pub use json::{escape, Json, JsonError};
+pub use registry::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use span::{stage, thread_slot, Span, SpanRecord, SpanRing};

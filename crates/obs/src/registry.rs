@@ -1,0 +1,448 @@
+//! Lock-free-ish metrics registry: counters, gauges, and log2-bucket
+//! histograms.
+//!
+//! Design constraints (see DESIGN.md §9):
+//!
+//! - **Hot paths touch atomics only.** Recording into a [`Counter`],
+//!   [`Gauge`], or [`Histogram`] handle is one `Relaxed` load of the
+//!   shared enabled flag plus one or two `Relaxed` read-modify-writes.
+//!   No locks, no allocation, no syscalls.
+//! - **Registration is the slow path.** Looking a metric up by name
+//!   takes a mutex and may allocate; call sites are expected to resolve
+//!   handles once (at construction) and clone them — handles are
+//!   `Arc`-backed and cheap to clone.
+//! - **Disabled means near-zero.** Every handle shares the registry's
+//!   enabled flag; when it is off, a record is a single relaxed load
+//!   and an untaken branch.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::span::{SpanRecord, SpanRing};
+
+/// Number of log2 buckets in a [`Histogram`].
+///
+/// Bucket `i` counts values whose bit length is `i`, i.e. bucket 0 holds
+/// the value 0 and bucket `i` (for `i >= 1`) holds `2^(i-1) <= v < 2^i`;
+/// the last bucket absorbs everything with 63 or more significant bits.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments the counter by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-log2-bucket histogram of `u64` observations (typically
+/// nanosecond durations).
+#[derive(Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    inner: Arc<HistogramInner>,
+}
+
+/// Returns the bucket index for a value: its bit length, clamped to the
+/// last bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Returns the inclusive upper bound of bucket `index` (`0` for bucket 0,
+/// `2^index - 1` otherwise, saturating at `u64::MAX`).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            let inner = &*self.inner;
+            inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            inner.count.fetch_add(1, Ordering::Relaxed);
+            inner.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Returns the number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Returns the sum of recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time copy of one histogram, with only non-empty buckets.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// `(inclusive_upper_bound, count)` for each non-empty bucket, in
+    /// ascending bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) using bucket upper bounds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        self.buckets.last().map(|&(b, _)| b).unwrap_or(0)
+    }
+}
+
+/// Point-in-time copy of every metric in a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` counters in name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges in name order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms in name order.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Most recent span records, oldest first.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when no metric has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A metrics registry: a named family of counters, gauges, and
+/// histograms plus a span ring.
+///
+/// Most code uses the process-wide [`global`] registry; constructing a
+/// private one is useful in tests.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+    spans: SpanRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an enabled registry with the default span-ring capacity.
+    pub fn new() -> Self {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+            spans: SpanRing::new(crate::span::DEFAULT_RING_CAPACITY),
+        }
+    }
+
+    /// Turns recording on or off for every handle minted from this
+    /// registry, including handles resolved before the call.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// True when recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The instant this registry was created; span timestamps are
+    /// offsets from it.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Resolves (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Counter {
+                enabled: Arc::clone(&self.enabled),
+                value: Arc::new(AtomicU64::new(0)),
+            })
+            .clone()
+    }
+
+    /// Resolves (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge {
+                enabled: Arc::clone(&self.enabled),
+                bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+            })
+            .clone()
+    }
+
+    /// Resolves (registering on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram {
+                enabled: Arc::clone(&self.enabled),
+                inner: Arc::new(HistogramInner {
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                }),
+            })
+            .clone()
+    }
+
+    /// The span ring backing [`crate::span::Span`] guards.
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// Takes a point-in-time copy of every metric and the span ring.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock();
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let buckets = (0..HISTOGRAM_BUCKETS)
+                    .filter_map(|i| {
+                        let c = h.inner.buckets[i].load(Ordering::Relaxed);
+                        (c > 0).then(|| (bucket_upper_bound(i), c))
+                    })
+                    .collect();
+                HistogramSnapshot {
+                    name: n.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                }
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans: self.spans.drain_copy(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. Enabled by default; set the environment
+/// variable `TEMPEST_METRICS=0` before first use to start disabled.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(|| {
+        let reg = Registry::new();
+        if std::env::var("TEMPEST_METRICS").is_ok_and(|v| v == "0") {
+            reg.set_enabled(false);
+        }
+        reg
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_and_get() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(reg.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        reg.set_enabled(false);
+        c.inc();
+        g.set(3.5);
+        h.record(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.sum, 1106);
+        assert!(hs.quantile(0.5) >= 3);
+        assert!(hs.quantile(1.0) >= 1000);
+        assert!(hs.mean() > 0.0);
+    }
+
+    #[test]
+    fn same_name_resolves_same_metric() {
+        let reg = Registry::new();
+        reg.counter("dup").inc();
+        reg.counter("dup").inc();
+        assert_eq!(reg.counter("dup").get(), 2);
+        assert_eq!(reg.snapshot().counters.len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Internal span tracing: scoped stage timers recorded into a bounded
+//! ring buffer.
+//!
+//! Spans answer "where did this analysis run spend its time" without a
+//! full tracing dependency: a [`Span`] guard stamps its start against
+//! the registry epoch and, on drop, pushes a [`SpanRecord`] into the
+//! registry's [`SpanRing`] and folds the duration into a
+//! `stage_<name>_ns` histogram so exporters see both the latest
+//! timeline and the aggregate distribution.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::registry::{Histogram, Registry};
+
+/// Default number of records a [`SpanRing`] retains.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Stage name, e.g. `"decode"`.
+    pub name: String,
+    /// Start offset from the registry epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Small dense id of the recording thread (not the OS tid).
+    pub thread: u64,
+}
+
+/// Bounded ring of recent [`SpanRecord`]s; oldest entries are evicted
+/// once capacity is reached.
+pub struct SpanRing {
+    capacity: usize,
+    slots: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl SpanRing {
+    /// Creates a ring retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            capacity: capacity.max(1),
+            slots: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 64))),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, record: SpanRecord) {
+        let mut slots = self.slots.lock();
+        if slots.len() == self.capacity {
+            slots.pop_front();
+        }
+        slots.push_back(record);
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// True when no record is retained.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+
+    /// Copies the retained records, oldest first, without clearing.
+    pub fn drain_copy(&self) -> Vec<SpanRecord> {
+        self.slots.lock().iter().cloned().collect()
+    }
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_SLOT: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small dense id for the calling thread, stable for its lifetime.
+pub fn thread_slot() -> u64 {
+    THREAD_SLOT.with(|id| *id)
+}
+
+/// RAII stage timer; see [`Registry`] and [`crate::stage`].
+///
+/// Dropping the span records it. A disabled registry still constructs
+/// the guard (two `Instant::now` calls per span) but records nothing —
+/// spans guard coarse per-file stages, so this costs nanoseconds per
+/// megabyte of trace.
+pub struct Span<'r> {
+    registry: &'r Registry,
+    name: &'static str,
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl<'r> Span<'r> {
+    /// Starts a span named `stage_<name>_ns` on `registry`.
+    pub fn enter(registry: &'r Registry, name: &'static str) -> Self {
+        let histogram = registry.histogram(&format!("stage_{name}_ns"));
+        Span {
+            registry,
+            name,
+            histogram,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        let dur_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let start_ns = self
+            .start
+            .duration_since(self.registry.epoch())
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        self.histogram.record(dur_ns);
+        self.registry.spans().push(SpanRecord {
+            name: self.name.to_string(),
+            start_ns,
+            dur_ns,
+            thread: thread_slot(),
+        });
+    }
+}
+
+/// Starts a stage span on the [global registry](crate::global).
+pub fn stage(name: &'static str) -> Span<'static> {
+    Span::enter(crate::global(), name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_ring_and_histogram() {
+        let reg = Registry::new();
+        {
+            let _s = Span::enter(&reg, "decode");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "decode");
+        assert_eq!(snap.histogram("stage_decode_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = SpanRing::new(2);
+        for i in 0..5u64 {
+            ring.push(SpanRecord {
+                name: "s".to_string(),
+                start_ns: i,
+                dur_ns: 1,
+                thread: 0,
+            });
+        }
+        let got = ring.drain_copy();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].start_ns, 3);
+        assert_eq!(got[1].start_ns, 4);
+    }
+
+    #[test]
+    fn disabled_registry_drops_span_silently() {
+        let reg = Registry::new();
+        reg.set_enabled(false);
+        {
+            let _s = Span::enter(&reg, "decode");
+        }
+        assert!(reg.spans().is_empty());
+    }
+}

@@ -100,6 +100,7 @@ pub struct ChannelSink {
     // Per-thread shed counts. Only touched on the overflow path, which is
     // already slow (the queue is full), so a mutex-protected map is fine.
     dropped_by_thread: Mutex<BTreeMap<ThreadId, u64>>,
+    dropped_metric: tempest_obs::Counter,
 }
 
 impl ChannelSink {
@@ -125,6 +126,7 @@ impl ChannelSink {
                 policy,
                 dropped_total: AtomicU64::new(0),
                 dropped_by_thread: Mutex::new(BTreeMap::new()),
+                dropped_metric: tempest_obs::global().counter("sink_dropped_events_total"),
             }),
             rx,
         )
@@ -143,6 +145,7 @@ impl ChannelSink {
     fn account_dropped(&self, batch: &[Event]) {
         self.dropped_total
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.dropped_metric.add(batch.len() as u64);
         let mut map = self.dropped_by_thread.lock();
         for e in batch {
             *map.entry(e.thread).or_insert(0) += 1;
@@ -191,6 +194,8 @@ pub struct ThreadBuffer {
     buf: Vec<Event>,
     capacity: usize,
     sink: Arc<dyn EventSink>,
+    flushes: tempest_obs::Counter,
+    batch_events: tempest_obs::Histogram,
 }
 
 impl ThreadBuffer {
@@ -201,10 +206,13 @@ impl ThreadBuffer {
     /// New buffer feeding `sink`.
     pub fn new(sink: Arc<dyn EventSink>, capacity: usize) -> Self {
         let capacity = capacity.max(1);
+        let reg = tempest_obs::global();
         ThreadBuffer {
             buf: Vec::with_capacity(capacity),
             capacity,
             sink,
+            flushes: reg.counter("probe_flush_total"),
+            batch_events: reg.histogram("probe_flush_batch_events"),
         }
     }
 
@@ -221,6 +229,8 @@ impl ThreadBuffer {
     pub fn flush(&mut self) {
         if !self.buf.is_empty() {
             self.sink.submit(&self.buf);
+            self.flushes.inc();
+            self.batch_events.record(self.buf.len() as u64);
             self.buf.clear();
         }
     }

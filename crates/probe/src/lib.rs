@@ -57,7 +57,7 @@ pub use event::{Event, EventKind, ThreadId};
 pub use func::{FunctionDef, FunctionId, FunctionRegistry, ScopeKind};
 pub use guard::ScopeGuard;
 pub use profiler::Profiler;
-pub use session::ProfilingSession;
+pub use session::{ProfilingSession, SpooledSession, StreamingSession};
 pub use spool::{FsyncPolicy, SpoolConfig, SpoolReport, SpoolSink, SpoolStats, SpoolWriter};
 pub use synth::{TraceGenerator, TraceSpec};
 pub use tempd::{ResilientSampler, SamplingHealth, Tempd, TempdConfig, TempdStats};

@@ -228,6 +228,30 @@ pub struct SpoolWriter {
     samples_written: u64,
     total_bytes: u64,
     scratch: Vec<u8>,
+    metrics: SpoolMetrics,
+}
+
+/// Self-metrics handles for one spool writer; resolved once at
+/// [`SpoolWriter::create`] so the append path touches only atomics.
+struct SpoolMetrics {
+    frames: tempest_obs::Counter,
+    bytes: tempest_obs::Counter,
+    fsyncs: tempest_obs::Counter,
+    fsync_ns: tempest_obs::Histogram,
+    segments_sealed: tempest_obs::Counter,
+}
+
+impl SpoolMetrics {
+    fn resolve() -> Self {
+        let reg = tempest_obs::global();
+        SpoolMetrics {
+            frames: reg.counter("spool_frames_total"),
+            bytes: reg.counter("spool_bytes_total"),
+            fsyncs: reg.counter("spool_fsyncs_total"),
+            fsync_ns: reg.histogram("spool_fsync_ns"),
+            segments_sealed: reg.counter("spool_segments_sealed_total"),
+        }
+    }
 }
 
 impl SpoolWriter {
@@ -252,6 +276,7 @@ impl SpoolWriter {
             samples_written: 0,
             total_bytes: 0,
             scratch: Vec::new(),
+            metrics: SpoolMetrics::resolve(),
         };
         std::fs::remove_file(w.dir.join(".spool-init")).ok();
         w.open_segment()?;
@@ -280,12 +305,18 @@ impl SpoolWriter {
         let n = (FRAME_HEADER_LEN + payload.len()) as u64;
         self.bytes_in_segment += n;
         self.total_bytes += n;
+        self.metrics.frames.inc();
+        self.metrics.bytes.add(n);
         Ok(())
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        let t0 = std::time::Instant::now();
         self.out.flush()?;
-        self.out.get_ref().sync_data()
+        self.out.get_ref().sync_data()?;
+        self.metrics.fsyncs.inc();
+        self.metrics.fsync_ns.record_duration(t0.elapsed());
+        Ok(())
     }
 
     /// Append one batch of mixed events as a single checksummed frame.
@@ -363,6 +394,7 @@ impl SpoolWriter {
         std::fs::rename(self.dir.join(&self.open_name), self.dir.join(&sealed_name))?;
         sync_dir(&self.dir);
         self.sealed.push(sealed_name);
+        self.metrics.segments_sealed.inc();
         Ok(())
     }
 
@@ -919,6 +951,11 @@ impl SpoolSink {
             .samples
             .store(samples_dropped, Ordering::Release);
         self.final_drops.set.store(true, Ordering::Release);
+        let obs = tempest_obs::global();
+        obs.counter("spool_events_dropped_backpressure")
+            .add(events_dropped);
+        obs.counter("spool_samples_dropped_backpressure")
+            .add(samples_dropped);
         drop(sink); // last sender gone → writer drains and seals
         let handle = self
             .writer

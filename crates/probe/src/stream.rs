@@ -30,22 +30,31 @@ pub struct StreamWriter<W: Write> {
     out: W,
     events_written: u64,
     samples_written: u64,
+    batches_metric: tempest_obs::Counter,
+    events_metric: tempest_obs::Counter,
 }
 
 impl<W: Write> StreamWriter<W> {
     /// Start a stream: writes the magic immediately.
     pub fn new(mut out: W) -> io::Result<Self> {
         out.write_all(STREAM_MAGIC)?;
+        let reg = tempest_obs::global();
         Ok(StreamWriter {
             out,
             events_written: 0,
             samples_written: 0,
+            batches_metric: reg.counter("stream_batches_total"),
+            events_metric: reg.counter("stream_events_total"),
         })
     }
 
     /// Append a batch of mixed events (scope events and samples are
     /// split into separate chunks).
     pub fn write_batch(&mut self, batch: &[Event]) -> io::Result<()> {
+        if !batch.is_empty() {
+            self.batches_metric.inc();
+            self.events_metric.add(batch.len() as u64);
+        }
         // Gap markers travel in the scope-event chunk (they are part of the
         // event stream, not the sample stream).
         let is_sample = |e: &&Event| matches!(e.kind, EventKind::Sample { .. });

@@ -317,13 +317,23 @@ impl Tempd {
         let thread = std::thread::Builder::new()
             .name("tempd".to_string())
             .spawn(move || {
+                let obs = tempest_obs::global();
+                let m_rounds = obs.counter("tempd_rounds_total");
+                let m_round_ns = obs.histogram("tempd_round_ns");
+                let m_shed = obs.gauge("tempd_shed_samples");
+                let m_quarantined = obs.gauge("tempd_quarantined_sensors");
                 let mut sampler = ResilientSampler::new(config);
                 let mut next_tick = Instant::now();
                 while !thread_stop.load(Ordering::Relaxed) {
                     let t0 = Instant::now();
                     let ts = clock.now_ns();
                     sampler.round(&mut *source, ts, &*thread_sink);
-                    *thread_health.lock() = sampler.health();
+                    let round_health = sampler.health();
+                    m_rounds.inc();
+                    m_round_ns.record_duration(t0.elapsed());
+                    m_shed.set(thread_sink.dropped_for(Event::TEMPD_THREAD) as f64);
+                    m_quarantined.set(round_health.quarantined_sensors as f64);
+                    *thread_health.lock() = round_health;
                     thread_counters.rounds.fetch_add(1, Ordering::Relaxed);
                     thread_counters
                         .busy_ns

@@ -9,6 +9,9 @@
 //! tempest dump <trace>              # raw text dump
 //! tempest sensors                   # live hwmon discovery + one sample
 //! tempest spool recover <dir>       # rebuild a trace from a crash spool
+//! tempest export <trace>            # Chrome trace_event JSON for Perfetto
+//! tempest metrics <trace…>          # run the pipeline, print self-metrics
+//! tempest watch <spool dir>         # live one-screen status of a spool
 //! ```
 //!
 //! Argument handling is deliberately hand-rolled: the dependency budget
@@ -65,6 +68,11 @@ USAGE:
   tempest dump    <trace file>
   tempest sensors
   tempest spool recover <spool dir> [--out FILE]   (rebuild a trace from a crash spool)
+  tempest export  <trace file> [--format chrome-trace] [--out FILE] [--recover]
+  tempest metrics <trace file(s)> [--format human|prom|json] [--recover] [--jobs N]
+  tempest watch   <spool dir> [--interval SECS] [--count N]   (live spool status)
+
+  report/summary/doctor also accept --metrics to print self-metrics after the run.
 ";
 
 /// Entry point given argv (without the program name). Writes to stdout;
@@ -86,6 +94,9 @@ pub fn main_with_args(args: &[String], out: &mut dyn std::io::Write) -> Result<(
         "dump" => cmd_dump(&rest, out),
         "sensors" => cmd_sensors(out),
         "spool" => cmd_spool(&rest, out),
+        "export" => cmd_export(&rest, out),
+        "metrics" => cmd_metrics(&rest, out),
+        "watch" => cmd_watch(&rest, out),
         "help" | "--help" | "-h" | "" => {
             let _ = write!(out, "{USAGE}");
             Ok(())
@@ -104,7 +115,7 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// Flags that take no value; everything else starting `--` consumes one.
-const BOOLEAN_FLAGS: &[&str] = &["--recover"];
+const BOOLEAN_FLAGS: &[&str] = &["--recover", "--metrics"];
 
 fn flag_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
@@ -152,6 +163,235 @@ fn parse_class(s: &str) -> Result<Class, CliError> {
 
 fn load_trace(path: &str) -> Result<Trace, CliError> {
     Trace::load(Path::new(path)).map_err(|e| CliError::run(format!("{path}: {e}")))
+}
+
+/// Append the global self-metrics snapshot (human format) — the shared
+/// tail of `--metrics` on report/summary/doctor.
+fn write_self_metrics(out: &mut dyn std::io::Write) {
+    let snap = tempest_obs::global().snapshot();
+    let _ = write!(out, "\nself-metrics:\n{}", tempest_obs::to_human(&snap));
+}
+
+/// `tempest export`: render a trace in an interchange format. The only
+/// format so far is `chrome-trace`: Chrome `trace_event` JSON that loads
+/// directly in chrome://tracing or https://ui.perfetto.dev (functions as
+/// per-thread duration events, sensors as counter tracks, gaps as
+/// instant events).
+fn cmd_export(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .ok_or_else(|| CliError::usage("export: which trace file?"))?;
+    let format = flag_value(args, "--format").unwrap_or_else(|| "chrome-trace".into());
+    if format != "chrome-trace" {
+        return Err(CliError::usage(format!(
+            "unknown export format `{format}` (only `chrome-trace`)"
+        )));
+    }
+    let trace = if flag_present(args, "--recover") {
+        Trace::load_salvage(Path::new(path.as_str()))
+            .map(|(t, _)| t)
+            .map_err(|e| CliError::run(format!("{path}: {e}")))?
+    } else {
+        load_trace(path)?
+    };
+    let doc = tempest_core::chrome_trace_json(&trace);
+    match flag_value(args, "--out") {
+        Some(file) => {
+            std::fs::write(&file, doc).map_err(|e| CliError::run(format!("{file}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "wrote {file} — open it at https://ui.perfetto.dev or chrome://tracing"
+            );
+        }
+        None => {
+            let _ = write!(out, "{doc}");
+        }
+    }
+    Ok(())
+}
+
+/// `tempest metrics`: run the full analysis pipeline over the given
+/// traces purely to exercise it, then print the self-metrics the run
+/// produced (stage timings, decode counters, …) in the chosen format.
+fn cmd_metrics(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos: Vec<String> = positional(args).into_iter().cloned().collect();
+    if pos.is_empty() {
+        return Err(CliError::usage("metrics: which trace file(s)?"));
+    }
+    let format = flag_value(args, "--format").unwrap_or_else(|| "human".into());
+    if !matches!(format.as_str(), "human" | "prom" | "json") {
+        return Err(CliError::usage(format!(
+            "unknown metrics format `{format}` (human|prom|json)"
+        )));
+    }
+    let options = AnalysisOptions {
+        recover: flag_present(args, "--recover"),
+        ..Default::default()
+    };
+    let engine = Engine::new(parse_jobs(args)?);
+    for result in engine.analyze_files(&pos, options) {
+        result.map_err(CliError::run)?;
+    }
+    let snap = tempest_obs::global().snapshot();
+    let rendered = match format.as_str() {
+        "human" => tempest_obs::to_human(&snap),
+        "prom" => tempest_obs::to_prometheus(&snap),
+        "json" => tempest_obs::to_json(&snap),
+        _ => unreachable!("format validated above"),
+    };
+    let _ = write!(out, "{rendered}");
+    Ok(())
+}
+
+/// One rendered frame of `tempest watch`, plus the totals needed to
+/// compute rates for the next frame.
+struct WatchFrame {
+    rendered: String,
+    events: u64,
+    samples: u64,
+}
+
+/// Render the live status of a spool directory: totals, rates against
+/// the previous frame, backpressure drops, hottest sensor, and the top-5
+/// hot functions recovered so far.
+fn render_watch_frame(
+    dir: &Path,
+    prev: Option<(u64, u64)>,
+    dt_secs: f64,
+) -> Result<WatchFrame, String> {
+    use std::fmt::Write as _;
+    if !tempest_probe::spool::is_spool_dir(dir) {
+        return Err("waiting for spool segments…".to_string());
+    }
+    let (trace, rep) =
+        tempest_probe::spool::recover(dir).map_err(|e| format!("spool recovery failed: {e}"))?;
+    let mut s = String::new();
+    let span_secs = trace.span_ns() as f64 / 1e9;
+    let rate = |now: u64, before: Option<u64>| -> f64 {
+        match before {
+            // Rate over the polling interval once we have a previous frame.
+            Some(b) if dt_secs > 0.0 => (now.saturating_sub(b)) as f64 / dt_secs,
+            // First frame: average over the trace's own span.
+            _ if span_secs > 0.0 => now as f64 / span_secs,
+            _ => 0.0,
+        }
+    };
+    let _ = writeln!(
+        s,
+        "spool {} — {} segment(s), {} shutdown",
+        dir.display(),
+        rep.segments_scanned,
+        if rep.clean_shutdown {
+            "clean"
+        } else {
+            "live/unclean"
+        }
+    );
+    let _ = writeln!(
+        s,
+        "  events   {:>10}   ({:.0}/s)",
+        tempest_obs::human_count(rep.events_recovered),
+        rate(rep.events_recovered, prev.map(|p| p.0)),
+    );
+    let _ = writeln!(
+        s,
+        "  samples  {:>10}   ({:.0}/s)",
+        tempest_obs::human_count(rep.samples_recovered),
+        rate(rep.samples_recovered, prev.map(|p| p.1)),
+    );
+    let _ = writeln!(
+        s,
+        "  drops    {} event(s), {} sample(s) shed",
+        tempest_obs::human_count(rep.salvage.events_dropped_backpressure),
+        tempest_obs::human_count(rep.salvage.samples_dropped_backpressure),
+    );
+    // Hottest sensor: latest reading per sensor, hottest of those.
+    let mut latest: std::collections::BTreeMap<u16, f64> = std::collections::BTreeMap::new();
+    for sample in &trace.samples {
+        let c = sample.temperature.celsius();
+        if c.is_finite() {
+            latest.insert(sample.sensor.0, c);
+        }
+    }
+    if let Some((&id, &celsius)) = latest.iter().max_by(|a, b| a.1.total_cmp(b.1)) {
+        let label = trace
+            .node
+            .sensors
+            .iter()
+            .find(|m| m.id.0 == id)
+            .map(|m| m.label.clone())
+            .unwrap_or_else(|| format!("sensor#{id}"));
+        let _ = writeln!(s, "  hottest  {label}  {celsius:.1} C");
+    } else {
+        let _ = writeln!(s, "  hottest  (no samples yet)");
+    }
+    match tempest_core::analyze_trace(&trace, AnalysisOptions::recovering()) {
+        Ok(profile) => {
+            let _ = writeln!(s, "  top hot functions so far:");
+            for spot in tempest_core::analysis::hotspots(&profile, 5) {
+                let _ = writeln!(
+                    s,
+                    "    {:<20} avg {:>6.1} F  {:>7.2}s  score {:>8.2}",
+                    spot.name, spot.avg_f, spot.inclusive_secs, spot.score
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(s, "  (no profile yet: {e})");
+        }
+    }
+    Ok(WatchFrame {
+        rendered: s,
+        events: rep.events_recovered,
+        samples: rep.samples_recovered,
+    })
+}
+
+/// `tempest watch`: tail a live spool directory, re-rendering a
+/// one-screen status every `--interval` seconds. `--count N` stops after
+/// N frames (0 = forever); each frame after the first starts with an
+/// ANSI clear so a terminal shows a refreshing screen.
+fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let dir = pos
+        .first()
+        .ok_or_else(|| CliError::usage("watch: which spool directory?"))?;
+    let interval: f64 = flag_value(args, "--interval")
+        .unwrap_or_else(|| "2".into())
+        .parse()
+        .map_err(|_| CliError::usage("--interval wants seconds"))?;
+    if !interval.is_finite() || interval < 0.0 {
+        return Err(CliError::usage("--interval wants non-negative seconds"));
+    }
+    let count: u64 = flag_value(args, "--count")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| CliError::usage("--count wants an integer (0 = forever)"))?;
+    let dir_path = Path::new(dir.as_str());
+    let mut prev: Option<(u64, u64)> = None;
+    let mut frame_no = 0u64;
+    loop {
+        if frame_no > 0 {
+            // Refresh in place on a terminal; harmless in a pipe.
+            let _ = write!(out, "\x1b[2J\x1b[H");
+            std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+        }
+        frame_no += 1;
+        match render_watch_frame(dir_path, prev, interval) {
+            Ok(frame) => {
+                let _ = write!(out, "{}", frame.rendered);
+                prev = Some((frame.events, frame.samples));
+            }
+            Err(reason) => {
+                let _ = writeln!(out, "{}: {reason}", dir_path.display());
+            }
+        }
+        let _ = out.flush();
+        if count != 0 && frame_no >= count {
+            return Ok(());
+        }
+    }
 }
 
 fn cmd_demo(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
@@ -288,17 +528,23 @@ fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
     let engine = Engine::new(parse_jobs(args)?);
     for result in engine.analyze_files(&pos, options) {
         let profile = result.map_err(CliError::run)?;
-        let rendered = match format.as_str() {
-            "text" => report::render_stdout(&profile),
-            "csv" => tempest_core::export::profile_to_csv(&profile),
-            "kv" => tempest_core::export::profile_to_kv(&profile),
-            "md" => tempest_core::export::profile_to_markdown(&profile),
-            _ => unreachable!("format validated above"),
+        let rendered = {
+            let _stage = tempest_obs::stage("render");
+            match format.as_str() {
+                "text" => report::render_stdout(&profile),
+                "csv" => tempest_core::export::profile_to_csv(&profile),
+                "kv" => tempest_core::export::profile_to_kv(&profile),
+                "md" => tempest_core::export::profile_to_markdown(&profile),
+                _ => unreachable!("format validated above"),
+            }
         };
         let _ = write!(out, "{rendered}");
         if recover && !profile.quality.is_pristine() {
             let _ = writeln!(out, "data quality: {}", profile.quality);
         }
+    }
+    if flag_present(args, "--metrics") {
+        write_self_metrics(out);
     }
     Ok(())
 }
@@ -419,6 +665,9 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             spot.name, spot.avg_f, spot.inclusive_secs, spot.score
         );
     }
+    if flag_present(args, "--metrics") {
+        write_self_metrics(out);
+    }
     Ok(())
 }
 
@@ -506,6 +755,9 @@ fn cmd_doctor(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
     let engine = Engine::new(parse_jobs(args)?);
     for rendered in engine.map(pos, |path| triage_one(&path)) {
         let _ = write!(out, "{rendered}");
+    }
+    if flag_present(args, "--metrics") {
+        write_self_metrics(out);
     }
     Ok(())
 }
@@ -609,6 +861,18 @@ fn triage_spool_dir(path: &str, dir: &Path) -> String {
                 rep.samples_recovered,
                 trace.functions.len()
             );
+            // The session footer (clean shutdowns only) carries exact
+            // backpressure shed counts; show them in human units.
+            let shed_events = rep.salvage.events_dropped_backpressure;
+            let shed_samples = rep.salvage.samples_dropped_backpressure;
+            if rep.clean_shutdown || shed_events + shed_samples > 0 {
+                let _ = writeln!(
+                    out,
+                    "  backpressure: {} event(s), {} sample(s) dropped",
+                    tempest_obs::human_count(shed_events),
+                    tempest_obs::human_count(shed_samples),
+                );
+            }
             if verdict == "degraded" {
                 let _ = writeln!(
                     out,
@@ -1014,6 +1278,158 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         let out = run(&["doctor", empty.to_str().unwrap()]).unwrap();
         assert!(out.contains(": unreadable"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn export_chrome_trace_roundtrips_through_json_parser() {
+        let dir = temp_dir("export");
+        let dir_s = dir.to_str().unwrap();
+        run(&["demo", "micro-d", "--out", dir_s]).unwrap();
+        let trace = dir.join("micro-d-node0.trace");
+        let trace_s = trace.to_str().unwrap();
+
+        let doc = run(&["export", trace_s]).unwrap();
+        let parsed = tempest_obs::Json::parse(&doc).expect("export must be valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+
+        let out_file = dir.join("trace.json");
+        let out_s = out_file.to_str().unwrap();
+        let msg = run(&["export", trace_s, "--out", out_s]).unwrap();
+        assert!(msg.contains("perfetto"), "{msg}");
+        let saved = std::fs::read_to_string(&out_file).unwrap();
+        assert_eq!(saved, doc, "--out must write the same document");
+
+        assert_eq!(run(&["export"]).unwrap_err().code, 2);
+        assert_eq!(
+            run(&["export", trace_s, "--format", "svg"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_command_prints_stage_timings() {
+        let dir = temp_dir("metrics");
+        let dir_s = dir.to_str().unwrap();
+        run(&["demo", "micro-d", "--out", dir_s]).unwrap();
+        let trace = dir.join("micro-d-node0.trace");
+        let trace_s = trace.to_str().unwrap();
+
+        let human = run(&["metrics", trace_s]).unwrap();
+        assert!(human.contains("stage_decode_ns"), "{human}");
+        assert!(human.contains("stage_correlate_ns"), "{human}");
+
+        let prom = run(&["metrics", trace_s, "--format", "prom"]).unwrap();
+        assert!(prom.contains("# TYPE"), "{prom}");
+
+        let json = run(&["metrics", trace_s, "--format", "json"]).unwrap();
+        let parsed = tempest_obs::Json::parse(&json).expect("metrics JSON must parse");
+        assert!(parsed.get("histograms").is_some());
+
+        assert_eq!(run(&["metrics"]).unwrap_err().code, 2);
+        assert_eq!(
+            run(&["metrics", trace_s, "--format", "xml"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_metrics_flag_appends_snapshot() {
+        let dir = temp_dir("report-metrics");
+        let dir_s = dir.to_str().unwrap();
+        run(&["demo", "micro-d", "--out", dir_s]).unwrap();
+        let trace = dir.join("micro-d-node0.trace");
+        let trace_s = trace.to_str().unwrap();
+        for verb in ["report", "summary", "doctor"] {
+            let out = run(&[verb, trace_s, "--metrics"]).unwrap();
+            assert!(out.contains("self-metrics:"), "{verb}: {out}");
+        }
+        // Without the flag the tail is absent.
+        let out = run(&["report", trace_s]).unwrap();
+        assert!(!out.contains("self-metrics:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_prints_backpressure_drops_in_human_units() {
+        let (parent, dir) = write_spool("doctor-drops", true);
+        let out = run(&["doctor", dir.to_str().unwrap()]).unwrap();
+        assert!(
+            out.contains("backpressure: 0 event(s), 0 sample(s) dropped"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn watch_renders_live_then_finished_spool() {
+        use std::sync::Arc;
+        use tempest_probe::spool::SpoolConfig;
+        use tempest_probe::{MonotonicClock, SpooledSession, TempdConfig};
+
+        let parent = temp_dir("watch");
+        let dir = parent.join("spool");
+        let session = SpooledSession::start(
+            SpoolConfig::new(&dir),
+            Arc::new(MonotonicClock::new()),
+            None,
+            TempdConfig::default(),
+        )
+        .unwrap();
+        {
+            let tp = session.thread_profiler();
+            for _ in 0..100 {
+                let _g = tp.scope("busy_loop");
+            }
+            tp.flush();
+        }
+        // The writer thread persists asynchronously; wait for the batch to
+        // land before watching.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if tempest_probe::spool::is_spool_dir(&dir) {
+                if let Ok((_, rep)) = tempest_probe::spool::recover(&dir) {
+                    if rep.events_recovered >= 200 {
+                        break;
+                    }
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "spool writer never persisted the batch"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        // One frame from the actively-written (unclean, live) spool.
+        let dir_s = dir.to_str().unwrap();
+        let out = run(&["watch", dir_s, "--count", "1"]).unwrap();
+        assert!(out.contains("live/unclean"), "{out}");
+        assert!(out.contains("events"), "{out}");
+        assert!(out.contains("200"), "{out}");
+
+        session.finish().unwrap();
+        // Two frames from the sealed spool: totals plus a refresh escape.
+        let out = run(&["watch", dir_s, "--count", "2", "--interval", "0"]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(
+            out.contains("\x1b[2J"),
+            "second frame must clear the screen"
+        );
+
+        // Usage and not-a-spool handling.
+        assert_eq!(run(&["watch"]).unwrap_err().code, 2);
+        let empty = parent.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let out = run(&["watch", empty.to_str().unwrap(), "--count", "1"]).unwrap();
+        assert!(out.contains("waiting for spool"), "{out}");
         std::fs::remove_dir_all(&parent).ok();
     }
 

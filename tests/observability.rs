@@ -1,0 +1,184 @@
+//! Observability-layer integration tests: the metrics registry under
+//! thread hammering, and the Chrome trace_event export golden checks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tempest_core::{chrome_trace_json, Timeline};
+use tempest_obs::{Json, Registry};
+use tempest_probe::{Event, EventKind, TraceGenerator, TraceSpec};
+use tempest_sensors::SensorId;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 10_000;
+
+/// N threads hammer the same counter, gauge, and histogram handles; the
+/// totals must be exact — the registry promises lock-free-ish recording,
+/// not sloppy recording.
+#[test]
+fn registry_concurrent_totals_are_exact() {
+    let reg = Arc::new(Registry::new());
+    let counter = reg.counter("hammer_total");
+    let histogram = reg.histogram("hammer_value");
+    let mut handles = Vec::new();
+    for t in 0..THREADS as u64 {
+        let counter = counter.clone();
+        let histogram = histogram.clone();
+        let reg = Arc::clone(&reg);
+        handles.push(std::thread::spawn(move || {
+            // Mix resolved-handle use with by-name re-resolution: both must
+            // hit the same metric.
+            let resolved_again = reg.counter("hammer_total");
+            for i in 0..OPS_PER_THREAD {
+                counter.inc();
+                resolved_again.add(3);
+                histogram.record(t * OPS_PER_THREAD + i);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let expected_ops = THREADS as u64 * OPS_PER_THREAD;
+    assert_eq!(counter.get(), expected_ops * 4, "1 inc + add(3) per op");
+    assert_eq!(histogram.count(), expected_ops);
+    let expected_sum: u64 = (0..expected_ops).sum();
+    assert_eq!(histogram.sum(), expected_sum);
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("hammer_total"), Some(expected_ops * 4));
+    let hs = snap.histogram("hammer_value").unwrap();
+    assert_eq!(
+        hs.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+        expected_ops
+    );
+}
+
+/// Disabling the registry mid-hammer may lose an unpredictable number of
+/// increments, but re-enabling must never corrupt the count: the final
+/// value is bounded by what was submitted.
+#[test]
+fn registry_toggle_never_corrupts() {
+    let reg = Arc::new(Registry::new());
+    let counter = reg.counter("toggle_total");
+    let flipper = {
+        let reg = Arc::clone(&reg);
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                reg.set_enabled(i % 2 == 0);
+                std::thread::yield_now();
+            }
+            reg.set_enabled(true);
+        })
+    };
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let counter = counter.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..OPS_PER_THREAD {
+                counter.inc();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    flipper.join().unwrap();
+    assert!(counter.get() <= 4 * OPS_PER_THREAD);
+}
+
+fn generated_trace_with_gaps() -> tempest_probe::Trace {
+    let spec = TraceSpec {
+        seed: 11,
+        events: 6_000,
+        threads: 4,
+        sensors: 3,
+        ..TraceSpec::default()
+    };
+    let mut trace = TraceGenerator::new(spec).generate(2);
+    // Inject sensor gaps (quarantine markers) so the instant-event path is
+    // exercised; keep the event stream time-sorted.
+    let mid = trace.events[trace.events.len() / 2].timestamp_ns;
+    trace.events.push(Event::gap(mid, SensorId(0)));
+    trace.events.push(Event::gap(mid + 1, SensorId(1)));
+    trace
+        .events
+        .sort_by_key(|e| (e.timestamp_ns, e.thread.0, e.is_scope_event()));
+    trace
+}
+
+/// Golden-file shape test for the Chrome export: valid JSON, the right
+/// event phases, monotonically non-decreasing `ts` per thread, and event
+/// counts that round-trip exactly.
+#[test]
+fn chrome_trace_export_golden() {
+    let trace = generated_trace_with_gaps();
+    let doc = chrome_trace_json(&trace);
+    let parsed = Json::parse(&doc).expect("chrome-trace export must be valid JSON");
+
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("top-level traceEvents array");
+    assert!(!events.is_empty());
+
+    let phase = |e: &Json| e.get("ph").and_then(|p| p.as_str()).unwrap().to_string();
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for e in events {
+        *counts.entry(phase(e)).or_insert(0) += 1;
+    }
+
+    // Round-trip: every timeline interval is one "X", every sample one
+    // "C", every gap one "i".
+    let timeline = Timeline::build(&trace.events);
+    assert_eq!(counts.get("X"), Some(&timeline.intervals.len()));
+    assert_eq!(counts.get("C"), Some(&trace.samples.len()));
+    let gaps = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Gap { .. }))
+        .count();
+    assert_eq!(counts.get("i"), Some(&gaps));
+    assert!(
+        counts.get("M").copied().unwrap_or(0) >= 2,
+        "metadata events"
+    );
+
+    // Monotonically non-decreasing ts within every thread's duration track.
+    let mut last_ts: HashMap<i64, f64> = HashMap::new();
+    for e in events.iter().filter(|e| phase(e) == "X") {
+        let tid = e.get("tid").and_then(|t| t.as_f64()).unwrap() as i64;
+        let ts = e.get("ts").and_then(|t| t.as_f64()).unwrap();
+        if let Some(&prev) = last_ts.get(&tid) {
+            assert!(
+                ts >= prev,
+                "ts must be non-decreasing within tid {tid}: {prev} then {ts}"
+            );
+        }
+        last_ts.insert(tid, ts);
+        assert!(e.get("dur").is_some());
+        assert!(e.get("name").is_some());
+    }
+
+    // Counter tracks carry numeric temperatures.
+    for e in events.iter().filter(|e| phase(e) == "C") {
+        let celsius = e
+            .get("args")
+            .and_then(|a| a.get("celsius"))
+            .and_then(|c| c.as_f64())
+            .expect("counter events carry args.celsius");
+        assert!(celsius.is_finite());
+    }
+}
+
+/// The export must stay loadable after a decode round-trip (what the CLI
+/// actually exports is a decoded file, not an in-memory trace).
+#[test]
+fn chrome_trace_export_survives_trace_io() {
+    let trace = generated_trace_with_gaps();
+    let bytes = trace.to_bytes();
+    let decoded = tempest_probe::Trace::decode(&bytes).unwrap();
+    let a = chrome_trace_json(&trace);
+    let b = chrome_trace_json(&decoded);
+    assert_eq!(a, b, "export must be deterministic across encode/decode");
+}
