@@ -21,6 +21,17 @@ else
     echo "--  crash torture skipped (set TEMPEST_TORTURE=1 to run)"
 fi
 
+# Seeded chaos-proxy network collection suite: ships sessions through a
+# fault-injecting TCP proxy (resets, truncation, bit flips) and asserts
+# exactly-once delivery. Opt-in like the torture suite; override the
+# seed with TEMPEST_CHAOS_SEED.
+if [ "${TEMPEST_CHAOS:-0}" = "1" ]; then
+    echo "==> chaos shipping (TEMPEST_CHAOS=1)"
+    TEMPEST_CHAOS=1 cargo test -q -p tempest-bench --test chaos_ship
+else
+    echo "--  chaos shipping skipped (set TEMPEST_CHAOS=1 to run)"
+fi
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run -p tempest-bench
 
@@ -39,6 +50,35 @@ cargo run --release -q -p tempest-tools --bin tempest -- \
     export --format chrome-trace "$OBS_TMP/traces/micro-d-node0.trace" \
     --out "$OBS_TMP/trace.json" >/dev/null
 cargo run --release -q -p tempest-bench --bin json_check -- chrome "$OBS_TMP/trace.json"
+
+echo "==> network collection smoke (collect serve --once + ship, loopback)"
+cargo run --release -q -p tempest-bench --bin spool_demo -- "$OBS_TMP/spool" >/dev/null
+# Ephemeral port; the daemon publishes the bound address atomically via
+# --port-file, so the shipper never guesses a port or sleeps blindly.
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    collect serve --out "$OBS_TMP/collected" --addr 127.0.0.1:0 --once 1 \
+    --port-file "$OBS_TMP/collector.addr" >/dev/null &
+COLLECT_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$OBS_TMP/collector.addr" ] && break
+    sleep 0.1
+done
+[ -f "$OBS_TMP/collector.addr" ] || { echo "collector never published its address" >&2; exit 1; }
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    ship "$OBS_TMP/spool" --to "$(cat "$OBS_TMP/collector.addr")" --session smoke >/dev/null
+wait "$COLLECT_PID"
+# Byte-identity gate: analyzing the collected copy must render exactly
+# the same report as analyzing the source spool locally.
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    spool recover "$OBS_TMP/spool" --out "$OBS_TMP/local.trace" >/dev/null
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    spool recover "$OBS_TMP/collected/smoke-node0" --out "$OBS_TMP/collected.trace" >/dev/null
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    report "$OBS_TMP/local.trace" > "$OBS_TMP/local.report"
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    report "$OBS_TMP/collected.trace" > "$OBS_TMP/collected.report"
+diff "$OBS_TMP/local.report" "$OBS_TMP/collected.report"
+echo "    collected report byte-identical to local analysis"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -- -D warnings"

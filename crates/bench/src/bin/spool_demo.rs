@@ -1,0 +1,79 @@
+//! `spool_demo` — write a small, sealed demo spool directory.
+//!
+//! Usage: `spool_demo <out dir> [batches]` (default 40 batches). The
+//! session rotates segments, carries a symbol table and a clean footer,
+//! and is node 0 — exactly what `tempest ship` expects as input. ci.sh
+//! uses it to drive the loopback ship → collect → analyze smoke test
+//! without needing an instrumented workload.
+
+use std::process::ExitCode;
+use tempest_probe::spool::{FsyncPolicy, SpoolConfig, SpoolWriter};
+use tempest_probe::trace::SensorMeta;
+use tempest_probe::{Event, FunctionDef, FunctionId, NodeMeta, ScopeKind, ThreadId};
+use tempest_sensors::{SensorId, SensorKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(dir) = args.first() else {
+        eprintln!("usage: spool_demo <out dir> [batches]");
+        return ExitCode::from(2);
+    };
+    let batches: u64 = match args.get(1).map(|s| s.parse()) {
+        None => 40,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("spool_demo: batches must be an integer");
+            return ExitCode::from(2);
+        }
+    };
+    match write_demo_spool(dir, batches) {
+        Ok(events) => {
+            println!("wrote {dir}: {batches} batch(es), {events} event(s), sealed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("spool_demo: {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn write_demo_spool(dir: &str, batches: u64) -> std::io::Result<u64> {
+    let config = SpoolConfig::new(dir)
+        .fsync(FsyncPolicy::PerBatch)
+        .segment_bytes(4096);
+    let node = NodeMeta {
+        node_id: 0,
+        hostname: "spool-demo".into(),
+        sensors: vec![SensorMeta {
+            id: SensorId(0),
+            label: "die".into(),
+            kind: SensorKind::CpuCore,
+        }],
+    };
+    let functions: Vec<FunctionDef> = (0..3)
+        .map(|i| FunctionDef {
+            id: FunctionId(i),
+            name: format!("work_{i}"),
+            address: 0x40_0000 + 16 * i as u64,
+            kind: ScopeKind::Function,
+        })
+        .collect();
+    let mut w = SpoolWriter::create(&config, node)?;
+    let mut events = 0u64;
+    for i in 0..batches {
+        let t = i * 10_000;
+        let f = FunctionId((i % 3) as u32);
+        w.append_batch(&[
+            Event::enter(t, ThreadId(0), f),
+            Event::sample(t + 500, SensorId(0), 42.0 + (i % 25) as f64),
+            Event::exit(t + 9_000, ThreadId(0), f),
+        ])?;
+        events += 3;
+        if w.should_rotate() {
+            w.rotate(&functions)?;
+        }
+    }
+    w.finish(&functions, 0, 0)?;
+    Ok(events)
+}

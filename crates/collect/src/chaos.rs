@@ -1,0 +1,238 @@
+//! A seeded, in-process fault-injecting TCP proxy.
+//!
+//! Sits between a shipper and a collector on loopback and misbehaves on
+//! a deterministic schedule: per-chunk forwarding delays, connection
+//! resets, byte truncation (forward a prefix, then kill both sides), and
+//! single-bit flips. The point is adversarial testing of the protocol's
+//! recovery story — every fault the proxy injects must end, at worst, in
+//! a reconnect that resumes idempotently. In the spirit of the repo's
+//! `faults.rs`/`corrupt.rs`: all randomness flows from one seed, and
+//! each accepted connection derives its own stream, so a failing
+//! schedule replays exactly from the seed alone.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tempest_probe::ship::Rng;
+
+/// Fault probabilities are per forwarded chunk, in parts per 10 000.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed; every connection and direction derives from it.
+    pub seed: u64,
+    /// Max artificial delay per chunk in milliseconds (0 disables).
+    pub delay_ms_max: u64,
+    /// Chance per chunk of resetting the connection (both directions).
+    pub reset_per_10k: u32,
+    /// Chance per chunk of truncating: forward a random prefix, reset.
+    pub truncate_per_10k: u32,
+    /// Chance per chunk of flipping one random bit before forwarding.
+    pub flip_per_10k: u32,
+}
+
+impl ChaosConfig {
+    /// A quiet proxy: forwards faithfully. Turn the dials from there.
+    pub fn passthrough(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            delay_ms_max: 0,
+            reset_per_10k: 0,
+            truncate_per_10k: 0,
+            flip_per_10k: 0,
+        }
+    }
+}
+
+/// The running proxy: listens on an ephemeral loopback port and pipes
+/// every accepted connection to `upstream` through the fault schedule.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    faults: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Start the proxy in front of `upstream`. Binds `127.0.0.1:0` —
+    /// always an ephemeral port, never a hard-coded one.
+    pub fn start(upstream: SocketAddr, config: ChaosConfig) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let faults = Arc::new(AtomicU64::new(0));
+        let stop_in = stop.clone();
+        let faults_in = faults.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_no = 0u64;
+            let mut pumps: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            while !stop_in.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        conn_no += 1;
+                        let Ok(server) = TcpStream::connect(upstream) else {
+                            continue;
+                        };
+                        // Each direction of each connection gets its own
+                        // deterministic stream derived from the seed.
+                        let base = config
+                            .seed
+                            .wrapping_add(conn_no.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone())
+                        else {
+                            continue;
+                        };
+                        for (tag, from, to) in [(1u64, client, server), (2, server2, client2)] {
+                            let config = config.clone();
+                            let faults = faults_in.clone();
+                            let stop = stop_in.clone();
+                            pumps.push(std::thread::spawn(move || {
+                                pump(from, to, &config, Rng::new(base ^ tag), &faults, &stop);
+                            }));
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+                pumps.retain(|p| !p.is_finished());
+            }
+            for p in pumps {
+                p.join().ok();
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            faults,
+        })
+    }
+
+    /// Where shippers should connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total faults injected so far (resets + truncations + flips) —
+    /// lets a test assert its schedule actually exercised something.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and tear down. In-flight pumps die with their
+    /// sockets.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// Forward `from` → `to` one chunk at a time, consulting the fault
+/// schedule before each forward. Returning tears down both sockets,
+/// which is exactly what a reset should look like to the endpoints.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    config: &ChaosConfig,
+    mut rng: Rng,
+    faults: &AtomicU64,
+    stop: &AtomicBool,
+) {
+    // A read deadline so pump threads notice teardown instead of
+    // blocking forever on an idle connection.
+    from.set_read_timeout(Some(Duration::from_millis(250))).ok();
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle: peer may still be thinking. Try again (the stop
+                // check above bounds how long this can spin).
+                continue;
+            }
+            Err(_) => break,
+        };
+        if config.delay_ms_max > 0 {
+            std::thread::sleep(Duration::from_millis(rng.below(config.delay_ms_max + 1)));
+        }
+        if rng.below(10_000) < config.reset_per_10k as u64 {
+            faults.fetch_add(1, Ordering::Relaxed);
+            reset_both(&from, &to);
+            break;
+        }
+        if rng.below(10_000) < config.truncate_per_10k as u64 {
+            faults.fetch_add(1, Ordering::Relaxed);
+            let keep = rng.below(n as u64) as usize;
+            to.write_all(&buf[..keep]).ok();
+            reset_both(&from, &to);
+            break;
+        }
+        if rng.below(10_000) < config.flip_per_10k as u64 {
+            faults.fetch_add(1, Ordering::Relaxed);
+            let bit = rng.below((n * 8) as u64);
+            buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    from.shutdown(std::net::Shutdown::Both).ok();
+    to.shutdown(std::net::Shutdown::Both).ok();
+}
+
+fn reset_both(a: &TcpStream, b: &TcpStream) {
+    a.shutdown(std::net::Shutdown::Both).ok();
+    b.shutdown(std::net::Shutdown::Both).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_proxy_forwards_bytes_both_ways() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+
+        let proxy = ChaosProxy::start(up_addr, ChaosConfig::passthrough(1)).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        client.write_all(b"hello").unwrap();
+        let mut back = [0u8; 5];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello");
+        assert_eq!(proxy.faults_injected(), 0);
+        echo.join().unwrap();
+        proxy.stop();
+    }
+}

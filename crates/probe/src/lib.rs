@@ -33,6 +33,10 @@
 //!   and stress tests (dial in events/depth/threads/sensors exactly).
 //! * [`spool`] — crash-consistent spooling: a segmented, checksummed
 //!   write-ahead log with bounded backpressure and `kill -9` recovery.
+//! * [`ship`] — the network shipper: streams a spool directory to a
+//!   `tempest-collect` daemon with retry/backoff, heartbeats, and an
+//!   idempotent resume cursor; degrades to local-spool-only when the
+//!   collector stays unreachable.
 //! * [`session`] — ties a profiler, a tempd, and a trace writer together
 //!   for one profiled run.
 
@@ -44,6 +48,7 @@ pub mod func;
 pub mod guard;
 pub mod profiler;
 pub mod session;
+pub mod ship;
 pub mod spool;
 pub mod stream;
 pub mod synth;
@@ -58,6 +63,7 @@ pub use func::{FunctionDef, FunctionId, FunctionRegistry, ScopeKind};
 pub use guard::ScopeGuard;
 pub use profiler::Profiler;
 pub use session::{ProfilingSession, SpooledSession, StreamingSession};
+pub use ship::{RetryPolicy, ShipConfig, ShipReport};
 pub use spool::{FsyncPolicy, SpoolConfig, SpoolReport, SpoolSink, SpoolStats, SpoolWriter};
 pub use synth::{TraceGenerator, TraceSpec};
 pub use tempd::{ResilientSampler, SamplingHealth, Tempd, TempdConfig, TempdStats};

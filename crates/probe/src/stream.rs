@@ -286,11 +286,18 @@ pub fn read_stream<R: Read>(r: &mut R) -> Result<(Trace, bool), TraceError> {
         }
     }
 
-    // If the run crashed before finish(), synthesise a symbol table so
-    // the parser can still run (ids only).
-    if functions.is_empty() {
-        functions = synthesize_functions(&events);
-    }
+    // A crash can cut the file anywhere in the symbol chunk — before it
+    // (no table), mid-count, or mid-entry (a partial table that kept the
+    // first N names). Synthesise an ids-only placeholder for every
+    // function the events reference but the table lost, so the event
+    // prefix always analyses; entries that did parse keep real names.
+    let known: std::collections::HashSet<u32> = functions.iter().map(|f| f.id.0).collect();
+    functions.extend(
+        synthesize_functions(&events)
+            .into_iter()
+            .filter(|f| !known.contains(&f.id.0)),
+    );
+    functions.sort_by_key(|f| f.id.0);
 
     events.sort_by_key(|e| e.timestamp_ns);
     samples.sort_by_key(|s| s.timestamp_ns);
@@ -479,6 +486,91 @@ mod tests {
             ..trace.clone()
         };
         assert_eq!(tl.events.len(), 4);
+    }
+
+    /// A finished stream plus the byte offset where its symbol-table
+    /// chunk begins (it is the last chunk `finish` writes).
+    fn finished_stream() -> (Vec<u8>, usize) {
+        let mut buf = Vec::new();
+        let mut w = StreamWriter::new(&mut buf).unwrap();
+        w.write_batch(&demo_events()).unwrap();
+        w.finish(&demo_node(), &demo_functions()).unwrap();
+        let sym_chunk_len = 1  // tag
+            + 4 // count
+            + demo_functions()
+                .iter()
+                .map(|f| 4 + 8 + 1 + 2 + f.name.len())
+                .sum::<usize>();
+        (buf.clone(), buf.len() - sym_chunk_len)
+    }
+
+    fn read_cut(buf: &[u8], cut: usize) -> (Trace, bool) {
+        read_stream(&mut &buf[..cut]).unwrap()
+    }
+
+    #[test]
+    fn truncation_inside_symbol_count_recovers_events_with_placeholder_names() {
+        let (buf, sym_start) = finished_stream();
+        // Crash landed two bytes into the symbol chunk's count field: no
+        // entry parsed, so every referenced function gets an ids-only name.
+        let (trace, truncated) = read_cut(&buf, sym_start + 3);
+        assert!(truncated);
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.samples.len(), 2);
+        assert_eq!(trace.function(FunctionId(0)).unwrap().name, "fn#0");
+        assert_eq!(trace.function(FunctionId(1)).unwrap().name, "fn#1");
+        // Node metadata precedes the symbol chunk, so it survived whole.
+        assert_eq!(trace.node.hostname, "node2");
+    }
+
+    #[test]
+    fn truncation_mid_symbol_entry_keeps_parsed_names_and_fills_the_rest() {
+        let (buf, sym_start) = finished_stream();
+        // First entry ("main", 19 bytes) parsed whole; the crash landed in
+        // the second entry's fixed header. The partial table keeps the
+        // real name it salvaged and synthesises only the lost one.
+        let first_entry = 4 + 8 + 1 + 2 + "main".len();
+        let (trace, truncated) = read_cut(&buf, sym_start + 5 + first_entry + 7);
+        assert!(truncated);
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.function(FunctionId(0)).unwrap().name, "main");
+        assert_eq!(trace.function(FunctionId(1)).unwrap().name, "fn#1");
+    }
+
+    #[test]
+    fn truncation_mid_symbol_name_drops_only_the_torn_entry() {
+        let (buf, sym_start) = finished_stream();
+        // The cut lands two bytes into the second entry's name bytes
+        // ("fo|o1"): its length prefix promised more than the file holds.
+        let first_entry = 4 + 8 + 1 + 2 + "main".len();
+        let cut = sym_start + 5 + first_entry + 4 + 8 + 1 + 2 + 2;
+        let (trace, truncated) = read_cut(&buf, cut);
+        assert!(truncated);
+        assert_eq!(trace.function(FunctionId(0)).unwrap().name, "main");
+        assert_eq!(trace.function(FunctionId(1)).unwrap().name, "fn#1");
+        // Every function id the events reference resolves — the analysis
+        // pipeline never sees a dangling id whatever the cut point.
+        for e in &trace.events {
+            if let EventKind::Enter { func } | EventKind::Exit { func } = e.kind {
+                assert!(trace.function(func).is_some(), "dangling {func:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_symbol_chunk_cut_point_still_recovers_all_events() {
+        // Exhaustive: cut the file at every offset from the symbol chunk's
+        // tag byte to the end. No cut may lose events, leave a dangling
+        // function id, or fail to parse.
+        let (buf, sym_start) = finished_stream();
+        for cut in sym_start..buf.len() {
+            let (trace, _) = read_cut(&buf, cut);
+            assert_eq!(trace.events.len(), 4, "events lost at cut {cut}");
+            assert_eq!(trace.samples.len(), 2, "samples lost at cut {cut}");
+            for id in [FunctionId(0), FunctionId(1)] {
+                assert!(trace.function(id).is_some(), "dangling {id:?} at cut {cut}");
+            }
+        }
     }
 
     #[test]

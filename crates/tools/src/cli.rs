@@ -12,6 +12,8 @@
 //! tempest export <trace>            # Chrome trace_event JSON for Perfetto
 //! tempest metrics <trace…>          # run the pipeline, print self-metrics
 //! tempest watch <spool dir>         # live one-screen status of a spool
+//! tempest collect serve --out DIR   # network collector daemon
+//! tempest ship <spool dir> --to A   # stream a spool to a collector
 //! ```
 //!
 //! Argument handling is deliberately hand-rolled: the dependency budget
@@ -71,6 +73,11 @@ USAGE:
   tempest export  <trace file> [--format chrome-trace] [--out FILE] [--recover]
   tempest metrics <trace file(s)> [--format human|prom|json] [--recover] [--jobs N]
   tempest watch   <spool dir> [--interval SECS] [--count N]   (live spool status)
+  tempest collect serve --out DIR [--addr HOST:PORT] [--once N] [--port-file FILE]
+                  [--fsync] [--max-frame-bytes N] [--disk-budget N]
+                  [--shed refuse|disconnect] [--rate-limit N]
+  tempest ship    <spool dir> --to HOST:PORT [--session NAME] [--follow]
+                  [--retries N] [--base-ms N] [--cap-ms N] [--seed N]
 
   report/summary/doctor also accept --metrics to print self-metrics after the run.
 ";
@@ -97,6 +104,8 @@ pub fn main_with_args(args: &[String], out: &mut dyn std::io::Write) -> Result<(
         "export" => cmd_export(&rest, out),
         "metrics" => cmd_metrics(&rest, out),
         "watch" => cmd_watch(&rest, out),
+        "collect" => cmd_collect(&rest, out),
+        "ship" => cmd_ship(&rest, out),
         "help" | "--help" | "-h" | "" => {
             let _ = write!(out, "{USAGE}");
             Ok(())
@@ -115,7 +124,7 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// Flags that take no value; everything else starting `--` consumes one.
-const BOOLEAN_FLAGS: &[&str] = &["--recover", "--metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["--recover", "--metrics", "--fsync", "--follow"];
 
 fn flag_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
@@ -391,6 +400,160 @@ fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
         if count != 0 && frame_no >= count {
             return Ok(());
         }
+    }
+}
+
+/// Parse an optional integer flag with a default.
+fn parse_u64_flag(args: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("{flag} wants an integer"))),
+    }
+}
+
+/// `tempest collect serve`: run the network collector daemon. Every
+/// shipped session lands under `--out` as a standard spool directory, so
+/// `tempest spool recover`, `doctor`, `report --recover` and friends work
+/// on the collected copy unchanged. `--once N` accepts exactly N
+/// connections then exits (CI smoke tests); `--port-file` atomically
+/// publishes the bound address so scripts using `--addr 127.0.0.1:0`
+/// never have to guess or sleep.
+fn cmd_collect(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use tempest_collect::{Collector, CollectorConfig, ShedPolicy};
+    let pos = positional(args);
+    match pos.first().map(|s| s.as_str()) {
+        Some("serve") => {}
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown collect action `{other}` (only `serve`)"
+            )))
+        }
+        None => return Err(CliError::usage("collect: which action? (serve)")),
+    }
+    let out_dir = flag_value(args, "--out")
+        .ok_or_else(|| CliError::usage("collect serve: --out DIR is required"))?;
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:9797".into());
+    let mut config = CollectorConfig::new(&out_dir);
+    config.fsync_per_frame = flag_present(args, "--fsync");
+    config.max_frame_bytes =
+        parse_u64_flag(args, "--max-frame-bytes", config.max_frame_bytes as u64)?
+            .min(u32::MAX as u64) as u32;
+    if let Some(budget) = flag_value(args, "--disk-budget") {
+        config.disk_budget_bytes = Some(
+            budget
+                .parse()
+                .map_err(|_| CliError::usage("--disk-budget wants bytes"))?,
+        );
+    }
+    if let Some(rate) = flag_value(args, "--rate-limit") {
+        config.rate_limit = Some(
+            rate.parse()
+                .map_err(|_| CliError::usage("--rate-limit wants frames/sec"))?,
+        );
+    }
+    config.shed = match flag_value(args, "--shed").as_deref() {
+        None | Some("refuse") => ShedPolicy::Refuse,
+        Some("disconnect") => ShedPolicy::Disconnect,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown shed policy `{other}` (refuse|disconnect)"
+            )))
+        }
+    };
+    std::fs::create_dir_all(&out_dir).map_err(|e| CliError::run(format!("{out_dir}: {e}")))?;
+
+    let collector =
+        Collector::bind(&addr, config).map_err(|e| CliError::run(format!("{addr}: {e}")))?;
+    let handle = collector
+        .handle()
+        .map_err(|e| CliError::run(format!("collector: {e}")))?;
+    let _ = writeln!(out, "collecting on {} into {out_dir}", handle.addr());
+    let _ = out.flush();
+    if let Some(port_file) = flag_value(args, "--port-file") {
+        // Write-then-rename so a watching script never reads a partial
+        // address — the file appears complete or not at all.
+        let tmp = format!("{port_file}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, format!("{}\n", handle.addr()))
+            .and_then(|()| std::fs::rename(&tmp, &port_file))
+            .map_err(|e| CliError::run(format!("{port_file}: {e}")))?;
+    }
+    let served = match flag_value(args, "--once") {
+        Some(n) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| CliError::usage("--once wants a connection count"))?;
+            collector.serve_connections(n)
+        }
+        None => collector.run(),
+    };
+    served.map_err(|e| CliError::run(format!("collector: {e}")))?;
+    let stats = handle.stats();
+    use std::sync::atomic::Ordering::Relaxed;
+    let _ = writeln!(
+        out,
+        "served {} connection(s): {} frame(s) written, {} duplicate(s), {} quarantined, {} shed, {} session(s) completed",
+        stats.connections.load(Relaxed),
+        stats.frames.load(Relaxed),
+        stats.duplicates.load(Relaxed),
+        stats.quarantined.load(Relaxed),
+        stats.shed.load(Relaxed),
+        stats.sessions_completed.load(Relaxed),
+    );
+    Ok(())
+}
+
+/// `tempest ship`: stream a spool directory to a collector. Completion
+/// means the collector acknowledged the session footer; a run that
+/// exhausts its retry budget exits nonzero but leaves the local spool
+/// (and the persisted resume cursor) intact, so a later re-run resumes
+/// where this one stopped without re-sending anything.
+fn cmd_ship(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use tempest_probe::ship::{self, ShipConfig};
+    let pos = positional(args);
+    let dir = pos
+        .first()
+        .ok_or_else(|| CliError::usage("ship: which spool directory?"))?;
+    let to = flag_value(args, "--to")
+        .ok_or_else(|| CliError::usage("ship: --to HOST:PORT is required"))?;
+    let mut config = ShipConfig::new(dir.as_str(), to);
+    if let Some(session) = flag_value(args, "--session") {
+        config.session = session;
+    }
+    config.follow = flag_present(args, "--follow");
+    config.retry.max_failures = parse_u64_flag(args, "--retries", config.retry.max_failures as u64)?
+        .min(u32::MAX as u64) as u32;
+    config.retry.base_ms = parse_u64_flag(args, "--base-ms", config.retry.base_ms)?;
+    config.retry.cap_ms = parse_u64_flag(args, "--cap-ms", config.retry.cap_ms)?;
+    config.retry.seed = parse_u64_flag(args, "--seed", config.retry.seed)?;
+
+    let report = ship::ship(&config).map_err(|e| CliError::run(format!("{dir}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "shipped {}: {} frame(s) sent, {} acked, {} skipped (already collected), {} reconnect(s), {} ms backing off",
+        dir,
+        report.frames_sent,
+        report.frames_acked,
+        report.frames_skipped,
+        report.reconnects,
+        report.backoff_ms
+    );
+    if report.complete {
+        let _ = writeln!(out, "session complete: collector holds the full spool");
+        Ok(())
+    } else if report.degraded {
+        Err(CliError::run(format!(
+            "retry budget exhausted at cursor {:?}; local spool kept, re-run `tempest ship` to resume",
+            report.cursor
+        )))
+    } else {
+        let _ = writeln!(
+            out,
+            "caught up at cursor {:?} (session still open; --follow tails it to completion)",
+            report.cursor
+        );
+        Ok(())
     }
 }
 
@@ -834,14 +997,28 @@ fn triage_spool_dir(path: &str, dir: &Path) -> String {
         );
         return out;
     }
+    // Manifest-vs-disk audit first: a clean-looking spool whose manifest
+    // disagrees with the segment files on disk (missing, unexpected, or
+    // unsealed segments) is degraded no matter how well recovery went.
+    let manifest_problems = match tempest_probe::spool::check_manifest(dir) {
+        Ok(Some(check)) if !check.consistent() => check.problems(),
+        Ok(_) => Vec::new(),
+        Err(e) => vec![format!("manifest unreadable: {e}")],
+    };
     match tempest_probe::spool::recover(dir) {
         Ok((trace, rep)) => {
-            let verdict = if rep.clean_shutdown && rep.frames_discarded == 0 {
+            let verdict = if rep.clean_shutdown
+                && rep.frames_discarded == 0
+                && manifest_problems.is_empty()
+            {
                 "ok"
             } else {
                 "degraded"
             };
             let _ = writeln!(out, "{path}: {verdict}");
+            for problem in &manifest_problems {
+                let _ = writeln!(out, "  manifest: {problem}");
+            }
             let _ = writeln!(
                 out,
                 "  spool: {} segment(s), {} frame(s) recovered, {} discarded, {} shutdown",
@@ -871,6 +1048,24 @@ fn triage_spool_dir(path: &str, dir: &Path) -> String {
                     "  backpressure: {} event(s), {} sample(s) dropped",
                     tempest_obs::human_count(shed_events),
                     tempest_obs::human_count(shed_samples),
+                );
+            }
+            // Network-collection context. A persisted ship cursor means
+            // some shipper sent this spool out; shipped_through means the
+            // spool itself IS a collector-side copy (frames arrived
+            // wrapped with their source cursor).
+            if let Some(cursor) = tempest_probe::ship::Cursor::load(dir) {
+                let _ = writeln!(
+                    out,
+                    "  shipping: acked through segment {} offset {} (resume cursor on disk)",
+                    cursor.seg, cursor.off
+                );
+            }
+            if let Some((seg, off)) = rep.shipped_through {
+                let _ = writeln!(
+                    out,
+                    "  collected session: source frames through segment {seg} offset {off}, {} duplicate frame(s) dropped",
+                    rep.frames_deduped
                 );
             }
             if verdict == "degraded" {
@@ -1430,6 +1625,150 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         let out = run(&["watch", empty.to_str().unwrap(), "--count", "1"]).unwrap();
         assert!(out.contains("waiting for spool"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn collect_serve_and_ship_roundtrip_through_the_cli() {
+        let parent = temp_dir("cli-ship");
+        // A sealed session to ship.
+        let (src_parent, spool) = write_spool("cli-ship-src", true);
+        let collected = parent.join("collected");
+        let port_file = parent.join("collector.addr");
+
+        // Serve exactly one connection on an ephemeral port, publishing
+        // the bound address through --port-file.
+        let serve_args: Vec<String> = [
+            "collect",
+            "serve",
+            "--out",
+            collected.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--once",
+            "1",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            main_with_args(&serve_args, &mut buf).map(|()| String::from_utf8(buf).unwrap())
+        });
+
+        // The port file appears atomically once the listener is bound.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                break s.trim().to_string();
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "collector never published its address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let out = run(&[
+            "ship",
+            spool.to_str().unwrap(),
+            "--to",
+            &addr,
+            "--session",
+            "clitest",
+            "--retries",
+            "10",
+            "--base-ms",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("session complete"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("collecting on"), "{served}");
+        assert!(served.contains("1 session(s) completed"), "{served}");
+
+        // Doctor knows both sides of the wire: the source spool carries a
+        // resume cursor, the collected copy knows its source provenance.
+        let src_doc = run(&["doctor", spool.to_str().unwrap()]).unwrap();
+        assert!(src_doc.contains("shipping: acked through"), "{src_doc}");
+        let dst = collected.join("clitest-node0");
+        let dst_doc = run(&["doctor", dst.to_str().unwrap()]).unwrap();
+        assert!(dst_doc.contains(": ok"), "{dst_doc}");
+        assert!(dst_doc.contains("collected session"), "{dst_doc}");
+        assert!(dst_doc.contains("0 duplicate frame(s)"), "{dst_doc}");
+
+        // The collected copy is a first-class spool: recover + report.
+        let report = run(&["spool", "recover", dst.to_str().unwrap()]).unwrap();
+        assert!(report.contains("clean shutdown"), "{report}");
+        std::fs::remove_dir_all(&parent).ok();
+        std::fs::remove_dir_all(&src_parent).ok();
+    }
+
+    #[test]
+    fn collect_and_ship_usage_errors() {
+        assert_eq!(run(&["collect"]).unwrap_err().code, 2);
+        assert_eq!(run(&["collect", "frobnicate"]).unwrap_err().code, 2);
+        assert_eq!(run(&["collect", "serve"]).unwrap_err().code, 2); // no --out
+        assert_eq!(
+            run(&["collect", "serve", "--out", "x", "--shed", "panic"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(run(&["ship"]).unwrap_err().code, 2);
+        assert_eq!(run(&["ship", "somedir"]).unwrap_err().code, 2); // no --to
+                                                                    // Missing spool directory is a runtime error, not usage.
+        assert_eq!(
+            run(&["ship", "/nonexistent/spool", "--to", "127.0.0.1:1"])
+                .unwrap_err()
+                .code,
+            1
+        );
+    }
+
+    #[test]
+    fn ship_to_dead_collector_exits_nonzero_but_keeps_the_spool() {
+        let (parent, spool) = write_spool("cli-ship-dead", true);
+        // Learn a free port, then close it so connections are refused.
+        let free = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = free.local_addr().unwrap().to_string();
+        drop(free);
+        let err = run(&[
+            "ship",
+            spool.to_str().unwrap(),
+            "--to",
+            &addr,
+            "--retries",
+            "2",
+            "--base-ms",
+            "1",
+            "--cap-ms",
+            "2",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(
+            err.message.contains("retry budget exhausted"),
+            "{}",
+            err.message
+        );
+        // Degradation left the local session fully usable.
+        let out = run(&["spool", "recover", spool.to_str().unwrap()]).unwrap();
+        assert!(out.contains("clean shutdown"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn doctor_flags_manifest_disk_disagreement() {
+        let (parent, spool) = write_spool("cli-manifest", true);
+        // Plant a sealed segment the manifest never listed.
+        let seg = spool.join("seg-000000.seg");
+        std::fs::copy(&seg, spool.join("seg-000099.seg")).unwrap();
+        let out = run(&["doctor", spool.to_str().unwrap()]).unwrap();
+        assert!(out.contains(": degraded"), "{out}");
+        assert!(out.contains("not in the manifest"), "{out}");
         std::fs::remove_dir_all(&parent).ok();
     }
 
