@@ -41,6 +41,10 @@ cargo run --release -q -p tempest-bench --bin perf_smoke -- BENCH_parse.json >/d
 echo "==> BENCH_parse.json schema check"
 cargo run --release -q -p tempest-bench --bin json_check -- bench BENCH_parse.json
 
+echo "==> correlate throughput floor vs committed baseline"
+cargo run --release -q -p tempest-bench --bin json_check -- \
+    floor BENCH_parse.json BENCH_baseline.json
+
 echo "==> chrome-trace export + schema check"
 OBS_TMP="$(mktemp -d)"
 trap 'rm -rf "$OBS_TMP"' EXIT
@@ -79,6 +83,22 @@ cargo run --release -q -p tempest-tools --bin tempest -- \
     report "$OBS_TMP/collected.trace" > "$OBS_TMP/collected.report"
 diff "$OBS_TMP/local.report" "$OBS_TMP/collected.report"
 echo "    collected report byte-identical to local analysis"
+
+echo "==> analysis cache smoke (second report must hit the cache, byte-identical)"
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    report "$OBS_TMP/traces/micro-d-node0.trace" --cache "$OBS_TMP/cache" \
+    > "$OBS_TMP/cache-cold.report"
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    report "$OBS_TMP/traces/micro-d-node0.trace" --cache "$OBS_TMP/cache" \
+    > "$OBS_TMP/cache-warm.report"
+diff "$OBS_TMP/cache-cold.report" "$OBS_TMP/cache-warm.report"
+# The hit counter only exists once a lookup actually hits, so its
+# presence in the self-metrics proves the warm path was taken.
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    report "$OBS_TMP/traces/micro-d-node0.trace" --cache "$OBS_TMP/cache" --metrics \
+    | grep -q "cache_hits_total" \
+    || { echo "cache hit counter missing from --metrics output" >&2; exit 1; }
+echo "    cached report byte-identical, hit counter present"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -- -D warnings"

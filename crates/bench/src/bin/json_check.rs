@@ -8,8 +8,13 @@
 //!   within each thread's duration track, and at least one counter
 //!   (temperature) event.
 //! * `json_check bench <file>` — validates `BENCH_parse.json`: the
-//!   pipeline speedup is a number, or null with a `reason`, and the
-//!   `self_overhead` section is present with its timing fields.
+//!   pipeline speedup is a number, or null with a `reason`, the
+//!   `self_overhead` section is present with its timing fields, the
+//!   per-stage breakdown is complete, and the correlate/cache sections
+//!   carry their throughput numbers.
+//! * `json_check floor <file> <baseline>` — throughput regression gate:
+//!   fails when the fresh run's `correlate.samples_per_sec` has dropped
+//!   more than 30% below the committed baseline's.
 //!
 //! Exits nonzero with a message on the first violation, so ci.sh can
 //! gate on it directly.
@@ -129,15 +134,74 @@ fn check_bench(doc: &Json) -> Result<(), String> {
     if on <= 0.0 || off <= 0.0 {
         return Err("self_overhead timings must be positive".into());
     }
-    eprintln!("json_check: bench OK — self_overhead present, speedup field well-formed");
+    let stages = doc.get("stages").ok_or("missing stages section")?;
+    for field in [
+        "timeline_seconds",
+        "correlate_seconds",
+        "profile_seconds",
+        "render_seconds",
+    ] {
+        if stages.get(field).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("stages.{field} missing or non-numeric"));
+        }
+    }
+    let correlate = doc.get("correlate").ok_or("missing correlate section")?;
+    for field in ["seconds", "seconds_sharded_auto", "samples_per_sec"] {
+        if correlate.get(field).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("correlate.{field} missing or non-numeric"));
+        }
+    }
+    let cache = doc.get("cache").ok_or("missing cache section")?;
+    for field in ["seconds_cold", "seconds_warm", "warm_speedup"] {
+        if cache.get(field).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("cache.{field} missing or non-numeric"));
+        }
+    }
+
+    eprintln!(
+        "json_check: bench OK — stages/correlate/cache/self_overhead present, speedup well-formed"
+    );
+    Ok(())
+}
+
+/// Allowed drop in correlate throughput before the gate fails: a fresh
+/// run may be 30% slower than the committed baseline (noisy CI hosts),
+/// but not more.
+const FLOOR_TOLERANCE: f64 = 0.30;
+
+fn samples_per_sec(doc: &Json, which: &str) -> Result<f64, String> {
+    doc.get("correlate")
+        .and_then(|c| c.get("samples_per_sec"))
+        .and_then(|v| v.as_f64())
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| format!("{which}: correlate.samples_per_sec missing or non-positive"))
+}
+
+fn check_floor(fresh: &Json, baseline: &Json) -> Result<(), String> {
+    let now = samples_per_sec(fresh, "fresh run")?;
+    let base = samples_per_sec(baseline, "baseline")?;
+    let floor = base * (1.0 - FLOOR_TOLERANCE);
+    if now < floor {
+        return Err(format!(
+            "correlate throughput regressed: {now:.0} samples/s is below the floor \
+             {floor:.0} ({}% under baseline {base:.0})",
+            ((1.0 - now / base) * 100.0).round()
+        ));
+    }
+    eprintln!(
+        "json_check: floor OK — correlate {now:.0} samples/s vs baseline {base:.0} (floor {floor:.0})"
+    );
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mode, path) = match args.as_slice() {
-        [mode, path] => (mode.as_str(), path.as_str()),
-        _ => return fail("usage: json_check <chrome|bench> <file.json>"),
+    let (mode, path, baseline) = match args.as_slice() {
+        [mode, path] => (mode.as_str(), path.as_str(), None),
+        [mode, path, baseline] if mode == "floor" => {
+            (mode.as_str(), path.as_str(), Some(baseline.as_str()))
+        }
+        _ => return fail("usage: json_check <chrome|bench> <file.json> | floor <file> <baseline>"),
     };
     let doc = match load(path) {
         Ok(doc) => doc,
@@ -146,7 +210,13 @@ fn main() -> ExitCode {
     let result = match mode {
         "chrome" => check_chrome(&doc),
         "bench" => check_bench(&doc),
-        other => Err(format!("unknown mode {other:?} (expected chrome or bench)")),
+        "floor" => match baseline {
+            Some(b) => load(b).and_then(|base| check_floor(&doc, &base)),
+            None => Err("floor mode needs a baseline file".into()),
+        },
+        other => Err(format!(
+            "unknown mode {other:?} (expected chrome, bench, or floor)"
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

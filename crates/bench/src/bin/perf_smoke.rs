@@ -4,22 +4,28 @@
 //! then measures the optimised path end to end:
 //!
 //! * zero-copy decode throughput (events/s and MB/s),
-//! * correlate-sweep allocation counts (the rewrite's target metric),
+//! * a per-stage breakdown of the single-node pipeline
+//!   (timeline / correlate / profile / render),
+//! * correlate-sweep allocation counts and throughput, sequential vs
+//!   auto-sharded (the columnar rewrite's target metrics),
 //! * full multi-node analysis wall time at `--jobs 1` vs `--jobs 4`
 //!   and the resulting speedup,
+//! * analysis-cache cold (miss + store) vs warm (hit) report timing,
 //! * peak RSS of the whole process.
 //!
 //! Writes `BENCH_parse.json` (or the path given as the first argument).
 //! The host's CPU count is recorded alongside the speedup: on a
 //! single-CPU container the 4-worker run cannot beat 1 worker, and the
-//! honest number in the JSON reflects that.
+//! honest number in the JSON reflects that (the engine now clamps to
+//! the available parallelism, so oversubscription no longer costs).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-use tempest_core::correlate::correlate;
+use tempest_core::correlate::correlate_with;
+use tempest_core::profile::build_profiles;
 use tempest_core::timeline::Timeline;
-use tempest_core::{AnalysisOptions, Engine};
+use tempest_core::{report, AnalysisCache, AnalysisOptions, Engine};
 use tempest_probe::trace::Trace;
 use tempest_probe::{TraceGenerator, TraceSpec};
 
@@ -81,6 +87,19 @@ fn median_secs(mut runs: Vec<f64>) -> f64 {
     runs[runs.len() / 2]
 }
 
+/// Median-of-3 wall time of `f`.
+fn time3(mut f: impl FnMut()) -> f64 {
+    median_secs(
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -120,46 +139,80 @@ fn main() {
         .sum();
 
     // --- decode throughput (zero-copy cursor over one read-to-end buffer).
+    // One image is held at a time so the bench's own peak RSS reflects the
+    // analysis working set, not the measurement harness.
     eprintln!("measuring decode throughput...");
-    let images: Vec<Vec<u8>> = paths.iter().map(|p| std::fs::read(p).unwrap()).collect();
-    let decode_secs = median_secs(
-        (0..3)
-            .map(|_| {
-                let t0 = Instant::now();
-                for image in &images {
-                    std::hint::black_box(Trace::decode(image).unwrap());
-                }
-                t0.elapsed().as_secs_f64()
+    let decode_secs: f64 = paths
+        .iter()
+        .map(|p| {
+            let image = std::fs::read(p).unwrap();
+            time3(|| {
+                std::hint::black_box(Trace::decode(&image).unwrap());
             })
-            .collect(),
-    );
+        })
+        .sum();
     let decode_events_per_s = total_events as f64 / decode_secs;
     let decode_mb_per_s = total_bytes as f64 / 1e6 / decode_secs;
 
-    // --- correlate sweep: wall time + allocation profile on one node.
-    eprintln!("measuring correlate sweep...");
-    let timeline = Timeline::build(&traces[0].events);
-    let _warm = correlate(&timeline, &traces[0].samples);
+    // --- per-stage breakdown of one node's pipeline, each stage timed in
+    // isolation on the previous stage's output.
+    eprintln!("measuring per-stage breakdown...");
+    let node = &traces[0];
+    let timeline_secs = time3(|| {
+        std::hint::black_box(Timeline::build(&node.events));
+    });
+    let timeline = Timeline::build(&node.events);
+
+    // Correlate, sequential (shards pinned to 1): wall time + allocation
+    // profile — the columnar rewrite's target metrics.
+    let _warm = correlate_with(&timeline, &node.samples, 1);
     let t0 = Instant::now();
     let (corr_allocs, corr_alloc_bytes, corr) =
-        count_allocs(|| correlate(&timeline, &traces[0].samples));
+        count_allocs(|| correlate_with(&timeline, &node.samples, 1));
     let correlate_secs = t0.elapsed().as_secs_f64();
-    let attributed = traces[0].samples.len() - corr.unattributed;
+    let correlate_samples_per_s = node.samples.len() as f64 / correlate_secs;
+    let attributed = node.samples.len() - corr.unattributed;
+
+    // Correlate, auto-sharded (0 = one shard per CPU, clamped).
+    let correlate_sharded_secs = time3(|| {
+        std::hint::black_box(correlate_with(&timeline, &node.samples, 0));
+    });
+
+    let profile_secs = time3(|| {
+        std::hint::black_box(build_profiles(
+            node.node.clone(),
+            &node.functions,
+            &timeline,
+            &corr,
+            &node.samples,
+        ));
+    });
+    let profile = build_profiles(
+        node.node.clone(),
+        &node.functions,
+        &timeline,
+        &corr,
+        &node.samples,
+    );
+    let render_secs = time3(|| {
+        std::hint::black_box(report::render_stdout(&profile));
+    });
+    drop(profile);
+    drop(corr);
+    drop(timeline);
+    // The in-memory cluster is no longer needed: everything from here on
+    // reads the trace files. Dropping ~1M events + ~1M samples before the
+    // fan-out keeps peak RSS honest about the pipeline itself.
+    drop(traces);
 
     // --- full multi-node pipeline at 1 vs 4 workers (median of 3).
     eprintln!("measuring engine fan-out...");
     let time_jobs = |jobs: usize| -> f64 {
         let engine = Engine::new(jobs);
-        median_secs(
-            (0..3)
-                .map(|_| {
-                    let t0 = Instant::now();
-                    let results = engine.analyze_files(&paths, AnalysisOptions::default());
-                    assert!(results.iter().all(Result::is_ok));
-                    t0.elapsed().as_secs_f64()
-                })
-                .collect(),
-        )
+        time3(|| {
+            let results = engine.analyze_files(&paths, AnalysisOptions::default());
+            assert!(results.iter().all(Result::is_ok));
+        })
     };
     let secs_jobs1 = time_jobs(1);
     let secs_jobs4 = time_jobs(4);
@@ -191,19 +244,48 @@ fn main() {
     registry.set_enabled(was_enabled);
     let overhead_pct = (secs_metrics_on / secs_metrics_off - 1.0) * 100.0;
 
+    // --- analysis cache: cold (analyze + render + store) vs warm (hit)
+    // wall time for the full 4-node report.
+    eprintln!("measuring analysis cache...");
+    let cache_dir = dir.join("cache");
+    let cache = AnalysisCache::open(&cache_dir).expect("open cache dir");
+    let engine = Engine::new(1);
+    let run_cached = || -> Vec<String> {
+        engine
+            .render_files(
+                &paths,
+                AnalysisOptions::default(),
+                Some(&cache),
+                "text",
+                report::render_stdout,
+            )
+            .into_iter()
+            .map(|r| r.expect("render"))
+            .collect()
+    };
+    let t0 = Instant::now();
+    let cold = run_cached();
+    let cache_cold_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm = run_cached();
+    let cache_warm_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(cold, warm, "cache hit must be byte-identical");
+    let cache_speedup = cache_cold_secs / cache_warm_secs;
+
     let rss_kb = peak_rss_kb();
 
     // Hand-formatted JSON: the dependency budget has no serde.
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup_field},\n    \"cpus\": {cpus}\n  }},\n  \"self_overhead\": {{\n    \"seconds_metrics_on\": {secs_metrics_on:.6},\n    \"seconds_metrics_off\": {secs_metrics_off:.6},\n    \"slowdown_pct\": {overhead_pct:.2}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
+        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"stages\": {{\n    \"timeline_seconds\": {timeline_secs:.6},\n    \"correlate_seconds\": {correlate_secs:.6},\n    \"profile_seconds\": {profile_secs:.6},\n    \"render_seconds\": {render_secs:.6}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"seconds_sharded_auto\": {correlate_sharded_secs:.6},\n    \"samples_per_sec\": {correlate_samples_per_s:.0},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup_field},\n    \"cpus\": {cpus}\n  }},\n  \"self_overhead\": {{\n    \"seconds_metrics_on\": {secs_metrics_on:.6},\n    \"seconds_metrics_off\": {secs_metrics_off:.6},\n    \"slowdown_pct\": {overhead_pct:.2}\n  }},\n  \"cache\": {{\n    \"seconds_cold\": {cache_cold_secs:.6},\n    \"seconds_warm\": {cache_warm_secs:.6},\n    \"warm_speedup\": {cache_speedup:.1}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write BENCH_parse.json");
     std::fs::remove_dir_all(&dir).ok();
 
     eprintln!(
         "decode {decode_events_per_s:.0} events/s ({decode_mb_per_s:.1} MB/s); \
-         correlate {corr_allocs} allocs; \
+         correlate {correlate_secs:.3}s seq / {correlate_sharded_secs:.3}s sharded, {corr_allocs} allocs; \
          jobs1 {secs_jobs1:.3}s vs jobs4 {secs_jobs4:.3}s (speedup {speedup_note} on {cpus} cpu(s)); \
+         cache cold {cache_cold_secs:.3}s vs warm {cache_warm_secs:.3}s ({cache_speedup:.0}x); \
          metrics overhead {overhead_pct:+.2}%"
     );
     println!("{json}");

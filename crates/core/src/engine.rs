@@ -8,32 +8,60 @@
 //! callers render reports and merge [`ClusterProfile`]s deterministically:
 //! the output of an N-worker engine is byte-identical to a 1-worker run.
 //!
+//! The requested job count is clamped to the machine's available
+//! parallelism — asking for 4 workers on a 1-CPU box used to *cost* time
+//! (context-switch churn on pure CPU work); now it resolves to 1 and the
+//! engine runs inline without spawning a pool at all. Whatever width is
+//! left over is budgeted down to the per-file correlate shard count, so a
+//! cluster-wide fan-out never multiplies into `files × shards` threads.
+//!
+//! [`Engine::render_files`] layers the [`AnalysisCache`] over the same
+//! pipeline: each trace's raw bytes are hashed first, and on a cache hit
+//! the decode/timeline/correlate/render work is skipped entirely.
+//!
 //! [`ClusterProfile`]: crate::merge::ClusterProfile
 
+use crate::cache::{AnalysisCache, CacheKey};
 use crate::parser::{analyze_trace_salvaged, AnalysisOptions};
 use crate::profile::NodeProfile;
 use rayon::prelude::*;
+use std::cell::RefCell;
+use std::io::Read;
 use tempest_probe::trace::Trace;
 
 /// A configured degree of parallelism for per-node analysis.
 pub struct Engine {
-    pool: rayon::ThreadPool,
+    /// `None` at effective width 1: work runs inline on the caller's
+    /// thread with zero pool overhead.
+    pool: Option<rayon::ThreadPool>,
+    width: usize,
 }
 
 impl Engine {
     /// Build an engine fanning out to `jobs` workers; `0` means one per
-    /// available CPU.
+    /// available CPU. Requests beyond the machine's available parallelism
+    /// are clamped — oversubscribing pure CPU work only adds switch churn.
     pub fn new(jobs: usize) -> Engine {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(jobs)
-            .build()
-            .expect("thread pool construction is infallible");
-        Engine { pool }
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let width = if jobs == 0 { avail } else { jobs.min(avail) };
+        let pool = if width > 1 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(width)
+                    .build()
+                    .expect("thread pool construction is infallible"),
+            )
+        } else {
+            None
+        };
+        Engine { pool, width }
     }
 
-    /// The worker count this engine resolves to.
+    /// The worker count this engine resolves to (after clamping).
     pub fn width(&self) -> usize {
-        self.pool.current_num_threads()
+        self.width
     }
 
     /// Parallel map preserving input order. The unit the engine schedules:
@@ -44,7 +72,10 @@ impl Engine {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        self.pool.install(|| items.into_par_iter().map(f).collect())
+        match &self.pool {
+            Some(pool) => pool.install(|| items.into_par_iter().map(f).collect()),
+            None => items.into_iter().map(f).collect(),
+        }
     }
 
     /// Run the full single-node pipeline (read file → decode → analyze)
@@ -60,28 +91,119 @@ impl Engine {
         paths: &[String],
         options: AnalysisOptions,
     ) -> Vec<Result<NodeProfile, String>> {
+        let options = self.budget_shards(paths.len(), options);
         let paths: Vec<String> = paths.to_vec();
         self.map(paths, move |path| analyze_one(&path, options))
     }
+
+    /// Read → hash → (cache hit | decode → analyze → render → store) for
+    /// each path, concurrently and in input order. `render` turns one
+    /// node's profile into its final output text; that text — cached under
+    /// the trace's content hash and the options/`format` fingerprint — is
+    /// exactly what a later run with an unchanged trace gets back without
+    /// re-analyzing. Without a cache this is `analyze_files` + `render`.
+    pub fn render_files<F>(
+        &self,
+        paths: &[String],
+        options: AnalysisOptions,
+        cache: Option<&AnalysisCache>,
+        format: &str,
+        render: F,
+    ) -> Vec<Result<String, String>>
+    where
+        F: Fn(&NodeProfile) -> String + Sync,
+    {
+        let options = self.budget_shards(paths.len(), options);
+        let format = format.to_string();
+        let paths: Vec<String> = paths.to_vec();
+        self.map(paths, move |path| {
+            with_file_bytes(&path, |bytes| {
+                let key = cache.map(|c| (c, CacheKey::new(bytes, options, &format)));
+                if let Some((cache, key)) = &key {
+                    if let Some(text) = cache.lookup(key) {
+                        return Ok(text);
+                    }
+                }
+                let profile = decode_and_analyze(bytes, &path, options)?;
+                let text = {
+                    let _stage = tempest_obs::stage("render");
+                    render(&profile)
+                };
+                if let Some((cache, key)) = &key {
+                    // Best-effort: an unwritable cache dir degrades to
+                    // uncached operation, it doesn't fail the report.
+                    let _ = cache.store(key, &text);
+                }
+                Ok(text)
+            })?
+        })
+    }
+
+    /// Divide this engine's width across `n_files` concurrent pipelines:
+    /// when the caller didn't pin a shard count, each file's correlate
+    /// gets `width / n_files` shards (at least 1) so a cluster fan-out
+    /// never oversubscribes into `files × CPUs` threads. Single-file runs
+    /// keep auto sharding, clamped to the engine width.
+    fn budget_shards(&self, n_files: usize, mut options: AnalysisOptions) -> AnalysisOptions {
+        if options.shards == 0 && n_files > 0 {
+            options.shards = (self.width / n_files).max(1);
+        }
+        options
+    }
 }
 
-/// One node's pipeline: read the whole file, decode (salvaging when
-/// recovery is on), analyze.
-fn analyze_one(path: &str, options: AnalysisOptions) -> Result<NodeProfile, String> {
+thread_local! {
+    /// Per-worker scratch buffer for raw trace bytes, reused across files
+    /// so a multi-node analysis does one large allocation per worker
+    /// instead of one per file.
+    static READ_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Read `path` into the worker's reusable scratch buffer and hand the
+/// bytes to `f`. The buffer keeps its capacity between files (bounded by
+/// the largest trace this worker has seen) but is shrunk when a small
+/// file follows a much larger one, so peak RSS tracks the working set
+/// rather than the high-water mark.
+fn with_file_bytes<R>(path: &str, f: impl FnOnce(&[u8]) -> R) -> Result<R, String> {
+    READ_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        let mut file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        file.read_to_end(&mut buf)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let out = f(&buf);
+        if buf.capacity() > 4 * buf.len().max(64 * 1024) {
+            buf.shrink_to_fit();
+        }
+        Ok(out)
+    })
+}
+
+/// One node's pipeline minus the file read: decode (salvaging when
+/// recovery is on), then analyze.
+fn decode_and_analyze(
+    bytes: &[u8],
+    path: &str,
+    options: AnalysisOptions,
+) -> Result<NodeProfile, String> {
     let (trace, salvage) = {
         let _stage = tempest_obs::stage("decode");
-        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
         if options.recover {
-            let (t, r) = Trace::decode_salvage(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            let (t, r) = Trace::decode_salvage(bytes).map_err(|e| format!("{path}: {e}"))?;
             (t, Some(r))
         } else {
             (
-                Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))?,
+                Trace::decode(bytes).map_err(|e| format!("{path}: {e}"))?,
                 None,
             )
         }
     };
     analyze_trace_salvaged(&trace, salvage.as_ref(), options).map_err(|e| format!("{path}: {e}"))
+}
+
+/// One node's pipeline: read the whole file, decode, analyze.
+fn analyze_one(path: &str, options: AnalysisOptions) -> Result<NodeProfile, String> {
+    with_file_bytes(path, |bytes| decode_and_analyze(bytes, path, options))?
 }
 
 #[cfg(test)]
@@ -208,5 +330,120 @@ mod tests {
     fn zero_jobs_resolves_to_available_parallelism() {
         let engine = Engine::new(0);
         assert!(engine.width() >= 1);
+    }
+
+    #[test]
+    fn jobs_clamped_to_available_parallelism() {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(Engine::new(4096).width(), avail);
+        assert_eq!(Engine::new(1).width(), 1);
+    }
+
+    #[test]
+    fn width_one_runs_inline_without_a_pool() {
+        let engine = Engine::new(1);
+        assert!(engine.pool.is_none());
+        let caller = std::thread::current().id();
+        let seen = engine.map(vec![1, 2, 3], |i| (i * 2, std::thread::current().id()));
+        assert_eq!(
+            seen.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![2, 4, 6]
+        );
+        assert!(seen.iter().all(|(_, t)| *t == caller));
+    }
+
+    #[test]
+    fn render_files_matches_analyze_plus_render() {
+        let (dir, paths) = write_traces("render", 3);
+        let engine = Engine::new(2);
+        let direct: Vec<String> = engine
+            .analyze_files(&paths, AnalysisOptions::default())
+            .into_iter()
+            .map(|r| crate::report::render_stdout(&r.unwrap()))
+            .collect();
+        let rendered = engine.render_files(
+            &paths,
+            AnalysisOptions::default(),
+            None,
+            "text",
+            crate::report::render_stdout,
+        );
+        let rendered: Vec<String> = rendered.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(direct, rendered);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_files_second_run_hits_cache_byte_identical() {
+        let (dir, paths) = write_traces("cache", 2);
+        let cache_dir = dir.join("cache");
+        let cache = AnalysisCache::open(&cache_dir).unwrap();
+        let engine = Engine::new(2);
+        tempest_obs::global().set_enabled(true);
+        let hits_before = tempest_obs::global().counter("cache_hits_total").get();
+
+        let first = engine.render_files(
+            &paths,
+            AnalysisOptions::default(),
+            Some(&cache),
+            "text",
+            crate::report::render_stdout,
+        );
+        let after_first = tempest_obs::global().counter("cache_hits_total").get();
+        assert_eq!(after_first, hits_before, "cold cache cannot hit");
+
+        let second = engine.render_files(
+            &paths,
+            AnalysisOptions::default(),
+            Some(&cache),
+            "text",
+            crate::report::render_stdout,
+        );
+        let after_second = tempest_obs::global().counter("cache_hits_total").get();
+        assert_eq!(
+            after_second - after_first,
+            2,
+            "both files served from cache"
+        );
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+
+        // Replacing the trace content invalidates just that file's entry.
+        mini_trace(7).save(std::path::Path::new(&paths[0])).unwrap();
+        let third = engine.render_files(
+            &paths,
+            AnalysisOptions::default(),
+            Some(&cache),
+            "text",
+            crate::report::render_stdout,
+        );
+        assert_ne!(
+            third[0].as_ref().unwrap(),
+            second[0].as_ref().unwrap(),
+            "changed trace re-renders"
+        );
+        assert_eq!(third[1].as_ref().unwrap(), second[1].as_ref().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_budget_divides_width_across_files() {
+        let engine = Engine {
+            pool: None,
+            width: 8,
+        };
+        let auto = AnalysisOptions::default();
+        assert_eq!(engine.budget_shards(1, auto).shards, 8);
+        assert_eq!(engine.budget_shards(4, auto).shards, 2);
+        assert_eq!(engine.budget_shards(16, auto).shards, 1);
+        // Explicit shard counts pass through untouched.
+        let pinned = AnalysisOptions {
+            shards: 3,
+            ..Default::default()
+        };
+        assert_eq!(engine.budget_shards(16, pinned).shards, 3);
     }
 }

@@ -16,7 +16,8 @@
 //!    truncated traces; this is what distinguishes Tempest from gprof's
 //!    buckets, §3.1).
 //! 2. [`correlate`] — walk the sensor samples along that timeline and
-//!    attribute each sample to every function active at that instant.
+//!    attribute each sample to every function active at that instant,
+//!    sweeping the columnar batches of [`columns`] in time-window shards.
 //! 3. [`stats`] — the Min/Avg/Max/Sdv/Var/Med/Mod summary statistics of
 //!    the paper's tables.
 //! 4. [`profile`] — per-function, per-sensor thermal profiles with the
@@ -37,13 +38,16 @@
 //! [`export`] renders profiles as CSV, key/value, or markdown (Figure 1's
 //! "variety of formats"), [`chrome`] renders the reconstructed timeline +
 //! temperature counter tracks as Chrome `trace_event` JSON that loads in
-//! Perfetto, and [`engine`] fans the per-node pipelines of a
+//! Perfetto, [`engine`] fans the per-node pipelines of a
 //! cluster run across a work-stealing thread pool with deterministic,
-//! input-ordered results.
+//! input-ordered results, and [`cache`] makes repeat analysis of
+//! unchanged traces near-free via a content-hash result cache.
 
 pub mod analysis;
+pub mod cache;
 pub mod callgraph;
 pub mod chrome;
+pub mod columns;
 pub mod correlate;
 pub mod engine;
 pub mod export;
@@ -57,6 +61,7 @@ pub mod report;
 pub mod stats;
 pub mod timeline;
 
+pub use cache::AnalysisCache;
 pub use chrome::chrome_trace_json;
 pub use engine::Engine;
 pub use merge::ClusterProfile;

@@ -18,7 +18,7 @@
 //!   [`analyze_trace_salvaged`] to also fold in the losses a
 //!   [`SalvageReport`] observed while reading a truncated trace file.
 
-use crate::correlate::correlate;
+use crate::correlate::correlate_with;
 use crate::profile::{build_profiles, DataQuality, NodeProfile};
 use crate::timeline::Timeline;
 use std::borrow::Cow;
@@ -37,6 +37,12 @@ pub struct AnalysisOptions {
     /// windows, discard non-finite samples, and record each loss in the
     /// resulting profile's [`DataQuality`].
     pub recover: bool,
+    /// Number of time-window shards the correlate sweep splits the sample
+    /// stream into: `0` (the default) picks one per available CPU, clamped
+    /// so small traces stay sequential; `1` forces a sequential sweep;
+    /// `n` uses exactly `n` shards. Every value produces bit-identical
+    /// output — sharding only changes wall-clock time.
+    pub shards: usize,
 }
 
 impl AnalysisOptions {
@@ -240,7 +246,7 @@ pub fn analyze_trace_salvaged(
         let _stage = tempest_obs::stage("timeline");
         Timeline::build(&events)
     };
-    let correlation = correlate(&timeline, &samples);
+    let correlation = correlate_with(&timeline, &samples, options.shards);
     quality.samples_resorted = correlation.resorted;
     let mut profile = {
         let _stage = tempest_obs::stage("profile");

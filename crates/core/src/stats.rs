@@ -156,15 +156,25 @@ impl SummaryStats {
 /// multi-hour trace collapses to a few dozen histogram buckets per
 /// function·sensor cell where the sample-retaining accumulator would hold
 /// millions of `f64`s.
+///
+/// The histogram is a key-sorted vector rather than a tree: ascending-key
+/// insertion (how the columnar correlate path materialises its dense
+/// count grids) appends in O(1) with no per-node allocation, out-of-order
+/// insertion falls back to a binary-search insert, and merging is a
+/// linear merge-join. One backing allocation per accumulator instead of
+/// one per distinct value.
 #[derive(Debug, Clone, Default)]
 pub struct StreamingStats {
     count: u64,
-    hist: std::collections::BTreeMap<u64, u64>,
+    /// `(f64_key, occurrences)`, strictly ascending by key.
+    hist: Vec<(u64, u64)>,
 }
 
 /// Order-preserving f64 → u64 key: flips the encoding so unsigned key
-/// order equals numeric order (negatives below positives).
-fn f64_key(v: f64) -> u64 {
+/// order equals numeric order (negatives below positives). Crate-visible
+/// so the columnar correlate path can pre-sort value dictionaries in
+/// exactly the order this histogram uses.
+pub(crate) fn f64_key(v: f64) -> u64 {
     let bits = v.to_bits();
     if bits >> 63 == 1 {
         !bits
@@ -173,7 +183,7 @@ fn f64_key(v: f64) -> u64 {
     }
 }
 
-fn f64_unkey(key: u64) -> f64 {
+pub(crate) fn f64_unkey(key: u64) -> f64 {
     if key >> 63 == 1 {
         f64::from_bits(key & !(1 << 63))
     } else {
@@ -187,6 +197,16 @@ impl StreamingStats {
         StreamingStats::default()
     }
 
+    /// Empty accumulator with room for `distinct` histogram buckets —
+    /// callers that know the value dictionary up front (the columnar
+    /// correlate path) get exactly one backing allocation.
+    pub fn with_distinct_capacity(distinct: usize) -> Self {
+        StreamingStats {
+            count: 0,
+            hist: Vec::with_capacity(distinct),
+        }
+    }
+
     /// Build directly from a slice.
     pub fn from_samples(values: &[f64]) -> Self {
         let mut s = StreamingStats::new();
@@ -198,17 +218,72 @@ impl StreamingStats {
 
     /// Add one sample.
     pub fn push(&mut self, v: f64) {
-        debug_assert!(v.is_finite(), "non-finite sample");
-        self.count += 1;
-        *self.hist.entry(f64_key(v)).or_insert(0) += 1;
+        self.push_n(v, 1);
     }
 
-    /// Fold another accumulator's samples into this one.
-    pub fn merge(&mut self, other: &StreamingStats) {
-        self.count += other.count;
-        for (&k, &c) in &other.hist {
-            *self.hist.entry(k).or_insert(0) += c;
+    /// Add `n` occurrences of the same value in one histogram update —
+    /// equivalent to calling [`push`](Self::push) `n` times. The columnar
+    /// correlate path accumulates counts in a dense grid and folds each
+    /// (value, count) cell in with a single call, in ascending key order —
+    /// the O(1) append path here.
+    pub fn push_n(&mut self, v: f64, n: u64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        if n == 0 {
+            return;
         }
+        self.count += n;
+        let key = f64_key(v);
+        match self.hist.last_mut() {
+            Some((k, c)) if *k == key => *c += n,
+            Some((k, _)) if *k < key => self.hist.push((key, n)),
+            None => self.hist.push((key, n)),
+            _ => match self.hist.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(i) => self.hist[i].1 += n,
+                Err(i) => self.hist.insert(i, (key, n)),
+            },
+        }
+    }
+
+    /// Fold another accumulator's samples into this one: a linear
+    /// merge-join of the two sorted histograms.
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        if self.hist.is_empty() {
+            self.hist = other.hist.clone();
+            return;
+        }
+        // Common fast path: disjoint ranges that simply concatenate.
+        if self.hist.last().map(|&(k, _)| k) < other.hist.first().map(|&(k, _)| k) {
+            self.hist.extend_from_slice(&other.hist);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.hist.len() + other.hist.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.hist.len() && j < other.hist.len() {
+            let (ka, ca) = self.hist[i];
+            let (kb, cb) = other.hist[j];
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ka, ca));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((kb, cb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ka, ca + cb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.hist[i..]);
+        merged.extend_from_slice(&other.hist[j..]);
+        self.hist = merged;
     }
 
     /// Number of samples.
@@ -228,12 +303,12 @@ impl StreamingStats {
 
     /// Smallest sample, or `None` when empty.
     pub fn min(&self) -> Option<f64> {
-        self.hist.keys().next().copied().map(f64_unkey)
+        self.hist.first().map(|&(k, _)| f64_unkey(k))
     }
 
     /// Largest sample.
     pub fn max(&self) -> Option<f64> {
-        self.hist.keys().next_back().copied().map(f64_unkey)
+        self.hist.last().map(|&(k, _)| f64_unkey(k))
     }
 
     /// Arithmetic mean.
@@ -244,7 +319,7 @@ impl StreamingStats {
         let sum: f64 = self
             .hist
             .iter()
-            .map(|(&k, &c)| f64_unkey(k) * c as f64)
+            .map(|&(k, c)| f64_unkey(k) * c as f64)
             .sum();
         Some(sum / self.count as f64)
     }
@@ -255,7 +330,7 @@ impl StreamingStats {
         let sum: f64 = self
             .hist
             .iter()
-            .map(|(&k, &c)| c as f64 * (f64_unkey(k) - mean).powi(2))
+            .map(|&(k, c)| c as f64 * (f64_unkey(k) - mean).powi(2))
             .sum();
         Some(sum / self.count as f64)
     }
@@ -268,7 +343,7 @@ impl StreamingStats {
     /// Value at sorted rank `r` (0-based), by cumulative histogram walk.
     fn rank(&self, r: u64) -> f64 {
         let mut seen = 0u64;
-        for (&k, &c) in &self.hist {
+        for &(k, c) in &self.hist {
             seen += c;
             if seen > r {
                 return f64_unkey(k);
@@ -292,7 +367,7 @@ impl StreamingStats {
     /// Mode: most frequent value, smallest on ties.
     pub fn mode(&self) -> Option<f64> {
         let mut best: Option<(u64, u64)> = None;
-        for (&k, &c) in &self.hist {
+        for &(k, c) in &self.hist {
             // Ascending key order: strictly-greater keeps the smallest tie.
             if best.map(|(_, bc)| c > bc).unwrap_or(true) {
                 best = Some((k, c));
@@ -473,6 +548,22 @@ mod tests {
                 .collect();
             assert_streaming_matches(&series);
         }
+    }
+
+    #[test]
+    fn push_n_equals_repeated_push() {
+        let mut bulk = StreamingStats::new();
+        bulk.push_n(95.0, 3);
+        bulk.push_n(94.0, 2);
+        bulk.push_n(97.5, 1);
+        bulk.push_n(80.0, 0); // no-op
+        let mut one_by_one = StreamingStats::new();
+        for v in [95.0, 95.0, 95.0, 94.0, 94.0, 97.5] {
+            one_by_one.push(v);
+        }
+        assert_eq!(bulk.count(), one_by_one.count());
+        assert_eq!(bulk.distinct_values(), one_by_one.distinct_values());
+        assert_eq!(bulk.summary(), one_by_one.summary());
     }
 
     #[test]

@@ -238,6 +238,12 @@ impl Timeline {
     pub fn span_ns(&self) -> u64 {
         self.span.1.saturating_sub(self.span.0)
     }
+
+    /// Flatten the intervals into the struct-of-arrays batch the correlate
+    /// sweep consumes ([`crate::columns::IntervalColumns`]).
+    pub fn columns(&self) -> crate::columns::IntervalColumns {
+        crate::columns::IntervalColumns::from_timeline(self)
+    }
 }
 
 fn close_activation(

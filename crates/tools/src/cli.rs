@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::plot::{ascii_plot, function_banner, TimeSeries};
 use tempest_core::timeline::Timeline;
-use tempest_core::{report, AnalysisOptions, ClusterProfile, Engine, ParseError};
+use tempest_core::{report, AnalysisCache, AnalysisOptions, ClusterProfile, Engine, ParseError};
 use tempest_probe::trace::Trace;
 use tempest_sensors::SensorId;
 use tempest_workloads::npb::NpbBenchmark;
@@ -61,6 +61,7 @@ USAGE:
   tempest demo <ft|bt|cg|ep|mg|lu|is|micro-d> [--class S|W|A|B|C] [--np N] [--out DIR]
   tempest record  <a|b|c|d|e> [--out DIR]      (native run, real instrumentation)
   tempest report  <trace file(s)> [--format text|csv|kv|md] [--recover] [--jobs N]
+                  [--cache DIR | --no-cache]   (result cache; TEMPEST_CACHE is the default)
   tempest summary <trace file(s)> [--recover] [--jobs N]
   tempest doctor  <trace file(s)> [--jobs N]   (triage damaged traces)
   tempest plot    <trace file> [--sensor N]
@@ -124,7 +125,13 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// Flags that take no value; everything else starting `--` consumes one.
-const BOOLEAN_FLAGS: &[&str] = &["--recover", "--metrics", "--fsync", "--follow"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "--recover",
+    "--metrics",
+    "--fsync",
+    "--follow",
+    "--no-cache",
+];
 
 fn flag_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
@@ -172,6 +179,26 @@ fn parse_class(s: &str) -> Result<Class, CliError> {
 
 fn load_trace(path: &str) -> Result<Trace, CliError> {
     Trace::load(Path::new(path)).map_err(|e| CliError::run(format!("{path}: {e}")))
+}
+
+/// Resolve the analysis result cache for `report`: `--cache DIR` opens
+/// (creating) one, the `TEMPEST_CACHE` env var is the implicit default,
+/// and `--no-cache` wins over both. `None` means run uncached.
+fn resolve_cache(args: &[String]) -> Result<Option<AnalysisCache>, CliError> {
+    if flag_present(args, "--no-cache") {
+        return Ok(None);
+    }
+    let dir = flag_value(args, "--cache").or_else(|| {
+        std::env::var("TEMPEST_CACHE")
+            .ok()
+            .filter(|v| !v.is_empty())
+    });
+    match dir {
+        None => Ok(None),
+        Some(dir) => AnalysisCache::open(Path::new(&dir))
+            .map(Some)
+            .map_err(|e| CliError::run(format!("{dir}: {e}"))),
+    }
 }
 
 /// Append the global self-metrics snapshot (human format) — the shared
@@ -685,26 +712,27 @@ fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
         recover,
         ..Default::default()
     };
+    let cache = resolve_cache(args)?;
     // Analyse every node in parallel; render in input order (identical
     // output to the sequential loop, including failing on the first bad
-    // trace by position).
+    // trace by position). The rendered text — quality line included, so
+    // cached bytes are complete — is what the cache stores and serves.
     let engine = Engine::new(parse_jobs(args)?);
-    for result in engine.analyze_files(&pos, options) {
-        let profile = result.map_err(CliError::run)?;
-        let rendered = {
-            let _stage = tempest_obs::stage("render");
-            match format.as_str() {
-                "text" => report::render_stdout(&profile),
-                "csv" => tempest_core::export::profile_to_csv(&profile),
-                "kv" => tempest_core::export::profile_to_kv(&profile),
-                "md" => tempest_core::export::profile_to_markdown(&profile),
-                _ => unreachable!("format validated above"),
-            }
+    let render = |profile: &tempest_core::NodeProfile| {
+        let mut rendered = match format.as_str() {
+            "text" => report::render_stdout(profile),
+            "csv" => tempest_core::export::profile_to_csv(profile),
+            "kv" => tempest_core::export::profile_to_kv(profile),
+            "md" => tempest_core::export::profile_to_markdown(profile),
+            _ => unreachable!("format validated above"),
         };
-        let _ = write!(out, "{rendered}");
         if recover && !profile.quality.is_pristine() {
-            let _ = writeln!(out, "data quality: {}", profile.quality);
+            rendered.push_str(&format!("data quality: {}\n", profile.quality));
         }
+        rendered
+    };
+    for result in engine.render_files(&pos, options, cache.as_ref(), &format, render) {
+        let _ = write!(out, "{}", result.map_err(CliError::run)?);
     }
     if flag_present(args, "--metrics") {
         write_self_metrics(out);
@@ -932,6 +960,9 @@ fn triage_one(path: &str) -> String {
     use std::fmt::Write as _;
     let as_path = Path::new(path);
     if as_path.is_dir() {
+        if AnalysisCache::is_cache_dir(as_path) {
+            return triage_cache_dir(path, as_path);
+        }
         return triage_spool_dir(path, as_path);
     }
     let strict = Trace::load(as_path);
@@ -1078,6 +1109,61 @@ fn triage_spool_dir(path: &str, dir: &Path) -> String {
         Err(e) => {
             let _ = writeln!(out, "{path}: unreadable");
             let _ = writeln!(out, "  spool recovery failed: {e}");
+        }
+    }
+    out
+}
+
+/// Doctor verdict for an analysis cache directory: report version,
+/// entry count/volume, and anything that shouldn't be there. Stale
+/// entries (written by another cache version) or foreign files (torn
+/// temps, unrelated content) downgrade the verdict to `degraded`.
+fn triage_cache_dir(path: &str, dir: &Path) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    match AnalysisCache::audit(dir) {
+        Ok(audit) => {
+            let current = audit.version == Some(tempest_core::cache::CACHE_VERSION);
+            let verdict = if current && audit.stale == 0 && audit.foreign == 0 {
+                "ok"
+            } else {
+                "degraded"
+            };
+            let _ = writeln!(out, "{path}: {verdict}");
+            let _ = writeln!(
+                out,
+                "  analysis cache v{}: {} entr{}, {}",
+                audit.version.map_or_else(|| "?".into(), |v| v.to_string()),
+                audit.entries,
+                if audit.entries == 1 { "y" } else { "ies" },
+                tempest_obs::human_bytes(audit.bytes),
+            );
+            if !current {
+                let _ = writeln!(
+                    out,
+                    "  version mismatch: tempest expects v{} — every entry is stale",
+                    tempest_core::cache::CACHE_VERSION
+                );
+            }
+            if audit.stale > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {} stale entr{} (discarded on next cached run)",
+                    audit.stale,
+                    if audit.stale == 1 { "y" } else { "ies" }
+                );
+            }
+            if audit.foreign > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {} foreign file(s) — torn temp files or content tempest never wrote",
+                    audit.foreign
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "{path}: unreadable");
+            let _ = writeln!(out, "  cache audit failed: {e}");
         }
     }
     out

@@ -5,11 +5,22 @@
 //! strict mode, in `--recover` mode, and when a member trace is
 //! truncated and goes through the salvage path. The worker count may
 //! change wall time only, never a single byte of the result.
+//!
+//! The same holds one level down for the intra-trace correlate shards:
+//! every shard count (including absurd over-sharding) must attribute
+//! every sample identically — on generated cluster traces, through the
+//! salvage path, and on adversarial hand-built timelines whose intervals
+//! straddle every shard boundary.
 
 use proptest::prelude::*;
+use tempest_core::correlate::{correlate_with, Correlation};
+use tempest_core::timeline::Timeline;
 use tempest_core::{report, AnalysisOptions, Engine, NodeProfile};
 use tempest_probe::corrupt::truncate_at_fraction;
+use tempest_probe::event::{Event, ThreadId};
+use tempest_probe::func::FunctionId;
 use tempest_probe::{TraceGenerator, TraceSpec};
+use tempest_sensors::{SensorId, SensorReading, Temperature};
 
 /// Render an engine result vector exactly like the CLI does: reports in
 /// input order, errors in place as their message string.
@@ -109,6 +120,152 @@ proptest! {
         }
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Compare two correlations statistic by statistic (every per-function,
+/// per-sensor summary, both attribution kinds, plus the unattributed
+/// tally and the resort flag).
+fn assert_correlations_match(a: &Correlation, b: &Correlation) -> Result<(), String> {
+    prop_assert_eq!(a.unattributed, b.unattributed);
+    prop_assert_eq!(a.resorted, b.resorted);
+    prop_assert_eq!(a.per_function.len(), b.per_function.len());
+    for (func, fa) in &a.per_function {
+        let fb = &b.per_function[func];
+        prop_assert_eq!(fa.inclusive.len(), fb.inclusive.len());
+        prop_assert_eq!(fa.exclusive.len(), fb.exclusive.len());
+        for (sensor, sa) in &fa.inclusive {
+            prop_assert_eq!(sa.summary(), fb.inclusive[sensor].summary());
+        }
+        for (sensor, sa) in &fa.exclusive {
+            prop_assert_eq!(sa.summary(), fb.exclusive[sensor].summary());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Correlate shard count is invisible in the rendered report: the
+    // same generated trace analysed with 1 shard and with 2..8 shards
+    // produces byte-identical output.
+    #[test]
+    fn shard_count_never_changes_report_output(
+        seed in 0u64..1_000,
+        events in 500usize..3_000,
+        threads in 1u32..5,
+        shards in 2usize..9,
+    ) {
+        let spec = TraceSpec { seed, events, threads, ..Default::default() };
+        let dir = scratch_dir(&format!("shards-{seed}-{events}-{threads}-{shards}"));
+        let paths = write_cluster(&dir, spec, 1, None);
+
+        let one = AnalysisOptions { shards: 1, ..Default::default() };
+        let many = AnalysisOptions { shards, ..Default::default() };
+        let engine = Engine::new(1);
+        let sequential = engine.analyze_files(&paths, one);
+        let sharded = engine.analyze_files(&paths, many);
+        prop_assert_eq!(render_all(&sequential), render_all(&sharded));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Same through the salvage path: a truncated trace analysed under
+    // `--recover` renders identically at every shard count.
+    #[test]
+    fn shard_count_never_changes_salvage_output(
+        seed in 0u64..1_000,
+        events in 500usize..3_000,
+        frac in 0.3f64..0.95,
+        shards in 2usize..9,
+    ) {
+        let spec = TraceSpec { seed, events, ..Default::default() };
+        let dir = scratch_dir(&format!("shards-salvage-{seed}-{events}-{shards}"));
+        let paths = write_cluster(&dir, spec, 1, Some((0, frac)));
+
+        let one = AnalysisOptions { shards: 1, recover: true, ..Default::default() };
+        let many = AnalysisOptions { shards, recover: true, ..Default::default() };
+        let engine = Engine::new(1);
+        let sequential = engine.analyze_files(&paths, one);
+        let sharded = engine.analyze_files(&paths, many);
+        prop_assert_eq!(render_all(&sequential), render_all(&sharded));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Adversarial hand-built timeline: a full-span root on every thread
+    // (straddling every possible shard boundary), random nested bursts,
+    // and samples landing exactly on interval edges. Every shard count —
+    // including more shards than samples — must attribute identically.
+    #[test]
+    fn adversarial_straddling_intervals_shard_identically(
+        seed in 1u64..u64::MAX,
+        n_threads in 1u32..4,
+        bursts in 1usize..12,
+        n_samples in 1usize..150,
+        shuffle in prop::bool::ANY,
+    ) {
+        let span = 1_000u64;
+        let mut x = seed | 1;
+        let mut rng = move |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m.max(1)
+        };
+
+        let mut events = Vec::new();
+        for th in 0..n_threads {
+            let t = ThreadId(th);
+            // Root interval covering the whole trace: straddles every
+            // shard boundary by construction.
+            events.push(Event::enter(0, t, FunctionId(0)));
+            let mut cursor = 1u64;
+            for _ in 0..bursts {
+                let start = cursor + rng(40);
+                let dur = 1 + rng(60);
+                let end = (start + dur).min(span - 1);
+                if start >= end {
+                    break;
+                }
+                let f = FunctionId(1 + rng(4) as u32);
+                events.push(Event::enter(start, t, f));
+                // Possibly a 1-tick innermost child — the smallest
+                // interval that can sit exactly on a shard boundary.
+                if end - start >= 3 {
+                    let mid = start + 1 + rng(end - start - 2);
+                    events.push(Event::enter(mid, t, FunctionId(5)));
+                    events.push(Event::exit(mid + 1, t, FunctionId(5)));
+                }
+                events.push(Event::exit(end, t, f));
+                cursor = end;
+            }
+            events.push(Event::exit(span, t, FunctionId(0)));
+        }
+        events.sort_by_key(|e| e.timestamp_ns);
+        let timeline = Timeline::build(&events);
+
+        // Samples on interval edges and everywhere between, quantised
+        // values, optionally shuffled to also exercise the resort path.
+        let mut samples: Vec<SensorReading> = (0..n_samples)
+            .map(|i| {
+                let ts = rng(span + 20); // a tail lands after every exit
+                let sensor = SensorId(rng(2) as u16);
+                let v = 30.0 + rng(9) as f64 * 0.5;
+                let _ = i;
+                SensorReading::new(sensor, ts, Temperature::from_celsius(v))
+            })
+            .collect();
+        if !shuffle {
+            samples.sort_by_key(|s| s.timestamp_ns);
+        }
+
+        let sequential = correlate_with(&timeline, &samples, 1);
+        for shards in [2usize, 3, 5, 8, 64, n_samples + 7] {
+            let sharded = correlate_with(&timeline, &samples, shards);
+            assert_correlations_match(&sequential, &sharded)?;
+        }
     }
 }
 
