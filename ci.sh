@@ -32,6 +32,24 @@ else
     echo "--  chaos shipping skipped (set TEMPEST_CHAOS=1 to run)"
 fi
 
+# Deterministic hostile-input fuzzing: 2000 seeded iterations over the
+# trace/spool/ship decoders asserting no panic, no over-budget
+# allocation, no hang. TEMPEST_FUZZ=1 runs a much longer soak.
+FUZZ_TMP="$(mktemp -d)"
+trap 'rm -rf "$FUZZ_TMP"' EXIT
+echo "==> fuzz_decode smoke (2000 seeded iterations)"
+cargo run --release -q -p tempest-bench --bin fuzz_decode -- \
+    --seed 0xTEMPEST --iters 2000 --metrics-out "$FUZZ_TMP/fuzz-metrics.json"
+echo "==> fuzz metrics schema check (limit/cancel counters fired)"
+cargo run --release -q -p tempest-bench --bin json_check -- limits "$FUZZ_TMP/fuzz-metrics.json"
+if [ "${TEMPEST_FUZZ:-0}" = "1" ]; then
+    echo "==> fuzz_decode soak (TEMPEST_FUZZ=1, 200000 iterations)"
+    cargo run --release -q -p tempest-bench --bin fuzz_decode -- \
+        --seed "${TEMPEST_FUZZ_SEED:-0xTEMPEST}" --iters 200000
+else
+    echo "--  fuzz soak skipped (set TEMPEST_FUZZ=1 to run)"
+fi
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run -p tempest-bench
 
@@ -47,7 +65,9 @@ cargo run --release -q -p tempest-bench --bin json_check -- \
 
 echo "==> chrome-trace export + schema check"
 OBS_TMP="$(mktemp -d)"
-trap 'rm -rf "$OBS_TMP"' EXIT
+# One EXIT trap covers both scratch dirs (a second trap would replace
+# the first).
+trap 'rm -rf "$OBS_TMP" "$FUZZ_TMP"' EXIT
 cargo run --release -q -p tempest-tools --bin tempest -- \
     demo micro-d --out "$OBS_TMP/traces" >/dev/null
 cargo run --release -q -p tempest-tools --bin tempest -- \

@@ -1,6 +1,6 @@
 //! `json_check` — schema gate for the JSON artefacts ci.sh produces.
 //!
-//! Two modes:
+//! Modes:
 //!
 //! * `json_check chrome <file>` — validates a Chrome `trace_event`
 //!   export: parseable JSON, a non-empty `traceEvents` array, the
@@ -12,6 +12,10 @@
 //!   `self_overhead` section is present with its timing fields, the
 //!   per-stage breakdown is complete, and the correlate/cache sections
 //!   carry their throughput numbers.
+//! * `json_check limits <file>` — validates the obs snapshot written by
+//!   `fuzz_decode --metrics-out`: the `limit_hits_total` and
+//!   `cancellations_total` counters exist, are numeric, and fired at
+//!   least once during the fuzz run.
 //! * `json_check floor <file> <baseline>` — throughput regression gate:
 //!   fails when the fresh run's `correlate.samples_per_sec` has dropped
 //!   more than 30% below the committed baseline's.
@@ -164,6 +168,28 @@ fn check_bench(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// The obs-registry snapshot `fuzz_decode --metrics-out` writes must
+/// prove the hostile-input counters exist and actually fired: a fuzz run
+/// that never tripped a limit or a cancellation exercised nothing.
+fn check_limits(doc: &Json) -> Result<(), String> {
+    let counters = doc.get("counters").ok_or("missing counters object")?;
+    let mut seen = Vec::new();
+    for name in ["limit_hits_total", "cancellations_total"] {
+        let value = counters
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("counters.{name} missing or non-numeric"))?;
+        if value < 1.0 {
+            return Err(format!(
+                "counters.{name} is {value} — the fuzz run never exercised it"
+            ));
+        }
+        seen.push(format!("{name}={value}"));
+    }
+    eprintln!("json_check: limits OK — {}", seen.join(", "));
+    Ok(())
+}
+
 /// Allowed drop in correlate throughput before the gate fails: a fresh
 /// run may be 30% slower than the committed baseline (noisy CI hosts),
 /// but not more.
@@ -201,7 +227,11 @@ fn main() -> ExitCode {
         [mode, path, baseline] if mode == "floor" => {
             (mode.as_str(), path.as_str(), Some(baseline.as_str()))
         }
-        _ => return fail("usage: json_check <chrome|bench> <file.json> | floor <file> <baseline>"),
+        _ => {
+            return fail(
+                "usage: json_check <chrome|bench|limits> <file.json> | floor <file> <baseline>",
+            )
+        }
     };
     let doc = match load(path) {
         Ok(doc) => doc,
@@ -210,12 +240,13 @@ fn main() -> ExitCode {
     let result = match mode {
         "chrome" => check_chrome(&doc),
         "bench" => check_bench(&doc),
+        "limits" => check_limits(&doc),
         "floor" => match baseline {
             Some(b) => load(b).and_then(|base| check_floor(&doc, &base)),
             None => Err("floor mode needs a baseline file".into()),
         },
         other => Err(format!(
-            "unknown mode {other:?} (expected chrome, bench, or floor)"
+            "unknown mode {other:?} (expected chrome, bench, limits, or floor)"
         )),
     };
     match result {

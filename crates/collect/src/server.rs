@@ -12,9 +12,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use tempest_probe::ship::{
-    decode_hello, encode_err, read_msg, write_msg, Cursor, ERR_CORRUPT, ERR_FULL, ERR_OUT_OF_ORDER,
-    ERR_PROTOCOL, ERR_RATE_LIMITED, ERR_TOO_BIG, MAX_WIRE_LEN, MSG_ACK, MSG_BYE, MSG_BYE_ACK,
-    MSG_DATA, MSG_ERR, MSG_HELLO, MSG_PING, MSG_PONG, MSG_WELCOME, SHIP_MAGIC, SHIP_VERSION,
+    decode_hello, encode_err, read_msg, write_msg, Cursor, ERR_CORRUPT, ERR_DEADLINE, ERR_FULL,
+    ERR_OUT_OF_ORDER, ERR_PROTOCOL, ERR_RATE_LIMITED, ERR_TOO_BIG, MAX_WIRE_LEN, MSG_ACK, MSG_BYE,
+    MSG_BYE_ACK, MSG_DATA, MSG_ERR, MSG_HELLO, MSG_PING, MSG_PONG, MSG_WELCOME, SHIP_MAGIC,
+    SHIP_VERSION,
 };
 use tempest_probe::spool::{
     decode_shipped, encode_frame_into, frame_crc, list_segment_files, parse_segment_frames,
@@ -55,6 +56,11 @@ pub struct CollectorConfig {
     /// mean "on stable storage" at per-frame fsync cost; off, ACK means
     /// "handed to the OS".
     pub fsync_per_frame: bool,
+    /// Wall-clock cap on a single shipper session. On expiry the
+    /// collector sends `ERR_DEADLINE` and disconnects; everything ACKed
+    /// so far is durable and the shipper resumes on reconnect. `None`
+    /// (the default) lets sessions run unbounded.
+    pub session_deadline: Option<Duration>,
 }
 
 impl CollectorConfig {
@@ -70,6 +76,7 @@ impl CollectorConfig {
             shed: ShedPolicy::Refuse,
             rate_limit: None,
             fsync_per_frame: false,
+            session_deadline: None,
         }
     }
 }
@@ -90,6 +97,8 @@ pub struct CollectorStats {
     pub shed: AtomicU64,
     /// Sessions that completed their BYE handshake.
     pub sessions_completed: AtomicU64,
+    /// Sessions cut off by the session deadline.
+    pub deadline_cutoffs: AtomicU64,
 }
 
 struct Shared {
@@ -106,6 +115,7 @@ struct CollectMetrics {
     quarantined: tempest_obs::Counter,
     shed: tempest_obs::Counter,
     connections: tempest_obs::Counter,
+    deadline_cutoffs: tempest_obs::Counter,
     sessions_active: tempest_obs::Gauge,
 }
 
@@ -119,6 +129,7 @@ impl CollectMetrics {
             quarantined: reg.counter("collect_quarantined_total"),
             shed: reg.counter("collect_shed_total"),
             connections: reg.counter("collect_connections_total"),
+            deadline_cutoffs: reg.counter("collect_session_deadline_total"),
             sessions_active: reg.gauge("collect_sessions_active"),
         }
     }
@@ -378,8 +389,23 @@ fn handle_connection(
     // Token bucket for the per-connection rate limit.
     let mut tokens = config.rate_limit.map(|r| (2.0 * r as f64, Instant::now()));
 
+    let session_start = Instant::now();
     let mut completed = false;
     loop {
+        // Session deadline: checked between messages, so a session is
+        // never cut mid-frame — everything ACKed stays durable and the
+        // shipper resumes from its cursor on the next connection.
+        if let Some(max) = config.session_deadline {
+            if session_start.elapsed() >= max {
+                shared
+                    .stats
+                    .deadline_cutoffs
+                    .fetch_add(1, Ordering::Relaxed);
+                metrics.deadline_cutoffs.inc();
+                send_err(&mut stream, ERR_DEADLINE, "session deadline exceeded");
+                break;
+            }
+        }
         let (kind, payload) = match read_checked(&mut stream, config, &dir, shared, metrics) {
             Ok(Some(msg)) => msg,
             Ok(None) => break, // clean EOF or quarantined: connection over
@@ -733,6 +759,44 @@ mod tests {
         );
         assert_eq!(session_dir_name("", 9), "s-node9");
         assert!(session_dir_name(&"x".repeat(200), 1).len() < 100);
+    }
+
+    #[test]
+    fn expired_session_deadline_sends_err_deadline() {
+        use tempest_probe::ship::{decode_err, encode_hello, Hello};
+
+        let out =
+            std::env::temp_dir().join(format!("tempest-collect-deadline-{}", std::process::id()));
+        std::fs::remove_dir_all(&out).ok();
+        let mut config = CollectorConfig::new(&out);
+        config.session_deadline = Some(Duration::ZERO);
+        let collector = Collector::bind("127.0.0.1:0", config).unwrap();
+        let addr = collector.local_addr().unwrap();
+        let handle = collector.handle().unwrap();
+        let t = std::thread::spawn(move || collector.serve_connections(1));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(SHIP_MAGIC).unwrap();
+        let hello = Hello {
+            version: SHIP_VERSION,
+            node_id: 1,
+            session: "deadline-test".into(),
+            hostname: "test".into(),
+        };
+        write_msg(&mut stream, MSG_HELLO, &encode_hello(&hello)).unwrap();
+        let (kind, _) = read_msg(&mut stream, MAX_WIRE_LEN).unwrap();
+        assert_eq!(kind, MSG_WELCOME);
+        // A zero deadline has already elapsed: the very next exchange is
+        // the courtesy ERR_DEADLINE, then disconnect.
+        let (kind, payload) = read_msg(&mut stream, MAX_WIRE_LEN).unwrap();
+        assert_eq!(kind, MSG_ERR);
+        let (code, detail) = decode_err(&payload);
+        assert_eq!(code, ERR_DEADLINE);
+        assert!(detail.contains("deadline"));
+
+        t.join().unwrap().unwrap();
+        assert_eq!(handle.stats().deadline_cutoffs.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&out).ok();
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::timeline::Timeline;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use tempest_probe::func::FunctionId;
+use tempest_probe::limits::CancelToken;
 use tempest_sensors::{SensorId, SensorReading};
 
 /// Samples attributed to one function, per sensor, in °F, folded into
@@ -54,6 +55,10 @@ pub struct Correlation {
     /// True when the input samples were out of timestamp order and the
     /// sweep re-sorted a copy before attributing.
     pub resorted: bool,
+    /// True when a [`CancelToken`] tripped mid-sweep: the attribution
+    /// covers only the samples processed before the trip (partial, and
+    /// reported as such in `DataQuality` — never silently incomplete).
+    pub cancelled: bool,
 }
 
 /// Ceiling on the dense grid (`functions × distinct values` cells per
@@ -88,6 +93,20 @@ pub fn correlate_with(
     samples: &[SensorReading],
     shards: usize,
 ) -> Correlation {
+    correlate_with_cancel(timeline, samples, shards, &CancelToken::default())
+}
+
+/// [`correlate_with`] under a [`CancelToken`]: each shard checks the token
+/// every few thousand samples and stops early when it trips, yielding a
+/// partial [`Correlation`] flagged via [`Correlation::cancelled`]. With
+/// the default (never-cancelling) token the sweep is unchanged and the
+/// bit-identical-across-shard-counts guarantee holds.
+pub fn correlate_with_cancel(
+    timeline: &Timeline,
+    samples: &[SensorReading],
+    shards: usize,
+    cancel: &CancelToken,
+) -> Correlation {
     let _stage = tempest_obs::stage("correlate");
     let mut result = Correlation::default();
     if samples.is_empty() {
@@ -117,7 +136,7 @@ pub fn correlate_with(
         .collect();
 
     let accums: Vec<ShardAccum> = if ranges.len() == 1 {
-        vec![sweep_range(&ivs, &cols, ranges[0], dense)]
+        vec![sweep_range(&ivs, &cols, ranges[0], dense, cancel)]
     } else {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(ranges.len())
@@ -127,7 +146,7 @@ pub fn correlate_with(
         pool.install(|| {
             ranges
                 .into_par_iter()
-                .map(|range| sweep_range(ivs_ref, cols_ref, range, dense))
+                .map(|range| sweep_range(ivs_ref, cols_ref, range, dense, cancel))
                 .collect()
         })
     };
@@ -140,6 +159,7 @@ pub fn correlate_with(
         acc.absorb(other);
     }
     result.unattributed = acc.unattributed;
+    result.cancelled = acc.cancelled;
     materialize(&ivs, &cols, acc, &mut result);
     result
 }
@@ -162,12 +182,14 @@ fn effective_shards(requested: usize, n_samples: usize) -> usize {
 /// One shard's accumulated counts plus its unattributed tally.
 struct ShardAccum {
     unattributed: usize,
+    cancelled: bool,
     grid: Grid,
 }
 
 impl ShardAccum {
     fn absorb(&mut self, other: ShardAccum) {
         self.unattributed += other.unattributed;
+        self.cancelled |= other.cancelled;
         match (&mut self.grid, other.grid) {
             (
                 Grid::Dense {
@@ -284,12 +306,14 @@ fn sweep_range(
     cols: &SampleColumns,
     (lo, hi): (usize, usize),
     dense: bool,
+    cancel: &CancelToken,
 ) -> ShardAccum {
     let n_funcs = ivs.func_ids.len();
     let n_threads = ivs.n_threads;
     let total_values = cols.total_values();
     let mut grid = Grid::new(dense, n_funcs, cols.sensor_ids.len(), total_values);
     let mut unattributed = 0usize;
+    let mut cancelled = false;
 
     // Sweep state. Epoch stamps replace per-sample clearing: a slot is
     // "marked for this sample" iff its stamp equals the current epoch.
@@ -302,6 +326,12 @@ fn sweep_range(
     let mut touched_threads: Vec<u32> = Vec::with_capacity(n_threads);
 
     for i in lo..hi {
+        // Cooperative cancellation: one branch on the free default token;
+        // an armed token reads the clock only every 4096 samples.
+        if (i - lo) & 0xFFF == 0 && cancel.is_cancelled() {
+            cancelled = true;
+            break;
+        }
         let t = cols.timestamp_ns[i];
         let epoch = (i - lo) as u64 + 1; // 0 = "never seen"
 
@@ -385,7 +415,11 @@ fn sweep_range(
         }
     }
 
-    ShardAccum { unattributed, grid }
+    ShardAccum {
+        unattributed,
+        cancelled,
+        grid,
+    }
 }
 
 /// Build the public per-function map from the merged accumulator. The
@@ -712,6 +746,22 @@ mod tests {
     }
 
     #[test]
+    fn tripped_token_yields_partial_flagged_sweep() {
+        let tl = micro_d_timeline();
+        let samples: Vec<SensorReading> = (0..100).map(|t| sample(t, S0, 40.0)).collect();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let c = correlate_with_cancel(&tl, &samples, 1, &cancel);
+        assert!(c.cancelled, "trip must be surfaced, not swallowed");
+        assert!(c.per_function.is_empty(), "tripped before any attribution");
+        // An armed-but-untripped token changes nothing.
+        let live = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        let full = correlate_with_cancel(&tl, &samples, 1, &live);
+        assert!(!full.cancelled);
+        assert_correlations_equal(&full, &correlate_with(&tl, &samples, 1));
+    }
+
+    #[test]
     fn auto_sharding_stays_sequential_for_small_traces() {
         assert_eq!(effective_shards(0, 100), 1);
         assert_eq!(effective_shards(0, AUTO_SHARD_MIN_SAMPLES), 1);
@@ -732,16 +782,17 @@ mod tests {
             .collect();
         let cols = SampleColumns::from_readings(&samples);
         let ivs = IntervalColumns::from_timeline(&tl);
-        let dense = sweep_range(&ivs, &cols, (0, cols.len()), true);
-        let sparse = sweep_range(&ivs, &cols, (0, cols.len()), false);
+        let never = CancelToken::default();
+        let dense = sweep_range(&ivs, &cols, (0, cols.len()), true, &never);
+        let sparse = sweep_range(&ivs, &cols, (0, cols.len()), false, &never);
         let mut out_dense = Correlation::default();
         materialize(&ivs, &cols, dense, &mut out_dense);
         let mut out_sparse = Correlation::default();
         materialize(&ivs, &cols, sparse, &mut out_sparse);
         assert_correlations_equal(&out_dense, &out_sparse);
         // Sparse shard merging is exercised too.
-        let a = sweep_range(&ivs, &cols, (0, 100), false);
-        let b = sweep_range(&ivs, &cols, (100, cols.len()), false);
+        let a = sweep_range(&ivs, &cols, (0, 100), false, &never);
+        let b = sweep_range(&ivs, &cols, (100, cols.len()), false, &never);
         let mut merged = a;
         merged.absorb(b);
         let mut out_merged = Correlation::default();

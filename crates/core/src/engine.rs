@@ -27,6 +27,7 @@ use crate::profile::NodeProfile;
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::io::Read;
+use tempest_probe::limits::{CancelToken, DecodeLimits};
 use tempest_probe::trace::Trace;
 
 /// A configured degree of parallelism for per-node analysis.
@@ -132,7 +133,12 @@ impl Engine {
                 if let Some((cache, key)) = &key {
                     // Best-effort: an unwritable cache dir degrades to
                     // uncached operation, it doesn't fail the report.
-                    let _ = cache.store(key, &text);
+                    // Profiles bounded by a limit or deadline are partial
+                    // by policy, not a property of the input bytes — they
+                    // must never be served as the full answer later.
+                    if !profile.quality.was_limited() {
+                        let _ = cache.store(key, &text);
+                    }
                 }
                 Ok(text)
             })?
@@ -186,14 +192,20 @@ fn decode_and_analyze(
     path: &str,
     options: AnalysisOptions,
 ) -> Result<NodeProfile, String> {
+    let cancel = CancelToken::until_opt(options.deadline);
+    let limits = DecodeLimits::default();
     let (trace, salvage) = {
         let _stage = tempest_obs::stage("decode");
-        if options.recover {
-            let (t, r) = Trace::decode_salvage(bytes).map_err(|e| format!("{path}: {e}"))?;
+        // A deadline implies salvage decoding even without --recover: a
+        // deadline trip mid-decode must yield the partial prefix, not an
+        // error that discards everything already decoded.
+        if options.recover || options.deadline.is_some() {
+            let (t, r) = Trace::decode_salvage_with(bytes, &limits, &cancel)
+                .map_err(|e| format!("{path}: {e}"))?;
             (t, Some(r))
         } else {
             (
-                Trace::decode(bytes).map_err(|e| format!("{path}: {e}"))?,
+                Trace::decode_with(bytes, &limits, &cancel).map_err(|e| format!("{path}: {e}"))?,
                 None,
             )
         }

@@ -61,6 +61,11 @@ pub mod report;
 pub mod stats;
 pub mod timeline;
 
+/// Input/resource governance primitives (re-exported from `tempest_probe`):
+/// decode limits, byte budgets, typed `LimitExceeded` overruns, and the
+/// cooperative [`limits::CancelToken`] honoured by decode and sweep loops.
+pub use tempest_probe::limits;
+
 pub use cache::AnalysisCache;
 pub use chrome::chrome_trace_json;
 pub use engine::Engine;

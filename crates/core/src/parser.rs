@@ -18,11 +18,12 @@
 //!   [`analyze_trace_salvaged`] to also fold in the losses a
 //!   [`SalvageReport`] observed while reading a truncated trace file.
 
-use crate::correlate::correlate_with;
+use crate::correlate::correlate_with_cancel;
 use crate::profile::{build_profiles, DataQuality, NodeProfile};
 use crate::timeline::Timeline;
 use std::borrow::Cow;
 use tempest_probe::event::{Event, EventKind};
+use tempest_probe::limits::CancelToken;
 use tempest_probe::trace::{NodeMeta, SalvageReport, Trace};
 use tempest_sensors::SensorReading;
 
@@ -43,6 +44,13 @@ pub struct AnalysisOptions {
     /// `n` uses exactly `n` shards. Every value produces bit-identical
     /// output — sharding only changes wall-clock time.
     pub shards: usize,
+    /// Absolute wall-clock deadline for the whole analysis. When it
+    /// passes mid-pipeline, the remaining work is skipped and the profile
+    /// carries whatever was computed so far, flagged via
+    /// [`DataQuality::deadline_hit`] — partial results, never an abort.
+    /// A set deadline implies recover-style tolerance in the event walk
+    /// (a hard error would defeat the point of a bounded best effort).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl AnalysisOptions {
@@ -169,6 +177,10 @@ pub fn analyze_trace_salvaged(
     if let Some(report) = salvage {
         quality.absorb_salvage(report);
     }
+    let cancel = CancelToken::until_opt(options.deadline);
+    // A deadline asks for the best bounded effort, so the walk tolerates
+    // damage the way recover mode does instead of erroring out.
+    let tolerant = options.recover || options.deadline.is_some();
 
     // Symbolisation + monotonicity walk. The original tool did the
     // analogous address→symbol lookup via the ELF symbol table; an
@@ -178,13 +190,18 @@ pub fn analyze_trace_salvaged(
     let mut kept: Vec<Event> = Vec::new();
     let mut last_ts = 0u64;
     for (index, e) in trace.events.iter().enumerate() {
+        if index & 0xFFF == 0 && cancel.is_cancelled() {
+            // Deadline passed mid-walk: profile what was kept so far.
+            quality.deadline_hit = true;
+            break;
+        }
         let func = match e.kind {
             EventKind::Enter { func } | EventKind::Exit { func } => func,
             _ => {
                 if matches!(e.kind, EventKind::Gap { .. }) {
                     quality.gap_events += 1;
                 }
-                if options.recover {
+                if tolerant {
                     kept.push(*e);
                 }
                 continue;
@@ -192,14 +209,14 @@ pub fn analyze_trace_salvaged(
         };
         quality.events_seen += 1;
         if trace.function(func).is_none() {
-            if options.recover {
+            if tolerant {
                 quality.events_dropped_unknown_func += 1;
                 continue;
             }
             return Err(ParseError::UnknownFunction(func.0));
         }
         if e.timestamp_ns < last_ts {
-            if options.recover {
+            if tolerant {
                 quality.events_dropped_nonmonotonic += 1;
                 continue;
             }
@@ -210,11 +227,11 @@ pub fn analyze_trace_salvaged(
             });
         }
         last_ts = e.timestamp_ns;
-        if options.recover {
+        if tolerant {
             kept.push(*e);
         }
     }
-    let events: Cow<'_, [Event]> = if options.recover {
+    let events: Cow<'_, [Event]> = if tolerant {
         Cow::Owned(kept)
     } else {
         Cow::Borrowed(&trace.events)
@@ -227,7 +244,7 @@ pub fn analyze_trace_salvaged(
         .position(|s| !s.temperature.celsius().is_finite())
     {
         None => Cow::Borrowed(&trace.samples),
-        Some(index) if !options.recover => {
+        Some(index) if !tolerant => {
             return Err(ParseError::NonFiniteSample { index });
         }
         Some(_) => {
@@ -246,8 +263,9 @@ pub fn analyze_trace_salvaged(
         let _stage = tempest_obs::stage("timeline");
         Timeline::build(&events)
     };
-    let correlation = correlate_with(&timeline, &samples, options.shards);
+    let correlation = correlate_with_cancel(&timeline, &samples, options.shards, &cancel);
     quality.samples_resorted = correlation.resorted;
+    quality.deadline_hit |= correlation.cancelled;
     let mut profile = {
         let _stage = tempest_obs::stage("profile");
         build_profiles(
@@ -467,6 +485,7 @@ mod tests {
             nonfinite_samples_skipped: 2,
             events_dropped_backpressure: 7,
             samples_dropped_backpressure: 3,
+            limit: None,
         };
         let p = analyze_trace_salvaged(&mini_trace(), Some(&report), AnalysisOptions::recovering())
             .unwrap();
@@ -477,6 +496,50 @@ mod tests {
         assert_eq!(p.quality.samples_dropped_backpressure, 3);
         assert!(!p.quality.is_pristine(), "shed events are not pristine");
         assert!(p.quality.to_string().contains("backpressure"));
+    }
+
+    #[test]
+    fn limit_overruns_surface_in_data_quality() {
+        use tempest_probe::limits::{LimitExceeded, LimitKind};
+        let report = SalvageReport {
+            truncated_in: Some(tempest_probe::trace::TraceSection::Functions),
+            limit: Some(LimitExceeded {
+                kind: LimitKind::Cardinality,
+                what: "functions",
+                observed: 1 << 31,
+                limit: 65_536,
+            }),
+            ..Default::default()
+        };
+        let p = analyze_trace_salvaged(&mini_trace(), Some(&report), AnalysisOptions::recovering())
+            .unwrap();
+        let hit = p.quality.limit.expect("limit carried into quality");
+        assert_eq!(hit.what, "functions");
+        assert!(!p.quality.is_pristine());
+        assert!(p.quality.was_limited());
+        assert!(p.quality.to_string().contains("stopped by limit"));
+    }
+
+    #[test]
+    fn expired_deadline_still_renders_partial_results() {
+        let t = mini_trace();
+        let options = AnalysisOptions {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..Default::default()
+        };
+        // Strict options + expired deadline: no error, a flagged profile.
+        let p = analyze_trace(&t, options).unwrap();
+        assert!(p.quality.deadline_hit);
+        assert!(p.quality.was_limited());
+        assert!(!p.quality.is_pristine());
+        // A generous deadline leaves the analysis untouched.
+        let future = AnalysisOptions {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+            ..Default::default()
+        };
+        let full = analyze_trace(&t, future).unwrap();
+        assert!(!full.quality.deadline_hit);
+        assert!(full.by_name("main").unwrap().significant);
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub struct DataQuality {
     /// not affect [`DataQuality::is_pristine`]), but it indicates a writer
     /// that violated the format's ordering contract.
     pub samples_resorted: bool,
+    /// The resource-limit overrun that stopped decoding or recovery
+    /// early, if one did (declared-count/cardinality cap or byte budget
+    /// from [`tempest_probe::limits::DecodeLimits`]).
+    pub limit: Option<tempest_probe::limits::LimitExceeded>,
+    /// True when a wall-clock deadline or cancellation tripped somewhere
+    /// in the pipeline (decode, spool recovery, the parser walk, or the
+    /// correlate sweep): the profile holds bounded partial results.
+    pub deadline_hit: bool,
 }
 
 impl Default for DataQuality {
@@ -82,6 +90,8 @@ impl Default for DataQuality {
             gap_time_ns: 0,
             sensor_coverage: 1.0,
             samples_resorted: false,
+            limit: None,
+            deadline_hit: false,
         }
     }
 }
@@ -102,6 +112,8 @@ impl DataQuality {
             && self.samples_dropped_backpressure == 0
             && self.gap_events == 0
             && self.sensor_coverage >= 1.0
+            && self.limit.is_none()
+            && !self.deadline_hit
     }
 
     /// Fold a salvage reader's losses into this record.
@@ -111,6 +123,20 @@ impl DataQuality {
         self.nonfinite_samples_skipped += report.nonfinite_samples_skipped;
         self.events_dropped_backpressure += report.events_dropped_backpressure;
         self.samples_dropped_backpressure += report.samples_dropped_backpressure;
+        if let Some(e) = report.limit {
+            if e.kind == tempest_probe::limits::LimitKind::Deadline {
+                self.deadline_hit = true;
+            } else {
+                self.limit = Some(e);
+            }
+        }
+    }
+
+    /// True when the profile was bounded by a resource limit or deadline
+    /// rather than reflecting everything the input held. Partial-by-
+    /// -policy results must not be cached as if they were the full answer.
+    pub fn was_limited(&self) -> bool {
+        self.limit.is_some() || self.deadline_hit
     }
 }
 
@@ -137,6 +163,12 @@ impl std::fmt::Display for DataQuality {
                 ", {} events / {} samples shed by writer backpressure",
                 self.events_dropped_backpressure, self.samples_dropped_backpressure
             )?;
+        }
+        if let Some(e) = &self.limit {
+            write!(f, ", stopped by limit: {e}")?;
+        }
+        if self.deadline_hit {
+            write!(f, ", deadline hit (partial results)")?;
         }
         if self.samples_resorted {
             write!(f, ", samples re-sorted")?;

@@ -46,6 +46,7 @@ pub mod corrupt;
 pub mod event;
 pub mod func;
 pub mod guard;
+pub mod limits;
 pub mod profiler;
 pub mod session;
 pub mod ship;
@@ -61,6 +62,7 @@ pub use corrupt::TraceCorruptor;
 pub use event::{Event, EventKind, ThreadId};
 pub use func::{FunctionDef, FunctionId, FunctionRegistry, ScopeKind};
 pub use guard::ScopeGuard;
+pub use limits::{CancelToken, DecodeLimits, LimitExceeded, LimitKind, ResourceBudget};
 pub use profiler::Profiler;
 pub use session::{ProfilingSession, SpooledSession, StreamingSession};
 pub use ship::{RetryPolicy, ShipConfig, ShipReport};

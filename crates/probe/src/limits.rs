@@ -1,0 +1,449 @@
+//! Input and resource governance for every decode path.
+//!
+//! Tempest's decoders are fed bytes that survived crashes, bit rot, and
+//! the network — and, in a collector serving many nodes, bytes a hostile
+//! peer chose. A declared count or length field is therefore a *claim*,
+//! never a fact: nothing in this codebase may turn an untrusted integer
+//! directly into an allocation, an unbounded loop, or an unbounded run
+//! time. This module centralises the three defenses:
+//!
+//! * [`DecodeLimits`] — per-decode caps on declared counts, string
+//!   lengths, symbol/sensor cardinality, and a per-allocation ceiling.
+//!   Decoders clamp preallocations to what the remaining bytes can
+//!   actually hold and fail *typed* ([`LimitExceeded`]) when a claim
+//!   exceeds its cap.
+//! * [`ResourceBudget`] — a shared total-bytes meter charged as decoded
+//!   records materialise in memory, so even many individually-legal
+//!   frames cannot accumulate past a configured ceiling.
+//! * [`CancelToken`] — a cheap cooperative cancellation/deadline check
+//!   for decode and sweep inner loops, wired to `--deadline` in the CLI
+//!   and per-session deadlines in the collector.
+//!
+//! Overruns are not crashes: in salvage paths they flow into
+//! `SalvageReport`/`DataQuality` so a bounded, partial result is still
+//! rendered, and every hit increments the `limit_hits_total` /
+//! `cancellations_total` obs counters.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which governed resource a [`LimitExceeded`] tripped on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// A header/frame declared more records than the cap allows.
+    DeclaredCount,
+    /// Distinct-entity cap (symbol table size, sensor inventory size).
+    Cardinality,
+    /// A single allocation (string, record batch) over the per-alloc cap.
+    Allocation,
+    /// The shared total-bytes [`ResourceBudget`] ran out.
+    ByteBudget,
+    /// A wall-clock deadline passed or the operation was cancelled.
+    Deadline,
+}
+
+impl std::fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LimitKind::DeclaredCount => "declared count",
+            LimitKind::Cardinality => "cardinality",
+            LimitKind::Allocation => "allocation",
+            LimitKind::ByteBudget => "byte budget",
+            LimitKind::Deadline => "deadline",
+        })
+    }
+}
+
+/// A typed resource-limit overrun. Deliberately `Copy` (static strings,
+/// integers) so it can ride inside `SalvageReport` without breaking that
+/// struct's `Copy`/`Eq` derives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// Which cap tripped.
+    pub kind: LimitKind,
+    /// What was being decoded ("sensors", "functions", "events", ...).
+    pub what: &'static str,
+    /// The claimed/observed quantity.
+    pub observed: u64,
+    /// The configured cap it exceeded.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} limit exceeded for {}: {} > {}",
+            self.kind, self.what, self.observed, self.limit
+        )
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
+impl LimitExceeded {
+    /// Build a deadline/cancellation overrun for `what`.
+    pub fn deadline(what: &'static str) -> LimitExceeded {
+        LimitExceeded {
+            kind: LimitKind::Deadline,
+            what,
+            observed: 0,
+            limit: 0,
+        }
+    }
+
+    /// Record this overrun in the self-observability counters
+    /// (`limit_hits_total`, or `cancellations_total` for deadline kinds)
+    /// and return it — decode paths call this exactly where the overrun
+    /// first surfaces, so the counters count *events*, not propagations.
+    pub fn noted(self) -> LimitExceeded {
+        match self.kind {
+            LimitKind::Deadline => tempest_obs::global().counter("cancellations_total").inc(),
+            _ => tempest_obs::global().counter("limit_hits_total").inc(),
+        }
+        self
+    }
+}
+
+/// Caps applied while decoding untrusted bytes. Two presets:
+/// [`DecodeLimits::default`] is generous — far above anything a real
+/// profiling run produces, so legitimate traces never notice it — and
+/// [`DecodeLimits::strict`] is the tight profile `doctor --fsck` and the
+/// fuzz harness verify against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Distinct sensors a node may declare.
+    pub max_sensors: usize,
+    /// Symbol-table entries a trace or symbols frame may declare.
+    pub max_functions: usize,
+    /// Scope events one trace may declare.
+    pub max_events: u64,
+    /// Sensor samples one trace may declare.
+    pub max_samples: u64,
+    /// Longest accepted length-prefixed string (hostname, label, name).
+    pub max_string_bytes: usize,
+    /// Largest single upfront reservation any decoder may make, bytes.
+    pub max_alloc_bytes: usize,
+    /// Total bytes of decoded records the whole operation may
+    /// materialise ([`ResourceBudget`]); `u64::MAX` = unmetered.
+    pub budget_bytes: u64,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits {
+            max_sensors: 65_536,
+            max_functions: 1 << 24,
+            max_events: 1 << 40,
+            max_samples: 1 << 40,
+            max_string_bytes: u16::MAX as usize,
+            max_alloc_bytes: 1 << 30,
+            budget_bytes: u64::MAX,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// The tight verification profile: small enough that a hostile input
+    /// cannot make the decoder allocate more than a few MiB, large
+    /// enough for every trace the test suite and demos produce.
+    pub fn strict() -> Self {
+        DecodeLimits {
+            max_sensors: 1_024,
+            max_functions: 65_536,
+            max_events: 1 << 24,
+            max_samples: 1 << 24,
+            max_string_bytes: 4_096,
+            max_alloc_bytes: 16 << 20,
+            budget_bytes: 64 << 20,
+        }
+    }
+
+    /// Check a declared record count against `max`. `what` names the
+    /// record type for the error.
+    pub fn check_count(
+        &self,
+        what: &'static str,
+        declared: u64,
+        max: u64,
+    ) -> Result<(), LimitExceeded> {
+        if declared > max {
+            return Err(LimitExceeded {
+                kind: if max == self.max_sensors as u64 || max == self.max_functions as u64 {
+                    LimitKind::Cardinality
+                } else {
+                    LimitKind::DeclaredCount
+                },
+                what,
+                observed: declared,
+                limit: max,
+            }
+            .noted());
+        }
+        Ok(())
+    }
+
+    /// Check a length-prefixed string claim before materialising it.
+    pub fn check_string(&self, what: &'static str, len: usize) -> Result<(), LimitExceeded> {
+        if len > self.max_string_bytes {
+            return Err(LimitExceeded {
+                kind: LimitKind::Allocation,
+                what,
+                observed: len as u64,
+                limit: self.max_string_bytes as u64,
+            }
+            .noted());
+        }
+        Ok(())
+    }
+
+    /// How many records to *reserve* for upfront given a declared count:
+    /// never more than the remaining bytes could actually hold, and never
+    /// a reservation bigger than [`DecodeLimits::max_alloc_bytes`]. An
+    /// over-claiming header therefore costs at most one bounded
+    /// reservation; real growth beyond it is incremental and bounded by
+    /// the input length itself.
+    pub fn clamp_prealloc(
+        &self,
+        declared: usize,
+        remaining_bytes: usize,
+        record_len: usize,
+    ) -> usize {
+        let by_input = (remaining_bytes / record_len.max(1)).saturating_add(1);
+        let by_alloc = self.max_alloc_bytes / record_len.max(1);
+        declared.min(by_input).min(by_alloc)
+    }
+
+    /// A fresh byte meter for this limit set.
+    pub fn budget(&self) -> ResourceBudget {
+        ResourceBudget::new(self.budget_bytes)
+    }
+}
+
+/// A shared total-bytes meter. Atomic so parallel decoders (sharded
+/// sweeps, multi-segment recovery) can charge one common budget.
+#[derive(Debug)]
+pub struct ResourceBudget {
+    limit: u64,
+    spent: AtomicU64,
+}
+
+impl ResourceBudget {
+    /// A meter allowing `limit` bytes in total.
+    pub fn new(limit: u64) -> ResourceBudget {
+        ResourceBudget {
+            limit,
+            spent: AtomicU64::new(0),
+        }
+    }
+
+    /// An unmetered budget (never trips).
+    pub fn unlimited() -> ResourceBudget {
+        ResourceBudget::new(u64::MAX)
+    }
+
+    /// Charge `bytes` against the budget; typed error once the total
+    /// would exceed the limit. The failed charge is still recorded so
+    /// `spent()` reflects the attempt that tripped.
+    pub fn charge(&self, what: &'static str, bytes: u64) -> Result<(), LimitExceeded> {
+        let before = self.spent.fetch_add(bytes, Ordering::Relaxed);
+        if before.saturating_add(bytes) > self.limit {
+            return Err(LimitExceeded {
+                kind: LimitKind::ByteBudget,
+                what,
+                observed: before.saturating_add(bytes),
+                limit: self.limit,
+            }
+            .noted());
+        }
+        Ok(())
+    }
+
+    /// Bytes charged so far (including a charge that tripped).
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// The configured ceiling.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cheap cooperative cancellation handle. The default token can never
+/// cancel and costs one branch per check (no allocation, no clock read),
+/// so decode hot loops check it unconditionally; armed tokens read the
+/// clock only when actually checked, so callers check every few thousand
+/// records rather than per record.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelInner>>,
+}
+
+impl CancelToken {
+    /// A token that can be cancelled explicitly but has no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that trips once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        Self::until(Instant::now() + timeout)
+    }
+
+    /// A token that trips once the absolute instant `at` passes.
+    pub fn until(at: Instant) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(at),
+            })),
+        }
+    }
+
+    /// An optional absolute deadline: `None` yields the free
+    /// never-cancels token.
+    pub fn until_opt(at: Option<Instant>) -> CancelToken {
+        match at {
+            Some(at) => Self::until(at),
+            None => CancelToken::default(),
+        }
+    }
+
+    /// Request cancellation (idempotent; no-op on the default token).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Has this token been cancelled or its deadline passed?
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.flag.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Check and convert into the typed overrun (noted in obs counters).
+    pub fn check(&self, what: &'static str) -> Result<(), LimitExceeded> {
+        if self.is_cancelled() {
+            return Err(LimitExceeded::deadline(what).noted());
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("CancelToken(never)"),
+            Some(inner) => write!(
+                f,
+                "CancelToken(cancelled: {}, deadline: {})",
+                inner.flag.load(Ordering::Relaxed),
+                inner.deadline.is_some()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let t = CancelToken::default();
+        assert!(!t.is_cancelled());
+        t.cancel(); // no-op, must not panic
+        assert!(!t.is_cancelled());
+        assert!(t.check("x").is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_trips_clones_too() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        let err = c.check("decode").unwrap_err();
+        assert_eq!(err.kind, LimitKind::Deadline);
+    }
+
+    #[test]
+    fn past_deadline_trips_immediately() {
+        let t = CancelToken::with_deadline(Duration::from_secs(0));
+        assert!(t.is_cancelled());
+        let future = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+    }
+
+    #[test]
+    fn budget_charges_and_trips() {
+        let b = ResourceBudget::new(100);
+        assert!(b.charge("a", 60).is_ok());
+        assert!(b.charge("a", 40).is_ok());
+        let err = b.charge("a", 1).unwrap_err();
+        assert_eq!(err.kind, LimitKind::ByteBudget);
+        assert_eq!(err.limit, 100);
+        assert!(b.spent() > 100, "tripping charge is recorded");
+        assert!(ResourceBudget::unlimited()
+            .charge("x", u64::MAX / 2)
+            .is_ok());
+    }
+
+    #[test]
+    fn clamp_prealloc_bounds_by_input_and_alloc_cap() {
+        let l = DecodeLimits::strict();
+        // A header claiming 2^31 records over a 170-byte payload reserves
+        // for at most 11 records.
+        assert_eq!(l.clamp_prealloc(1 << 31, 170, 17), 11);
+        // Small honest claims pass through.
+        assert_eq!(l.clamp_prealloc(4, 1 << 20, 17), 4);
+        // The per-alloc cap bounds even a byte-rich claim.
+        let huge = l.clamp_prealloc(usize::MAX, usize::MAX, 1);
+        assert!(huge <= l.max_alloc_bytes);
+    }
+
+    #[test]
+    fn count_and_string_checks_are_typed() {
+        let l = DecodeLimits::strict();
+        assert!(l.check_count("events", 10, l.max_events).is_ok());
+        let err = l.check_count("events", u64::MAX, l.max_events).unwrap_err();
+        assert_eq!(err.kind, LimitKind::DeclaredCount);
+        let err = l
+            .check_count("functions", 1 << 31, l.max_functions as u64)
+            .unwrap_err();
+        assert_eq!(err.kind, LimitKind::Cardinality);
+        assert!(l.check_string("label", 16).is_ok());
+        assert_eq!(
+            l.check_string("label", 1 << 20).unwrap_err().kind,
+            LimitKind::Allocation
+        );
+    }
+
+    #[test]
+    fn limit_hits_are_counted_in_obs() {
+        let reg = tempest_obs::global();
+        reg.set_enabled(true);
+        let before = reg.counter("limit_hits_total").get();
+        let _ = DecodeLimits::strict().check_count("events", u64::MAX, 1);
+        assert!(reg.counter("limit_hits_total").get() > before);
+    }
+}

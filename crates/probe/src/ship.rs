@@ -80,6 +80,8 @@ pub const ERR_OUT_OF_ORDER: u8 = 4;
 pub const ERR_PROTOCOL: u8 = 5;
 /// ERR code: per-connection rate limit exceeded.
 pub const ERR_RATE_LIMITED: u8 = 6;
+/// ERR code: collector-imposed session deadline elapsed; reconnect to resume.
+pub const ERR_DEADLINE: u8 = 7;
 
 /// Hard upper bound for any wire message payload; connections carrying
 /// larger claims are dropped before allocating.
@@ -506,7 +508,9 @@ fn spool_identity(dir: &Path) -> (u32, String) {
             let (frames, _) = parse_segment_frames(&bytes);
             for f in frames {
                 if f.kind == FRAME_NODE {
-                    if let Some(node) = spool::decode_node(f.payload) {
+                    if let Ok(node) =
+                        spool::decode_node(f.payload, &crate::limits::DecodeLimits::default())
+                    {
                         return (node.node_id, node.hostname);
                     }
                 }

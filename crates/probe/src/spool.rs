@@ -24,6 +24,7 @@
 use crate::buffer::{ChannelSink, EventSink, OverflowPolicy};
 use crate::event::{Event, EventKind, ThreadId};
 use crate::func::{FunctionDef, FunctionId, FunctionRegistry, ScopeKind};
+use crate::limits::{CancelToken, DecodeLimits, LimitExceeded};
 use crate::stream::synthesize_functions;
 use crate::trace::{NodeMeta, SalvageReport, SensorMeta, Trace, TraceError, TraceSection};
 use parking_lot::Mutex;
@@ -844,10 +845,37 @@ impl<'a> Reader<'a> {
             .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Option<String> {
-        let len = self.u16()? as usize;
-        let bytes = self.take(len)?;
-        std::str::from_utf8(bytes).ok().map(str::to_owned)
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// A length-prefixed string whose claimed length is checked against
+    /// the limit *before* any bytes are touched.
+    fn str(&mut self, limits: &DecodeLimits, what: &'static str) -> Result<String, FrameFail> {
+        let len = self.u16().ok_or(FrameFail::Corrupt)? as usize;
+        limits.check_string(what, len)?;
+        let bytes = self.take(len).ok_or(FrameFail::Corrupt)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| FrameFail::Corrupt)
+    }
+}
+
+/// Why a checksum-valid frame still failed to decode: structural damage
+/// (discard the frame, keep scanning) versus a resource-limit overrun
+/// (stop and surface the typed error — scanning further would let a
+/// hostile spool keep costing us).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FrameFail {
+    /// Structurally undecodable payload.
+    Corrupt,
+    /// A declared quantity exceeded the configured [`DecodeLimits`].
+    Limit(LimitExceeded),
+}
+
+impl From<LimitExceeded> for FrameFail {
+    fn from(e: LimitExceeded) -> Self {
+        FrameFail::Limit(e)
     }
 }
 
@@ -887,19 +915,29 @@ fn decode_events(payload: &[u8]) -> Option<Vec<Event>> {
     Some(out)
 }
 
-fn decode_symbols(payload: &[u8]) -> Option<Vec<FunctionDef>> {
+/// Minimum encoded size of one symbol entry: id + address + kind + empty
+/// name. Bounds how many entries a payload of a given size can hold.
+const SYMBOL_ENTRY_MIN_LEN: usize = 4 + 8 + 1 + 2;
+/// Minimum encoded size of one sensor entry: id + kind + empty label.
+const SENSOR_ENTRY_MIN_LEN: usize = 2 + 1 + 2;
+
+fn decode_symbols(payload: &[u8], limits: &DecodeLimits) -> Result<Vec<FunctionDef>, FrameFail> {
     let mut r = Reader::new(payload);
-    let count = r.u32()? as usize;
-    let mut out = Vec::new();
+    let count = r.u32().ok_or(FrameFail::Corrupt)? as usize;
+    limits.check_count("symbols", count as u64, limits.max_functions as u64)?;
+    // The declared count never drives the reservation directly: clamp to
+    // what the payload bytes can actually hold.
+    let mut out =
+        Vec::with_capacity(limits.clamp_prealloc(count, r.remaining(), SYMBOL_ENTRY_MIN_LEN));
     for _ in 0..count {
-        let id = FunctionId(r.u32()?);
-        let address = r.u64()?;
-        let kind = match r.u8()? {
+        let id = FunctionId(r.u32().ok_or(FrameFail::Corrupt)?);
+        let address = r.u64().ok_or(FrameFail::Corrupt)?;
+        let kind = match r.u8().ok_or(FrameFail::Corrupt)? {
             0 => ScopeKind::Function,
             1 => ScopeKind::Block,
-            _ => return None,
+            _ => return Err(FrameFail::Corrupt),
         };
-        let name = r.str()?;
+        let name = r.str(limits, "symbol name")?;
         out.push(FunctionDef {
             id,
             name,
@@ -907,22 +945,28 @@ fn decode_symbols(payload: &[u8]) -> Option<Vec<FunctionDef>> {
             kind,
         });
     }
-    Some(out)
+    Ok(out)
 }
 
-pub(crate) fn decode_node(payload: &[u8]) -> Option<NodeMeta> {
+pub(crate) fn decode_node(payload: &[u8], limits: &DecodeLimits) -> Result<NodeMeta, FrameFail> {
     let mut r = Reader::new(payload);
-    let node_id = r.u32()?;
-    let hostname = r.str()?;
-    let nsensors = r.u16()? as usize;
-    let mut sensors = Vec::with_capacity(nsensors);
+    let node_id = r.u32().ok_or(FrameFail::Corrupt)?;
+    let hostname = r.str(limits, "hostname")?;
+    let nsensors = r.u16().ok_or(FrameFail::Corrupt)? as usize;
+    limits.check_count("sensors", nsensors as u64, limits.max_sensors as u64)?;
+    // An untrusted count must not size the allocation (this exact line
+    // used to be `Vec::with_capacity(nsensors)` — a 64 KiB payload could
+    // claim 65535 sensors and reserve for all of them upfront).
+    let mut sensors =
+        Vec::with_capacity(limits.clamp_prealloc(nsensors, r.remaining(), SENSOR_ENTRY_MIN_LEN));
     for _ in 0..nsensors {
-        let id = SensorId(r.u16()?);
-        let kind = crate::stream::decode_sensor_kind(r.u8()?).ok()?;
-        let label = r.str()?;
+        let id = SensorId(r.u16().ok_or(FrameFail::Corrupt)?);
+        let kind = crate::stream::decode_sensor_kind(r.u8().ok_or(FrameFail::Corrupt)?)
+            .map_err(|_| FrameFail::Corrupt)?;
+        let label = r.str(limits, "sensor label")?;
         sensors.push(SensorMeta { id, label, kind });
     }
-    Some(NodeMeta {
+    Ok(NodeMeta {
         node_id,
         hostname,
         sensors,
@@ -1112,6 +1156,21 @@ pub fn decode_shipped(payload: &[u8]) -> Option<((u64, u64), u8, &[u8])> {
 /// torn rotation does not sacrifice everything after it). Never panics on
 /// arbitrary input; a directory with no usable segment data is an error.
 pub fn recover(dir: &Path) -> Result<(Trace, SpoolReport), TraceError> {
+    recover_with(dir, &DecodeLimits::default(), &CancelToken::default())
+}
+
+/// [`recover`] under explicit [`DecodeLimits`] and a [`CancelToken`].
+///
+/// A limit overrun (symbol/sensor cardinality, byte budget over the
+/// accumulated event stream) or a tripped deadline stops the scan at that
+/// point: everything recovered before it is still assembled and returned,
+/// with the overrun recorded in `report.salvage.limit` — the spool
+/// analogue of [`Trace::decode_salvage_with`]'s bounded partial results.
+pub fn recover_with(
+    dir: &Path,
+    limits: &DecodeLimits,
+    cancel: &CancelToken,
+) -> Result<(Trace, SpoolReport), TraceError> {
     let segments = list_segments(dir)?;
     if segments.is_empty() {
         return Err(TraceError::Corrupt("no spool segments found"));
@@ -1122,8 +1181,14 @@ pub fn recover(dir: &Path) -> Result<(Trace, SpoolReport), TraceError> {
     let mut functions: Vec<FunctionDef> = Vec::new();
     let mut node: Option<NodeMeta> = None;
     let mut footer: Option<[u64; 4]> = None;
+    let budget = limits.budget();
+    let mut limit_hit: Option<LimitExceeded> = None;
 
-    for path in &segments {
+    'scan: for path in &segments {
+        if let Err(e) = cancel.check("spool recover") {
+            limit_hit = Some(e);
+            break;
+        }
         let bytes = std::fs::read(path)?;
         report.segments_scanned += 1;
         let (frames, discarded) = parse_segment_frames(&bytes);
@@ -1153,28 +1218,46 @@ pub fn recover(dir: &Path) -> Result<(Trace, SpoolReport), TraceError> {
             let decoded = match kind {
                 FRAME_EVENTS => match decode_events(payload) {
                     Some(events) => {
+                        // The accumulated mixed stream is the one spot a
+                        // many-segment spool can grow without bound —
+                        // meter it against the byte budget.
+                        if let Err(e) = budget.charge(
+                            "spool events",
+                            (events.len() * std::mem::size_of::<Event>()) as u64,
+                        ) {
+                            limit_hit = Some(e);
+                            break 'scan;
+                        }
                         mixed.extend_from_slice(&events);
                         true
                     }
                     None => false,
                 },
-                FRAME_SYMBOLS => match decode_symbols(payload) {
-                    Some(syms) => {
+                FRAME_SYMBOLS => match decode_symbols(payload, limits) {
+                    Ok(syms) => {
                         // Later snapshots supersede earlier ones: the
                         // registry only grows, so the newest is a superset.
                         functions = syms;
                         true
                     }
-                    None => false,
+                    Err(FrameFail::Limit(e)) => {
+                        limit_hit = Some(e);
+                        break 'scan;
+                    }
+                    Err(FrameFail::Corrupt) => false,
                 },
-                FRAME_NODE => match decode_node(payload) {
-                    Some(n) => {
+                FRAME_NODE => match decode_node(payload, limits) {
+                    Ok(n) => {
                         if node.is_none() {
                             node = Some(n);
                         }
                         true
                     }
-                    None => false,
+                    Err(FrameFail::Limit(e)) => {
+                        limit_hit = Some(e);
+                        break 'scan;
+                    }
+                    Err(FrameFail::Corrupt) => false,
                 },
                 FRAME_FOOTER if payload.len() == FOOTER_LEN => {
                     let mut vals = [0u64; 4];
@@ -1196,7 +1279,12 @@ pub fn recover(dir: &Path) -> Result<(Trace, SpoolReport), TraceError> {
         }
     }
 
-    if node.is_none() && mixed.is_empty() && functions.is_empty() && footer.is_none() {
+    if node.is_none()
+        && mixed.is_empty()
+        && functions.is_empty()
+        && footer.is_none()
+        && limit_hit.is_none()
+    {
         return Err(TraceError::Corrupt(
             "spool segments held no decodable frames",
         ));
@@ -1218,7 +1306,10 @@ pub fn recover(dir: &Path) -> Result<(Trace, SpoolReport), TraceError> {
     let [events_declared, samples_declared, events_dropped, samples_dropped] =
         footer.unwrap_or([events_recovered, samples_recovered, 0, 0]);
     report.salvage = SalvageReport {
-        truncated_in: if report.clean_shutdown && report.frames_discarded == 0 {
+        truncated_in: if report.clean_shutdown
+            && report.frames_discarded == 0
+            && limit_hit.is_none()
+        {
             None
         } else {
             Some(TraceSection::Events)
@@ -1230,11 +1321,95 @@ pub fn recover(dir: &Path) -> Result<(Trace, SpoolReport), TraceError> {
         nonfinite_samples_skipped: 0,
         events_dropped_backpressure: events_dropped,
         samples_dropped_backpressure: samples_dropped,
+        limit: limit_hit,
     };
 
     let trace =
         Trace::from_mixed_events(node.unwrap_or_else(NodeMeta::anonymous), functions, mixed);
     Ok((trace, report))
+}
+
+// ---- deep verification (doctor --fsck) -------------------------------------
+
+/// Per-segment result of a deep verification pass ([`fsck_dir`]).
+#[derive(Debug, Clone)]
+pub struct SegmentFsck {
+    /// The segment file examined.
+    pub path: PathBuf,
+    /// Frames that passed their checksum *and* re-decoded cleanly under
+    /// the verification limits.
+    pub frames_ok: u64,
+    /// Frames lost to tearing or checksum failure (at most one per
+    /// segment — the scan stops at the first).
+    pub frames_torn: u64,
+    /// Human-readable violations: checksum-valid frames that failed to
+    /// decode, or whose declared quantities exceeded the limits.
+    pub violations: Vec<String>,
+}
+
+impl SegmentFsck {
+    /// True when every frame in the segment verified cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.frames_torn == 0 && self.violations.is_empty()
+    }
+}
+
+/// Deep-verify every segment in a spool directory: re-decode every
+/// checksum-valid frame under `limits` and report, per segment, what
+/// failed and why. Unlike [`recover_with`] this never stops early — the
+/// point is a complete damage survey, and each frame decodes into a
+/// bounded amount of memory that is dropped before the next one.
+pub fn fsck_dir(dir: &Path, limits: &DecodeLimits) -> io::Result<Vec<SegmentFsck>> {
+    let mut out = Vec::new();
+    for path in list_segments(dir)? {
+        let bytes = std::fs::read(&path)?;
+        let (frames, torn) = parse_segment_frames(&bytes);
+        let mut fsck = SegmentFsck {
+            path,
+            frames_ok: 0,
+            frames_torn: torn,
+            violations: Vec::new(),
+        };
+        for frame in frames {
+            let (kind, payload) = if frame.kind == FRAME_SHIPPED {
+                match decode_shipped(frame.payload) {
+                    Some((_, inner_kind, inner_payload)) if inner_kind != FRAME_SHIPPED => {
+                        (inner_kind, inner_payload)
+                    }
+                    _ => {
+                        fsck.violations.push(format!(
+                            "frame @{}: malformed shipped wrapper",
+                            frame.offset
+                        ));
+                        continue;
+                    }
+                }
+            } else {
+                (frame.kind, frame.payload)
+            };
+            let verdict: Result<(), FrameFail> = match kind {
+                FRAME_EVENTS => decode_events(payload).map(drop).ok_or(FrameFail::Corrupt),
+                FRAME_SYMBOLS => decode_symbols(payload, limits).map(drop),
+                FRAME_NODE => decode_node(payload, limits).map(drop),
+                FRAME_FOOTER if payload.len() == FOOTER_LEN => Ok(()),
+                FRAME_FOOTER => Err(FrameFail::Corrupt),
+                // Unknown kinds are forward-compatibility, not damage.
+                _ => Ok(()),
+            };
+            match verdict {
+                Ok(()) => fsck.frames_ok += 1,
+                Err(FrameFail::Corrupt) => fsck.violations.push(format!(
+                    "frame @{} kind {}: checksum ok but payload undecodable",
+                    frame.offset, kind
+                )),
+                Err(FrameFail::Limit(e)) => fsck
+                    .violations
+                    .push(format!("frame @{} kind {}: {e}", frame.offset, kind)),
+            }
+        }
+        out.push(fsck);
+    }
+    Ok(out)
 }
 
 // ---- SpoolSink -------------------------------------------------------------
@@ -1441,6 +1616,138 @@ mod tests {
             Event::gap(base_ts + 2, SensorId(0)),
             Event::exit(base_ts + 3, ThreadId(0), FunctionId(0)),
         ]
+    }
+
+    /// Append one hand-crafted checksummed frame to raw segment bytes.
+    fn push_frame(seg: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+        seg.push(kind);
+        seg.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        seg.extend_from_slice(&frame_crc(kind, payload).to_le_bytes());
+        seg.extend_from_slice(payload);
+    }
+
+    /// A raw segment file holding exactly the given frames.
+    fn raw_segment(dir: &Path, frames: &[(u8, Vec<u8>)]) -> PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        for (kind, payload) in frames {
+            push_frame(&mut bytes, *kind, payload);
+        }
+        let path = dir.join("seg-000001.seg");
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn hostile_symbols_frame_declaring_2_to_31_entries_is_limited() {
+        // A checksum-valid symbols frame claiming 2^31 entries over a
+        // 4-byte payload: recovery must stop with a typed overrun, not
+        // attempt the allocation the count implies.
+        let dir = temp_spool_dir("hostile-symbols");
+        raw_segment(
+            &dir,
+            &[(FRAME_SYMBOLS, (1u32 << 31).to_le_bytes().to_vec())],
+        );
+        let limits = DecodeLimits::strict();
+        let (_, report) = recover_with(&dir, &limits, &CancelToken::default()).unwrap();
+        let hit = report.salvage.limit.expect("limit recorded");
+        assert_eq!(hit.what, "symbols");
+        assert_eq!(hit.observed, 1 << 31);
+        assert!(!report.salvage.is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_node_frame_sensor_count_is_limited_and_default_clamped() {
+        // Node frame claiming 65535 sensors over an empty remainder.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        push_str(&mut payload, "evil");
+        payload.extend_from_slice(&u16::MAX.to_le_bytes());
+        // Under strict limits the cardinality cap trips...
+        assert!(matches!(
+            decode_node(&payload, &DecodeLimits::strict()),
+            Err(FrameFail::Limit(_))
+        ));
+        // ...and under the generous defaults the claim passes the cap but
+        // the preallocation is clamped by remaining bytes, so the decode
+        // just fails structurally (no bytes back the claim) without any
+        // count-sized reservation.
+        assert!(matches!(
+            decode_node(&payload, &DecodeLimits::default()),
+            Err(FrameFail::Corrupt)
+        ));
+    }
+
+    #[test]
+    fn recover_respects_byte_budget_with_partial_results() {
+        let dir = temp_spool_dir("budget");
+        let config = SpoolConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let mut w = SpoolWriter::create(&config, demo_node()).unwrap();
+        for i in 0..200 {
+            w.append_batch(&demo_batch(100 * i)).unwrap();
+        }
+        w.finish(&demo_functions(), 0, 0).unwrap();
+
+        let limits = DecodeLimits {
+            budget_bytes: 2_048,
+            ..DecodeLimits::default()
+        };
+        let (trace, report) = recover_with(&dir, &limits, &CancelToken::default()).unwrap();
+        let hit = report.salvage.limit.expect("budget trip recorded");
+        assert_eq!(hit.kind, crate::limits::LimitKind::ByteBudget);
+        assert!(
+            trace.events.len() + trace.samples.len() < 200 * 4,
+            "scan stopped early under budget"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_with_expired_deadline_is_partial_not_error() {
+        let dir = temp_spool_dir("deadline");
+        let config = SpoolConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let mut w = SpoolWriter::create(&config, demo_node()).unwrap();
+        w.append_batch(&demo_batch(100)).unwrap();
+        w.finish(&demo_functions(), 0, 0).unwrap();
+
+        let cancel = CancelToken::with_deadline(std::time::Duration::from_secs(0));
+        let (_, report) = recover_with(&dir, &DecodeLimits::default(), &cancel).unwrap();
+        let hit = report.salvage.limit.expect("deadline recorded");
+        assert_eq!(hit.kind, crate::limits::LimitKind::Deadline);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_reports_violations_per_segment() {
+        let dir = temp_spool_dir("fsck");
+        let config = SpoolConfig::new(&dir).fsync(FsyncPolicy::Never);
+        let mut w = SpoolWriter::create(&config, demo_node()).unwrap();
+        w.append_batch(&demo_batch(100)).unwrap();
+        w.finish(&demo_functions(), 0, 0).unwrap();
+
+        // A clean spool fscks clean under strict limits.
+        let clean = fsck_dir(&dir, &DecodeLimits::strict()).unwrap();
+        assert!(!clean.is_empty());
+        assert!(clean.iter().all(|s| s.is_clean()), "{clean:?}");
+
+        // Add a segment with a hostile symbols frame and a garbage events
+        // frame: both surface as violations, and the scan covers every
+        // frame (no early stop).
+        raw_segment(
+            &dir.join("evil"),
+            &[
+                (FRAME_SYMBOLS, (1u32 << 31).to_le_bytes().to_vec()),
+                (FRAME_EVENTS, vec![0xFF; EVENT_RECORD_LEN]),
+            ],
+        );
+        let evil = fsck_dir(&dir.join("evil"), &DecodeLimits::strict()).unwrap();
+        assert_eq!(evil.len(), 1);
+        assert_eq!(evil[0].violations.len(), 2, "{:?}", evil[0].violations);
+        assert!(evil[0].violations[0].contains("limit exceeded"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

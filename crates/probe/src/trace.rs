@@ -10,6 +10,7 @@
 
 use crate::event::{Event, EventKind, ThreadId};
 use crate::func::{FunctionDef, FunctionId, ScopeKind};
+use crate::limits::{CancelToken, DecodeLimits, LimitExceeded};
 use std::io::{self, Read, Write};
 use std::path::Path;
 use tempest_sensors::{SensorId, SensorKind, SensorReading, Temperature};
@@ -21,6 +22,11 @@ const MAGIC: &[u8; 8] = b"TMPEST01";
 const EVENT_RECORD_LEN: usize = 1 + 4 + 4 + 8;
 /// On-disk size of one sample record: sensor u16 + ts u64 + f64 bits.
 const SAMPLE_RECORD_LEN: usize = 2 + 8 + 8;
+
+/// Approximate in-memory overhead charged against the byte budget per
+/// decoded sensor / function entry, on top of the name bytes.
+const SENSOR_META_COST: usize = std::mem::size_of::<SensorMeta>();
+const FUNCTION_META_COST: usize = std::mem::size_of::<FunctionDef>();
 
 /// Description of one sensor as recorded in the trace header.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +84,9 @@ pub enum TraceError {
     BadMagic,
     /// Structurally invalid content (reason attached).
     Corrupt(&'static str),
+    /// A declared quantity exceeded the configured [`DecodeLimits`], or a
+    /// deadline/byte budget tripped mid-decode.
+    Limit(LimitExceeded),
 }
 
 impl std::fmt::Display for TraceError {
@@ -86,6 +95,7 @@ impl std::fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "I/O error reading trace: {e}"),
             TraceError::BadMagic => write!(f, "not a Tempest trace (bad magic)"),
             TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::Limit(e) => write!(f, "trace rejected: {e}"),
         }
     }
 }
@@ -95,6 +105,12 @@ impl std::error::Error for TraceError {}
 impl From<io::Error> for TraceError {
     fn from(e: io::Error) -> Self {
         TraceError::Io(e)
+    }
+}
+
+impl From<LimitExceeded> for TraceError {
+    fn from(e: LimitExceeded) -> Self {
+        TraceError::Limit(e)
     }
 }
 
@@ -144,6 +160,9 @@ pub struct SalvageReport {
     /// Sensor samples the writer shed under backpressure (tempd's bounded
     /// path; always 0 for plain trace files).
     pub samples_dropped_backpressure: u64,
+    /// The resource-limit overrun that stopped decoding, if one did
+    /// (declared-count/cardinality cap, byte budget, or deadline).
+    pub limit: Option<LimitExceeded>,
 }
 
 impl SalvageReport {
@@ -153,6 +172,7 @@ impl SalvageReport {
             && self.nonfinite_samples_skipped == 0
             && self.events_dropped_backpressure == 0
             && self.samples_dropped_backpressure == 0
+            && self.limit.is_none()
     }
 
     /// Events the header promised but the file no longer contains.
@@ -319,7 +339,18 @@ impl Trace {
     /// [`Trace::decode_salvage`] to recover the longest valid prefix of a
     /// damaged buffer instead.
     pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
-        Self::decode_inner(bytes, false).map(|(trace, _)| trace)
+        Self::decode_with(bytes, &DecodeLimits::default(), &CancelToken::default())
+    }
+
+    /// [`Trace::decode`] under explicit [`DecodeLimits`] and a
+    /// [`CancelToken`]. Strict: the first limit overrun or deadline trip
+    /// is a [`TraceError::Limit`].
+    pub fn decode_with(
+        bytes: &[u8],
+        limits: &DecodeLimits,
+        cancel: &CancelToken,
+    ) -> Result<Trace, TraceError> {
+        Self::decode_inner(bytes, false, limits, cancel).map(|(trace, _)| trace)
     }
 
     /// Decode as much of a damaged trace as possible.
@@ -332,7 +363,20 @@ impl Trace {
     /// section survived. Non-finite sample temperatures are skipped (and
     /// counted) rather than treated as fatal.
     pub fn decode_salvage(bytes: &[u8]) -> Result<(Trace, SalvageReport), TraceError> {
-        Self::decode_inner(bytes, true)
+        Self::decode_salvage_with(bytes, &DecodeLimits::default(), &CancelToken::default())
+    }
+
+    /// [`Trace::decode_salvage`] under explicit [`DecodeLimits`] and a
+    /// [`CancelToken`]. A limit overrun or deadline trip stops decoding
+    /// like truncation does: everything decoded so far is returned and the
+    /// overrun is recorded in [`SalvageReport::limit`] — bounded partial
+    /// results, never an abort.
+    pub fn decode_salvage_with(
+        bytes: &[u8],
+        limits: &DecodeLimits,
+        cancel: &CancelToken,
+    ) -> Result<(Trace, SalvageReport), TraceError> {
+        Self::decode_inner(bytes, true, limits, cancel)
     }
 
     /// Deserialise from any reader (reads to end, then decodes zero-copy).
@@ -349,7 +393,12 @@ impl Trace {
         Self::decode_salvage(&bytes)
     }
 
-    fn decode_inner(bytes: &[u8], salvage: bool) -> Result<(Trace, SalvageReport), TraceError> {
+    fn decode_inner(
+        bytes: &[u8],
+        salvage: bool,
+        limits: &DecodeLimits,
+        cancel: &CancelToken,
+    ) -> Result<(Trace, SalvageReport), TraceError> {
         let mut cur = Cursor::new(bytes);
         if cur.bytes(MAGIC.len())? != MAGIC {
             return Err(TraceError::BadMagic);
@@ -363,22 +412,31 @@ impl Trace {
         };
         let mut report = SalvageReport::default();
         let mut section = TraceSection::NodeMeta;
+        let budget = limits.budget();
 
         // Parse into `trace` in place so that when salvage mode stops at a
         // damaged record, every record decoded before it is already kept.
         let outcome: Result<(), TraceError> = (|| {
+            cancel.check("trace decode")?;
             trace.node.node_id = cur.u32()?;
-            trace.node.hostname = cur.str()?;
+            trace.node.hostname = cur.str(limits, "hostname")?;
             let sensor_count = cur.u16()? as usize;
+            limits.check_count("sensors", sensor_count as u64, limits.max_sensors as u64)?;
             for _ in 0..sensor_count {
                 let id = SensorId(cur.u16()?);
                 let kind = decode_sensor_kind(cur.u8()?)?;
-                let label = cur.str()?;
+                let label = cur.str(limits, "sensor label")?;
+                budget.charge("sensors", (label.len() + SENSOR_META_COST) as u64)?;
                 trace.node.sensors.push(SensorMeta { id, label, kind });
             }
             section = TraceSection::Functions;
+            cancel.check("trace decode")?;
             let fn_count = cur.u32()? as usize;
-            for _ in 0..fn_count {
+            limits.check_count("functions", fn_count as u64, limits.max_functions as u64)?;
+            for i in 0..fn_count {
+                if i & 0xFFF == 0 {
+                    cancel.check("trace decode")?;
+                }
                 let id = FunctionId(cur.u32()?);
                 let address = cur.u64()?;
                 let kind = match cur.u8()? {
@@ -386,7 +444,8 @@ impl Trace {
                     1 => ScopeKind::Block,
                     _ => return Err(TraceError::Corrupt("bad scope kind")),
                 };
-                let name = cur.str()?;
+                let name = cur.str(limits, "function name")?;
+                budget.charge("functions", (name.len() + FUNCTION_META_COST) as u64)?;
                 trace.functions.push(FunctionDef {
                     id,
                     name,
@@ -395,14 +454,20 @@ impl Trace {
                 });
             }
             section = TraceSection::Events;
+            cancel.check("trace decode")?;
             let ev_count = cur.u64()? as usize;
             report.events_declared = ev_count as u64;
+            limits.check_count("events", ev_count as u64, limits.max_events)?;
             // A lying header cannot force an over-allocation: the buffer
-            // length bounds how many records can actually be present.
-            trace
-                .events
-                .reserve(ev_count.min(cur.remaining() / EVENT_RECORD_LEN + 1));
-            for _ in 0..ev_count {
+            // length bounds how many records can actually be present, and
+            // the per-allocation cap bounds the reservation regardless.
+            let ev_reserve = limits.clamp_prealloc(ev_count, cur.remaining(), EVENT_RECORD_LEN);
+            budget.charge("events", (ev_reserve * std::mem::size_of::<Event>()) as u64)?;
+            trace.events.reserve(ev_reserve);
+            for i in 0..ev_count {
+                if i & 0xFFF == 0 {
+                    cancel.check("trace decode")?;
+                }
                 let rec = cur.bytes(EVENT_RECORD_LEN)?;
                 let tag = rec[0];
                 let thread = ThreadId(u32::from_le_bytes(rec[1..5].try_into().unwrap()));
@@ -427,12 +492,21 @@ impl Trace {
                 });
             }
             section = TraceSection::Samples;
+            cancel.check("trace decode")?;
             let sample_count = cur.u64()? as usize;
             report.samples_declared = sample_count as u64;
-            trace
-                .samples
-                .reserve(sample_count.min(cur.remaining() / SAMPLE_RECORD_LEN + 1));
-            for _ in 0..sample_count {
+            limits.check_count("samples", sample_count as u64, limits.max_samples)?;
+            let sm_reserve =
+                limits.clamp_prealloc(sample_count, cur.remaining(), SAMPLE_RECORD_LEN);
+            budget.charge(
+                "samples",
+                (sm_reserve * std::mem::size_of::<SensorReading>()) as u64,
+            )?;
+            trace.samples.reserve(sm_reserve);
+            for i in 0..sample_count {
+                if i & 0xFFF == 0 {
+                    cancel.check("trace decode")?;
+                }
                 let rec = cur.bytes(SAMPLE_RECORD_LEN)?;
                 let sensor = SensorId(u16::from_le_bytes(rec[0..2].try_into().unwrap()));
                 let ts = u64::from_le_bytes(rec[2..10].try_into().unwrap());
@@ -457,6 +531,9 @@ impl Trace {
         if let Err(err) = outcome {
             if !salvage {
                 return Err(err);
+            }
+            if let TraceError::Limit(e) = err {
+                report.limit = Some(e);
             }
             report.truncated_in = Some(section);
         }
@@ -619,8 +696,11 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Result<String, TraceError> {
+    /// Decode a length-prefixed string, rejecting claims over the
+    /// configured cap *before* materialising anything.
+    fn str(&mut self, limits: &DecodeLimits, what: &'static str) -> Result<String, TraceError> {
         let len = self.u16()? as usize;
+        limits.check_string(what, len)?;
         let bytes = self.bytes(len)?;
         std::str::from_utf8(bytes)
             .map(str::to_owned)
@@ -959,6 +1039,92 @@ mod tests {
         let (back, report) = Trace::read_salvage(&mut buf.as_slice()).unwrap();
         assert!(back.events.is_empty() && back.samples.is_empty());
         assert_eq!(report.truncated_in, Some(TraceSection::NodeMeta));
+    }
+
+    /// A hostile header claiming 2^31 function-table entries: strict
+    /// decode rejects it with a typed limit error (not an OOM), salvage
+    /// decode returns a bounded partial trace with the overrun recorded.
+    #[test]
+    fn declared_2_to_31_functions_rejected_not_oomed() {
+        let mut buf = Vec::new();
+        // magic, node_id, hostname "h", zero sensors, fn_count = 2^31.
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        encode_str(&mut buf, "h");
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&(1u32 << 31).to_le_bytes());
+
+        let limits = DecodeLimits::strict();
+        let err = Trace::decode_with(&buf, &limits, &CancelToken::default()).unwrap_err();
+        match err {
+            TraceError::Limit(e) => {
+                assert_eq!(e.kind, crate::limits::LimitKind::Cardinality);
+                assert_eq!(e.observed, 1 << 31);
+            }
+            other => panic!("expected Limit, got {other:?}"),
+        }
+
+        let (trace, report) =
+            Trace::decode_salvage_with(&buf, &limits, &CancelToken::default()).unwrap();
+        assert_eq!(trace.node.node_id, 7, "prefix before the overrun kept");
+        assert!(trace.functions.is_empty());
+        let hit = report.limit.expect("overrun recorded in salvage report");
+        assert_eq!(hit.what, "functions");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn oversized_sensor_inventory_rejected_under_strict_limits() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        encode_str(&mut buf, "h");
+        buf.extend_from_slice(&u16::MAX.to_le_bytes()); // 65535 declared sensors
+        let err =
+            Trace::decode_with(&buf, &DecodeLimits::strict(), &CancelToken::default()).unwrap_err();
+        assert!(matches!(err, TraceError::Limit(_)), "{err:?}");
+        // The same trace passes the generous defaults (counts bounded by
+        // actual bytes, so it just truncates as before).
+        let (_, report) = Trace::decode_salvage(&buf).unwrap();
+        assert!(report.limit.is_none());
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_salvage() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        let cancel = CancelToken::with_deadline(std::time::Duration::from_secs(0));
+        let (_, report) =
+            Trace::decode_salvage_with(&bytes, &DecodeLimits::default(), &cancel).unwrap();
+        let hit = report.limit.expect("deadline recorded");
+        assert_eq!(hit.kind, crate::limits::LimitKind::Deadline);
+        // Strict mode surfaces the same trip as a hard error.
+        assert!(matches!(
+            Trace::decode_with(&bytes, &DecodeLimits::default(), &cancel),
+            Err(TraceError::Limit(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_byte_budget_stops_decode_without_abort() {
+        let spec = crate::synth::TraceSpec {
+            events: 4_000,
+            ..Default::default()
+        };
+        let t = crate::synth::TraceGenerator::new(spec).generate(0);
+        let bytes = t.to_bytes();
+        let limits = DecodeLimits {
+            budget_bytes: 1_024,
+            ..DecodeLimits::default()
+        };
+        let (partial, report) =
+            Trace::decode_salvage_with(&bytes, &limits, &CancelToken::default()).unwrap();
+        let hit = report.limit.expect("budget trip recorded");
+        assert_eq!(hit.kind, crate::limits::LimitKind::ByteBudget);
+        assert!(
+            partial.events.len() < t.events.len(),
+            "decode stopped early under budget"
+        );
     }
 
     #[test]

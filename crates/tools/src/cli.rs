@@ -63,7 +63,8 @@ USAGE:
   tempest report  <trace file(s)> [--format text|csv|kv|md] [--recover] [--jobs N]
                   [--cache DIR | --no-cache]   (result cache; TEMPEST_CACHE is the default)
   tempest summary <trace file(s)> [--recover] [--jobs N]
-  tempest doctor  <trace file(s)> [--jobs N]   (triage damaged traces)
+  tempest doctor  <trace file(s)> [--jobs N] [--fsck]   (triage damaged traces;
+                  --fsck deep-verifies every spool frame under strict limits)
   tempest plot    <trace file> [--sensor N]
   tempest traits  <trace file> [--sensor N]
   tempest callgraph <trace file>
@@ -76,11 +77,13 @@ USAGE:
   tempest watch   <spool dir> [--interval SECS] [--count N]   (live spool status)
   tempest collect serve --out DIR [--addr HOST:PORT] [--once N] [--port-file FILE]
                   [--fsync] [--max-frame-bytes N] [--disk-budget N]
-                  [--shed refuse|disconnect] [--rate-limit N]
+                  [--shed refuse|disconnect] [--rate-limit N] [--deadline SECS]
   tempest ship    <spool dir> --to HOST:PORT [--session NAME] [--follow]
                   [--retries N] [--base-ms N] [--cap-ms N] [--seed N]
 
-  report/summary/doctor also accept --metrics to print self-metrics after the run.
+  report/summary/doctor also accept --metrics to print self-metrics after the run,
+  and --deadline SECS: a wall-clock budget after which analysis stops and renders
+  whatever was decoded so far (partial results, flagged in the quality line).
 ";
 
 /// Entry point given argv (without the program name). Writes to stdout;
@@ -131,6 +134,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "--fsync",
     "--follow",
     "--no-cache",
+    "--fsck",
 ];
 
 fn flag_present(args: &[String], flag: &str) -> bool {
@@ -440,6 +444,13 @@ fn parse_u64_flag(args: &[String], flag: &str, default: u64) -> Result<u64, CliE
     }
 }
 
+/// Parse `--deadline SECS` into an absolute wall-clock cutoff; 0 or
+/// absent means no deadline.
+fn parse_deadline(args: &[String]) -> Result<Option<std::time::Instant>, CliError> {
+    let secs = parse_u64_flag(args, "--deadline", 0)?;
+    Ok((secs > 0).then(|| std::time::Instant::now() + std::time::Duration::from_secs(secs)))
+}
+
 /// `tempest collect serve`: run the network collector daemon. Every
 /// shipped session lands under `--out` as a standard spool directory, so
 /// `tempest spool recover`, `doctor`, `report --recover` and friends work
@@ -480,6 +491,8 @@ fn cmd_collect(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
                 .map_err(|_| CliError::usage("--rate-limit wants frames/sec"))?,
         );
     }
+    config.session_deadline = parse_u64_flag(args, "--deadline", 0)
+        .map(|secs| (secs > 0).then(|| std::time::Duration::from_secs(secs)))?;
     config.shed = match flag_value(args, "--shed").as_deref() {
         None | Some("refuse") => ShedPolicy::Refuse,
         Some("disconnect") => ShedPolicy::Disconnect,
@@ -710,8 +723,12 @@ fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
     let recover = flag_present(args, "--recover");
     let options = AnalysisOptions {
         recover,
+        deadline: parse_deadline(args)?,
         ..Default::default()
     };
+    // A deadline makes partial output legitimate, so quality gets the
+    // same visibility --recover gives it.
+    let tolerant = recover || options.deadline.is_some();
     let cache = resolve_cache(args)?;
     // Analyse every node in parallel; render in input order (identical
     // output to the sequential loop, including failing on the first bad
@@ -726,7 +743,7 @@ fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
             "md" => tempest_core::export::profile_to_markdown(profile),
             _ => unreachable!("format validated above"),
         };
-        if recover && !profile.quality.is_pristine() {
+        if tolerant && !profile.quality.is_pristine() {
             rendered.push_str(&format!("data quality: {}\n", profile.quality));
         }
         rendered
@@ -792,11 +809,12 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
         return Err(CliError::usage("summary: which trace file(s)?"));
     }
     let recover = flag_present(args, "--recover");
-    let options = if recover {
+    let mut options = if recover {
         AnalysisOptions::recovering()
     } else {
         AnalysisOptions::default()
     };
+    options.deadline = parse_deadline(args)?;
     let engine = Engine::new(parse_jobs(args)?);
     let mut profiles = Vec::new();
     let mut lost = 0usize;
@@ -941,10 +959,12 @@ fn cmd_doctor(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
     if pos.is_empty() {
         return Err(CliError::usage("doctor: which trace file(s)?"));
     }
+    let fsck = flag_present(args, "--fsck");
+    let deadline = parse_deadline(args)?;
     // Each file's triage is independent; fan it out and print the fully
     // rendered verdicts in input order.
     let engine = Engine::new(parse_jobs(args)?);
-    for rendered in engine.map(pos, |path| triage_one(&path)) {
+    for rendered in engine.map(pos, move |path| triage_one(&path, fsck, deadline)) {
         let _ = write!(out, "{rendered}");
     }
     if flag_present(args, "--metrics") {
@@ -956,19 +976,31 @@ fn cmd_doctor(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
 /// Triage one trace file into doctor's rendered verdict block. Spool
 /// directories (from the durable sink) are triaged via checksum recovery
 /// rather than a strict file read.
-fn triage_one(path: &str) -> String {
+fn triage_one(path: &str, fsck: bool, deadline: Option<std::time::Instant>) -> String {
     use std::fmt::Write as _;
+    use tempest_probe::limits::{CancelToken, DecodeLimits};
     let as_path = Path::new(path);
     if as_path.is_dir() {
         if AnalysisCache::is_cache_dir(as_path) {
             return triage_cache_dir(path, as_path);
         }
-        return triage_spool_dir(path, as_path);
+        return triage_spool_dir(path, as_path, fsck, deadline);
     }
-    let strict = Trace::load(as_path);
+    let limits = DecodeLimits::default();
+    let cancel = CancelToken::until_opt(deadline);
+    let bytes = match std::fs::read(as_path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "{path}: unreadable");
+            let _ = writeln!(out, "  salvage failed: {e}");
+            return out;
+        }
+    };
+    let strict = Trace::decode_with(&bytes, &limits, &cancel);
     let (verdict, detail, trace) = match strict {
         Ok(trace) => ("ok", String::from("strict read clean"), Some(trace)),
-        Err(strict_err) => match Trace::load_salvage(Path::new(path)) {
+        Err(strict_err) => match Trace::decode_salvage_with(&bytes, &limits, &cancel) {
             Ok((trace, rep)) => {
                 let mut d = format!("strict read failed ({strict_err}); salvaged");
                 if let Some(section) = rep.truncated_in {
@@ -985,6 +1017,9 @@ fn triage_one(path: &str) -> String {
                         ", {} non-finite sample(s) dropped",
                         rep.nonfinite_samples_skipped
                     );
+                }
+                if let Some(limit) = rep.limit {
+                    d += &format!(", stopped by limit: {limit}");
                 }
                 ("degraded", d, Some(trace))
             }
@@ -1017,8 +1052,14 @@ fn triage_one(path: &str) -> String {
 /// Doctor verdict for a spool directory: run checksum recovery and report
 /// what survived. An unclean shutdown or discarded frames downgrade the
 /// verdict to `degraded`; a directory without segment files is `unreadable`.
-fn triage_spool_dir(path: &str, dir: &Path) -> String {
+fn triage_spool_dir(
+    path: &str,
+    dir: &Path,
+    fsck: bool,
+    deadline: Option<std::time::Instant>,
+) -> String {
     use std::fmt::Write as _;
+    use tempest_probe::limits::{CancelToken, DecodeLimits};
     let mut out = String::new();
     if !tempest_probe::spool::is_spool_dir(dir) {
         let _ = writeln!(out, "{path}: unreadable");
@@ -1028,6 +1069,25 @@ fn triage_spool_dir(path: &str, dir: &Path) -> String {
         );
         return out;
     }
+    // Deep verification (--fsck): re-decode every checksum-valid frame
+    // under strict limits. A frame can pass its CRC yet declare hostile
+    // quantities, so violations downgrade the verdict even when plain
+    // recovery succeeds.
+    let fsck_segments = if fsck {
+        match tempest_probe::spool::fsck_dir(dir, &DecodeLimits::strict()) {
+            Ok(segments) => Some(segments),
+            Err(e) => {
+                let _ = writeln!(out, "{path}: unreadable");
+                let _ = writeln!(out, "  fsck failed: {e}");
+                return out;
+            }
+        }
+    } else {
+        None
+    };
+    let fsck_dirty = fsck_segments
+        .as_ref()
+        .is_some_and(|segments| segments.iter().any(|s| !s.is_clean()));
     // Manifest-vs-disk audit first: a clean-looking spool whose manifest
     // disagrees with the segment files on disk (missing, unexpected, or
     // unsealed segments) is degraded no matter how well recovery went.
@@ -1036,11 +1096,16 @@ fn triage_spool_dir(path: &str, dir: &Path) -> String {
         Ok(_) => Vec::new(),
         Err(e) => vec![format!("manifest unreadable: {e}")],
     };
-    match tempest_probe::spool::recover(dir) {
+    match tempest_probe::spool::recover_with(
+        dir,
+        &DecodeLimits::default(),
+        &CancelToken::until_opt(deadline),
+    ) {
         Ok((trace, rep)) => {
             let verdict = if rep.clean_shutdown
                 && rep.frames_discarded == 0
                 && manifest_problems.is_empty()
+                && !fsck_dirty
             {
                 "ok"
             } else {
@@ -1062,6 +1127,26 @@ fn triage_spool_dir(path: &str, dir: &Path) -> String {
                     "unclean"
                 }
             );
+            if let Some(limit) = rep.salvage.limit {
+                let _ = writeln!(out, "  stopped by limit: {limit}");
+            }
+            if let Some(segments) = &fsck_segments {
+                for seg in segments {
+                    let name = seg
+                        .path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or("segment");
+                    let _ = writeln!(
+                        out,
+                        "  fsck {name}: {} frame(s) verified, {} torn",
+                        seg.frames_ok, seg.frames_torn
+                    );
+                    for violation in &seg.violations {
+                        let _ = writeln!(out, "    violation: {violation}");
+                    }
+                }
+            }
             let _ = writeln!(
                 out,
                 "  recovered {} events, {} samples, {} function(s)",
@@ -1501,6 +1586,51 @@ mod tests {
             w.finish(&funcs, 0, 0).unwrap();
         }
         (parent, dir)
+    }
+
+    #[test]
+    fn report_and_summary_accept_deadline_flag() {
+        let dir = temp_dir("deadline");
+        let dir_s = dir.to_str().unwrap();
+        run(&["demo", "micro-d", "--out", dir_s]).unwrap();
+        let trace = dir.join("micro-d-node0.trace");
+        let trace_s = trace.to_str().unwrap();
+        // A generous deadline on a tiny trace never trips: full output,
+        // no quality line.
+        let out = run(&["report", trace_s, "--deadline", "60", "--no-cache"]).unwrap();
+        assert!(out.contains("Function: main"), "{out}");
+        assert!(!out.contains("deadline hit"), "{out}");
+        let out = run(&["summary", trace_s, "--deadline", "60"]).unwrap();
+        assert!(out.contains("cluster of 1 node"), "{out}");
+        let err = run(&["report", trace_s, "--deadline", "soon"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_fsck_deep_verifies_spool_segments() {
+        let (parent, dir) = write_spool("fsck-clean", true);
+        let out = run(&["doctor", dir.to_str().unwrap(), "--fsck"]).unwrap();
+        assert!(out.contains(": ok"), "{out}");
+        assert!(out.contains("fsck seg-"), "{out}");
+        assert!(out.contains("verified"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
+
+        // Tear the tail of a segment: fsck reports the torn frame per
+        // segment and the verdict degrades.
+        let (parent, dir) = write_spool("fsck-torn", true);
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .unwrap();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 7]).unwrap();
+        let out = run(&["doctor", dir.to_str().unwrap(), "--fsck"]).unwrap();
+        assert!(out.contains(": degraded"), "{out}");
+        assert!(out.contains("1 torn"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
     }
 
     #[test]
