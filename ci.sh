@@ -104,6 +104,37 @@ cargo run --release -q -p tempest-tools --bin tempest -- \
 diff "$OBS_TMP/local.report" "$OBS_TMP/collected.report"
 echo "    collected report byte-identical to local analysis"
 
+echo "==> fleet observability smoke (2 shippers + /fleet.json + /metrics)"
+cargo run --release -q -p tempest-bench --bin spool_demo -- "$OBS_TMP/fleet-a" >/dev/null
+cargo run --release -q -p tempest-bench --bin spool_demo -- "$OBS_TMP/fleet-b" >/dev/null
+# Long-running collector (no --once) with the HTTP surfaces on; both
+# bound addresses are published atomically via port files.
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    collect serve --out "$OBS_TMP/fleet-collected" --addr 127.0.0.1:0 \
+    --port-file "$OBS_TMP/fleet.addr" \
+    --metrics-addr 127.0.0.1:0 --metrics-port-file "$OBS_TMP/fleet-metrics.addr" >/dev/null &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$OBS_TMP/fleet.addr" ] && [ -f "$OBS_TMP/fleet-metrics.addr" ] && break
+    sleep 0.1
+done
+[ -f "$OBS_TMP/fleet-metrics.addr" ] || { echo "collector never published its metrics address" >&2; exit 1; }
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    ship "$OBS_TMP/fleet-a" --to "$(cat "$OBS_TMP/fleet.addr")" --session fleet-a >/dev/null
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    ship "$OBS_TMP/fleet-b" --to "$(cat "$OBS_TMP/fleet.addr")" --session fleet-b >/dev/null
+# Machine-readable surfaces, fetched curl-free through `tempest fleet`,
+# then schema-checked/linted by json_check (2 = exact fleet size).
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    fleet "$(cat "$OBS_TMP/fleet-metrics.addr")" --json > "$OBS_TMP/fleet.json"
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    fleet "$(cat "$OBS_TMP/fleet-metrics.addr")" --prom > "$OBS_TMP/fleet.prom"
+kill "$FLEET_PID" 2>/dev/null || true
+wait "$FLEET_PID" 2>/dev/null || true
+cargo run --release -q -p tempest-bench --bin json_check -- fleet "$OBS_TMP/fleet.json" 2
+cargo run --release -q -p tempest-bench --bin json_check -- prom "$OBS_TMP/fleet.prom"
+echo "    fleet snapshot has both nodes; Prometheus exposition lints clean"
+
 echo "==> analysis cache smoke (second report must hit the cache, byte-identical)"
 cargo run --release -q -p tempest-tools --bin tempest -- \
     report "$OBS_TMP/traces/micro-d-node0.trace" --cache "$OBS_TMP/cache" \

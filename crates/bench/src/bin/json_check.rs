@@ -16,6 +16,13 @@
 //!   `fuzz_decode --metrics-out`: the `limit_hits_total` and
 //!   `cancellations_total` counters exist, are numeric, and fired at
 //!   least once during the fuzz run.
+//! * `json_check fleet <file.json> [expected_nodes]` — validates a
+//!   `/fleet.json` document: header fields, `node_count` consistent with
+//!   the `nodes` array, and per-node identity + staleness + full metric
+//!   snapshot (optionally pinning the fleet size).
+//! * `json_check prom <file>` — lints a Prometheus text exposition (the
+//!   collector's `/metrics` body): every series line parses, names use
+//!   the exposition charset, and the `fleet_*` families are present.
 //! * `json_check floor <file> <baseline>` — throughput regression gate:
 //!   fails when the fresh run's `correlate.samples_per_sec` has dropped
 //!   more than 30% below the committed baseline's.
@@ -122,7 +129,14 @@ fn check_bench(doc: &Json) -> Result<(), String> {
     let overhead = doc
         .get("self_overhead")
         .ok_or("missing self_overhead section")?;
-    for field in ["seconds_metrics_on", "seconds_metrics_off", "slowdown_pct"] {
+    for field in [
+        "seconds_metrics_on",
+        "seconds_metrics_off",
+        "slowdown_pct",
+        "seconds_shipping_metrics_on",
+        "seconds_shipping_metrics_off",
+        "shipping_slowdown_pct",
+    ] {
         if overhead.get(field).and_then(|v| v.as_f64()).is_none() {
             return Err(format!("self_overhead.{field} missing or non-numeric"));
         }
@@ -190,6 +204,102 @@ fn check_limits(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// The `/fleet.json` document a collector (or `tempest fleet --json`)
+/// emits: well-formed header fields, a `nodes` array whose length
+/// matches `node_count`, and a complete identity + metrics snapshot per
+/// node. An optional expected node count pins the fleet size in CI.
+fn check_fleet(doc: &Json, expected_nodes: Option<usize>) -> Result<(), String> {
+    for field in ["generated_unix_ns", "stale_after_ms", "node_count"] {
+        if doc.get(field).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("{field} missing or non-numeric"));
+        }
+    }
+    let count = doc.get("node_count").and_then(|v| v.as_f64()).unwrap() as usize;
+    let nodes = doc
+        .get("nodes")
+        .and_then(|n| n.as_arr())
+        .ok_or("missing nodes array")?;
+    if nodes.len() != count {
+        return Err(format!(
+            "node_count says {count} but nodes has {} entries",
+            nodes.len()
+        ));
+    }
+    if let Some(expected) = expected_nodes {
+        if count != expected {
+            return Err(format!("expected {expected} node(s), fleet has {count}"));
+        }
+    } else if count == 0 {
+        return Err("fleet is empty".into());
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        for field in ["key", "session", "hostname"] {
+            if node.get(field).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("node {i}: {field} missing or non-string"));
+            }
+        }
+        for field in ["node_id", "origin_unix_ns", "age_ms", "updates"] {
+            if node.get(field).and_then(|v| v.as_f64()).is_none() {
+                return Err(format!("node {i}: {field} missing or non-numeric"));
+            }
+        }
+        if node.get("stale").and_then(|v| v.as_bool()).is_none() {
+            return Err(format!("node {i}: stale missing or non-boolean"));
+        }
+        let metrics = node
+            .get("metrics")
+            .ok_or_else(|| format!("node {i}: missing metrics snapshot"))?;
+        if metrics.get("counters").is_none() {
+            return Err(format!("node {i}: metrics.counters missing"));
+        }
+    }
+    eprintln!("json_check: fleet OK — {count} node(s), full snapshots attached");
+    Ok(())
+}
+
+/// Lint a Prometheus text exposition (what `/metrics` and `tempest
+/// fleet --prom` emit): every non-comment line is `name[{labels}] value`
+/// with a parseable value and an exposition-charset name, and the fleet
+/// families are present.
+fn check_prom(text: &str) -> Result<(), String> {
+    let mut series = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line}", i + 1))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {}: unparseable value: {line}", i + 1));
+        }
+        let name = name_part.split('{').next().unwrap_or_default();
+        let valid = !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !valid {
+            return Err(format!("line {}: bad metric name: {line}", i + 1));
+        }
+        series += 1;
+    }
+    if series == 0 {
+        return Err("no series in the exposition".into());
+    }
+    for family in ["fleet_nodes", "fleet_node_counter"] {
+        if !text.contains(family) {
+            return Err(format!("fleet family {family} missing from exposition"));
+        }
+    }
+    eprintln!("json_check: prom OK — {series} series, fleet families present");
+    Ok(())
+}
+
 /// Allowed drop in correlate throughput before the gate fails: a fresh
 /// run may be 30% slower than the committed baseline (noisy CI hosts),
 /// but not more.
@@ -222,17 +332,28 @@ fn check_floor(fresh: &Json, baseline: &Json) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mode, path, baseline) = match args.as_slice() {
+    let (mode, path, extra) = match args.as_slice() {
         [mode, path] => (mode.as_str(), path.as_str(), None),
-        [mode, path, baseline] if mode == "floor" => {
-            (mode.as_str(), path.as_str(), Some(baseline.as_str()))
+        [mode, path, extra] if mode == "floor" || mode == "fleet" => {
+            (mode.as_str(), path.as_str(), Some(extra.as_str()))
         }
         _ => {
             return fail(
-                "usage: json_check <chrome|bench|limits> <file.json> | floor <file> <baseline>",
+                "usage: json_check <chrome|bench|limits|prom> <file> | \
+                 fleet <file.json> [expected_nodes] | floor <file> <baseline>",
             )
         }
     };
+    // Prometheus expositions are text, not JSON — lint them directly.
+    if mode == "prom" {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| check_prom(&text));
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        };
+    }
     let doc = match load(path) {
         Ok(doc) => doc,
         Err(e) => return fail(&e),
@@ -241,12 +362,17 @@ fn main() -> ExitCode {
         "chrome" => check_chrome(&doc),
         "bench" => check_bench(&doc),
         "limits" => check_limits(&doc),
-        "floor" => match baseline {
+        "fleet" => match extra.map(str::parse::<usize>) {
+            None => check_fleet(&doc, None),
+            Some(Ok(n)) => check_fleet(&doc, Some(n)),
+            Some(Err(_)) => Err("fleet: expected_nodes must be an integer".into()),
+        },
+        "floor" => match extra {
             Some(b) => load(b).and_then(|base| check_floor(&doc, &base)),
             None => Err("floor mode needs a baseline file".into()),
         },
         other => Err(format!(
-            "unknown mode {other:?} (expected chrome, bench, limits, or floor)"
+            "unknown mode {other:?} (expected chrome, bench, limits, fleet, prom, or floor)"
         )),
     };
     match result {

@@ -11,6 +11,8 @@
 //! * full multi-node analysis wall time at `--jobs 1` vs `--jobs 4`
 //!   and the resulting speedup,
 //! * analysis-cache cold (miss + store) vs warm (hit) report timing,
+//! * loopback ship of a small spool with telemetry (METRICS frames)
+//!   enabled vs disabled — the metrics-shipping overhead delta,
 //! * peak RSS of the whole process.
 //!
 //! Writes `BENCH_parse.json` (or the path given as the first argument).
@@ -22,12 +24,18 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use tempest_collect::{Collector, CollectorConfig};
 use tempest_core::correlate::correlate_with;
 use tempest_core::profile::build_profiles;
 use tempest_core::timeline::Timeline;
 use tempest_core::{report, AnalysisCache, AnalysisOptions, Engine};
-use tempest_probe::trace::Trace;
-use tempest_probe::{TraceGenerator, TraceSpec};
+use tempest_probe::ship::{self, RetryPolicy, ShipConfig};
+use tempest_probe::spool::{FsyncPolicy, SpoolConfig, SpoolWriter};
+use tempest_probe::trace::{SensorMeta, Trace};
+use tempest_probe::{
+    Event, FunctionDef, FunctionId, NodeMeta, ScopeKind, ThreadId, TraceGenerator, TraceSpec,
+};
+use tempest_sensors::{SensorId, SensorKind};
 
 /// Counts every heap allocation so stages can report allocation deltas.
 struct CountingAlloc;
@@ -241,8 +249,91 @@ fn main() {
     let secs_metrics_on = time_jobs(1);
     registry.set_enabled(false);
     let secs_metrics_off = time_jobs(1);
-    registry.set_enabled(was_enabled);
     let overhead_pct = (secs_metrics_on / secs_metrics_off - 1.0) * 100.0;
+
+    // --- metrics-shipping overhead: the same loopback ship of a small
+    // multi-segment spool with telemetry (METRICS frames) on vs off. The
+    // registry stays enabled for both runs so the delta isolates the cost
+    // of encoding and shipping snapshots, not of recording metrics.
+    eprintln!("measuring metrics-shipping overhead...");
+    registry.set_enabled(true);
+    let ship_src = dir.join("ship-src");
+    {
+        let meta = NodeMeta {
+            node_id: 9,
+            hostname: "perf.smoke".into(),
+            sensors: vec![SensorMeta {
+                id: SensorId(0),
+                label: "die".into(),
+                kind: SensorKind::CpuCore,
+            }],
+        };
+        let funcs = vec![FunctionDef {
+            id: FunctionId(0),
+            name: "work".into(),
+            address: 0x40_0000,
+            kind: ScopeKind::Function,
+        }];
+        let config = SpoolConfig::new(&ship_src)
+            .fsync(FsyncPolicy::PerBatch)
+            .segment_bytes(16 * 1024);
+        let mut w = SpoolWriter::create(&config, meta).expect("spool writer");
+        for i in 0..400u64 {
+            let t = i * 10_000;
+            w.append_batch(&[
+                Event::enter(t, ThreadId(0), FunctionId(0)),
+                Event::sample(t + 1_000, SensorId(0), 40.0 + (i % 20) as f64),
+                Event::exit(t + 9_000, ThreadId(0), FunctionId(0)),
+            ])
+            .expect("append batch");
+            if w.should_rotate() {
+                w.rotate(&funcs).expect("rotate");
+            }
+        }
+        w.finish(&funcs, 0, 0).expect("finish spool");
+    }
+    let collector =
+        Collector::bind("127.0.0.1:0", CollectorConfig::new(dir.join("ship-out"))).expect("bind");
+    let handle = collector.handle().expect("collector handle");
+    let server = std::thread::spawn(move || collector.run());
+    let addr = handle.addr();
+    // Each run gets a fresh session and a cleared resume cursor so every
+    // frame re-ships; cursor removal happens outside the timed region.
+    let time_ship = |telemetry: bool, tag: &str| -> f64 {
+        median_secs(
+            (0..3)
+                .map(|i| {
+                    std::fs::remove_file(ship_src.join("ship.cursor")).ok();
+                    let mut config = ShipConfig::new(&ship_src, addr.to_string());
+                    config.session = format!("perf-{tag}{i}");
+                    config.retry = RetryPolicy {
+                        max_failures: 10,
+                        base_ms: 1,
+                        cap_ms: 5,
+                        seed: 0xBE2C,
+                    };
+                    config.telemetry = telemetry;
+                    let t0 = Instant::now();
+                    let report = ship::ship(&config).expect("loopback ship");
+                    let secs = t0.elapsed().as_secs_f64();
+                    assert!(
+                        report.complete && !report.degraded,
+                        "loopback ship failed: {report:?}"
+                    );
+                    secs
+                })
+                .collect(),
+        )
+    };
+    let secs_shipping_on = time_ship(true, "on");
+    let secs_shipping_off = time_ship(false, "off");
+    handle.shutdown();
+    server
+        .join()
+        .expect("collector thread")
+        .expect("collector run");
+    registry.set_enabled(was_enabled);
+    let shipping_pct = (secs_shipping_on / secs_shipping_off - 1.0) * 100.0;
 
     // --- analysis cache: cold (analyze + render + store) vs warm (hit)
     // wall time for the full 4-node report.
@@ -276,7 +367,7 @@ fn main() {
 
     // Hand-formatted JSON: the dependency budget has no serde.
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"stages\": {{\n    \"timeline_seconds\": {timeline_secs:.6},\n    \"correlate_seconds\": {correlate_secs:.6},\n    \"profile_seconds\": {profile_secs:.6},\n    \"render_seconds\": {render_secs:.6}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"seconds_sharded_auto\": {correlate_sharded_secs:.6},\n    \"samples_per_sec\": {correlate_samples_per_s:.0},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup_field},\n    \"cpus\": {cpus}\n  }},\n  \"self_overhead\": {{\n    \"seconds_metrics_on\": {secs_metrics_on:.6},\n    \"seconds_metrics_off\": {secs_metrics_off:.6},\n    \"slowdown_pct\": {overhead_pct:.2}\n  }},\n  \"cache\": {{\n    \"seconds_cold\": {cache_cold_secs:.6},\n    \"seconds_warm\": {cache_warm_secs:.6},\n    \"warm_speedup\": {cache_speedup:.1}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
+        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"stages\": {{\n    \"timeline_seconds\": {timeline_secs:.6},\n    \"correlate_seconds\": {correlate_secs:.6},\n    \"profile_seconds\": {profile_secs:.6},\n    \"render_seconds\": {render_secs:.6}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"seconds_sharded_auto\": {correlate_sharded_secs:.6},\n    \"samples_per_sec\": {correlate_samples_per_s:.0},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup_field},\n    \"cpus\": {cpus}\n  }},\n  \"self_overhead\": {{\n    \"seconds_metrics_on\": {secs_metrics_on:.6},\n    \"seconds_metrics_off\": {secs_metrics_off:.6},\n    \"slowdown_pct\": {overhead_pct:.2},\n    \"seconds_shipping_metrics_on\": {secs_shipping_on:.6},\n    \"seconds_shipping_metrics_off\": {secs_shipping_off:.6},\n    \"shipping_slowdown_pct\": {shipping_pct:.2}\n  }},\n  \"cache\": {{\n    \"seconds_cold\": {cache_cold_secs:.6},\n    \"seconds_warm\": {cache_warm_secs:.6},\n    \"warm_speedup\": {cache_speedup:.1}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write BENCH_parse.json");
     std::fs::remove_dir_all(&dir).ok();
@@ -286,7 +377,7 @@ fn main() {
          correlate {correlate_secs:.3}s seq / {correlate_sharded_secs:.3}s sharded, {corr_allocs} allocs; \
          jobs1 {secs_jobs1:.3}s vs jobs4 {secs_jobs4:.3}s (speedup {speedup_note} on {cpus} cpu(s)); \
          cache cold {cache_cold_secs:.3}s vs warm {cache_warm_secs:.3}s ({cache_speedup:.0}x); \
-         metrics overhead {overhead_pct:+.2}%"
+         metrics overhead {overhead_pct:+.2}%; shipping telemetry overhead {shipping_pct:+.2}%"
     );
     println!("{json}");
 }

@@ -1,0 +1,204 @@
+//! Minimal HTTP surface for the collector's fleet view.
+//!
+//! A deliberately tiny HTTP/1.0 server (std::net only — no framework,
+//! no keep-alive, no TLS) exposing exactly two read-only endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition: the collector's own
+//!   registry followed by the labelled per-node fleet section.
+//! * `GET /fleet.json` — the aggregated fleet document.
+//!
+//! Requests are size-capped and deadline-capped so a stuck or hostile
+//! client cannot pin the serving thread; anything else gets a 404 and
+//! the connection is closed after every response.
+
+use crate::fleet::FleetState;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request head we will buffer before refusing.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection read/write deadline.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running metrics server; dropping the handle does not stop it —
+/// flip the shared stop flag (the collector's) and join.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the serving thread to exit (after the stop flag is set).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve `/metrics` + `/fleet.json` from a background
+/// thread until `stop` flips true.
+pub fn serve_metrics(
+    addr: &str,
+    fleet: Arc<FleetState>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let thread = std::thread::Builder::new()
+        .name("tempest-metrics-http".to_string())
+        .spawn(move || accept_loop(listener, fleet, stop))?;
+    Ok(MetricsServer {
+        addr: bound,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, fleet: Arc<FleetState>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: both endpoints render in microseconds, so
+                // one thread is plenty and there is nothing to exhaust.
+                let _ = serve_one(stream, &fleet);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, fleet: &FleetState) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let path = match read_request_path(&mut stream) {
+        Some(p) => p,
+        None => return respond(&mut stream, 400, "text/plain", "bad request\n"),
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let mut body = tempest_obs::to_prometheus(&tempest_obs::global().snapshot());
+            body.push_str(&fleet.to_prometheus());
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/fleet.json" => respond(&mut stream, 200, "application/json", &fleet.to_json()),
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// Read the request head and return the GET path, or `None` if the
+/// request is malformed, oversized, or not a GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let target = parts.next()?;
+    // Strip any query string; both endpoints ignore parameters.
+    Some(target.split('?').next().unwrap_or(target).to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Not Found",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Tiny blocking HTTP GET against `addr` (host:port), used by the
+/// `tempest fleet` CLI and the loopback smoke tests. Returns the body
+/// on a 200, an error otherwise.
+pub fn http_get(addr: &str, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let req = format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    if !status_line.contains(" 200 ") {
+        return Err(io::Error::other(format!("http error: {status_line}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempest_obs::Json;
+
+    #[test]
+    fn serves_metrics_and_fleet_json() {
+        let fleet = Arc::new(FleetState::default());
+        let reg = tempest_obs::Registry::new();
+        reg.counter("spool_frames_total").add(12);
+        fleet.update(
+            "demo-node0",
+            "demo",
+            tempest_obs::Telemetry {
+                node_id: 0,
+                hostname: "h0".to_string(),
+                origin_unix_ns: tempest_obs::unix_now_ns(),
+                snapshot: reg.snapshot(),
+            },
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = serve_metrics("127.0.0.1:0", fleet, stop.clone()).expect("bind");
+        let addr = server.addr().to_string();
+
+        let prom = http_get(&addr, "/metrics").expect("/metrics");
+        assert!(prom.contains("fleet_nodes 1"));
+        assert!(
+            prom.contains("fleet_node_counter{node=\"demo-node0\",name=\"spool_frames_total\"} 12")
+        );
+
+        let body = http_get(&addr, "/fleet.json").expect("/fleet.json");
+        let v = Json::parse(&body).expect("fleet.json parses");
+        assert_eq!(v.get("node_count").unwrap().as_f64(), Some(1.0));
+
+        assert!(http_get(&addr, "/nope").is_err(), "unknown path is a 404");
+
+        stop.store(true, Ordering::Relaxed);
+        server.join();
+    }
+}

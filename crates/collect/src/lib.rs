@@ -27,7 +27,11 @@
 //! the adversarial tests route shipments through.
 
 pub mod chaos;
+pub mod fleet;
+pub mod http;
 pub mod server;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
+pub use fleet::{FleetState, NodeRecord};
+pub use http::{http_get, serve_metrics, MetricsServer};
 pub use server::{Collector, CollectorConfig, CollectorHandle, CollectorStats, ShedPolicy};

@@ -10,17 +10,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::fleet::FleetState;
 use parking_lot::Mutex;
 use tempest_probe::ship::{
-    decode_hello, encode_err, read_msg, write_msg, Cursor, ERR_CORRUPT, ERR_DEADLINE, ERR_FULL,
-    ERR_OUT_OF_ORDER, ERR_PROTOCOL, ERR_RATE_LIMITED, ERR_TOO_BIG, MAX_WIRE_LEN, MSG_ACK, MSG_BYE,
-    MSG_BYE_ACK, MSG_DATA, MSG_ERR, MSG_HELLO, MSG_PING, MSG_PONG, MSG_WELCOME, SHIP_MAGIC,
-    SHIP_VERSION,
+    decode_data, decode_hello, encode_err, read_msg, write_msg, Cursor, DATA_PREFIX_LEN,
+    ERR_CORRUPT, ERR_DEADLINE, ERR_FULL, ERR_OUT_OF_ORDER, ERR_PROTOCOL, ERR_RATE_LIMITED,
+    ERR_TOO_BIG, MAX_WIRE_LEN, MSG_ACK, MSG_BYE, MSG_BYE_ACK, MSG_DATA, MSG_ERR, MSG_HELLO,
+    MSG_METRICS, MSG_PING, MSG_PONG, MSG_WELCOME, SHIP_MAGIC, SHIP_VERSION,
 };
 use tempest_probe::spool::{
-    decode_shipped, encode_frame_into, frame_crc, list_segment_files, parse_segment_frames,
-    segment_header_bytes, write_manifest_file, FRAME_FOOTER, FRAME_HEADER_LEN, FRAME_SHIPPED,
-    SHIPPED_PREFIX_LEN,
+    decode_shipped, decode_shipped2, encode_frame_into, frame_crc, list_segment_files,
+    parse_segment_frames, segment_header_bytes, shipped2_payload, write_manifest_file,
+    FRAME_FOOTER, FRAME_HEADER_LEN, FRAME_METRICS, FRAME_SHIPPED, FRAME_SHIPPED2,
+    SHIPPED2_PREFIX_LEN,
 };
 
 /// What to do with an incoming frame once the disk budget is exhausted.
@@ -106,6 +108,7 @@ struct Shared {
     active: Mutex<HashSet<String>>,
     disk_used: AtomicU64,
     stats: CollectorStats,
+    fleet: Arc<FleetState>,
 }
 
 struct CollectMetrics {
@@ -116,7 +119,9 @@ struct CollectMetrics {
     shed: tempest_obs::Counter,
     connections: tempest_obs::Counter,
     deadline_cutoffs: tempest_obs::Counter,
+    telemetry: tempest_obs::Counter,
     sessions_active: tempest_obs::Gauge,
+    frame_latency: tempest_obs::Histogram,
 }
 
 impl CollectMetrics {
@@ -130,7 +135,9 @@ impl CollectMetrics {
             shed: reg.counter("collect_shed_total"),
             connections: reg.counter("collect_connections_total"),
             deadline_cutoffs: reg.counter("collect_session_deadline_total"),
+            telemetry: reg.counter("collect_telemetry_total"),
             sessions_active: reg.gauge("collect_sessions_active"),
+            frame_latency: reg.histogram("collect_frame_latency_ns"),
         }
     }
 }
@@ -156,6 +163,12 @@ impl CollectorHandle {
     /// Read the live counters.
     pub fn stats(&self) -> &CollectorStats {
         &self.shared.stats
+    }
+
+    /// The aggregated fleet telemetry view, shareable with the HTTP
+    /// surface and the `tempest fleet` renderer.
+    pub fn fleet(&self) -> Arc<FleetState> {
+        self.shared.fleet.clone()
     }
 }
 
@@ -184,6 +197,7 @@ impl Collector {
                 active: Mutex::new(HashSet::new()),
                 disk_used: AtomicU64::new(disk_used),
                 stats: CollectorStats::default(),
+                fleet: Arc::new(FleetState::default()),
             }),
         })
     }
@@ -423,12 +437,13 @@ fn handle_connection(
                     }
                     *bucket -= 1.0;
                 }
-                let Some((cur, inner_kind, inner_payload)) = decode_shipped(&payload) else {
+                let Some((cur, origin_ns, inner_kind, inner_payload)) = decode_data(&payload)
+                else {
                     quarantine(&dir, &payload, shared, metrics);
                     send_err(&mut stream, ERR_CORRUPT, "undecodable DATA frame");
                     break;
                 };
-                if inner_kind == FRAME_SHIPPED {
+                if inner_kind == FRAME_SHIPPED || inner_kind == FRAME_SHIPPED2 {
                     quarantine(&dir, &payload, shared, metrics);
                     send_err(&mut stream, ERR_CORRUPT, "nested shipped frame");
                     break;
@@ -469,7 +484,18 @@ fn handle_connection(
                         break;
                     }
                 }
-                let frame_bytes = (FRAME_HEADER_LEN + payload.len()) as u64;
+                // Frame-trace latency: spool-append origin to collector
+                // receipt, on the collector's clock. Clock skew can make
+                // the delta negative; those are recorded as zero rather
+                // than dropped so the count still matches frames.
+                let collect_ns = tempest_obs::unix_now_ns();
+                metrics
+                    .frame_latency
+                    .record(collect_ns.saturating_sub(origin_ns));
+                // What lands on disk is the v2 envelope: source cursor
+                // plus both trace stamps ahead of the original frame.
+                let frame_bytes =
+                    (FRAME_HEADER_LEN + SHIPPED2_PREFIX_LEN + inner_payload.len()) as u64;
                 if let Some(budget) = config.disk_budget_bytes {
                     if shared.disk_used.load(Ordering::Relaxed) + frame_bytes > budget {
                         shared.stats.shed.fetch_add(1, Ordering::Relaxed);
@@ -480,7 +506,18 @@ fn handle_connection(
                         break;
                     }
                 }
-                if writer.append_shipped(&payload).is_err() {
+                // Spooled telemetry snapshots feed the fleet view on the
+                // way past; they are persisted like any other frame.
+                if inner_kind == FRAME_METRICS {
+                    if let Some(t) = tempest_obs::decode_telemetry(inner_payload) {
+                        metrics.telemetry.inc();
+                        shared.fleet.update(&key, &hello.session, t);
+                    }
+                }
+                if writer
+                    .append_shipped2(cur, origin_ns, collect_ns, inner_kind, inner_payload)
+                    .is_err()
+                {
                     send_err(&mut stream, ERR_FULL, "collector write failed");
                     break;
                 }
@@ -495,6 +532,27 @@ fn handle_connection(
                 node_frames.set(shared.stats.frames.load(Ordering::Relaxed) as f64);
                 if write_msg(&mut stream, MSG_ACK, &next_after.encode()).is_err() {
                     break;
+                }
+            }
+            MSG_METRICS => {
+                // A shipper-process telemetry snapshot. Feeds the fleet
+                // view only (no spool write — it describes the shipper,
+                // not the profiled run) and is ACKed with the unchanged
+                // cursor so the data stream's resume logic is untouched.
+                match tempest_obs::decode_telemetry(&payload) {
+                    Some(t) => {
+                        metrics.telemetry.inc();
+                        shared.fleet.update(&key, &hello.session, t);
+                        let cursor = writer.next.unwrap_or_default();
+                        if write_msg(&mut stream, MSG_ACK, &cursor.encode()).is_err() {
+                            break;
+                        }
+                    }
+                    None => {
+                        quarantine(&dir, &payload, shared, metrics);
+                        send_err(&mut stream, ERR_CORRUPT, "undecodable telemetry");
+                        break;
+                    }
                 }
             }
             MSG_PING => {
@@ -550,7 +608,7 @@ fn read_checked(
     let crc = u32::from_le_bytes(head[5..9].try_into().unwrap());
     let limit = config
         .max_frame_bytes
-        .saturating_add(SHIPPED_PREFIX_LEN as u32)
+        .saturating_add(DATA_PREFIX_LEN as u32)
         .min(MAX_WIRE_LEN);
     if len > limit {
         send_err(stream, ERR_TOO_BIG, &format!("{len}-byte frame over limit"));
@@ -580,7 +638,8 @@ fn quarantine(dir: &Path, bytes: &[u8], shared: &Arc<Shared>, metrics: &CollectM
 // ---- session writer --------------------------------------------------------
 
 /// Writes one shipped session as a standard spool directory. Every
-/// received frame is appended wrapped as a [`FRAME_SHIPPED`] frame, so
+/// received frame is appended wrapped as a [`FRAME_SHIPPED2`] envelope
+/// (older [`FRAME_SHIPPED`] segments still resume), so
 /// the directory is self-describing: the resume cursor is recomputed at
 /// open by scanning the segments, and a torn tail atomically loses the
 /// data and the cursor that covered it — there is no window where one
@@ -625,11 +684,16 @@ impl SessionWriter {
             };
             let (frames, _) = parse_segment_frames(&bytes);
             for f in frames {
-                if f.kind != FRAME_SHIPPED {
-                    continue;
-                }
-                let Some(((seg, off), inner_kind, inner_payload)) = decode_shipped(f.payload)
-                else {
+                // Both envelope generations resume identically; v1
+                // segments written by an older collector stay honest.
+                let decoded = match f.kind {
+                    FRAME_SHIPPED => decode_shipped(f.payload),
+                    FRAME_SHIPPED2 => {
+                        decode_shipped2(f.payload).map(|(cur, _stamps, k, p)| (cur, k, p))
+                    }
+                    _ => continue,
+                };
+                let Some(((seg, off), inner_kind, inner_payload)) = decoded else {
                     continue;
                 };
                 let after = Cursor {
@@ -692,11 +756,27 @@ impl SessionWriter {
         Ok(w)
     }
 
-    /// Append one already-wrapped shipped payload as a `FRAME_SHIPPED`
-    /// frame, rotating the collector-side segment when it fills.
-    fn append_shipped(&mut self, payload: &[u8]) -> io::Result<()> {
+    /// Append one received frame as a [`FRAME_SHIPPED2`] envelope —
+    /// source cursor plus both frame-trace stamps ahead of the original
+    /// frame — rotating the collector-side segment when it fills.
+    fn append_shipped2(
+        &mut self,
+        cur: Cursor,
+        origin_ns: u64,
+        collect_ns: u64,
+        inner_kind: u8,
+        inner_payload: &[u8],
+    ) -> io::Result<()> {
+        let wrapped = shipped2_payload(
+            cur.seg,
+            cur.off,
+            origin_ns,
+            collect_ns,
+            inner_kind,
+            inner_payload,
+        );
         self.scratch.clear();
-        encode_frame_into(&mut self.scratch, FRAME_SHIPPED, payload);
+        encode_frame_into(&mut self.scratch, FRAME_SHIPPED2, &wrapped);
         self.out.write_all(&self.scratch)?;
         self.bytes_in_segment += self.scratch.len() as u64;
         if self.fsync_per_frame {

@@ -133,6 +133,65 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
     out
 }
 
+/// Renders the cross-node frame-latency view as a Chrome `trace_event`
+/// document: one process per node, whose single `ship→collect` track
+/// holds a complete duration event per shipped frame spanning from its
+/// spool-append origin stamp to its collector receipt stamp.
+///
+/// `nodes` pairs a display name (typically the collected session
+/// directory name) with the [`FrameTrace`]s recovered from that
+/// session's spool. Timestamps are wall-clock stamps from two machines;
+/// they are re-based to the earliest origin across all nodes so the
+/// view starts at zero, and frames whose collect stamp precedes their
+/// origin stamp (clock skew) are drawn with zero duration rather than
+/// dropped.
+///
+/// [`FrameTrace`]: tempest_probe::spool::FrameTrace
+pub fn chrome_fleet_trace_json(
+    nodes: &[(String, Vec<tempest_probe::spool::FrameTrace>)],
+) -> String {
+    let base = nodes
+        .iter()
+        .flat_map(|(_, traces)| traces.iter().map(|t| t.origin_unix_ns))
+        .min()
+        .unwrap_or(0);
+    let mut events: Vec<String> = Vec::new();
+    for (pid, (name, traces)) in nodes.iter().enumerate() {
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"args":{{"name":"{}"}}}}"#,
+            escape(name)
+        ));
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"ship→collect"}}}}"#
+        ));
+        let mut sorted: Vec<_> = traces.clone();
+        sorted.sort_by_key(|t| t.origin_unix_ns);
+        for t in &sorted {
+            events.push(format!(
+                r#"{{"name":"frame seg{} off{}","cat":"ship","ph":"X","ts":{},"dur":{},"pid":{pid},"tid":0,"args":{{"origin_unix_ns":{},"collect_unix_ns":{},"transit_ns":{}}}}}"#,
+                t.seg,
+                t.off,
+                us(t.origin_unix_ns.saturating_sub(base)),
+                us(t.transit_ns().unwrap_or(0)),
+                t.origin_unix_ns,
+                t.collect_unix_ns,
+                t.transit_ns().unwrap_or(0),
+            ));
+        }
+    }
+    let mut out = String::with_capacity(events.len() * 128 + 128);
+    out.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"tool\": \"tempest\", \"view\": \"fleet frame latency\"},\n\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +225,60 @@ mod tests {
         let timeline = Timeline::build(&trace.events);
         assert_eq!(durations, timeline.intervals.len());
         assert_eq!(counters, trace.samples.len());
+    }
+
+    #[test]
+    fn fleet_track_spans_origin_to_collect() {
+        use tempest_probe::spool::FrameTrace;
+        let nodes = vec![
+            (
+                "run-node0".to_string(),
+                vec![
+                    FrameTrace {
+                        seg: 0,
+                        off: 40,
+                        origin_unix_ns: 1_000_000,
+                        collect_unix_ns: 1_250_000,
+                    },
+                    // Clock skew: collect stamp behind origin.
+                    FrameTrace {
+                        seg: 0,
+                        off: 90,
+                        origin_unix_ns: 2_000_000,
+                        collect_unix_ns: 1_900_000,
+                    },
+                ],
+            ),
+            (
+                "run-node1".to_string(),
+                vec![FrameTrace {
+                    seg: 1,
+                    off: 40,
+                    origin_unix_ns: 1_500_000,
+                    collect_unix_ns: 1_600_000,
+                }],
+            ),
+        ];
+        let doc = chrome_fleet_trace_json(&nodes);
+        let parsed = Json::parse(&doc).expect("fleet track must be valid JSON");
+        let events = parsed.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 3);
+        // Re-based to the earliest origin (1ms): the first frame starts
+        // at ts 0 and spans its 250µs transit.
+        assert_eq!(spans[0].get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(spans[0].get("dur").unwrap().as_f64(), Some(250.0));
+        // The skewed frame survives with zero duration.
+        assert_eq!(spans[1].get("dur").unwrap().as_f64(), Some(0.0));
+        // Two process_name records, one per node.
+        let names = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .count();
+        assert_eq!(names, 2);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod timeline;
 pub use tempest_probe::limits;
 
 pub use cache::AnalysisCache;
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_fleet_trace_json, chrome_trace_json};
 pub use engine::Engine;
 pub use merge::ClusterProfile;
 pub use parser::{analyze_trace, analyze_trace_salvaged, AnalysisOptions, ParseError};

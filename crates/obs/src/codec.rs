@@ -1,0 +1,249 @@
+//! Binary wire codec for metric snapshots.
+//!
+//! A [`Telemetry`] record is one node's point-in-time [`Snapshot`]
+//! (counters, gauges, histograms — spans are deliberately dropped, they
+//! are process-local debugging detail) plus the identity needed to file
+//! it into a fleet view: node id, hostname, and the wall-clock origin
+//! timestamp. The encoding is a compact length-prefixed little-endian
+//! format so it can ride inside spool frames and ship messages that are
+//! already CRC-framed; the decoder is bounds-checked and refuses
+//! hostile declared counts rather than sizing allocations from them.
+
+use crate::registry::{HistogramSnapshot, Snapshot, HISTOGRAM_BUCKETS};
+
+/// Magic + version prefix of an encoded [`Telemetry`] record.
+pub const TELEMETRY_MAGIC: &[u8; 4] = b"TMT1";
+
+/// Decoder cap on the number of metrics of one kind in a record.
+const MAX_METRICS: u32 = 4096;
+/// Decoder cap on a metric-name or hostname length.
+const MAX_NAME_LEN: u16 = 512;
+
+/// One node's metric snapshot plus its fleet identity.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Node rank within the session.
+    pub node_id: u32,
+    /// Reporting host, best effort.
+    pub hostname: String,
+    /// Wall-clock time the snapshot was taken, nanoseconds since the
+    /// Unix epoch.
+    pub origin_unix_ns: u64,
+    /// The metrics themselves. `spans` is always empty after decode.
+    pub snapshot: Snapshot,
+}
+
+/// Wall-clock nanoseconds since the Unix epoch (0 if the clock is
+/// before the epoch).
+pub fn unix_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(MAX_NAME_LEN as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+/// Encodes a telemetry record for transport.
+pub fn encode_telemetry(t: &Telemetry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(TELEMETRY_MAGIC);
+    out.extend_from_slice(&t.node_id.to_le_bytes());
+    out.extend_from_slice(&t.origin_unix_ns.to_le_bytes());
+    put_str(&mut out, &t.hostname);
+    let snap = &t.snapshot;
+    out.extend_from_slice(&(snap.counters.len().min(MAX_METRICS as usize) as u32).to_le_bytes());
+    for (name, value) in snap.counters.iter().take(MAX_METRICS as usize) {
+        put_str(&mut out, name);
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out.extend_from_slice(&(snap.gauges.len().min(MAX_METRICS as usize) as u32).to_le_bytes());
+    for (name, value) in snap.gauges.iter().take(MAX_METRICS as usize) {
+        put_str(&mut out, name);
+        out.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(snap.histograms.len().min(MAX_METRICS as usize) as u32).to_le_bytes());
+    for h in snap.histograms.iter().take(MAX_METRICS as usize) {
+        put_str(&mut out, &h.name);
+        out.extend_from_slice(&h.count.to_le_bytes());
+        out.extend_from_slice(&h.sum.to_le_bytes());
+        out.extend_from_slice(&(h.buckets.len().min(HISTOGRAM_BUCKETS) as u16).to_le_bytes());
+        for &(bound, count) in h.buckets.iter().take(HISTOGRAM_BUCKETS) {
+            out.extend_from_slice(&bound.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u16()?;
+        if len > MAX_NAME_LEN {
+            return None;
+        }
+        String::from_utf8(self.take(len as usize)?.to_vec()).ok()
+    }
+
+    fn bounded_count(&mut self, cap: u32) -> Option<u32> {
+        let n = self.u32()?;
+        (n <= cap).then_some(n)
+    }
+}
+
+/// Decodes a telemetry record; `None` on truncation, bad magic, or a
+/// hostile declared count.
+pub fn decode_telemetry(bytes: &[u8]) -> Option<Telemetry> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != TELEMETRY_MAGIC {
+        return None;
+    }
+    let node_id = r.u32()?;
+    let origin_unix_ns = r.u64()?;
+    let hostname = r.string()?;
+    let mut snapshot = Snapshot::default();
+    let n = r.bounded_count(MAX_METRICS)?;
+    snapshot.counters.reserve(n.min(64) as usize);
+    for _ in 0..n {
+        let name = r.string()?;
+        let value = r.u64()?;
+        snapshot.counters.push((name, value));
+    }
+    let n = r.bounded_count(MAX_METRICS)?;
+    snapshot.gauges.reserve(n.min(64) as usize);
+    for _ in 0..n {
+        let name = r.string()?;
+        let value = f64::from_bits(r.u64()?);
+        snapshot.gauges.push((name, value));
+    }
+    let n = r.bounded_count(MAX_METRICS)?;
+    snapshot.histograms.reserve(n.min(64) as usize);
+    for _ in 0..n {
+        let name = r.string()?;
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let nbuckets = r.u16()?;
+        if nbuckets as usize > HISTOGRAM_BUCKETS {
+            return None;
+        }
+        let mut buckets = Vec::with_capacity(nbuckets as usize);
+        for _ in 0..nbuckets {
+            let bound = r.u64()?;
+            let bucket_count = r.u64()?;
+            buckets.push((bound, bucket_count));
+        }
+        snapshot.histograms.push(HistogramSnapshot {
+            name,
+            count,
+            sum,
+            buckets,
+        });
+    }
+    if r.pos != bytes.len() {
+        return None;
+    }
+    Some(Telemetry {
+        node_id,
+        hostname,
+        origin_unix_ns,
+        snapshot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Telemetry {
+        let reg = Registry::new();
+        reg.counter("ship_frames_sent_total").add(42);
+        reg.counter("ship_frames_acked_total").add(41);
+        reg.gauge("ship_backoff_seconds").set(0.25);
+        let h = reg.histogram("collect_frame_latency_ns");
+        h.record(1_000);
+        h.record(2_000_000);
+        Telemetry {
+            node_id: 3,
+            hostname: "nodeA".into(),
+            origin_unix_ns: 1_700_000_000_000_000_000,
+            snapshot: reg.snapshot(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_metric() {
+        let t = sample();
+        let bytes = encode_telemetry(&t);
+        let back = decode_telemetry(&bytes).expect("roundtrip must decode");
+        assert_eq!(back.node_id, 3);
+        assert_eq!(back.hostname, "nodeA");
+        assert_eq!(back.origin_unix_ns, t.origin_unix_ns);
+        assert_eq!(back.snapshot.counters, t.snapshot.counters);
+        assert_eq!(back.snapshot.gauges.len(), 1);
+        assert_eq!(back.snapshot.gauge("ship_backoff_seconds"), Some(0.25));
+        let h = back.snapshot.histogram("collect_frame_latency_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 2_001_000);
+        assert_eq!(h.buckets, t.snapshot.histograms[0].buckets);
+        assert!(back.snapshot.spans.is_empty());
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_refused() {
+        let bytes = encode_telemetry(&sample());
+        assert!(decode_telemetry(&[]).is_none());
+        assert!(decode_telemetry(b"NOPE").is_none());
+        for cut in [1, 4, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_telemetry(&bytes[..cut]).is_none(),
+                "cut at {cut} must not decode"
+            );
+        }
+        // Trailing garbage is refused too — the record must be exact.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_telemetry(&padded).is_none());
+    }
+
+    #[test]
+    fn hostile_counts_refused() {
+        let mut bytes = encode_telemetry(&Telemetry::default());
+        // Counter count lives right after magic+node_id+origin+hostname len.
+        let at = 4 + 4 + 8 + 2;
+        bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_telemetry(&bytes).is_none());
+    }
+}

@@ -112,12 +112,13 @@ pub fn to_json(snap: &Snapshot) -> String {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
-            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [",
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
             escape(&h.name),
             h.count,
             h.sum,
             json_f64(h.mean()),
             h.quantile(0.5),
+            h.quantile(0.95),
             h.quantile(0.99),
         );
         for (j, (bound, count)) in h.buckets.iter().enumerate() {
@@ -178,11 +179,12 @@ pub fn to_human(snap: &Snapshot) -> String {
         let unit = |v: u64| fmt_value(&h.name, v);
         let _ = writeln!(
             out,
-            "  {:<width$}  n={}  mean={}  p50={}  p99={}",
+            "  {:<width$}  n={}  mean={}  p50={}  p95={}  p99={}",
             h.name,
             human_count(h.count),
             unit(h.mean() as u64),
             unit(h.quantile(0.5)),
+            unit(h.quantile(0.95)),
             unit(h.quantile(0.99)),
         );
     }
@@ -245,6 +247,11 @@ mod tests {
         );
         let hist = v.get("histograms").unwrap().get("tempd_round_ns").unwrap();
         assert_eq!(hist.get("count").unwrap().as_f64(), Some(2.0));
+        // All three quantile estimates ride along and order sanely.
+        let p50 = hist.get("p50").unwrap().as_f64().unwrap();
+        let p95 = hist.get("p95").unwrap().as_f64().unwrap();
+        let p99 = hist.get("p99").unwrap().as_f64().unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
     }
 
     #[test]
@@ -254,5 +261,6 @@ mod tests {
         assert!(text.contains("1.5 M"));
         assert!(text.contains("4.0 KiB"));
         assert!(text.contains("tempd_round_ns"));
+        assert!(text.contains("p95="), "{text}");
     }
 }

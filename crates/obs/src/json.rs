@@ -93,6 +93,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// True when this value is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)

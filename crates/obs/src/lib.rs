@@ -14,19 +14,28 @@
 //!   [`human_bytes`]) the CLI shares;
 //! - a dependency-free JSON [`parser`](json::Json::parse) used by tests
 //!   and the CI schema check to validate hand-formatted output such as
-//!   the Chrome `trace_event` export.
+//!   the Chrome `trace_event` export;
+//! - a binary [`Telemetry`] codec so a node can ship its snapshot to a
+//!   collector inside the existing CRC-framed transport;
+//! - a [`flight recorder`](flight): a bounded structured event ring
+//!   recording pipeline state transitions, dumped to `flight.json` on
+//!   panic or degradation for `tempest doctor` to triage.
 //!
 //! See DESIGN.md §9 for the overhead budget and the metric name
 //! inventory.
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod registry;
 pub mod span;
 
+pub use codec::{decode_telemetry, encode_telemetry, unix_now_ns, Telemetry};
 pub use export::{human_bytes, human_count, human_ns, to_human, to_json, to_prometheus};
+pub use flight::{FlightEvent, FlightLevel, FlightRecorder};
 pub use json::{escape, Json, JsonError};
 pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,

@@ -267,6 +267,9 @@ impl SpooledSession {
             hostname: hostname(),
             sensors,
         };
+        // Crash dumps from the flight recorder land beside the spool,
+        // where `tempest doctor` will look for them.
+        tempest_obs::flight::set_dump_path(spool.dir.join(crate::spool::FLIGHT_DUMP_NAME));
         let sink = crate::spool::SpoolSink::spawn(&spool, node.clone())?;
         let profiler = Profiler::new(clock.clone(), sink.clone());
         // The profiler owns the registry; hand it to the spool writer so

@@ -34,20 +34,24 @@
 //! even a restarted shipper process resumes cheaply.
 
 use crate::spool::{
-    self, frame_crc, list_segment_files, parse_segment_frames, shipped_payload, FRAME_FOOTER,
+    self, frame_crc, list_segment_files, parse_segment_frames, FLIGHT_DUMP_NAME, FRAME_FOOTER,
     FRAME_HEADER_LEN, FRAME_NODE, SHIP_CURSOR_NAME,
 };
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---- wire protocol ---------------------------------------------------------
 
 /// Connection preamble: sent once by the client immediately after connect.
 pub const SHIP_MAGIC: &[u8; 8] = b"TMPSHIP1";
-/// Protocol version carried in HELLO.
-pub const SHIP_VERSION: u32 = 1;
+/// Protocol version carried in HELLO. v2 added the origin timestamp to
+/// DATA payloads (end-to-end frame tracing) and the METRICS message
+/// (shipped self-telemetry); the collector requires an exact match, so
+/// v1 shippers are refused rather than silently mis-parsed.
+pub const SHIP_VERSION: u32 = 2;
 
 /// Client → server: node identity and session name.
 pub const MSG_HELLO: u8 = 1;
@@ -67,6 +71,51 @@ pub const MSG_BYE: u8 = 7;
 pub const MSG_BYE_ACK: u8 = 8;
 /// Server → client: refusal; payload is `code: u8` + UTF-8 detail.
 pub const MSG_ERR: u8 = 9;
+/// Client → server: an encoded [`tempest_obs::Telemetry`] snapshot of
+/// the shipper's metric registry. Acknowledged with a normal `ACK`
+/// carrying the unchanged cursor — telemetry rides the session but never
+/// moves the data cursor.
+pub const MSG_METRICS: u8 = 10;
+
+/// Length of the v2 DATA prefix: source cursor (two u64), origin
+/// timestamp (u64, wall-clock Unix nanoseconds at send time), inner
+/// frame kind.
+pub const DATA_PREFIX_LEN: usize = 8 + 8 + 8 + 1;
+
+/// Build a v2 DATA payload: `seg | off | origin_ns | kind | payload`.
+/// The origin stamp is what the collector pairs with its own receive
+/// time to measure per-frame transit latency.
+pub fn data_payload(
+    seg: u64,
+    off: u64,
+    origin_unix_ns: u64,
+    inner_kind: u8,
+    inner_payload: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(DATA_PREFIX_LEN + inner_payload.len());
+    out.extend_from_slice(&seg.to_le_bytes());
+    out.extend_from_slice(&off.to_le_bytes());
+    out.extend_from_slice(&origin_unix_ns.to_le_bytes());
+    out.push(inner_kind);
+    out.extend_from_slice(inner_payload);
+    out
+}
+
+/// Decoded v2 DATA payload: source cursor `(seg, off)`, origin
+/// timestamp, inner frame kind, inner payload.
+pub type DecodedData<'a> = ((u64, u64), u64, u8, &'a [u8]);
+
+/// Split a v2 DATA payload back into
+/// `((seg, off), origin_unix_ns, kind, payload)`; `None` if too short.
+pub fn decode_data(payload: &[u8]) -> Option<DecodedData<'_>> {
+    if payload.len() < DATA_PREFIX_LEN {
+        return None;
+    }
+    let seg = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let off = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+    let origin = u64::from_le_bytes(payload[16..24].try_into().unwrap());
+    Some(((seg, off), origin, payload[24], &payload[DATA_PREFIX_LEN..]))
+}
 
 /// ERR code: frame exceeds the collector's size limit.
 pub const ERR_TOO_BIG: u8 = 1;
@@ -333,7 +382,7 @@ impl Rng {
 // ---- shipper ---------------------------------------------------------------
 
 /// Everything a shipping run needs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ShipConfig {
     /// Source spool directory.
     pub dir: PathBuf,
@@ -353,6 +402,32 @@ pub struct ShipConfig {
     pub heartbeat: Duration,
     /// Follow-mode rescan interval while caught up.
     pub poll: Duration,
+    /// Send [`MSG_METRICS`] snapshots (after the handshake, on the
+    /// heartbeat cadence in follow mode, and once more right before BYE
+    /// so the collector's fleet view ends exactly on the final totals).
+    pub telemetry: bool,
+    /// Registry the shipper's own counters resolve from and telemetry
+    /// snapshots are taken of. `None` uses the process-wide
+    /// [`tempest_obs::global`] registry; tests running several shippers
+    /// in one process give each its own so fleet totals stay per-node.
+    pub registry: Option<Arc<tempest_obs::Registry>>,
+}
+
+impl std::fmt::Debug for ShipConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShipConfig")
+            .field("dir", &self.dir)
+            .field("addr", &self.addr)
+            .field("session", &self.session)
+            .field("follow", &self.follow)
+            .field("retry", &self.retry)
+            .field("io_timeout", &self.io_timeout)
+            .field("heartbeat", &self.heartbeat)
+            .field("poll", &self.poll)
+            .field("telemetry", &self.telemetry)
+            .field("registry", &self.registry.as_ref().map(|_| "custom"))
+            .finish()
+    }
 }
 
 impl ShipConfig {
@@ -367,6 +442,16 @@ impl ShipConfig {
             io_timeout: Duration::from_secs(5),
             heartbeat: Duration::from_secs(2),
             poll: Duration::from_millis(25),
+            telemetry: true,
+            registry: None,
+        }
+    }
+
+    /// The registry this run records into and snapshots from.
+    fn registry(&self) -> &tempest_obs::Registry {
+        match &self.registry {
+            Some(r) => r,
+            None => tempest_obs::global(),
         }
     }
 
@@ -401,6 +486,8 @@ pub struct ShipReport {
     pub complete: bool,
     /// The retry budget ran out; the local spool remains the only copy.
     pub degraded: bool,
+    /// Telemetry (METRICS) messages acknowledged by the collector.
+    pub telemetry_sent: u64,
     /// Next-expected cursor after the last acknowledged frame.
     pub cursor: (u64, u64),
 }
@@ -411,18 +498,19 @@ struct ShipMetrics {
     frames_sent: tempest_obs::Counter,
     bytes: tempest_obs::Counter,
     degraded: tempest_obs::Counter,
+    telemetry_sent: tempest_obs::Counter,
     backoff_seconds: tempest_obs::Gauge,
 }
 
 impl ShipMetrics {
-    fn resolve() -> ShipMetrics {
-        let reg = tempest_obs::global();
+    fn resolve(reg: &tempest_obs::Registry) -> ShipMetrics {
         ShipMetrics {
             reconnects: reg.counter("ship_reconnects_total"),
             frames_acked: reg.counter("ship_frames_acked_total"),
             frames_sent: reg.counter("ship_frames_sent_total"),
             bytes: reg.counter("ship_bytes_total"),
             degraded: reg.counter("ship_degraded_total"),
+            telemetry_sent: reg.counter("ship_telemetry_sent_total"),
             backoff_seconds: reg.gauge("ship_backoff_seconds"),
         }
     }
@@ -448,7 +536,7 @@ pub fn ship(config: &ShipConfig) -> io::Result<ShipReport> {
             format!("spool directory {} not found", config.dir.display()),
         ));
     }
-    let metrics = ShipMetrics::resolve();
+    let metrics = ShipMetrics::resolve(config.registry());
     let mut report = ShipReport::default();
     let mut rng = Rng::new(config.retry.seed);
     let mut failures = 0u32;
@@ -483,6 +571,17 @@ pub fn ship(config: &ShipConfig) -> io::Result<ShipReport> {
                 if failures > config.retry.max_failures {
                     report.degraded = true;
                     metrics.degraded.inc();
+                    tempest_obs::event!(
+                        Error,
+                        "ship",
+                        "retry budget exhausted; degrading to local spool only",
+                        addr = config.addr,
+                        failures = failures,
+                        frames_acked = report.frames_acked,
+                    );
+                    // Leave the black box beside the spool for doctor.
+                    let _ = tempest_obs::flight::flight()
+                        .dump_to(&config.dir.join(FLIGHT_DUMP_NAME), "ship degraded");
                     break;
                 }
                 let delay = config.retry.delay(failures - 1, &mut rng);
@@ -490,6 +589,14 @@ pub fn ship(config: &ShipConfig) -> io::Result<ShipReport> {
                 metrics
                     .backoff_seconds
                     .set(report.backoff_ms as f64 / 1_000.0);
+                tempest_obs::event!(
+                    Warn,
+                    "ship",
+                    "connection failed; backing off before retry",
+                    addr = config.addr,
+                    failures = failures,
+                    delay_ms = delay.as_millis(),
+                );
                 std::thread::sleep(delay);
             }
         }
@@ -544,7 +651,7 @@ fn connect_and_drain(
         version: SHIP_VERSION,
         node_id,
         session: config.session_name(),
-        hostname,
+        hostname: hostname.clone(),
     };
     write_msg(&mut stream, MSG_HELLO, &encode_hello(&hello))?;
     let mut cursor = match read_msg(&mut stream, MAX_WIRE_LEN)? {
@@ -555,6 +662,12 @@ fn connect_and_drain(
         }
         (kind, _) => return Err(proto_err(format!("expected WELCOME, got {kind}"))),
     };
+
+    // First telemetry snapshot right after the handshake so the fleet
+    // view learns about this node before any data lands.
+    if config.telemetry {
+        send_telemetry(config, &mut stream, report, metrics, node_id, &hostname)?;
+    }
 
     let mut last_activity = Instant::now();
     loop {
@@ -567,6 +680,11 @@ fn connect_and_drain(
             cursor.store(&config.dir).ok();
         }
         if footer_shipped {
+            // Final snapshot before BYE: every data frame is acked, so
+            // the counters it carries are this run's exact closing totals.
+            if config.telemetry {
+                send_telemetry(config, &mut stream, report, metrics, node_id, &hostname)?;
+            }
             write_msg(&mut stream, MSG_BYE, &[])?;
             match read_msg(&mut stream, MAX_WIRE_LEN)? {
                 (MSG_BYE_ACK, _) => {}
@@ -577,17 +695,65 @@ fn connect_and_drain(
         if !config.follow {
             return Ok(Drained::CaughtUp);
         }
-        // Follow mode, caught up: heartbeat when the connection has been
-        // idle long enough, then wait for the writer to produce more.
+        // Follow mode, caught up: when idle long enough, refresh the
+        // fleet view (an acked METRICS doubles as the keepalive) or fall
+        // back to a plain heartbeat, then wait for more data.
         if last_activity.elapsed() >= config.heartbeat {
-            write_msg(&mut stream, MSG_PING, &[])?;
-            match read_msg(&mut stream, MAX_WIRE_LEN)? {
-                (MSG_PONG, _) => {}
-                (kind, _) => return Err(proto_err(format!("expected PONG, got {kind}"))),
+            if config.telemetry {
+                send_telemetry(config, &mut stream, report, metrics, node_id, &hostname)?;
+            } else {
+                write_msg(&mut stream, MSG_PING, &[])?;
+                match read_msg(&mut stream, MAX_WIRE_LEN)? {
+                    (MSG_PONG, _) => {}
+                    (kind, _) => return Err(proto_err(format!("expected PONG, got {kind}"))),
+                }
             }
             last_activity = Instant::now();
         }
         std::thread::sleep(config.poll);
+    }
+}
+
+/// Snapshot the shipper's registry and send it as a METRICS message,
+/// expecting a cursor-unchanged ACK. No-op when metrics are globally
+/// disabled. The send counter is bumped *before* the snapshot is taken
+/// so the shipped totals include the message carrying them — that is
+/// what lets the collector's fleet view match the local registry exactly
+/// after the final pre-BYE snapshot.
+fn send_telemetry(
+    config: &ShipConfig,
+    stream: &mut TcpStream,
+    report: &mut ShipReport,
+    metrics: &ShipMetrics,
+    node_id: u32,
+    hostname: &str,
+) -> io::Result<()> {
+    let reg = config.registry();
+    if !reg.is_enabled() {
+        return Ok(());
+    }
+    metrics.telemetry_sent.inc();
+    let telemetry = tempest_obs::Telemetry {
+        node_id,
+        hostname: hostname.to_string(),
+        origin_unix_ns: tempest_obs::unix_now_ns(),
+        snapshot: reg.snapshot(),
+    };
+    write_msg(
+        stream,
+        MSG_METRICS,
+        &tempest_obs::encode_telemetry(&telemetry),
+    )?;
+    match read_msg(stream, MAX_WIRE_LEN)? {
+        (MSG_ACK, _) => {
+            report.telemetry_sent += 1;
+            Ok(())
+        }
+        (MSG_ERR, p) => {
+            let (code, detail) = decode_err(&p);
+            Err(proto_err(format!("collector error: {code} {detail}")))
+        }
+        (kind, _) => Err(proto_err(format!("expected ACK, got {kind}"))),
     }
 }
 
@@ -634,7 +800,13 @@ fn ship_available(
                 continue;
             }
             scratch.clear();
-            scratch.extend_from_slice(&shipped_payload(seq, f.offset, f.kind, f.payload));
+            scratch.extend_from_slice(&data_payload(
+                seq,
+                f.offset,
+                tempest_obs::unix_now_ns(),
+                f.kind,
+                f.payload,
+            ));
             write_msg(stream, MSG_DATA, &scratch)?;
             report.frames_sent += 1;
             metrics.frames_sent.inc();

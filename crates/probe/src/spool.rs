@@ -69,6 +69,24 @@ pub const FRAME_FOOTER: u8 = 4;
 pub const FRAME_SHIPPED: u8 = 5;
 /// The shipped-frame wrapper prefix: cursor (two u64) + inner kind.
 pub const SHIPPED_PREFIX_LEN: usize = 8 + 8 + 1;
+/// Frame kind: an encoded [`tempest_obs::Telemetry`] snapshot of the
+/// writing process's metric registry plus sampling health. Written
+/// periodically by the spool writer thread so self-telemetry rides the
+/// same CRC-framed, ACKed, resumable transport as the data it describes.
+/// Recovery verifies and counts these frames but does not fold them into
+/// the trace; readers that predate them skip them as unknown kinds.
+pub const FRAME_METRICS: u8 = 6;
+/// Frame kind: a network-shipped frame wrapped with its source cursor
+/// *and* transit timestamps — the v2 of [`FRAME_SHIPPED`]. The collector
+/// stamps each accepted frame with the shipper's send time and its own
+/// receive time (both wall-clock Unix nanoseconds), which is what lets
+/// recovery reconstruct per-frame spool→ship→collect latency.
+pub const FRAME_SHIPPED2: u8 = 7;
+/// The v2 wrapper prefix: cursor (two u64), origin and collect
+/// timestamps (two u64), inner kind.
+pub const SHIPPED2_PREFIX_LEN: usize = 8 + 8 + 8 + 8 + 1;
+/// Flight-recorder dump file name beside a spool's segments.
+pub const FLIGHT_DUMP_NAME: &str = "flight.json";
 
 // ---- CRC-32 (IEEE) ---------------------------------------------------------
 
@@ -182,12 +200,20 @@ pub struct SpoolConfig {
     pub queue_batches: usize,
     /// What submitters do when the queue is full.
     pub overflow: OverflowPolicy,
+    /// How often the writer thread appends a [`FRAME_METRICS`] snapshot
+    /// of the process's metric registry to the spool (`None` disables).
+    /// Emission is opportunistic — checked after each drained batch and
+    /// once more at shutdown — so an idle spool emits nothing.
+    pub telemetry_interval: Option<std::time::Duration>,
 }
 
 impl SpoolConfig {
     /// Default segment size: small enough that a torn segment loses
     /// little, large enough that rotation is rare.
     pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+    /// Default spacing between self-telemetry frames.
+    pub const DEFAULT_TELEMETRY_INTERVAL: std::time::Duration = std::time::Duration::from_secs(5);
 
     /// Configuration with defaults for everything but the directory.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
@@ -197,6 +223,7 @@ impl SpoolConfig {
             fsync: FsyncPolicy::default(),
             queue_batches: ChannelSink::DEFAULT_QUEUE_BATCHES,
             overflow: OverflowPolicy::default(),
+            telemetry_interval: Some(Self::DEFAULT_TELEMETRY_INTERVAL),
         }
     }
 
@@ -221,6 +248,13 @@ impl SpoolConfig {
     /// Override the overflow policy of the bounded queue.
     pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
         self.overflow = policy;
+        self
+    }
+
+    /// Override how often self-telemetry frames are spooled (`None`
+    /// disables them entirely).
+    pub fn telemetry_interval(mut self, interval: Option<std::time::Duration>) -> Self {
+        self.telemetry_interval = interval;
         self
     }
 }
@@ -286,6 +320,9 @@ pub struct SpoolWriter {
     events_dropped_io: u64,
     samples_dropped_io: u64,
     io_errors: u64,
+    telemetry_interval: Option<std::time::Duration>,
+    last_telemetry: std::time::Instant,
+    telemetry_frames: u64,
 }
 
 /// Self-metrics handles for one spool writer; resolved once at
@@ -298,6 +335,7 @@ struct SpoolMetrics {
     segments_sealed: tempest_obs::Counter,
     io_errors: tempest_obs::Counter,
     batches_dropped_io: tempest_obs::Counter,
+    telemetry_frames: tempest_obs::Counter,
 }
 
 impl SpoolMetrics {
@@ -311,6 +349,7 @@ impl SpoolMetrics {
             segments_sealed: reg.counter("spool_segments_sealed_total"),
             io_errors: reg.counter("spool_io_errors_total"),
             batches_dropped_io: reg.counter("spool_batches_dropped_io_total"),
+            telemetry_frames: reg.counter("spool_telemetry_frames_total"),
         }
     }
 }
@@ -344,6 +383,9 @@ impl SpoolWriter {
             events_dropped_io: 0,
             samples_dropped_io: 0,
             io_errors: 0,
+            telemetry_interval: config.telemetry_interval,
+            last_telemetry: std::time::Instant::now(),
+            telemetry_frames: 0,
         };
         std::fs::remove_file(w.dir.join(".spool-init")).ok();
         w.open_segment()?;
@@ -458,12 +500,67 @@ impl SpoolWriter {
         Ok(())
     }
 
+    /// Append one [`FRAME_METRICS`] snapshot of the process registry if
+    /// the configured interval has elapsed. Called by the writer thread
+    /// between batches; a write failure degrades the writer exactly like
+    /// a failed data batch rather than bubbling an error.
+    pub fn maybe_append_telemetry(&mut self) {
+        let Some(interval) = self.telemetry_interval else {
+            return;
+        };
+        if self.last_telemetry.elapsed() < interval {
+            return;
+        }
+        self.append_telemetry_now();
+    }
+
+    /// Unconditionally append one telemetry frame (unless degraded or
+    /// metrics are globally disabled). Used by
+    /// [`maybe_append_telemetry`](Self::maybe_append_telemetry) and once
+    /// more at shutdown so the spool's last snapshot carries final totals.
+    pub fn append_telemetry_now(&mut self) {
+        if self.degraded || self.telemetry_interval.is_none() {
+            return;
+        }
+        let reg = tempest_obs::global();
+        if !reg.is_enabled() {
+            return;
+        }
+        self.last_telemetry = std::time::Instant::now();
+        let payload = tempest_obs::encode_telemetry(&tempest_obs::Telemetry {
+            node_id: self.node.node_id,
+            hostname: self.node.hostname.clone(),
+            origin_unix_ns: tempest_obs::unix_now_ns(),
+            snapshot: reg.snapshot(),
+        });
+        if self.write_frame(FRAME_METRICS, &payload).is_err() {
+            self.enter_degraded();
+        } else {
+            self.telemetry_frames += 1;
+            self.metrics.telemetry_frames.inc();
+        }
+    }
+
+    /// Telemetry frames appended so far.
+    pub fn telemetry_frames(&self) -> u64 {
+        self.telemetry_frames
+    }
+
     /// Record one write failure and poison the active segment.
     fn enter_degraded(&mut self) {
         self.degraded = true;
         self.drops_since_revive = 0;
         self.io_errors += 1;
         self.metrics.io_errors.inc();
+        tempest_obs::event!(
+            Error,
+            "spool",
+            "write failed; shedding batches until the disk revives",
+            dir = self.dir.display(),
+            seq = self.seq,
+            io_errors = self.io_errors,
+        );
+        tempest_obs::flight::dump_now("spool writer degraded");
     }
 
     /// Account a batch shed because the disk is rejecting writes.
@@ -502,6 +599,12 @@ impl SpoolWriter {
         match attempt {
             Ok(()) => {
                 self.degraded = false;
+                tempest_obs::event!(
+                    Info,
+                    "spool",
+                    "writer revived on a fresh segment",
+                    seq = self.seq
+                );
                 true
             }
             Err(_) => {
@@ -581,6 +684,9 @@ impl SpoolWriter {
             self.io_errors += 1; // the footer itself was lost
             return Ok(self.stats(events_dropped, samples_dropped));
         }
+        // Final telemetry snapshot so the last spooled frame before the
+        // footer carries the session's closing totals.
+        self.append_telemetry_now();
         let seal = (|| -> io::Result<()> {
             if !functions.is_empty() {
                 let payload = encode_symbols(functions);
@@ -999,9 +1105,38 @@ pub struct SpoolReport {
     /// Highest source-spool cursor `(segment, offset)` seen in shipped
     /// frames; `None` for locally-written spools.
     pub shipped_through: Option<(u64, u64)>,
+    /// Telemetry ([`FRAME_METRICS`]) frames that decoded cleanly.
+    pub telemetry_frames: u64,
+    /// Per-frame transit records recovered from [`FRAME_SHIPPED2`]
+    /// wrappers, in cursor order. Empty for locally-written spools and
+    /// spools collected by a pre-v2 collector.
+    pub frame_traces: Vec<FrameTrace>,
     /// The equivalent [`SalvageReport`], for feeding the analyzer's data
     /// quality accounting.
     pub salvage: SalvageReport,
+}
+
+/// Transit record of one network-shipped frame: where it came from and
+/// when it passed each hop. Both timestamps are wall-clock Unix
+/// nanoseconds (from different hosts — treat skew as part of the signal).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameTrace {
+    /// Source-spool segment sequence.
+    pub seg: u64,
+    /// Byte offset of the frame within that segment.
+    pub off: u64,
+    /// When the shipper sent the frame.
+    pub origin_unix_ns: u64,
+    /// When the collector accepted and stamped it.
+    pub collect_unix_ns: u64,
+}
+
+impl FrameTrace {
+    /// Ship→collect transit latency in nanoseconds; `None` when clock
+    /// skew makes the difference negative.
+    pub fn transit_ns(&self) -> Option<u64> {
+        self.collect_unix_ns.checked_sub(self.origin_unix_ns)
+    }
 }
 
 /// True if `path` looks like a spool directory: it is a directory holding
@@ -1148,6 +1283,51 @@ pub fn decode_shipped(payload: &[u8]) -> Option<((u64, u64), u8, &[u8])> {
     Some(((seg, off), payload[16], &payload[SHIPPED_PREFIX_LEN..]))
 }
 
+/// Build a [`FRAME_SHIPPED2`] payload: the source cursor, the shipper's
+/// send timestamp, the collector's receive timestamp (both wall-clock
+/// Unix nanoseconds), then the wrapped frame. The two stamps are what
+/// recovery turns into per-frame transit latency.
+pub fn shipped2_payload(
+    seg: u64,
+    off: u64,
+    origin_unix_ns: u64,
+    collect_unix_ns: u64,
+    inner_kind: u8,
+    inner_payload: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SHIPPED2_PREFIX_LEN + inner_payload.len());
+    out.extend_from_slice(&seg.to_le_bytes());
+    out.extend_from_slice(&off.to_le_bytes());
+    out.extend_from_slice(&origin_unix_ns.to_le_bytes());
+    out.extend_from_slice(&collect_unix_ns.to_le_bytes());
+    out.push(inner_kind);
+    out.extend_from_slice(inner_payload);
+    out
+}
+
+/// Decoded [`FRAME_SHIPPED2`] payload: source cursor `(seg, off)`,
+/// `(origin_ns, collect_ns)`, inner frame kind, inner payload.
+pub type DecodedShipped2<'a> = ((u64, u64), (u64, u64), u8, &'a [u8]);
+
+/// Split a [`FRAME_SHIPPED2`] payload back into
+/// `((seg, off), (origin_ns, collect_ns), kind, payload)`. `None` if the
+/// payload cannot hold the prefix.
+pub fn decode_shipped2(payload: &[u8]) -> Option<DecodedShipped2<'_>> {
+    if payload.len() < SHIPPED2_PREFIX_LEN {
+        return None;
+    }
+    let seg = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let off = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+    let origin = u64::from_le_bytes(payload[16..24].try_into().unwrap());
+    let collect = u64::from_le_bytes(payload[24..32].try_into().unwrap());
+    Some((
+        (seg, off),
+        (origin, collect),
+        payload[32],
+        &payload[SHIPPED2_PREFIX_LEN..],
+    ))
+}
+
 /// Scan a spool directory and reassemble the trace it holds.
 ///
 /// Deliberately manifest-independent: every segment file present is
@@ -1195,16 +1375,32 @@ pub fn recover_with(
         report.frames_discarded += discarded;
         for frame in frames {
             // Collector-written spools wrap every frame with its source
-            // cursor; unwrap, and drop any frame whose cursor does not
-            // advance (a re-send after a reconnect).
-            let (kind, payload) = if frame.kind == FRAME_SHIPPED {
-                match decode_shipped(frame.payload) {
-                    Some((cursor, inner_kind, inner_payload)) if inner_kind != FRAME_SHIPPED => {
+            // cursor (and, since v2, transit timestamps); unwrap, and
+            // drop any frame whose cursor does not advance (a re-send
+            // after a reconnect).
+            let (kind, payload) = if frame.kind == FRAME_SHIPPED || frame.kind == FRAME_SHIPPED2 {
+                let unwrapped = if frame.kind == FRAME_SHIPPED {
+                    decode_shipped(frame.payload).map(|(c, k, p)| (c, None, k, p))
+                } else {
+                    decode_shipped2(frame.payload).map(|(c, t, k, p)| (c, Some(t), k, p))
+                };
+                match unwrapped {
+                    Some((cursor, stamps, inner_kind, inner_payload))
+                        if inner_kind != FRAME_SHIPPED && inner_kind != FRAME_SHIPPED2 =>
+                    {
                         if report.shipped_through.is_some_and(|c| cursor <= c) {
                             report.frames_deduped += 1;
                             continue;
                         }
                         report.shipped_through = Some(cursor);
+                        if let Some((origin_unix_ns, collect_unix_ns)) = stamps {
+                            report.frame_traces.push(FrameTrace {
+                                seg: cursor.0,
+                                off: cursor.1,
+                                origin_unix_ns,
+                                collect_unix_ns,
+                            });
+                        }
                         (inner_kind, inner_payload)
                     }
                     _ => {
@@ -1267,6 +1463,15 @@ pub fn recover_with(
                     footer = Some(vals);
                     true
                 }
+                // Self-telemetry snapshots are verified and counted but
+                // not folded into the trace; `tempest fleet` reads them.
+                FRAME_METRICS => match tempest_obs::decode_telemetry(payload) {
+                    Some(_) => {
+                        report.telemetry_frames += 1;
+                        true
+                    }
+                    None => false,
+                },
                 // Unknown kind with a valid checksum: written by a newer
                 // format revision; skip it rather than distrust the rest.
                 _ => false,
@@ -1277,6 +1482,21 @@ pub fn recover_with(
                 report.frames_discarded += 1;
             }
         }
+    }
+
+    if let Some(limit) = &limit_hit {
+        // A tripped decode limit is exactly the kind of event the flight
+        // recorder exists for: note it and leave the black box beside the
+        // spool (best effort — the dump must not fail recovery).
+        tempest_obs::event!(
+            Error,
+            "recover",
+            format!("recovery stopped early: {limit}"),
+            dir = dir.display(),
+            frames_recovered = report.frames_recovered,
+        );
+        let _ = tempest_obs::flight::flight()
+            .dump_to(&dir.join(FLIGHT_DUMP_NAME), "recover limit exceeded");
     }
 
     if node.is_none()
@@ -1371,9 +1591,16 @@ pub fn fsck_dir(dir: &Path, limits: &DecodeLimits) -> io::Result<Vec<SegmentFsck
             violations: Vec::new(),
         };
         for frame in frames {
-            let (kind, payload) = if frame.kind == FRAME_SHIPPED {
-                match decode_shipped(frame.payload) {
-                    Some((_, inner_kind, inner_payload)) if inner_kind != FRAME_SHIPPED => {
+            let (kind, payload) = if frame.kind == FRAME_SHIPPED || frame.kind == FRAME_SHIPPED2 {
+                let unwrapped = if frame.kind == FRAME_SHIPPED {
+                    decode_shipped(frame.payload).map(|(_, k, p)| (k, p))
+                } else {
+                    decode_shipped2(frame.payload).map(|(_, _, k, p)| (k, p))
+                };
+                match unwrapped {
+                    Some((inner_kind, inner_payload))
+                        if inner_kind != FRAME_SHIPPED && inner_kind != FRAME_SHIPPED2 =>
+                    {
                         (inner_kind, inner_payload)
                     }
                     _ => {
@@ -1393,6 +1620,9 @@ pub fn fsck_dir(dir: &Path, limits: &DecodeLimits) -> io::Result<Vec<SegmentFsck
                 FRAME_NODE => decode_node(payload, limits).map(drop),
                 FRAME_FOOTER if payload.len() == FOOTER_LEN => Ok(()),
                 FRAME_FOOTER => Err(FrameFail::Corrupt),
+                FRAME_METRICS => tempest_obs::decode_telemetry(payload)
+                    .map(drop)
+                    .ok_or(FrameFail::Corrupt),
                 // Unknown kinds are forward-compatibility, not damage.
                 _ => Ok(()),
             };
@@ -1469,6 +1699,11 @@ impl SpoolSink {
                             .unwrap_or_default();
                         writer.rotate_or_degrade(&snapshot);
                     }
+                    // Opportunistic self-telemetry: ride the same queue
+                    // cadence as the data instead of waking a timer. An
+                    // idle spool (no batches) emits nothing, which is the
+                    // right overhead for an idle spool.
+                    writer.maybe_append_telemetry();
                 }
                 // Queue closed: orderly shutdown. The drop counters were
                 // latched by finish() before it closed the queue.
@@ -1533,6 +1768,15 @@ impl SpoolSink {
             .add(events_dropped);
         obs.counter("spool_samples_dropped_backpressure")
             .add(samples_dropped);
+        if events_dropped + samples_dropped > 0 {
+            tempest_obs::event!(
+                Warn,
+                "spool",
+                "bounded queue shed submissions under backpressure",
+                events_dropped = events_dropped,
+                samples_dropped = samples_dropped,
+            );
+        }
         drop(sink); // last sender gone → writer drains and seals
         let handle = self
             .writer

@@ -27,7 +27,7 @@
 
 use crate::buffer::EventSink;
 use crate::clock::Clock;
-use crate::event::Event;
+use crate::event::{Event, EventKind};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -246,6 +246,12 @@ impl ResilientSampler {
                         // The sensor answered again: lift the quarantine.
                         state.quarantined = false;
                         self.totals.quarantined_sensors -= 1;
+                        tempest_obs::event!(
+                            Info,
+                            "tempd",
+                            "sensor answered again; quarantine lifted",
+                            sensor = id.0
+                        );
                     }
                     self.batch.push(Event::sample(
                         r.timestamp_ns,
@@ -263,6 +269,13 @@ impl ResilientSampler {
                     {
                         state.quarantined = true;
                         self.totals.quarantined_sensors += 1;
+                        tempest_obs::event!(
+                            Warn,
+                            "tempd",
+                            "sensor quarantined after consecutive misses",
+                            sensor = id.0,
+                            misses = state.consecutive_misses
+                        );
                     }
                     if self.config.emit_gaps {
                         self.totals.gaps_emitted += 1;
@@ -272,6 +285,18 @@ impl ResilientSampler {
             }
         }
         sink.submit(&self.batch);
+    }
+
+    /// Hottest finite reading of the last round, as `(sensor id, °C)`.
+    pub fn hottest(&self) -> Option<(u16, f64)> {
+        self.batch
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Sample { sensor, .. } => e.sample_celsius().map(|c| (sensor.0, c)),
+                _ => None,
+            })
+            .filter(|(_, c)| c.is_finite())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -322,6 +347,20 @@ impl Tempd {
                 let m_round_ns = obs.histogram("tempd_round_ns");
                 let m_shed = obs.gauge("tempd_shed_samples");
                 let m_quarantined = obs.gauge("tempd_quarantined_sensors");
+                // The full SamplingHealth rides the registry as gauges so
+                // shipped telemetry snapshots carry sampler health to the
+                // collector's fleet view without a second channel.
+                let m_reads_ok = obs.gauge("tempd_health_reads_ok");
+                let m_missed = obs.gauge("tempd_health_missed_reads");
+                let m_retries = obs.gauge("tempd_health_retries");
+                let m_recovered = obs.gauge("tempd_health_recovered_reads");
+                let m_nonfinite = obs.gauge("tempd_health_nonfinite_dropped");
+                let m_gaps = obs.gauge("tempd_health_gaps_emitted");
+                let m_coverage = obs.gauge("tempd_health_coverage");
+                // Hottest sensor of the latest round: the one number the
+                // fleet table leads with for every node.
+                let m_hot_c = obs.gauge("tempd_hottest_celsius");
+                let m_hot_id = obs.gauge("tempd_hottest_sensor");
                 let mut sampler = ResilientSampler::new(config);
                 let mut next_tick = Instant::now();
                 while !thread_stop.load(Ordering::Relaxed) {
@@ -333,6 +372,17 @@ impl Tempd {
                     m_round_ns.record_duration(t0.elapsed());
                     m_shed.set(thread_sink.dropped_for(Event::TEMPD_THREAD) as f64);
                     m_quarantined.set(round_health.quarantined_sensors as f64);
+                    m_reads_ok.set(round_health.reads_ok as f64);
+                    m_missed.set(round_health.missed_reads as f64);
+                    m_retries.set(round_health.retries as f64);
+                    m_recovered.set(round_health.recovered_reads as f64);
+                    m_nonfinite.set(round_health.nonfinite_dropped as f64);
+                    m_gaps.set(round_health.gaps_emitted as f64);
+                    m_coverage.set(round_health.coverage());
+                    if let Some((sensor, celsius)) = sampler.hottest() {
+                        m_hot_c.set(celsius);
+                        m_hot_id.set(sensor as f64);
+                    }
                     *thread_health.lock() = round_health;
                     thread_counters.rounds.fetch_add(1, Ordering::Relaxed);
                     thread_counters

@@ -73,13 +73,21 @@ USAGE:
   tempest sensors
   tempest spool recover <spool dir> [--out FILE]   (rebuild a trace from a crash spool)
   tempest export  <trace file> [--format chrome-trace] [--out FILE] [--recover]
+  tempest export  <collected spool dir(s)> --format fleet-trace [--out FILE]
+                  (cross-node ship→collect frame-latency track for Perfetto)
   tempest metrics <trace file(s)> [--format human|prom|json] [--recover] [--jobs N]
   tempest watch   <spool dir> [--interval SECS] [--count N]   (live spool status)
+  tempest fleet   <HOST:PORT | collector out dir> [--interval SECS] [--count N]
+                  [--json | --prom]   (live multi-node table from a collector's
+                  metrics endpoint or its collected spool directories)
   tempest collect serve --out DIR [--addr HOST:PORT] [--once N] [--port-file FILE]
                   [--fsync] [--max-frame-bytes N] [--disk-budget N]
                   [--shed refuse|disconnect] [--rate-limit N] [--deadline SECS]
+                  [--metrics-addr HOST:PORT [--metrics-port-file FILE]]
+                  (--metrics-addr serves GET /metrics and /fleet.json over HTTP)
   tempest ship    <spool dir> --to HOST:PORT [--session NAME] [--follow]
                   [--retries N] [--base-ms N] [--cap-ms N] [--seed N]
+                  [--no-telemetry]
 
   report/summary/doctor also accept --metrics to print self-metrics after the run,
   and --deadline SECS: a wall-clock budget after which analysis stops and renders
@@ -108,6 +116,7 @@ pub fn main_with_args(args: &[String], out: &mut dyn std::io::Write) -> Result<(
         "export" => cmd_export(&rest, out),
         "metrics" => cmd_metrics(&rest, out),
         "watch" => cmd_watch(&rest, out),
+        "fleet" => cmd_fleet(&rest, out),
         "collect" => cmd_collect(&rest, out),
         "ship" => cmd_ship(&rest, out),
         "help" | "--help" | "-h" | "" => {
@@ -135,6 +144,9 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "--follow",
     "--no-cache",
     "--fsck",
+    "--json",
+    "--prom",
+    "--no-telemetry",
 ];
 
 fn flag_present(args: &[String], flag: &str) -> bool {
@@ -223,9 +235,12 @@ fn cmd_export(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
         .first()
         .ok_or_else(|| CliError::usage("export: which trace file?"))?;
     let format = flag_value(args, "--format").unwrap_or_else(|| "chrome-trace".into());
+    if format == "fleet-trace" {
+        return export_fleet_trace(&pos, args, out);
+    }
     if format != "chrome-trace" {
         return Err(CliError::usage(format!(
-            "unknown export format `{format}` (only `chrome-trace`)"
+            "unknown export format `{format}` (chrome-trace|fleet-trace)"
         )));
     }
     let trace = if flag_present(args, "--recover") {
@@ -242,6 +257,57 @@ fn cmd_export(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
             let _ = writeln!(
                 out,
                 "wrote {file} — open it at https://ui.perfetto.dev or chrome://tracing"
+            );
+        }
+        None => {
+            let _ = write!(out, "{doc}");
+        }
+    }
+    Ok(())
+}
+
+/// `tempest export --format fleet-trace`: render the cross-node
+/// ship→collect frame-latency view from one or more collected session
+/// spool directories. Each directory contributes one process whose
+/// track holds a duration event per shipped frame, spanning the frame's
+/// spool-append origin stamp to its collector receipt stamp (the
+/// `FRAME_SHIPPED2` envelope carries both).
+fn export_fleet_trace(
+    pos: &[&String],
+    args: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut nodes: Vec<(String, Vec<tempest_probe::spool::FrameTrace>)> = Vec::new();
+    for path in pos {
+        let dir = Path::new(path.as_str());
+        if !tempest_probe::spool::is_spool_dir(dir) {
+            return Err(CliError::run(format!("{path}: not a spool directory")));
+        }
+        let (_, rep) = tempest_probe::spool::recover(dir)
+            .map_err(|e| CliError::run(format!("{path}: {e}")))?;
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or(path)
+            .to_string();
+        nodes.push((name, rep.frame_traces));
+    }
+    let traced: usize = nodes.iter().map(|(_, t)| t.len()).sum();
+    if traced == 0 {
+        return Err(CliError::run(
+            "no frame traces found — fleet-trace needs collector-side session \
+             directories (shipped with protocol v2)"
+                .to_string(),
+        ));
+    }
+    let doc = tempest_core::chrome_fleet_trace_json(&nodes);
+    match flag_value(args, "--out") {
+        Some(file) => {
+            std::fs::write(&file, doc).map_err(|e| CliError::run(format!("{file}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "wrote {file} ({traced} frame trace(s) across {} node(s)) — open it at https://ui.perfetto.dev",
+                nodes.len()
             );
         }
         None => {
@@ -434,6 +500,306 @@ fn cmd_watch(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
     }
 }
 
+/// One node's row in the `tempest fleet` table, extracted from a
+/// telemetry snapshot regardless of whether it arrived over HTTP or was
+/// scanned out of a collected spool directory.
+struct FleetRow {
+    key: String,
+    host: String,
+    age_ms: Option<u64>,
+    stale: bool,
+    events: u64,
+    acked: u64,
+    drops: u64,
+    io_drops: u64,
+    limit_hits: u64,
+    hot: Option<(u16, f64)>,
+}
+
+/// Build a table row from a snapshot's counters/gauges; absent metrics
+/// read as zero so nodes at different pipeline stages still render.
+fn fleet_row(
+    key: &str,
+    host: &str,
+    age_ms: Option<u64>,
+    stale: bool,
+    snap: &tempest_obs::Snapshot,
+) -> FleetRow {
+    let c = |n: &str| snap.counter(n).unwrap_or(0);
+    FleetRow {
+        key: key.to_string(),
+        host: host.to_string(),
+        age_ms,
+        stale,
+        events: c("probe_events_total"),
+        acked: c("ship_frames_acked_total"),
+        drops: c("spool_events_dropped_backpressure") + c("spool_samples_dropped_backpressure"),
+        io_drops: c("spool_batches_dropped_io_total"),
+        limit_hits: c("limit_hits_total"),
+        hot: snap.gauge("tempd_hottest_celsius").map(|cel| {
+            (
+                snap.gauge("tempd_hottest_sensor").unwrap_or(0.0) as u16,
+                cel,
+            )
+        }),
+    }
+}
+
+/// Render the fleet table: one header, one line per node, stale nodes
+/// marked with `!` on their age.
+fn render_fleet_table(rows: &[FleetRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let stale = rows.iter().filter(|r| r.stale).count();
+    let _ = writeln!(s, "fleet: {} node(s), {} stale", rows.len(), stale);
+    let _ = writeln!(
+        s,
+        "  {:<24} {:<12} {:>7} {:>9} {:>8} {:>7} {:>8} {:>7}  HOTTEST",
+        "NODE", "HOST", "AGE", "EVENTS", "ACKED", "DROPS", "IO-DROP", "LIMITS"
+    );
+    for r in rows {
+        let mut age = r
+            .age_ms
+            .map_or_else(|| "?".to_string(), |ms| format!("{:.1}s", ms as f64 / 1e3));
+        if r.stale {
+            age.push('!');
+        }
+        let hot = r
+            .hot
+            .map_or_else(|| "-".to_string(), |(id, c)| format!("s{id} {c:.1}C"));
+        let _ = writeln!(
+            s,
+            "  {:<24} {:<12} {:>7} {:>9} {:>8} {:>7} {:>8} {:>7}  {hot}",
+            r.key,
+            r.host,
+            age,
+            tempest_obs::human_count(r.events),
+            tempest_obs::human_count(r.acked),
+            tempest_obs::human_count(r.drops),
+            tempest_obs::human_count(r.io_drops),
+            tempest_obs::human_count(r.limit_hits),
+        );
+    }
+    s
+}
+
+/// Parse a `/fleet.json` document into table rows.
+fn rows_from_fleet_json(doc: &str) -> Result<Vec<FleetRow>, String> {
+    let v = tempest_obs::Json::parse(doc).map_err(|e| format!("bad fleet.json: {e}"))?;
+    let nodes = v
+        .get("nodes")
+        .and_then(|n| n.as_arr())
+        .ok_or("fleet.json has no nodes array")?;
+    let mut rows = Vec::new();
+    for node in nodes {
+        let metric_pairs = |section: &str| -> Vec<(String, f64)> {
+            match node.get("metrics").and_then(|m| m.get(section)) {
+                Some(tempest_obs::Json::Obj(map)) => map
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                    .collect(),
+                _ => Vec::new(),
+            }
+        };
+        let snap = tempest_obs::Snapshot {
+            counters: metric_pairs("counters")
+                .into_iter()
+                .map(|(k, v)| (k, v as u64))
+                .collect(),
+            gauges: metric_pairs("gauges"),
+            ..Default::default()
+        };
+        rows.push(fleet_row(
+            node.get("key").and_then(|k| k.as_str()).unwrap_or("?"),
+            node.get("hostname").and_then(|h| h.as_str()).unwrap_or("?"),
+            node.get("age_ms")
+                .and_then(|a| a.as_f64())
+                .map(|a| a as u64),
+            node.get("stale").and_then(|s| s.as_bool()).unwrap_or(false),
+            &snap,
+        ));
+    }
+    Ok(rows)
+}
+
+/// Newest telemetry snapshot in one spool directory, whether it was
+/// written locally ([`FRAME_METRICS`](tempest_probe::spool::FRAME_METRICS)
+/// directly) or collected (inside a shipped envelope).
+fn latest_telemetry(dir: &Path) -> Option<tempest_obs::Telemetry> {
+    use tempest_probe::spool as sp;
+    let mut latest: Option<tempest_obs::Telemetry> = None;
+    for (_, path) in sp::list_segment_files(dir).ok()? {
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue;
+        };
+        let (frames, _) = sp::parse_segment_frames(&bytes);
+        for f in frames {
+            let (kind, payload) = match f.kind {
+                sp::FRAME_SHIPPED => match sp::decode_shipped(f.payload) {
+                    Some((_, k, p)) => (k, p),
+                    None => continue,
+                },
+                sp::FRAME_SHIPPED2 => match sp::decode_shipped2(f.payload) {
+                    Some((_, _, k, p)) => (k, p),
+                    None => continue,
+                },
+                k => (k, f.payload),
+            };
+            if kind != sp::FRAME_METRICS {
+                continue;
+            }
+            if let Some(t) = tempest_obs::decode_telemetry(payload) {
+                if latest
+                    .as_ref()
+                    .is_none_or(|l| t.origin_unix_ns >= l.origin_unix_ns)
+                {
+                    latest = Some(t);
+                }
+            }
+        }
+    }
+    latest
+}
+
+/// The spool directories a directory-mode `tempest fleet` target covers:
+/// the target itself if it is a spool, otherwise each child spool (the
+/// layout `collect serve --out` produces).
+fn fleet_member_dirs(dir: &Path) -> Vec<PathBuf> {
+    if tempest_probe::spool::is_spool_dir(dir) {
+        return vec![dir.to_path_buf()];
+    }
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| tempest_probe::spool::is_spool_dir(p))
+                .collect()
+        })
+        .unwrap_or_default();
+    dirs.sort();
+    dirs
+}
+
+/// Scan a collector output directory into an aggregated fleet view —
+/// the offline analogue of the collector's in-memory state.
+fn local_fleet_state(dir: &Path) -> Result<tempest_collect::FleetState, String> {
+    let fleet = tempest_collect::FleetState::default();
+    for member in fleet_member_dirs(dir) {
+        let key = member
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("spool")
+            .to_string();
+        if let Some(t) = latest_telemetry(&member) {
+            fleet.update(&key, &key, t);
+        }
+    }
+    if fleet.is_empty() {
+        Err("no telemetry snapshots found yet".to_string())
+    } else {
+        Ok(fleet)
+    }
+}
+
+/// One `tempest fleet` frame, from either source, in any output mode.
+fn render_fleet_frame(target: &str, json: bool, prom: bool) -> Result<String, String> {
+    let dir = Path::new(target);
+    if dir.is_dir() {
+        let fleet = local_fleet_state(dir)?;
+        if json {
+            return Ok(fleet.to_json());
+        }
+        if prom {
+            return Ok(fleet.to_prometheus());
+        }
+        let now = tempest_obs::unix_now_ns();
+        let rows: Vec<FleetRow> = fleet
+            .nodes()
+            .iter()
+            .map(|n| {
+                // Offline scan: age against the snapshot's own origin
+                // stamp, since nothing "received" it.
+                let age_ms = now.saturating_sub(n.telemetry.origin_unix_ns) / 1_000_000;
+                let stale = age_ms > fleet.stale_after().as_millis() as u64;
+                fleet_row(
+                    &n.key,
+                    &n.telemetry.hostname,
+                    Some(age_ms),
+                    stale,
+                    &n.telemetry.snapshot,
+                )
+            })
+            .collect();
+        return Ok(render_fleet_table(&rows));
+    }
+    if prom {
+        return tempest_collect::http_get(target, "/metrics").map_err(|e| e.to_string());
+    }
+    let doc = tempest_collect::http_get(target, "/fleet.json").map_err(|e| e.to_string())?;
+    if json {
+        return Ok(doc);
+    }
+    Ok(render_fleet_table(&rows_from_fleet_json(&doc)?))
+}
+
+/// `tempest fleet`: the multi-node analogue of `tempest watch` — a live
+/// table of every node a collector knows about (rates, drops, limit
+/// hits, hottest sensor), sourced from the collector's HTTP metrics
+/// endpoint (`HOST:PORT`) or offline from its collected spool
+/// directories. `--json` / `--prom` print the raw fleet document /
+/// Prometheus exposition instead (one shot by default).
+fn cmd_fleet(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let target = pos.first().ok_or_else(|| {
+        CliError::usage("fleet: which collector? (HOST:PORT or collected out dir)")
+    })?;
+    let json = flag_present(args, "--json");
+    let prom = flag_present(args, "--prom");
+    if json && prom {
+        return Err(CliError::usage("fleet: --json and --prom are exclusive"));
+    }
+    let interval: f64 = flag_value(args, "--interval")
+        .unwrap_or_else(|| "2".into())
+        .parse()
+        .map_err(|_| CliError::usage("--interval wants seconds"))?;
+    if !interval.is_finite() || interval < 0.0 {
+        return Err(CliError::usage("--interval wants non-negative seconds"));
+    }
+    let default_count = if json || prom { "1" } else { "0" };
+    let count: u64 = flag_value(args, "--count")
+        .unwrap_or_else(|| default_count.into())
+        .parse()
+        .map_err(|_| CliError::usage("--count wants an integer (0 = forever)"))?;
+    let mut frame_no = 0u64;
+    loop {
+        if frame_no > 0 {
+            if !(json || prom) {
+                let _ = write!(out, "\x1b[2J\x1b[H");
+            }
+            std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+        }
+        frame_no += 1;
+        match render_fleet_frame(target, json, prom) {
+            Ok(text) => {
+                let _ = write!(out, "{text}");
+            }
+            Err(reason) if json || prom => {
+                // Machine-readable modes fail loudly: a script piping
+                // this into a parser must not see an error as data.
+                return Err(CliError::run(format!("{target}: {reason}")));
+            }
+            Err(reason) => {
+                let _ = writeln!(out, "{target}: {reason}");
+            }
+        }
+        let _ = out.flush();
+        if count != 0 && frame_no >= count {
+            return Ok(());
+        }
+    }
+}
+
 /// Parse an optional integer flag with a default.
 fn parse_u64_flag(args: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
     match flag_value(args, flag) {
@@ -519,6 +885,31 @@ fn cmd_collect(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             .and_then(|()| std::fs::rename(&tmp, &port_file))
             .map_err(|e| CliError::run(format!("{port_file}: {e}")))?;
     }
+    // Optional HTTP surface: GET /metrics (Prometheus text) and
+    // GET /fleet.json, fed by the same fleet state the wire protocol
+    // updates. Lives on its own listener so the collection port never
+    // speaks HTTP.
+    let metrics_server = match flag_value(args, "--metrics-addr") {
+        Some(maddr) => {
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let server = tempest_collect::serve_metrics(&maddr, handle.fleet(), stop.clone())
+                .map_err(|e| CliError::run(format!("{maddr}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "fleet metrics on http://{}/metrics and /fleet.json",
+                server.addr()
+            );
+            let _ = out.flush();
+            if let Some(file) = flag_value(args, "--metrics-port-file") {
+                let tmp = format!("{file}.tmp.{}", std::process::id());
+                std::fs::write(&tmp, format!("{}\n", server.addr()))
+                    .and_then(|()| std::fs::rename(&tmp, &file))
+                    .map_err(|e| CliError::run(format!("{file}: {e}")))?;
+            }
+            Some((server, stop))
+        }
+        None => None,
+    };
     let served = match flag_value(args, "--once") {
         Some(n) => {
             let n: u64 = n
@@ -529,6 +920,10 @@ fn cmd_collect(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
         None => collector.run(),
     };
     served.map_err(|e| CliError::run(format!("collector: {e}")))?;
+    if let Some((server, stop)) = metrics_server {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        server.join();
+    }
     let stats = handle.stats();
     use std::sync::atomic::Ordering::Relaxed;
     let _ = writeln!(
@@ -562,6 +957,7 @@ fn cmd_ship(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErro
         config.session = session;
     }
     config.follow = flag_present(args, "--follow");
+    config.telemetry = !flag_present(args, "--no-telemetry");
     config.retry.max_failures = parse_u64_flag(args, "--retries", config.retry.max_failures as u64)?
         .min(u32::MAX as u64) as u32;
     config.retry.base_ms = parse_u64_flag(args, "--base-ms", config.retry.base_ms)?;
@@ -1049,6 +1445,45 @@ fn triage_one(path: &str, fsck: bool, deadline: Option<std::time::Instant>) -> S
     out
 }
 
+/// Render the flight-recorder dump beside a spool (`flight.json`), if
+/// one exists: why it was dumped and the last few structured events —
+/// the first thing to read when triaging a degraded pipeline.
+fn render_flight_report(dir: &Path) -> Option<String> {
+    use std::fmt::Write as _;
+    let path = dir.join(tempest_probe::spool::FLIGHT_DUMP_NAME);
+    let text = std::fs::read_to_string(&path).ok()?;
+    let mut out = String::new();
+    match tempest_obs::Json::parse(&text) {
+        Ok(v) => {
+            let reason = v.get("reason").and_then(|r| r.as_str()).unwrap_or("?");
+            let events = v.get("events").and_then(|e| e.as_arr()).unwrap_or(&[]);
+            let _ = writeln!(
+                out,
+                "  flight recorder: dumped on \"{reason}\", {} event(s)",
+                events.len()
+            );
+            const SHOWN: usize = 5;
+            if events.len() > SHOWN {
+                let _ = writeln!(out, "    … {} earlier event(s)", events.len() - SHOWN);
+            }
+            for e in events.iter().rev().take(SHOWN).rev() {
+                let level = e.get("level").and_then(|l| l.as_str()).unwrap_or("?");
+                let target = e.get("target").and_then(|t| t.as_str()).unwrap_or("?");
+                let message = e.get("message").and_then(|m| m.as_str()).unwrap_or("?");
+                let _ = writeln!(out, "    [{level}] {target}: {message}");
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(
+                out,
+                "  flight recorder: {} unreadable ({e})",
+                path.display()
+            );
+        }
+    }
+    Some(out)
+}
+
 /// Doctor verdict for a spool directory: run checksum recovery and report
 /// what survived. An unclean shutdown or discarded frames downgrade the
 /// verdict to `degraded`; a directory without segment files is `unreadable`.
@@ -1184,6 +1619,31 @@ fn triage_spool_dir(
                     rep.frames_deduped
                 );
             }
+            if rep.telemetry_frames > 0 {
+                let _ = writeln!(
+                    out,
+                    "  telemetry: {} snapshot(s) spooled",
+                    rep.telemetry_frames
+                );
+            }
+            if !rep.frame_traces.is_empty() {
+                let mut transits: Vec<u64> = rep
+                    .frame_traces
+                    .iter()
+                    .filter_map(|t| t.transit_ns())
+                    .collect();
+                transits.sort_unstable();
+                let median = transits.get(transits.len() / 2).copied().unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  frame traces: {} frame(s), median ship→collect {}",
+                    rep.frame_traces.len(),
+                    tempest_obs::human_ns(median)
+                );
+            }
+            if let Some(flight) = render_flight_report(dir) {
+                let _ = write!(out, "{flight}");
+            }
             if verdict == "degraded" {
                 let _ = writeln!(
                     out,
@@ -1194,6 +1654,9 @@ fn triage_spool_dir(
         Err(e) => {
             let _ = writeln!(out, "{path}: unreadable");
             let _ = writeln!(out, "  spool recovery failed: {e}");
+            if let Some(flight) = render_flight_report(dir) {
+                let _ = write!(out, "{flight}");
+            }
         }
     }
     out
@@ -1780,6 +2243,149 @@ mod tests {
     }
 
     #[test]
+    fn watch_frame_golden_shape_includes_drops_and_backpressure() {
+        use tempest_probe::spool::{SpoolConfig, SpoolWriter};
+        use tempest_probe::{Event, FunctionDef, FunctionId, NodeMeta, ScopeKind, ThreadId};
+        let parent = temp_dir("watch-golden");
+        let dir = parent.join("spool");
+        let mut w = SpoolWriter::create(&SpoolConfig::new(&dir), NodeMeta::anonymous()).unwrap();
+        let t = ThreadId(0);
+        let mut batch = Vec::new();
+        for i in 0..10u64 {
+            batch.push(Event::enter(i * 1_000_000, t, FunctionId(0)));
+            batch.push(Event::sample(
+                i * 1_000_000 + 10,
+                SensorId(0),
+                40.0 + i as f64,
+            ));
+            batch.push(Event::exit(i * 1_000_000 + 500_000, t, FunctionId(0)));
+        }
+        w.append_batch(&batch).unwrap();
+        let funcs = vec![FunctionDef {
+            id: FunctionId(0),
+            name: "main".into(),
+            address: 0x1000,
+            kind: ScopeKind::Function,
+        }];
+        // Seal with shed counts so the drops line carries real numbers.
+        w.finish(&funcs, 3, 2).unwrap();
+
+        let frame = render_watch_frame(&dir, None, 2.0).unwrap();
+        assert_eq!(frame.events, 20);
+        assert_eq!(frame.samples, 10);
+        let lines: Vec<&str> = frame.rendered.lines().collect();
+        // Golden shape, line by line: header, events, samples, drops,
+        // hottest, then the hotspot list.
+        assert!(lines[0].starts_with("spool "), "{}", frame.rendered);
+        assert!(lines[0].ends_with("clean shutdown"), "{}", frame.rendered);
+        assert!(lines[1].trim_start().starts_with("events"), "{}", lines[1]);
+        assert!(lines[1].contains("/s)"), "{}", lines[1]);
+        assert!(lines[2].trim_start().starts_with("samples"), "{}", lines[2]);
+        assert_eq!(lines[3].trim(), "drops    3 event(s), 2 sample(s) shed");
+        assert_eq!(lines[4].trim(), "hottest  sensor#0  49.0 C");
+        assert!(
+            lines[5].contains("top hot functions so far:"),
+            "{}",
+            lines[5]
+        );
+        assert!(lines[6].contains("main"), "{}", lines[6]);
+        assert!(lines[6].contains("score"), "{}", lines[6]);
+
+        // With a previous frame, rates are deltas over the interval:
+        // (20 - 10) events in 2s is 5/s.
+        let frame = render_watch_frame(&dir, Some((10, 6)), 2.0).unwrap();
+        assert!(frame.rendered.contains("(5/s)"), "{}", frame.rendered);
+        assert!(frame.rendered.contains("(2/s)"), "{}", frame.rendered);
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn fleet_dir_mode_renders_table_json_and_prom() {
+        // A sealed spool: finish() appends one telemetry snapshot, which
+        // is exactly what the offline fleet scan aggregates.
+        let (parent, dir) = write_spool("fleet-dir", true);
+        let dir_s = dir.to_str().unwrap();
+
+        let table = run(&["fleet", dir_s, "--count", "1"]).unwrap();
+        assert!(table.contains("fleet: 1 node(s), 0 stale"), "{table}");
+        assert!(table.contains("NODE"), "{table}");
+        assert!(table.contains("HOTTEST"), "{table}");
+        assert!(table.contains("spool"), "{table}");
+
+        let json = run(&["fleet", dir_s, "--json"]).unwrap();
+        let v = tempest_obs::Json::parse(&json).expect("fleet json must parse");
+        assert_eq!(v.get("node_count").and_then(|n| n.as_f64()), Some(1.0));
+        let nodes = v.get("nodes").and_then(|n| n.as_arr()).unwrap();
+        assert!(nodes[0].get("metrics").is_some(), "{json}");
+
+        let prom = run(&["fleet", dir_s, "--prom"]).unwrap();
+        assert!(prom.contains("fleet_nodes 1"), "{prom}");
+        assert!(prom.contains("fleet_node_counter{node="), "{prom}");
+
+        // Usage: a target is required, machine modes are exclusive.
+        assert_eq!(run(&["fleet"]).unwrap_err().code, 2);
+        assert_eq!(
+            run(&["fleet", dir_s, "--json", "--prom"]).unwrap_err().code,
+            2
+        );
+
+        // A spool with no telemetry yet: machine modes fail loudly so a
+        // parser never sees an error as data, the table reports and moves on.
+        let (parent2, dir2) = write_spool("fleet-dir-empty", false);
+        let err = run(&["fleet", dir2.to_str().unwrap(), "--json"]).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("no telemetry"), "{}", err.message);
+        let out = run(&["fleet", dir2.to_str().unwrap(), "--count", "1"]).unwrap();
+        assert!(out.contains("no telemetry"), "{out}");
+
+        std::fs::remove_dir_all(&parent).ok();
+        std::fs::remove_dir_all(&parent2).ok();
+    }
+
+    #[test]
+    fn doctor_surfaces_flight_recorder_dump() {
+        use tempest_obs::flight::FlightRecorder;
+        use tempest_obs::FlightLevel;
+        let (parent, dir) = write_spool("doctor-flight", true);
+        // Simulate a degraded pipeline dumping its black box beside the
+        // spool: 8 events, so the report elides all but the last 5.
+        let rec = FlightRecorder::new(16);
+        for i in 0..8 {
+            rec.record_parts(
+                FlightLevel::Warn,
+                "ship",
+                format!("retrying connect #{i}"),
+                vec![("attempt".into(), i.to_string())],
+            );
+        }
+        rec.dump_to(
+            &dir.join(tempest_probe::spool::FLIGHT_DUMP_NAME),
+            "injected degradation",
+        )
+        .unwrap();
+
+        let out = run(&["doctor", dir.to_str().unwrap()]).unwrap();
+        assert!(
+            out.contains("flight recorder: dumped on \"injected degradation\", 8 event(s)"),
+            "{out}"
+        );
+        assert!(out.contains("… 3 earlier event(s)"), "{out}");
+        assert!(out.contains("[warn] ship: retrying connect #7"), "{out}");
+        assert!(!out.contains("retrying connect #0"), "{out}");
+
+        // A corrupt dump degrades to a note, never an error.
+        std::fs::write(
+            dir.join(tempest_probe::spool::FLIGHT_DUMP_NAME),
+            "{not json",
+        )
+        .unwrap();
+        let out = run(&["doctor", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("flight recorder:"), "{out}");
+        assert!(out.contains("unreadable"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
     fn watch_renders_live_then_finished_spool() {
         use std::sync::Arc;
         use tempest_probe::spool::SpoolConfig;
@@ -1918,6 +2524,54 @@ mod tests {
         // The collected copy is a first-class spool: recover + report.
         let report = run(&["spool", "recover", dst.to_str().unwrap()]).unwrap();
         assert!(report.contains("clean shutdown"), "{report}");
+
+        // The shipped telemetry snapshot and the per-frame origin stamps
+        // both survived the wire: doctor reads them off the collected copy.
+        assert!(
+            dst_doc.contains("telemetry: 1 snapshot(s) spooled"),
+            "{dst_doc}"
+        );
+        assert!(dst_doc.contains("frame traces:"), "{dst_doc}");
+        assert!(dst_doc.contains("median ship→collect"), "{dst_doc}");
+
+        // Offline fleet view over the collector's output directory.
+        let fleet = run(&["fleet", collected.to_str().unwrap(), "--json"]).unwrap();
+        let v = tempest_obs::Json::parse(&fleet).expect("fleet json must parse");
+        assert_eq!(v.get("node_count").and_then(|n| n.as_f64()), Some(1.0));
+        let table = run(&["fleet", collected.to_str().unwrap(), "--count", "1"]).unwrap();
+        assert!(table.contains("clitest-node0"), "{table}");
+
+        // Cross-node frame-latency export from the same directory.
+        let trace_path = parent.join("fleet-latency.json");
+        let exported = run(&[
+            "export",
+            dst.to_str().unwrap(),
+            "--format",
+            "fleet-trace",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(exported.contains("wrote"), "{exported}");
+        let doc = std::fs::read_to_string(&trace_path).unwrap();
+        let parsed = tempest_obs::Json::parse(&doc).expect("fleet trace must parse");
+        let events = parsed.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert!(
+            events.iter().any(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(|n| n.as_str())
+                        == Some("ship→collect")
+            }),
+            "{doc}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("cat").and_then(|c| c.as_str()) == Some("ship")),
+            "{doc}"
+        );
         std::fs::remove_dir_all(&parent).ok();
         std::fs::remove_dir_all(&src_parent).ok();
     }

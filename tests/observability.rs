@@ -171,6 +171,139 @@ fn chrome_trace_export_golden() {
     }
 }
 
+/// Drive the real pipeline — spool (with telemetry) → ship → collect →
+/// recover → analyze (stages) → result cache — against the global
+/// registry, then lint every name it registered: Prometheus exposition
+/// charset, unique across metric kinds, and spelled out in the
+/// DESIGN.md §9 inventory. The name set is closed, not emergent; adding
+/// a metric means adding its inventory row.
+#[test]
+fn metric_names_are_valid_and_inventoried() {
+    use std::collections::BTreeSet;
+    use tempest_collect::{Collector, CollectorConfig};
+    use tempest_core::{analyze_trace, AnalysisOptions};
+    use tempest_probe::ship::{self, RetryPolicy, ShipConfig};
+    use tempest_probe::spool::{self, FsyncPolicy, SpoolConfig, SpoolWriter};
+    use tempest_probe::trace::SensorMeta;
+    use tempest_probe::{FunctionDef, FunctionId, NodeMeta, ScopeKind, ThreadId};
+    use tempest_sensors::SensorKind;
+
+    let src = std::env::temp_dir().join(format!("tempest-lint-src-{}", std::process::id()));
+    let out = std::env::temp_dir().join(format!("tempest-lint-out-{}", std::process::id()));
+    std::fs::remove_dir_all(&src).ok();
+    std::fs::remove_dir_all(&out).ok();
+
+    let node = NodeMeta {
+        node_id: 12,
+        hostname: "lint.host".into(),
+        sensors: vec![SensorMeta {
+            id: SensorId(0),
+            label: "die".into(),
+            kind: SensorKind::CpuCore,
+        }],
+    };
+    let funcs = vec![FunctionDef {
+        id: FunctionId(0),
+        name: "work".into(),
+        address: 0x1000,
+        kind: ScopeKind::Function,
+    }];
+    let mut w =
+        SpoolWriter::create(&SpoolConfig::new(&src).fsync(FsyncPolicy::PerBatch), node).unwrap();
+    for i in 0..20u64 {
+        w.append_batch(&[
+            Event::enter(i * 10_000, ThreadId(0), FunctionId(0)),
+            Event::sample(i * 10_000 + 1_000, SensorId(0), 42.0),
+            Event::exit(i * 10_000 + 9_000, ThreadId(0), FunctionId(0)),
+        ])
+        .unwrap();
+    }
+    w.finish(&funcs, 0, 0).unwrap();
+
+    let collector = Collector::bind("127.0.0.1:0", CollectorConfig::new(&out)).unwrap();
+    let handle = collector.handle().unwrap();
+    let server = std::thread::spawn(move || collector.run());
+    let mut sc = ShipConfig::new(&src, handle.addr().to_string());
+    sc.session = "lint".into();
+    sc.retry = RetryPolicy {
+        max_failures: 10,
+        base_ms: 1,
+        cap_ms: 5,
+        seed: 1,
+    };
+    assert!(ship::ship(&sc).unwrap().complete);
+    handle.shutdown();
+    server.join().unwrap().unwrap();
+
+    let (trace, _) = spool::recover(&out.join("lint-node12")).unwrap();
+    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let cache_dir = out.join("cache");
+    let cache = tempest_core::AnalysisCache::open(&cache_dir).unwrap();
+    let key =
+        tempest_core::cache::CacheKey::new(&trace.to_bytes(), AnalysisOptions::default(), "lint");
+    assert!(cache.lookup(&key).is_none());
+    cache
+        .store(&key, &tempest_core::report::render_stdout(&profile))
+        .unwrap();
+    assert!(cache.lookup(&key).is_some());
+
+    let snap = tempest_obs::global().snapshot();
+    let counters: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+    let gauges: Vec<&str> = snap.gauges.iter().map(|(n, _)| n.as_str()).collect();
+    let histograms: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+    // The run must actually have exercised every major family, or the
+    // lint below is vacuous.
+    for expected in [
+        "spool_frames_total",
+        "spool_telemetry_frames_total",
+        "ship_frames_acked_total",
+        "ship_telemetry_sent_total",
+        "collect_frames_total",
+        "collect_telemetry_total",
+        "cache_hits_total",
+    ] {
+        assert!(counters.contains(&expected), "{expected} not registered");
+    }
+    assert!(histograms.contains(&"collect_frame_latency_ns"));
+    assert!(histograms.contains(&"stage_timeline_ns"));
+
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+        .expect("DESIGN.md must be readable from the workspace root");
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for name in counters.iter().chain(&gauges).chain(&histograms) {
+        // Prometheus exposition charset, lowercase by convention here.
+        assert!(
+            name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "metric name `{name}` breaks the exposition charset"
+        );
+        // A name must mean one thing: no counter/gauge/histogram aliasing.
+        assert!(seen.insert(name), "metric name `{name}` used by two kinds");
+        // Inventoried in DESIGN.md §9, with per-node digit runs
+        // normalised to their {id} placeholder.
+        let normalized = name
+            .split('_')
+            .map(|part| {
+                if !part.is_empty() && part.chars().all(|c| c.is_ascii_digit()) {
+                    "{id}".to_string()
+                } else {
+                    part.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("_");
+        assert!(
+            design.contains(&format!("`{name}`")) || design.contains(&format!("`{normalized}`")),
+            "metric `{name}` is missing from the DESIGN.md §9 inventory"
+        );
+    }
+
+    std::fs::remove_dir_all(&src).ok();
+    std::fs::remove_dir_all(&out).ok();
+}
+
 /// The export must stay loadable after a decode round-trip (what the CLI
 /// actually exports is a decoded file, not an in-memory trace).
 #[test]
