@@ -151,6 +151,32 @@ cargo run --release -q -p tempest-tools --bin tempest -- \
     || { echo "cache hit counter missing from --metrics output" >&2; exit 1; }
 echo "    cached report byte-identical, hit counter present"
 
+echo "==> query API smoke (tempest serve --once + curl, loopback)"
+# Serve the sessions collected by the network smoke above; --once-ready
+# fails fast if the catalog scan finds nothing, and --once 3 exits after
+# the three curls below so `wait` never hangs.
+cargo run --release -q -p tempest-tools --bin tempest -- \
+    serve "$OBS_TMP/collected" --addr 127.0.0.1:0 --once 3 --once-ready \
+    --port-file "$OBS_TMP/serve.addr" --jobs 2 --no-cache --rescan-ms 0 >/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$OBS_TMP/serve.addr" ] && break
+    sleep 0.1
+done
+[ -f "$OBS_TMP/serve.addr" ] || { echo "query daemon never published its address" >&2; exit 1; }
+SERVE_ADDR="$(cat "$OBS_TMP/serve.addr")"
+curl -fsS "http://$SERVE_ADDR/api/v1/health" > "$OBS_TMP/serve-health.json"
+curl -fsS "http://$SERVE_ADDR/api/v1/sessions" > "$OBS_TMP/serve-sessions.json"
+curl -fsS "http://$SERVE_ADDR/api/v1/sessions/smoke-node0/hotspots?top=5&sort=temp" \
+    > "$OBS_TMP/serve-hotspots.json"
+wait "$SERVE_PID"
+cargo run --release -q -p tempest-bench --bin json_check -- api "$OBS_TMP/serve-health.json"
+cargo run --release -q -p tempest-bench --bin json_check -- api "$OBS_TMP/serve-sessions.json"
+cargo run --release -q -p tempest-bench --bin json_check -- api "$OBS_TMP/serve-hotspots.json"
+grep -q '"id":"smoke-node0"' "$OBS_TMP/serve-sessions.json" \
+    || { echo "served session listing is missing smoke-node0" >&2; exit 1; }
+echo "    health/sessions/hotspots answers lint clean against the v1 schema"
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

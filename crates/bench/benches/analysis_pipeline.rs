@@ -9,7 +9,7 @@ use std::hint::black_box;
 use tempest_core::correlate::correlate;
 use tempest_core::stats::SummaryStats;
 use tempest_core::timeline::Timeline;
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_probe::event::{Event, ThreadId};
 use tempest_probe::func::FunctionId;
 use tempest_sensors::{SensorId, SensorReading, Temperature};
@@ -79,7 +79,11 @@ fn bench_pipeline(c: &mut Criterion) {
         &tempest_workloads::npb::NpbBenchmark::Ft.programs(tempest_workloads::Class::A, 4),
     );
     g.bench_function("analyze_trace_ft_class_a_node", |b| {
-        b.iter(|| analyze_trace(black_box(&run.traces[0]), AnalysisOptions::default()).unwrap());
+        b.iter(|| {
+            AnalysisRequest::new()
+                .analyze_trace(black_box(&run.traces[0]))
+                .unwrap()
+        });
     });
 
     for n in [100usize, 10_000] {

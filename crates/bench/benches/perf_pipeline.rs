@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use tempest_core::correlate::correlate;
 use tempest_core::timeline::Timeline;
-use tempest_core::{analyze_trace, AnalysisOptions, Engine};
+use tempest_core::{AnalysisRequest, Engine};
 use tempest_probe::trace::Trace;
 use tempest_probe::{TraceGenerator, TraceSpec};
 
@@ -42,7 +42,11 @@ fn bench_perf_pipeline(c: &mut Criterion) {
         b.iter(|| correlate(black_box(&timeline), black_box(&trace.samples)));
     });
     g.bench_function("full_pipeline_100k_events", |b| {
-        b.iter(|| analyze_trace(black_box(&trace), AnalysisOptions::default()).unwrap());
+        b.iter(|| {
+            AnalysisRequest::new()
+                .analyze_trace(black_box(&trace))
+                .unwrap()
+        });
     });
     g.finish();
 
@@ -67,7 +71,9 @@ fn bench_perf_pipeline(c: &mut Criterion) {
         let engine = Engine::new(jobs);
         g.bench_function(format!("analyze_4_nodes_jobs{jobs}"), |b| {
             b.iter(|| {
-                let results = engine.analyze_files(black_box(&paths), AnalysisOptions::default());
+                let results = AnalysisRequest::new()
+                    .analyze_on(&engine, black_box(&paths))
+                    .profiles;
                 assert!(results.iter().all(Result::is_ok));
                 results.len()
             });

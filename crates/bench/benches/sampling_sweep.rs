@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
@@ -25,7 +25,7 @@ fn bench_sampling(c: &mut Criterion) {
                 let profiles: Vec<_> = run
                     .traces
                     .iter()
-                    .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+                    .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
                     .collect();
                 black_box(profiles)
             });

@@ -11,7 +11,7 @@
 
 use tempest_bench::banner;
 use tempest_cluster::{ClusterRun, ClusterRunConfig, ClusterSpec, Placement};
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_workloads::micro::{program, Micro};
 
 fn main() {
@@ -23,7 +23,9 @@ fn main() {
     // The paper's run: foo1 burns ~60 s; foo2's timer is ~1.3 s.
     let programs = vec![program(Micro::D, 60.0, 1.3)];
     let run = ClusterRun::execute(&cfg, &programs);
-    let profile = analyze_trace(&run.traces[0], AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new()
+        .analyze_trace(&run.traces[0])
+        .unwrap();
 
     print!("{}", tempest_core::report::render_stdout(&profile));
 

@@ -11,7 +11,7 @@
 
 use tempest_bench::banner;
 use tempest_cluster::{ClusterRun, ClusterRunConfig, ClusterSpec, Placement, Program};
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_gprof::FlatProfile;
 use tempest_sensors::power::ActivityMix;
 
@@ -58,7 +58,7 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         // Tempest view.
-        let profile = analyze_trace(trace, AnalysisOptions::default()).unwrap();
+        let profile = AnalysisRequest::new().analyze_trace(trace).unwrap();
         let hot_avg = profile.by_name("hot_fn").unwrap().peak_avg_f().unwrap();
         let cool_avg = profile.by_name("cool_fn").unwrap().peak_avg_f().unwrap();
         println!(

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 use tempest_bench::banner;
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_probe::trace::{NodeMeta, Trace};
 use tempest_probe::{MonotonicClock, Profiler, VecSink};
 use tempest_workloads::micro::{run_native, Micro, MicroConfig};
@@ -31,7 +31,7 @@ fn main() {
             profiler.registry().snapshot(),
             sink.drain(),
         );
-        let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+        let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
 
         let ok = profile.warnings.is_empty()
             && match micro {

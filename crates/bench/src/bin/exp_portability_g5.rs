@@ -8,7 +8,7 @@
 
 use tempest_bench::banner;
 use tempest_cluster::{ClusterRun, ClusterRunConfig, NetworkModel};
-use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_core::{AnalysisRequest, ClusterProfile};
 use tempest_sensors::node_model::NodeThermalParams;
 use tempest_sensors::platform::PlatformSpec;
 use tempest_workloads::npb::NpbBenchmark;
@@ -29,7 +29,7 @@ fn main() {
     let cluster = ClusterProfile::new(
         run.traces
             .iter()
-            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
             .collect(),
     );
 

@@ -7,7 +7,7 @@
 
 use tempest_bench::banner;
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
@@ -59,7 +59,9 @@ fn profile_at(programs: &[tempest_cluster::Program], rate_hz: f64) -> (usize, us
     let mut cfg = ClusterRunConfig::paper_default();
     cfg.thermal.sample_interval_ns = (1e9 / rate_hz) as u64;
     let run = ClusterRun::execute(&cfg, programs);
-    let profile = analyze_trace(&run.traces[0], AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new()
+        .analyze_trace(&run.traces[0])
+        .unwrap();
     let significant = profile.functions.iter().filter(|f| f.significant).count();
     let avg = profile
         .by_name("adi_")

@@ -13,7 +13,7 @@
 use tempest_bench::{banner, run_npb_with};
 use tempest_cluster::ClusterRunConfig;
 use tempest_core::analysis::{compare_profiles, hotspots};
-use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_core::{AnalysisRequest, ClusterProfile};
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
@@ -48,7 +48,7 @@ fn main() {
     let optimised = ClusterProfile::new(
         run.traces
             .iter()
-            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
             .collect(),
     );
 

@@ -23,6 +23,10 @@
 //! * `json_check prom <file>` — lints a Prometheus text exposition (the
 //!   collector's `/metrics` body): every series line parses, names use
 //!   the exposition charset, and the `fleet_*` families are present.
+//! * `json_check api <file>` — validates a saved `/api/v1/*` answer
+//!   from `tempest serve`. The document kind (health, sessions,
+//!   profile, hotspots, fleet) is detected from its key set; every kind
+//!   must carry schema version `v: 1` and its pinned required fields.
 //! * `json_check floor <file> <baseline>` — throughput regression gate:
 //!   fails when the fresh run's `correlate.samples_per_sec` has dropped
 //!   more than 30% below the committed baseline's.
@@ -175,9 +179,15 @@ fn check_bench(doc: &Json) -> Result<(), String> {
             return Err(format!("cache.{field} missing or non-numeric"));
         }
     }
+    let serve = doc.get("serve").ok_or("missing serve section")?;
+    for field in ["request_cold_secs", "request_warm_secs", "warm_speedup"] {
+        if serve.get(field).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("serve.{field} missing or non-numeric"));
+        }
+    }
 
     eprintln!(
-        "json_check: bench OK — stages/correlate/cache/self_overhead present, speedup well-formed"
+        "json_check: bench OK — stages/correlate/cache/serve/self_overhead present, speedup well-formed"
     );
     Ok(())
 }
@@ -300,6 +310,121 @@ fn check_prom(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Require `field` to be numeric; shared across the v1 API checks.
+fn require_num(doc: &Json, field: &str, kind: &str) -> Result<(), String> {
+    doc.get(field)
+        .and_then(|v| v.as_f64())
+        .map(|_| ())
+        .ok_or_else(|| format!("{kind}: {field} missing or non-numeric"))
+}
+
+/// Require `field` to be a string; shared across the v1 API checks.
+fn require_str(doc: &Json, field: &str, kind: &str) -> Result<(), String> {
+    doc.get(field)
+        .and_then(|v| v.as_str())
+        .map(|_| ())
+        .ok_or_else(|| format!("{kind}: {field} missing or non-string"))
+}
+
+/// Validate one saved `/api/v1/*` answer. The document kind is detected
+/// from its key set, then its pinned required fields are enforced —
+/// the offline twin of the golden-schema tests in `tests/query_api.rs`.
+fn check_api(doc: &Json) -> Result<(), String> {
+    let v = doc
+        .get("v")
+        .and_then(|v| v.as_f64())
+        .ok_or("schema version v missing or non-numeric")?;
+    if v != 1.0 {
+        return Err(format!("schema version is {v}, expected 1"));
+    }
+    if doc.get("status").is_some() {
+        require_str(doc, "status", "health")?;
+        require_num(doc, "sessions", "health")?;
+        require_num(doc, "jobs", "health")?;
+        if doc.get("status").and_then(|s| s.as_str()) != Some("ok") {
+            return Err("health: status is not \"ok\"".into());
+        }
+        eprintln!("json_check: api OK — health document");
+    } else if doc.get("session_count").is_some() {
+        require_num(doc, "session_count", "sessions")?;
+        let count = doc.get("session_count").and_then(|v| v.as_f64()).unwrap() as usize;
+        let sessions = doc
+            .get("sessions")
+            .and_then(|s| s.as_arr())
+            .ok_or("sessions: missing sessions array")?;
+        if sessions.len() != count {
+            return Err(format!(
+                "sessions: session_count says {count} but the array has {}",
+                sessions.len()
+            ));
+        }
+        for (i, s) in sessions.iter().enumerate() {
+            let kind = format!("sessions[{i}]");
+            require_str(s, "id", &kind)?;
+            require_str(s, "etag", &kind)?;
+            require_num(s, "bytes", &kind)?;
+            require_num(s, "segments", &kind)?;
+        }
+        eprintln!("json_check: api OK — session catalog, {count} session(s)");
+    } else if doc.get("functions").is_some() {
+        require_num(doc, "node_id", "profile")?;
+        require_str(doc, "hostname", "profile")?;
+        require_num(doc, "span_s", "profile")?;
+        doc.get("quality").ok_or("profile: missing quality")?;
+        let functions = doc
+            .get("functions")
+            .and_then(|f| f.as_arr())
+            .ok_or("profile: functions is not an array")?;
+        for (i, f) in functions.iter().enumerate() {
+            let kind = format!("functions[{i}]");
+            require_str(f, "name", &kind)?;
+            require_num(f, "inclusive_s", &kind)?;
+            require_num(f, "calls", &kind)?;
+        }
+        eprintln!(
+            "json_check: api OK — profile document, {} function(s)",
+            functions.len()
+        );
+    } else if doc.get("spots").is_some() {
+        require_str(doc, "session", "hotspots")?;
+        require_str(doc, "sort", "hotspots")?;
+        require_num(doc, "top", "hotspots")?;
+        let sort = doc.get("sort").and_then(|s| s.as_str()).unwrap_or("");
+        if !matches!(sort, "temp" | "time") {
+            return Err(format!("hotspots: sort is {sort:?}, expected temp|time"));
+        }
+        let top = doc.get("top").and_then(|v| v.as_f64()).unwrap() as usize;
+        let spots = doc
+            .get("spots")
+            .and_then(|s| s.as_arr())
+            .ok_or("hotspots: spots is not an array")?;
+        if spots.is_empty() || spots.len() > top {
+            return Err(format!(
+                "hotspots: {} spot(s) against top={top}",
+                spots.len()
+            ));
+        }
+        for (i, s) in spots.iter().enumerate() {
+            let kind = format!("spots[{i}]");
+            require_str(s, "name", &kind)?;
+            require_num(s, "avg_f", &kind)?;
+            require_num(s, "inclusive_s", &kind)?;
+            require_num(s, "score", &kind)?;
+        }
+        eprintln!(
+            "json_check: api OK — hotspots document, {} spot(s)",
+            spots.len()
+        );
+    } else if doc.get("node_count").is_some() {
+        // The fleet answer reuses the /fleet.json shape wholesale.
+        check_fleet(doc, None)?;
+        eprintln!("json_check: api OK — fleet document");
+    } else {
+        return Err("unrecognized v1 document (none of the known key sets)".into());
+    }
+    Ok(())
+}
+
 /// Allowed drop in correlate throughput before the gate fails: a fresh
 /// run may be 30% slower than the committed baseline (noisy CI hosts),
 /// but not more.
@@ -339,7 +464,7 @@ fn main() -> ExitCode {
         }
         _ => {
             return fail(
-                "usage: json_check <chrome|bench|limits|prom> <file> | \
+                "usage: json_check <chrome|bench|limits|prom|api> <file> | \
                  fleet <file.json> [expected_nodes] | floor <file> <baseline>",
             )
         }
@@ -362,6 +487,7 @@ fn main() -> ExitCode {
         "chrome" => check_chrome(&doc),
         "bench" => check_bench(&doc),
         "limits" => check_limits(&doc),
+        "api" => check_api(&doc),
         "fleet" => match extra.map(str::parse::<usize>) {
             None => check_fleet(&doc, None),
             Some(Ok(n)) => check_fleet(&doc, Some(n)),
@@ -372,7 +498,7 @@ fn main() -> ExitCode {
             None => Err("floor mode needs a baseline file".into()),
         },
         other => Err(format!(
-            "unknown mode {other:?} (expected chrome, bench, limits, fleet, prom, or floor)"
+            "unknown mode {other:?} (expected chrome, bench, limits, fleet, prom, api, or floor)"
         )),
     };
     match result {

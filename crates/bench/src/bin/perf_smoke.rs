@@ -11,6 +11,8 @@
 //! * full multi-node analysis wall time at `--jobs 1` vs `--jobs 4`
 //!   and the resulting speedup,
 //! * analysis-cache cold (miss + store) vs warm (hit) report timing,
+//! * `tempest serve` cold vs warm request latency for one hot-spot
+//!   question over the collected sessions (the `serve` section),
 //! * loopback ship of a small spool with telemetry (METRICS frames)
 //!   enabled vs disabled — the metrics-shipping overhead delta,
 //! * peak RSS of the whole process.
@@ -28,7 +30,7 @@ use tempest_collect::{Collector, CollectorConfig};
 use tempest_core::correlate::correlate_with;
 use tempest_core::profile::build_profiles;
 use tempest_core::timeline::Timeline;
-use tempest_core::{report, AnalysisCache, AnalysisOptions, Engine};
+use tempest_core::{report, AnalysisCache, AnalysisOptions, AnalysisRequest, Engine};
 use tempest_probe::ship::{self, RetryPolicy, ShipConfig};
 use tempest_probe::spool::{FsyncPolicy, SpoolConfig, SpoolWriter};
 use tempest_probe::trace::{SensorMeta, Trace};
@@ -218,7 +220,7 @@ fn main() {
     let time_jobs = |jobs: usize| -> f64 {
         let engine = Engine::new(jobs);
         time3(|| {
-            let results = engine.analyze_files(&paths, AnalysisOptions::default());
+            let results = AnalysisRequest::new().analyze_on(&engine, &paths).profiles;
             assert!(results.iter().all(Result::is_ok));
         })
     };
@@ -363,11 +365,47 @@ fn main() {
     assert_eq!(cold, warm, "cache hit must be byte-identical");
     let cache_speedup = cache_cold_secs / cache_warm_secs;
 
+    // --- query daemon: cold (recover + analyze + render + store) vs
+    // warm (served from the analysis cache) latency for one hot-spot
+    // question over the sessions the ship runs just collected.
+    eprintln!("measuring query daemon cold vs warm request...");
+    let qserver = tempest_collect::QueryServer::start(tempest_collect::QueryConfig {
+        dir: dir.join("ship-out"),
+        jobs: 2,
+        cache_dir: Some(dir.join("serve-cache")),
+        ..Default::default()
+    })
+    .expect("query daemon starts");
+    let qaddr = qserver.addr().to_string();
+    let mut qclient = tempest_collect::HttpClient::connect(&qaddr).expect("connect to daemon");
+    let mut ask = || -> String {
+        let (status, _, body) = qclient
+            .get(
+                "/api/v1/sessions/perf-on0-node9/hotspots?top=5&sort=temp",
+                &[],
+            )
+            .expect("hotspots request");
+        assert_eq!(status, 200, "{body}");
+        body
+    };
+    let t0 = Instant::now();
+    let cold_answer = ask();
+    let serve_cold_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm_answer = ask();
+    let serve_warm_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        cold_answer, warm_answer,
+        "warm answer must be byte-identical"
+    );
+    let serve_speedup = serve_cold_secs / serve_warm_secs;
+    qserver.join();
+
     let rss_kb = peak_rss_kb();
 
     // Hand-formatted JSON: the dependency budget has no serde.
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"stages\": {{\n    \"timeline_seconds\": {timeline_secs:.6},\n    \"correlate_seconds\": {correlate_secs:.6},\n    \"profile_seconds\": {profile_secs:.6},\n    \"render_seconds\": {render_secs:.6}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"seconds_sharded_auto\": {correlate_sharded_secs:.6},\n    \"samples_per_sec\": {correlate_samples_per_s:.0},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup_field},\n    \"cpus\": {cpus}\n  }},\n  \"self_overhead\": {{\n    \"seconds_metrics_on\": {secs_metrics_on:.6},\n    \"seconds_metrics_off\": {secs_metrics_off:.6},\n    \"slowdown_pct\": {overhead_pct:.2},\n    \"seconds_shipping_metrics_on\": {secs_shipping_on:.6},\n    \"seconds_shipping_metrics_off\": {secs_shipping_off:.6},\n    \"shipping_slowdown_pct\": {shipping_pct:.2}\n  }},\n  \"cache\": {{\n    \"seconds_cold\": {cache_cold_secs:.6},\n    \"seconds_warm\": {cache_warm_secs:.6},\n    \"warm_speedup\": {cache_speedup:.1}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
+        "{{\n  \"workload\": {{\n    \"nodes\": {NODES},\n    \"events_total\": {total_events},\n    \"samples_total\": {total_samples},\n    \"trace_bytes_total\": {total_bytes}\n  }},\n  \"decode\": {{\n    \"seconds\": {decode_secs:.6},\n    \"events_per_sec\": {decode_events_per_s:.0},\n    \"mb_per_sec\": {decode_mb_per_s:.1}\n  }},\n  \"stages\": {{\n    \"timeline_seconds\": {timeline_secs:.6},\n    \"correlate_seconds\": {correlate_secs:.6},\n    \"profile_seconds\": {profile_secs:.6},\n    \"render_seconds\": {render_secs:.6}\n  }},\n  \"correlate\": {{\n    \"seconds\": {correlate_secs:.6},\n    \"seconds_sharded_auto\": {correlate_sharded_secs:.6},\n    \"samples_per_sec\": {correlate_samples_per_s:.0},\n    \"samples_attributed\": {attributed},\n    \"alloc_calls\": {corr_allocs},\n    \"alloc_bytes\": {corr_alloc_bytes}\n  }},\n  \"pipeline\": {{\n    \"seconds_jobs1\": {secs_jobs1:.6},\n    \"seconds_jobs4\": {secs_jobs4:.6},\n    \"speedup_jobs4_vs_jobs1\": {speedup_field},\n    \"cpus\": {cpus}\n  }},\n  \"self_overhead\": {{\n    \"seconds_metrics_on\": {secs_metrics_on:.6},\n    \"seconds_metrics_off\": {secs_metrics_off:.6},\n    \"slowdown_pct\": {overhead_pct:.2},\n    \"seconds_shipping_metrics_on\": {secs_shipping_on:.6},\n    \"seconds_shipping_metrics_off\": {secs_shipping_off:.6},\n    \"shipping_slowdown_pct\": {shipping_pct:.2}\n  }},\n  \"cache\": {{\n    \"seconds_cold\": {cache_cold_secs:.6},\n    \"seconds_warm\": {cache_warm_secs:.6},\n    \"warm_speedup\": {cache_speedup:.1}\n  }},\n  \"serve\": {{\n    \"request_cold_secs\": {serve_cold_secs:.6},\n    \"request_warm_secs\": {serve_warm_secs:.6},\n    \"warm_speedup\": {serve_speedup:.1}\n  }},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write BENCH_parse.json");
     std::fs::remove_dir_all(&dir).ok();

@@ -9,7 +9,7 @@ pub mod overhead;
 
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::merge::ClusterProfile;
-use tempest_core::{analyze_trace, AnalysisOptions, NodeProfile};
+use tempest_core::{AnalysisRequest, NodeProfile};
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
@@ -38,7 +38,11 @@ pub fn run_npb_with(
     let profiles: Vec<NodeProfile> = run
         .traces
         .iter()
-        .map(|t| analyze_trace(t, AnalysisOptions::default()).expect("simulated trace parses"))
+        .map(|t| {
+            AnalysisRequest::new()
+                .analyze_trace(t)
+                .expect("simulated trace parses")
+        })
         .collect();
     (run, ClusterProfile::new(profiles))
 }

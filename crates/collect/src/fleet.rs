@@ -13,7 +13,9 @@
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+use tempest_core::dto::{FleetDto, FleetNodeDto, DTO_VERSION};
 use tempest_obs::{escape, unix_now_ns, Telemetry};
 
 /// Default age after which a node's snapshot is flagged stale.
@@ -117,42 +119,59 @@ impl FleetState {
         totals.into_iter().collect()
     }
 
+    /// The fleet as the shared versioned DTO
+    /// ([`tempest_core::dto::FleetDto`]) — the single schema behind
+    /// `/fleet.json`, `tempest fleet --json`, and `GET /api/v1/fleet`.
+    pub fn to_dto(&self) -> FleetDto {
+        let nodes = self.nodes();
+        FleetDto {
+            v: DTO_VERSION,
+            generated_unix_ns: unix_now_ns(),
+            stale_after_ms: self.stale_after.as_millis() as u64,
+            node_count: nodes.len(),
+            nodes: nodes
+                .iter()
+                .map(|n| FleetNodeDto {
+                    key: n.key.clone(),
+                    session: n.session.clone(),
+                    node_id: n.telemetry.node_id,
+                    hostname: n.telemetry.hostname.clone(),
+                    origin_unix_ns: n.telemetry.origin_unix_ns,
+                    received_unix_ns: n.received_unix_ns,
+                    age_ms: n.age().as_millis() as u64,
+                    stale: self.is_stale(n),
+                    updates: n.updates,
+                    metrics_json: tempest_obs::to_json(&n.telemetry.snapshot),
+                })
+                .collect(),
+        }
+    }
+
     /// Render the fleet as the `/fleet.json` document: per-node identity,
     /// age and staleness, plus the full metric snapshot.
     pub fn to_json(&self) -> String {
-        use std::fmt::Write as _;
-        let nodes = self.nodes();
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"generated_unix_ns\": {},", unix_now_ns());
-        let _ = writeln!(
-            out,
-            "  \"stale_after_ms\": {},",
-            self.stale_after.as_millis()
-        );
-        let _ = writeln!(out, "  \"node_count\": {},", nodes.len());
-        out.push_str("  \"nodes\": [");
-        for (i, n) in nodes.iter().enumerate() {
-            let sep = if i == 0 { "" } else { "," };
-            let _ = write!(
-                out,
-                "{sep}\n    {{\"key\": \"{}\", \"session\": \"{}\", \"node_id\": {}, \
-                 \"hostname\": \"{}\", \"origin_unix_ns\": {}, \"received_unix_ns\": {}, \
-                 \"age_ms\": {}, \"stale\": {}, \"updates\": {}, \"metrics\": ",
-                escape(&n.key),
-                escape(&n.session),
-                n.telemetry.node_id,
-                escape(&n.telemetry.hostname),
-                n.telemetry.origin_unix_ns,
-                n.received_unix_ns,
-                n.age().as_millis(),
-                self.is_stale(n),
-                n.updates,
-            );
-            out.push_str(tempest_obs::to_json(&n.telemetry.snapshot).trim_end());
-            out.push('}');
+        self.to_dto().to_json()
+    }
+
+    /// Scan a collector output directory (or a single spool directory)
+    /// into an aggregated fleet view — the offline analogue of the
+    /// collector's live in-memory state, built from the newest
+    /// [`FRAME_METRICS`](tempest_probe::spool::FRAME_METRICS) snapshot
+    /// found in each member spool. Directories holding no telemetry
+    /// contribute nothing; the result may be empty.
+    pub fn from_collected_dir(dir: &Path, stale_after: Duration) -> FleetState {
+        let fleet = FleetState::new(stale_after);
+        for member in member_dirs(dir) {
+            let key = member
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("spool")
+                .to_string();
+            if let Some(t) = latest_telemetry(&member) {
+                fleet.update(&key, &key, t);
+            }
         }
-        out.push_str("\n  ]\n}\n");
-        out
+        fleet
     }
 
     /// Render the fleet section of the Prometheus exposition: fleet
@@ -193,6 +212,65 @@ impl FleetState {
         }
         out
     }
+}
+
+/// The spool directories a collected-output target covers: the target
+/// itself if it is a spool, otherwise each child spool directory (the
+/// layout `collect serve --out` produces), sorted by name.
+pub fn member_dirs(dir: &Path) -> Vec<PathBuf> {
+    if tempest_probe::spool::is_spool_dir(dir) {
+        return vec![dir.to_path_buf()];
+    }
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| tempest_probe::spool::is_spool_dir(p))
+                .collect()
+        })
+        .unwrap_or_default();
+    dirs.sort();
+    dirs
+}
+
+/// Newest telemetry snapshot in one spool directory, whether it was
+/// written locally ([`FRAME_METRICS`](tempest_probe::spool::FRAME_METRICS)
+/// directly) or collected (inside a shipped envelope).
+pub fn latest_telemetry(dir: &Path) -> Option<Telemetry> {
+    use tempest_probe::spool as sp;
+    let mut latest: Option<Telemetry> = None;
+    for (_, path) in sp::list_segment_files(dir).ok()? {
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue;
+        };
+        let (frames, _) = sp::parse_segment_frames(&bytes);
+        for f in frames {
+            let (kind, payload) = match f.kind {
+                sp::FRAME_SHIPPED => match sp::decode_shipped(f.payload) {
+                    Some((_, k, p)) => (k, p),
+                    None => continue,
+                },
+                sp::FRAME_SHIPPED2 => match sp::decode_shipped2(f.payload) {
+                    Some((_, _, k, p)) => (k, p),
+                    None => continue,
+                },
+                k => (k, f.payload),
+            };
+            if kind != sp::FRAME_METRICS {
+                continue;
+            }
+            if let Some(t) = tempest_obs::decode_telemetry(payload) {
+                if latest
+                    .as_ref()
+                    .is_none_or(|l| t.origin_unix_ns >= l.origin_unix_ns)
+                {
+                    latest = Some(t);
+                }
+            }
+        }
+    }
+    latest
 }
 
 #[cfg(test)]

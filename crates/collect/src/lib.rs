@@ -25,13 +25,21 @@
 //!
 //! The [`chaos`] module holds the in-process fault-injecting TCP proxy
 //! the adversarial tests route shipments through.
+//!
+//! Beyond ingest, the crate hosts the read side of collected data: the
+//! shared HTTP/1.1 layer ([`http`]) and the `tempest serve` analysis
+//! query daemon ([`query`]), which answers versioned `/api/v1/*`
+//! questions over collected sessions from the content-hash analysis
+//! cache instead of re-analyzing per request.
 
 pub mod chaos;
 pub mod fleet;
 pub mod http;
+pub mod query;
 pub mod server;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
 pub use fleet::{FleetState, NodeRecord};
-pub use http::{http_get, serve_metrics, MetricsServer};
+pub use http::{http_get, serve_metrics, HttpClient, MetricsServer};
+pub use query::{QueryConfig, QueryServer};
 pub use server::{Collector, CollectorConfig, CollectorHandle, CollectorStats, ShedPolicy};

@@ -47,6 +47,19 @@ impl CacheKey {
     /// Derive the key for rendering `bytes` (a raw trace file) under
     /// `options` in `format`.
     pub fn new(bytes: &[u8], options: AnalysisOptions, format: &str) -> CacheKey {
+        CacheKey::from_content(
+            tempest_probe::spool::crc32(bytes),
+            bytes.len() as u64,
+            options,
+            format,
+        )
+    }
+
+    /// Derive the key from an already-computed content identity (CRC-32
+    /// over the raw bytes plus their length). This is what a long-running
+    /// server uses: it hashes each session once at catalog-scan time and
+    /// keys every subsequent request without re-reading the bytes.
+    pub fn from_content(crc: u32, len: u64, options: AnalysisOptions, format: &str) -> CacheKey {
         let mut fp = Fnv::new();
         fp.write(format.as_bytes());
         fp.write(&[0, options.recover as u8]);
@@ -59,8 +72,8 @@ impl CacheKey {
         }
         // options.shards intentionally omitted: output is shard-invariant.
         CacheKey {
-            content_crc: tempest_probe::spool::crc32(bytes),
-            content_len: bytes.len() as u64,
+            content_crc: crc,
+            content_len: len,
             fingerprint: fp.finish(),
         }
     }

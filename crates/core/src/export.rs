@@ -118,6 +118,13 @@ pub fn profile_to_markdown(profile: &NodeProfile) -> String {
     out
 }
 
+/// The versioned v1 JSON document ([`crate::dto::ProfileDto`]) — the
+/// same shape `tempest serve` answers on `/api/v1/sessions/{id}/profile`,
+/// so a file export and an API response are byte-comparable.
+pub fn profile_to_json(profile: &NodeProfile) -> String {
+    crate::dto::ProfileDto::from_profile(profile).to_json()
+}
+
 fn escape(name: &str) -> String {
     if name.contains(',') || name.contains('"') {
         format!("\"{}\"", name.replace('"', "\"\""))
@@ -191,6 +198,20 @@ mod tests {
         assert!(md.contains("| sensor | min |"));
         assert!(md.contains("104.00"));
         assert!(md.contains("### `main,with(comma)`"));
+    }
+
+    #[test]
+    fn json_export_is_the_versioned_dto() {
+        let json = profile_to_json(&profile());
+        let v = tempest_obs::Json::parse(&json).expect("valid json");
+        assert_eq!(v.get("v").unwrap().as_f64(), Some(1.0));
+        let funcs = v.get("functions").unwrap().as_arr().unwrap();
+        assert_eq!(
+            funcs[0].get("name").unwrap().as_str(),
+            Some("main,with(comma)")
+        );
+        let sensors = funcs[0].get("sensors").unwrap().as_arr().unwrap();
+        assert_eq!(sensors[0].get("avg").unwrap().as_f64(), Some(104.0));
     }
 
     #[test]

@@ -44,11 +44,13 @@
 //! unchanged traces near-free via a content-hash result cache.
 
 pub mod analysis;
+pub mod api;
 pub mod cache;
 pub mod callgraph;
 pub mod chrome;
 pub mod columns;
 pub mod correlate;
+pub mod dto;
 pub mod engine;
 pub mod export;
 pub mod merge;
@@ -66,11 +68,14 @@ pub mod timeline;
 /// cooperative [`limits::CancelToken`] honoured by decode and sweep loops.
 pub use tempest_probe::limits;
 
+pub use api::{AnalysisOutcome, AnalysisRequest};
 pub use cache::AnalysisCache;
 pub use chrome::{chrome_fleet_trace_json, chrome_trace_json};
 pub use engine::Engine;
 pub use merge::ClusterProfile;
-pub use parser::{analyze_trace, analyze_trace_salvaged, AnalysisOptions, ParseError};
+#[allow(deprecated)]
+pub use parser::{analyze_trace, analyze_trace_salvaged};
+pub use parser::{AnalysisOptions, ParseError};
 pub use profile::{DataQuality, FunctionProfile, NodeProfile};
 pub use stats::SummaryStats;
 pub use timeline::{Interval, Timeline};

@@ -159,13 +159,31 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Analyse one node's trace into a [`NodeProfile`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use tempest_core::api::AnalysisRequest::analyze_trace instead"
+)]
 pub fn analyze_trace(trace: &Trace, options: AnalysisOptions) -> Result<NodeProfile, ParseError> {
-    analyze_trace_salvaged(trace, None, options)
+    analyze_trace_salvaged_impl(trace, None, options)
 }
 
 /// [`analyze_trace`], additionally folding the losses a salvage read
 /// observed ([`Trace::read_salvage`]) into the profile's [`DataQuality`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use tempest_core::api::AnalysisRequest::analyze_salvaged instead"
+)]
 pub fn analyze_trace_salvaged(
+    trace: &Trace,
+    salvage: Option<&SalvageReport>,
+    options: AnalysisOptions,
+) -> Result<NodeProfile, ParseError> {
+    analyze_trace_salvaged_impl(trace, salvage, options)
+}
+
+/// The real analysis body behind both deprecated public shims and the
+/// [`crate::api`] facade.
+pub(crate) fn analyze_trace_salvaged_impl(
     trace: &Trace,
     salvage: Option<&SalvageReport>,
     options: AnalysisOptions,
@@ -329,6 +347,20 @@ mod tests {
     use tempest_probe::event::{Event, ThreadId};
     use tempest_probe::func::{FunctionDef, FunctionId, ScopeKind};
     use tempest_sensors::{SensorId, Temperature};
+
+    // Shadow the deprecated shims with the impl so the unit tests keep
+    // their call shape without tripping `-D deprecated`.
+    fn analyze_trace(trace: &Trace, options: AnalysisOptions) -> Result<NodeProfile, ParseError> {
+        analyze_trace_salvaged_impl(trace, None, options)
+    }
+
+    fn analyze_trace_salvaged(
+        trace: &Trace,
+        salvage: Option<&SalvageReport>,
+        options: AnalysisOptions,
+    ) -> Result<NodeProfile, ParseError> {
+        analyze_trace_salvaged_impl(trace, salvage, options)
+    }
 
     fn mini_trace() -> Trace {
         let sec = 1_000_000_000u64;

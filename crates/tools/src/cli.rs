@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::plot::{ascii_plot, function_banner, TimeSeries};
 use tempest_core::timeline::Timeline;
-use tempest_core::{report, AnalysisCache, AnalysisOptions, ClusterProfile, Engine, ParseError};
+use tempest_core::{report, AnalysisCache, ClusterProfile, Engine, ParseError};
 use tempest_probe::trace::Trace;
 use tempest_sensors::SensorId;
 use tempest_workloads::npb::NpbBenchmark;
@@ -60,7 +60,7 @@ tempest — thermal profiler for parallel code (Tempest reproduction)
 USAGE:
   tempest demo <ft|bt|cg|ep|mg|lu|is|micro-d> [--class S|W|A|B|C] [--np N] [--out DIR]
   tempest record  <a|b|c|d|e> [--out DIR]      (native run, real instrumentation)
-  tempest report  <trace file(s)> [--format text|csv|kv|md] [--recover] [--jobs N]
+  tempest report  <trace file(s)> [--format text|csv|kv|md|json] [--recover] [--jobs N]
                   [--cache DIR | --no-cache]   (result cache; TEMPEST_CACHE is the default)
   tempest summary <trace file(s)> [--recover] [--jobs N]
   tempest doctor  <trace file(s)> [--jobs N] [--fsck]   (triage damaged traces;
@@ -88,10 +88,18 @@ USAGE:
   tempest ship    <spool dir> --to HOST:PORT [--session NAME] [--follow]
                   [--retries N] [--base-ms N] [--cap-ms N] [--seed N]
                   [--no-telemetry]
+  tempest serve   <collected dir> [--addr HOST:PORT] [--port-file FILE]
+                  [--once N] [--once-ready] [--rate-limit N] [--rescan-ms MS]
+                  (analysis query daemon: GET /api/v1/health, /api/v1/sessions,
+                  /api/v1/sessions/{id}/profile, /api/v1/sessions/{id}/hotspots,
+                  /api/v1/fleet; answers come from the analysis result cache,
+                  default <dir>/.tempest-cache unless --no-cache)
 
-  report/summary/doctor also accept --metrics to print self-metrics after the run,
-  and --deadline SECS: a wall-clock budget after which analysis stops and renders
-  whatever was decoded so far (partial results, flagged in the quality line).
+  report/summary/doctor/export/serve share the common flags --jobs N,
+  --cache DIR | --no-cache, --deadline SECS, and --metrics (print self-metrics
+  after the run). A --deadline is a wall-clock budget after which analysis stops
+  and renders whatever was decoded so far (partial results, flagged in the
+  quality line; serve applies it per request and never caches partial answers).
 ";
 
 /// Entry point given argv (without the program name). Writes to stdout;
@@ -119,6 +127,7 @@ pub fn main_with_args(args: &[String], out: &mut dyn std::io::Write) -> Result<(
         "fleet" => cmd_fleet(&rest, out),
         "collect" => cmd_collect(&rest, out),
         "ship" => cmd_ship(&rest, out),
+        "serve" => cmd_serve(&rest, out),
         "help" | "--help" | "-h" | "" => {
             let _ = write!(out, "{USAGE}");
             Ok(())
@@ -147,6 +156,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "--json",
     "--prom",
     "--no-telemetry",
+    "--once-ready",
 ];
 
 fn flag_present(args: &[String], flag: &str) -> bool {
@@ -197,23 +207,67 @@ fn load_trace(path: &str) -> Result<Trace, CliError> {
     Trace::load(Path::new(path)).map_err(|e| CliError::run(format!("{path}: {e}")))
 }
 
-/// Resolve the analysis result cache for `report`: `--cache DIR` opens
-/// (creating) one, the `TEMPEST_CACHE` env var is the implicit default,
-/// and `--no-cache` wins over both. `None` means run uncached.
-fn resolve_cache(args: &[String]) -> Result<Option<AnalysisCache>, CliError> {
-    if flag_present(args, "--no-cache") {
-        return Ok(None);
+/// The flag set shared by every analysis-running subcommand
+/// (`report`/`summary`/`doctor`/`export`/`serve`), parsed once so the
+/// flags mean the same thing — and fail the same way — everywhere:
+/// `--jobs N`, `--cache DIR | --no-cache` (with `TEMPEST_CACHE` as the
+/// implicit cache default), `--deadline SECS`, and `--metrics`.
+struct CommonFlags {
+    /// Worker count (0 = auto); analysis fan-out or serve workers.
+    jobs: usize,
+    /// Wall-clock analysis budget in seconds (0 = none). `deadline()`
+    /// turns it into an absolute cutoff at the point of use.
+    deadline_secs: u64,
+    /// Print the self-metrics snapshot after the run.
+    metrics: bool,
+    /// `--no-cache` was passed — wins over `--cache` and the env var.
+    no_cache: bool,
+    /// Resolved cache directory (`--cache DIR`, else `TEMPEST_CACHE`),
+    /// ignored when `no_cache` is set.
+    cache_dir: Option<PathBuf>,
+}
+
+fn parse_common_flags(args: &[String]) -> Result<CommonFlags, CliError> {
+    Ok(CommonFlags {
+        jobs: parse_jobs(args)?,
+        deadline_secs: parse_u64_flag(args, "--deadline", 0)?,
+        metrics: flag_present(args, "--metrics"),
+        no_cache: flag_present(args, "--no-cache"),
+        cache_dir: flag_value(args, "--cache")
+            .or_else(|| {
+                std::env::var("TEMPEST_CACHE")
+                    .ok()
+                    .filter(|v| !v.is_empty())
+            })
+            .map(PathBuf::from),
+    })
+}
+
+impl CommonFlags {
+    /// The absolute deadline for an analysis starting now, if any.
+    fn deadline(&self) -> Option<std::time::Instant> {
+        (self.deadline_secs > 0)
+            .then(|| std::time::Instant::now() + std::time::Duration::from_secs(self.deadline_secs))
     }
-    let dir = flag_value(args, "--cache").or_else(|| {
-        std::env::var("TEMPEST_CACHE")
-            .ok()
-            .filter(|v| !v.is_empty())
-    });
-    match dir {
-        None => Ok(None),
-        Some(dir) => AnalysisCache::open(Path::new(&dir))
-            .map(Some)
-            .map_err(|e| CliError::run(format!("{dir}: {e}"))),
+
+    /// Open the resolved result cache (`None` means run uncached).
+    fn open_cache(&self) -> Result<Option<AnalysisCache>, CliError> {
+        if self.no_cache {
+            return Ok(None);
+        }
+        match &self.cache_dir {
+            None => Ok(None),
+            Some(dir) => AnalysisCache::open(dir)
+                .map(Some)
+                .map_err(|e| CliError::run(format!("{}: {e}", dir.display()))),
+        }
+    }
+
+    /// The shared `--metrics` tail: append the self-metrics snapshot.
+    fn finish(&self, out: &mut dyn std::io::Write) {
+        if self.metrics {
+            write_self_metrics(out);
+        }
     }
 }
 
@@ -234,9 +288,12 @@ fn cmd_export(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
     let path = pos
         .first()
         .ok_or_else(|| CliError::usage("export: which trace file?"))?;
+    let common = parse_common_flags(args)?;
     let format = flag_value(args, "--format").unwrap_or_else(|| "chrome-trace".into());
     if format == "fleet-trace" {
-        return export_fleet_trace(&pos, args, out);
+        export_fleet_trace(&pos, args, out)?;
+        common.finish(out);
+        return Ok(());
     }
     if format != "chrome-trace" {
         return Err(CliError::usage(format!(
@@ -263,6 +320,7 @@ fn cmd_export(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
             let _ = write!(out, "{doc}");
         }
     }
+    common.finish(out);
     Ok(())
 }
 
@@ -331,12 +389,10 @@ fn cmd_metrics(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             "unknown metrics format `{format}` (human|prom|json)"
         )));
     }
-    let options = AnalysisOptions {
-        recover: flag_present(args, "--recover"),
-        ..Default::default()
-    };
-    let engine = Engine::new(parse_jobs(args)?);
-    for result in engine.analyze_files(&pos, options) {
+    let request = tempest_core::AnalysisRequest::new()
+        .jobs(parse_jobs(args)?)
+        .recover(flag_present(args, "--recover"));
+    for result in request.analyze(&pos).into_profiles() {
         result.map_err(CliError::run)?;
     }
     let snap = tempest_obs::global().snapshot();
@@ -432,7 +488,8 @@ fn render_watch_frame(
     } else {
         let _ = writeln!(s, "  hottest  (no samples yet)");
     }
-    match tempest_core::analyze_trace(&trace, AnalysisOptions::recovering()) {
+    let request = tempest_core::AnalysisRequest::new().recover(true);
+    match request.analyze_trace(&trace) {
         Ok(profile) => {
             let _ = writeln!(s, "  top hot functions so far:");
             for spot in tempest_core::analysis::hotspots(&profile, 5) {
@@ -622,79 +679,16 @@ fn rows_from_fleet_json(doc: &str) -> Result<Vec<FleetRow>, String> {
     Ok(rows)
 }
 
-/// Newest telemetry snapshot in one spool directory, whether it was
-/// written locally ([`FRAME_METRICS`](tempest_probe::spool::FRAME_METRICS)
-/// directly) or collected (inside a shipped envelope).
-fn latest_telemetry(dir: &Path) -> Option<tempest_obs::Telemetry> {
-    use tempest_probe::spool as sp;
-    let mut latest: Option<tempest_obs::Telemetry> = None;
-    for (_, path) in sp::list_segment_files(dir).ok()? {
-        let Ok(bytes) = std::fs::read(&path) else {
-            continue;
-        };
-        let (frames, _) = sp::parse_segment_frames(&bytes);
-        for f in frames {
-            let (kind, payload) = match f.kind {
-                sp::FRAME_SHIPPED => match sp::decode_shipped(f.payload) {
-                    Some((_, k, p)) => (k, p),
-                    None => continue,
-                },
-                sp::FRAME_SHIPPED2 => match sp::decode_shipped2(f.payload) {
-                    Some((_, _, k, p)) => (k, p),
-                    None => continue,
-                },
-                k => (k, f.payload),
-            };
-            if kind != sp::FRAME_METRICS {
-                continue;
-            }
-            if let Some(t) = tempest_obs::decode_telemetry(payload) {
-                if latest
-                    .as_ref()
-                    .is_none_or(|l| t.origin_unix_ns >= l.origin_unix_ns)
-                {
-                    latest = Some(t);
-                }
-            }
-        }
-    }
-    latest
-}
-
-/// The spool directories a directory-mode `tempest fleet` target covers:
-/// the target itself if it is a spool, otherwise each child spool (the
-/// layout `collect serve --out` produces).
-fn fleet_member_dirs(dir: &Path) -> Vec<PathBuf> {
-    if tempest_probe::spool::is_spool_dir(dir) {
-        return vec![dir.to_path_buf()];
-    }
-    let mut dirs: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map(|entries| {
-            entries
-                .flatten()
-                .map(|e| e.path())
-                .filter(|p| tempest_probe::spool::is_spool_dir(p))
-                .collect()
-        })
-        .unwrap_or_default();
-    dirs.sort();
-    dirs
-}
-
 /// Scan a collector output directory into an aggregated fleet view —
-/// the offline analogue of the collector's in-memory state.
+/// the offline analogue of the collector's in-memory state. The scan
+/// itself lives in [`tempest_collect::fleet`] (the query daemon's
+/// `/api/v1/fleet` shares it); this wrapper only keeps the CLI's
+/// "nothing yet" error contract.
 fn local_fleet_state(dir: &Path) -> Result<tempest_collect::FleetState, String> {
-    let fleet = tempest_collect::FleetState::default();
-    for member in fleet_member_dirs(dir) {
-        let key = member
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or("spool")
-            .to_string();
-        if let Some(t) = latest_telemetry(&member) {
-            fleet.update(&key, &key, t);
-        }
-    }
+    let fleet = tempest_collect::fleet::FleetState::from_collected_dir(
+        dir,
+        tempest_collect::fleet::DEFAULT_STALE_AFTER,
+    );
     if fleet.is_empty() {
         Err("no telemetry snapshots found yet".to_string())
     } else {
@@ -808,13 +802,6 @@ fn parse_u64_flag(args: &[String], flag: &str, default: u64) -> Result<u64, CliE
             .parse()
             .map_err(|_| CliError::usage(format!("{flag} wants an integer"))),
     }
-}
-
-/// Parse `--deadline SECS` into an absolute wall-clock cutoff; 0 or
-/// absent means no deadline.
-fn parse_deadline(args: &[String]) -> Result<Option<std::time::Instant>, CliError> {
-    let secs = parse_u64_flag(args, "--deadline", 0)?;
-    Ok((secs > 0).then(|| std::time::Instant::now() + std::time::Duration::from_secs(secs)))
 }
 
 /// `tempest collect serve`: run the network collector daemon. Every
@@ -936,6 +923,110 @@ fn cmd_collect(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
         stats.shed.load(Relaxed),
         stats.sessions_completed.load(Relaxed),
     );
+    Ok(())
+}
+
+/// `tempest serve`: the analysis query daemon. Point it at a collected
+/// session directory (or a single spool) and it answers the versioned
+/// `/api/v1/*` hot-spot questions over HTTP/1.1 keep-alive, serving
+/// repeat questions from the content-hash analysis cache instead of
+/// re-analyzing per request. `--once N` exits after N requests (CI
+/// smoke); `--once-ready` additionally fails fast when the initial scan
+/// finds no sessions, so a script never curls an empty catalog.
+fn cmd_serve(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let dir = pos
+        .first()
+        .ok_or_else(|| CliError::usage("serve: which collected directory?"))?;
+    let common = parse_common_flags(args)?;
+    let once: Option<u64> = match flag_value(args, "--once") {
+        Some(n) => Some(
+            n.parse()
+                .map_err(|_| CliError::usage("--once wants a request count"))?,
+        ),
+        None => None,
+    };
+    let once_ready = flag_present(args, "--once-ready");
+    let port_file = flag_value(args, "--port-file");
+    if once_ready && port_file.is_none() {
+        return Err(CliError::usage("--once-ready needs --port-file FILE"));
+    }
+
+    let mut config = tempest_collect::QueryConfig {
+        dir: PathBuf::from(dir.as_str()),
+        addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        ..Default::default()
+    };
+    config.jobs = if common.jobs == 0 {
+        std::thread::available_parallelism().map_or(2, |n| n.get())
+    } else {
+        common.jobs
+    };
+    // The daemon caches next to the data by default: answers survive
+    // restarts and a second daemon over the same directory starts warm.
+    config.cache_dir = if common.no_cache {
+        None
+    } else {
+        Some(
+            common
+                .cache_dir
+                .clone()
+                .unwrap_or_else(|| Path::new(dir.as_str()).join(".tempest-cache")),
+        )
+    };
+    if let Some(rate) = flag_value(args, "--rate-limit") {
+        config.rate_limit = Some(
+            rate.parse()
+                .map_err(|_| CliError::usage("--rate-limit wants requests/sec"))?,
+        );
+    }
+    config.rescan_ms = parse_u64_flag(args, "--rescan-ms", 2000)?;
+    config.deadline =
+        (common.deadline_secs > 0).then(|| std::time::Duration::from_secs(common.deadline_secs));
+
+    let server = tempest_collect::QueryServer::start(config)
+        .map_err(|e| CliError::run(format!("{dir}: {e}")))?;
+    if once_ready && server.session_count() == 0 {
+        server.stop();
+        server.join();
+        return Err(CliError::run(format!("{dir}: no sessions found to serve")));
+    }
+    let _ = writeln!(
+        out,
+        "serving {} session(s) from {dir} on http://{}/api/v1/ ({} worker(s))",
+        server.session_count(),
+        server.addr(),
+        server.jobs(),
+    );
+    let _ = out.flush();
+    if let Some(port_file) = port_file {
+        // Write-then-rename so a watching script never reads a partial
+        // address; the catalog scan already ran, so the file appearing
+        // means the API is answering.
+        let tmp = format!("{port_file}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, format!("{}\n", server.addr()))
+            .and_then(|()| std::fs::rename(&tmp, &port_file))
+            .map_err(|e| CliError::run(format!("{port_file}: {e}")))?;
+    }
+    match once {
+        Some(n) => {
+            while server.served() < n {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            server.stop();
+        }
+        None => {
+            // Foreground daemon: park until killed. The worker threads
+            // own all the work; this thread just keeps the process up.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+    let served = server.served();
+    server.join();
+    let _ = writeln!(out, "served {served} request(s)");
+    common.finish(out);
     Ok(())
 }
 
@@ -1113,43 +1204,44 @@ fn cmd_report(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
         return Err(CliError::usage("report: which trace file(s)?"));
     }
     let format = flag_value(args, "--format").unwrap_or_else(|| "text".into());
-    if !matches!(format.as_str(), "text" | "csv" | "kv" | "md") {
+    if !matches!(format.as_str(), "text" | "csv" | "kv" | "md" | "json") {
         return Err(CliError::usage(format!("unknown format `{format}`")));
     }
+    let common = parse_common_flags(args)?;
     let recover = flag_present(args, "--recover");
-    let options = AnalysisOptions {
-        recover,
-        deadline: parse_deadline(args)?,
-        ..Default::default()
-    };
+    let deadline = common.deadline();
     // A deadline makes partial output legitimate, so quality gets the
     // same visibility --recover gives it.
-    let tolerant = recover || options.deadline.is_some();
-    let cache = resolve_cache(args)?;
+    let tolerant = recover || deadline.is_some();
+    let cache = common.open_cache()?;
     // Analyse every node in parallel; render in input order (identical
     // output to the sequential loop, including failing on the first bad
     // trace by position). The rendered text — quality line included, so
     // cached bytes are complete — is what the cache stores and serves.
-    let engine = Engine::new(parse_jobs(args)?);
+    let engine = Engine::new(common.jobs);
     let render = |profile: &tempest_core::NodeProfile| {
         let mut rendered = match format.as_str() {
             "text" => report::render_stdout(profile),
             "csv" => tempest_core::export::profile_to_csv(profile),
             "kv" => tempest_core::export::profile_to_kv(profile),
             "md" => tempest_core::export::profile_to_markdown(profile),
+            "json" => tempest_core::export::profile_to_json(profile),
             _ => unreachable!("format validated above"),
         };
-        if tolerant && !profile.quality.is_pristine() {
+        // The JSON document carries quality in-band (the v1 DTO shape
+        // must stay parseable); the text formats get the trailing line.
+        if format != "json" && tolerant && !profile.quality.is_pristine() {
             rendered.push_str(&format!("data quality: {}\n", profile.quality));
         }
         rendered
     };
-    for result in engine.render_files(&pos, options, cache.as_ref(), &format, render) {
+    let request = tempest_core::AnalysisRequest::new()
+        .recover(recover)
+        .deadline(deadline);
+    for result in request.render_on(&engine, cache.as_ref(), &pos, &format, render) {
         let _ = write!(out, "{}", result.map_err(CliError::run)?);
     }
-    if flag_present(args, "--metrics") {
-        write_self_metrics(out);
-    }
+    common.finish(out);
     Ok(())
 }
 
@@ -1204,17 +1296,15 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
     if pos.is_empty() {
         return Err(CliError::usage("summary: which trace file(s)?"));
     }
+    let common = parse_common_flags(args)?;
     let recover = flag_present(args, "--recover");
-    let mut options = if recover {
-        AnalysisOptions::recovering()
-    } else {
-        AnalysisOptions::default()
-    };
-    options.deadline = parse_deadline(args)?;
-    let engine = Engine::new(parse_jobs(args)?);
+    let request = tempest_core::AnalysisRequest::new()
+        .jobs(common.jobs)
+        .recover(recover)
+        .deadline(common.deadline());
     let mut profiles = Vec::new();
     let mut lost = 0usize;
-    for result in engine.analyze_files(&pos, options) {
+    for result in request.analyze(&pos).into_profiles() {
         match result {
             Ok(p) => profiles.push(p),
             // Partial-cluster tolerance under --recover: a node whose
@@ -1270,9 +1360,7 @@ fn cmd_summary(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliE
             spot.name, spot.avg_f, spot.inclusive_secs, spot.score
         );
     }
-    if flag_present(args, "--metrics") {
-        write_self_metrics(out);
-    }
+    common.finish(out);
     Ok(())
 }
 
@@ -1356,16 +1444,15 @@ fn cmd_doctor(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
         return Err(CliError::usage("doctor: which trace file(s)?"));
     }
     let fsck = flag_present(args, "--fsck");
-    let deadline = parse_deadline(args)?;
+    let common = parse_common_flags(args)?;
+    let deadline = common.deadline();
     // Each file's triage is independent; fan it out and print the fully
     // rendered verdicts in input order.
-    let engine = Engine::new(parse_jobs(args)?);
+    let engine = Engine::new(common.jobs);
     for rendered in engine.map(pos, move |path| triage_one(&path, fsck, deadline)) {
         let _ = write!(out, "{rendered}");
     }
-    if flag_present(args, "--metrics") {
-        write_self_metrics(out);
-    }
+    common.finish(out);
     Ok(())
 }
 
@@ -2639,6 +2726,98 @@ mod tests {
         let out = run(&["doctor", spool.to_str().unwrap()]).unwrap();
         assert!(out.contains(": degraded"), "{out}");
         assert!(out.contains("not in the manifest"), "{out}");
+        std::fs::remove_dir_all(&parent).ok();
+    }
+
+    #[test]
+    fn serve_usage_errors() {
+        assert_eq!(run(&["serve"]).unwrap_err().code, 2); // no directory
+        assert_eq!(
+            run(&["serve", "somedir", "--once-ready"]).unwrap_err().code,
+            2
+        ); // --once-ready without --port-file
+        assert_eq!(
+            run(&["serve", "/nonexistent/collected", "--once", "1"])
+                .unwrap_err()
+                .code,
+            1
+        ); // missing directory is a runtime error
+    }
+
+    #[test]
+    fn serve_answers_v1_api_through_the_cli() {
+        let (parent, spool) = write_spool("cli-serve", true);
+        let port_file = parent.join("serve.addr");
+
+        // Exactly five requests, then the daemon exits on its own.
+        let serve_args: Vec<String> = [
+            "serve",
+            spool.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--once",
+            "5",
+            "--once-ready",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--jobs",
+            "2",
+            "--no-cache",
+            "--rescan-ms",
+            "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            main_with_args(&serve_args, &mut buf).map(|()| String::from_utf8(buf).unwrap())
+        });
+
+        // The port file appearing means the catalog scan already ran.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                break s.trim().to_string();
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve never published its address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let mut client = tempest_collect::HttpClient::connect(&addr).unwrap();
+        let (status, _, body) = client.get("/api/v1/health", &[]).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        let (status, _, body) = client.get("/api/v1/sessions", &[]).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"id\":\"spool\""), "{body}");
+        let (status, headers, body) = client
+            .get("/api/v1/sessions/spool/hotspots?top=3&sort=temp", &[])
+            .unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"spots\""), "{body}");
+        let etag = headers
+            .iter()
+            .find(|(n, _)| n == "etag")
+            .map(|(_, v)| v.clone())
+            .expect("hotspots answer must carry an ETag");
+        let (status, _, _) = client
+            .get(
+                "/api/v1/sessions/spool/hotspots?top=3&sort=temp",
+                &[("If-None-Match", &etag)],
+            )
+            .unwrap();
+        assert_eq!(status, 304, "matching ETag must revalidate");
+        let (status, _, body) = client.get("/api/v1/sessions/spool/profile", &[]).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"functions\""), "{body}");
+
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("serving 1 session(s)"), "{served}");
+        assert!(served.contains("served 5 request(s)"), "{served}");
         std::fs::remove_dir_all(&parent).ok();
     }
 

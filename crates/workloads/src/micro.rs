@@ -174,7 +174,7 @@ pub fn program(micro: Micro, burn_secs: f64, timer_secs: f64) -> Program {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use tempest_core::{analyze_trace, AnalysisOptions};
+    use tempest_core::AnalysisRequest;
     use tempest_probe::{MonotonicClock, Profiler, VecSink};
 
     fn run_and_parse(micro: Micro) -> tempest_core::NodeProfile {
@@ -188,7 +188,7 @@ mod tests {
             profiler.registry().snapshot(),
             sink.drain(),
         );
-        analyze_trace(&trace, AnalysisOptions::default()).unwrap()
+        AnalysisRequest::new().analyze_trace(&trace).unwrap()
     }
 
     #[test]

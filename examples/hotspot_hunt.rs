@@ -13,7 +13,7 @@
 
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::analysis::hotspots;
-use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_core::{AnalysisRequest, ClusterProfile};
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
@@ -24,7 +24,7 @@ fn main() {
     let cluster = ClusterProfile::new(
         run.traces
             .iter()
-            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
             .collect(),
     );
 

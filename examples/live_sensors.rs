@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use tempest_core::{analyze_trace, report, AnalysisOptions};
+use tempest_core::{report, AnalysisRequest};
 use tempest_probe::tempd::TempdConfig;
 use tempest_probe::{profile_fn, MonotonicClock, ProfilingSession};
 use tempest_sensors::hwmon::HwmonSource;
@@ -68,6 +68,6 @@ fn main() {
             stats.cpu_fraction() * 100.0
         );
     }
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     print!("\n{}", report::render_stdout(&profile));
 }

@@ -12,7 +12,7 @@
 //! Run with: `cargo run --release --example parallel_native`
 
 use std::sync::Arc;
-use tempest_core::{analyze_trace, report, AnalysisOptions};
+use tempest_core::{report, AnalysisRequest};
 use tempest_probe::tempd::TempdConfig;
 use tempest_probe::{profile_fn, MonotonicClock, ProfilingSession};
 use tempest_sensors::node_model::{NodeThermalModel, NodeThermalParams};
@@ -64,7 +64,7 @@ fn main() {
             stats.cpu_fraction() * 100.0
         );
     }
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     print!("{}", report::render_stdout(&profile));
 
     let worker = profile.by_name("worker_main").expect("workers profiled");

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example profile_cluster [S|W|A|B|C]`
 
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
-use tempest_core::{analyze_trace, report, AnalysisOptions, ClusterProfile};
+use tempest_core::{report, AnalysisRequest, ClusterProfile};
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
@@ -37,7 +37,7 @@ fn main() {
     let cluster = ClusterProfile::new(
         run.traces
             .iter()
-            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
             .collect(),
     );
 

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use std::time::Duration;
-use tempest_core::{analyze_trace, report, AnalysisOptions};
+use tempest_core::{report, AnalysisRequest};
 use tempest_probe::{profile_fn, ProfilingSession};
 use tempest_workloads::native::burn::burn_for;
 
@@ -53,7 +53,9 @@ fn main() {
     );
 
     // 4. …and parse it.
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).expect("trace parses");
+    let profile = AnalysisRequest::new()
+        .analyze_trace(&trace)
+        .expect("trace parses");
     print!("{}", report::render_stdout(&profile));
     println!("(no thermal rows: this session ran without a sensor source —");
     println!(" see `profile_cluster` for the full thermal pipeline)");

@@ -12,7 +12,7 @@
 
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::analysis::{compare_profiles, hotspots};
-use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_core::{AnalysisRequest, ClusterProfile};
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
@@ -21,7 +21,7 @@ fn profile(cfg: &ClusterRunConfig, programs: &[tempest_cluster::Program]) -> Clu
     ClusterProfile::new(
         run.traces
             .iter()
-            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
             .collect(),
     )
 }

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_probe::func::ScopeKind;
 use tempest_probe::tempd::TempdConfig;
 use tempest_probe::{profile_block, profile_fn, MonotonicClock, ProfilingSession};
@@ -52,7 +52,7 @@ fn blocks_profile_alongside_functions() {
     assert_eq!(solver.kind, ScopeKind::Function);
 
     // The parser profiles blocks like any scope.
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     let fe = profile.by_name("forward_elimination").unwrap();
     let bs = profile.by_name("back_substitution").unwrap();
     assert_eq!(fe.calls, 3);
@@ -90,7 +90,7 @@ fn mixed_granularity_timeline_stays_well_nested() {
     }
     drop(tp);
     let trace = session.finish();
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     assert!(
         profile.warnings.is_empty(),
         "mixed nesting must reconstruct"

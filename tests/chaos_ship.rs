@@ -17,7 +17,7 @@
 use std::path::{Path, PathBuf};
 use tempest_collect::{ChaosConfig, ChaosProxy, Collector, CollectorConfig};
 use tempest_core::report::render_stdout;
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_probe::ship::{self, RetryPolicy, ShipConfig};
 use tempest_probe::spool::{self, FsyncPolicy, SpoolConfig, SpoolWriter};
 use tempest_probe::trace::SensorMeta;
@@ -83,7 +83,7 @@ fn build_spool(dir: &Path, node_id: u32, batches: u64) {
 
 fn analysis_of(dir: &Path) -> (tempest_probe::Trace, String) {
     let (trace, _) = spool::recover(dir).unwrap();
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     (trace, render_stdout(&profile))
 }
 
@@ -240,6 +240,6 @@ fn chaos_collector_down_leaves_local_spool_usable() {
     let (trace, rec) = spool::recover(&src).unwrap();
     assert!(rec.clean_shutdown);
     assert_eq!(trace.events.len(), 40);
-    assert!(analyze_trace(&trace, AnalysisOptions::default()).is_ok());
+    assert!(AnalysisRequest::new().analyze_trace(&trace).is_ok());
     std::fs::remove_dir_all(&src).ok();
 }

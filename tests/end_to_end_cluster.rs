@@ -5,7 +5,7 @@
 //! paper's cluster-level observations.
 
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
-use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_core::{AnalysisRequest, ClusterProfile};
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
 
@@ -13,7 +13,7 @@ fn parse_cluster(run: &ClusterRun) -> ClusterProfile {
     ClusterProfile::new(
         run.traces
             .iter()
-            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
             .collect(),
     )
 }

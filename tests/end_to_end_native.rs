@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use tempest_core::{analyze_trace, report, AnalysisOptions};
+use tempest_core::{report, AnalysisRequest};
 use tempest_probe::tempd::TempdConfig;
 use tempest_probe::{MonotonicClock, ProfilingSession};
 use tempest_sensors::source::ConstantSource;
@@ -57,7 +57,7 @@ fn native_session_to_report() {
     assert_eq!(loaded, trace);
 
     // Parse and check the profile.
-    let profile = analyze_trace(&loaded, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&loaded).unwrap();
     assert!(profile.warnings.is_empty());
     let main = profile.by_name("main").unwrap();
     let foo1 = profile.by_name("foo1").unwrap();
@@ -85,7 +85,7 @@ fn disabled_profiler_yields_empty_but_valid_trace() {
     drop(tp);
     let trace = session.finish();
     assert!(trace.events.is_empty());
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     assert!(profile.functions.is_empty());
 }
 
@@ -110,7 +110,7 @@ fn multi_thread_native_profile_attributes_by_thread() {
         h.join().unwrap();
     }
     let trace = session.finish();
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     let worker = profile.by_name("worker").unwrap();
     assert_eq!(worker.calls, 2, "two worker threads");
     assert!(profile.by_name("writer").is_some());

@@ -6,7 +6,7 @@
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::analysis::{detect_sync_rise, hotspots};
 use tempest_core::plot::TimeSeries;
-use tempest_core::{analyze_trace, AnalysisOptions, ClusterProfile};
+use tempest_core::{AnalysisRequest, ClusterProfile};
 use tempest_sensors::SensorId;
 use tempest_workloads::npb::NpbBenchmark;
 use tempest_workloads::Class;
@@ -97,7 +97,7 @@ fn parse(run: &ClusterRun) -> ClusterProfile {
     ClusterProfile::new(
         run.traces
             .iter()
-            .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+            .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
             .collect(),
     )
 }

@@ -14,9 +14,7 @@
 use std::time::Duration;
 use tempest_cluster::{ClusterRun, ClusterRunConfig};
 use tempest_core::analysis::hotspots;
-use tempest_core::{
-    analyze_trace, analyze_trace_salvaged, AnalysisOptions, ClusterProfile, NodeProfile,
-};
+use tempest_core::{AnalysisOptions, AnalysisRequest, ClusterProfile, NodeProfile};
 use tempest_probe::corrupt::{truncate_at_fraction, TraceCorruptor};
 use tempest_probe::event::EventKind;
 use tempest_probe::tempd::{ResilientSampler, TempdConfig};
@@ -47,7 +45,7 @@ fn damaged_cluster_still_ranks_hotspots() {
     let baseline: Vec<NodeProfile> = run
         .traces
         .iter()
-        .map(|t| analyze_trace(t, AnalysisOptions::default()).unwrap())
+        .map(|t| AnalysisRequest::new().analyze_trace(t).unwrap())
         .collect();
     let baseline_rankings: Vec<Vec<String>> = baseline.iter().map(ranking).collect();
     assert!(
@@ -77,10 +75,22 @@ fn damaged_cluster_still_ranks_hotspots() {
 
     // Node 3 is untouched.
     let opts = AnalysisOptions::recovering();
-    let p0 = analyze_trace(&t0, opts).unwrap();
-    let p1 = analyze_trace_salvaged(&t1, Some(&salvage), opts).unwrap();
-    let p2 = analyze_trace(&t2, opts).unwrap();
-    let p3 = analyze_trace(&run.traces[3], opts).unwrap();
+    let p0 = AnalysisRequest::new()
+        .with_options(opts)
+        .analyze_trace(&t0)
+        .unwrap();
+    let p1 = AnalysisRequest::new()
+        .with_options(opts)
+        .analyze_salvaged(&t1, Some(&salvage))
+        .unwrap();
+    let p2 = AnalysisRequest::new()
+        .with_options(opts)
+        .analyze_trace(&t2)
+        .unwrap();
+    let p3 = AnalysisRequest::new()
+        .with_options(opts)
+        .analyze_trace(&run.traces[3])
+        .unwrap();
 
     // Every loss is reported, nothing silently absorbed.
     assert!(
@@ -154,7 +164,12 @@ fn missing_rank_tolerated_by_cluster_merge() {
         .traces
         .iter()
         .filter(|t| t.node.node_id != 2)
-        .map(|t| analyze_trace(t, opts).unwrap())
+        .map(|t| {
+            AnalysisRequest::new()
+                .with_options(opts)
+                .analyze_trace(t)
+                .unwrap()
+        })
         .collect();
     let cluster = ClusterProfile::with_expected(survivors, 4);
     assert_eq!(cluster.node_count(), 3);
@@ -253,9 +268,10 @@ fn truncation_sweep_salvages_or_errors_never_panics() {
         match Trace::read_salvage(&mut cut.as_slice()) {
             Ok((trace, report)) => {
                 // Whatever survived must analyse cleanly in recover mode.
-                let p =
-                    analyze_trace_salvaged(&trace, Some(&report), AnalysisOptions::recovering())
-                        .unwrap();
+                let p = AnalysisRequest::new()
+                    .recover(true)
+                    .analyze_salvaged(&trace, Some(&report))
+                    .unwrap();
                 if report.truncated_in.is_some() {
                     assert!(p.quality.recovered);
                 }
@@ -282,10 +298,13 @@ fn poisoned_and_scrambled_traces_recover_with_accounting() {
     assert!(poisoned > 0 && scrambled > 0);
 
     assert!(
-        analyze_trace(&t, AnalysisOptions::default()).is_err(),
+        AnalysisRequest::new().analyze_trace(&t).is_err(),
         "strict mode must reject the damage"
     );
-    let p = analyze_trace(&t, AnalysisOptions::recovering()).unwrap();
+    let p = AnalysisRequest::new()
+        .recover(true)
+        .analyze_trace(&t)
+        .unwrap();
     assert_eq!(p.quality.events_dropped_unknown_func, poisoned);
     assert!(
         p.quality.events_dropped_nonmonotonic > 0,

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
 use tempest_core::limits::{CancelToken, DecodeLimits};
-use tempest_core::{analyze_trace, analyze_trace_salvaged, AnalysisOptions};
+use tempest_core::{AnalysisOptions, AnalysisRequest};
 use tempest_probe::spool::{self, SpoolConfig, SpoolWriter};
 use tempest_probe::synth::{TraceGenerator, TraceSpec};
 use tempest_probe::trace::{Trace, TraceError};
@@ -140,8 +140,10 @@ fn limit_overrun_surfaces_in_data_quality() {
     assert!(partial.events.len() < trace.events.len());
 
     let options = AnalysisOptions::recovering();
-    let profile =
-        analyze_trace_salvaged(&partial, Some(&report), options).expect("partial analyzes");
+    let profile = AnalysisRequest::new()
+        .with_options(options)
+        .analyze_salvaged(&partial, Some(&report))
+        .expect("partial analyzes");
     assert!(profile.quality.was_limited());
     assert_eq!(profile.quality.limit, Some(limit));
     let line = profile.quality.to_string();
@@ -164,7 +166,10 @@ fn expired_deadline_still_renders_partial_results() {
         ..Default::default()
     };
     let started = Instant::now();
-    let profile = analyze_trace(&trace, options).expect("deadline yields partial profile");
+    let profile = AnalysisRequest::new()
+        .with_options(options)
+        .analyze_trace(&trace)
+        .expect("deadline yields partial profile");
     assert!(
         started.elapsed() < Duration::from_secs(30),
         "expired deadline must cut work short"

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 use tempest_cluster::{ClusterRun, ClusterRunConfig, ClusterSpec, Placement};
-use tempest_core::{analyze_trace, AnalysisOptions, NodeProfile};
+use tempest_core::{AnalysisRequest, NodeProfile};
 use tempest_probe::trace::{NodeMeta, Trace};
 use tempest_probe::{MonotonicClock, Profiler, VecSink};
 use tempest_workloads::micro::{program, run_native, Micro, MicroConfig};
@@ -27,7 +27,7 @@ fn native_profile(micro: Micro) -> NodeProfile {
         profiler.registry().snapshot(),
         sink.drain(),
     );
-    analyze_trace(&trace, AnalysisOptions::default()).unwrap()
+    AnalysisRequest::new().analyze_trace(&trace).unwrap()
 }
 
 #[test]
@@ -66,7 +66,7 @@ fn benchmark_d_simulated_matches_figure_2_shape() {
     assert!(at(33.5) < at(29.5), "foo2's timer lets it cool");
 
     // And the profile agrees with Table 1's structure.
-    let profile = analyze_trace(trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(trace).unwrap();
     assert_eq!(profile.by_name("foo2").unwrap().calls, 2);
     let foo1 = profile.by_name("foo1").unwrap();
     assert!(foo1.significant);
@@ -85,7 +85,9 @@ fn benchmark_e_simulated_recursion() {
     let mut cfg = ClusterRunConfig::paper_default();
     cfg.spec = ClusterSpec::new(1, 4, Placement::Spread);
     let run = ClusterRun::execute(&cfg, &[program(Micro::E, 8.0, 1.0)]);
-    let profile = analyze_trace(&run.traces[0], AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new()
+        .analyze_trace(&run.traces[0])
+        .unwrap();
     let foo1 = profile.by_name("foo1").unwrap();
     assert_eq!(foo1.calls, 2, "two nested foo1 frames");
     let main = profile.by_name("main").unwrap();

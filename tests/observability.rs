@@ -181,7 +181,7 @@ fn chrome_trace_export_golden() {
 fn metric_names_are_valid_and_inventoried() {
     use std::collections::BTreeSet;
     use tempest_collect::{Collector, CollectorConfig};
-    use tempest_core::{analyze_trace, AnalysisOptions};
+    use tempest_core::{AnalysisOptions, AnalysisRequest};
     use tempest_probe::ship::{self, RetryPolicy, ShipConfig};
     use tempest_probe::spool::{self, FsyncPolicy, SpoolConfig, SpoolWriter};
     use tempest_probe::trace::SensorMeta;
@@ -236,7 +236,7 @@ fn metric_names_are_valid_and_inventoried() {
     server.join().unwrap().unwrap();
 
     let (trace, _) = spool::recover(&out.join("lint-node12")).unwrap();
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     let cache_dir = out.join("cache");
     let cache = tempest_core::AnalysisCache::open(&cache_dir).unwrap();
     let key =

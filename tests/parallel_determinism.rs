@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 use tempest_core::correlate::{correlate_with, Correlation};
 use tempest_core::timeline::Timeline;
-use tempest_core::{report, AnalysisOptions, Engine, NodeProfile};
+use tempest_core::{report, AnalysisOptions, AnalysisRequest, Engine, NodeProfile};
 use tempest_probe::corrupt::truncate_at_fraction;
 use tempest_probe::event::{Event, ThreadId};
 use tempest_probe::func::FunctionId;
@@ -86,8 +86,8 @@ proptest! {
         let dir = scratch_dir(&format!("strict-{seed}-{events}-{threads}-{jobs}"));
         let paths = write_cluster(&dir, spec, 3, None);
 
-        let sequential = Engine::new(1).analyze_files(&paths, AnalysisOptions::default());
-        let parallel = Engine::new(jobs).analyze_files(&paths, AnalysisOptions::default());
+        let sequential = AnalysisRequest::new().analyze_on(&Engine::new(1), &paths).profiles;
+        let parallel = AnalysisRequest::new().analyze_on(&Engine::new(jobs), &paths).profiles;
         prop_assert_eq!(render_all(&sequential), render_all(&parallel));
 
         std::fs::remove_dir_all(&dir).ok();
@@ -108,8 +108,8 @@ proptest! {
         let paths = write_cluster(&dir, spec, 3, Some((1, frac)));
 
         for options in [AnalysisOptions::default(), AnalysisOptions::recovering()] {
-            let sequential = Engine::new(1).analyze_files(&paths, options);
-            let parallel = Engine::new(jobs).analyze_files(&paths, options);
+            let sequential = AnalysisRequest::new().with_options(options).analyze_on(&Engine::new(1), &paths).profiles;
+            let parallel = AnalysisRequest::new().with_options(options).analyze_on(&Engine::new(jobs), &paths).profiles;
             // Same success/failure shape member by member...
             let shape = |rs: &[Result<NodeProfile, String>]| -> Vec<bool> {
                 rs.iter().map(Result::is_ok).collect()
@@ -164,8 +164,8 @@ proptest! {
         let one = AnalysisOptions { shards: 1, ..Default::default() };
         let many = AnalysisOptions { shards, ..Default::default() };
         let engine = Engine::new(1);
-        let sequential = engine.analyze_files(&paths, one);
-        let sharded = engine.analyze_files(&paths, many);
+        let sequential = AnalysisRequest::new().with_options(one).analyze_on(&engine, &paths).profiles;
+        let sharded = AnalysisRequest::new().with_options(many).analyze_on(&engine, &paths).profiles;
         prop_assert_eq!(render_all(&sequential), render_all(&sharded));
 
         std::fs::remove_dir_all(&dir).ok();
@@ -187,8 +187,8 @@ proptest! {
         let one = AnalysisOptions { shards: 1, recover: true, ..Default::default() };
         let many = AnalysisOptions { shards, recover: true, ..Default::default() };
         let engine = Engine::new(1);
-        let sequential = engine.analyze_files(&paths, one);
-        let sharded = engine.analyze_files(&paths, many);
+        let sequential = AnalysisRequest::new().with_options(one).analyze_on(&engine, &paths).profiles;
+        let sharded = AnalysisRequest::new().with_options(many).analyze_on(&engine, &paths).profiles;
         prop_assert_eq!(render_all(&sequential), render_all(&sharded));
 
         std::fs::remove_dir_all(&dir).ok();
@@ -281,15 +281,22 @@ fn four_node_recover_identical_at_all_widths() {
     let dir = scratch_dir("fixed");
     let paths = write_cluster(&dir, spec, 4, Some((2, 0.6)));
 
-    let sequential = Engine::new(1).analyze_files(&paths, AnalysisOptions::recovering());
+    let sequential = AnalysisRequest::new()
+        .recover(true)
+        .analyze_on(&Engine::new(1), &paths)
+        .profiles;
     assert!(
         sequential[2].as_ref().is_ok_and(|p| p.quality.recovered),
         "truncated member must go through the salvage path"
     );
     let reference = render_all(&sequential);
     for jobs in [2usize, 4, 8] {
-        let got =
-            render_all(&Engine::new(jobs).analyze_files(&paths, AnalysisOptions::recovering()));
+        let got = render_all(
+            &AnalysisRequest::new()
+                .recover(true)
+                .analyze_on(&Engine::new(jobs), &paths)
+                .profiles,
+        );
         assert_eq!(reference, got, "jobs={jobs} diverged from sequential");
     }
     std::fs::remove_dir_all(&dir).ok();

@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 use tempest_collect::{Collector, CollectorConfig, CollectorHandle};
 use tempest_core::report::render_stdout;
-use tempest_core::{analyze_trace, AnalysisOptions};
+use tempest_core::AnalysisRequest;
 use tempest_probe::ship::{self, RetryPolicy, ShipConfig};
 use tempest_probe::spool::{self, FsyncPolicy, SpoolConfig, SpoolWriter};
 use tempest_probe::trace::SensorMeta;
@@ -107,7 +107,7 @@ fn ship_to(dir: &Path, addr: SocketAddr, session: &str) -> ship::ShipReport {
 /// comparison target.
 fn analysis_of(dir: &Path) -> (tempest_probe::Trace, String) {
     let (trace, _report) = spool::recover(dir).unwrap();
-    let profile = analyze_trace(&trace, AnalysisOptions::default()).unwrap();
+    let profile = AnalysisRequest::new().analyze_trace(&trace).unwrap();
     (trace, render_stdout(&profile))
 }
 
